@@ -1,0 +1,65 @@
+"""Figure 6 — decryption latency of the engines under load.
+
+Regenerates the full sweep: every engine at 1..18 outstanding
+back-to-back CAS requests on DDR4-2400, and asserts the figure's shape:
+ChaCha8 is flat and fully hidden under the 12.5 ns window at all loads;
+AES-128/256 win when the queue is shallow but queue up toward the right
+of the figure, AES-128 exposing ≈1.3 ns worst-case; ChaCha12/20 sit at
+constant exposure.
+"""
+
+import pytest
+
+from repro.engine.queuing import load_sweep, simulate_burst
+
+
+def test_fig6_sweep(benchmark):
+    """Print the Figure 6 series and assert its shape."""
+    points = benchmark.pedantic(load_sweep, rounds=1, iterations=1)
+    series: dict[str, list] = {}
+    for point in points:
+        series.setdefault(point.engine, []).append(point)
+
+    print("\nFigure 6: decryption latency (ns) vs outstanding back-to-back CAS")
+    header = "engine    " + "".join(f"{n:>6d}" for n in (1, 3, 6, 9, 12, 15, 18))
+    print(header)
+    for engine, pts in series.items():
+        row = {p.outstanding_requests: p.decryption_latency_ns for p in pts}
+        print(f"{engine:10s}" + "".join(f"{row[n]:6.2f}" for n in (1, 3, 6, 9, 12, 15, 18)))
+
+    chacha8 = [p.decryption_latency_ns for p in series["ChaCha8"]]
+    aes128 = [p.decryption_latency_ns for p in series["AES-128"]]
+    # ChaCha8: flat, always hidden.
+    assert max(chacha8) - min(chacha8) < 1e-9
+    assert all(p.exposed_ns == 0 for p in series["ChaCha8"])
+    # AES: monotone growth, crossover, ~1.3 ns worst-case exposure.
+    assert aes128 == sorted(aes128)
+    assert aes128[0] < chacha8[0] and aes128[-1] > chacha8[-1]
+    assert series["AES-128"][-1].exposed_ns == pytest.approx(1.3, abs=0.2)
+    assert series["AES-256"][-1].exposed_ns > series["AES-128"][-1].exposed_ns
+    # ChaCha12/20: load-independent exposure (0.77 and ~8.9 ns).
+    for name, floor in (("ChaCha12", 0.5), ("ChaCha20", 8.0)):
+        exposures = {round(p.exposed_ns, 4) for p in series[name]}
+        assert len(exposures) == 1 and exposures.pop() > floor
+
+
+def test_fig6_crossover_point(benchmark):
+    """Locate where AES-128 falls behind ChaCha8 (mid-to-late sweep)."""
+
+    def crossover():
+        for n in range(1, 19):
+            if (
+                simulate_burst("AES-128", n).decryption_latency_ns
+                > simulate_burst("ChaCha8", n).decryption_latency_ns
+            ):
+                return n
+        return None
+
+    n = benchmark.pedantic(crossover, rounds=1, iterations=1)
+    print(f"\nAES-128 falls behind ChaCha8 at {n} outstanding requests")
+    assert n is not None and 4 <= n <= 18
+
+
+def test_fig6_simulation_speed(benchmark):
+    """Raw speed of one burst simulation (it's used in sweeps)."""
+    benchmark(lambda: simulate_burst("AES-128", 18))

@@ -1,0 +1,51 @@
+"""Figure 7 — power and area overhead of strong memory encryption.
+
+Regenerates the overhead grid (four 45 nm CPUs x AES-128/ChaCha8 x
+full/20 % utilisation) and asserts the figure's claims: area ≈1 % or
+below everywhere; power <3 % except the Atom, which peaks ≈17 % at full
+utilisation and drops under ≈6 % at realistic load.
+"""
+
+import pytest
+
+from repro.engine.power import CPU_PROFILES, estimate_overhead, overhead_grid
+
+
+def test_fig7_overhead_grid(benchmark):
+    grid = benchmark.pedantic(overhead_grid, rounds=1, iterations=1)
+    print("\nFigure 7: power and area overheads (one engine per channel)")
+    print(f"{'CPU':14s} {'engine':8s} {'util':>5s} {'power':>8s} {'area':>7s}")
+    for e in grid:
+        print(f"{e.cpu:14s} {e.engine:8s} {e.utilisation:>5.0%} "
+              f"{e.power_overhead_percent:>7.2f}% {e.area_overhead_percent:>6.2f}%")
+
+    # Area about or below 1% everywhere.
+    assert all(e.area_overhead_percent <= 1.05 for e in grid)
+    # Power below 3% except the Atom.
+    assert all(
+        e.power_overhead_percent < 3.0 for e in grid if e.cpu != "Atom N280"
+    )
+    atom_full = [e for e in grid if e.cpu == "Atom N280" and e.utilisation == 1.0]
+    atom_low = [e for e in grid if e.cpu == "Atom N280" and e.utilisation == 0.2]
+    assert max(e.power_overhead_percent for e in atom_full) <= 17.5
+    assert max(e.power_overhead_percent for e in atom_full) >= 14.0
+    assert all(e.power_overhead_percent < 6.0 for e in atom_low)
+
+
+def test_fig7_channel_scaling(benchmark):
+    """Overhead scales with channel count (one engine per channel)."""
+
+    def per_channel_watts():
+        return {
+            name: estimate_overhead(name, "ChaCha8", 1.0).power_w / profile.memory_channels
+            for name, profile in CPU_PROFILES.items()
+        }
+
+    watts = benchmark.pedantic(per_channel_watts, rounds=1, iterations=1)
+    print(f"\nper-channel engine power (W): {watts}")
+    values = list(watts.values())
+    assert all(v == pytest.approx(values[0]) for v in values)
+
+
+def test_fig7_estimation_speed(benchmark):
+    benchmark(lambda: estimate_overhead("Xeon W3520", "AES-128", 0.2))

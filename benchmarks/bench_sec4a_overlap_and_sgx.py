@@ -1,0 +1,83 @@
+"""§IV-A/B extensions — measured overlap under real traffic, and the
+SGX-class trade-off table.
+
+Figure 6 analyses an idealised worst-case burst; these benches drive
+the *command-level* DDR4 channel simulator with streaming, random and
+bursty traffic and measure actual exposed latency per engine, then
+print the §IV-A security/performance comparison against an SGX-class
+memory encryption engine.
+"""
+
+import pytest
+
+from repro.dram.address import address_map_for
+from repro.dram.bus import DdrChannelSimulator
+from repro.engine.overlap import overlap_comparison, simulate_overlap
+from repro.engine.sgx_model import security_performance_table
+from repro.engine.traffic import bursty_reads, random_reads, streaming_reads
+
+
+def fresh_simulator() -> DdrChannelSimulator:
+    return DdrChannelSimulator(address_map_for("skylake"))
+
+
+def test_overlap_across_traffic_shapes(benchmark):
+    """ChaCha8 stays fully hidden under every traffic shape; AES-128
+    exposes only under saturating bursts, and then only ~1 ns."""
+
+    def sweep():
+        traces = {
+            "streaming": streaming_reads(256, 5.0),
+            "random": random_reads(256, 20.0, 1 << 26, seed=3),
+            "bursty(18)": bursty_reads(8, 18, 150.0, 1 << 24, seed=3),
+        }
+        table = {}
+        for name, reads in traces.items():
+            table[name] = {
+                r.engine: r for r in overlap_comparison(reads, fresh_simulator)
+            }
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nmeasured exposed latency (mean/max ns) per engine and traffic:")
+    for trace, results in table.items():
+        sample = next(iter(results.values()))
+        print(f"  {trace:12s} (row-hit {sample.row_hit_rate:4.0%}, "
+              f"bus util {sample.bus_utilisation:4.0%})")
+        for engine, result in results.items():
+            print(f"    {engine:10s} mean {result.mean_exposed_ns:5.2f}  "
+                  f"max {result.max_exposed_ns:5.2f}  "
+                  f"hidden {result.hidden_fraction:4.0%}")
+    for trace, results in table.items():
+        assert results["ChaCha8"].max_exposed_ns == 0.0, trace
+    assert table["bursty(18)"]["AES-128"].max_exposed_ns < 3.0
+    assert table["streaming"]["AES-128"].max_exposed_ns == 0.0
+
+
+def test_sgx_comparison_table(benchmark):
+    """§IV-A: the scheme trades integrity/replay protection for speed."""
+    rows = benchmark.pedantic(security_performance_table, rounds=1, iterations=1)
+    print("\nscheme comparison (read path):")
+    print(f"{'scheme':44s} {'exposed':>9s} {'slowdown':>9s} {'C':>2s} {'I':>2s} {'R':>2s}")
+    for row in rows:
+        print(f"{row.scheme:44s} {row.exposed_latency_ns:7.1f}ns {row.slowdown:8.2f}x "
+              f"{'y' if row.confidentiality else 'n':>2s} "
+              f"{'y' if row.integrity else 'n':>2s} "
+              f"{'y' if row.replay_protection else 'n':>2s}")
+    paper = next(r for r in rows if "this paper" in r.scheme)
+    assert paper.slowdown == 1.0
+    sgx_worst = max(r.slowdown for r in rows if r.integrity)
+    assert 10.0 < sgx_worst < 13.0  # SCONE's "up to 12x"
+
+
+def test_channel_simulator_throughput(benchmark):
+    """Raw scheduling rate of the command-level simulator."""
+    reads = random_reads(2048, 5.0, 1 << 26, seed=9)
+
+    def run():
+        simulator = fresh_simulator()
+        simulator.schedule(list(reads))
+        return simulator.bus_utilisation
+
+    utilisation = benchmark(run)
+    assert 0.0 < utilisation <= 1.0

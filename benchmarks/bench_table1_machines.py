@@ -1,0 +1,57 @@
+"""Table I — the tested machines and their scrambler generations.
+
+The paper's Table I lists five CPUs; the reproducible content is that
+each generation's scrambler exhibits the right key-pool size and
+reboot behaviour.  These benches build each machine, measure the
+scrambler properties through the reverse cold boot, and print the
+table the paper prints.
+"""
+
+import pytest
+
+from repro.analysis.correlation import keystream_key_census
+from repro.attack.coldboot import reverse_cold_boot
+from repro.victim.machine import TABLE_I_MACHINES, Machine
+
+MEM = 1 << 20
+
+
+def test_table1_key_census(benchmark):
+    """Measure every Table I machine's key pool via reverse cold boot."""
+
+    def census_all():
+        rows = []
+        for i, (name, spec) in enumerate(TABLE_I_MACHINES.items()):
+            machine = Machine(spec, memory_bytes=MEM, machine_id=30 + i)
+            census = keystream_key_census(reverse_cold_boot(machine))
+            rows.append((spec, census.n_distinct))
+        return rows
+
+    rows = benchmark.pedantic(census_all, rounds=1, iterations=1)
+    print("\nTable I: CPU models of tested machines (measured key pools)")
+    print(f"{'CPU Model':12s} {'Microarchitecture':18s} {'Launch':10s} {'DDR':5s} {'keys/channel':>13s}")
+    for spec, n_keys in rows:
+        print(f"{spec.cpu_model:12s} {spec.microarchitecture:18s} {spec.launch:10s} "
+              f"{spec.ddr_generation:5s} {n_keys:>13d}")
+        assert n_keys == (4096 if spec.ddr_generation == "DDR4" else 16)
+
+
+def test_table1_ddr3_reboot_collapse(benchmark):
+    """Every DDR3 machine in Table I has the universal-key flaw."""
+
+    def collapse_counts():
+        counts = {}
+        for i, (name, spec) in enumerate(TABLE_I_MACHINES.items()):
+            if spec.ddr_generation != "DDR3":
+                continue
+            machine = Machine(spec, memory_bytes=MEM, machine_id=40 + i)
+            first = reverse_cold_boot(machine)
+            machine.boot()
+            second = reverse_cold_boot(machine)
+            xored = first.xor(second)
+            counts[spec.cpu_model] = len({xored.block(b) for b in range(256)})
+        return counts
+
+    counts = benchmark.pedantic(collapse_counts, rounds=1, iterations=1)
+    print("\ncross-boot XOR collapse on DDR3 machines (distinct values):", counts)
+    assert all(count == 1 for count in counts.values())

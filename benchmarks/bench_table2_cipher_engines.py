@@ -1,0 +1,71 @@
+"""Table II — cipher engine performance at 45 nm, plus the Figure 5
+zero-exposed-latency analysis it feeds.
+
+Regenerates the table (max frequency, cycles per 64 B, pipeline delay)
+from the structural engine model, checks it byte-for-byte against the
+published numbers, and derives the §IV-C viability verdicts for every
+JEDEC CAS latency.  Also times the *functional* keystream generators —
+our software stand-ins for the RTL — for completeness.
+"""
+
+import pytest
+
+from repro.controller.encrypted import StreamCipherEngine
+from repro.dram.timing import JEDEC_CAS_LATENCIES_NS, MIN_CAS_LATENCY_NS
+from repro.engine.ciphers import ENGINE_SPECS, TABLE_II_PUBLISHED
+from repro.engine.pipeline import exposure_table, viable_replacements
+
+
+def test_table2_regeneration(benchmark):
+    """Print Table II from the model; assert it matches the paper."""
+
+    def build():
+        return {
+            name: (spec.max_frequency_ghz, spec.cycles_per_block, spec.pipeline_delay_ns)
+            for name, spec in ENGINE_SPECS.items()
+        }
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print(f"\nTable II: {'Cipher':10s} {'Max Freq (GHz)':>15s} {'Cycles/64B':>11s} "
+          f"{'Pipeline Delay (ns)':>20s}")
+    for name, (freq, cycles, delay) in rows.items():
+        print(f"          {name:10s} {freq:>15.2f} {cycles:>11d} {delay:>20.2f}")
+        pub_freq, pub_cycles, pub_delay = TABLE_II_PUBLISHED[name]
+        assert freq == pub_freq
+        assert cycles == pub_cycles
+        assert delay == pytest.approx(pub_delay, abs=0.03)
+
+
+def test_fig5_exposure_grid(benchmark):
+    """Exposed latency of each engine against all 9 JEDEC CAS bins."""
+    grid = benchmark.pedantic(exposure_table, rounds=1, iterations=1)
+    hidden = {}
+    for entry in grid:
+        hidden.setdefault(entry.engine, []).append(entry.is_hidden)
+    print(f"\nzero-exposed-latency verdicts across {len(JEDEC_CAS_LATENCIES_NS)} CAS bins:")
+    for engine, verdicts in hidden.items():
+        print(f"  {engine:10s} hidden in {sum(verdicts)}/9 bins")
+    assert all(hidden["AES-128"]) and all(hidden["AES-256"]) and all(hidden["ChaCha8"])
+    assert not any(hidden["ChaCha20"])
+    assert 0 < sum(hidden["ChaCha12"]) < 9  # only the slower bins
+
+
+def test_viable_replacements_at_fastest_bin(benchmark):
+    viable = benchmark.pedantic(
+        lambda: viable_replacements(MIN_CAS_LATENCY_NS), rounds=1, iterations=1
+    )
+    print(f"\nengines fully hidden under {MIN_CAS_LATENCY_NS} ns: {viable}")
+    assert set(viable) == {"AES-128", "AES-256", "ChaCha8"}
+
+
+@pytest.mark.parametrize("cipher", ["chacha8", "chacha20", "aes128", "aes256"])
+def test_functional_keystream_throughput(benchmark, cipher):
+    """Software keystream rate of the functional engines (64 B blocks)."""
+    engine = StreamCipherEngine.from_boot_seed(cipher, 5)
+    counter = iter(range(10**9))
+
+    def one_block():
+        return engine.keystream_for_block(next(counter) * 64)
+
+    result = benchmark(one_block)
+    assert len(result) == 64

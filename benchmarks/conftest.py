@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures: prepared machines and dumps, built once.
+
+The benchmarks regenerate every table and figure of the paper on
+scaled-down simulated hardware; session-scoped fixtures keep the
+expensive world-building out of the timed regions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attack.coldboot import TransferConditions, cold_boot_transfer
+from repro.dram.image import MemoryImage
+from repro.victim.machine import TABLE_I_MACHINES, Machine
+from repro.victim.workload import synthesize_memory
+
+#: Scaled DIMM size for attack benchmarks.
+BENCH_MEMORY = 2 << 20
+
+
+@pytest.fixture(scope="session")
+def ddr4_cold_boot_dump() -> tuple[MemoryImage, bytes]:
+    """A full cold-boot dump of a Skylake victim with a mounted volume.
+
+    Returns (dump, true XTS master key).
+    """
+    victim = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=BENCH_MEMORY, machine_id=21)
+    contents, _ = synthesize_memory(BENCH_MEMORY - 64 * 1024, zero_fraction=0.35, seed=21)
+    victim.write(64 * 1024, contents)
+    volume = victim.mount_encrypted_volume(b"bench password", key_table_address=(1 << 20) + 29)
+    attacker = Machine(TABLE_I_MACHINES["i5-6600K"], memory_bytes=BENCH_MEMORY, machine_id=22)
+    dump = cold_boot_transfer(
+        victim, attacker, TransferConditions(temperature_c=-25.0, transfer_seconds=5.0)
+    )
+    return dump, volume.master_key
+
+
+@pytest.fixture(scope="session")
+def skylake_keystream() -> MemoryImage:
+    """The DDR4 scrambler keystream of one boot (reverse cold boot)."""
+    from repro.attack.coldboot import reverse_cold_boot
+
+    machine = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=BENCH_MEMORY, machine_id=23)
+    return reverse_cold_boot(machine)

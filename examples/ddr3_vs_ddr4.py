@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 3: the visual comparison of DDR3 and DDR4 scramblers.
+
+Writes a structured test image into memory behind each scrambler and
+renders five panels as PGM files (plus terminal previews):
+
+  (a) the original image,
+  (b) DDR3-scrambled data,
+  (c) DDR3 data read back after a reboot (collapses to ECB-like),
+  (d) DDR4-scrambled data,
+  (e) DDR4 data read back after a reboot (no collapse).
+
+Also prints the quantitative versions: distinct-block censuses and
+XOR-collapse counts.
+
+Run:  python examples/ddr3_vs_ddr4.py   (writes figure3_*.pgm in cwd)
+"""
+
+from repro.analysis import (
+    ascii_preview,
+    bytes_to_pixels,
+    duplicate_block_stats,
+    write_pgm,
+    xor_collapse_stats,
+)
+from repro.dram.image import MemoryImage
+from repro.scrambler import Ddr3Scrambler, Ddr4Scrambler
+from repro.victim.workload import test_image
+
+WIDTH = HEIGHT = 256
+
+
+def reboot_reread(scrambler_cls, plain: bytes) -> bytes:
+    """Scramble with boot 1, re-read through a reboot's descrambler."""
+    boot1 = scrambler_cls(boot_seed=1001)
+    boot2 = scrambler_cls(boot_seed=2002)
+    raw = boot1.scramble_range(0, plain)
+    return boot2.descramble_range(0, raw)
+
+
+def panel(name: str, data: bytes) -> None:
+    pixels = bytes_to_pixels(data, WIDTH)
+    write_pgm(pixels, f"figure3_{name}.pgm")
+    stats = duplicate_block_stats(MemoryImage(data))
+    print(f"--- panel {name}: {stats.n_distinct} distinct blocks of "
+          f"{stats.n_blocks} ({100 * stats.duplicate_fraction:.0f}% duplicated)")
+    print(ascii_preview(pixels, max_width=56, max_height=16))
+
+
+def main() -> None:
+    image = test_image(WIDTH, HEIGHT)
+    plain = image.tobytes()
+
+    panel("a_original", plain)
+    panel("b_ddr3_scrambled", Ddr3Scrambler(boot_seed=1001).scramble_range(0, plain))
+    panel("c_ddr3_reboot", reboot_reread(Ddr3Scrambler, plain))
+    panel("d_ddr4_scrambled", Ddr4Scrambler(boot_seed=1001).scramble_range(0, plain))
+    panel("e_ddr4_reboot", reboot_reread(Ddr4Scrambler, plain))
+
+    # The quantitative heart of the figure: what reboot-XOR reveals.
+    zeros = bytes(len(plain))
+    ddr3 = xor_collapse_stats(
+        MemoryImage(Ddr3Scrambler(boot_seed=1).scramble_range(0, zeros)),
+        MemoryImage(Ddr3Scrambler(boot_seed=2).scramble_range(0, zeros)),
+    )
+    ddr4 = xor_collapse_stats(
+        MemoryImage(Ddr4Scrambler(boot_seed=1).scramble_range(0, zeros)),
+        MemoryImage(Ddr4Scrambler(boot_seed=2).scramble_range(0, zeros)),
+    )
+    print("\ncross-boot XOR collapse (same plaintext, two seeds):")
+    print(f"  DDR3: {ddr3.distinct_xor_values} distinct XOR value(s) "
+          f"-> universal key: {ddr3.collapses_to_universal_key}")
+    print(f"  DDR4: {ddr4.distinct_xor_values} distinct XOR value(s) "
+          f"-> universal key: {ddr4.collapses_to_universal_key}")
+    print("\nwrote figure3_[a-e]_*.pgm")
+
+
+if __name__ == "__main__":
+    main()

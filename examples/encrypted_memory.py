@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The §IV defence: replace the scrambler with ChaCha8, pay nothing.
+
+Three demonstrations:
+
+1. a machine whose memory path is ChaCha8-encrypted defeats the cold
+   boot attack (no litmus structure, no recoverable keys) — and the
+   dump is statistically indistinguishable from random;
+2. the hardware models: which engines hide inside the DDR4 CAS window
+   (Table II / Figure 5-6), including the AES-vs-ChaCha crossover under
+   load;
+3. the accepted trade-off: a bus-snooping adversary can still replay
+   captured ciphertext, which the scheme does not defend against.
+
+Run:  python examples/encrypted_memory.py
+"""
+
+from repro.analysis import randomness_report
+from repro.attack import AttackConfig, Ddr4ColdBootAttack, TransferConditions, cold_boot_transfer
+from repro.dram.timing import MIN_CAS_LATENCY_NS
+from repro.engine import ENGINE_SPECS, estimate_overhead, simulate_burst
+from repro.victim import TABLE_I_MACHINES, Machine, synthesize_memory
+
+MEMORY = 1 << 20
+
+
+def cold_boot_fails() -> None:
+    print("=== 1. cold boot vs ChaCha8-encrypted memory ===")
+    victim = Machine(
+        TABLE_I_MACHINES["i5-6400"], memory_bytes=MEMORY, machine_id=1, protection="chacha8"
+    )
+    contents, _ = synthesize_memory(MEMORY - 64 * 1024, zero_fraction=0.35, seed=1)
+    victim.write(64 * 1024, contents)
+    victim.mount_encrypted_volume(b"password", key_table_address=(1 << 19) + 21)
+
+    attacker = Machine(
+        TABLE_I_MACHINES["i5-6600K"], memory_bytes=MEMORY, machine_id=2, protection="chacha8"
+    )
+    dump = cold_boot_transfer(victim, attacker, TransferConditions(transfer_seconds=0.0))
+    report = Ddr4ColdBootAttack(AttackConfig(key_scan_limit_bytes=None)).run(dump)
+    print(f"attack on encrypted dump: {report.summary()}")
+    print(f"AES keys recovered: {len(report.recovered_keys)} (expect 0)")
+
+    stats = randomness_report(dump.data[64 * 1024 :])
+    print(f"dump entropy {stats.entropy_bits:.3f} bits/byte, "
+          f"ones density {stats.ones_density:.4f}, "
+          f"serial correlation {stats.serial_correlation:+.4f}")
+    print(f"indistinguishable from random: {stats.looks_random()}\n")
+
+
+def latency_models() -> None:
+    print("=== 2. can the keystream hide inside the CAS window? ===")
+    print(f"fastest standard DDR4 CAS latency: {MIN_CAS_LATENCY_NS} ns\n")
+    print(f"{'engine':10s} {'freq':>5s} {'cyc/64B':>8s} {'delay':>7s} "
+          f"{'hidden @ n=1':>13s} {'hidden @ n=18':>14s}")
+    for name, spec in ENGINE_SPECS.items():
+        low = simulate_burst(name, 1)
+        high = simulate_burst(name, 18)
+        print(f"{name:10s} {spec.max_frequency_ghz:4.2f}G {spec.cycles_per_block:8d} "
+              f"{spec.pipeline_delay_ns:6.2f}n {str(low.exposed_ns == 0):>13s} "
+              f"{f'{high.exposed_ns:.2f}ns exposed' if high.exposed_ns else 'True':>14s}")
+
+    print("\npower/area overheads (one engine per channel):")
+    for cpu in ("Atom N280", "Core i3-330M", "Core i5-700", "Xeon W3520"):
+        for util in (1.0, 0.2):
+            e = estimate_overhead(cpu, "ChaCha8", util)
+            print(f"  {cpu:14s} ChaCha8 @ {util:4.0%} util: "
+                  f"power +{e.power_overhead_percent:5.2f}%  area +{e.area_overhead_percent:4.2f}%")
+    print()
+
+
+def replay_weakness() -> None:
+    print("=== 3. the accepted weakness: bus replay ===")
+    machine = Machine(
+        TABLE_I_MACHINES["i5-6400"], memory_bytes=MEMORY, machine_id=3,
+        protection="chacha8", trace_bus=True,
+    )
+    machine.write(0x8000, b"balance: $1,000,000 " * 3 + b"    ")
+    captured = [t for t in machine.controller.bus_trace if t.kind == "write"][-1]
+    machine.write(0x8000, b"balance: $0.00      " * 3 + b"    ")
+    # The interposer drives the captured ciphertext back onto the DIMM.
+    machine.controller.raw_write_wire(captured.physical_address, captured.wire_data)
+    print(f"after replaying stale ciphertext: {machine.read(0x8000, 20)!r}")
+    print("replay succeeded — per §IV this scheme trades replay protection "
+          "for zero latency (SGX-class schemes prevent it, at a cost)")
+
+
+def main() -> None:
+    cold_boot_fails()
+    latency_models()
+    replay_weakness()
+
+
+if __name__ == "__main__":
+    main()

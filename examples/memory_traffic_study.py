@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Beyond Figure 6: the command-level DRAM study and the SGX contrast.
+
+The paper argues zero exposed latency analytically over a worst-case
+CAS burst.  Here we drive a command-accurate DDR4 channel model
+(ACT/READ/PRE scheduling, bank-level parallelism, tCCD/tRRD/tRP, a
+shared data bus) with three traffic shapes and *measure* each cipher
+engine's exposed latency — then print the §IV-A trade-off against an
+SGX-class memory encryption engine.
+
+Run:  python examples/memory_traffic_study.py
+"""
+
+from repro.dram.address import address_map_for
+from repro.dram.bus import DdrChannelSimulator
+from repro.engine.overlap import overlap_comparison
+from repro.engine.sgx_model import security_performance_table
+from repro.engine.traffic import bursty_reads, profile, random_reads, streaming_reads
+
+
+def fresh_simulator() -> DdrChannelSimulator:
+    return DdrChannelSimulator(address_map_for("skylake"))
+
+
+def traffic_study() -> None:
+    traces = {
+        "streaming scan (media playback)": streaming_reads(512, 5.0),
+        "random pointer chase": random_reads(512, 25.0, 1 << 26, seed=7),
+        "saturating 18-deep bursts": bursty_reads(16, 18, 120.0, 1 << 24, seed=7),
+    }
+    for name, reads in traces.items():
+        stats = profile(reads)
+        results = overlap_comparison(reads, fresh_simulator)
+        channel = results[0]
+        print(f"--- {name}")
+        print(f"    offered {stats.offered_bandwidth_gbs:5.2f} GB/s | "
+              f"row-hit rate {channel.row_hit_rate:4.0%} | "
+              f"bus utilisation {channel.bus_utilisation:4.0%}")
+        print(f"    {'engine':10s} {'mean exposed':>13s} {'max exposed':>12s} {'hidden':>7s}")
+        for result in results:
+            print(f"    {result.engine:10s} {result.mean_exposed_ns:10.2f} ns "
+                  f"{result.max_exposed_ns:9.2f} ns {result.hidden_fraction:6.0%}")
+        print()
+
+
+def sgx_contrast() -> None:
+    print("=== the §IV-A trade-off: what SGX-class protection costs ===")
+    print(f"{'scheme':44s} {'read overhead':>14s} {'slowdown':>9s}  C I R")
+    for row in security_performance_table():
+        flags = " ".join("y" if f else "n" for f in
+                         (row.confidentiality, row.integrity, row.replay_protection))
+        print(f"{row.scheme:44s} {row.exposed_latency_ns:11.1f} ns {row.slowdown:8.2f}x  {flags}")
+    print("\nthe paper's position: for cold-boot defence alone, the ChaCha8 row")
+    print("delivers the confidentiality at literally zero cost; integrity and")
+    print("replay protection are what the SGX rows are paying for.")
+
+
+def main() -> None:
+    traffic_study()
+    sgx_contrast()
+
+
+if __name__ == "__main__":
+    main()

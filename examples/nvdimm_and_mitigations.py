@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""The threat landscape around the attack: NVDIMMs and §II-B mitigations.
+
+Three vignettes from the paper's discussion sections:
+
+1. **NVDIMM (§II-C/§V)**: with non-volatile DIMMs "the attacker would
+   not even need to cool down the modules" — a warm, slow, no-duster
+   attack succeeds where DRAM would have decayed to mush;
+2. **TRESOR/Loop-Amnesia (§II-B)**: keys in CPU registers defeat the
+   memory search entirely, but pay per-block key re-expansion;
+3. **The sticky-BIOS shortcut (§III-B)**: on vendors that never reset
+   the scrambler seed, a plain reboot dump descrambles itself.
+
+Run:  python examples/nvdimm_and_mitigations.py
+"""
+
+import time
+
+from repro.attack import (
+    Ddr4ColdBootAttack,
+    TransferConditions,
+    cold_boot_transfer,
+    find_aes_keys,
+    unique_master_keys,
+)
+from repro.crypto.aes import AES
+from repro.dram import DramModule, NvdimmModule, random_fill
+from repro.victim import (
+    TABLE_I_MACHINES,
+    Machine,
+    MachineSpec,
+    OnTheFlyAes,
+    RegisterKeyStore,
+    synthesize_memory,
+)
+
+MEM = 2 << 20
+
+
+def nvdimm_attack() -> None:
+    print("=== 1. NVDIMM: cold boot without the cold ===")
+    # Retention contest first: 60 seconds unpowered at room temperature.
+    dram = DramModule(256 * 1024, "DDR4_A", serial=1)
+    nv = NvdimmModule(256 * 1024, serial=1)
+    for module, name in ((dram, "DDR4 DRAM"), (nv, "NVDIMM")):
+        payload = random_fill(module)
+        module.power_off()
+        module.advance_time(60.0)
+        module.power_on()
+        print(f"  {name:10s} after 60s warm: "
+              f"{100 * module.fraction_correct(payload):.2f}% of bits intact")
+
+    # The full attack, warm and slow, against an NVDIMM victim.
+    victim = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=MEM, machine_id=31)
+    victim.shutdown()
+    victim.remove_module(0)
+    victim.install_module(NvdimmModule(MEM, serial=77), 0)
+    victim.boot()
+    contents, _ = synthesize_memory(MEM - 64 * 1024, zero_fraction=0.35, seed=31)
+    victim.write(64 * 1024, contents)
+    volume = victim.mount_encrypted_volume(b"pw", key_table_address=(1 << 20) + 13)
+
+    attacker = Machine(TABLE_I_MACHINES["i5-6600K"], memory_bytes=MEM, machine_id=32)
+    dump = cold_boot_transfer(
+        victim, attacker, TransferConditions(temperature_c=20.0, transfer_seconds=60.0)
+    )
+    master = Ddr4ColdBootAttack().recover_xts_master_key(dump)
+    print(f"  warm 60s NVDIMM attack recovers the master key: {master == volume.master_key}\n")
+
+
+def register_keys() -> None:
+    print("=== 2. TRESOR-style register keys vs the memory search ===")
+    store = RegisterKeyStore("tresor")
+    store.store(0, b"\xaa" * 32)
+    otf = OnTheFlyAes(store)
+
+    # The key never touches simulated DRAM, so a dump holds nothing.
+    machine = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 19, machine_id=33)
+    contents, _ = synthesize_memory((1 << 19) - 64 * 1024, zero_fraction=0.3, seed=33)
+    machine.write(64 * 1024, contents)
+    dump = machine.bare_metal_dump()
+    matches = find_aes_keys(dump, key_bits=256)
+    print(f"  schedules found in a register-key machine's dump: {len(matches)}")
+
+    # The price: key expansion on every block operation.
+    resident = AES(b"\xaa" * 32)
+    blocks = [bytes([i]) * 16 for i in range(64)]
+    start = time.perf_counter()
+    for block in blocks:
+        resident.encrypt_block(block)
+    resident_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for block in blocks:
+        otf.encrypt_block(block)
+    otf_seconds = time.perf_counter() - start
+    print(f"  64 blocks: resident schedule {1000 * resident_seconds:.1f} ms, "
+          f"on-the-fly {1000 * otf_seconds:.1f} ms "
+          f"({otf_seconds / resident_seconds:.1f}x, {otf.expansions_performed} re-expansions)\n")
+
+
+def sticky_bios() -> None:
+    print("=== 3. the sticky-BIOS shortcut ===")
+    spec = MachineSpec("sticky-vendor", "skylake", "DDR4", "Q3, 2015", bios_resets_seed=False)
+    victim = Machine(spec, memory_bytes=MEM, machine_id=34)
+    volume = victim.mount_encrypted_volume(b"pw", key_table_address=(1 << 20) + 3)
+    victim.shutdown()
+    victim.boot()  # same scrambler seed -> same keys -> self-descrambling
+    dump = victim.bare_metal_dump()
+    keys = unique_master_keys(find_aes_keys(dump, key_bits=256))
+    print(f"  after a plain reboot, the Halderman scan on the dump finds "
+          f"{len(keys)} keys; volume keys included: "
+          f"{volume.master_key[:32] in keys and volume.master_key[32:] in keys}")
+
+
+def main() -> None:
+    nvdimm_attack()
+    register_keys()
+    sticky_bios()
+
+
+if __name__ == "__main__":
+    main()

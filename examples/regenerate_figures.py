@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation figures as image files.
+
+Writes, into the current directory:
+
+* ``figure3_[a-e]_*.pgm`` — the five scrambler-comparison panels;
+* ``figure6_latency_vs_load.svg`` — decryption latency vs outstanding
+  back-to-back CAS requests, with the 12.5 ns CAS floor marked;
+* ``figure7_power_area.svg`` — power overhead per CPU and engine, at
+  full and 20 % utilisation (plus the area companion chart);
+* ``retention_curves.svg`` — the §III-D retention model across
+  temperatures (the study behind the paper's measurements).
+
+Run:  python examples/regenerate_figures.py
+"""
+
+from repro.analysis.charts import GroupedBarChart, LineChart
+from repro.analysis.visualize import bytes_to_pixels, write_pgm
+from repro.dram.retention import MODULE_PROFILES, predicted_retention
+from repro.dram.timing import MIN_CAS_LATENCY_NS
+from repro.engine.power import CPU_PROFILES, estimate_overhead
+from repro.engine.queuing import load_sweep
+from repro.scrambler import Ddr3Scrambler, Ddr4Scrambler
+from repro.victim.workload import test_image
+
+
+def figure3() -> None:
+    plain = test_image(256, 256).tobytes()
+    panels = {
+        "a_original": plain,
+        "b_ddr3_scrambled": Ddr3Scrambler(boot_seed=1).scramble_range(0, plain),
+        "c_ddr3_reboot": Ddr3Scrambler(boot_seed=2).descramble_range(
+            0, Ddr3Scrambler(boot_seed=1).scramble_range(0, plain)
+        ),
+        "d_ddr4_scrambled": Ddr4Scrambler(boot_seed=1).scramble_range(0, plain),
+        "e_ddr4_reboot": Ddr4Scrambler(boot_seed=2).descramble_range(
+            0, Ddr4Scrambler(boot_seed=1).scramble_range(0, plain)
+        ),
+    }
+    for name, data in panels.items():
+        write_pgm(bytes_to_pixels(data, 256), f"figure3_{name}.pgm")
+    print(f"wrote {len(panels)} Figure 3 panels (PGM)")
+
+
+def figure6() -> None:
+    chart = LineChart(
+        title="Figure 6: decryption latency vs outstanding CAS requests (DDR4-2400)",
+        x_label="outstanding back-to-back CAS requests",
+        y_label="decryption latency (ns)",
+        reference_y=MIN_CAS_LATENCY_NS,
+        reference_label="fastest DDR4 CAS window (12.5 ns)",
+    )
+    series: dict[str, list[tuple[float, float]]] = {}
+    for point in load_sweep():
+        series.setdefault(point.engine, []).append(
+            (point.outstanding_requests, point.decryption_latency_ns)
+        )
+    for engine, points in series.items():
+        chart.add_series(engine, points)
+    chart.save("figure6_latency_vs_load.svg")
+    print("wrote figure6_latency_vs_load.svg")
+
+
+def figure7() -> None:
+    for metric, filename in (("power", "figure7_power_area.svg"), ("area", "figure7_area.svg")):
+        chart = GroupedBarChart(
+            title=f"Figure 7: {metric} overhead of strong memory encryption",
+            y_label=f"{metric} overhead (%)",
+        )
+        chart.groups = list(CPU_PROFILES)
+        for engine in ("AES-128", "ChaCha8"):
+            for utilisation in ((1.0, 0.2) if metric == "power" else (1.0,)):
+                label = engine if metric == "area" else f"{engine} @ {utilisation:.0%}"
+                values = []
+                for cpu in CPU_PROFILES:
+                    estimate = estimate_overhead(cpu, engine, utilisation)
+                    values.append(
+                        estimate.power_overhead_percent
+                        if metric == "power"
+                        else estimate.area_overhead_percent
+                    )
+                chart.add_series(label, values)
+        chart.save(filename)
+        print(f"wrote {filename}")
+
+
+def retention_curves() -> None:
+    chart = LineChart(
+        title="DRAM retention vs temperature (5 s unpowered, model)",
+        x_label="module temperature (deg C)",
+        y_label="bits retained (%)",
+    )
+    temperatures = list(range(-50, 25, 5))
+    for name, profile in MODULE_PROFILES.items():
+        chart.add_series(
+            name,
+            [(t, 100 * predicted_retention(profile, 5.0, t)) for t in temperatures],
+        )
+    chart.save("retention_curves.svg")
+    print("wrote retention_curves.svg")
+
+
+def main() -> None:
+    figure3()
+    figure6()
+    figure7()
+    retention_curves()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Reproduce the §III-D retention study: seven modules, hot and cold.
+
+Measures (on the simulated modules — the paper used a gas duster and a
+stopwatch) the fraction of bits retained after power loss, across
+temperature and elapsed time, and verifies the paper's observations:
+
+* at operating temperature a significant fraction of data is lost
+  within ~3 s;
+* cooled to ≈ −25 °C, every module retains 90–99 % over a 5 s transfer;
+* one of the DDR3 modules leaks faster than the newer DDR4 parts.
+
+Run:  python examples/retention_study.py
+"""
+
+from repro.dram import MODULE_PROFILES, DramModule, random_fill
+
+CAPACITY = 256 * 1024
+TEMPERATURES = (20.0, 0.0, -25.0, -50.0)
+TIMES = (1.0, 3.0, 5.0, 10.0, 30.0)
+
+
+def measure(profile_name: str, celsius: float, seconds: float) -> float:
+    """Write random data, cut power, wait, and count surviving bits."""
+    module = DramModule(CAPACITY, profile_name, serial=hash((profile_name, celsius)) & 0xFFFF)
+    payload = random_fill(module)
+    module.power_off()
+    module.set_temperature(celsius)
+    module.advance_time(seconds)
+    module.power_on()
+    return module.fraction_correct(payload)
+
+
+def main() -> None:
+    print(f"measured retention (fraction of bits correct), {CAPACITY >> 10} KiB modules\n")
+    for celsius in TEMPERATURES:
+        print(f"--- module temperature {celsius:+.0f} °C")
+        header = "module    " + "".join(f"{t:>8.0f}s" for t in TIMES)
+        print(header)
+        for name in MODULE_PROFILES:
+            row = [measure(name, celsius, t) for t in TIMES]
+            print(f"{name:10s}" + "".join(f"{100 * r:8.2f}%" for r in row))
+        print()
+
+    # The paper's three headline observations, checked quantitatively.
+    cold5 = {name: measure(name, -25.0, 5.0) for name in MODULE_PROFILES}
+    warm3 = {name: measure(name, 20.0, 3.0) for name in MODULE_PROFILES}
+    print("checks against §III-D:")
+    print(f"  all modules retain 90-99% at -25°C/5s: "
+          f"{all(0.90 <= r <= 0.9999 for r in cold5.values())}")
+    print(f"  significant loss within 3s warm:       "
+          f"{all(r < 0.95 for r in warm3.values())}")
+    ddr3_worst = min(v for k, v in cold5.items() if k.startswith('DDR3'))
+    ddr4_worst = min(v for k, v in cold5.items() if k.startswith('DDR4'))
+    print(f"  a DDR3 module leaks faster than DDR4:  {ddr3_worst < ddr4_worst} "
+          f"(worst DDR3 {100 * ddr3_worst:.2f}% vs worst DDR4 {100 * ddr4_worst:.2f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — a reproduction of "Cold Boot Attacks are Still Hot: Security
+Analysis of Memory Scramblers in Modern Processors" (HPCA 2017).
+
+The library has two halves, mirroring the paper:
+
+* the **attack** (Section III): simulate DDR3/DDR4 machines whose memory
+  controllers scramble DRAM traffic, freeze and transplant their DIMMs,
+  and recover AES disk-encryption keys from the scrambled, decayed
+  dumps -- ``repro.dram``, ``repro.scrambler``, ``repro.controller``,
+  ``repro.victim``, ``repro.attack``, ``repro.analysis``;
+* the **defence** (Section IV): hardware models showing stream-cipher
+  engines (ChaCha8, AES-CTR) can replace scramblers with zero exposed
+  read latency and ~1% area / <3% power overhead -- ``repro.crypto``,
+  ``repro.engine``, ``repro.controller.encrypted``.
+
+Quick taste (see ``examples/`` for full scenarios)::
+
+    from repro.victim import Machine, TABLE_I_MACHINES, synthesize_memory
+    from repro.attack import Ddr4ColdBootAttack, cold_boot_transfer
+
+    victim = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 22)
+    contents, _ = synthesize_memory((1 << 22) - (1 << 16), zero_fraction=0.35)
+    victim.write(1 << 16, contents)  # zero pages expose the keys
+    volume = victim.mount_encrypted_volume(b"password", key_table_address=0x100000)
+    attacker = Machine(TABLE_I_MACHINES["i5-6600K"], memory_bytes=1 << 22, machine_id=2)
+    dump = cold_boot_transfer(victim, attacker)
+    key = Ddr4ColdBootAttack().recover_xts_master_key(dump)
+    assert key == volume.master_key
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "attack",
+    "controller",
+    "crypto",
+    "dram",
+    "engine",
+    "scrambler",
+    "util",
+    "victim",
+]

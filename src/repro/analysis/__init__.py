@@ -1,0 +1,50 @@
+"""Measurement and visualisation tools for dumps and keystreams."""
+
+from repro.analysis.charts import SERIES_COLOURS, GroupedBarChart, LineChart
+from repro.analysis.decay_map import (
+    DecayMap,
+    StripeCorrelation,
+    decay_map,
+    stripe_correlation,
+)
+from repro.analysis.correlation import (
+    DuplicateBlockStats,
+    XorCollapseStats,
+    duplicate_block_stats,
+    keystream_key_census,
+    xor_collapse_stats,
+)
+from repro.analysis.entropy import (
+    RandomnessReport,
+    byte_entropy,
+    chi_square_uniform,
+    ones_density,
+    randomness_report,
+    serial_byte_correlation,
+)
+from repro.analysis.visualize import ascii_preview, bytes_to_pixels, read_pgm, write_pgm
+
+__all__ = [
+    "SERIES_COLOURS",
+    "DecayMap",
+    "DuplicateBlockStats",
+    "GroupedBarChart",
+    "LineChart",
+    "RandomnessReport",
+    "XorCollapseStats",
+    "ascii_preview",
+    "byte_entropy",
+    "bytes_to_pixels",
+    "StripeCorrelation",
+    "chi_square_uniform",
+    "decay_map",
+    "duplicate_block_stats",
+    "keystream_key_census",
+    "ones_density",
+    "randomness_report",
+    "read_pgm",
+    "serial_byte_correlation",
+    "stripe_correlation",
+    "write_pgm",
+    "xor_collapse_stats",
+]

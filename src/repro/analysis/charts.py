@@ -1,0 +1,212 @@
+"""Dependency-free SVG charts for regenerating the paper's figures.
+
+The benches print the Figure 6/7 series as tables; this module renders
+them as actual figures (plain SVG — no plotting library exists in the
+offline environment, and none is needed for line and bar charts).  Used
+by ``examples/regenerate_figures.py`` and the CLI to emit
+``figure6.svg`` / ``figure7.svg`` next to the Figure 3 PGM panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: A small colour cycle that survives grayscale printing.
+SERIES_COLOURS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b")
+
+
+def _escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+@dataclass
+class LineChart:
+    """A simple multi-series line chart with axes and a legend."""
+
+    title: str
+    x_label: str
+    y_label: str
+    width: int = 640
+    height: int = 420
+    margin: int = 60
+    series: list[tuple[str, list[tuple[float, float]]]] = field(default_factory=list)
+    #: Optional horizontal reference line (e.g. the 12.5 ns CAS floor).
+    reference_y: float | None = None
+    reference_label: str = ""
+
+    def add_series(self, name: str, points: list[tuple[float, float]]) -> None:
+        """Add one named series of (x, y) points."""
+        if not points:
+            raise ValueError("a series needs at least one point")
+        self.series.append((name, sorted(points)))
+
+    # ------------------------------------------------------------ rendering
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = [x for _, pts in self.series for x, _ in pts]
+        ys = [y for _, pts in self.series for _, y in pts]
+        if self.reference_y is not None:
+            ys.append(self.reference_y)
+        x0, x1 = min(xs), max(xs)
+        y0, y1 = min(0.0, min(ys)), max(ys) * 1.08
+        if x1 == x0:
+            x1 = x0 + 1
+        if y1 == y0:
+            y1 = y0 + 1
+        return x0, x1, y0, y1
+
+    def _to_px(self, x: float, y: float, bounds) -> tuple[float, float]:
+        x0, x1, y0, y1 = bounds
+        plot_w = self.width - 2 * self.margin
+        plot_h = self.height - 2 * self.margin
+        px = self.margin + (x - x0) / (x1 - x0) * plot_w
+        py = self.height - self.margin - (y - y0) / (y1 - y0) * plot_h
+        return px, py
+
+    def to_svg(self) -> str:
+        """Render the chart as an SVG document string."""
+        if not self.series:
+            raise ValueError("chart has no series")
+        bounds = self._bounds()
+        x0, x1, y0, y1 = bounds
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="sans-serif" font-size="12">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="24" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{_escape(self.title)}</text>',
+        ]
+        # Axes.
+        ax0, ay0 = self._to_px(x0, y0, bounds)
+        ax1, _ = self._to_px(x1, y0, bounds)
+        _, ay1 = self._to_px(x0, y1, bounds)
+        parts.append(f'<line x1="{ax0}" y1="{ay0}" x2="{ax1}" y2="{ay0}" stroke="black"/>')
+        parts.append(f'<line x1="{ax0}" y1="{ay0}" x2="{ax0}" y2="{ay1}" stroke="black"/>')
+        parts.append(
+            f'<text x="{self.width / 2}" y="{self.height - 12}" '
+            f'text-anchor="middle">{_escape(self.x_label)}</text>'
+        )
+        parts.append(
+            f'<text x="16" y="{self.height / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 16 {self.height / 2})">{_escape(self.y_label)}</text>'
+        )
+        # Ticks (5 per axis).
+        for i in range(6):
+            tx = x0 + (x1 - x0) * i / 5
+            px, py = self._to_px(tx, y0, bounds)
+            parts.append(f'<line x1="{px}" y1="{py}" x2="{px}" y2="{py + 5}" stroke="black"/>')
+            parts.append(
+                f'<text x="{px}" y="{py + 18}" text-anchor="middle">{tx:g}</text>'
+            )
+            ty = y0 + (y1 - y0) * i / 5
+            px, py = self._to_px(x0, ty, bounds)
+            parts.append(f'<line x1="{px - 5}" y1="{py}" x2="{px}" y2="{py}" stroke="black"/>')
+            parts.append(
+                f'<text x="{px - 8}" y="{py + 4}" text-anchor="end">{ty:.3g}</text>'
+            )
+        # Reference line.
+        if self.reference_y is not None:
+            _, ry = self._to_px(x0, self.reference_y, bounds)
+            parts.append(
+                f'<line x1="{ax0}" y1="{ry}" x2="{ax1}" y2="{ry}" stroke="#888" '
+                f'stroke-dasharray="6,4"/>'
+            )
+            if self.reference_label:
+                parts.append(
+                    f'<text x="{ax1 - 4}" y="{ry - 6}" text-anchor="end" '
+                    f'fill="#555">{_escape(self.reference_label)}</text>'
+                )
+        # Series.
+        for idx, (name, points) in enumerate(self.series):
+            colour = SERIES_COLOURS[idx % len(SERIES_COLOURS)]
+            path = " ".join(
+                f"{'M' if i == 0 else 'L'}{self._to_px(x, y, bounds)[0]:.1f},"
+                f"{self._to_px(x, y, bounds)[1]:.1f}"
+                for i, (x, y) in enumerate(points)
+            )
+            parts.append(f'<path d="{path}" fill="none" stroke="{colour}" stroke-width="2"/>')
+            lx = self.margin + 10
+            ly = self.margin + 16 * idx + 4
+            parts.append(f'<line x1="{lx}" y1="{ly}" x2="{lx + 18}" y2="{ly}" '
+                         f'stroke="{colour}" stroke-width="3"/>')
+            parts.append(f'<text x="{lx + 24}" y="{ly + 4}">{_escape(name)}</text>')
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str | Path) -> None:
+        """Write the chart to an ``.svg`` file."""
+        Path(path).write_text(self.to_svg(), encoding="utf-8")
+
+
+@dataclass
+class GroupedBarChart:
+    """Grouped bars (e.g. Figure 7: overhead per CPU, per engine)."""
+
+    title: str
+    y_label: str
+    width: int = 640
+    height: int = 420
+    margin: int = 60
+    groups: list[str] = field(default_factory=list)
+    series: list[tuple[str, list[float]]] = field(default_factory=list)
+
+    def add_series(self, name: str, values: list[float]) -> None:
+        """Add one named series with a value per group."""
+        if self.groups and len(values) != len(self.groups):
+            raise ValueError("series length must match the group count")
+        self.series.append((name, list(values)))
+
+    def to_svg(self) -> str:
+        """Render the chart as an SVG document string."""
+        if not self.series or not self.groups:
+            raise ValueError("chart needs groups and at least one series")
+        peak = max(max(values) for _, values in self.series) or 1.0
+        plot_w = self.width - 2 * self.margin
+        plot_h = self.height - 2 * self.margin
+        group_w = plot_w / len(self.groups)
+        bar_w = group_w * 0.8 / len(self.series)
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="sans-serif" font-size="12">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="24" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{_escape(self.title)}</text>',
+            f'<text x="16" y="{self.height / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 16 {self.height / 2})">{_escape(self.y_label)}</text>',
+        ]
+        baseline = self.height - self.margin
+        parts.append(
+            f'<line x1="{self.margin}" y1="{baseline}" '
+            f'x2="{self.width - self.margin}" y2="{baseline}" stroke="black"/>'
+        )
+        for g, label in enumerate(self.groups):
+            gx = self.margin + g * group_w
+            parts.append(
+                f'<text x="{gx + group_w / 2}" y="{baseline + 18}" '
+                f'text-anchor="middle">{_escape(label)}</text>'
+            )
+            for s, (name, values) in enumerate(self.series):
+                colour = SERIES_COLOURS[s % len(SERIES_COLOURS)]
+                bar_h = values[g] / (peak * 1.1) * plot_h
+                bx = gx + group_w * 0.1 + s * bar_w
+                parts.append(
+                    f'<rect x="{bx:.1f}" y="{baseline - bar_h:.1f}" width="{bar_w:.1f}" '
+                    f'height="{bar_h:.1f}" fill="{colour}"/>'
+                )
+                parts.append(
+                    f'<text x="{bx + bar_w / 2:.1f}" y="{baseline - bar_h - 4:.1f}" '
+                    f'text-anchor="middle" font-size="10">{values[g]:.2g}</text>'
+                )
+        for s, (name, _) in enumerate(self.series):
+            colour = SERIES_COLOURS[s % len(SERIES_COLOURS)]
+            lx = self.margin + 10
+            ly = self.margin + 16 * s + 4
+            parts.append(f'<rect x="{lx}" y="{ly - 8}" width="14" height="10" fill="{colour}"/>')
+            parts.append(f'<text x="{lx + 20}" y="{ly + 2}">{_escape(name)}</text>')
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str | Path) -> None:
+        """Write the chart to an ``.svg`` file."""
+        Path(path).write_text(self.to_svg(), encoding="utf-8")

@@ -1,0 +1,87 @@
+"""Correlation statistics for scrambled dumps (the Figure 3 numbers).
+
+Figure 3 is a visual argument; these are its quantitative teeth:
+
+* **duplicate-block statistics** — with only 16 keys (DDR3), identical
+  plaintext blocks collide into identical ciphertext all over the dump;
+  with 4096 keys (DDR4) collisions are 256× rarer (compare 3b and 3d);
+* **XOR-collapse statistics** — XOR-ing per-block keys across two boots
+  yields *one* distinct value on DDR3 (the universal key of 3c) but
+  thousands on DDR4 (3e).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.dram.image import MemoryImage
+from repro.util.blocks import BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class DuplicateBlockStats:
+    """How much identical-plaintext structure leaks through a transform."""
+
+    n_blocks: int
+    n_distinct: int
+    max_multiplicity: int
+    duplicated_blocks: int
+
+    @property
+    def duplicate_fraction(self) -> float:
+        """Fraction of blocks whose value appears more than once."""
+        if self.n_blocks == 0:
+            return 0.0
+        return self.duplicated_blocks / self.n_blocks
+
+
+def duplicate_block_stats(image: MemoryImage) -> DuplicateBlockStats:
+    """Count repeated 64-byte block values in an image."""
+    counts: Counter[bytes] = Counter()
+    data = image.data
+    for i in range(image.n_blocks):
+        counts[data[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE]] += 1
+    duplicated = sum(c for c in counts.values() if c > 1)
+    return DuplicateBlockStats(
+        n_blocks=image.n_blocks,
+        n_distinct=len(counts),
+        max_multiplicity=max(counts.values(), default=0),
+        duplicated_blocks=duplicated,
+    )
+
+
+@dataclass(frozen=True)
+class XorCollapseStats:
+    """What XOR-ing two boots' views of the same plaintext reveals."""
+
+    n_blocks: int
+    distinct_xor_values: int
+
+    @property
+    def collapses_to_universal_key(self) -> bool:
+        """True when the whole memory reduces to a single XOR key (DDR3)."""
+        return self.distinct_xor_values == 1
+
+
+def xor_collapse_stats(first: MemoryImage, second: MemoryImage) -> XorCollapseStats:
+    """Distinct per-block XOR values between two images of one plaintext.
+
+    Feed it two keystream images (or two dumps of identical plaintext)
+    from different boots: DDR3's separable scrambler collapses to one
+    value; DDR4's does not.
+    """
+    xored = first.xor(second)
+    distinct = {
+        xored.data[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE] for i in range(xored.n_blocks)
+    }
+    return XorCollapseStats(n_blocks=xored.n_blocks, distinct_xor_values=len(distinct))
+
+
+def keystream_key_census(keystream: MemoryImage) -> DuplicateBlockStats:
+    """Distinct keys in a keystream image — the §III-B key-count result.
+
+    Run on the output of a reverse cold boot (zero-fill) this counts the
+    scrambler's key pool: 16/channel for DDR3, 4096/channel for DDR4.
+    """
+    return duplicate_block_stats(keystream)

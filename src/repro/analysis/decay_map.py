@@ -1,0 +1,105 @@
+"""Spatial decay analysis: where in the module did bits flip?
+
+The §III-D measurements aggregate retention to one number; forensics
+wants the *map* — decay clusters by ground-state stripe (only bits
+stored opposite their stripe can flip), so the error field of a real
+cold boot dump carries the module's physical layout.  Given a reference
+and a decayed image this module computes per-window error rates, their
+distribution, and a grayscale error map for visual inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.image import MemoryImage
+from repro.util.bits import POPCOUNT_TABLE
+
+
+@dataclass(frozen=True)
+class DecayMap:
+    """Per-window bit-error rates over an image pair."""
+
+    window_bytes: int
+    #: Error rate per window, in image order.
+    rates: np.ndarray
+
+    @property
+    def overall_rate(self) -> float:
+        """Whole-image bit error rate."""
+        return float(self.rates.mean()) if self.rates.size else 0.0
+
+    @property
+    def peak_rate(self) -> float:
+        """Worst window's error rate."""
+        return float(self.rates.max()) if self.rates.size else 0.0
+
+    def hot_windows(self, threshold: float) -> list[int]:
+        """Indices of windows whose error rate exceeds ``threshold``."""
+        return [int(i) for i in np.nonzero(self.rates > threshold)[0]]
+
+    def to_pixels(self, width: int) -> np.ndarray:
+        """Render as a grayscale map (white = most decayed) for PGM output."""
+        if width <= 0:
+            raise ValueError("width must be positive")
+        peak = self.rates.max() if self.rates.size else 0.0
+        scaled = (
+            (self.rates / peak * 255.0).astype(np.uint8)
+            if peak > 0
+            else np.zeros_like(self.rates, dtype=np.uint8)
+        )
+        height = len(scaled) // width
+        if height == 0:
+            raise ValueError("not enough windows for one row")
+        return scaled[: height * width].reshape(height, width)
+
+
+def decay_map(
+    reference: MemoryImage, decayed: MemoryImage, window_bytes: int = 1024
+) -> DecayMap:
+    """Per-window error rates between a reference and a decayed image."""
+    if len(reference) != len(decayed):
+        raise ValueError("images must have equal length")
+    if window_bytes <= 0 or len(reference) % window_bytes:
+        raise ValueError("window must evenly divide the image")
+    a = np.frombuffer(reference.data, dtype=np.uint8)
+    b = np.frombuffer(decayed.data, dtype=np.uint8)
+    errors = POPCOUNT_TABLE[a ^ b].reshape(-1, window_bytes).sum(axis=1, dtype=np.int64)
+    return DecayMap(window_bytes=window_bytes, rates=errors / (8.0 * window_bytes))
+
+
+@dataclass(frozen=True)
+class StripeCorrelation:
+    """How strongly decay follows the ground-state stripes."""
+
+    toward_ground_fraction: float
+
+    @property
+    def consistent_with_ground_state_decay(self) -> bool:
+        """Real DRAM decay flips (almost) exclusively toward ground."""
+        return self.toward_ground_fraction > 0.99
+
+
+def stripe_correlation(
+    reference: MemoryImage, decayed: MemoryImage, ground_state: bytes
+) -> StripeCorrelation:
+    """Fraction of flipped bits that moved *toward* the ground state.
+
+    A cold boot image should score ~1.0; artificial uniform corruption
+    (or tampering) scores ~0.5 — a quick authenticity check for dumps.
+    """
+    if not len(reference) == len(decayed) == len(ground_state):
+        raise ValueError("all inputs must have equal length")
+    a = np.frombuffer(reference.data, dtype=np.uint8)
+    b = np.frombuffer(decayed.data, dtype=np.uint8)
+    g = np.frombuffer(ground_state, dtype=np.uint8)
+    flipped = a ^ b
+    total = int(POPCOUNT_TABLE[flipped].sum())
+    if total == 0:
+        return StripeCorrelation(toward_ground_fraction=1.0)
+    # A flip is "toward ground" when the decayed bit now equals ground:
+    # flipped bit set AND (b == g) at that bit  <=>  flipped & ~(b ^ g).
+    toward = int(POPCOUNT_TABLE[flipped & ~(b ^ g)].sum())
+    return StripeCorrelation(toward_ground_fraction=toward / total)

@@ -1,0 +1,65 @@
+"""Rendering memory as images — reproducing Figure 3's panels.
+
+The paper demonstrates scrambler weakness visually: a structured image
+written to memory, then viewed (a) raw, (b/d) scrambled, and (c/e)
+re-read after reboot.  We regenerate those panels as PGM files (a
+dependency-free grayscale format any viewer opens) plus terminal ASCII
+previews for quick inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.dram.image import MemoryImage
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def bytes_to_pixels(data: bytes | MemoryImage, width: int) -> np.ndarray:
+    """Interpret raw memory as a ``(height, width)`` grayscale image."""
+    raw = data.data if isinstance(data, MemoryImage) else bytes(data)
+    if width <= 0:
+        raise ValueError("width must be positive")
+    height = len(raw) // width
+    if height == 0:
+        raise ValueError("not enough data for even one row")
+    return np.frombuffer(raw[: height * width], dtype=np.uint8).reshape(height, width)
+
+
+def write_pgm(pixels: np.ndarray, path: str | Path) -> None:
+    """Write a grayscale image as a binary PGM (P5) file."""
+    if pixels.ndim != 2:
+        raise ValueError("pixels must be a 2-D array")
+    pixels = np.asarray(pixels, dtype=np.uint8)
+    header = f"P5\n{pixels.shape[1]} {pixels.shape[0]}\n255\n".encode("ascii")
+    Path(path).write_bytes(header + pixels.tobytes())
+
+
+def read_pgm(path: str | Path) -> np.ndarray:
+    """Read back a binary PGM (P5) written by :func:`write_pgm`."""
+    blob = Path(path).read_bytes()
+    fields: list[bytes] = blob.split(maxsplit=4)
+    if fields[0] != b"P5":
+        raise ValueError("not a binary PGM file")
+    width, height, maxval = int(fields[1]), int(fields[2]), int(fields[3])
+    if maxval != 255:
+        raise ValueError("only 8-bit PGMs are supported")
+    raster = fields[4][: width * height]
+    return np.frombuffer(raster, dtype=np.uint8).reshape(height, width)
+
+
+def ascii_preview(pixels: np.ndarray, max_width: int = 64, max_height: int = 32) -> str:
+    """Down-sample an image into a terminal-sized ASCII rendering."""
+    if pixels.ndim != 2:
+        raise ValueError("pixels must be a 2-D array")
+    step_y = max(1, pixels.shape[0] // max_height)
+    step_x = max(1, pixels.shape[1] // max_width)
+    sampled = pixels[::step_y, ::step_x][:max_height, :max_width]
+    scale = (len(_ASCII_RAMP) - 1) / 255.0
+    lines = []
+    for row in sampled:
+        lines.append("".join(_ASCII_RAMP[int(v * scale)] for v in row))
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""The cold boot attack toolkit — the paper's first contribution.
+
+Layered exactly as §III presents it: litmus tests identify scrambler
+keys in dumps, the miner collects and repairs them, the AES search
+finds expanded key schedules one 64-byte block at a time, and the
+pipeline ties it together into the VeraCrypt master-key recovery.
+DDR3 frequency analysis and the classic Halderman plaintext search are
+included as the baselines the DDR4 attack is measured against.
+"""
+
+from repro.attack.aes_search import (
+    AesKeySearch,
+    AesVariant,
+    RecoveredAesKey,
+    ScheduleHit,
+    exhaustive_hits,
+    reconstruct_schedule,
+    repair_observed_table,
+)
+from repro.attack.equations import (
+    consistent_with_invariants,
+    invariant_manifold_dimension,
+    invariant_system,
+    minimum_known_bits_for_unique_key,
+    solve_key_from_known_plaintext,
+)
+from repro.attack.coldboot import TransferConditions, cold_boot_transfer, reverse_cold_boot
+from repro.attack.ddr3_attack import (
+    Ddr3ColdBootAttack,
+    FrequencyCandidate,
+    block_frequency_analysis,
+    descramble_with_universal_key,
+    recover_universal_key,
+)
+from repro.attack.keyfind import KeyfindMatch, find_aes_keys, unique_master_keys
+from repro.attack.keymine import (
+    DEFAULT_SCAN_LIMIT_BYTES,
+    CandidateKey,
+    keys_matrix,
+    mine_scrambler_keys,
+)
+from repro.attack.litmus import (
+    INVARIANT_WORD_OFFSETS,
+    SUB_WORD_OFFSETS,
+    key_litmus_mismatch_bits,
+    litmus_pass_mask,
+    passes_key_litmus,
+)
+from repro.attack.pipeline import AttackConfig, AttackReport, Ddr4ColdBootAttack
+from repro.attack.report import (
+    REPORT_SCHEMA_VERSION,
+    report_to_dict,
+    report_to_markdown,
+    save_report_json,
+)
+from repro.attack.sweep import (
+    AblationResult,
+    SweepPoint,
+    ablate_search,
+    attack_success_sweep,
+    synthetic_dump,
+)
+
+__all__ = [
+    "DEFAULT_SCAN_LIMIT_BYTES",
+    "INVARIANT_WORD_OFFSETS",
+    "SUB_WORD_OFFSETS",
+    "AesKeySearch",
+    "AesVariant",
+    "REPORT_SCHEMA_VERSION",
+    "AblationResult",
+    "AttackConfig",
+    "AttackReport",
+    "CandidateKey",
+    "Ddr3ColdBootAttack",
+    "Ddr4ColdBootAttack",
+    "FrequencyCandidate",
+    "KeyfindMatch",
+    "RecoveredAesKey",
+    "SweepPoint",
+    "ScheduleHit",
+    "TransferConditions",
+    "block_frequency_analysis",
+    "cold_boot_transfer",
+    "consistent_with_invariants",
+    "invariant_manifold_dimension",
+    "invariant_system",
+    "descramble_with_universal_key",
+    "exhaustive_hits",
+    "find_aes_keys",
+    "key_litmus_mismatch_bits",
+    "keys_matrix",
+    "litmus_pass_mask",
+    "mine_scrambler_keys",
+    "minimum_known_bits_for_unique_key",
+    "solve_key_from_known_plaintext",
+    "passes_key_litmus",
+    "reconstruct_schedule",
+    "repair_observed_table",
+    "recover_universal_key",
+    "ablate_search",
+    "attack_success_sweep",
+    "report_to_dict",
+    "report_to_markdown",
+    "reverse_cold_boot",
+    "save_report_json",
+    "synthetic_dump",
+    "unique_master_keys",
+]

@@ -1,0 +1,880 @@
+"""Searching scrambled memory for expanded AES keys (§III-C).
+
+The paper's insight (Figure 4): wherever an expanded AES key schedule
+lies in memory, **at least three consecutive round keys fall inside a
+single 64-byte block**, regardless of alignment.  So a per-block test
+exists: descramble one block with a candidate scrambler key, take 32
+bytes at some offset, run one step of the key-expansion recurrence for
+each possible starting round (the "12 possible partial expansions"),
+and compare the prediction against the adjacent 16 bytes with a
+Hamming-distance budget.  A hit pins down the block's scrambler key,
+the schedule's alignment, *and* which rounds it holds — after which the
+whole schedule (and the master key at its head) is reconstructed by
+running the recurrence forwards and backwards.
+
+Cost containment — the fingerprint join
+---------------------------------------
+
+Tested naively, the search is |blocks| × |keys| × offsets × rounds key
+expansions; the paper spent 2 hours per 100 MB per core *with AES-NI*.
+Pure Python cannot brute-force that, so we exploit more structure
+instead of more silicon: of the four schedule words predicted by an
+expansion step, three are **linear** — ``w[i] = w[i-Nk] ^ w[i-1]`` with
+no S-box.  For a true (block, key) pair these linear relations XOR to
+zero, and since descrambling is itself an XOR, each relation splits
+into *(function of scrambled block) == (same function of key)*.  We
+therefore compute a 12-byte fingerprint per (block, offset) and per
+(key, offset) and hash-join them: only joined pairs — true schedule
+blocks plus a vanishing number of 2^-96 collisions — ever reach the
+full S-box verification.  The search drops to O(blocks × offsets +
+keys × offsets) with identical results, playing the role AES-NI plays
+in the paper's implementation.
+
+Decay tolerance: the join is *banded* (any clean 2-byte band of the
+fingerprint matches), verification uses a Hamming budget, and recovery
+escalates through window ballots, neighbour extension, bit repair,
+equation-guided table repair, and whole-region confirmation — see
+``docs/attack-algorithm.md`` for the full walkthrough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.aes import (
+    Rcon,
+    _rot_word,
+    _sub_word,
+    batch_next_round_key,
+    expand_key,
+    extend_schedule_words,
+    rounds_for,
+)
+from repro.dram.image import MemoryImage
+from repro.util.bits import POPCOUNT_TABLE
+from repro.util.blocks import BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class AesVariant:
+    """Search geometry for one AES key size."""
+
+    key_bits: int
+
+    @property
+    def nk(self) -> int:
+        return self.key_bits // 32
+
+    @property
+    def total_words(self) -> int:
+        return 4 * (rounds_for(self.key_bits) + 1)
+
+    @property
+    def window_bytes(self) -> int:
+        """Bytes fed to one expansion step: Nk words."""
+        return 4 * self.nk
+
+    @property
+    def span_bytes(self) -> int:
+        """Window plus the 16 predicted bytes checked against memory."""
+        return self.window_bytes + 16
+
+    @property
+    def window_rounds(self) -> tuple[int, ...]:
+        """Starting rounds r for which a window at word 4r fits the schedule.
+
+        For AES-256 this is r ∈ 0..12 — the paper's "12 possible partial
+        expansions" counts the interior starting positions; we also test
+        the r = 0 window that begins at the raw key itself.
+        """
+        max_r = (self.total_words - self.window_bytes // 4 - 4) // 4
+        return tuple(range(max_r + 1))
+
+    def phases(self) -> tuple[int, ...]:
+        """Distinct values of (4r mod Nk) over the valid rounds.
+
+        AES-128/256 round-aligned windows all share phase 0; AES-192's
+        Nk = 6 stride cycles through phases 0, 4, 2, each with its own
+        set of linear relations.
+        """
+        return tuple(sorted({(4 * r) % self.nk for r in self.window_rounds}))
+
+    def rounds_with_phase(self, phase: int) -> tuple[int, ...]:
+        return tuple(r for r in self.window_rounds if (4 * r) % self.nk == phase)
+
+
+def _linear_relation_offsets(nk: int, phase: int) -> tuple[tuple[int, int, int], ...]:
+    """Byte-offset triples (a, b, c) with x[a:a+4]^x[b:b+4]^x[c:c+4] == 0.
+
+    For a schedule window of Nk words starting at word index j (with
+    j ≡ phase mod Nk), predicted word t (absolute index j+Nk+t) is
+    linear — ``w = w[j+t] ^ w[j+Nk+t-1]`` — whenever the expansion's
+    S-box rule does not fire at that index.
+    """
+    p = 4 * nk  # byte offset where the predicted round key starts
+    relations = []
+    for t in range(4):
+        index_mod = (phase + nk + t) % nk
+        uses_sbox = index_mod == 0 or (nk > 6 and index_mod == 4)
+        if uses_sbox:
+            continue
+        predicted = p + 4 * t
+        previous = predicted - 4
+        source = 4 * t
+        relations.append((predicted, source, previous))
+    if not relations:
+        raise AssertionError("every phase has at least one linear relation")
+    return tuple(relations)
+
+
+def _fingerprints(span_data: np.ndarray, nk: int, phase: int) -> np.ndarray:
+    """Fingerprint rows of an (N, span) matrix: XOR of the linear relations."""
+    parts = [
+        span_data[:, a : a + 4] ^ span_data[:, b : b + 4] ^ span_data[:, c : c + 4]
+        for a, b, c in _linear_relation_offsets(nk, phase)
+    ]
+    return np.concatenate(parts, axis=1)
+
+
+@dataclass(frozen=True)
+class ScheduleHit:
+    """One verified (block, scrambler key, offset, round) schedule sighting."""
+
+    block_index: int
+    key_index: int
+    offset: int
+    round_index: int
+    mismatch_bits: int
+    key_bits: int
+
+    @property
+    def table_base(self) -> int:
+        """Image byte offset where this hit says the schedule begins.
+
+        Round keys are 16 bytes apart, so every window of one in-memory
+        schedule agrees on the base — hits are grouped by it.
+        """
+        return self.block_index * BLOCK_SIZE + self.offset - 16 * self.round_index
+
+
+@dataclass(frozen=True)
+class RecoveredAesKey:
+    """A master key reconstructed and confirmed from one in-memory schedule."""
+
+    master_key: bytes
+    key_bits: int
+    #: Number of observed schedule windows consistent with this key.
+    votes: int
+    first_block_index: int
+    #: Fraction of the full schedule region's bits matching this key's
+    #: expansion (1.0 = perfect; decay costs a few percent), measured
+    #: over the blocks whose scrambler keys were available.
+    match_fraction: float
+    #: Agreement over the *entire* region, counting key-less blocks as
+    #: zero agreement — the cross-candidate comparison metric: a true
+    #: key explains every scoreable block, while a shifted near-copy
+    #: explains only the stretch around its window.
+    region_agreement: float
+    hits: tuple[ScheduleHit, ...]
+
+    @property
+    def schedule(self) -> bytes:
+        """The full expanded schedule this key produces."""
+        return expand_key(self.master_key)
+
+
+def _t_inverse_step(words: list[int], first_index: int, nk: int) -> int:
+    """Compute schedule word ``first_index - 1`` from the Nk-word window.
+
+    Inverts ``w[i] = w[i-Nk] ^ T_i(w[i-1])`` at i = first_index+Nk-1,
+    where both w[i] and w[i-1] sit inside the window.
+    """
+    i = first_index + nk - 1
+    temp = words[-2]
+    if i % nk == 0:
+        temp = _sub_word(_rot_word(temp)) ^ (Rcon(i // nk) << 24)
+    elif nk > 6 and i % nk == 4:
+        temp = _sub_word(temp)
+    return words[-1] ^ temp
+
+
+def _t_forward(word: int, index: int, nk: int) -> int:
+    """The expansion transform T applied to the previous word at ``index``."""
+    if index % nk == 0:
+        return _sub_word(_rot_word(word)) ^ (Rcon(index // nk) << 24)
+    if nk > 6 and index % nk == 4:
+        return _sub_word(word)
+    return word
+
+
+def repair_observed_table(
+    table: np.ndarray,
+    key_bits: int,
+    max_steps: int = 64,
+    known_bytes: np.ndarray | None = None,
+) -> np.ndarray:
+    """Equation-guided error correction of a decayed schedule image.
+
+    A true expanded schedule satisfies ``w[i] = w[i-Nk] ^ T_i(w[i-1])``
+    for every word; bit decay breaks individual equations, and each
+    violation's XOR residue pinpoints the flipped bits *if* the error
+    sits in one of the equation's linear operands.  Greedy repair: for
+    each violated equation, try crediting the residue to ``w[i]`` or
+    ``w[i-Nk]`` and keep any change that lowers the total violation
+    count.  Errors feeding an S-box input are left alone (flipping by
+    the residue would not satisfy neighbouring equations, so the greedy
+    step rejects it) — the window-ballot machinery picks those up.
+
+    This is the algorithmic form of the paper's observation that
+    "multiple contiguous blocks will pass this check", i.e. that the
+    schedule's redundancy pays for decay tolerance.
+    """
+    variant = AesVariant(key_bits)
+    nk = variant.nk
+    n_words = len(table) // 4
+    if n_words < nk + 1:
+        return table
+    words = [
+        int.from_bytes(bytes(table[4 * i : 4 * i + 4]), "big") for i in range(n_words)
+    ]
+    if known_bytes is None:
+        word_known = [True] * n_words
+    else:
+        word_known = [bool(known_bytes[4 * i : 4 * i + 4].all()) for i in range(n_words)]
+
+    def violations(ws: list[int]) -> dict[int, int]:
+        out = {}
+        for i in range(nk, n_words):
+            # Equations touching guess-filled (unknown) words carry no
+            # information about the observed bytes; skip them.
+            if not (word_known[i] and word_known[i - nk] and word_known[i - 1]):
+                continue
+            residue = ws[i] ^ ws[i - nk] ^ _t_forward(ws[i - 1], i, nk)
+            if residue:
+                out[i] = residue
+        return out
+
+    def residue_weight(ws: list[int]) -> int:
+        """Total popcount of all residues — the repair's objective.
+
+        Popcount (not violation count) discriminates: a *correct* credit
+        simultaneously clears every equation the flipped bits touch,
+        while a wrong credit merely shuffles residue bits around.
+        """
+        return sum(bin(v).count("1") for v in violations(ws).values())
+
+    for _ in range(max_steps):
+        current = violations(words)
+        if not current:
+            break
+        base_weight = residue_weight(words)
+        best_trial = None
+        best_weight = base_weight
+        for i, residue in current.items():
+            # Hypothesis A/B: the error lives in a linear operand, so the
+            # residue itself is the correction.
+            for target in (i, i - nk):
+                trial = words.copy()
+                trial[target] ^= residue
+                weight = residue_weight(trial)
+                if weight < best_weight:
+                    best_weight = weight
+                    best_trial = trial
+            # Hypothesis C: the error feeds the S-box input w[i-1]; a
+            # single-bit flip there can zero the residue nonlinearly.
+            uses_sbox = (i % nk == 0) or (nk > 6 and i % nk == 4)
+            if uses_sbox:
+                for bit in range(32):
+                    trial = words.copy()
+                    trial[i - 1] ^= 1 << bit
+                    weight = residue_weight(trial)
+                    if weight < best_weight:
+                        best_weight = weight
+                        best_trial = trial
+        if best_trial is None:
+            break
+        words = best_trial
+    return np.frombuffer(
+        b"".join(w.to_bytes(4, "big") for w in words), dtype=np.uint8
+    ).copy()
+
+
+def reconstruct_schedule(window: list[int], first_index: int, key_bits: int) -> bytes:
+    """Rebuild the full schedule from Nk consecutive words at any position.
+
+    Runs the expansion recurrence backwards to word 0, then forwards to
+    the end.  This subsumes the paper's boundary step ("check blocks at
+    the boundaries to extract any remaining bytes that are part of the
+    key"): bytes of rounds that precede the hit window fall out of the
+    backward recurrence.
+    """
+    variant = AesVariant(key_bits)
+    nk = variant.nk
+    if len(window) != nk:
+        raise ValueError(f"window must hold {nk} words")
+    if first_index < 0 or first_index + nk > variant.total_words:
+        raise ValueError("window does not fit the schedule")
+    words = list(window)
+    index = first_index
+    while index > 0:
+        previous = _t_inverse_step(words, index, nk)
+        words = [previous] + words[:-1]
+        index -= 1
+    head = list(words)
+    tail = extend_schedule_words(head, 0, variant.total_words - nk, nk)
+    return b"".join(w.to_bytes(4, "big") for w in head + tail)
+
+
+class AesKeySearch:
+    """Scan a scrambled dump for AES schedules, given candidate keys.
+
+    ``keys`` is a list of 64-byte candidate scrambler keys (or an
+    ``(k, 64)`` uint8 matrix), typically from
+    :func:`repro.attack.keymine.mine_scrambler_keys`.  Passing a single
+    all-zero key degrades the search to the classic Halderman scan over
+    unscrambled memory.
+    """
+
+    def __init__(
+        self,
+        keys: list[bytes] | np.ndarray,
+        key_bits: int = 256,
+        verify_tolerance_bits: int = 16,
+        offsets: tuple[int, ...] | None = None,
+        extension_radius_blocks: int = 6,
+        accept_mismatch_fraction: float = 0.05,
+        repair_bits: int = 1,
+    ) -> None:
+        if isinstance(keys, np.ndarray):
+            matrix = np.asarray(keys, dtype=np.uint8)
+        else:
+            if not keys:
+                raise ValueError("need at least one candidate scrambler key")
+            matrix = np.vstack([np.frombuffer(bytes(k), dtype=np.uint8) for k in keys])
+        if matrix.ndim != 2 or matrix.shape[1] != BLOCK_SIZE or matrix.shape[0] == 0:
+            raise ValueError(f"keys must form a non-empty (k, 64) matrix, got {matrix.shape}")
+        self.keys = matrix
+        self.variant = AesVariant(key_bits)
+        if verify_tolerance_bits < 0:
+            raise ValueError("tolerances must be non-negative")
+        self.verify_tolerance_bits = verify_tolerance_bits
+        max_offset = BLOCK_SIZE - self.variant.span_bytes
+        #: Byte offsets scanned within each block.  Round keys recur
+        #: every 16 bytes, so 0..16 already covers every possible table
+        #: alignment; shorter variants (AES-128's 32-byte span) scan all
+        #: the offsets that fit, doubling the windows per schedule and
+        #: with them the decay resilience.
+        self.offsets = offsets if offsets is not None else tuple(range(min(32, max_offset + 1)))
+        if any(o < 0 or o > max_offset for o in self.offsets):
+            raise ValueError(f"offsets must lie in 0..{max_offset}")
+        if not 0.0 < accept_mismatch_fraction < 0.5:
+            raise ValueError("accept_mismatch_fraction must lie in (0, 0.5)")
+        if extension_radius_blocks < 0 or repair_bits < 0:
+            raise ValueError("extension radius and repair bits must be non-negative")
+        #: Blocks around a seed hit re-verified without the fingerprint
+        #: prefilter (the paper's step 3 "repeat on neighbouring blocks").
+        self.extension_radius_blocks = extension_radius_blocks
+        #: A candidate key is accepted when at most this fraction of the
+        #: full schedule region's bits disagree with its expansion.
+        self.accept_mismatch_fraction = accept_mismatch_fraction
+        #: Decay repair: windows are retried with up to this many bit
+        #: flips when no pristine window reconstructs a consistent key.
+        self.repair_bits = repair_bits
+
+    # ------------------------------------------------------------- matching
+
+    def _candidate_pairs(
+        self, blocks: np.ndarray, offset: int, phase: int
+    ) -> list[tuple[int, int]]:
+        """Fingerprint-join blocks against keys at one (offset, phase).
+
+        The join is *banded* for decay tolerance: the fingerprint splits
+        into 2-byte bands (two per linear relation), and a (block, key)
+        pair is a candidate when **any** band matches exactly.  A flipped
+        bit corrupts only the band(s) whose source bytes it touches, so
+        a window survives the join unless every band decayed — even at
+        ~2 % combined error (dump decay plus candidate-key noise) most
+        true windows keep at least one clean band.  Per-band false
+        positives arrive at rate 2^-16 per (block, key) pair — a small,
+        bounded stream of junk that dies in verification.
+        """
+        span = self.variant.span_bytes
+        nk = self.variant.nk
+        block_fp = _fingerprints(blocks[:, offset : offset + span], nk, phase)
+        key_fp = _fingerprints(self.keys[:, offset : offset + span], nk, phase)
+        n_bands = block_fp.shape[1] // 2
+
+        # View each 2-byte band as one uint16 for dict-friendly hashing.
+        block_bands = block_fp.reshape(-1, n_bands, 2).copy().view(np.uint16).reshape(-1, n_bands)
+        key_bands = key_fp.reshape(-1, n_bands, 2).copy().view(np.uint16).reshape(-1, n_bands)
+
+        pairs: set[tuple[int, int]] = set()
+        for band in range(n_bands):
+            key_lookup: dict[int, list[int]] = {}
+            for k, value in enumerate(key_bands[:, band].tolist()):
+                key_lookup.setdefault(value, []).append(k)
+            for b, value in enumerate(block_bands[:, band].tolist()):
+                hit_keys = key_lookup.get(value)
+                if hit_keys is not None:
+                    pairs.update((b, k) for k in hit_keys)
+        return sorted(pairs)
+
+    def _verify_pairs(
+        self,
+        blocks: np.ndarray,
+        pairs: list[tuple[int, int]],
+        offset: int,
+        phase: int,
+        tolerance_bits: int | None = None,
+    ) -> list[ScheduleHit]:
+        """Full S-box verification of joined pairs at every compatible round."""
+        if not pairs:
+            return []
+        tolerance = self.verify_tolerance_bits if tolerance_bits is None else tolerance_bits
+        variant = self.variant
+        nk = variant.nk
+        pair_array = np.asarray(pairs, dtype=np.int64)
+        data = (
+            blocks[pair_array[:, 0], offset : offset + variant.span_bytes]
+            ^ self.keys[pair_array[:, 1], offset : offset + variant.span_bytes]
+        )
+        window = data[:, : variant.window_bytes]
+        check = data[:, variant.window_bytes :]
+        hits: list[ScheduleHit] = []
+        # Every passing round is kept: odd-round expansion steps are
+        # Rcon-free and therefore locally indistinguishable from each
+        # other, so a window can legitimately match several rounds.  The
+        # table-base grouping in recover_keys() — every window of one
+        # schedule must agree on where the table starts — plus the
+        # full-region confirmation resolve the ambiguity.
+        for round_index in variant.rounds_with_phase(phase):
+            predicted = batch_next_round_key(window, nk=nk, first_word_index=4 * round_index)
+            mismatch = POPCOUNT_TABLE[predicted ^ check].sum(axis=1, dtype=np.int64)
+            for row in np.nonzero(mismatch <= tolerance)[0]:
+                hits.append(
+                    ScheduleHit(
+                        block_index=int(pair_array[row, 0]),
+                        key_index=int(pair_array[row, 1]),
+                        offset=offset,
+                        round_index=round_index,
+                        mismatch_bits=int(mismatch[row]),
+                        key_bits=variant.key_bits,
+                    )
+                )
+        return hits
+
+    # -------------------------------------------------------------- scanning
+
+    def find_hits(self, image: MemoryImage) -> list[ScheduleHit]:
+        """All verified schedule sightings in the image."""
+        blocks = image.blocks_matrix()
+        hits: list[ScheduleHit] = []
+        for offset in self.offsets:
+            for phase in self.variant.phases():
+                pairs = self._candidate_pairs(blocks, offset, phase)
+                hits.extend(self._verify_pairs(blocks, pairs, offset, phase))
+        hits.sort(key=lambda h: (h.block_index, h.offset, h.round_index))
+        return hits
+
+    # ------------------------------------------------------------- recovery
+
+    def _extend_hits(self, blocks: np.ndarray, seeds: list[ScheduleHit]) -> list[ScheduleHit]:
+        """Re-verify blocks around seed hits without the fingerprint filter.
+
+        The exact fingerprint join misses windows whose relation bytes
+        decayed; the paper's neighbour walk (step 3) recovers them with
+        the Hamming-tolerant verification alone, which is affordable on
+        the small neighbourhoods of confirmed hits.
+        """
+        n_blocks, n_keys = blocks.shape[0], self.keys.shape[0]
+        radius = self.extension_radius_blocks
+        interesting = sorted(
+            {
+                b
+                for hit in seeds
+                for b in range(max(0, hit.block_index - radius), min(n_blocks, hit.block_index + radius + 1))
+            }
+        )
+        pairs = [(b, k) for b in interesting for k in range(n_keys)]
+        extended: list[ScheduleHit] = []
+        for offset in self.offsets:
+            for phase in self.variant.phases():
+                extended.extend(self._verify_pairs(blocks, pairs, offset, phase))
+        return extended
+
+    def _window_candidates(
+        self, span: np.ndarray, round_index: int, repair_bits: int
+    ) -> list[bytes]:
+        """Master-key ballots from one descrambled window (+ bit repairs)."""
+        window = span[: self.variant.window_bytes]
+        masters: list[bytes] = []
+        repairs = [()] if repair_bits == 0 else [(), *((bit,) for bit in range(len(window) * 8))]
+        for flips in repairs:
+            candidate = window.copy()
+            for bit in flips:
+                candidate[bit // 8] ^= 0x80 >> (bit % 8)
+            words = [
+                int.from_bytes(candidate[4 * i : 4 * i + 4].tobytes(), "big")
+                for i in range(self.variant.nk)
+            ]
+            try:
+                schedule = reconstruct_schedule(words, 4 * round_index, self.variant.key_bits)
+            except ValueError:
+                continue
+            masters.append(schedule[: self.variant.key_bits // 8])
+        return masters
+
+    def _span_score(self, expansion: np.ndarray, spans: list[tuple[int, np.ndarray]]) -> int:
+        """Total Hamming distance between an expansion and observed windows."""
+        score = 0
+        for round_index, span in spans:
+            expected = expansion[16 * round_index : 16 * round_index + len(span)]
+            score += int(POPCOUNT_TABLE[expected ^ span].sum())
+        return score
+
+    def _region_mismatch(
+        self, blocks: np.ndarray, base: int, expansion: np.ndarray
+    ) -> tuple[int, int]:
+        """(mismatch bits, counted bits) of the full schedule region.
+
+        For every block the schedule overlaps, the best candidate key is
+        chosen (the attacker does not know neighbouring blocks' keys up
+        front); a true schedule matches up to decay, while a false
+        positive finds no key that makes random bytes match.
+
+        Blocks for which *no* candidate key comes close (best mismatch
+        above ~35 %) are treated as "scrambler key not in the pool" and
+        excluded from the score rather than counted against it — the
+        miner cannot expose a key whose index never held a zero page.
+        At least half the region must remain scoreable, or the candidate
+        is rejected outright.
+        """
+        length = len(expansion)
+        first = base // BLOCK_SIZE
+        last = (base + length - 1) // BLOCK_SIZE
+        if first < 0 or last >= blocks.shape[0]:
+            return (8 * length, 8 * length)  # runs off the image: reject
+        mismatch = 0
+        counted_bits = 0
+        for b in range(first, last + 1):
+            lo = max(base, b * BLOCK_SIZE)
+            hi = min(base + length, (b + 1) * BLOCK_SIZE)
+            expected = expansion[lo - base : hi - base]
+            observed = blocks[b, lo - b * BLOCK_SIZE : hi - b * BLOCK_SIZE]
+            per_key = POPCOUNT_TABLE[
+                (observed ^ self.keys[:, lo - b * BLOCK_SIZE : hi - b * BLOCK_SIZE]) ^ expected
+            ].sum(axis=1, dtype=np.int64)
+            best = int(per_key.min())
+            slice_bits = 8 * (hi - lo)
+            if best > 0.35 * slice_bits:
+                continue  # this block's key was never mined; skip it
+            mismatch += best
+            counted_bits += slice_bits
+        if counted_bits < 4 * length:  # less than half the region scoreable
+            return (8 * length, 8 * length)
+        return (mismatch, counted_bits)
+
+    def _observed_table(
+        self, blocks: np.ndarray, base: int, guess: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Descramble the full schedule region using per-block best keys.
+
+        ``guess`` (an expansion that is at least mostly right) selects
+        each overlapping block's scrambler key by minimum mismatch; the
+        concatenated descrambled slices are the schedule as it actually
+        survived in the dump — true schedule bytes plus decay.
+
+        Returns ``(table, known)`` where ``known`` marks bytes whose
+        block had a plausible candidate key.  Blocks with no close key
+        (their index never exposed a zero page — which happens when the
+        key table itself overwrote the only zero page of its index) are
+        filled from the guess and marked unknown, so the ballot and
+        repair stages never trust them.
+        """
+        length = len(guess)
+        first = base // BLOCK_SIZE
+        last = (base + length - 1) // BLOCK_SIZE
+        if first < 0 or last >= blocks.shape[0]:
+            return None
+        pieces = []
+        known_pieces = []
+        for b in range(first, last + 1):
+            lo = max(base, b * BLOCK_SIZE)
+            hi = min(base + length, (b + 1) * BLOCK_SIZE)
+            observed = blocks[b, lo - b * BLOCK_SIZE : hi - b * BLOCK_SIZE]
+            per_key = POPCOUNT_TABLE[
+                (observed ^ self.keys[:, lo - b * BLOCK_SIZE : hi - b * BLOCK_SIZE])
+                ^ guess[lo - base : hi - base]
+            ].sum(axis=1, dtype=np.int64)
+            best = int(per_key.min())
+            if best > 0.35 * 8 * (hi - lo):
+                pieces.append(guess[lo - base : hi - base].copy())
+                known_pieces.append(np.zeros(hi - lo, dtype=bool))
+            else:
+                pieces.append(
+                    observed
+                    ^ self.keys[int(per_key.argmin()), lo - b * BLOCK_SIZE : hi - b * BLOCK_SIZE]
+                )
+                known_pieces.append(np.ones(hi - lo, dtype=bool))
+        return np.concatenate(pieces), np.concatenate(known_pieces)
+
+    def _recover_from_group(
+        self, blocks: np.ndarray, base: int, group: list[ScheduleHit]
+    ) -> RecoveredAesKey | None:
+        """Reconstruct, repair, and confirm one schedule's master key."""
+        variant = self.variant
+        spans: list[tuple[int, np.ndarray]] = []
+        for hit in group:
+            span = (
+                blocks[hit.block_index, hit.offset : hit.offset + variant.span_bytes]
+                ^ self.keys[hit.key_index, hit.offset : hit.offset + variant.span_bytes]
+            )
+            spans.append((hit.round_index, span))
+
+        # Ballots from pristine windows first; bit-repaired ballots only
+        # when no pristine window survives the full-region confirmation.
+        group_sorted = sorted(zip(group, spans), key=lambda item: item[0].mismatch_bits)
+        best_master: bytes | None = None
+        best_fraction = 1.0
+
+        best_agreement = 0.0
+        schedule_bits = 8 * 4 * variant.total_words
+
+        def consider(ballots: list[tuple[bytes, int]]) -> None:
+            """Region-confirm the span-score-ranked ballots."""
+            nonlocal best_master, best_fraction, best_agreement
+            for master, _span_score in sorted(ballots, key=lambda item: item[1])[:8]:
+                expansion = np.frombuffer(expand_key(master), dtype=np.uint8)
+                mismatch, counted_bits = self._region_mismatch(blocks, base, expansion)
+                fraction = mismatch / counted_bits
+                if fraction < best_fraction:
+                    best_fraction = fraction
+                    best_agreement = max(0.0, (counted_bits - mismatch) / schedule_bits)
+                    best_master = master
+
+        # A ballot is "clearly clean" when its expansion disagrees with
+        # the dump only at decay-plausible rates; anything worse keeps
+        # the escalation going even if it would pass the final gate,
+        # because a near-miss reconstruction (wrong by a few window
+        # bits) can still sit a few percent off.
+        clearly_clean = min(0.02, self.accept_mismatch_fraction)
+
+        for repair in range(self.repair_bits + 1):
+            scored: dict[bytes, int] = {}
+            for hit, (round_index, span) in group_sorted:
+                for master in self._window_candidates(span, round_index, repair):
+                    if master not in scored:
+                        expansion = np.frombuffer(expand_key(master), dtype=np.uint8)
+                        scored[master] = self._span_score(expansion, spans)
+            consider(list(scored.items()))
+            if best_master is not None and best_fraction <= clearly_clean:
+                break
+
+        if best_master is not None and best_fraction > clearly_clean:
+            # Iterative rescue: the best ballot so far is mostly right;
+            # use it to descramble the whole table region, then ballot
+            # from *every* round-aligned window of the observed table —
+            # windows the hit scan never saw — with bit repairs.  Any
+            # window that survived decay (or is one repair away from it)
+            # reconstructs the true key, whose region mismatch is
+            # strictly lower than any near-miss's, so the running
+            # minimum converges on it.  The guess is refreshed between
+            # iterations since a better guess picks better per-block keys.
+            for _iteration in range(3):
+                before = best_fraction
+                guess = np.frombuffer(expand_key(best_master), dtype=np.uint8)
+                observed = self._observed_table(blocks, base, guess)
+                if observed is None:
+                    break
+                table, known = observed
+                table = repair_observed_table(table, variant.key_bits, known_bytes=known)
+                for repair in range(self.repair_bits + 1):
+                    scored = {}
+                    for round_index in range(0, (variant.total_words - variant.nk) // 4 + 1):
+                        lo = 16 * round_index
+                        window = table[lo : lo + variant.window_bytes]
+                        if len(window) < variant.window_bytes:
+                            break
+                        if not known[lo : lo + variant.window_bytes].all():
+                            continue  # never ballot from guess-filled bytes
+                        for master in self._window_candidates(window, round_index, repair):
+                            if master not in scored:
+                                expansion = np.frombuffer(expand_key(master), dtype=np.uint8)
+                                scored[master] = int(
+                                    POPCOUNT_TABLE[(expansion ^ table)[known]].sum()
+                                )
+                    consider(list(scored.items()))
+                    if best_fraction <= clearly_clean:
+                        break
+                if best_fraction <= clearly_clean or best_fraction >= before:
+                    break
+
+        if best_master is None or best_fraction > self.accept_mismatch_fraction:
+            return None
+        expansion = np.frombuffer(expand_key(best_master), dtype=np.uint8)
+        votes = sum(
+            1
+            for round_index, span in spans
+            if int(
+                POPCOUNT_TABLE[
+                    expansion[16 * round_index : 16 * round_index + len(span)] ^ span
+                ].sum()
+            )
+            <= self.accept_mismatch_fraction * 8 * len(span)
+        )
+        return RecoveredAesKey(
+            master_key=best_master,
+            key_bits=variant.key_bits,
+            votes=votes,
+            first_block_index=min(h.block_index for h in group),
+            match_fraction=1.0 - best_fraction,
+            region_agreement=best_agreement,
+            hits=tuple(sorted(group, key=lambda h: (h.block_index, h.offset))),
+        )
+
+    def recover_at_base(
+        self, image: MemoryImage, base: int, loose_tolerance_bits: int = 40
+    ) -> RecoveredAesKey | None:
+        """Targeted recovery when the table's location is already known.
+
+        Used for second chances — e.g. an XTS volume's tweak schedule
+        sits exactly one schedule length after its recovered primary.
+        With the base fixed, verification can afford a much looser
+        Hamming budget (a wrong key's predicted-vs-check distance is
+        binomial around half the check bits, so even 40 of 128 bits
+        admits random junk at ~1e-5), giving heavily decayed windows a
+        chance to seed the ballot/repair machinery.
+        """
+        if base < 0:
+            return None
+        blocks = image.blocks_matrix()
+        variant = self.variant
+        schedule_len = 4 * variant.total_words
+        first = base // BLOCK_SIZE
+        last = (base + schedule_len - 1) // BLOCK_SIZE
+        if first < 0 or last >= blocks.shape[0]:
+            return None
+        pairs = [
+            (b, k)
+            for b in range(first, last + 1)
+            for k in range(self.keys.shape[0])
+        ]
+        hits: list[ScheduleHit] = []
+        for offset in self.offsets:
+            for phase in variant.phases():
+                for hit in self._verify_pairs(
+                    blocks, pairs, offset, phase, tolerance_bits=loose_tolerance_bits
+                ):
+                    if hit.table_base == base:
+                        hits.append(hit)
+        if not hits:
+            return None
+        return self._recover_from_group(blocks, base, hits)
+
+    def _competitive_overlap_filter(
+        self, recovered: list[RecoveredAesKey]
+    ) -> list[RecoveredAesKey]:
+        """Among overlapping inferred tables, keep only the best-agreeing.
+
+        A window cut from mid-schedule at a wrong (odd, Rcon-free) round
+        produces a shifted near-copy of the true schedule at a base
+        ±32k bytes away; its expansion still matches the stretch around
+        its window, so it can sneak past an absolute threshold.  The
+        true reconstruction of the same memory region always agrees
+        with strictly more of it, so overlapping candidates compete on
+        whole-region agreement and the winner takes the region.
+        """
+        if len(recovered) < 2:
+            return recovered
+        schedule_len = 4 * self.variant.total_words
+        # Greedy interval selection by agreement: strongest candidates
+        # claim their regions first; anything overlapping a claimed
+        # region is a shifted alias and drops.  (Chained clustering
+        # would wrongly merge two *adjacent* true schedules through the
+        # aliases between them — e.g. an XTS pair.)
+        ordered = sorted(
+            recovered, key=lambda r: (-r.region_agreement, -r.votes, r.hits[0].table_base)
+        )
+        kept: list[RecoveredAesKey] = []
+        claimed: list[tuple[int, int]] = []
+        for result in ordered:
+            base = result.hits[0].table_base
+            interval = (base, base + schedule_len)
+            if any(lo < interval[1] and interval[0] < hi for lo, hi in claimed):
+                continue
+            kept.append(result)
+            claimed.append(interval)
+        kept.sort(key=lambda r: r.hits[0].table_base)
+        return kept
+
+    def recover_keys(self, image: MemoryImage) -> list[RecoveredAesKey]:
+        """Locate every schedule, reconstruct its master key, confirm it.
+
+        Steps 2–4 of §III-C with decay hardening: seed hits come from the
+        fingerprint-joined scan; neighbourhoods of seeds are re-verified
+        tolerantly; every window of a schedule casts a reconstruction
+        ballot (optionally with single-bit repairs); the ballot whose
+        expansion best explains *all* observed windows wins; and the
+        winner must match the full schedule region in the dump.
+        """
+        blocks = image.blocks_matrix()
+        hits = self.find_hits(image)
+        if hits and self.extension_radius_blocks:
+            merged = {(h.block_index, h.key_index, h.offset, h.round_index): h for h in hits}
+            for hit in self._extend_hits(blocks, hits):
+                merged.setdefault(
+                    (hit.block_index, hit.key_index, hit.offset, hit.round_index), hit
+                )
+            hits = list(merged.values())
+        groups: dict[int, list[ScheduleHit]] = {}
+        for hit in hits:
+            if hit.table_base >= 0:
+                groups.setdefault(hit.table_base, []).append(hit)
+        recovered = []
+        for base in sorted(groups):
+            result = self._recover_from_group(blocks, base, groups[base])
+            if result is not None:
+                recovered.append(result)
+        recovered = self._competitive_overlap_filter(recovered)
+        # One schedule can surface under several nearby bases if decay
+        # spoofs an extra window; keep the best-confirmed per master key.
+        unique: dict[bytes, RecoveredAesKey] = {}
+        for result in recovered:
+            kept = unique.get(result.master_key)
+            if kept is None or (result.votes, result.match_fraction) > (kept.votes, kept.match_fraction):
+                unique[result.master_key] = result
+        final = list(unique.values())
+        final.sort(key=lambda r: (-r.votes, -r.match_fraction, r.first_block_index))
+        return final
+
+
+def exhaustive_hits(
+    image: MemoryImage,
+    keys: list[bytes] | np.ndarray,
+    key_bits: int = 256,
+    verify_tolerance_bits: int = 16,
+    offsets: tuple[int, ...] | None = None,
+) -> list[ScheduleHit]:
+    """Reference search: verify every (block, key, offset, round) directly.
+
+    This is the paper's literal algorithm (feasible there thanks to
+    AES-NI).  Exponentially slower than :class:`AesKeySearch` but with
+    no fingerprint stage — used by the tests to validate that the
+    fingerprint join loses nothing, and by benchmarks to measure the
+    speedup.
+    """
+    searcher = AesKeySearch(
+        keys, key_bits, verify_tolerance_bits, offsets=offsets
+    )
+    variant = searcher.variant
+    blocks = image.blocks_matrix()
+    n_blocks, n_keys = blocks.shape[0], searcher.keys.shape[0]
+    all_pairs = [(b, k) for b in range(n_blocks) for k in range(n_keys)]
+    hits: list[ScheduleHit] = []
+    for offset in searcher.offsets:
+        for phase in variant.phases():
+            hits.extend(searcher._verify_pairs(blocks, all_pairs, offset, phase))
+    hits.sort(key=lambda h: (h.block_index, h.offset, h.round_index))
+    return hits

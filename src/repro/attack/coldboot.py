@@ -1,0 +1,103 @@
+"""Physical cold-boot procedures (§III-A): the freeze-and-transfer moves.
+
+Two procedures from the paper:
+
+* :func:`cold_boot_transfer` — the attack proper: freeze the victim's
+  DIMM with a gas duster, cut power, pull the module, carry it to the
+  attacker's machine, socket it, boot, and dump memory with the
+  bare-metal dumper.  The dump passes through the *attacker's* scrambler
+  too; the litmus tests tolerate that (the attacker "does not require a
+  machine with a disabled scrambler").
+* :func:`reverse_cold_boot` — the analysis procedure used to extract
+  scrambler keys in the first place: write known plaintext (zeros, or
+  the module's decayed ground state) *around* the scrambler, then read
+  it back *through* the scrambler, which hands you the keys directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.image import MemoryImage
+from repro.dram.retention import DUSTER_TEMPERATURE_C, TRANSFER_SECONDS
+from repro.victim.machine import Machine
+
+
+@dataclass(frozen=True)
+class TransferConditions:
+    """How the module travels between machines."""
+
+    temperature_c: float = DUSTER_TEMPERATURE_C
+    transfer_seconds: float = TRANSFER_SECONDS
+    #: Seconds between the duster spray and the power cut (the module is
+    #: still refreshed during this window, so it does not decay).
+    spray_to_poweroff_seconds: float = 1.0
+
+
+def cold_boot_transfer(
+    victim: Machine,
+    attacker: Machine,
+    conditions: TransferConditions | None = None,
+    channel: int = 0,
+) -> MemoryImage:
+    """Execute a cold boot attack; returns the attacker's memory dump.
+
+    The victim is powered (e.g. locked or sleeping) with secrets in RAM.
+    The returned image is what the attacker's bare-metal dumper reads —
+    the victim's raw cells passed through the attacker's *own* live
+    descrambler, i.e. double-scrambled data.
+    """
+    conditions = conditions or TransferConditions()
+    if not victim.powered:
+        raise RuntimeError("cold boot attacks target a live (locked/suspended) machine")
+    victim_module = victim.modules.get(channel)
+    if victim_module is None:
+        raise RuntimeError(f"victim has no module in channel {channel}")
+
+    # Freeze, cut power, pull the module.  Decay accrues from power-off.
+    victim_module.set_temperature(conditions.temperature_c)
+    victim.shutdown()
+    frozen = victim.remove_module(channel)
+    frozen.advance_time(conditions.transfer_seconds)
+
+    # Socket into the attacker's machine and boot it.
+    if attacker.powered:
+        attacker.shutdown()
+    if attacker.modules.get(channel) is not None:
+        attacker.remove_module(channel)
+    attacker.install_module(frozen, channel)
+    attacker.boot()
+    return attacker.bare_metal_dump()
+
+
+def reverse_cold_boot(machine: Machine, use_ground_state: bool = False) -> MemoryImage:
+    """Extract a machine's scrambler keystream via the reverse procedure.
+
+    Injects known plaintext *around* the scrambler — all zeros via the
+    FPGA-style raw-write path, or (``use_ground_state=True``) the
+    module's fully decayed ground state, profiled beforehand with the
+    scrambler disabled, which "avoids worrying about bit decay in the
+    midst of the experiment" — then reads memory back *through* the
+    scrambler.  Since known ⊕ key ⊕ known = key, the returned image is
+    the scrambler keystream: block ``i`` is the key scrambling block
+    ``i``.
+    """
+    if not machine.powered:
+        raise RuntimeError("machine must be running to read through its scrambler")
+    for module in machine.modules.values():
+        if module is None:
+            raise RuntimeError("all channels need modules installed")
+
+    if use_ground_state:
+        # Profiling stage: observe the decayed state with scrambling off.
+        for module in machine.modules.values():
+            module.decay_to_ground()
+        machine.set_transform_enabled(False)
+        profile = machine.bare_metal_dump()
+        machine.set_transform_enabled(True)
+        through_scrambler = machine.bare_metal_dump()
+        return through_scrambler.xor(profile)
+
+    for module in machine.modules.values():
+        module.fill(0)
+    return machine.bare_metal_dump()

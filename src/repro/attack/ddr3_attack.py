@@ -1,0 +1,96 @@
+"""The DDR3 baseline attacks (§II-C; Bauer et al. 2016).
+
+Two properties make scrambled DDR3 memory easy prey:
+
+* only 16 keys exist per channel, and zero blocks are so common that
+  plain **frequency analysis** of 64-byte block values surfaces all of
+  them;
+* seed mixing is separable, so a scrambled image re-read after reboot
+  (through a re-seeded scrambler) is the plaintext XOR'd with a
+  **single universal 64-byte key** — ECB-like, and the universal key is
+  again just the most common block value (zero plaintext ⊕ universal
+  key).
+
+Both are implemented here, including the full key-recovery attack that
+feeds the 16 mined keys into the same per-block AES search used against
+DDR4 — demonstrating the paper's point that the DDR4 attack strictly
+generalises the DDR3 one.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attack.aes_search import AesKeySearch, RecoveredAesKey
+from repro.dram.image import MemoryImage
+from repro.util.blocks import BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class FrequencyCandidate:
+    """A block value surfaced by frequency analysis."""
+
+    key: bytes
+    count: int
+
+
+def block_frequency_analysis(image: MemoryImage, top_n: int = 16) -> list[FrequencyCandidate]:
+    """The ``top_n`` most common 64-byte block values in a dump.
+
+    On a scrambled DDR3 dump these are the channel's scrambler keys
+    (zero-filled plaintext blocks expose them); on a rebooted re-read
+    the single most common value is the universal key.
+    """
+    if top_n < 1:
+        raise ValueError("top_n must be positive")
+    counts: Counter[bytes] = Counter()
+    data = image.data
+    for i in range(image.n_blocks):
+        counts[data[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE]] += 1
+    return [FrequencyCandidate(value, count) for value, count in counts.most_common(top_n)]
+
+
+def recover_universal_key(reread_image: MemoryImage) -> bytes:
+    """The universal key of a DDR3 dump re-read after reboot.
+
+    The re-read image is plaintext ⊕ U for one fixed U, and the most
+    common plaintext block is zeros, so the most common block value of
+    the re-read image *is* U.
+    """
+    return block_frequency_analysis(reread_image, top_n=1)[0].key
+
+
+def descramble_with_universal_key(reread_image: MemoryImage, universal_key: bytes) -> MemoryImage:
+    """XOR every block with the universal key — full DDR3 descrambling."""
+    if len(universal_key) != BLOCK_SIZE:
+        raise ValueError("universal key must be 64 bytes")
+    blocks = np.frombuffer(reread_image.data, dtype=np.uint8).reshape(-1, BLOCK_SIZE)
+    key = np.frombuffer(universal_key, dtype=np.uint8)
+    return MemoryImage((blocks ^ key).tobytes(), reread_image.base_address)
+
+
+class Ddr3ColdBootAttack:
+    """Frequency-analysis key mining + the per-block AES search."""
+
+    def __init__(
+        self,
+        key_bits: int = 256,
+        top_keys: int = 16,
+        verify_tolerance_bits: int = 8,
+    ) -> None:
+        self.key_bits = key_bits
+        self.top_keys = top_keys
+        self.verify_tolerance_bits = verify_tolerance_bits
+
+    def run(self, dump: MemoryImage) -> list[RecoveredAesKey]:
+        """Recover AES master keys from a scrambled DDR3 dump."""
+        candidates = block_frequency_analysis(dump, top_n=self.top_keys)
+        search = AesKeySearch(
+            [c.key for c in candidates],
+            key_bits=self.key_bits,
+            verify_tolerance_bits=self.verify_tolerance_bits,
+        )
+        return search.recover_keys(dump)

@@ -1,0 +1,140 @@
+"""The boolean-equation road not taken (§III-B), implemented anyway.
+
+The paper: "While it is possible to setup a system of boolean equations
+using the above expressions and attempt to find candidate solutions for
+the unscrambled text, we have found that approach to be computationally
+intensive.  Instead, we use these expressions as a litmus test..."
+
+This module builds and solves those systems, both to validate the
+litmus shortcut and because the algebra is independently useful:
+
+* :func:`invariant_system` — the §III-B invariants as 512-variable
+  GF(2) constraints on a candidate key block; its nullspace *is* the
+  manifold of litmus-passing blocks, and its dimension (320) quantifies
+  how much structure the invariants impose (192 constraint bits);
+* :func:`solve_key_from_known_plaintext` — the known-plaintext attack
+  as linear algebra: given scrambled blocks and (partial) knowledge of
+  their plaintext, recover the scrambler key bit-by-bit, even when no
+  single block's plaintext is fully known;
+* :func:`consistent_with_invariants` — membership test via the system
+  (slower than, but equivalent to, the litmus test — asserted in the
+  tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attack.litmus import INVARIANT_WORD_OFFSETS, SUB_WORD_OFFSETS
+from repro.util.blocks import BLOCK_SIZE
+from repro.util.gf2 import Gf2Matrix, nullspace_gf2, solve_gf2
+
+#: Bits in one scrambler key block.
+KEY_BITS = 8 * BLOCK_SIZE
+
+
+def _bit_index(byte_offset: int, bit_in_byte: int) -> int:
+    """Column index of a key bit: MSB-first within each byte."""
+    return 8 * byte_offset + bit_in_byte
+
+
+def invariant_system() -> Gf2Matrix:
+    """The §III-B invariants as a GF(2) system over the 512 key bits.
+
+    Each invariant equates two XORs of 2-byte words, i.e. 16 one-bit
+    equations; 4 invariants × 4 sub-words × 16 bits = 256 rows (of rank
+    192 — the invariants are not independent, exactly as the litmus
+    module's derivation notes).
+    """
+    rows = len(SUB_WORD_OFFSETS) * len(INVARIANT_WORD_OFFSETS) * 16
+    system = Gf2Matrix(rows, KEY_BITS)
+    row = 0
+    for base in SUB_WORD_OFFSETS:
+        for a, b, c, d in INVARIANT_WORD_OFFSETS:
+            for byte_pair in range(2):  # the two bytes of the 16-bit word
+                for bit in range(8):
+                    for offset in (a, b, c, d):
+                        system.set(row, _bit_index(base + offset + byte_pair, bit))
+                    row += 1
+    return system
+
+
+def invariant_manifold_dimension() -> int:
+    """Dimension of the space of litmus-passing 64-byte blocks."""
+    return KEY_BITS - invariant_system().rank()
+
+
+def consistent_with_invariants(block: bytes) -> bool:
+    """Check a block against the invariants by evaluating the system.
+
+    Equivalent to ``passes_key_litmus(block, tolerance_bits=0)`` but via
+    the linear-algebra representation.
+    """
+    if len(block) != BLOCK_SIZE:
+        raise ValueError("blocks are 64 bytes")
+    system = invariant_system()
+    bits = np.unpackbits(np.frombuffer(block, dtype=np.uint8))
+    dense = system.to_dense()
+    return not np.any((dense @ bits) & 1)
+
+
+def solve_key_from_known_plaintext(
+    scrambled_blocks: list[bytes],
+    known_plaintext_bits: list[tuple[int, int, int]],
+) -> bytes | None:
+    """Recover a scrambler key from partially known plaintext.
+
+    All ``scrambled_blocks`` must share one scrambler key K (same key
+    index).  ``known_plaintext_bits`` lists ``(block_number, bit_index,
+    value)`` triples: bit ``bit_index`` (MSB-first byte order) of block
+    ``block_number``'s *plaintext* is known to be ``value``.
+
+    Scrambling is ``c = p ^ K``, so each known plaintext bit yields the
+    linear equation ``K[bit] = c[bit] ^ p[bit]``; the §III-B invariants
+    contribute 192 more equations for free.  With enough known bits the
+    system pins down all 512 key bits; returns None when the system is
+    inconsistent (wrong grouping) and raises if underdetermined bits
+    remain ambiguous (callers should add constraints).
+    """
+    if not scrambled_blocks:
+        raise ValueError("need at least one scrambled block")
+    if any(len(b) != BLOCK_SIZE for b in scrambled_blocks):
+        raise ValueError("blocks are 64 bytes")
+
+    base = invariant_system()
+    extra = len(known_plaintext_bits)
+    system = Gf2Matrix(base.n_rows + extra, KEY_BITS)
+    system.rows[: base.n_rows] = base.rows
+    rhs = np.zeros(base.n_rows + extra, dtype=np.uint8)
+
+    cipher_bits = [np.unpackbits(np.frombuffer(b, dtype=np.uint8)) for b in scrambled_blocks]
+    for row, (block_number, bit_index, value) in enumerate(known_plaintext_bits):
+        if not 0 <= block_number < len(scrambled_blocks):
+            raise ValueError(f"block {block_number} out of range")
+        if not 0 <= bit_index < KEY_BITS:
+            raise ValueError(f"bit index {bit_index} out of range")
+        system.set(base.n_rows + row, bit_index)
+        rhs[base.n_rows + row] = (value ^ int(cipher_bits[block_number][bit_index])) & 1
+
+    # Solvability check with uniqueness: free variables mean the caller
+    # did not supply enough known plaintext.
+    solution = solve_gf2(system, rhs)
+    if solution is None:
+        return None
+    if len(nullspace_gf2(system)) > 0:
+        raise ValueError(
+            "key is underdetermined: supply more known plaintext bits "
+            f"(nullspace dimension {len(nullspace_gf2(system))})"
+        )
+    return np.packbits(solution).tobytes()
+
+
+def minimum_known_bits_for_unique_key() -> int:
+    """How many independent known-plaintext bits pin the key uniquely.
+
+    The invariants contribute rank(invariant_system()) equations, so
+    512 − rank more independent constraints are needed — this is why
+    the paper's zero-block observation (a whole known block at once) is
+    so much more practical than hunting scattered known bits.
+    """
+    return KEY_BITS - invariant_system().rank()

@@ -1,0 +1,167 @@
+"""The classic Halderman-style key search over *unscrambled* memory.
+
+This is the 2008 "Lest We Remember" algorithm the paper builds on: a
+window slides across the raw image byte-by-byte; at each position the
+candidate key material is pushed through the AES key-expansion
+recurrence and the prediction is compared (within a Hamming budget, to
+tolerate decay) against the bytes that follow.  It works on DDR/DDR2
+images and on fully descrambled DDR3/DDR4 images, and serves as the
+baseline the per-block scrambled-memory search is measured against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.attack.aes_search import AesVariant, reconstruct_schedule
+from repro.crypto.aes import batch_next_round_key
+from repro.dram.image import MemoryImage
+from repro.util.bits import POPCOUNT_TABLE
+
+
+@dataclass(frozen=True)
+class KeyfindMatch:
+    """One sliding-window schedule sighting in a plaintext image."""
+
+    byte_offset: int
+    round_index: int
+    mismatch_bits: int
+    master_key: bytes
+
+
+def find_aes_keys(
+    image: MemoryImage | bytes,
+    key_bits: int = 256,
+    tolerance_bits: int = 8,
+    chunk_rows: int = 1 << 15,
+    confirm_fraction: float = 0.2,
+) -> list[KeyfindMatch]:
+    """Slide a window over raw memory looking for expanded AES keys.
+
+    Each byte offset is tested at every possible starting round (the
+    expansion step depends on where in the schedule the window would
+    sit).  Matches reconstruct the full schedule both ways and report
+    the master key found at its head.
+
+    Each match is then *confirmed* against the image: the reconstructed
+    schedule must agree with the bytes at the inferred table location
+    within ``confirm_fraction`` of the bits.  This kills the misaligned
+    near-matches a generous Hamming budget admits (a window cut from the
+    middle of a schedule at a non-round boundary satisfies most of the
+    expansion's linear relations) while decayed true schedules — a few
+    percent of bits wrong — sail through.
+    """
+    data = image.data if isinstance(image, MemoryImage) else bytes(image)
+    variant = AesVariant(key_bits)
+    span = variant.span_bytes
+    if len(data) < span:
+        return []
+    if tolerance_bits < 0:
+        raise ValueError("tolerance must be non-negative")
+    buffer = np.frombuffer(data, dtype=np.uint8)
+    windows = sliding_window_view(buffer, span)  # (n_positions, span), zero copy
+    matches: list[KeyfindMatch] = []
+    for start in range(0, windows.shape[0], chunk_rows):
+        chunk = windows[start : start + chunk_rows]
+        window_part = np.ascontiguousarray(chunk[:, : variant.window_bytes])
+        check_part = chunk[:, variant.window_bytes :]
+        for round_index in variant.window_rounds:
+            predicted = batch_next_round_key(
+                window_part, nk=variant.nk, first_word_index=4 * round_index
+            )
+            mismatch = POPCOUNT_TABLE[predicted ^ check_part].sum(axis=1, dtype=np.int64)
+            for row in np.nonzero(mismatch <= tolerance_bits)[0]:
+                offset = start + int(row)
+                words = [
+                    int.from_bytes(data[offset + 4 * i : offset + 4 * i + 4], "big")
+                    for i in range(variant.nk)
+                ]
+                schedule = reconstruct_schedule(words, 4 * round_index, key_bits)
+                fraction = _confirm_fraction(buffer, offset - 16 * round_index, schedule)
+                if fraction > confirm_fraction:
+                    continue
+                matches.append(
+                    (
+                        fraction,
+                        KeyfindMatch(
+                            byte_offset=offset,
+                            round_index=round_index,
+                            mismatch_bits=int(mismatch[row]),
+                            master_key=schedule[: key_bits // 8],
+                        ),
+                    )
+                )
+    kept = _competitive_filter(matches, table_bytes=4 * variant.total_words)
+    kept.sort(key=lambda m: (m.byte_offset, m.round_index))
+    return kept
+
+
+def _confirm_fraction(buffer: np.ndarray, base: int, schedule: bytes) -> float:
+    """Mismatch fraction between a reconstructed schedule and the image.
+
+    When the inferred table runs off the image the overlapping part is
+    compared instead (at least one round key of context required).
+    """
+    lo = max(0, base)
+    hi = min(len(buffer), base + len(schedule))
+    if hi - lo < 16:
+        return 0.0  # nothing to compare against; keep the window match
+    expected = np.frombuffer(schedule, dtype=np.uint8)[lo - base : hi - base]
+    observed = buffer[lo:hi]
+    return int(POPCOUNT_TABLE[expected ^ observed].sum()) / (8 * (hi - lo))
+
+
+def _competitive_filter(
+    scored: list[tuple[float, KeyfindMatch]], table_bytes: int
+) -> list[KeyfindMatch]:
+    """Keep only the best-confirmed master among overlapping tables.
+
+    A window cut from mid-schedule at a wrong round boundary produces a
+    shifted near-copy of the true schedule whose confirm fraction can
+    dip below any fixed threshold; but the *true* reconstruction of the
+    same memory region always scores strictly better, so overlapping
+    inferred tables compete and the minimum-fraction master wins.
+    """
+    if not scored:
+        return []
+    entries = sorted(
+        scored, key=lambda item: item[1].byte_offset - 16 * item[1].round_index
+    )
+    clusters: list[list[tuple[float, KeyfindMatch]]] = []
+    cluster_end = None
+    for fraction, match in entries:
+        base = match.byte_offset - 16 * match.round_index
+        if cluster_end is None or base >= cluster_end:
+            clusters.append([])
+            cluster_end = base + table_bytes
+        clusters[-1].append((fraction, match))
+        cluster_end = max(cluster_end, base + table_bytes)
+    kept: list[KeyfindMatch] = []
+    for cluster in clusters:
+        best_fraction = min(fraction for fraction, _ in cluster)
+        best_masters = {
+            match.master_key
+            for fraction, match in cluster
+            if fraction <= best_fraction + 0.01
+        }
+        kept.extend(match for fraction, match in cluster if match.master_key in best_masters)
+    return kept
+
+
+def unique_master_keys(matches: list[KeyfindMatch], min_votes: int = 2) -> list[bytes]:
+    """Master keys supported by at least ``min_votes`` window sightings.
+
+    A true 240-byte AES-256 schedule produces 13 agreeing sightings (one
+    per starting round); decayed windows scatter into singletons.
+    """
+    votes: dict[bytes, int] = {}
+    order: dict[bytes, int] = {}
+    for match in matches:
+        votes[match.master_key] = votes.get(match.master_key, 0) + 1
+        order.setdefault(match.master_key, match.byte_offset)
+    keys = [k for k, v in votes.items() if v >= min_votes]
+    keys.sort(key=lambda k: (-votes[k], order[k]))
+    return keys

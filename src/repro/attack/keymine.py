@@ -1,0 +1,139 @@
+"""Mining scrambler keys out of a memory dump (§III-B, Key Idea 1).
+
+Zero-filled 64-byte blocks — abundant in any running system — come out
+of the scrambler as the raw scrambler key.  The miner therefore:
+
+1. runs the litmus test over the dump (vectorised, decay-tolerant);
+2. groups the passing blocks by value, merging near-duplicates whose
+   Hamming distance fits the decay budget;
+3. repairs each group's key by bitwise **majority vote** across its
+   members ("since a single scrambler keystream appears multiple times
+   inside a memory dump, we are able to filter out modest bit flips");
+4. ranks candidates by frequency — true keys recur at every zero block
+   that shares their key index, while ``key ^ constant`` artefacts from
+   constant-filled plaintext are rarer.
+
+The paper mined every key from under 16 MB of dump even on a loaded
+system; the tests reproduce that bound on scaled dumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attack.litmus import key_litmus_mismatch_bits
+from repro.dram.image import MemoryImage
+from repro.util.bits import POPCOUNT_TABLE
+from repro.util.blocks import BLOCK_SIZE
+
+#: Default cap on how much of the dump the miner examines — the paper's
+#: "less than 16MB of the memory dump" observation.
+DEFAULT_SCAN_LIMIT_BYTES = 16 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CandidateKey:
+    """One mined scrambler-key candidate with its supporting evidence."""
+
+    key: bytes
+    count: int
+    litmus_mismatch_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.key) != BLOCK_SIZE:
+            raise ValueError("scrambler keys are 64 bytes")
+        if self.count < 1:
+            raise ValueError("count must be at least 1")
+
+
+def _majority_vote(members: np.ndarray) -> bytes:
+    """Bitwise majority over an ``(n, 64)`` uint8 matrix of noisy copies."""
+    if members.shape[0] == 1:
+        return members[0].tobytes()
+    bits = np.unpackbits(members, axis=1)
+    voted = (bits.sum(axis=0) * 2 >= members.shape[0]).astype(np.uint8)
+    return np.packbits(voted).tobytes()
+
+
+def mine_scrambler_keys(
+    image: MemoryImage,
+    tolerance_bits: int = 16,
+    merge_radius_bits: int = 16,
+    min_count: int = 1,
+    scan_limit_bytes: int | None = DEFAULT_SCAN_LIMIT_BYTES,
+) -> list[CandidateKey]:
+    """Extract candidate scrambler keys from a (possibly decayed) dump.
+
+    Returns candidates sorted by descending frequency.  ``tolerance_bits``
+    is the litmus decay budget per block; ``merge_radius_bits`` bounds
+    the Hamming distance at which two passing blocks are treated as
+    noisy copies of the same key.
+    """
+    if merge_radius_bits < 0 or tolerance_bits < 0:
+        raise ValueError("tolerances must be non-negative")
+    data = image.data
+    if scan_limit_bytes is not None:
+        data = data[: scan_limit_bytes - scan_limit_bytes % BLOCK_SIZE]
+    matrix = np.frombuffer(data, dtype=np.uint8).reshape(-1, BLOCK_SIZE)
+    mismatch = key_litmus_mismatch_bits(matrix)
+    passing = matrix[mismatch <= tolerance_bits]
+    if passing.shape[0] == 0:
+        return []
+
+    # Group exact duplicates first (cheap), then merge near-duplicates.
+    exact_groups: dict[bytes, int] = {}
+    for row in passing:
+        value = row.tobytes()
+        exact_groups[value] = exact_groups.get(value, 0) + 1
+
+    # Representatives in descending count order, so the best-supported
+    # version of a key absorbs its decayed variants.
+    ordered = sorted(exact_groups.items(), key=lambda item: (-item[1], item[0]))
+    rep_array = np.empty((len(ordered), BLOCK_SIZE), dtype=np.uint8)
+    n_reps = 0
+    counts: list[int] = []
+    members: list[list[tuple[bytes, int]]] = []
+    for value, count in ordered:
+        row = np.frombuffer(value, dtype=np.uint8)
+        if n_reps and merge_radius_bits > 0:
+            distances = POPCOUNT_TABLE[rep_array[:n_reps] ^ row].sum(axis=1)
+            best = int(np.argmin(distances))
+            if int(distances[best]) <= merge_radius_bits:
+                counts[best] += count
+                members[best].append((value, count))
+                continue
+        rep_array[n_reps] = row
+        n_reps += 1
+        counts.append(count)
+        members.append([(value, count)])
+
+    candidates = []
+    for cluster, count in zip(members, counts):
+        if count < min_count:
+            continue
+        # Expand weighted members for the majority vote (bounded: decay
+        # variants are few; weight caps keep this small).
+        rows = []
+        for value, value_count in cluster:
+            rows.extend([np.frombuffer(value, dtype=np.uint8)] * min(value_count, 32))
+        voted = _majority_vote(np.vstack(rows))
+        candidates.append(
+            CandidateKey(
+                key=voted,
+                count=count,
+                litmus_mismatch_bits=int(
+                    key_litmus_mismatch_bits(np.frombuffer(voted, dtype=np.uint8).reshape(1, -1))[0]
+                ),
+            )
+        )
+    candidates.sort(key=lambda c: (-c.count, c.key))
+    return candidates
+
+
+def keys_matrix(candidates: list[CandidateKey]) -> np.ndarray:
+    """Stack candidate keys into an ``(k, 64)`` uint8 matrix for the search."""
+    if not candidates:
+        return np.empty((0, BLOCK_SIZE), dtype=np.uint8)
+    return np.vstack([np.frombuffer(c.key, dtype=np.uint8) for c in candidates])

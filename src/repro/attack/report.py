@@ -1,0 +1,91 @@
+"""Serialisable attack reports: JSON for tooling, markdown for humans.
+
+An open-source release of this attack would be used in forensics
+pipelines, so the pipeline's findings need machine-readable output
+(``python -m repro attack dump.bin --json report.json``) and a
+readable summary.  Keys are redacted by default in the markdown form —
+a habit worth keeping when the tool is pointed at real dumps.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.attack.pipeline import AttackReport
+
+#: Schema version for downstream consumers.
+REPORT_SCHEMA_VERSION = 1
+
+
+def report_to_dict(report: AttackReport, include_keys: bool = True) -> dict:
+    """Flatten an :class:`AttackReport` into JSON-ready primitives."""
+    def key_text(key: bytes) -> str:
+        return key.hex() if include_keys else f"<redacted {len(key)} bytes>"
+
+    return {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "dump_bytes": report.dump_bytes,
+        "timings": {
+            "mine_seconds": report.mine_seconds,
+            "search_seconds": report.search_seconds,
+            "scan_rate_mb_per_hour": report.scan_rate_mb_per_hour,
+        },
+        "candidate_keys": {
+            "count": len(report.candidate_keys),
+            "top_frequencies": [c.count for c in report.candidate_keys[:16]],
+        },
+        "recovered_keys": [
+            {
+                "key_bits": recovered.key_bits,
+                "master_key": key_text(recovered.master_key),
+                "table_base": recovered.hits[0].table_base if recovered.hits else None,
+                "votes": recovered.votes,
+                "match_fraction": recovered.match_fraction,
+                "region_agreement": recovered.region_agreement,
+                "hits": [asdict(hit) for hit in recovered.hits],
+            }
+            for recovered in report.recovered_keys
+        ],
+    }
+
+
+def save_report_json(report: AttackReport, path: str | Path, include_keys: bool = True) -> None:
+    """Write the JSON form of a report to disk."""
+    Path(path).write_text(
+        json.dumps(report_to_dict(report, include_keys), indent=2), encoding="utf-8"
+    )
+
+
+def report_to_markdown(report: AttackReport, include_keys: bool = False) -> str:
+    """A human-readable summary (keys redacted unless asked for)."""
+    lines = [
+        "# Cold boot attack report",
+        "",
+        f"* dump size: {report.dump_bytes / 1048576:.2f} MiB",
+        f"* mining: {report.mine_seconds:.2f} s "
+        f"({len(report.candidate_keys)} candidate scrambler keys)",
+        f"* search: {report.search_seconds:.2f} s "
+        f"({report.scan_rate_mb_per_hour:.0f} MB/h overall)",
+        f"* AES keys recovered: {len(report.recovered_keys)}",
+        "",
+    ]
+    if report.recovered_keys:
+        lines.append("| # | bits | image offset | votes | region match | key |")
+        lines.append("|---|------|--------------|-------|--------------|-----|")
+        for index, recovered in enumerate(report.recovered_keys, start=1):
+            base = recovered.hits[0].table_base if recovered.hits else 0
+            key = (
+                recovered.master_key.hex()
+                if include_keys
+                else f"&lt;redacted {len(recovered.master_key)}B&gt;"
+            )
+            lines.append(
+                f"| {index} | {recovered.key_bits} | {base:#x} | {recovered.votes} "
+                f"| {100 * recovered.match_fraction:.1f}% | `{key}` |"
+            )
+    else:
+        lines.append("_No expanded AES key schedules were located._")
+    lines.append("")
+    return "\n".join(lines)

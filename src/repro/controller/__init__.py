@@ -1,0 +1,12 @@
+"""Memory controllers: scrambled (status quo) and encrypted (§IV proposal)."""
+
+from repro.controller.controller import BlockTransform, BusTransaction, MemoryController
+from repro.controller.encrypted import SUPPORTED_CIPHERS, StreamCipherEngine
+
+__all__ = [
+    "SUPPORTED_CIPHERS",
+    "BlockTransform",
+    "BusTransaction",
+    "MemoryController",
+    "StreamCipherEngine",
+]

@@ -1,0 +1,170 @@
+"""The integrated memory controller: CPU ⇄ (scrambler | cipher) ⇄ DRAM.
+
+All data written to DRAM passes through the controller's block
+transform (scrambler or §IV cipher engine); all data read by software
+passes back through it, so "regular software cannot see the raw
+scrambled data" (§III-A).  Raw cell contents are only reachable by
+pulling the module (``module.dump`` after a transfer) or by disabling
+the transform via the BIOS toggle the paper's DDR4 motherboard exposed.
+
+The controller also keeps an optional **bus trace** — the interposer's
+view of (address, raw data on the wire) — used to demonstrate the
+bus-snooping/replay weakness the §IV scheme explicitly does not defend
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.dram.address import DramAddressMap
+from repro.dram.module import DramModule
+from repro.util.blocks import BLOCK_SIZE
+
+
+class BlockTransform(Protocol):
+    """Anything producing a 64-byte XOR keystream per physical block."""
+
+    def keystream_for_block(self, physical_address: int) -> bytes:
+        """Keystream for the 64-byte block at an aligned physical address."""
+        ...
+
+
+@dataclass(frozen=True)
+class BusTransaction:
+    """One burst observed on the DRAM bus (what an interposer sees)."""
+
+    kind: str  # "read" or "write"
+    physical_address: int
+    wire_data: bytes  # post-transform: what actually crosses the bus
+
+
+class MemoryController:
+    """Routes CPU accesses across channels, applying the block transform.
+
+    ``modules`` maps channel number to its :class:`DramModule`.  The
+    transform can be a :class:`~repro.scrambler.ScramblerModel`, a
+    :class:`~repro.controller.encrypted.StreamCipherEngine`, or ``None``
+    (plaintext DDR/DDR2-style operation).
+    """
+
+    def __init__(
+        self,
+        address_map: DramAddressMap,
+        modules: dict[int, DramModule],
+        transform: BlockTransform | None = None,
+        trace_bus: bool = False,
+    ) -> None:
+        if set(modules) != set(range(address_map.channels)):
+            raise ValueError(
+                f"need one module per channel 0..{address_map.channels - 1}, "
+                f"got channels {sorted(modules)}"
+            )
+        self.address_map = address_map
+        self.modules = dict(modules)
+        self.transform = transform
+        #: BIOS toggle: scrambling/encryption can be switched off, which is
+        #: how the paper's analysis motherboard exposed raw DRAM contents.
+        self.transform_enabled = transform is not None
+        self.bus_trace: list[BusTransaction] = [] if trace_bus else []
+        self._trace_bus = trace_bus
+
+    # ------------------------------------------------------------ geometry
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total addressable bytes across all channels."""
+        return sum(m.capacity_bytes for m in self.modules.values())
+
+    def _route(self, block_address: int) -> tuple[DramModule, int]:
+        """Map an aligned block address to (module, module-local address)."""
+        channel = self.address_map.channel_of(block_address)
+        local = self.address_map.channel_local_address(block_address)
+        module = self.modules[channel]
+        if local + BLOCK_SIZE > module.capacity_bytes:
+            raise ValueError(
+                f"address {block_address:#x} maps beyond channel {channel}'s module"
+            )
+        return module, local
+
+    def _block_keystream(self, block_address: int) -> np.ndarray:
+        if self.transform is not None and self.transform_enabled:
+            stream = self.transform.keystream_for_block(block_address)
+            return np.frombuffer(stream, dtype=np.uint8)
+        return np.zeros(BLOCK_SIZE, dtype=np.uint8)
+
+    # ------------------------------------------------------------ data path
+
+    def write(self, physical_address: int, data: bytes) -> None:
+        """Write bytes at any alignment (read-modify-write of edge blocks)."""
+        if physical_address < 0:
+            raise ValueError("address must be non-negative")
+        offset = physical_address % BLOCK_SIZE
+        cursor = physical_address - offset
+        payload = memoryview(bytes(data))
+        consumed = 0
+        while consumed < len(data):
+            take = min(BLOCK_SIZE - offset, len(data) - consumed)
+            module, local = self._route(cursor)
+            stream = self._block_keystream(cursor)
+            if take == BLOCK_SIZE:
+                plain = np.frombuffer(payload[consumed : consumed + take], dtype=np.uint8)
+                wire = (plain ^ stream).tobytes()
+            else:
+                # Partial block: merge with the block's current plaintext.
+                raw = np.frombuffer(module.raw_read(local, BLOCK_SIZE), dtype=np.uint8)
+                plain = raw ^ stream
+                plain = plain.copy()
+                plain[offset : offset + take] = np.frombuffer(
+                    payload[consumed : consumed + take], dtype=np.uint8
+                )
+                wire = (plain ^ stream).tobytes()
+            module.raw_write(local, wire)
+            if self._trace_bus:
+                self.bus_trace.append(BusTransaction("write", cursor, wire))
+            consumed += take
+            cursor += BLOCK_SIZE
+            offset = 0
+
+    def read(self, physical_address: int, length: int) -> bytes:
+        """Read bytes at any alignment through the descrambler/decryptor."""
+        if physical_address < 0 or length < 0:
+            raise ValueError("address and length must be non-negative")
+        offset = physical_address % BLOCK_SIZE
+        cursor = physical_address - offset
+        out = bytearray()
+        remaining = length
+        while remaining > 0:
+            take = min(BLOCK_SIZE - offset, remaining)
+            module, local = self._route(cursor)
+            wire = module.raw_read(local, BLOCK_SIZE)
+            if self._trace_bus:
+                self.bus_trace.append(BusTransaction("read", cursor, wire))
+            stream = self._block_keystream(cursor)
+            plain = np.frombuffer(wire, dtype=np.uint8) ^ stream
+            out += plain[offset : offset + take].tobytes()
+            remaining -= take
+            cursor += BLOCK_SIZE
+            offset = 0
+        return bytes(out)
+
+    # --------------------------------------------------------- raw access
+
+    def raw_write_wire(self, physical_address: int, data: bytes) -> None:
+        """Inject raw bytes onto a module, bypassing the transform.
+
+        This models both the FPGA write path of §III-A and a bus-replay
+        adversary re-driving captured wire data.
+        """
+        if physical_address % BLOCK_SIZE or len(data) % BLOCK_SIZE:
+            raise ValueError("raw wire access requires whole aligned blocks")
+        for i in range(0, len(data), BLOCK_SIZE):
+            module, local = self._route(physical_address + i)
+            module.raw_write(local, data[i : i + BLOCK_SIZE])
+
+    def dump_through_transform(self, base_address: int, length: int) -> bytes:
+        """What the bare-metal GRUB dumper sees: a read of the whole range."""
+        return self.read(base_address, length)

@@ -1,0 +1,77 @@
+"""Strongly encrypted memory: the §IV scrambler replacement.
+
+The scheme: a counter-mode stream cipher (ChaCha8/12/20 or AES-CTR)
+keyed with a boot-time random key and nonce, using the **physical block
+address as the counter**.  Each 64-byte block gets a unique keystream,
+so a cold boot dump shows no correlations at all; but the keystream for
+a given address is fixed for the whole boot, so a bus-snooping attacker
+can replay captured ciphertext — the accepted trade-off for zero
+exposed latency (§IV-B, "Threat Model and Security Guarantees").
+
+A 64-byte burst is one ChaCha block but *four* AES blocks; the engine
+tracks that distinction because it is what separates the two ciphers
+under load in Figure 6 (see ``repro.engine``).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.chacha import ChaCha
+from repro.crypto.ctr import CtrKeystream
+from repro.util.blocks import BLOCK_SIZE
+from repro.util.rng import SplitMix64, derive_seed
+
+#: Cipher names accepted by :class:`StreamCipherEngine`.
+SUPPORTED_CIPHERS = ("chacha8", "chacha12", "chacha20", "aes128", "aes256")
+
+
+class StreamCipherEngine:
+    """Per-block keystream generator for encrypted memory."""
+
+    def __init__(self, cipher: str, key: bytes, nonce: bytes) -> None:
+        if cipher not in SUPPORTED_CIPHERS:
+            raise ValueError(f"cipher must be one of {SUPPORTED_CIPHERS}, got {cipher!r}")
+        self.cipher = cipher
+        if cipher.startswith("chacha"):
+            rounds = int(cipher.removeprefix("chacha"))
+            self._chacha: ChaCha | None = ChaCha(key, rounds=rounds, nonce=nonce)
+            self._ctr: CtrKeystream | None = None
+        else:
+            key_len = 16 if cipher == "aes128" else 32
+            if len(key) != key_len:
+                raise ValueError(f"{cipher} needs a {key_len}-byte key, got {len(key)}")
+            self._chacha = None
+            self._ctr = CtrKeystream(key, nonce)
+
+    @classmethod
+    def from_boot_seed(cls, cipher: str, boot_seed: int) -> "StreamCipherEngine":
+        """Derive the boot-time key and nonce from the platform RNG.
+
+        Models "a key generated at boot time" plus "a boot-time random
+        number generator" for the nonce (§IV-B).
+        """
+        rng = SplitMix64(derive_seed("memory-encryption-boot", boot_seed))
+        if cipher.startswith("chacha"):
+            key = rng.next_bytes(32)
+            nonce = rng.next_bytes(8)
+        else:
+            key = rng.next_bytes(16 if cipher == "aes128" else 32)
+            nonce = rng.next_bytes(8)
+        return cls(cipher, key, nonce)
+
+    @property
+    def counters_per_block(self) -> int:
+        """Counter values consumed per 64-byte burst: 1 for ChaCha, 4 for AES.
+
+        This asymmetry is the root of AES's queueing delay at high
+        bandwidth utilisation in Figure 6.
+        """
+        return 1 if self._chacha is not None else 4
+
+    def keystream_for_block(self, physical_address: int) -> bytes:
+        """The 64-byte keystream for one block, counter = block address."""
+        if physical_address % BLOCK_SIZE:
+            raise ValueError("keystream requests must be 64-byte aligned")
+        block_index = physical_address // BLOCK_SIZE
+        if self._chacha is not None:
+            return self._chacha.keystream_block(block_index)
+        return self._ctr.keystream(counter=4 * block_index, length=BLOCK_SIZE)

@@ -1,0 +1,53 @@
+"""From-scratch cipher implementations.
+
+The paper's two halves both need real cryptography:
+
+* the attack (§III) searches memory for *expanded AES key schedules*, so
+  we need FIPS-197 key expansion for AES-128/192/256 — including partial
+  expansion starting from an arbitrary round, which is the core of the
+  per-block AES litmus test;
+* the proposed scrambler replacement (§IV) is a counter-mode stream
+  cipher (AES-CTR or ChaCha8/12/20) keyed at boot with the physical
+  address as the counter.
+
+Everything here is implemented from the specifications (FIPS-197,
+Bernstein's ChaCha paper / RFC 7539) with no external crypto libraries.
+"""
+
+from repro.crypto.aes import (
+    AES,
+    Rcon,
+    batch_next_round_key,
+    expand_key,
+    expand_key_words,
+    extend_schedule_words,
+    inv_sbox,
+    key_length_for,
+    rounds_for,
+    sbox,
+    schedule_bytes,
+)
+from repro.crypto.chacha import ChaCha, chacha_block
+from repro.crypto.ctr import CtrKeystream, ctr_keystream_aes
+from repro.crypto.gf import gf_inverse, gf_multiply, xtime
+
+__all__ = [
+    "AES",
+    "ChaCha",
+    "CtrKeystream",
+    "Rcon",
+    "batch_next_round_key",
+    "chacha_block",
+    "ctr_keystream_aes",
+    "expand_key",
+    "expand_key_words",
+    "extend_schedule_words",
+    "gf_inverse",
+    "gf_multiply",
+    "inv_sbox",
+    "key_length_for",
+    "rounds_for",
+    "sbox",
+    "schedule_bytes",
+    "xtime",
+]

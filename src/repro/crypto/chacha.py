@@ -1,0 +1,125 @@
+"""ChaCha stream cipher (Bernstein 2008 / RFC 7539) with 8/12/20 rounds.
+
+§IV of the paper proposes replacing the memory scrambler with a stream
+cipher whose keystream generation is overlapped with the DRAM column
+access.  ChaCha8 is the headline candidate: one 64-byte keystream block
+per counter value — exactly one DDR4 burst — produced from a single
+counter/nonce, so (unlike AES-CTR, which needs four counters per burst)
+it never queues under back-to-back column reads.
+
+Both nonce layouts are supported: the original 8-byte nonce with 64-bit
+counter, and the RFC 7539 12-byte nonce with 32-bit counter.  The memory
+encryption engine uses the physical block address as the counter and a
+boot-time random nonce, per the paper.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_CONSTANTS = struct.unpack("<4I", b"expand 32-byte k")
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotl32(value: int, amount: int) -> int:
+    """Rotate a 32-bit word left."""
+    value &= _MASK32
+    return ((value << amount) | (value >> (32 - amount))) & _MASK32
+
+
+def quarter_round(state: list[int], a: int, b: int, c: int, d: int) -> None:
+    """The ChaCha quarter round, in place on four state indices."""
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+def _initial_state(key: bytes, counter: int, nonce: bytes) -> list[int]:
+    """Build the 16-word ChaCha state for one block."""
+    if len(key) != 32:
+        raise ValueError(f"ChaCha key must be 32 bytes, got {len(key)}")
+    state = list(_CONSTANTS) + list(struct.unpack("<8I", key))
+    if len(nonce) == 12:
+        # RFC 7539: 32-bit counter, 96-bit nonce.
+        if not 0 <= counter < (1 << 32):
+            raise ValueError("counter out of range for a 12-byte nonce (32-bit counter)")
+        state += [counter] + list(struct.unpack("<3I", nonce))
+    elif len(nonce) == 8:
+        # Original ChaCha: 64-bit counter, 64-bit nonce.
+        if not 0 <= counter < (1 << 64):
+            raise ValueError("counter out of range for an 8-byte nonce (64-bit counter)")
+        state += [counter & _MASK32, counter >> 32] + list(struct.unpack("<2I", nonce))
+    else:
+        raise ValueError(f"nonce must be 8 or 12 bytes, got {len(nonce)}")
+    return state
+
+
+def chacha_block(key: bytes, counter: int, nonce: bytes, rounds: int = 20) -> bytes:
+    """Generate one 64-byte ChaCha keystream block.
+
+    ``rounds`` selects the variant (8, 12 or 20 — each "round" pair is a
+    column round plus a diagonal round, so ``rounds`` must be even).
+    """
+    if rounds <= 0 or rounds % 2:
+        raise ValueError(f"rounds must be a positive even number, got {rounds}")
+    state = _initial_state(key, counter, nonce)
+    working = list(state)
+    for _ in range(rounds // 2):
+        # Column round.
+        quarter_round(working, 0, 4, 8, 12)
+        quarter_round(working, 1, 5, 9, 13)
+        quarter_round(working, 2, 6, 10, 14)
+        quarter_round(working, 3, 7, 11, 15)
+        # Diagonal round.
+        quarter_round(working, 0, 5, 10, 15)
+        quarter_round(working, 1, 6, 11, 12)
+        quarter_round(working, 2, 7, 8, 13)
+        quarter_round(working, 3, 4, 9, 14)
+    output = [(w + s) & _MASK32 for w, s in zip(working, state)]
+    return struct.pack("<16I", *output)
+
+
+class ChaCha:
+    """ChaCha keystream generator / XOR cipher.
+
+    >>> cipher = ChaCha(bytes(32), rounds=8, nonce=bytes(12))
+    >>> data = b"secret" * 10
+    >>> cipher.decrypt(cipher.encrypt(data, counter=7), counter=7) == data
+    True
+    """
+
+    BLOCK_BYTES = 64
+
+    def __init__(self, key: bytes, rounds: int = 20, nonce: bytes = b"\x00" * 12) -> None:
+        if rounds not in (8, 12, 20):
+            raise ValueError(f"standard ChaCha variants use 8/12/20 rounds, got {rounds}")
+        # Validate key/nonce eagerly by building a throwaway state.
+        _initial_state(key, 0, nonce)
+        self.key = bytes(key)
+        self.rounds = rounds
+        self.nonce = bytes(nonce)
+
+    def keystream_block(self, counter: int) -> bytes:
+        """The 64-byte keystream block for one counter value."""
+        return chacha_block(self.key, counter, self.nonce, self.rounds)
+
+    def keystream(self, counter: int, length: int) -> bytes:
+        """``length`` bytes of keystream starting at block ``counter``."""
+        out = bytearray()
+        while len(out) < length:
+            out += self.keystream_block(counter)
+            counter += 1
+        return bytes(out[:length])
+
+    def encrypt(self, plaintext: bytes, counter: int = 0) -> bytes:
+        """XOR ``plaintext`` with the keystream starting at ``counter``."""
+        stream = self.keystream(counter, len(plaintext))
+        return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+    #: Stream ciphers are symmetric: decryption is the same XOR.
+    decrypt = encrypt

@@ -1,0 +1,55 @@
+"""GF(2^8) arithmetic with the AES reduction polynomial.
+
+AES's S-box is multiplicative inversion in GF(2^8) followed by an affine
+transform, and MixColumns is matrix multiplication over the same field.
+Building the field here (rather than hard-coding tables) lets the tests
+verify the S-box from first principles.
+"""
+
+from __future__ import annotations
+
+#: AES reduction polynomial x^8 + x^4 + x^3 + x + 1 (0x11B), low byte.
+AES_POLY = 0x1B
+
+
+def xtime(a: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8)."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x100 | AES_POLY
+    return a & 0xFF
+
+
+def gf_multiply(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) (Russian-peasant style)."""
+    result = 0
+    a &= 0xFF
+    b &= 0xFF
+    while b:
+        if b & 1:
+            result ^= a
+        a = xtime(a)
+        b >>= 1
+    return result
+
+
+def gf_power(a: int, n: int) -> int:
+    """Raise ``a`` to the ``n``-th power in GF(2^8)."""
+    result = 1
+    base = a & 0xFF
+    while n:
+        if n & 1:
+            result = gf_multiply(result, base)
+        base = gf_multiply(base, base)
+        n >>= 1
+    return result
+
+
+def gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); the inverse of 0 is defined as 0.
+
+    Uses Fermat's little theorem for the field: a^(2^8 - 2) = a^-1.
+    """
+    if a == 0:
+        return 0
+    return gf_power(a, 254)

@@ -1,0 +1,152 @@
+"""Physical address decomposition: channel / rank / bank / row / column.
+
+Two facts from the paper drive this module:
+
+* scrambler keys are selected by "portions of the physical address
+  bits" (§III-B), so the key index of a block is a pure function of its
+  physical address;
+* "different generations of Intel CPUs can have different physical
+  address to channel, rank, bank, and row mappings" (§III-C attack
+  model), which is why the attacker's dump machine must match the
+  victim's CPU generation — a mismatched mapping assigns blocks to the
+  wrong channels/key indices and the mined keys stop lining up.
+
+We model the mapping as a per-generation choice of which address bits
+select the channel and which feed the scrambler's key index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.bits import extract_bits
+from repro.util.blocks import BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class DramAddressMap:
+    """Maps flat physical addresses to DRAM coordinates.
+
+    ``channel_bits`` and ``key_index_bits`` are positions within the
+    physical address (LSB = bit 0).  Key indices are block-granular, so
+    all key-index bits must be ≥ 6 (above the 64-byte block offset).
+    """
+
+    name: str
+    channels: int = 1
+    channel_bits: tuple[int, ...] = ()
+    #: Address bits feeding the scrambler key selector, LSB first.
+    key_index_bits: tuple[int, ...] = (6, 7, 8, 9)
+    banks: int = 16
+    row_bits: int = 15
+    #: log2 of blocks per row: 2^7 blocks × 64 B = 8 KiB rows.
+    column_bits: int = 7
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ValueError("need at least one channel")
+        if (1 << len(self.channel_bits)) < self.channels:
+            raise ValueError("not enough channel bits for the channel count")
+        if any(b < 6 for b in self.key_index_bits):
+            raise ValueError("key-index bits must sit above the 64-byte block offset")
+        if any(b < 6 for b in self.channel_bits):
+            raise ValueError("channel bits must sit above the 64-byte block offset")
+
+    @property
+    def keys_per_channel(self) -> int:
+        """Size of the scrambler key pool selected by the address bits."""
+        return 1 << len(self.key_index_bits)
+
+    def block_index(self, physical_address: int) -> int:
+        """64-byte block number of an address."""
+        return physical_address // BLOCK_SIZE
+
+    def block_offset(self, physical_address: int) -> int:
+        """Byte offset of an address within its 64-byte block."""
+        return physical_address % BLOCK_SIZE
+
+    def channel_of(self, physical_address: int) -> int:
+        """Channel servicing this address (bit-sliced interleaving)."""
+        if self.channels == 1:
+            return 0
+        return extract_bits(physical_address, self.channel_bits) % self.channels
+
+    def key_index_of(self, physical_address: int) -> int:
+        """Scrambler key-pool index for this address's block.
+
+        This is the address-dependent half of key selection; the
+        scrambler mixes it with the boot seed (see ``repro.scrambler``).
+        """
+        return extract_bits(physical_address, self.key_index_bits)
+
+    def decompose(self, physical_address: int) -> "DramCoordinates":
+        """Full channel/bank/row/column decomposition of an address."""
+        block = self.block_index(physical_address)
+        channel = self.channel_of(physical_address)
+        # Strip channel bits conceptually: use block index above them.
+        per_channel_block = block // self.channels if self.channels > 1 else block
+        column = per_channel_block % self.column_bits_span
+        bank = (per_channel_block // self.column_bits_span) % self.banks
+        row = (per_channel_block // (self.column_bits_span * self.banks)) % (1 << self.row_bits)
+        return DramCoordinates(channel=channel, bank=bank, row=row, column=column)
+
+    @property
+    def column_bits_span(self) -> int:
+        """Number of 64-byte blocks per DRAM row (columns / blocks-per-column)."""
+        return 1 << self.column_bits
+
+    def channel_local_address(self, physical_address: int) -> int:
+        """Byte address within the owning channel's module.
+
+        Removes the channel-select bits from the physical address (the
+        hardware routes the remaining bits to the channel's DIMM), so
+        consecutive blocks of one channel pack densely in its module.
+        """
+        if self.channels == 1:
+            return physical_address
+        dropped = sorted(self.channel_bits, reverse=True)
+        address = physical_address
+        for position in dropped:
+            high = address >> (position + 1)
+            low = address & ((1 << position) - 1)
+            address = (high << position) | low
+        return address
+
+
+@dataclass(frozen=True)
+class DramCoordinates:
+    """One address's place in the DRAM topology."""
+
+    channel: int
+    bank: int
+    row: int
+    column: int
+
+
+def _map(name: str, channels: int, key_bits: tuple[int, ...], channel_bits: tuple[int, ...]) -> DramAddressMap:
+    return DramAddressMap(
+        name=name, channels=channels, channel_bits=channel_bits, key_index_bits=key_bits
+    )
+
+
+#: Per-generation address maps.  The *number* of key-index bits encodes
+#: the paper's key-census findings: 4 bits → 16 keys/channel on DDR3
+#: (SandyBridge/IvyBridge), 12 bits → 4096 keys/channel on Skylake DDR4.
+#: The exact bit positions differ across generations, modelling the
+#: "same-generation CPU required" constraint.
+GENERATION_ADDRESS_MAPS: dict[str, DramAddressMap] = {
+    "sandybridge": _map("sandybridge", 1, (6, 7, 8, 9), ()),
+    "sandybridge-2ch": _map("sandybridge-2ch", 2, (7, 8, 9, 10), (6,)),
+    "ivybridge": _map("ivybridge", 1, (7, 8, 9, 10), ()),
+    "skylake": _map("skylake", 1, tuple(range(6, 18)), ()),
+    "skylake-2ch": _map("skylake-2ch", 2, tuple(range(7, 19)), (6,)),
+}
+
+
+def address_map_for(generation: str, channels: int = 1) -> DramAddressMap:
+    """Look up the address map for a CPU generation and channel count."""
+    key = generation if channels == 1 else f"{generation}-{channels}ch"
+    amap = GENERATION_ADDRESS_MAPS.get(key)
+    if amap is None:
+        raise KeyError(f"no address map for generation={generation!r} channels={channels}")
+    return amap

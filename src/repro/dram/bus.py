@@ -1,0 +1,211 @@
+"""A command-level DDR4 channel simulator.
+
+§IV's zero-exposed-latency argument lives on the DRAM read path:
+activate a row (tRCD), issue the column read (CAS), wait the
+deterministic CAS latency, then stream the burst — with the keystream
+generated in the shadow of that fixed window (Figure 5).  The paper's
+load sweep (Figure 6) additionally depends on how many column reads a
+channel can keep in flight: bank-level parallelism, tCCD spacing, and
+data-bus occupancy.
+
+This module simulates that machinery at command granularity: a
+:class:`DdrChannelSimulator` accepts a stream of read requests
+(physical addresses), schedules ACT/READ/PRE commands respecting the
+timing constraints, tracks per-bank row buffers, and emits per-request
+completion times plus channel statistics (row-hit rate, bus
+utilisation).  ``repro.engine.overlap`` couples it to the cipher-engine
+models to measure *measured* exposed latency under arbitrary traffic —
+the generalisation of Figure 6 beyond the worst-case burst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.address import DramAddressMap
+from repro.dram.timing import DDR4_2400, DdrBusTiming
+
+
+@dataclass(frozen=True)
+class DdrTimingParameters:
+    """The JEDEC timing constraints the scheduler enforces (ns).
+
+    Values are the DDR4-2400 CL17 speed-bin numbers; all are
+    constructor-overridable for other bins.
+    """
+
+    cas_latency_ns: float = 12.5  # CL: column command to first data
+    trcd_ns: float = 12.5  # ACT to column command
+    trp_ns: float = 12.5  # PRE to ACT
+    tras_ns: float = 32.0  # ACT to PRE (minimum row-open time)
+    trc_ns: float = 45.0  # ACT to ACT, same bank
+    tccd_ns: float = 3.33  # column command to column command (short)
+    trrd_ns: float = 3.33  # ACT to ACT, different banks
+
+    def __post_init__(self) -> None:
+        if min(
+            self.cas_latency_ns,
+            self.trcd_ns,
+            self.trp_ns,
+            self.tras_ns,
+            self.trc_ns,
+            self.tccd_ns,
+            self.trrd_ns,
+        ) <= 0:
+            raise ValueError("all timing parameters must be positive")
+        if self.trc_ns < self.tras_ns:
+            raise ValueError("tRC must cover tRAS")
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """One 64-byte read arriving at the controller."""
+
+    arrival_ns: float
+    physical_address: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_ns < 0 or self.physical_address < 0:
+            raise ValueError("arrival time and address must be non-negative")
+
+
+@dataclass(frozen=True)
+class CompletedRead:
+    """Scheduling outcome for one request."""
+
+    request: ReadRequest
+    bank: int
+    row: int
+    row_hit: bool
+    #: When the column (CAS) command issued.
+    cas_issue_ns: float
+    #: When the first data beat appears on the bus (CAS + CL).
+    data_start_ns: float
+    #: When the burst finishes transferring.
+    data_end_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        """Arrival to last data beat."""
+        return self.data_end_ns - self.request.arrival_ns
+
+
+@dataclass
+class _BankState:
+    open_row: int | None = None
+    ready_for_act_ns: float = 0.0  # honours tRP / tRC
+    ready_for_cas_ns: float = 0.0  # honours tRCD
+    last_act_ns: float = -1e18
+    row_open_since_ns: float = 0.0
+
+
+class DdrChannelSimulator:
+    """Schedules reads on one DDR4 channel, FCFS with open-page policy.
+
+    Deliberately simple where the paper's analysis permits: first-come
+    first-served per request, open-page row-buffer policy, reads only
+    (writes are latency-insensitive in the §IV argument).  The
+    constraints enforced are the ones that shape the Figure 5/6 story:
+    tRCD/CL on the read path, tCCD between column commands, tRRD/tRC
+    between activates, tRP on conflicts, and a single shared data bus.
+    """
+
+    def __init__(
+        self,
+        address_map: DramAddressMap,
+        bus: DdrBusTiming = DDR4_2400,
+        timing: DdrTimingParameters | None = None,
+    ) -> None:
+        self.address_map = address_map
+        self.bus = bus
+        self.timing = timing or DdrTimingParameters()
+        self._banks: dict[int, _BankState] = {
+            b: _BankState() for b in range(address_map.banks)
+        }
+        self._data_bus_free_ns = 0.0
+        # Separate spacing trackers: tCCD applies between column
+        # commands, tRRD between activates; the two command types do not
+        # block each other beyond their own constraints.
+        self._column_free_ns = 0.0
+        self._act_free_ns = 0.0
+        self.completed: list[CompletedRead] = []
+
+    def reset(self) -> None:
+        """Forget all scheduling state."""
+        self.__init__(self.address_map, self.bus, self.timing)
+
+    # ------------------------------------------------------------- schedule
+
+    def schedule(self, requests: list[ReadRequest]) -> list[CompletedRead]:
+        """Schedule requests in arrival order; returns completion records."""
+        timing = self.timing
+        for request in sorted(requests, key=lambda r: (r.arrival_ns, r.physical_address)):
+            coords = self.address_map.decompose(request.physical_address)
+            bank = self._banks[coords.bank]
+            now = request.arrival_ns
+            row_hit = bank.open_row == coords.row
+
+            if not row_hit:
+                act_ready = max(now, bank.ready_for_act_ns, bank.last_act_ns + timing.trc_ns)
+                if bank.open_row is not None:
+                    # Precharge the open row first (tRAS honoured below).
+                    pre_at = max(
+                        now, bank.row_open_since_ns + timing.tras_ns, bank.ready_for_act_ns
+                    )
+                    act_ready = max(act_ready, pre_at + timing.trp_ns)
+                act_at = max(act_ready, self._act_free_ns)
+                self._act_free_ns = act_at + timing.trrd_ns
+                bank.last_act_ns = act_at
+                bank.row_open_since_ns = act_at
+                bank.open_row = coords.row
+                bank.ready_for_cas_ns = act_at + timing.trcd_ns
+
+            cas_at = max(now, bank.ready_for_cas_ns, self._column_free_ns)
+            # The data bus serialises bursts: delay CAS until its data
+            # slot is free (a simple, conservative contention model).
+            data_start = max(cas_at + timing.cas_latency_ns, self._data_bus_free_ns)
+            cas_at = data_start - timing.cas_latency_ns
+            self._column_free_ns = max(self._column_free_ns, cas_at + timing.tccd_ns)
+            data_end = data_start + self.bus.burst_time_ns
+            self._data_bus_free_ns = data_end
+
+            self.completed.append(
+                CompletedRead(
+                    request=request,
+                    bank=coords.bank,
+                    row=coords.row,
+                    row_hit=row_hit,
+                    cas_issue_ns=cas_at,
+                    data_start_ns=data_start,
+                    data_end_ns=data_end,
+                )
+            )
+        return self.completed
+
+    # ------------------------------------------------------------ statistics
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of completed reads that hit an open row."""
+        if not self.completed:
+            return 0.0
+        return sum(1 for c in self.completed if c.row_hit) / len(self.completed)
+
+    @property
+    def bus_utilisation(self) -> float:
+        """Data-bus busy fraction over the simulated span."""
+        if not self.completed:
+            return 0.0
+        span = max(c.data_end_ns for c in self.completed) - min(
+            c.request.arrival_ns for c in self.completed
+        )
+        if span <= 0:
+            return 1.0
+        return len(self.completed) * self.bus.burst_time_ns / span
+
+    @property
+    def average_latency_ns(self) -> float:
+        """Mean arrival-to-completion latency."""
+        if not self.completed:
+            return 0.0
+        return sum(c.latency_ns for c in self.completed) / len(self.completed)

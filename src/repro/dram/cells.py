@@ -1,0 +1,147 @@
+"""DRAM bit-cell charge decay physics.
+
+This replaces the paper's physical apparatus (compressed-air freezing,
+socket transfers, §III-D retention measurements) with a statistical
+model that produces memory images with the same error structure the
+attack must tolerate:
+
+* an unrefreshed cell relaxes toward its **ground state** — some cells
+  (true cells) decay to 0, others (anti cells) to 1, in board-layout
+  regions (Halderman et al. 2008 observed the same striping);
+* decay is strongly temperature dependent: retention roughly doubles
+  for every ~9 °C of cooling, which is why a −25 °C module survives a
+  5 s transfer with 90–99 % of its bits intact while a warm module
+  loses a large fraction within 3 s (§III-D);
+* per-cell retention times are dispersed, modelled by a Weibull
+  survival curve: S(t) = exp(−(t/τ)^β).
+
+The model is *incremental*: a module tracks its normalised "decay age",
+so freezing, transferring warm, and resocketing compose correctly
+(decaying 2 s then 3 s equals decaying 5 s at the same temperature).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import derive_seed
+
+#: Bytes processed per chunk when applying decay, to bound the size of
+#: the temporary per-bit random arrays (8 floats per byte).
+DECAY_CHUNK_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class DecayModel:
+    """Weibull charge-decay model with Arrhenius-like temperature scaling.
+
+    ``tau_room_s`` is the characteristic retention time at room
+    temperature; ``doubling_celsius`` is how many degrees of cooling
+    double the retention time; ``beta`` is the Weibull shape (spread of
+    per-cell retention times).
+    """
+
+    tau_room_s: float
+    beta: float = 1.5
+    doubling_celsius: float = 9.0
+    room_celsius: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.tau_room_s <= 0:
+            raise ValueError("tau_room_s must be positive")
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+        if self.doubling_celsius <= 0:
+            raise ValueError("doubling_celsius must be positive")
+
+    def tau_at(self, celsius: float) -> float:
+        """Characteristic retention time at a given temperature."""
+        return self.tau_room_s * 2.0 ** ((self.room_celsius - celsius) / self.doubling_celsius)
+
+    def age_increment(self, seconds: float, celsius: float) -> float:
+        """Normalised decay age accrued by ``seconds`` at ``celsius``.
+
+        Age is time measured in units of τ(θ); accumulating it lets the
+        temperature vary over a power-off interval.
+        """
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        return seconds / self.tau_at(celsius)
+
+    def survival_at_age(self, age: float) -> float:
+        """Fraction of vulnerable bits surviving to normalised ``age``."""
+        if age < 0:
+            raise ValueError("age must be non-negative")
+        return math.exp(-(age**self.beta))
+
+    def flip_fraction(self, seconds: float, celsius: float) -> float:
+        """Unconditional fraction of vulnerable bits flipped after one interval."""
+        return 1.0 - self.survival_at_age(self.age_increment(seconds, celsius))
+
+    def conditional_flip_probability(self, age_before: float, age_after: float) -> float:
+        """P(bit flips in (age_before, age_after] | intact at age_before)."""
+        if age_after < age_before:
+            raise ValueError("age must be non-decreasing")
+        s0 = self.survival_at_age(age_before)
+        s1 = self.survival_at_age(age_after)
+        if s0 <= 0.0:
+            return 1.0
+        return min(1.0, max(0.0, 1.0 - s1 / s0))
+
+
+def ground_state_pattern(
+    n_bytes: int, serial: int | str, stripe_bytes: int = 4096
+) -> np.ndarray:
+    """Per-module ground state: alternating true-cell/anti-cell stripes.
+
+    True-cell stripes decay to 0x00, anti-cell stripes to 0xFF.  The
+    stripe phase is randomised per module serial so different modules
+    have different (but individually stable) ground-state layouts —
+    this is what the "profiling" variant of the reverse cold boot
+    attack measures (§III-A).
+    """
+    if n_bytes <= 0:
+        raise ValueError("n_bytes must be positive")
+    if stripe_bytes <= 0:
+        raise ValueError("stripe_bytes must be positive")
+    rng = np.random.Generator(np.random.PCG64(derive_seed("ground-state", str(serial))))
+    n_stripes = (n_bytes + stripe_bytes - 1) // stripe_bytes
+    stripe_values = np.where(rng.random(n_stripes) < 0.5, 0x00, 0xFF).astype(np.uint8)
+    return np.repeat(stripe_values, stripe_bytes)[:n_bytes]
+
+
+def apply_decay(
+    data: np.ndarray,
+    ground: np.ndarray,
+    flip_probability: float,
+    rng: np.random.Generator,
+) -> int:
+    """Flip each still-charged bit toward ground with ``flip_probability``.
+
+    Operates in place on ``data`` (uint8).  Only bits that differ from
+    the ground state can flip (a discharged cell cannot spontaneously
+    recharge).  Returns the number of bits flipped.
+    """
+    if data.shape != ground.shape:
+        raise ValueError("data and ground state must have the same shape")
+    if not 0.0 <= flip_probability <= 1.0:
+        raise ValueError(f"flip probability out of range: {flip_probability}")
+    if flip_probability == 0.0:
+        return 0
+    flipped = 0
+    n = len(data)
+    for start in range(0, n, DECAY_CHUNK_BYTES):
+        stop = min(n, start + DECAY_CHUNK_BYTES)
+        chunk = data[start:stop]
+        vulnerable = chunk ^ ground[start:stop]
+        if flip_probability >= 1.0:
+            mask = vulnerable
+        else:
+            raw = rng.random((stop - start) * 8, dtype=np.float32) < flip_probability
+            mask = np.packbits(raw) & vulnerable
+        chunk ^= mask
+        flipped += int(np.unpackbits(mask).sum())
+    return flipped

@@ -1,0 +1,83 @@
+"""Memory images: what a cold boot attacker actually holds.
+
+A :class:`MemoryImage` is an immutable snapshot of (a region of) DRAM —
+either a raw module dump or a dump read back through a (de)scrambler.
+Everything downstream (key mining, AES search, correlation analysis)
+consumes these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.util.bits import hamming_distance_arrays
+from repro.util.blocks import BLOCK_SIZE, as_block_matrix
+
+
+@dataclass(frozen=True)
+class MemoryImage:
+    """An immutable dump of physical memory starting at ``base_address``."""
+
+    data: bytes
+    base_address: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_address % BLOCK_SIZE:
+            raise ValueError("base address must be 64-byte aligned")
+        if len(self.data) % BLOCK_SIZE:
+            raise ValueError("image length must be a multiple of 64 bytes")
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of 64-byte blocks in the image."""
+        return len(self.data) // BLOCK_SIZE
+
+    def block(self, index: int) -> bytes:
+        """The ``index``-th 64-byte block."""
+        if not 0 <= index < self.n_blocks:
+            raise IndexError(f"block {index} out of range (0..{self.n_blocks - 1})")
+        return self.data[index * BLOCK_SIZE : (index + 1) * BLOCK_SIZE]
+
+    def block_address(self, index: int) -> int:
+        """Physical address of the ``index``-th block."""
+        return self.base_address + index * BLOCK_SIZE
+
+    def blocks_matrix(self) -> np.ndarray:
+        """The image as an ``(n_blocks, 64)`` uint8 matrix (zero copy)."""
+        return as_block_matrix(self.data)
+
+    def xor(self, other: "MemoryImage") -> "MemoryImage":
+        """Blockwise XOR of two images of the same region.
+
+        This is the operation that collapses a DDR3 dump-of-a-dump into
+        a single universal key (§II-C) — and conspicuously fails to do
+        so on DDR4.
+        """
+        if len(other) != len(self) or other.base_address != self.base_address:
+            raise ValueError("can only XOR images of the same region")
+        a = np.frombuffer(self.data, dtype=np.uint8)
+        b = np.frombuffer(other.data, dtype=np.uint8)
+        return MemoryImage((a ^ b).tobytes(), self.base_address)
+
+    def bit_error_rate(self, reference: "MemoryImage") -> float:
+        """Fraction of differing bits vs a reference image."""
+        if len(reference) != len(self):
+            raise ValueError("images must have equal length")
+        a = np.frombuffer(self.data, dtype=np.uint8)
+        b = np.frombuffer(reference.data, dtype=np.uint8)
+        return float(hamming_distance_arrays(a, b, axis=None)) / (8 * len(self.data))
+
+    def save(self, path: str | Path) -> None:
+        """Write the raw image to disk."""
+        Path(path).write_bytes(self.data)
+
+    @classmethod
+    def load(cls, path: str | Path, base_address: int = 0) -> "MemoryImage":
+        """Read a raw image from disk."""
+        return cls(Path(path).read_bytes(), base_address)

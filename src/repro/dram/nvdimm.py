@@ -1,0 +1,86 @@
+"""Non-volatile DIMMs — the coming storm the paper warns about.
+
+§II-C and §V: "the emergence of non-volatile DIMMs that fit into DDR4
+buses is going to exacerbate the risk of cold boot attacks.  Hence,
+strong full memory encryption is going to be even more crucial on such
+systems."  The attacker "would not even need to cool down the modules
+before transferring data to a separate machine."
+
+An :class:`NvdimmModule` is a drop-in :class:`~repro.dram.module.DramModule`
+whose cells simply never decay: power it off, carry it across town, and
+every bit survives.  Against a scrambler-only system this removes the
+attack's only loss channel; the end-to-end demonstration lives in the
+integration tests and the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.cells import DecayModel
+from repro.dram.module import DramModule
+from repro.dram.retention import ModuleProfile
+
+#: An effectively-infinite retention profile for NVRAM media (years at
+#: any temperature; the Weibull machinery still works, it just never
+#: accumulates meaningful age on attack timescales).
+NVDIMM_PROFILE = ModuleProfile(
+    name="NVDIMM_A",
+    generation="DDR4",
+    manufacturer="vendor-nv",
+    decay=DecayModel(tau_room_s=3.15e8, beta=1.5, doubling_celsius=9.0),  # ~decade
+)
+
+
+class NvdimmModule(DramModule):
+    """A DDR4-socket non-volatile DIMM: contents survive power loss.
+
+    Subclasses the DRAM module so controllers, machines and the attack
+    toolkit treat it identically; only the decay behaviour differs
+    (there is none) and there is no meaningful "ground state" to decay
+    toward — an unpowered NVDIMM just keeps its bits.
+    """
+
+    def __init__(self, capacity_bytes: int, serial: int = 0) -> None:
+        super().__init__(capacity_bytes, NVDIMM_PROFILE, serial=serial)
+
+    def advance_time(self, seconds: float) -> int:
+        """Time passes; nothing is lost (returns 0 flipped bits)."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        # Skip the decay machinery entirely: NV media holds its charge.
+        return 0
+
+
+@dataclass(frozen=True)
+class NvdimmThreatComparison:
+    """How an NVDIMM changes the attacker's logistics vs DRAM."""
+
+    dram_retention_at_20c_60s: float
+    nvdimm_retention_at_20c_60s: float
+
+    @property
+    def needs_cooling(self) -> tuple[bool, bool]:
+        """(DRAM needs the duster, NVDIMM needs the duster)."""
+        return (self.dram_retention_at_20c_60s < 0.99, False)
+
+
+def compare_nvdimm_threat(capacity_bytes: int = 64 * 1024) -> NvdimmThreatComparison:
+    """Quantify §V's warning: warm 60 s transfers, DRAM vs NVDIMM."""
+    from repro.dram.module import random_fill
+
+    results = []
+    for module in (
+        DramModule(capacity_bytes, "DDR4_A", serial=1),
+        NvdimmModule(capacity_bytes, serial=1),
+    ):
+        payload = random_fill(module)
+        module.power_off()
+        module.set_temperature(20.0)
+        module.advance_time(60.0)
+        module.power_on()
+        results.append(module.fraction_correct(payload))
+    return NvdimmThreatComparison(
+        dram_retention_at_20c_60s=results[0],
+        nvdimm_retention_at_20c_60s=results[1],
+    )

@@ -1,0 +1,98 @@
+"""Thermal trajectory of a DIMM in transit.
+
+§III-D's numbers assume the module *stays* cold during the transfer,
+but a sprayed DIMM starts warming the moment it leaves the chassis.
+Newton's law of cooling gives the trajectory:
+
+    T(t) = T_ambient + (T_0 − T_ambient) · exp(−t / τ_thermal)
+
+The decay integrator in :class:`~repro.dram.module.DramModule` already
+accumulates normalised age under a *varying* temperature, so a warming
+transfer is just the trajectory sampled in steps.  This module provides
+that sampling plus the planning question an attacker actually has: how
+long can the transfer take before retention drops below a target?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dram.module import DramModule
+from repro.dram.retention import ModuleProfile
+
+#: Rough thermal time constant of a bare DIMM in still air (seconds).
+#: Small thermal mass, large surface: a sprayed module warms in minutes.
+DEFAULT_THERMAL_TAU_S = 90.0
+
+
+@dataclass(frozen=True)
+class ThermalTransfer:
+    """A transfer with the module warming toward ambient."""
+
+    start_celsius: float = -25.0
+    ambient_celsius: float = 20.0
+    thermal_tau_s: float = DEFAULT_THERMAL_TAU_S
+
+    def __post_init__(self) -> None:
+        if self.thermal_tau_s <= 0:
+            raise ValueError("thermal time constant must be positive")
+
+    def temperature_at(self, seconds: float) -> float:
+        """Module temperature ``seconds`` after leaving the chassis."""
+        if seconds < 0:
+            raise ValueError("time must be non-negative")
+        return self.ambient_celsius + (self.start_celsius - self.ambient_celsius) * math.exp(
+            -seconds / self.thermal_tau_s
+        )
+
+    def apply(self, module: DramModule, seconds: float, steps: int = 20) -> int:
+        """Advance an unpowered module through the warming trajectory.
+
+        Subdivides the interval, setting the trajectory temperature for
+        each step; returns total bits decayed.  The module's incremental
+        age accounting makes the subdivision exact in distribution.
+        """
+        if steps < 1:
+            raise ValueError("need at least one step")
+        if seconds < 0:
+            raise ValueError("time must be non-negative")
+        flipped = 0
+        step = seconds / steps
+        for i in range(steps):
+            midpoint = (i + 0.5) * step
+            module.set_temperature(self.temperature_at(midpoint))
+            flipped += module.advance_time(step)
+        return flipped
+
+    def predicted_retention(self, profile: ModuleProfile, seconds: float, steps: int = 50) -> float:
+        """Model-predicted whole-image retention over a warming transfer."""
+        decay = profile.decay
+        age = 0.0
+        step = seconds / steps if steps else 0.0
+        for i in range(steps):
+            midpoint = (i + 0.5) * step
+            age += decay.age_increment(step, self.temperature_at(midpoint))
+        flip = 1.0 - decay.survival_at_age(age)
+        return 1.0 - 0.5 * flip
+
+    def max_transfer_seconds(
+        self, profile: ModuleProfile, retention_floor: float, horizon_s: float = 600.0
+    ) -> float:
+        """Longest transfer keeping retention at or above the floor.
+
+        Binary search over the warming trajectory — the attacker's
+        planning number ("how far can the second machine be?").
+        """
+        if not 0.5 < retention_floor <= 1.0:
+            raise ValueError("retention floor must lie in (0.5, 1.0]")
+        low, high = 0.0, horizon_s
+        if self.predicted_retention(profile, high) >= retention_floor:
+            return high
+        for _ in range(48):
+            mid = (low + high) / 2
+            if self.predicted_retention(profile, mid) >= retention_floor:
+                low = mid
+            else:
+                high = mid
+        return low

@@ -1,0 +1,112 @@
+"""DDR4 timing parameters (JEDEC JESD79-4) used by the §IV analysis.
+
+The zero-exposed-latency argument hinges on two numbers from the DDR4
+standard:
+
+* the nine allowable CAS (column access) latencies all fall between
+  12.5 ns and 15.01 ns — this is the window in which keystream
+  generation must complete to be fully hidden;
+* a DDR4-2400 bus can carry at most 18 back-to-back CAS bursts'
+  worth of data before bus contention throttles further requests —
+  the x-axis of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The nine standard-allowed CAS latencies (ns) per JESD79-4; all lie in
+#: [12.5, 15.01].  Values enumerate the speed-bin grid the paper cites.
+JEDEC_CAS_LATENCIES_NS: tuple[float, ...] = (
+    12.5,
+    12.75,
+    13.0,
+    13.32,
+    13.5,
+    13.75,
+    14.06,
+    14.16,
+    15.01,
+)
+
+#: The fastest standard CAS latency — the tightest window a cipher
+#: engine must fit into for zero exposed latency.
+MIN_CAS_LATENCY_NS: float = min(JEDEC_CAS_LATENCIES_NS)
+MAX_CAS_LATENCY_NS: float = max(JEDEC_CAS_LATENCIES_NS)
+
+
+@dataclass(frozen=True)
+class DdrBusTiming:
+    """Timing of one DDR4 channel's data bus.
+
+    ``io_clock_ghz`` is the I/O bus clock (half the MT/s rating: a
+    DDR4-2400 part clocks its bus at 1.2 GHz and transfers on both
+    edges).  A 64-byte burst is 8 beats on a 64-bit bus, i.e. 4 bus
+    clock cycles.
+    """
+
+    name: str
+    io_clock_ghz: float
+    burst_length: int = 8
+    bus_width_bits: int = 64
+
+    @property
+    def transfer_rate_mts(self) -> float:
+        """Transfer rate in mega-transfers per second."""
+        return self.io_clock_ghz * 2 * 1000
+
+    @property
+    def burst_bytes(self) -> int:
+        """Bytes moved by one burst (one scrambler-key-sized block)."""
+        return self.burst_length * self.bus_width_bits // 8
+
+    @property
+    def burst_time_ns(self) -> float:
+        """Wall-clock time one 64-byte burst occupies the bus."""
+        beats_per_ns = self.io_clock_ghz * 2
+        return self.burst_length / beats_per_ns
+
+    @property
+    def peak_bandwidth_gbs(self) -> float:
+        """Peak bus bandwidth in GB/s."""
+        return self.transfer_rate_mts * self.bus_width_bits / 8 / 1000
+
+    def max_back_to_back_cas(self, window_ns: float = 60.0) -> int:
+        """Bursts that fit back-to-back in one row-cycle window.
+
+        For DDR4-2400 a burst occupies the bus for 8 / 2.4 GHz ≈ 3.33 ns.
+        Within one ~60 ns row-cycle window (tRC), at most
+        ⌊60 / 3.33⌋ = 18 bursts can be streamed back-to-back even with
+        row-buffer hits spread across many banks — the paper's "up to 18
+        back-to-back CAS requests" bound for the Figure 6 sweep.
+        """
+        return max(1, int(window_ns / self.burst_time_ns))
+
+
+#: DDR4-2400: the module the paper uses for the Figure 6 load sweep.
+DDR4_2400 = DdrBusTiming(name="DDR4-2400", io_clock_ghz=1.2)
+
+#: The paper's Figure 6 sweeps 1..18 outstanding back-to-back CAS requests.
+MAX_OUTSTANDING_CAS_DDR4_2400: int = 18
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Core timing of a DRAM device: the read path the cipher must hide in."""
+
+    bus: DdrBusTiming
+    cas_latency_ns: float = MIN_CAS_LATENCY_NS
+    #: Row activate (tRCD) — only row-buffer *misses* pay this; the
+    #: zero-latency argument targets row-buffer hits, the fastest reads.
+    trcd_ns: float = 13.32
+
+    def __post_init__(self) -> None:
+        if self.cas_latency_ns <= 0:
+            raise ValueError("CAS latency must be positive")
+
+    def read_latency_ns(self, row_buffer_hit: bool = True) -> float:
+        """Latency from column command to first data beat."""
+        latency = self.cas_latency_ns
+        if not row_buffer_hit:
+            latency += self.trcd_ns
+        return latency

@@ -1,0 +1,86 @@
+"""Hardware models for the §IV scrambler-replacement proposal.
+
+Everything the paper derived from RTL synthesis and simulation, as
+parametric models: Table II engine specs, the exposed-latency analysis
+against JEDEC CAS windows (Figure 5), the load/queueing sweep
+(Figure 6), and the power/area overhead comparison (Figure 7).
+"""
+
+from repro.engine.ciphers import ENGINE_SPECS, TABLE_II_PUBLISHED, CipherEngineSpec
+from repro.engine.pipeline import (
+    ExposedLatency,
+    exposed_latency,
+    exposure_table,
+    viable_replacements,
+)
+from repro.engine.power import (
+    CPU_PROFILES,
+    CpuProfile,
+    OverheadEstimate,
+    estimate_overhead,
+    overhead_grid,
+)
+from repro.engine.mobile import (
+    MOBILE_MAX_OUTSTANDING,
+    MobileVerdict,
+    mobile_tradeoff_sweep,
+    time_multiplexed,
+)
+from repro.engine.overlap import OverlapResult, overlap_comparison, simulate_overlap
+from repro.engine.queuing import ARBITRATION_NS, LoadPoint, load_sweep, simulate_burst
+from repro.engine.sgx_model import (
+    SchemeComparison,
+    SgxLikeEngine,
+    security_performance_table,
+)
+from repro.engine.writes import (
+    WritePathAnalysis,
+    all_engines_bus_limited,
+    analyze_write_path,
+    write_buffer_fill_time_ns,
+)
+from repro.engine.traffic import (
+    TrafficProfile,
+    bursty_reads,
+    profile,
+    random_reads,
+    streaming_reads,
+)
+
+__all__ = [
+    "ARBITRATION_NS",
+    "MOBILE_MAX_OUTSTANDING",
+    "MobileVerdict",
+    "CPU_PROFILES",
+    "ENGINE_SPECS",
+    "TABLE_II_PUBLISHED",
+    "CipherEngineSpec",
+    "CpuProfile",
+    "ExposedLatency",
+    "LoadPoint",
+    "OverlapResult",
+    "SchemeComparison",
+    "SgxLikeEngine",
+    "TrafficProfile",
+    "WritePathAnalysis",
+    "OverheadEstimate",
+    "estimate_overhead",
+    "exposed_latency",
+    "exposure_table",
+    "load_sweep",
+    "mobile_tradeoff_sweep",
+    "time_multiplexed",
+    "overhead_grid",
+    "simulate_burst",
+    "simulate_overlap",
+    "overlap_comparison",
+    "security_performance_table",
+    "streaming_reads",
+    "random_reads",
+    "bursty_reads",
+    "profile",
+    "viable_replacements",
+    "all_engines_bus_limited",
+    "analyze_write_path",
+    "write_buffer_fill_time_ns",
+]

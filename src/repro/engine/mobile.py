@@ -1,0 +1,93 @@
+"""Low-power engine variants for mobile devices (§IV-C, closing note).
+
+"For low-power mobile devices, more energy-efficient memory encryption
+can be achieved by using cipher engines that have much lower
+performance than what we proposed here.  Such trade-off is possible as
+mobile-CPUs are not likely to produce a large number of back-to-back
+CAS requests..."
+
+The high-performance engines of Table II dedicate one hardware unit per
+round; a mobile variant **time-multiplexes** a single round unit,
+cutting area and power roughly by the number of rounds while
+multiplying cycles per block by the same factor.  This module derives
+those variants and checks where they still hide inside the CAS window
+at mobile-class (shallow-queue) loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.dram.timing import MIN_CAS_LATENCY_NS
+from repro.engine.ciphers import ENGINE_SPECS, CipherEngineSpec
+from repro.engine.queuing import simulate_burst
+
+#: Mobile memory systems rarely keep more than a few CAS in flight.
+MOBILE_MAX_OUTSTANDING = 4
+
+
+def time_multiplexed(spec: CipherEngineSpec | str, reuse_factor: int | None = None) -> CipherEngineSpec:
+    """Derive a single-round-unit (time-multiplexed) engine variant.
+
+    ``reuse_factor`` defaults to the round count: one physical round
+    unit iterated.  Cycles per block scale up by the factor; dynamic
+    power and area scale down by it (fewer switching gates and less
+    silicon), with a floor for the datapath/registers that cannot be
+    shared (modelled as 20 % of the original).
+    """
+    base = ENGINE_SPECS[spec] if isinstance(spec, str) else spec
+    factor = base.rounds if reuse_factor is None else reuse_factor
+    if factor < 1 or factor > base.rounds:
+        raise ValueError(f"reuse factor must lie in 1..{base.rounds}")
+    shrink = 0.2 + 0.8 / factor  # shared control/datapath floor at 20 %
+    variant = replace(
+        base,
+        name=f"{base.name}-tm{factor}",
+        dynamic_power_w=base.dynamic_power_w * shrink,
+        static_power_w=base.static_power_w * shrink,
+        area_mm2=base.area_mm2 * shrink,
+    )
+    # Cycles scale with the reuse factor: the single unit runs the
+    # round function `factor` times as many cycles per block.  Encode by
+    # scaling rounds in the structural model (same formulas apply).
+    return replace(variant, rounds=base.rounds * factor)
+
+
+@dataclass(frozen=True)
+class MobileVerdict:
+    """Whether a variant still hides at mobile load, and what it saves."""
+
+    engine: str
+    pipeline_delay_ns: float
+    exposed_ns_at_mobile_load: float
+    power_saving_fraction: float
+    area_saving_fraction: float
+
+    @property
+    def hidden(self) -> bool:
+        return self.exposed_ns_at_mobile_load == 0.0
+
+
+def mobile_tradeoff_sweep(
+    base_engine: str = "ChaCha8",
+    reuse_factors: tuple[int, ...] = (1, 2, 4, 8),
+    cas_latency_ns: float = MIN_CAS_LATENCY_NS,
+) -> list[MobileVerdict]:
+    """Sweep reuse factors for one engine at mobile-class load."""
+    base = ENGINE_SPECS[base_engine]
+    verdicts = []
+    for factor in reuse_factors:
+        variant = time_multiplexed(base, factor)
+        point = simulate_burst(variant, MOBILE_MAX_OUTSTANDING, cas_latency_ns=cas_latency_ns)
+        verdicts.append(
+            MobileVerdict(
+                engine=variant.name,
+                pipeline_delay_ns=variant.pipeline_delay_ns,
+                exposed_ns_at_mobile_load=point.exposed_ns,
+                power_saving_fraction=1.0
+                - (variant.dynamic_power_w + variant.static_power_w)
+                / (base.dynamic_power_w + base.static_power_w),
+                area_saving_fraction=1.0 - variant.area_mm2 / base.area_mm2,
+            )
+        )
+    return verdicts

@@ -1,0 +1,108 @@
+"""Power and area overhead of strong memory encryption — Figure 7.
+
+The paper compares each engine (one instance per memory channel)
+against four 45 nm Intel CPUs, using TDP and die size from product
+sheets, at full bandwidth utilisation and at a more realistic 20 %
+(dynamic power scaled linearly; even data-intensive scale-out workloads
+use ≲15 % of DRAM bandwidth per Ferdman et al., so 20 % is
+conservative).  The CPU numbers below are the public product-sheet
+values; the engine numbers live in :mod:`repro.engine.ciphers`.
+
+Expected shape (asserted by the benchmark): area overhead ≈1 % or less
+everywhere; power overhead <3 % on everything except the tiny Atom,
+which peaks ≈17 % at full utilisation and drops below ≈6 % at 20 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.ciphers import ENGINE_SPECS, CipherEngineSpec
+
+
+@dataclass(frozen=True)
+class CpuProfile:
+    """One comparison platform (45 nm, from Intel product sheets)."""
+
+    name: str
+    segment: str
+    tdp_w: float
+    die_area_mm2: float
+    memory_channels: int
+
+    def __post_init__(self) -> None:
+        if self.tdp_w <= 0 or self.die_area_mm2 <= 0 or self.memory_channels < 1:
+            raise ValueError("implausible CPU profile")
+
+
+#: The four platforms of Figure 7.
+CPU_PROFILES: dict[str, CpuProfile] = {
+    "Atom N280": CpuProfile("Atom N280", "mobile", tdp_w=2.5, die_area_mm2=26.0, memory_channels=1),
+    "Core i3-330M": CpuProfile("Core i3-330M", "desktop", tdp_w=35.0, die_area_mm2=81.0, memory_channels=2),
+    "Core i5-700": CpuProfile("Core i5-700", "high-end desktop", tdp_w=95.0, die_area_mm2=296.0, memory_channels=2),
+    "Xeon W3520": CpuProfile("Xeon W3520", "server", tdp_w=130.0, die_area_mm2=263.0, memory_channels=3),
+}
+
+
+@dataclass(frozen=True)
+class OverheadEstimate:
+    """Engine-vs-CPU overhead at one utilisation level."""
+
+    cpu: str
+    engine: str
+    utilisation: float
+    power_w: float
+    power_overhead: float
+    area_mm2: float
+    area_overhead: float
+
+    @property
+    def power_overhead_percent(self) -> float:
+        return 100.0 * self.power_overhead
+
+    @property
+    def area_overhead_percent(self) -> float:
+        return 100.0 * self.area_overhead
+
+
+def estimate_overhead(
+    cpu: CpuProfile | str,
+    engine: CipherEngineSpec | str,
+    utilisation: float = 1.0,
+) -> OverheadEstimate:
+    """Power/area overhead of one engine per channel on one CPU.
+
+    Dynamic power scales linearly with bandwidth utilisation (activity
+    factors); static power does not scale.
+    """
+    profile = CPU_PROFILES[cpu] if isinstance(cpu, str) else cpu
+    spec = ENGINE_SPECS[engine] if isinstance(engine, str) else engine
+    if not 0.0 <= utilisation <= 1.0:
+        raise ValueError("utilisation must lie in [0, 1]")
+    per_channel = spec.dynamic_power_w * utilisation + spec.static_power_w
+    power = per_channel * profile.memory_channels
+    area = spec.area_mm2 * profile.memory_channels
+    return OverheadEstimate(
+        cpu=profile.name,
+        engine=spec.name,
+        utilisation=utilisation,
+        power_w=power,
+        power_overhead=power / profile.tdp_w,
+        area_mm2=area,
+        area_overhead=area / profile.die_area_mm2,
+    )
+
+
+def overhead_grid(
+    engines: tuple[str, ...] = ("AES-128", "ChaCha8"),
+    utilisations: tuple[float, ...] = (1.0, 0.2),
+    cpus: dict[str, CpuProfile] | None = None,
+) -> list[OverheadEstimate]:
+    """The full Figure 7 grid: CPUs × engines × utilisation levels."""
+    cpus = CPU_PROFILES if cpus is None else cpus
+    return [
+        estimate_overhead(profile, ENGINE_SPECS[engine], utilisation)
+        for profile in cpus.values()
+        for engine in engines
+        for utilisation in utilisations
+    ]

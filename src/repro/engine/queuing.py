@@ -1,0 +1,120 @@
+"""Decryption latency under load — the Figure 6 simulation.
+
+The load scenario: a burst of back-to-back row-buffer hits on one
+DDR4-2400 channel.  The data bus drains one 64-byte burst every
+3.33 ns, and at most 18 such bursts fit in a row-cycle window, so the
+sweep runs from 1 to 18 outstanding requests.
+
+The structural difference between the ciphers under load: ChaCha turns
+one counter into a whole 64-byte keystream, while AES-CTR must push
+**four** counter blocks through its pipeline per memory burst.  At peak
+load the AES front-end therefore runs at the bus's drain rate with zero
+slack, and per-request scheduling overhead accumulates as queueing
+delay — the effect the paper describes as "the queuing delay at the
+input of the AES modules starts to slow AES".
+
+Model (documented assumptions — the paper does not disclose its
+queueing micro-assumptions, so one parameter is calibrated):
+
+* request *i* of the burst issues at ``i × burst_time`` (bus-limited
+  command streaming) and its data leaves the row buffer at
+  ``CAS + i × burst_time``;
+* the engine front-end injects one counter per memory-controller clock
+  (1.2 GHz for DDR4-2400), FIFO across requests, plus a fixed
+  per-request arbitration overhead (``ARBITRATION_NS``, calibrated so
+  AES-128's worst-case exposure reproduces the paper's 1.3 ns);
+* a request's keystream is ready one pipeline delay after its last
+  counter enters.
+
+With these assumptions the model reproduces Figure 6's qualitative and
+headline quantitative content: ChaCha8 stays below the 12.5 ns window
+at every load; AES-128/256 win when the queue is shallow but cross
+ChaCha8 as outstanding requests approach 18, with AES-128 exposing
+≈1.3 ns worst-case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import DDR4_2400, MIN_CAS_LATENCY_NS, DdrBusTiming
+from repro.engine.ciphers import ENGINE_SPECS, CipherEngineSpec
+
+#: Calibrated per-request front-end arbitration overhead (ns).  Chosen
+#: so the model's AES-128 worst-case exposed latency at 18 back-to-back
+#: CAS requests matches the paper's reported 1.3 ns.
+ARBITRATION_NS = 0.49
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """Latency of the worst-off request at one load level."""
+
+    engine: str
+    outstanding_requests: int
+    #: Keystream latency (pipeline + queueing) of the slowest request,
+    #: measured from that request's own command issue.
+    decryption_latency_ns: float
+    cas_latency_ns: float
+
+    @property
+    def exposed_ns(self) -> float:
+        """Extra latency beyond the CAS window (0 = fully hidden)."""
+        return max(0.0, self.decryption_latency_ns - self.cas_latency_ns)
+
+    @property
+    def bandwidth_utilisation(self) -> float:
+        """Fraction of the 18-deep burst capacity in use."""
+        return self.outstanding_requests / 18.0
+
+
+def simulate_burst(
+    engine: CipherEngineSpec | str,
+    outstanding_requests: int,
+    bus: DdrBusTiming = DDR4_2400,
+    cas_latency_ns: float = MIN_CAS_LATENCY_NS,
+    arbitration_ns: float = ARBITRATION_NS,
+) -> LoadPoint:
+    """Discrete-event simulation of one back-to-back CAS burst."""
+    spec = ENGINE_SPECS[engine] if isinstance(engine, str) else engine
+    if outstanding_requests < 1:
+        raise ValueError("need at least one outstanding request")
+    memory_clock_ns = 1.0 / bus.io_clock_ghz
+    burst_ns = bus.burst_time_ns
+    # Front-end occupancy per request: its counters enter at the memory
+    # clock, plus the arbitration slot.  For AES this equals the bus
+    # drain rate with zero slack (4 × 0.833 ns ≈ 3.33 ns), so the
+    # arbitration overhead accumulates; ChaCha's single counter leaves
+    # ample slack and never queues.
+    occupancy = spec.counters_per_block * memory_clock_ns + arbitration_ns
+    front_end_free = 0.0
+    worst_latency = 0.0
+    for i in range(outstanding_requests):
+        issue = i * burst_ns
+        start = max(issue, front_end_free)
+        front_end_free = start + occupancy
+        ready = start + spec.pipeline_delay_ns
+        worst_latency = max(worst_latency, ready - issue)
+    return LoadPoint(
+        engine=spec.name,
+        outstanding_requests=outstanding_requests,
+        decryption_latency_ns=worst_latency,
+        cas_latency_ns=cas_latency_ns,
+    )
+
+
+def load_sweep(
+    engines: dict[str, CipherEngineSpec] | None = None,
+    max_outstanding: int | None = None,
+    bus: DdrBusTiming = DDR4_2400,
+    cas_latency_ns: float = MIN_CAS_LATENCY_NS,
+) -> list[LoadPoint]:
+    """The full Figure 6 grid: every engine × every burst depth."""
+    engines = ENGINE_SPECS if engines is None else engines
+    if max_outstanding is None:
+        max_outstanding = bus.max_back_to_back_cas()
+    return [
+        simulate_burst(spec, n, bus, cas_latency_ns)
+        for spec in engines.values()
+        for n in range(1, max_outstanding + 1)
+    ]

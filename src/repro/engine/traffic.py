@@ -1,0 +1,123 @@
+"""Memory read-traffic generators for the §IV load analyses.
+
+Figure 6's x-axis is "bandwidth utilisation" and Figure 7 scales power
+by it; the paper justifies its 20 % operating point by citing Ferdman
+et al.'s finding that even data-intensive scale-out workloads use
+≲15 % of DRAM bandwidth.  These generators produce read-request streams
+with controllable intensity and locality so the bus + engine simulators
+can be driven across that whole space:
+
+* :func:`streaming_reads` — sequential scans (high row-hit rate, the
+  media-streaming shape);
+* :func:`random_reads` — pointer-chasing (row misses dominate);
+* :func:`bursty_reads` — back-to-back bursts followed by idle gaps, the
+  Figure 6 worst case embedded in a longer trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.bus import ReadRequest
+from repro.util.blocks import BLOCK_SIZE
+from repro.util.rng import SplitMix64, derive_seed
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """Summary statistics of a generated request stream."""
+
+    n_requests: int
+    span_ns: float
+
+    @property
+    def offered_bandwidth_gbs(self) -> float:
+        """Requested bytes per nanosecond (= GB/s)."""
+        if self.span_ns <= 0:
+            return 0.0
+        return self.n_requests * BLOCK_SIZE / self.span_ns
+
+
+def _validate(n_requests: int, interarrival_ns: float) -> None:
+    if n_requests < 1:
+        raise ValueError("need at least one request")
+    if interarrival_ns <= 0:
+        raise ValueError("interarrival must be positive")
+
+
+def streaming_reads(
+    n_requests: int,
+    interarrival_ns: float,
+    start_address: int = 0,
+    stride_bytes: int = BLOCK_SIZE,
+) -> list[ReadRequest]:
+    """A sequential scan: consecutive blocks, almost all row hits."""
+    _validate(n_requests, interarrival_ns)
+    if stride_bytes % BLOCK_SIZE:
+        raise ValueError("stride must be whole blocks")
+    return [
+        ReadRequest(arrival_ns=i * interarrival_ns, physical_address=start_address + i * stride_bytes)
+        for i in range(n_requests)
+    ]
+
+
+def random_reads(
+    n_requests: int,
+    interarrival_ns: float,
+    memory_bytes: int,
+    seed: int | str = 0,
+) -> list[ReadRequest]:
+    """Uniform random block reads: the row-miss-heavy pointer chase."""
+    _validate(n_requests, interarrival_ns)
+    if memory_bytes < BLOCK_SIZE:
+        raise ValueError("memory must hold at least one block")
+    rng = SplitMix64(derive_seed("traffic-random", str(seed)))
+    n_blocks = memory_bytes // BLOCK_SIZE
+    return [
+        ReadRequest(
+            arrival_ns=i * interarrival_ns,
+            physical_address=rng.next_below(n_blocks) * BLOCK_SIZE,
+        )
+        for i in range(n_requests)
+    ]
+
+
+def bursty_reads(
+    n_bursts: int,
+    burst_length: int,
+    idle_gap_ns: float,
+    memory_bytes: int,
+    seed: int | str = 0,
+) -> list[ReadRequest]:
+    """Back-to-back sequential bursts separated by idle gaps.
+
+    Each burst issues ``burst_length`` consecutive-block reads with zero
+    interarrival (they queue at the controller) — the Figure 6 scenario
+    — then the channel idles for ``idle_gap_ns``.
+    """
+    if n_bursts < 1 or burst_length < 1:
+        raise ValueError("need at least one burst of at least one request")
+    if idle_gap_ns < 0:
+        raise ValueError("idle gap must be non-negative")
+    rng = SplitMix64(derive_seed("traffic-bursty", str(seed)))
+    n_blocks = memory_bytes // BLOCK_SIZE
+    if n_blocks < burst_length:
+        raise ValueError("memory too small for the burst length")
+    requests = []
+    clock = 0.0
+    for _ in range(n_bursts):
+        start_block = rng.next_below(n_blocks - burst_length + 1)
+        for i in range(burst_length):
+            requests.append(
+                ReadRequest(arrival_ns=clock, physical_address=(start_block + i) * BLOCK_SIZE)
+            )
+        clock += idle_gap_ns
+    return requests
+
+
+def profile(requests: list[ReadRequest]) -> TrafficProfile:
+    """Summarise a request stream."""
+    if not requests:
+        return TrafficProfile(n_requests=0, span_ns=0.0)
+    arrivals = [r.arrival_ns for r in requests]
+    return TrafficProfile(n_requests=len(requests), span_ns=max(arrivals) - min(arrivals))

@@ -1,0 +1,95 @@
+"""The write path — why §IV only worries about reads.
+
+"Delays on memory writes are tolerable as the CPU can proceed with
+other tasks while stores are being performed.  It is crucial that we
+reduce decryption delays since memory read latency is one of the major
+bottlenecks in today's systems."  (§IV-B)
+
+This module makes that dismissal quantitative: stores retire into a
+write buffer and drain to DRAM asynchronously, so encryption latency on
+the write path only matters when the buffer *fills* — i.e. when the
+sustained store rate exceeds the drain rate.  Since keystream
+generation is pipelined (one block per engine initiation interval), the
+drain rate is bus-limited, not crypto-limited, for every Table II
+engine; encryption deepens the pipeline without narrowing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import DDR4_2400, DdrBusTiming
+from repro.engine.ciphers import ENGINE_SPECS, CipherEngineSpec
+
+
+@dataclass(frozen=True)
+class WritePathAnalysis:
+    """Sustained-rate analysis of the encrypted write path."""
+
+    engine: str
+    #: 64-byte blocks per second the engine can encrypt, sustained.
+    engine_throughput_gbs: float
+    #: 64-byte blocks per second the bus can drain.
+    bus_throughput_gbs: float
+    #: Added occupancy per store while the buffer has room (ns) — this
+    #: is latency the CPU never observes.
+    hidden_latency_ns: float
+
+    @property
+    def crypto_limited(self) -> bool:
+        """True when encryption, not the bus, bounds the drain rate."""
+        return self.engine_throughput_gbs < self.bus_throughput_gbs
+
+    @property
+    def throughput_margin(self) -> float:
+        """Engine sustained throughput over bus demand (≥1 is free)."""
+        return self.engine_throughput_gbs / self.bus_throughput_gbs
+
+
+def analyze_write_path(
+    engine: CipherEngineSpec | str, bus: DdrBusTiming = DDR4_2400
+) -> WritePathAnalysis:
+    """Check one engine's write path against one bus."""
+    spec = ENGINE_SPECS[engine] if isinstance(engine, str) else engine
+    return WritePathAnalysis(
+        engine=spec.name,
+        engine_throughput_gbs=spec.throughput_gb_per_s,
+        bus_throughput_gbs=bus.peak_bandwidth_gbs,
+        hidden_latency_ns=spec.pipeline_delay_ns,
+    )
+
+
+def write_buffer_fill_time_ns(
+    engine: CipherEngineSpec | str,
+    buffer_entries: int,
+    store_interarrival_ns: float,
+    bus: DdrBusTiming = DDR4_2400,
+) -> float | None:
+    """When (if ever) a store buffer fills under a sustained store rate.
+
+    Drain rate is the slower of bus and engine; if arrivals are slower
+    than drain, the buffer never fills (returns None) and encryption
+    adds zero observable write latency — the §IV-B claim.  Otherwise
+    returns the time until a ``buffer_entries``-deep buffer backs up.
+    """
+    if buffer_entries < 1:
+        raise ValueError("buffer needs at least one entry")
+    if store_interarrival_ns <= 0:
+        raise ValueError("interarrival must be positive")
+    spec = ENGINE_SPECS[engine] if isinstance(engine, str) else engine
+    drain_ns_per_block = max(
+        bus.burst_time_ns, 64.0 / spec.throughput_gb_per_s
+    )
+    growth_per_block = drain_ns_per_block - store_interarrival_ns
+    if growth_per_block <= 0:
+        return None  # drains at least as fast as stores arrive
+    # Occupancy grows one entry per (interarrival) while drain lags.
+    blocks_to_fill = buffer_entries * drain_ns_per_block / growth_per_block
+    return blocks_to_fill * store_interarrival_ns
+
+
+def all_engines_bus_limited(bus: DdrBusTiming = DDR4_2400) -> bool:
+    """§IV-B's write-path verdict for every Table II engine at once."""
+    return all(
+        not analyze_write_path(name, bus).crypto_limited for name in ENGINE_SPECS
+    )

@@ -1,0 +1,39 @@
+"""Memory scrambler models: DDR3 (SandyBridge) and DDR4 (Skylake).
+
+These reproduce the properties the paper measured empirically — key
+pool sizes, seed/address mixing, reboot behaviour, and the DDR4 key
+invariants — without claiming to match Intel's undisclosed RTL.  The
+attack code never relies on anything beyond the measured properties.
+"""
+
+from repro.scrambler.analysis import (
+    KeyCensus,
+    ScramblerCharacterisation,
+    SeedMixingReport,
+    analyze_scrambler,
+    census,
+    infer_key_index_bits,
+    seed_mixing_analysis,
+)
+from repro.scrambler.base import ScramblerModel, bios_seed
+from repro.scrambler.ddr3 import Ddr3Scrambler
+from repro.scrambler.ddr4 import Ddr4Scrambler
+from repro.scrambler.lfsr import MAXIMAL_TAPS, FibonacciLfsr, GaloisLfsr, lfsr_period
+
+__all__ = [
+    "MAXIMAL_TAPS",
+    "KeyCensus",
+    "ScramblerCharacterisation",
+    "SeedMixingReport",
+    "Ddr3Scrambler",
+    "Ddr4Scrambler",
+    "FibonacciLfsr",
+    "GaloisLfsr",
+    "ScramblerModel",
+    "analyze_scrambler",
+    "bios_seed",
+    "census",
+    "infer_key_index_bits",
+    "seed_mixing_analysis",
+    "lfsr_period",
+]

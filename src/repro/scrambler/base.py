@@ -1,0 +1,121 @@
+"""Common scrambler machinery (Figure 1 of the paper).
+
+Every Intel memory scrambler modelled here has the same shape: a PRNG
+keyed by a boot-time seed and a slice of the physical address bits
+produces a 64-byte key per block, which is XOR'd with data on the way
+to DRAM and XOR'd again on the way back.  Generations differ only in
+
+* how many distinct keys exist per channel (the size of the address
+  slice), and
+* how the seed and the address mix (separably on DDR3 — the fatal
+  flaw — and non-separably on DDR4).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.dram.address import DramAddressMap
+from repro.util.blocks import BLOCK_SIZE
+from repro.util.rng import derive_seed
+
+
+class ScramblerModel(ABC):
+    """Abstract scrambler: per-block 64-byte XOR keys from (seed, address)."""
+
+    #: Human-readable generation tag ("ddr3", "ddr4").
+    generation: str = "abstract"
+
+    def __init__(self, address_map: DramAddressMap, boot_seed: int) -> None:
+        self.address_map = address_map
+        self.boot_seed = boot_seed
+        self._key_cache: dict[tuple[int, int], bytes] = {}
+
+    # ------------------------------------------------------------- key model
+
+    @abstractmethod
+    def _generate_key(self, channel: int, key_index: int) -> bytes:
+        """Produce the 64-byte key for one (channel, key-index) pair."""
+
+    @property
+    def keys_per_channel(self) -> int:
+        """Size of the per-channel key pool (16 on DDR3, 4096 on DDR4)."""
+        return self.address_map.keys_per_channel
+
+    def reseed(self, boot_seed: int) -> None:
+        """Simulate a reboot: the BIOS writes a fresh scrambler seed."""
+        self.boot_seed = boot_seed
+        self._key_cache.clear()
+
+    def key_for(self, channel: int, key_index: int) -> bytes:
+        """The 64-byte key for a (channel, key-index) pair, cached."""
+        if not 0 <= key_index < self.keys_per_channel:
+            raise ValueError(f"key index {key_index} out of range")
+        cache_key = (channel, key_index)
+        key = self._key_cache.get(cache_key)
+        if key is None:
+            key = self._generate_key(channel, key_index)
+            if len(key) != BLOCK_SIZE:
+                raise AssertionError("scrambler keys must be 64 bytes")
+            self._key_cache[cache_key] = key
+        return key
+
+    def key_for_address(self, physical_address: int) -> bytes:
+        """The key that scrambles the block containing ``physical_address``."""
+        channel = self.address_map.channel_of(physical_address)
+        return self.key_for(channel, self.address_map.key_index_of(physical_address))
+
+    def keystream_for_block(self, physical_address: int) -> bytes:
+        """Controller-facing alias: the XOR stream for one block."""
+        if physical_address % BLOCK_SIZE:
+            raise ValueError("keystream requests must be 64-byte aligned")
+        return self.key_for_address(physical_address)
+
+    def all_keys(self, channel: int = 0) -> list[bytes]:
+        """The channel's full key pool, ordered by key index."""
+        return [self.key_for(channel, i) for i in range(self.keys_per_channel)]
+
+    # ------------------------------------------------------------ data path
+
+    def scramble_block(self, physical_address: int, block: bytes) -> bytes:
+        """Scramble one 64-byte block at a 64-byte-aligned address."""
+        if physical_address % BLOCK_SIZE:
+            raise ValueError("block operations require 64-byte alignment")
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"expected a 64-byte block, got {len(block)}")
+        key = np.frombuffer(self.key_for_address(physical_address), dtype=np.uint8)
+        data = np.frombuffer(bytes(block), dtype=np.uint8)
+        return (data ^ key).tobytes()
+
+    #: Scrambling is a self-inverse XOR (Figure 1: "symmetric").
+    descramble_block = scramble_block
+
+    def scramble_range(self, base_address: int, data: bytes) -> bytes:
+        """Scramble a 64-byte-aligned run of whole blocks (vectorised)."""
+        if base_address % BLOCK_SIZE or len(data) % BLOCK_SIZE:
+            raise ValueError("range operations require whole aligned blocks")
+        n = len(data) // BLOCK_SIZE
+        keys = np.empty((n, BLOCK_SIZE), dtype=np.uint8)
+        for i in range(n):
+            keys[i] = np.frombuffer(
+                self.key_for_address(base_address + i * BLOCK_SIZE), dtype=np.uint8
+            )
+        blocks = np.frombuffer(bytes(data), dtype=np.uint8).reshape(n, BLOCK_SIZE)
+        return (blocks ^ keys).tobytes()
+
+    descramble_range = scramble_range
+
+
+def bios_seed(boot_count: int, vendor_resets_seed: bool = True, machine_id: int = 0) -> int:
+    """Model the BIOS scrambler-seed policy observed in §III-B.
+
+    Most BIOSes generate a fresh seed every boot; "BIOS from certain
+    vendors do not reset the scrambler seed every boot cycle and the
+    same set of scrambler keys are reused after reboot."  A non-resetting
+    vendor yields a boot-independent seed.
+    """
+    if vendor_resets_seed:
+        return derive_seed("bios-seed", machine_id, boot_count)
+    return derive_seed("bios-seed-sticky", machine_id)

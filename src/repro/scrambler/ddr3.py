@@ -1,0 +1,81 @@
+"""The DDR3-generation scrambler (SandyBridge / IvyBridge), §II-C.
+
+Reverse engineering by Bauer et al. (2016) established two facts that
+this model reproduces exactly:
+
+1. only **16 distinct 64-byte keys** are generated per channel, so
+   identical plaintext blocks collide visibly throughout memory
+   (Figure 3b);
+2. the seed and the address mix **separably**:
+   ``K(addr, seed) = A(addr_bits) XOR S(seed)``.  Re-reading a
+   scrambled image through a rebooted (re-seeded) scrambler therefore
+   yields data XOR'd with ``S(seed1) XOR S(seed2)`` — a *single
+   universal 64-byte key* for the whole memory, the ECB-like collapse
+   of Figure 3c that made the DDR3 cold boot attack easy.
+
+The address-dependent patterns ``A`` come from per-generation LFSRs
+(the address bits seed the LFSR, per Intel's VLSI-DAT 2011 disclosure);
+the seed-dependent pattern ``S`` comes from an LFSR keyed by the boot
+seed alone.
+"""
+
+from __future__ import annotations
+
+from repro.dram.address import DramAddressMap, address_map_for
+from repro.scrambler.base import ScramblerModel
+from repro.scrambler.lfsr import GaloisLfsr
+from repro.util.blocks import BLOCK_SIZE
+from repro.util.rng import derive_seed
+
+
+class Ddr3Scrambler(ScramblerModel):
+    """SandyBridge/IvyBridge-style scrambler with separable seed mixing."""
+
+    generation = "ddr3"
+
+    def __init__(
+        self,
+        boot_seed: int,
+        address_map: DramAddressMap | None = None,
+        cpu_generation: str = "sandybridge",
+        channels: int = 1,
+    ) -> None:
+        if address_map is None:
+            address_map = address_map_for(cpu_generation, channels)
+        if address_map.keys_per_channel != 16:
+            raise ValueError(
+                "DDR3 scramblers use 16 keys/channel; the address map must "
+                f"select 4 key-index bits, got {address_map.keys_per_channel} keys"
+            )
+        self.cpu_generation = cpu_generation
+        super().__init__(address_map, boot_seed)
+
+    def _address_pattern(self, channel: int, key_index: int) -> bytes:
+        """A(addr): fixed per CPU generation, independent of the boot seed."""
+        lfsr = GaloisLfsr(
+            64, derive_seed("ddr3-addr-pattern", self.cpu_generation, channel, key_index)
+        )
+        return lfsr.next_bytes(BLOCK_SIZE)
+
+    def _seed_pattern(self, channel: int) -> bytes:
+        """S(seed): one 64-byte pattern per channel per boot."""
+        lfsr = GaloisLfsr(64, derive_seed("ddr3-seed-pattern", self.boot_seed, channel))
+        return lfsr.next_bytes(BLOCK_SIZE)
+
+    def _generate_key(self, channel: int, key_index: int) -> bytes:
+        address_part = self._address_pattern(channel, key_index)
+        seed_part = self._seed_pattern(channel)
+        return bytes(a ^ s for a, s in zip(address_part, seed_part))
+
+    def universal_key_against(self, other_seed: int, channel: int = 0) -> bytes:
+        """The single key relating this boot's scrambling to another boot's.
+
+        ``K(idx, seed1) XOR K(idx, seed2) = S(seed1) XOR S(seed2)`` for
+        every idx — the property the DDR3 attack exploits and the DDR4
+        scrambler was redesigned to remove.
+        """
+        mine = self._seed_pattern(channel)
+        other = Ddr3Scrambler(
+            other_seed, self.address_map, self.cpu_generation
+        )._seed_pattern(channel)
+        return bytes(a ^ b for a, b in zip(mine, other))

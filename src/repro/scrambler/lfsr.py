@@ -1,0 +1,124 @@
+"""Linear feedback shift registers — the scrambler's PRNG (§II-C).
+
+Intel's 2011 VLSI-DAT paper disclosed that the Westmere scrambler's
+pseudo-random numbers come from LFSRs seeded with a boot-time value and
+a portion of the address bits.  LFSRs are linear over GF(2), which is
+the deep reason scramblers fail as encryption: XORs of their outputs
+have exploitable structure.  Both scrambler generations here build
+their keystreams from these registers.
+"""
+
+from __future__ import annotations
+
+#: Maximal-length tap masks (Galois form) for common register widths.
+#: Tap positions follow the usual x^w + ... + 1 primitive polynomials.
+MAXIMAL_TAPS: dict[int, int] = {
+    8: 0xB8,  # x^8 + x^6 + x^5 + x^4 + 1
+    16: 0xB400,  # x^16 + x^14 + x^13 + x^11 + 1
+    24: 0xE10000,  # x^24 + x^23 + x^22 + x^17 + 1
+    32: 0xA3000000,  # x^32 + x^31 + x^29 + x^25 + 1
+    64: 0xD800000000000000,  # x^64 + x^63 + x^61 + x^60 + 1
+}
+
+
+class GaloisLfsr:
+    """A Galois-configuration LFSR of configurable width and taps.
+
+    The register must never be all-zero (the LFSR would lock up); the
+    constructor coerces a zero seed to 1, as hardware seed registers do
+    by construction.
+    """
+
+    def __init__(self, width: int, seed: int, taps: int | None = None) -> None:
+        if width < 2 or width > 128:
+            raise ValueError(f"unsupported LFSR width: {width}")
+        if taps is None:
+            taps = MAXIMAL_TAPS.get(width)
+            if taps is None:
+                raise ValueError(f"no default taps for width {width}; pass taps=")
+        self.width = width
+        self.taps = taps
+        self._mask = (1 << width) - 1
+        self.state = (seed & self._mask) or 1
+
+    def step(self) -> int:
+        """Advance one bit; returns the output bit (the bit shifted out)."""
+        out = self.state & 1
+        self.state >>= 1
+        if out:
+            self.state ^= self.taps
+        return out
+
+    def next_bits(self, n: int) -> int:
+        """Collect ``n`` output bits into an integer (LSB first)."""
+        value = 0
+        for i in range(n):
+            value |= self.step() << i
+        return value
+
+    def next_word16(self) -> int:
+        """Convenience: one 16-bit output word."""
+        return self.next_bits(16)
+
+    def next_bytes(self, n: int) -> bytes:
+        """``n`` bytes of keystream."""
+        return bytes(self.next_bits(8) for _ in range(n))
+
+
+class FibonacciLfsr:
+    """A Fibonacci-configuration LFSR (XOR of tapped bits feeds the MSB).
+
+    Functionally interchangeable with the Galois form; provided because
+    descriptions of scrambler hardware use both conventions and the
+    tests verify the two produce maximal-length sequences.
+    """
+
+    def __init__(self, width: int, seed: int, tap_positions: tuple[int, ...]) -> None:
+        if width < 2 or width > 128:
+            raise ValueError(f"unsupported LFSR width: {width}")
+        if not tap_positions or any(not 1 <= t <= width for t in tap_positions):
+            raise ValueError("tap positions must be in 1..width")
+        self.width = width
+        self.tap_positions = tuple(tap_positions)
+        self._mask = (1 << width) - 1
+        self.state = (seed & self._mask) or 1
+
+    def step(self) -> int:
+        """Advance one bit; returns the output bit.
+
+        Taps use the polynomial-exponent convention: tap ``t`` reads the
+        register bit at position ``width - t``, so the tap set for
+        x^16 + x^14 + x^13 + x^11 + 1 is (16, 14, 13, 11) and always
+        includes the shifted-out bit (keeping the map invertible).
+        """
+        out = self.state & 1
+        feedback = 0
+        for t in self.tap_positions:
+            feedback ^= (self.state >> (self.width - t)) & 1
+        self.state = (self.state >> 1) | (feedback << (self.width - 1))
+        return out
+
+    def next_bits(self, n: int) -> int:
+        """Collect ``n`` output bits into an integer (LSB first)."""
+        value = 0
+        for i in range(n):
+            value |= self.step() << i
+        return value
+
+
+def lfsr_period(width: int, seed: int = 1, taps: int | None = None, limit: int | None = None) -> int:
+    """Measure the cycle length of a Galois LFSR (for verifying taps).
+
+    Stops at ``limit`` steps if given (returns ``limit`` then); a
+    maximal-length register of width w has period 2^w − 1.
+    """
+    reg = GaloisLfsr(width, seed, taps)
+    start = reg.state
+    count = 0
+    cap = limit if limit is not None else (1 << width)
+    while count < cap:
+        reg.step()
+        count += 1
+        if reg.state == start:
+            return count
+    return count

@@ -1,0 +1,45 @@
+"""Low-level utilities shared by every subsystem.
+
+The attack and scrambler code in this project manipulates raw memory as
+64-byte cache-line-sized blocks, measures similarity with Hamming
+distance (to tolerate DRAM bit decay), and needs reproducible randomness
+derived from named seeds.  Those primitives live here.
+"""
+
+from repro.util.bits import (
+    bit,
+    bytes_to_words16,
+    extract_bits,
+    hamming_distance,
+    hamming_distance_arrays,
+    hamming_weight,
+    popcount8,
+    words16_to_bytes,
+    xor_bytes,
+)
+from repro.util.gf2 import Gf2Matrix, nullspace_gf2, solve_gf2
+from repro.util.blocks import BLOCK_SIZE, as_block_matrix, iter_blocks, num_blocks
+from repro.util.hexdump import hexdump
+from repro.util.rng import SplitMix64, derive_seed
+
+__all__ = [
+    "BLOCK_SIZE",
+    "Gf2Matrix",
+    "SplitMix64",
+    "as_block_matrix",
+    "bit",
+    "bytes_to_words16",
+    "derive_seed",
+    "extract_bits",
+    "hamming_distance",
+    "hamming_distance_arrays",
+    "hamming_weight",
+    "hexdump",
+    "iter_blocks",
+    "nullspace_gf2",
+    "num_blocks",
+    "popcount8",
+    "solve_gf2",
+    "words16_to_bytes",
+    "xor_bytes",
+]

@@ -1,0 +1,91 @@
+"""Bit-level helpers: Hamming metrics, XOR, word packing.
+
+Cold boot memory images contain decayed bits, so nearly every equality
+check in the attack code is a *Hamming-distance* check against a decay
+budget rather than an exact comparison (paper §III-C, "Tolerating Data
+Loss").  These helpers provide both scalar (``bytes``) and vectorised
+(:mod:`numpy`) forms; the vectorised forms are what make whole-dump scans
+tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Per-byte population count, indexed by byte value.  Built once at import.
+POPCOUNT_TABLE = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
+
+
+def popcount8(value: int) -> int:
+    """Number of set bits in a single byte value (0..255)."""
+    if not 0 <= value <= 255:
+        raise ValueError(f"popcount8 expects a byte value, got {value}")
+    return int(POPCOUNT_TABLE[value])
+
+
+def hamming_weight(data: bytes) -> int:
+    """Total number of set bits in a byte string."""
+    arr = np.frombuffer(data, dtype=np.uint8)
+    return int(POPCOUNT_TABLE[arr].sum())
+
+
+def hamming_distance(a: bytes, b: bytes) -> int:
+    """Number of differing bits between two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    xa = np.frombuffer(a, dtype=np.uint8)
+    xb = np.frombuffer(b, dtype=np.uint8)
+    return int(POPCOUNT_TABLE[xa ^ xb].sum())
+
+
+def hamming_distance_arrays(a: np.ndarray, b: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Hamming distance between uint8 arrays, summed along ``axis``.
+
+    Broadcasts, so a single reference block can be compared against a whole
+    matrix of candidate blocks in one call.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    return POPCOUNT_TABLE[a ^ b].sum(axis=axis, dtype=np.int64)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return (np.frombuffer(a, dtype=np.uint8) ^ np.frombuffer(b, dtype=np.uint8)).tobytes()
+
+
+def bit(value: int, index: int) -> int:
+    """Bit ``index`` (LSB = 0) of an integer."""
+    return (value >> index) & 1
+
+
+def extract_bits(value: int, positions: tuple[int, ...] | list[int]) -> int:
+    """Pack the bits of ``value`` at ``positions`` (LSB first) into an int.
+
+    Used to select the physical-address bits that feed the scrambler key
+    index (paper §III-B: keys are "a combination of a scrambler seed ...
+    and portions of the physical address bits").
+    """
+    out = 0
+    for i, pos in enumerate(positions):
+        out |= ((value >> pos) & 1) << i
+    return out
+
+
+def bytes_to_words16(data: bytes) -> tuple[int, ...]:
+    """Split a byte string into big-endian 16-bit words.
+
+    The scrambler-key invariants of paper §III-B are stated over 2-byte
+    words ``K[i:i+1]``; this is the canonical conversion used by the
+    litmus tests and the key generator alike.
+    """
+    if len(data) % 2:
+        raise ValueError(f"length {len(data)} is not a multiple of 2")
+    return tuple(int.from_bytes(data[i : i + 2], "big") for i in range(0, len(data), 2))
+
+
+def words16_to_bytes(words: tuple[int, ...] | list[int]) -> bytes:
+    """Inverse of :func:`bytes_to_words16`."""
+    return b"".join(int(w & 0xFFFF).to_bytes(2, "big") for w in words)

@@ -1,0 +1,154 @@
+"""Linear algebra over GF(2), bit-packed.
+
+§III-B notes that the scrambler-key invariants could be used to "set up
+a system of boolean equations and attempt to find candidate solutions
+for the unscrambled text", an approach the authors found
+computationally intensive and replaced with the litmus-test heuristic.
+We implement both: the litmus path lives in ``repro.attack.litmus``,
+and this module provides the boolean-equation machinery
+(:mod:`repro.attack.equations` builds the systems) — Gaussian
+elimination, rank, particular solutions and nullspace bases over GF(2),
+with rows packed into numpy uint64 words so elimination is word-wide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Gf2Matrix:
+    """A dense boolean matrix with word-packed rows.
+
+    Rows are stored as ``(n_rows, n_words)`` uint64; column ``j`` lives
+    in word ``j // 64`` at bit ``j % 64`` (LSB first).
+    """
+
+    def __init__(self, n_rows: int, n_cols: int) -> None:
+        if n_rows < 0 or n_cols <= 0:
+            raise ValueError("matrix must have positive dimensions")
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self._n_words = (n_cols + 63) // 64
+        self.rows = np.zeros((n_rows, self._n_words), dtype=np.uint64)
+
+    # ------------------------------------------------------------ building
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray | list[list[int]]) -> "Gf2Matrix":
+        """Build from a 0/1 array of shape (rows, cols)."""
+        array = np.asarray(dense, dtype=np.uint8) & 1
+        if array.ndim != 2:
+            raise ValueError("dense input must be 2-D")
+        matrix = cls(array.shape[0], array.shape[1])
+        for i in range(array.shape[0]):
+            for j in np.nonzero(array[i])[0]:
+                matrix.set(i, int(j))
+        return matrix
+
+    def set(self, row: int, col: int, value: int = 1) -> None:
+        """Set one entry."""
+        self._check(row, col)
+        word, bit = divmod(col, 64)
+        mask = np.uint64(1) << np.uint64(bit)
+        if value & 1:
+            self.rows[row, word] |= mask
+        else:
+            self.rows[row, word] &= ~mask
+
+    def get(self, row: int, col: int) -> int:
+        """Read one entry."""
+        self._check(row, col)
+        word, bit = divmod(col, 64)
+        return int((self.rows[row, word] >> np.uint64(bit)) & np.uint64(1))
+
+    def _check(self, row: int, col: int) -> None:
+        if not (0 <= row < self.n_rows and 0 <= col < self.n_cols):
+            raise IndexError(f"({row}, {col}) outside {self.n_rows}x{self.n_cols}")
+
+    def xor_rows(self, target: int, source: int) -> None:
+        """row[target] ^= row[source]."""
+        self.rows[target] ^= self.rows[source]
+
+    def copy(self) -> "Gf2Matrix":
+        clone = Gf2Matrix(self.n_rows, self.n_cols)
+        clone.rows = self.rows.copy()
+        return clone
+
+    def to_dense(self) -> np.ndarray:
+        """Unpack to a (rows, cols) 0/1 uint8 array."""
+        out = np.zeros((self.n_rows, self.n_cols), dtype=np.uint8)
+        for j in range(self.n_cols):
+            word, bit = divmod(j, 64)
+            out[:, j] = ((self.rows[:, word] >> np.uint64(bit)) & np.uint64(1)).astype(np.uint8)
+        return out
+
+    # ---------------------------------------------------------- elimination
+
+    def row_reduce(self) -> tuple["Gf2Matrix", list[int]]:
+        """Reduced row-echelon form; returns (rref, pivot column list)."""
+        work = self.copy()
+        pivots: list[int] = []
+        pivot_row = 0
+        for col in range(work.n_cols):
+            if pivot_row >= work.n_rows:
+                break
+            word, bit = divmod(col, 64)
+            mask = np.uint64(1) << np.uint64(bit)
+            # Find a row at/below pivot_row with this column set.
+            column_bits = (work.rows[pivot_row:, word] & mask) != 0
+            hits = np.nonzero(column_bits)[0]
+            if hits.size == 0:
+                continue
+            chosen = pivot_row + int(hits[0])
+            if chosen != pivot_row:
+                work.rows[[pivot_row, chosen]] = work.rows[[chosen, pivot_row]]
+            # Eliminate the column everywhere else (word-wide XOR).
+            has_bit = (work.rows[:, word] & mask) != 0
+            has_bit[pivot_row] = False
+            work.rows[has_bit] ^= work.rows[pivot_row]
+            pivots.append(col)
+            pivot_row += 1
+        return work, pivots
+
+    def rank(self) -> int:
+        """Rank over GF(2)."""
+        _, pivots = self.row_reduce()
+        return len(pivots)
+
+
+def solve_gf2(matrix: Gf2Matrix, rhs: np.ndarray | list[int]) -> np.ndarray | None:
+    """Solve ``A x = b`` over GF(2); returns one solution or None.
+
+    ``rhs`` is a 0/1 vector of length ``n_rows``.  Free variables are
+    set to zero (use :func:`nullspace_gf2` to enumerate alternatives).
+    """
+    b = np.asarray(rhs, dtype=np.uint8) & 1
+    if b.shape != (matrix.n_rows,):
+        raise ValueError("rhs length must equal the number of rows")
+    # Augment with b as an extra column.
+    augmented = Gf2Matrix(matrix.n_rows, matrix.n_cols + 1)
+    augmented.rows[:, : matrix._n_words] = matrix.rows
+    for i in np.nonzero(b)[0]:
+        augmented.set(int(i), matrix.n_cols)
+    rref, pivots = augmented.row_reduce()
+    if matrix.n_cols in pivots:
+        return None  # a row reduced to 0 = 1: inconsistent
+    solution = np.zeros(matrix.n_cols, dtype=np.uint8)
+    for row, col in enumerate(pivots):
+        solution[col] = rref.get(row, matrix.n_cols)
+    return solution
+
+
+def nullspace_gf2(matrix: Gf2Matrix) -> list[np.ndarray]:
+    """A basis (as 0/1 vectors) for the solution space of ``A x = 0``."""
+    rref, pivots = matrix.row_reduce()
+    pivot_set = set(pivots)
+    free_columns = [c for c in range(matrix.n_cols) if c not in pivot_set]
+    basis = []
+    for free in free_columns:
+        vector = np.zeros(matrix.n_cols, dtype=np.uint8)
+        vector[free] = 1
+        for row, col in enumerate(pivots):
+            vector[col] = rref.get(row, free)
+        basis.append(vector)
+    return basis

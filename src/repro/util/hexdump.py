@@ -1,0 +1,20 @@
+"""Classic offset/hex/ASCII dump formatting for memory images."""
+
+from __future__ import annotations
+
+
+def hexdump(data: bytes, base: int = 0, width: int = 16) -> str:
+    """Format ``data`` as an ``xxd``-style hex dump string.
+
+    ``base`` offsets the printed addresses, which is convenient when
+    dumping a block that lives at a known physical address.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    lines = []
+    for off in range(0, len(data), width):
+        chunk = data[off : off + width]
+        hexpart = " ".join(f"{b:02x}" for b in chunk)
+        asciipart = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
+        lines.append(f"{base + off:08x}  {hexpart:<{width * 3 - 1}}  |{asciipart}|")
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Victim-side simulation: machines, disk encryption, memory contents."""
+
+from repro.victim.bitlocker import (
+    BitLockerVolume,
+    MountedBitLockerState,
+    SimulatedTpm,
+    decrypt_with_stolen_fvek,
+)
+from repro.victim.cpu_key_storage import (
+    DEBUG_REGISTER_BITS,
+    MSR_SLOTS,
+    OnTheFlyAes,
+    RegisterKeyStore,
+    resident_schedule_exposure,
+)
+from repro.victim.machine import (
+    BOOT_POLLUTION_BYTES,
+    TABLE_I_MACHINES,
+    Machine,
+    MachineSpec,
+)
+from repro.victim.volume_fs import EncryptedFilesystem, FileEntry, reopen_with_key
+from repro.victim.veracrypt import (
+    KDF_ITERATIONS,
+    MASTER_KEY_BYTES,
+    SECTOR_BYTES,
+    ExpandedVolumeKeys,
+    VeraCryptVolume,
+    derive_master_key,
+)
+from repro.victim.workload import (
+    MemoryLayout,
+    Region,
+    code_region,
+    heap_region,
+    synthesize_memory,
+    test_image,
+    text_region,
+    zero_region,
+)
+
+__all__ = [
+    "BOOT_POLLUTION_BYTES",
+    "BitLockerVolume",
+    "MountedBitLockerState",
+    "SimulatedTpm",
+    "DEBUG_REGISTER_BITS",
+    "MSR_SLOTS",
+    "OnTheFlyAes",
+    "RegisterKeyStore",
+    "KDF_ITERATIONS",
+    "MASTER_KEY_BYTES",
+    "SECTOR_BYTES",
+    "TABLE_I_MACHINES",
+    "EncryptedFilesystem",
+    "ExpandedVolumeKeys",
+    "FileEntry",
+    "Machine",
+    "MachineSpec",
+    "MemoryLayout",
+    "Region",
+    "VeraCryptVolume",
+    "code_region",
+    "resident_schedule_exposure",
+    "decrypt_with_stolen_fvek",
+    "derive_master_key",
+    "heap_region",
+    "reopen_with_key",
+    "synthesize_memory",
+    "test_image",
+    "text_region",
+    "zero_region",
+]

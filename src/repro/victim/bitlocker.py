@@ -1,0 +1,142 @@
+"""A BitLocker-style volume: TPM-sealed keys that still live in RAM.
+
+§II-B: "even disk encryption tools such as BitLocker that store
+encryption keys within trusted platform modules (TPMs) are still
+susceptible to cold boot attacks as the expanded keys for mounted
+volumes are cached in DRAM until the drive is unmounted or until the
+system is cleanly shutdown."
+
+The model mirrors BitLocker's key hierarchy closely enough for the
+attack to be meaningful:
+
+* a **Volume Master Key (VMK)** is sealed by a simulated TPM (it never
+  leaves the TPM unsealed except into RAM at mount time);
+* the VMK wraps the **Full Volume Encryption Key (FVEK)** — AES-128 by
+  default, matching BitLocker's common configuration (AES-CBC/XTS 128);
+* while the volume is mounted, the driver caches the FVEK's *expanded
+  schedule* in RAM — the 176-byte structure the cold boot search finds.
+
+The point demonstrated in the tests: the TPM protects the *at-rest*
+keys perfectly, and it does not matter, because the mounted volume's
+working keys are in DRAM.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.aes import AES, expand_key
+from repro.util.rng import SplitMix64, derive_seed
+
+#: Sector size used by the volume encryption.
+SECTOR_BYTES = 512
+
+
+class SimulatedTpm:
+    """A TPM that seals blobs to itself (keys never exposed at rest)."""
+
+    def __init__(self, serial: int = 0) -> None:
+        self._serial = serial
+        rng = SplitMix64(derive_seed("tpm-root", serial))
+        self._root = rng.next_bytes(32)  # storage root key, never leaves
+
+    def seal(self, blob: bytes) -> bytes:
+        """Seal a secret: encrypt + bind to this TPM instance."""
+        pad = hashlib.sha512(self._root + b"seal" + len(blob).to_bytes(4, "big")).digest()
+        while len(pad) < len(blob):
+            pad += hashlib.sha512(pad).digest()
+        return bytes(b ^ p for b, p in zip(blob, pad))
+
+    def unseal(self, sealed: bytes) -> bytes:
+        """Unseal on the same TPM (the boot-time measurement passing)."""
+        return self.seal(sealed)  # XOR pad is symmetric
+
+
+@dataclass(frozen=True)
+class MountedBitLockerState:
+    """What the driver keeps in RAM while the volume is mounted."""
+
+    fvek_schedule: bytes  # the expanded AES schedule — the attack target
+
+    @property
+    def fvek(self) -> bytes:
+        """The raw FVEK at the head of the cached schedule."""
+        # AES-128 FVEK: first 16 bytes of the 176-byte schedule.
+        return self.fvek_schedule[:16]
+
+
+class BitLockerVolume:
+    """A TPM-backed encrypted volume with an AES-128 FVEK."""
+
+    def __init__(self, tpm: SimulatedTpm, seed: int = 0) -> None:
+        self.tpm = tpm
+        rng = SplitMix64(derive_seed("bitlocker-fvek", seed))
+        fvek = rng.next_bytes(16)
+        vmk = rng.next_bytes(32)
+        # At rest: the VMK is TPM-sealed, the FVEK is VMK-wrapped.
+        self.sealed_vmk = tpm.seal(vmk)
+        wrap = AES(vmk)
+        self.wrapped_fvek = wrap.encrypt_block(fvek)
+        self._mounted: MountedBitLockerState | None = None
+
+    # ---------------------------------------------------------------- state
+
+    @property
+    def is_mounted(self) -> bool:
+        return self._mounted is not None
+
+    def mount(self) -> MountedBitLockerState:
+        """Boot-time unlock: TPM unseals the VMK, FVEK expands into RAM."""
+        vmk = self.tpm.unseal(self.sealed_vmk)
+        fvek = AES(vmk).decrypt_block(self.wrapped_fvek)
+        self._mounted = MountedBitLockerState(fvek_schedule=expand_key(fvek))
+        return self._mounted
+
+    def unmount(self) -> None:
+        """Clean unmount: the cached schedule is erased (§II-B's defence)."""
+        self._mounted = None
+
+    # ----------------------------------------------------------------- data
+
+    def _cipher(self) -> AES:
+        if self._mounted is None:
+            raise RuntimeError("volume is not mounted")
+        return AES(self._mounted.fvek)
+
+    def encrypt_sector(self, sector_number: int, plaintext: bytes) -> bytes:
+        """CBC-style sector encryption with a sector-derived IV."""
+        if len(plaintext) != SECTOR_BYTES:
+            raise ValueError(f"sectors are {SECTOR_BYTES} bytes")
+        cipher = self._cipher()
+        iv = cipher.encrypt_block(sector_number.to_bytes(16, "little"))
+        out = bytearray()
+        previous = iv
+        for i in range(0, SECTOR_BYTES, 16):
+            block = bytes(p ^ c for p, c in zip(plaintext[i : i + 16], previous))
+            previous = cipher.encrypt_block(block)
+            out += previous
+        return bytes(out)
+
+    def decrypt_sector(self, sector_number: int, ciphertext: bytes) -> bytes:
+        """Inverse of :meth:`encrypt_sector`."""
+        if len(ciphertext) != SECTOR_BYTES:
+            raise ValueError(f"sectors are {SECTOR_BYTES} bytes")
+        cipher = self._cipher()
+        iv = cipher.encrypt_block(sector_number.to_bytes(16, "little"))
+        out = bytearray()
+        previous = iv
+        for i in range(0, SECTOR_BYTES, 16):
+            decrypted = cipher.decrypt_block(ciphertext[i : i + 16])
+            out += bytes(d ^ p for d, p in zip(decrypted, previous))
+            previous = ciphertext[i : i + 16]
+        return bytes(out)
+
+
+def decrypt_with_stolen_fvek(fvek: bytes, sector_number: int, ciphertext: bytes) -> bytes:
+    """What the attacker does with a recovered FVEK: no TPM required."""
+    tpm = SimulatedTpm(serial=999999)  # any TPM; it is not consulted
+    volume = BitLockerVolume.__new__(BitLockerVolume)
+    volume.tpm = tpm
+    volume._mounted = MountedBitLockerState(fvek_schedule=expand_key(fvek))
+    return volume.decrypt_sector(sector_number, ciphertext)

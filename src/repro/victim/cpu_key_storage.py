@@ -1,0 +1,113 @@
+"""CPU-register key storage — the §II-B software mitigations.
+
+The paper surveys Loop-Amnesia (keys in performance-counter MSRs) and
+TRESOR (keys in x86 debug registers): both keep the AES *master* key
+out of DRAM entirely, at a price — "round keys must be generated before
+any encryption operation and subsequently erased", because "expanded
+round keys greatly simplify the task of identifying keys in memory...
+they should not reside in memory."
+
+This module models the trade-off so the attack and the benchmarks can
+quantify both sides:
+
+* a :class:`RegisterKeyStore` holds master keys in simulated MSR/debug
+  registers (never written through the memory controller), so a memory
+  dump contains nothing to find;
+* :class:`OnTheFlyAes` encrypts without a resident schedule — it
+  re-expands the key per block and erases the expansion — and counts
+  the extra key-expansion work, the performance cost the paper cites;
+* :func:`resident_schedule_exposure` measures the opposite design for
+  comparison (what VeraCrypt-style drivers do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.aes import AES
+
+#: x86 gives TRESOR four 64-bit debug registers (DR0-DR3) = 256 bits —
+#: exactly one AES-256 key, the paper's storage budget.
+DEBUG_REGISTER_BITS = 256
+#: Loop-Amnesia uses otherwise-idle performance-counter MSRs.
+MSR_SLOTS = 8
+
+
+class RegisterKeyStore:
+    """Keys living exclusively in privileged CPU registers.
+
+    Nothing stored here ever touches a :class:`~repro.controller
+    .controller.MemoryController`, so cold boot dumps cannot contain it.
+    A patched OS must deny userspace access to these registers; the
+    model enforces that with a privilege flag.
+    """
+
+    def __init__(self, backend: str = "tresor") -> None:
+        if backend not in ("tresor", "loop-amnesia"):
+            raise ValueError("backend must be 'tresor' or 'loop-amnesia'")
+        self.backend = backend
+        self._slots: dict[int, bytes] = {}
+        self._capacity = 1 if backend == "tresor" else MSR_SLOTS
+
+    def store(self, slot: int, key: bytes, privileged: bool = True) -> None:
+        """Load a key into a register slot (ring-0 only)."""
+        if not privileged:
+            raise PermissionError("userspace access to key registers is blocked")
+        if not 0 <= slot < self._capacity:
+            raise ValueError(f"{self.backend} offers {self._capacity} slot(s)")
+        if len(key) * 8 > DEBUG_REGISTER_BITS:
+            raise ValueError("key exceeds the register budget (256 bits)")
+        self._slots[slot] = bytes(key)
+
+    def load(self, slot: int, privileged: bool = True) -> bytes:
+        """Read a key back (ring-0 only)."""
+        if not privileged:
+            raise PermissionError("userspace access to key registers is blocked")
+        if slot not in self._slots:
+            raise KeyError(f"slot {slot} is empty")
+        return self._slots[slot]
+
+    def wipe(self) -> None:
+        """Clear all slots (clean shutdown / panic path)."""
+        self._slots.clear()
+
+
+@dataclass
+class OnTheFlyAes:
+    """AES without a RAM-resident schedule: expand, use, erase.
+
+    Every block operation re-runs key expansion, which is the §II-B
+    performance penalty; ``expansions_performed`` counts it so benches
+    can report the overhead factor vs a resident schedule.
+    """
+
+    store: RegisterKeyStore
+    slot: int = 0
+    expansions_performed: int = field(default=0, init=False)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one block, expanding and erasing the schedule."""
+        cipher = AES(self.store.load(self.slot))
+        self.expansions_performed += 1
+        result = cipher.encrypt_block(block)
+        # Model the mandatory erase: drop the expanded schedule.
+        cipher.round_keys = []
+        return result
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one block, expanding and erasing the schedule."""
+        cipher = AES(self.store.load(self.slot))
+        self.expansions_performed += 1
+        result = cipher.decrypt_block(block)
+        cipher.round_keys = []
+        return result
+
+
+def resident_schedule_exposure(key: bytes) -> bytes:
+    """What a conventional driver leaves in RAM: the full schedule.
+
+    Provided for symmetry in tests and benches: this is the byte
+    pattern the §III-C search hunts, and exactly what the register
+    approaches keep out of memory.
+    """
+    return AES(key).expanded_schedule()

@@ -1,0 +1,159 @@
+"""A minimal sector-addressed filesystem inside encrypted volumes.
+
+The paper's attack ends at "we recovered the master key"; a forensics
+reader immediately asks "and then?".  This layer answers it: a tiny
+flat filesystem (a FAT-like table of named extents over 512-byte
+sectors) that the examples format inside a VeraCrypt-style volume, so
+a recovered key demonstrably yields the victim's *files*, not just a
+round-trip assertion.
+
+Layout (all little-endian):
+
+    sector 0        : superblock — magic, file count
+    sectors 1..N    : directory — 64-byte entries
+                      (name[48] | first_sector u32 | byte_length u32 | pad)
+    remaining       : file data, contiguous extents
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.victim.veracrypt import SECTOR_BYTES, VeraCryptVolume
+
+MAGIC = b"RPROFS1\x00"
+_DIR_ENTRY_BYTES = 64
+_NAME_BYTES = 48
+#: Directory region size in sectors (fixed, keeps the format trivial).
+_DIR_SECTORS = 4
+_MAX_FILES = _DIR_SECTORS * SECTOR_BYTES // _DIR_ENTRY_BYTES
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """One directory entry."""
+
+    name: str
+    first_sector: int
+    byte_length: int
+
+
+class EncryptedFilesystem:
+    """Format, write, and read files through an encrypting volume.
+
+    The "disk" is a plain bytearray of encrypted sectors; every access
+    goes through the volume's sector encrypt/decrypt, exactly like a
+    mounted container file.
+    """
+
+    def __init__(self, volume: VeraCryptVolume, n_sectors: int) -> None:
+        if n_sectors < _DIR_SECTORS + 2:
+            raise ValueError("volume too small for the filesystem layout")
+        self.volume = volume
+        self.n_sectors = n_sectors
+        self._disk = bytearray(n_sectors * SECTOR_BYTES)
+
+    # --------------------------------------------------------- sector level
+
+    def _read_sector(self, number: int) -> bytes:
+        raw = self._disk[number * SECTOR_BYTES : (number + 1) * SECTOR_BYTES]
+        return self.volume.decrypt_sector(number, bytes(raw))
+
+    def _write_sector(self, number: int, plaintext: bytes) -> None:
+        if not 0 <= number < self.n_sectors:
+            raise ValueError(f"sector {number} out of range")
+        encrypted = self.volume.encrypt_sector(number, plaintext)
+        self._disk[number * SECTOR_BYTES : (number + 1) * SECTOR_BYTES] = encrypted
+
+    @property
+    def ciphertext(self) -> bytes:
+        """The at-rest container (what a stolen laptop's disk holds)."""
+        return bytes(self._disk)
+
+    # ----------------------------------------------------------- formatting
+
+    def format(self) -> None:
+        """Write an empty superblock and directory."""
+        super_block = MAGIC + (0).to_bytes(4, "little")
+        self._write_sector(0, super_block.ljust(SECTOR_BYTES, b"\x00"))
+        for sector in range(1, 1 + _DIR_SECTORS):
+            self._write_sector(sector, bytes(SECTOR_BYTES))
+
+    def _load_directory(self) -> list[FileEntry]:
+        header = self._read_sector(0)
+        if header[: len(MAGIC)] != MAGIC:
+            raise ValueError("not a repro filesystem (bad magic — wrong key?)")
+        count = int.from_bytes(header[len(MAGIC) : len(MAGIC) + 4], "little")
+        raw = b"".join(self._read_sector(1 + s) for s in range(_DIR_SECTORS))
+        entries = []
+        for i in range(count):
+            blob = raw[i * _DIR_ENTRY_BYTES : (i + 1) * _DIR_ENTRY_BYTES]
+            name = blob[:_NAME_BYTES].rstrip(b"\x00").decode("utf-8")
+            first = int.from_bytes(blob[_NAME_BYTES : _NAME_BYTES + 4], "little")
+            length = int.from_bytes(blob[_NAME_BYTES + 4 : _NAME_BYTES + 8], "little")
+            entries.append(FileEntry(name, first, length))
+        return entries
+
+    def _store_directory(self, entries: list[FileEntry]) -> None:
+        if len(entries) > _MAX_FILES:
+            raise ValueError(f"directory full ({_MAX_FILES} files max)")
+        blob = bytearray()
+        for entry in entries:
+            name = entry.name.encode("utf-8")
+            if len(name) > _NAME_BYTES:
+                raise ValueError(f"file name too long: {entry.name!r}")
+            blob += name.ljust(_NAME_BYTES, b"\x00")
+            blob += entry.first_sector.to_bytes(4, "little")
+            blob += entry.byte_length.to_bytes(4, "little")
+            blob += bytes(_DIR_ENTRY_BYTES - _NAME_BYTES - 8)
+        blob = blob.ljust(_DIR_SECTORS * SECTOR_BYTES, b"\x00")
+        for sector in range(_DIR_SECTORS):
+            self._write_sector(1 + sector, bytes(blob[sector * SECTOR_BYTES : (sector + 1) * SECTOR_BYTES]))
+        header = MAGIC + len(entries).to_bytes(4, "little")
+        self._write_sector(0, header.ljust(SECTOR_BYTES, b"\x00"))
+
+    # ------------------------------------------------------------ file API
+
+    def list_files(self) -> list[FileEntry]:
+        """Directory listing."""
+        return self._load_directory()
+
+    def write_file(self, name: str, contents: bytes) -> FileEntry:
+        """Append a new file (contiguous extent allocation)."""
+        entries = self._load_directory()
+        if any(e.name == name for e in entries):
+            raise ValueError(f"file exists: {name!r}")
+        next_free = 1 + _DIR_SECTORS
+        for entry in entries:
+            used = -(-max(entry.byte_length, 1) // SECTOR_BYTES)
+            next_free = max(next_free, entry.first_sector + used)
+        needed = -(-max(len(contents), 1) // SECTOR_BYTES)
+        if next_free + needed > self.n_sectors:
+            raise ValueError("volume full")
+        for i in range(needed):
+            chunk = contents[i * SECTOR_BYTES : (i + 1) * SECTOR_BYTES]
+            self._write_sector(next_free + i, chunk.ljust(SECTOR_BYTES, b"\x00"))
+        entry = FileEntry(name=name, first_sector=next_free, byte_length=len(contents))
+        self._store_directory(entries + [entry])
+        return entry
+
+    def read_file(self, name: str) -> bytes:
+        """Read a file's contents back."""
+        for entry in self._load_directory():
+            if entry.name == name:
+                needed = -(-max(entry.byte_length, 1) // SECTOR_BYTES)
+                data = b"".join(
+                    self._read_sector(entry.first_sector + i) for i in range(needed)
+                )
+                return data[: entry.byte_length]
+        raise FileNotFoundError(name)
+
+
+def reopen_with_key(ciphertext: bytes, master_key: bytes) -> EncryptedFilesystem:
+    """Mount a stolen container with a (recovered) master key."""
+    if len(ciphertext) % SECTOR_BYTES:
+        raise ValueError("container must be whole sectors")
+    volume = VeraCryptVolume(master_key)
+    fs = EncryptedFilesystem(volume, len(ciphertext) // SECTOR_BYTES)
+    fs._disk = bytearray(ciphertext)
+    return fs

@@ -1,0 +1,157 @@
+"""Synthesis of realistic memory contents for victim machines.
+
+The attack's key-mining step depends on a statistical fact about real
+systems: zero-filled 64-byte blocks are by far the most common block
+value in memory ("zeros occur more frequently than most other
+individual values in memory", §III-B — the same observation underlying
+memory-compression research).  The generators here produce memory with
+that structure: a configurable fraction of zero pages, plus text-like,
+code-like, and high-entropy heap-like regions, and a structured
+grayscale test image for the Figure 3 visual-comparison experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.blocks import BLOCK_SIZE
+from repro.util.rng import SplitMix64, derive_seed
+
+#: Region kinds the mixer can produce.
+REGION_KINDS = ("zero", "text", "code", "heap")
+
+_SAMPLE_TEXT = (
+    b"Even if DRAMs are expected to lose their content immediately after "
+    b"the system is powered off, studies have shown that they are capable "
+    b"of retaining data for several seconds after power loss. "
+)
+
+#: Common x86-64 opcode bytes, heavily weighted toward the most frequent
+#: (push/mov/call/ret and REX prefixes), so "code" regions have realistic
+#: low-entropy byte statistics.
+_CODE_BYTES = bytes(
+    [0x48, 0x48, 0x48, 0x89, 0x8B, 0x55, 0x53, 0xE8, 0xC3, 0x0F, 0x83, 0x85, 0x74, 0x75, 0x90, 0xFF]
+)
+
+
+def zero_region(length: int) -> bytes:
+    """A run of zero pages — these expose scrambler keys when scrambled."""
+    return bytes(length)
+
+
+def text_region(length: int, seed: int | str = 0) -> bytes:
+    """ASCII text-like data (repeated prose with jitter)."""
+    rng = SplitMix64(derive_seed("workload-text", str(seed)))
+    out = bytearray()
+    while len(out) < length:
+        start = rng.next_below(len(_SAMPLE_TEXT))
+        out += _SAMPLE_TEXT[start:] + _SAMPLE_TEXT[:start]
+    return bytes(out[:length])
+
+
+def code_region(length: int, seed: int | str = 0) -> bytes:
+    """Machine-code-like data: weighted opcode bytes plus small immediates."""
+    rng = SplitMix64(derive_seed("workload-code", str(seed)))
+    out = bytearray()
+    while len(out) < length:
+        out.append(_CODE_BYTES[rng.next_below(len(_CODE_BYTES))])
+        if rng.next_below(4) == 0:  # occasional 4-byte immediate/displacement
+            out += rng.next_below(1 << 16).to_bytes(4, "little")
+    return bytes(out[:length])
+
+
+def heap_region(length: int, seed: int | str = 0) -> bytes:
+    """High-entropy heap-like data (pointers, packed structs, noise)."""
+    rng = SplitMix64(derive_seed("workload-heap", str(seed)))
+    return rng.next_bytes(length)
+
+
+def test_image(
+    width: int = 256, height: int = 256, seed: int | str = 0, speckle_rows: int = 0
+) -> np.ndarray:
+    """A structured grayscale image with flat regions and shapes.
+
+    Used for the Figure 3 experiment: large same-valued regions produce
+    *identical 64-byte plaintext blocks*, which is exactly what makes
+    scrambler-key reuse visible as repeating ciphertext blocks.  Set
+    ``speckle_rows`` > 0 to add light noise to the bottom rows (gives
+    the image some photographic texture without destroying the flat
+    regions' block collisions).
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("image dimensions must be positive")
+    if speckle_rows < 0 or speckle_rows > height:
+        raise ValueError("speckle_rows out of range")
+    img = np.zeros((height, width), dtype=np.uint8)
+    # Background: broad horizontal bands (flat regions → repeated blocks).
+    band_height = max(1, height // 8)
+    for band in range(0, height, band_height):
+        img[band : band + band_height, :] = (band // band_height * 32) % 256
+    # A filled circle and a rectangle for recognisable structure.
+    yy, xx = np.mgrid[0:height, 0:width]
+    circle = (yy - height // 3) ** 2 + (xx - width // 3) ** 2 < (min(width, height) // 5) ** 2
+    img[circle] = 230
+    img[2 * height // 3 : 2 * height // 3 + height // 6, width // 2 : width // 2 + width // 3] = 20
+    if speckle_rows:
+        rng = np.random.Generator(np.random.PCG64(derive_seed("test-image", str(seed))))
+        noise = rng.integers(0, 4, size=(speckle_rows, width), dtype=np.uint8)
+        img[height - speckle_rows :] ^= noise
+    return img
+
+
+@dataclass(frozen=True)
+class Region:
+    """One synthesised region of victim memory."""
+
+    kind: str
+    address: int
+    length: int
+
+
+@dataclass
+class MemoryLayout:
+    """Where the generator placed each region (ground truth for tests)."""
+
+    regions: list[Region] = field(default_factory=list)
+
+    def total_of(self, kind: str) -> int:
+        """Total bytes across regions of one kind."""
+        return sum(r.length for r in self.regions if r.kind == kind)
+
+
+def synthesize_memory(
+    length: int,
+    zero_fraction: float = 0.30,
+    seed: int | str = 0,
+    region_bytes: int = 4096,
+) -> tuple[bytes, MemoryLayout]:
+    """Build ``length`` bytes of realistic memory contents.
+
+    Returns the bytes and a layout describing the regions.  Roughly
+    ``zero_fraction`` of the regions are zero pages; the rest is an even
+    mix of text, code, and heap data.
+    """
+    if length % region_bytes or region_bytes % BLOCK_SIZE:
+        raise ValueError("length must be a multiple of region_bytes (multiple of 64)")
+    if not 0.0 <= zero_fraction <= 1.0:
+        raise ValueError("zero_fraction must be in [0, 1]")
+    rng = SplitMix64(derive_seed("workload-mix", str(seed)))
+    pieces: list[bytes] = []
+    layout = MemoryLayout()
+    nonzero_kinds = ("text", "code", "heap")
+    threshold = math.floor(zero_fraction * 1_000_000)
+    for index in range(length // region_bytes):
+        address = index * region_bytes
+        if rng.next_below(1_000_000) < threshold:
+            kind = "zero"
+            data = zero_region(region_bytes)
+        else:
+            kind = nonzero_kinds[rng.next_below(len(nonzero_kinds))]
+            generator = {"text": text_region, "code": code_region, "heap": heap_region}[kind]
+            data = generator(region_bytes, seed=f"{seed}-{index}")
+        pieces.append(data)
+        layout.regions.append(Region(kind=kind, address=address, length=region_bytes))
+    return b"".join(pieces), layout

@@ -1,0 +1,83 @@
+"""Tests for the SVG chart writer."""
+
+import pytest
+
+from repro.analysis.charts import GroupedBarChart, LineChart
+
+
+class TestLineChart:
+    def make(self) -> LineChart:
+        chart = LineChart(title="t", x_label="x", y_label="y")
+        chart.add_series("a", [(0, 1.0), (1, 2.0), (2, 1.5)])
+        chart.add_series("b", [(0, 3.0), (2, 0.5)])
+        return chart
+
+    def test_valid_svg_structure(self):
+        svg = self.make().to_svg()
+        assert svg.startswith("<svg ")
+        assert svg.endswith("</svg>")
+        assert svg.count("<path ") == 2  # one per series
+
+    def test_legend_and_labels(self):
+        svg = self.make().to_svg()
+        for text in ("a", "b", "t", "x", "y"):
+            assert f">{text}</text>" in svg
+
+    def test_reference_line(self):
+        chart = self.make()
+        chart.reference_y = 12.5
+        chart.reference_label = "CAS floor"
+        svg = chart.to_svg()
+        assert "stroke-dasharray" in svg
+        assert "CAS floor" in svg
+
+    def test_escaping(self):
+        chart = LineChart(title="a<b & c", x_label="x", y_label="y")
+        chart.add_series("s", [(0, 1)])
+        assert "a&lt;b &amp; c" in chart.to_svg()
+
+    def test_empty_series_rejected(self):
+        chart = LineChart(title="t", x_label="x", y_label="y")
+        with pytest.raises(ValueError):
+            chart.add_series("a", [])
+        with pytest.raises(ValueError):
+            chart.to_svg()
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        self.make().save(path)
+        assert path.read_text().startswith("<svg")
+
+    def test_degenerate_single_point(self):
+        chart = LineChart(title="t", x_label="x", y_label="y")
+        chart.add_series("a", [(5, 5)])
+        assert "<path" in chart.to_svg()
+
+
+class TestGroupedBarChart:
+    def make(self) -> GroupedBarChart:
+        chart = GroupedBarChart(title="bars", y_label="%")
+        chart.groups = ["g1", "g2", "g3"]
+        chart.add_series("s1", [1.0, 2.0, 3.0])
+        chart.add_series("s2", [0.5, 0.4, 0.3])
+        return chart
+
+    def test_bar_count(self):
+        svg = self.make().to_svg()
+        # 6 data bars + 2 legend swatches.
+        assert svg.count("<rect ") == 6 + 2 + 1  # +1 background
+
+    def test_mismatched_series_rejected(self):
+        chart = GroupedBarChart(title="t", y_label="y")
+        chart.groups = ["a", "b"]
+        with pytest.raises(ValueError):
+            chart.add_series("s", [1.0])
+
+    def test_requires_content(self):
+        with pytest.raises(ValueError):
+            GroupedBarChart(title="t", y_label="y").to_svg()
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "bars.svg"
+        self.make().save(path)
+        assert "</svg>" in path.read_text()

@@ -1,0 +1,72 @@
+"""Tests for duplicate-block and XOR-collapse statistics."""
+
+from repro.analysis.correlation import (
+    duplicate_block_stats,
+    keystream_key_census,
+    xor_collapse_stats,
+)
+from repro.dram.image import MemoryImage
+from repro.scrambler.ddr3 import Ddr3Scrambler
+from repro.scrambler.ddr4 import Ddr4Scrambler
+from repro.util.rng import SplitMix64
+
+
+def repeated_plaintext(n_blocks: int) -> bytes:
+    """Identical content in every block — worst case for a scrambler."""
+    return (b"\xa5" * 64) * n_blocks
+
+
+class TestDuplicateStats:
+    def test_constant_plaintext_fully_duplicated(self):
+        stats = duplicate_block_stats(MemoryImage(repeated_plaintext(64)))
+        assert stats.n_distinct == 1
+        assert stats.duplicate_fraction == 1.0
+        assert stats.max_multiplicity == 64
+
+    def test_random_data_no_duplicates(self):
+        stats = duplicate_block_stats(MemoryImage(SplitMix64(1).next_bytes(256 * 64)))
+        assert stats.n_distinct == 256
+        assert stats.duplicate_fraction == 0.0
+
+    def test_ddr3_leaks_more_structure_than_ddr4(self):
+        """The Figure 3b vs 3d comparison, quantified."""
+        plain = repeated_plaintext(4096)
+        ddr3 = Ddr3Scrambler(boot_seed=5).scramble_range(0, plain)
+        ddr4 = Ddr4Scrambler(boot_seed=5).scramble_range(0, plain)
+        stats3 = duplicate_block_stats(MemoryImage(ddr3))
+        stats4 = duplicate_block_stats(MemoryImage(ddr4))
+        assert stats3.n_distinct == 16
+        assert stats4.n_distinct == 4096
+        assert stats4.n_distinct == 256 * stats3.n_distinct  # the paper's factor
+
+    def test_empty_image(self):
+        stats = duplicate_block_stats(MemoryImage(b""))
+        assert stats.n_blocks == 0
+        assert stats.duplicate_fraction == 0.0
+
+
+class TestXorCollapse:
+    def test_ddr3_collapses_to_universal_key(self):
+        plain = repeated_plaintext(1024)
+        a = MemoryImage(Ddr3Scrambler(boot_seed=1).scramble_range(0, plain))
+        b = MemoryImage(Ddr3Scrambler(boot_seed=2).scramble_range(0, plain))
+        stats = xor_collapse_stats(a, b)
+        assert stats.collapses_to_universal_key
+
+    def test_ddr4_does_not_collapse(self):
+        plain = repeated_plaintext(1024)
+        a = MemoryImage(Ddr4Scrambler(boot_seed=1).scramble_range(0, plain))
+        b = MemoryImage(Ddr4Scrambler(boot_seed=2).scramble_range(0, plain))
+        stats = xor_collapse_stats(a, b)
+        assert not stats.collapses_to_universal_key
+        assert stats.distinct_xor_values > 1000
+
+
+class TestKeyCensus:
+    def test_counts_key_pools(self):
+        """Zero-fill keystreams census to the §III-B key counts."""
+        zeros = bytes(8192 * 64)
+        ddr3_stream = MemoryImage(Ddr3Scrambler(boot_seed=9).scramble_range(0, zeros))
+        ddr4_stream = MemoryImage(Ddr4Scrambler(boot_seed=9).scramble_range(0, zeros))
+        assert keystream_key_census(ddr3_stream).n_distinct == 16
+        assert keystream_key_census(ddr4_stream).n_distinct == 4096

@@ -1,0 +1,79 @@
+"""Tests for randomness measurements."""
+
+import pytest
+
+from repro.analysis.entropy import (
+    byte_entropy,
+    chi_square_uniform,
+    ones_density,
+    randomness_report,
+    serial_byte_correlation,
+)
+from repro.controller.encrypted import StreamCipherEngine
+from repro.util.rng import SplitMix64
+
+
+class TestByteEntropy:
+    def test_constant_data_zero_entropy(self):
+        assert byte_entropy(b"\x00" * 1000) == 0.0
+
+    def test_uniform_data_max_entropy(self):
+        assert byte_entropy(bytes(range(256)) * 16) == pytest.approx(8.0)
+
+    def test_random_data_near_max(self):
+        assert byte_entropy(SplitMix64(1).next_bytes(1 << 16)) > 7.99
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            byte_entropy(b"")
+
+
+class TestOnesDensity:
+    def test_extremes(self):
+        assert ones_density(b"\x00" * 10) == 0.0
+        assert ones_density(b"\xff" * 10) == 1.0
+
+    def test_scrambled_data_balanced(self):
+        """§II-C: scrambling targets ~50% bit transitions."""
+        stream = b"".join(
+            StreamCipherEngine.from_boot_seed("chacha8", 5).keystream_for_block(i * 64)
+            for i in range(256)
+        )
+        assert abs(ones_density(stream) - 0.5) < 0.01
+
+
+class TestSerialCorrelation:
+    def test_random_data_uncorrelated(self):
+        assert abs(serial_byte_correlation(SplitMix64(2).next_bytes(1 << 16))) < 0.02
+
+    def test_ramp_is_correlated(self):
+        assert serial_byte_correlation(bytes(range(250)) * 10) > 0.9
+
+    def test_constant_reports_unity(self):
+        assert serial_byte_correlation(b"\x42" * 100) == 1.0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            serial_byte_correlation(b"ab")
+
+
+class TestChiSquare:
+    def test_uniform_near_degrees_of_freedom(self):
+        stat = chi_square_uniform(SplitMix64(3).next_bytes(1 << 18))
+        assert 150 < stat < 400  # ~255 expected
+
+    def test_structured_data_huge(self):
+        assert chi_square_uniform(b"A" * 4096) > 100000
+
+
+class TestReport:
+    def test_encrypted_memory_looks_random(self):
+        stream = b"".join(
+            StreamCipherEngine.from_boot_seed("aes128", 5).keystream_for_block(i * 64)
+            for i in range(512)
+        )
+        assert randomness_report(stream).looks_random()
+
+    def test_text_does_not_look_random(self):
+        text = b"cold boot attacks are still hot " * 1024
+        assert not randomness_report(text).looks_random()

@@ -1,0 +1,63 @@
+"""Tests for memory visualisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.visualize import ascii_preview, bytes_to_pixels, read_pgm, write_pgm
+
+
+class TestPixelView:
+    def test_shape(self):
+        pixels = bytes_to_pixels(bytes(256), width=16)
+        assert pixels.shape == (16, 16)
+
+    def test_truncates_partial_rows(self):
+        pixels = bytes_to_pixels(bytes(100), width=16)
+        assert pixels.shape == (6, 16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bytes_to_pixels(bytes(10), width=0)
+        with pytest.raises(ValueError):
+            bytes_to_pixels(bytes(10), width=100)
+
+
+class TestPgm:
+    def test_roundtrip(self, tmp_path):
+        pixels = np.arange(0, 240, dtype=np.uint8).reshape(12, 20)
+        path = tmp_path / "img.pgm"
+        write_pgm(pixels, path)
+        assert np.array_equal(read_pgm(path), pixels)
+
+    def test_header_format(self, tmp_path):
+        path = tmp_path / "img.pgm"
+        write_pgm(np.zeros((2, 3), dtype=np.uint8), path)
+        assert path.read_bytes().startswith(b"P5\n3 2\n255\n")
+
+    def test_rejects_non_2d(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(np.zeros(10, dtype=np.uint8), tmp_path / "x.pgm")
+
+    def test_read_rejects_other_formats(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"P6\n1 1\n255\n\x00\x00\x00")
+        with pytest.raises(ValueError):
+            read_pgm(path)
+
+
+class TestAsciiPreview:
+    def test_size_bounds(self):
+        pixels = np.random.default_rng(1).integers(0, 256, (200, 300), dtype=np.uint8)
+        art = ascii_preview(pixels, max_width=40, max_height=20)
+        lines = art.splitlines()
+        assert len(lines) <= 21
+        assert all(len(line) <= 41 for line in lines)
+
+    def test_dark_and_light(self):
+        pixels = np.vstack([np.zeros((4, 8), np.uint8), np.full((4, 8), 255, np.uint8)])
+        art = ascii_preview(pixels)
+        assert " " in art and "@" in art
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ascii_preview(np.zeros(5, dtype=np.uint8))

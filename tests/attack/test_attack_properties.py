@@ -1,0 +1,112 @@
+"""Property tests on the attack toolkit's core guarantees."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.attack.aes_search import AesVariant, reconstruct_schedule
+from repro.attack.keyfind import find_aes_keys, unique_master_keys
+from repro.attack.litmus import key_litmus_mismatch_bits, passes_key_litmus
+from repro.crypto.aes import expand_key, expand_key_words
+from repro.scrambler.ddr4 import Ddr4Scrambler
+from repro.util.bits import words16_to_bytes
+
+
+class TestLitmusProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        words=st.lists(
+            st.integers(min_value=0, max_value=0xFFFF), min_size=16, max_size=16
+        ),
+        deltas=st.lists(
+            st.integers(min_value=0, max_value=0xFFFF), min_size=4, max_size=4
+        ),
+    )
+    def test_structured_blocks_always_pass(self, words, deltas):
+        """Any block built as (w0..w3, w0^D..w3^D) x 4 passes the litmus.
+
+        This is the invariant manifold: the litmus test accepts exactly
+        the blocks with this structure (plus Hamming slack).
+        """
+        sub_blocks = []
+        for s in range(4):
+            first = words[4 * s : 4 * s + 4]
+            sub_blocks.append(
+                words16_to_bytes(first + [w ^ deltas[s] for w in first])
+            )
+        assert passes_key_litmus(b"".join(sub_blocks))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**62),
+        flips=st.lists(st.integers(min_value=0, max_value=511), min_size=1, max_size=3),
+    )
+    def test_mismatch_grows_with_damage(self, seed, flips):
+        """Flipping key bits never decreases the litmus mismatch count."""
+        key = bytearray(Ddr4Scrambler(boot_seed=seed).key_for(0, 7))
+        clean = int(key_litmus_mismatch_bits(bytes(key))[0])
+        assert clean == 0
+        for bit in flips:
+            key[bit // 8] ^= 0x80 >> (bit % 8)
+        assert int(key_litmus_mismatch_bits(bytes(key))[0]) >= 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(constant=st.integers(min_value=0, max_value=0xFFFF))
+    def test_word_constant_blocks_pass(self, constant):
+        """Any repeated-16-bit-word block passes (the known FP class)."""
+        block = constant.to_bytes(2, "big") * 32
+        assert passes_key_litmus(block)
+
+
+class TestReconstructionProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        key=st.binary(min_size=32, max_size=32),
+        start=st.integers(min_value=0, max_value=52),
+    )
+    def test_reconstruction_inverts_expansion(self, key, start):
+        """From any Nk-word window of any schedule, reconstruction
+        reproduces the schedule exactly — the recurrence is bijective."""
+        words = expand_key_words(key)
+        window = words[start : start + 8]
+        assert reconstruct_schedule(window, start, 256) == expand_key(key)
+
+    @settings(max_examples=15, deadline=None)
+    @given(key=st.binary(min_size=16, max_size=16))
+    def test_aes128_reconstruction(self, key):
+        words = expand_key_words(key)
+        for start in (0, 17, 40):
+            assert reconstruct_schedule(words[start : start + 4], start, 128) == expand_key(key)
+
+
+class TestKeyfindProperties:
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.data_too_large])
+    @given(
+        key=st.binary(min_size=32, max_size=32),
+        prefix_blocks=st.integers(min_value=1, max_value=32),
+        noise_seed=st.integers(min_value=0, max_value=2**32),
+    )
+    def test_planted_key_always_found(self, key, prefix_blocks, noise_seed):
+        """Wherever a schedule lands in random memory, keyfind finds it."""
+        rng = np.random.default_rng(noise_seed)
+        blob = bytearray(rng.integers(0, 256, 64 * 64, dtype=np.uint8).tobytes())
+        offset = prefix_blocks * 64 + int(rng.integers(0, 64))
+        blob[offset : offset + 240] = expand_key(key)
+        found = unique_master_keys(find_aes_keys(bytes(blob), 256))
+        assert key in found
+
+
+class TestVariantProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(key_bits=st.sampled_from([128, 192, 256]))
+    def test_geometry_consistency(self, key_bits):
+        variant = AesVariant(key_bits)
+        assert variant.span_bytes == variant.window_bytes + 16
+        assert variant.span_bytes <= 64  # fits a memory block
+        assert all(
+            4 * r + variant.nk + 4 <= variant.total_words for r in variant.window_rounds
+        )
+        # Phases partition the valid rounds.
+        assert sorted(
+            r for phase in variant.phases() for r in variant.rounds_with_phase(phase)
+        ) == list(variant.window_rounds)

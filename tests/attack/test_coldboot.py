@@ -1,0 +1,82 @@
+"""Tests for the physical cold-boot procedures."""
+
+import pytest
+
+from repro.attack.coldboot import TransferConditions, cold_boot_transfer, reverse_cold_boot
+from repro.victim.machine import TABLE_I_MACHINES, Machine
+
+
+def make_machines(mem: int = 1 << 18):
+    victim = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=mem, machine_id=1)
+    attacker = Machine(TABLE_I_MACHINES["i5-6600K"], memory_bytes=mem, machine_id=2)
+    return victim, attacker
+
+
+class TestReverseColdBoot:
+    def test_zero_fill_reveals_keystream(self):
+        victim, _ = make_machines()
+        keystream = reverse_cold_boot(victim)
+        for block in (64, 100, 4095):
+            expected = victim.scrambler.key_for_address(block * 64)
+            assert keystream.block(block) == expected
+
+    def test_ground_state_profiling_variant(self):
+        victim, _ = make_machines()
+        keystream = reverse_cold_boot(victim, use_ground_state=True)
+        for block in (64, 2000):
+            assert keystream.block(block) == victim.scrambler.key_for_address(block * 64)
+
+    def test_requires_running_machine(self):
+        victim, _ = make_machines()
+        victim.shutdown()
+        with pytest.raises(RuntimeError):
+            reverse_cold_boot(victim)
+
+
+class TestColdBootTransfer:
+    def test_dump_is_double_scrambled(self):
+        victim, attacker = make_machines()
+        victim.write(0x8000, b"S" * 64)
+        victim_key = victim.scrambler.key_for_address(0x8000)
+        dump = cold_boot_transfer(victim, attacker, TransferConditions(transfer_seconds=0.0))
+        attacker_key = attacker.scrambler.key_for_address(0x8000)
+        block = dump.block(0x8000 // 64)
+        expected = bytes(
+            b"S"[0] ^ kv ^ ka for kv, ka in zip(victim_key, attacker_key)
+        )
+        assert block == expected
+
+    def test_decay_tracks_conditions(self):
+        victim_cold, attacker_cold = make_machines()
+        victim_warm = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 18, machine_id=1)
+        attacker_warm = Machine(TABLE_I_MACHINES["i5-6600K"], memory_bytes=1 << 18, machine_id=2)
+        # Above the attacker's 16 KiB boot-pollution footprint, and big
+        # enough that decayed bits dominate the comparison.
+        payload = bytes(range(256)) * 512  # 128 KiB
+        victim_cold.write(64 * 1024, payload)
+        victim_warm.write(64 * 1024, payload)
+        cold = cold_boot_transfer(
+            victim_cold, attacker_cold, TransferConditions(temperature_c=-25.0, transfer_seconds=5.0)
+        )
+        warm = cold_boot_transfer(
+            victim_warm, attacker_warm, TransferConditions(temperature_c=20.0, transfer_seconds=5.0)
+        )
+        clean_victim, clean_attacker = make_machines()
+        clean_victim.write(64 * 1024, payload)
+        clean = cold_boot_transfer(
+            clean_victim, clean_attacker, TransferConditions(transfer_seconds=0.0)
+        )
+        assert cold.bit_error_rate(clean) < warm.bit_error_rate(clean)
+        assert cold.bit_error_rate(clean) < 0.02
+
+    def test_rejects_powered_off_victim(self):
+        victim, attacker = make_machines()
+        victim.shutdown()
+        with pytest.raises(RuntimeError):
+            cold_boot_transfer(victim, attacker)
+
+    def test_victim_is_dead_after_extraction(self):
+        victim, attacker = make_machines()
+        cold_boot_transfer(victim, attacker)
+        assert not victim.powered
+        assert victim.modules[0] is None

@@ -1,0 +1,103 @@
+"""Tests for the boolean-equation formulation of the invariants."""
+
+import pytest
+
+from repro.attack.equations import (
+    consistent_with_invariants,
+    invariant_manifold_dimension,
+    invariant_system,
+    minimum_known_bits_for_unique_key,
+    solve_key_from_known_plaintext,
+)
+from repro.attack.litmus import passes_key_litmus
+from repro.scrambler.ddr4 import Ddr4Scrambler
+from repro.util.bits import xor_bytes
+from repro.util.rng import SplitMix64
+
+
+class TestInvariantSystem:
+    def test_rank_is_192(self):
+        """3 independent invariants x 4 sub-words x 16 bits = 192.
+
+        The fourth stated invariant is implied by the other three, so
+        the 256 equation rows reduce to rank 192 — the same derivation
+        the scrambler model's docstring makes structurally.
+        """
+        assert invariant_system().rank() == 192
+
+    def test_manifold_dimension_is_320(self):
+        # 64+16 free bits per 16-byte sub-word, times four.
+        assert invariant_manifold_dimension() == 320
+
+    def test_equivalent_to_litmus_on_keys(self):
+        scrambler = Ddr4Scrambler(boot_seed=5)
+        for index in (0, 100, 4095):
+            key = scrambler.key_for(0, index)
+            assert consistent_with_invariants(key)
+            assert passes_key_litmus(key)
+
+    def test_equivalent_to_litmus_on_random(self):
+        for seed in range(5):
+            block = SplitMix64(seed).next_bytes(64)
+            assert consistent_with_invariants(block) == passes_key_litmus(block)
+
+    def test_block_length_validated(self):
+        with pytest.raises(ValueError):
+            consistent_with_invariants(bytes(32))
+
+
+class TestKnownPlaintextSolver:
+    def test_full_zero_block_recovers_key(self):
+        """The paper's zero-block trick expressed as 512 known bits."""
+        scrambler = Ddr4Scrambler(boot_seed=7)
+        key = scrambler.key_for(0, 42)
+        scrambled_zero = key  # zeros XOR key
+        known = [(0, bit, 0) for bit in range(512)]
+        solved = solve_key_from_known_plaintext([scrambled_zero], known)
+        assert solved == key
+
+    def test_partial_plaintext_with_invariants(self):
+        """The invariants (192 constraints) let 320 known bits suffice."""
+        scrambler = Ddr4Scrambler(boot_seed=9)
+        key = scrambler.key_for(0, 7)
+        plaintext = SplitMix64(3).next_bytes(64)
+        scrambled = xor_bytes(plaintext, key)
+        import numpy as np
+
+        plain_bits = np.unpackbits(np.frombuffer(plaintext, dtype=np.uint8))
+        # Reveal the free coordinates of the invariant manifold: the
+        # first 8 bytes + the first word-pair of the second half, per
+        # 16-byte sub-word (80 bits x 4 = 320 bits).
+        known = []
+        for base in (0, 16, 32, 48):
+            for byte in list(range(base, base + 8)) + [base + 8, base + 9]:
+                for bit in range(8):
+                    index = 8 * byte + bit
+                    known.append((0, index, int(plain_bits[index])))
+        solved = solve_key_from_known_plaintext([scrambled], known)
+        assert solved == key
+
+    def test_underdetermined_raises(self):
+        scrambler = Ddr4Scrambler(boot_seed=11)
+        scrambled = scrambler.key_for(0, 1)  # zeros under the key
+        known = [(0, bit, 0) for bit in range(100)]  # far too few
+        with pytest.raises(ValueError, match="underdetermined"):
+            solve_key_from_known_plaintext([scrambled], known)
+
+    def test_inconsistent_returns_none(self):
+        scrambler = Ddr4Scrambler(boot_seed=13)
+        scrambled = scrambler.key_for(0, 1)
+        known = [(0, bit, 0) for bit in range(512)]
+        known.append((0, 0, 1))  # contradicts the first constraint
+        assert solve_key_from_known_plaintext([scrambled], known) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_key_from_known_plaintext([], [])
+        with pytest.raises(ValueError):
+            solve_key_from_known_plaintext([bytes(64)], [(5, 0, 0)])
+        with pytest.raises(ValueError):
+            solve_key_from_known_plaintext([bytes(64)], [(0, 600, 0)])
+
+    def test_minimum_known_bits(self):
+        assert minimum_known_bits_for_unique_key() == 320

@@ -1,0 +1,81 @@
+"""Tests for the Halderman-style plaintext key search baseline."""
+
+import pytest
+
+from repro.attack.keyfind import find_aes_keys, unique_master_keys
+from repro.crypto.aes import expand_key
+from repro.dram.image import MemoryImage
+from repro.util.rng import SplitMix64
+
+
+def image_with_schedule(master: bytes, offset: int, n_blocks: int = 64, seed: int = 0) -> MemoryImage:
+    plain = bytearray(SplitMix64(seed).next_bytes(n_blocks * 64))
+    schedule = expand_key(master)
+    plain[offset : offset + len(schedule)] = schedule
+    return MemoryImage(bytes(plain))
+
+
+class TestCleanScan:
+    def test_finds_key_at_arbitrary_offset(self):
+        master = bytes(range(32))
+        image = image_with_schedule(master, offset=1234)
+        keys = unique_master_keys(find_aes_keys(image, key_bits=256))
+        assert keys == [master]
+
+    def test_multiple_sightings_per_schedule(self):
+        """A 240-byte schedule matches at 13 window positions."""
+        master = b"\x42" * 32
+        image = image_with_schedule(master, offset=640)
+        matches = [m for m in find_aes_keys(image, 256) if m.master_key == master]
+        assert len(matches) == 13
+
+    @pytest.mark.parametrize("key_bits", [128, 192, 256])
+    def test_key_sizes(self, key_bits):
+        master = bytes(range(key_bits // 8))
+        image = image_with_schedule(master, offset=333)
+        assert master in unique_master_keys(find_aes_keys(image, key_bits))
+
+    def test_clean_random_memory_finds_nothing(self):
+        image = MemoryImage(SplitMix64(1).next_bytes(256 * 64))
+        assert find_aes_keys(image, 256) == []
+
+    def test_two_schedules_found(self):
+        a, b = b"\x01" * 32, b"\x02" * 32
+        plain = bytearray(SplitMix64(2).next_bytes(128 * 64))
+        plain[100 : 100 + 240] = expand_key(a)
+        plain[4000 : 4000 + 240] = expand_key(b)
+        keys = unique_master_keys(find_aes_keys(MemoryImage(bytes(plain)), 256))
+        assert set(keys) == {a, b}
+
+
+class TestDecayTolerance:
+    def test_survives_scattered_flips(self):
+        master = b"\x99" * 32
+        image = image_with_schedule(master, offset=2048)
+        data = bytearray(image.data)
+        rng = SplitMix64(3)
+        for _ in range(6):
+            bit = 2048 * 8 + rng.next_below(240 * 8)
+            data[bit // 8] ^= 0x80 >> (bit % 8)
+        matches = find_aes_keys(MemoryImage(bytes(data)), 256, tolerance_bits=8)
+        assert master in unique_master_keys(matches, min_votes=2)
+
+
+class TestEdgeCases:
+    def test_tiny_input(self):
+        assert find_aes_keys(b"short", 256) == []
+
+    def test_accepts_raw_bytes(self):
+        master = b"\x07" * 32
+        blob = bytes(1000) + expand_key(master) + bytes(1000)
+        assert master in unique_master_keys(find_aes_keys(blob, 256))
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            find_aes_keys(bytes(4096), 256, tolerance_bits=-1)
+
+    def test_min_votes_filters_singletons(self):
+        master = b"\x31" * 32
+        image = image_with_schedule(master, offset=100)
+        matches = find_aes_keys(image, 256)
+        assert unique_master_keys(matches, min_votes=100) == []

@@ -1,0 +1,74 @@
+"""Tests for attack-report serialisation."""
+
+import json
+
+import pytest
+
+from repro.attack.pipeline import Ddr4ColdBootAttack
+from repro.attack.report import (
+    REPORT_SCHEMA_VERSION,
+    report_to_dict,
+    report_to_markdown,
+    save_report_json,
+)
+from repro.attack.sweep import synthetic_dump
+
+
+@pytest.fixture(scope="module")
+def successful_report():
+    dump, master, _ = synthetic_dump(bit_error_rate=0.0, n_blocks=3 * 4096, seed=41)
+    return Ddr4ColdBootAttack().run(dump), master
+
+
+class TestJsonForm:
+    def test_round_trips_through_json(self, successful_report):
+        report, _ = successful_report
+        blob = json.dumps(report_to_dict(report))
+        parsed = json.loads(blob)
+        assert parsed["schema_version"] == REPORT_SCHEMA_VERSION
+        assert parsed["dump_bytes"] == report.dump_bytes
+        assert len(parsed["recovered_keys"]) == len(report.recovered_keys)
+
+    def test_keys_present_by_default(self, successful_report):
+        report, master = successful_report
+        parsed = report_to_dict(report)
+        keys = {entry["master_key"] for entry in parsed["recovered_keys"]}
+        assert master[:32].hex() in keys
+
+    def test_redaction(self, successful_report):
+        report, master = successful_report
+        parsed = report_to_dict(report, include_keys=False)
+        assert all("redacted" in e["master_key"] for e in parsed["recovered_keys"])
+        assert master.hex() not in json.dumps(parsed)
+
+    def test_save(self, successful_report, tmp_path):
+        report, _ = successful_report
+        path = tmp_path / "report.json"
+        save_report_json(report, path)
+        assert json.loads(path.read_text())["dump_bytes"] == report.dump_bytes
+
+    def test_hit_details_serialised(self, successful_report):
+        report, _ = successful_report
+        parsed = report_to_dict(report)
+        hit = parsed["recovered_keys"][0]["hits"][0]
+        assert {"block_index", "key_index", "offset", "round_index"} <= set(hit)
+
+
+class TestMarkdownForm:
+    def test_contains_summary_and_table(self, successful_report):
+        report, _ = successful_report
+        text = report_to_markdown(report)
+        assert "# Cold boot attack report" in text
+        assert "| # | bits |" in text
+        assert "redacted" in text  # keys hidden by default
+
+    def test_include_keys(self, successful_report):
+        report, master = successful_report
+        text = report_to_markdown(report, include_keys=True)
+        assert master[:32].hex() in text
+
+    def test_empty_report(self):
+        from repro.attack.pipeline import AttackReport
+
+        text = report_to_markdown(AttackReport())
+        assert "No expanded AES key schedules" in text

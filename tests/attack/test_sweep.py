@@ -1,0 +1,61 @@
+"""Tests for the sweep/ablation utilities."""
+
+import pytest
+
+from repro.attack.sweep import SweepPoint, ablate_search, synthetic_dump
+
+
+class TestSyntheticDump:
+    def test_clean_dump_structure(self):
+        dump, master, scrambler = synthetic_dump(0.0, n_blocks=512, table_block=100, seed=1)
+        assert dump.n_blocks == 512
+        assert len(master) == 64
+        # The planted table descrambles correctly with the true keys.
+        from repro.crypto.aes import expand_key
+
+        block = dump.block(100)
+        key = scrambler.key_for_address(100 * 64)
+        descrambled = bytes(a ^ b for a, b in zip(block, key))
+        assert descrambled[11:] == expand_key(master[:32])[: 64 - 11]
+
+    def test_decay_is_applied(self):
+        clean, _, _ = synthetic_dump(0.0, n_blocks=256, table_block=50, seed=2)
+        noisy, _, _ = synthetic_dump(0.02, n_blocks=256, table_block=50, seed=2)
+        ber = clean.bit_error_rate(noisy)
+        assert 0.015 < ber < 0.025
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_dump(0.7)
+        with pytest.raises(ValueError):
+            synthetic_dump(0.0, n_blocks=64, table_block=60)
+
+    def test_deterministic_per_seed(self):
+        a, _, _ = synthetic_dump(0.01, n_blocks=128, table_block=30, seed=3)
+        b, _, _ = synthetic_dump(0.01, n_blocks=128, table_block=30, seed=3)
+        assert a.data == b.data
+
+
+class TestAblation:
+    def test_clean_case_everyone_wins(self):
+        """With no decay every configuration recovers both keys."""
+        results = ablate_search(bit_error_rate=0.0)
+        assert all(r.master_recovered for r in results)
+
+    def test_result_structure(self):
+        results = ablate_search(bit_error_rate=0.0)
+        names = {r.configuration for r in results}
+        assert names == {"full", "no-extension", "no-repair", "bare"}
+
+
+class TestSweepPoint:
+    def test_dataclass_fields(self):
+        point = SweepPoint(
+            temperature_c=-25.0,
+            transfer_seconds=5.0,
+            bit_error_rate=0.004,
+            candidates_mined=4000,
+            keys_recovered=2,
+            master_key_recovered=True,
+        )
+        assert point.master_key_recovered

@@ -1,0 +1,36 @@
+"""Shared fixtures: small machines and images sized for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.image import MemoryImage
+from repro.scrambler.ddr3 import Ddr3Scrambler
+from repro.scrambler.ddr4 import Ddr4Scrambler
+from repro.victim.machine import TABLE_I_MACHINES, Machine
+
+
+@pytest.fixture
+def ddr4_scrambler() -> Ddr4Scrambler:
+    return Ddr4Scrambler(boot_seed=0xC0FFEE)
+
+
+@pytest.fixture
+def ddr3_scrambler() -> Ddr3Scrambler:
+    return Ddr3Scrambler(boot_seed=0xC0FFEE)
+
+
+@pytest.fixture
+def skylake_machine() -> Machine:
+    """A small Skylake DDR4 machine (1 MiB) for controller-level tests."""
+    return Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 20, machine_id=77)
+
+
+@pytest.fixture
+def sandybridge_machine() -> Machine:
+    """A small SandyBridge DDR3 machine (1 MiB)."""
+    return Machine(TABLE_I_MACHINES["i5-2540M"], memory_bytes=1 << 20, machine_id=78)
+
+
+def make_image(data: bytes, base: int = 0) -> MemoryImage:
+    return MemoryImage(data, base)

@@ -1,0 +1,77 @@
+"""Tests for the §IV stream-cipher memory encryption engine."""
+
+import pytest
+
+from repro.controller.controller import MemoryController
+from repro.controller.encrypted import SUPPORTED_CIPHERS, StreamCipherEngine
+from repro.crypto.chacha import ChaCha
+from repro.dram.address import address_map_for
+from repro.dram.module import DramModule
+
+
+class TestEngineConstruction:
+    @pytest.mark.parametrize("cipher", SUPPORTED_CIPHERS)
+    def test_from_boot_seed(self, cipher):
+        engine = StreamCipherEngine.from_boot_seed(cipher, boot_seed=77)
+        assert len(engine.keystream_for_block(0)) == 64
+
+    def test_rejects_unknown_cipher(self):
+        with pytest.raises(ValueError):
+            StreamCipherEngine("rc4", bytes(32), bytes(12))
+
+    def test_rejects_wrong_key_size(self):
+        with pytest.raises(ValueError):
+            StreamCipherEngine("aes128", bytes(32), bytes(8))
+
+    def test_counters_per_block(self):
+        chacha = StreamCipherEngine.from_boot_seed("chacha8", 1)
+        aes = StreamCipherEngine.from_boot_seed("aes128", 1)
+        assert chacha.counters_per_block == 1
+        assert aes.counters_per_block == 4
+
+
+class TestKeystreamProperties:
+    def test_address_is_the_counter(self):
+        """Per §IV-B: the physical (block) address is the CTR counter."""
+        key, nonce = bytes(range(32)), bytes(12)
+        engine = StreamCipherEngine("chacha8", key, nonce)
+        reference = ChaCha(key, rounds=8, nonce=nonce)
+        assert engine.keystream_for_block(5 * 64) == reference.keystream_block(5)
+
+    def test_every_block_unique_keystream(self):
+        engine = StreamCipherEngine.from_boot_seed("chacha8", 42)
+        streams = {engine.keystream_for_block(i * 64) for i in range(256)}
+        assert len(streams) == 256
+
+    def test_keystream_fixed_per_address(self):
+        """The §IV weakness: same address, same keystream, every time."""
+        engine = StreamCipherEngine.from_boot_seed("aes256", 42)
+        assert engine.keystream_for_block(128) == engine.keystream_for_block(128)
+
+    def test_boot_seed_changes_keystream(self):
+        a = StreamCipherEngine.from_boot_seed("chacha8", 1)
+        b = StreamCipherEngine.from_boot_seed("chacha8", 2)
+        assert a.keystream_for_block(0) != b.keystream_for_block(0)
+
+    def test_alignment_enforced(self):
+        engine = StreamCipherEngine.from_boot_seed("chacha8", 1)
+        with pytest.raises(ValueError):
+            engine.keystream_for_block(13)
+
+    def test_aes_consumes_four_counters(self):
+        """Block i uses CTR counters 4i..4i+3 — adjacent blocks differ."""
+        engine = StreamCipherEngine.from_boot_seed("aes128", 9)
+        a = engine.keystream_for_block(0)
+        b = engine.keystream_for_block(64)
+        assert a[48:] != b[:16]  # streams are from disjoint counters
+
+
+class TestEncryptedController:
+    def test_roundtrip_through_encrypted_memory(self):
+        amap = address_map_for("skylake")
+        module = DramModule(1 << 18, "DDR4_A", serial=3)
+        engine = StreamCipherEngine.from_boot_seed("chacha8", 101)
+        mc = MemoryController(amap, {0: module}, engine)
+        mc.write(4096, b"secrets" * 100)
+        assert mc.read(4096, 700) == b"secrets" * 100
+        assert module.raw_read(4096, 64) != (b"secrets" * 100)[:64]

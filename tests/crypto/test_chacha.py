@@ -1,0 +1,119 @@
+"""ChaCha correctness: RFC 7539 vectors and variant behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.chacha import ChaCha, chacha_block, quarter_round
+
+
+class TestQuarterRound:
+    def test_rfc7539_vector(self):
+        # RFC 7539 §2.1.1 quarter-round test vector.
+        state = [0] * 16
+        state[0], state[1], state[2], state[3] = (
+            0x11111111,
+            0x01020304,
+            0x9B8D6F43,
+            0x01234567,
+        )
+        quarter_round(state, 0, 1, 2, 3)
+        assert state[0] == 0xEA2A92F4
+        assert state[1] == 0xCB1CF8CE
+        assert state[2] == 0x4581472E
+        assert state[3] == 0x5881C4BB
+
+
+class TestBlockFunction:
+    def test_rfc7539_block_vector(self):
+        # RFC 7539 §2.3.2: full block function test vector.
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000090000004a00000000")
+        block = chacha_block(key, counter=1, nonce=nonce, rounds=20)
+        expected = bytes.fromhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+            "c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2"
+            "b5129cd1de164eb9cbd083e8a2503c4e"
+        )
+        assert block == expected
+
+    def test_original_64bit_nonce_layout(self):
+        key = bytes(32)
+        block = chacha_block(key, counter=0, nonce=bytes(8), rounds=20)
+        assert len(block) == 64
+
+    def test_counter_changes_block(self):
+        key = bytes(range(32))
+        a = chacha_block(key, 0, bytes(12), 8)
+        b = chacha_block(key, 1, bytes(12), 8)
+        assert a != b
+
+    def test_rejects_odd_rounds(self):
+        with pytest.raises(ValueError):
+            chacha_block(bytes(32), 0, bytes(12), rounds=7)
+
+    def test_rejects_bad_key(self):
+        with pytest.raises(ValueError):
+            chacha_block(bytes(16), 0, bytes(12))
+
+    def test_rejects_bad_nonce(self):
+        with pytest.raises(ValueError):
+            chacha_block(bytes(32), 0, bytes(10))
+
+    def test_counter_range_enforced(self):
+        with pytest.raises(ValueError):
+            chacha_block(bytes(32), 1 << 32, bytes(12))
+        # 64-bit counter allowed with the 8-byte nonce layout.
+        chacha_block(bytes(32), 1 << 40, bytes(8))
+
+
+class TestRfc7539Encryption:
+    def test_sunscreen_vector(self):
+        """RFC 7539 §2.4.2: the full plaintext encryption test vector."""
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000000000004a00000000")
+        plaintext = (
+            b"Ladies and Gentlemen of the class of '99: If I could offer you "
+            b"only one tip for the future, sunscreen would be it."
+        )
+        expected = bytes.fromhex(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d"
+        )
+        cipher = ChaCha(key, rounds=20, nonce=nonce)
+        assert cipher.encrypt(plaintext, counter=1) == expected
+
+
+class TestChaChaCipher:
+    @pytest.mark.parametrize("rounds", [8, 12, 20])
+    def test_roundtrip(self, rounds):
+        cipher = ChaCha(bytes(range(32)), rounds=rounds, nonce=bytes(12))
+        data = b"the quick brown fox jumps over the lazy dog" * 3
+        assert cipher.decrypt(cipher.encrypt(data, counter=5), counter=5) == data
+
+    def test_variants_differ(self):
+        key, nonce = bytes(range(32)), bytes(12)
+        streams = {
+            rounds: ChaCha(key, rounds, nonce).keystream_block(0) for rounds in (8, 12, 20)
+        }
+        assert len(set(streams.values())) == 3
+
+    def test_rejects_nonstandard_rounds(self):
+        with pytest.raises(ValueError):
+            ChaCha(bytes(32), rounds=10)
+
+    def test_keystream_length_and_continuity(self):
+        cipher = ChaCha(bytes(32), rounds=8, nonce=bytes(12))
+        long = cipher.keystream(0, 130)
+        assert len(long) == 130
+        assert long[:64] == cipher.keystream_block(0)
+        assert long[64:128] == cipher.keystream_block(1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=0, max_size=200), st.integers(min_value=0, max_value=1000))
+    def test_roundtrip_property(self, data, counter):
+        cipher = ChaCha(b"k" * 32, rounds=8, nonce=b"n" * 12)
+        assert cipher.decrypt(cipher.encrypt(data, counter), counter) == data

@@ -1,0 +1,50 @@
+"""Tests for GF(2^8) arithmetic underlying the AES S-box."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.gf import gf_inverse, gf_multiply, gf_power, xtime
+
+BYTE = st.integers(min_value=0, max_value=255)
+
+
+def test_xtime_known_values():
+    assert xtime(0x57) == 0xAE
+    assert xtime(0xAE) == 0x47  # wraps through the reduction polynomial
+
+
+def test_multiply_known_value():
+    # FIPS-197 example: {57} x {13} = {fe}
+    assert gf_multiply(0x57, 0x13) == 0xFE
+
+
+def test_multiply_identity_and_zero():
+    for value in range(256):
+        assert gf_multiply(value, 1) == value
+        assert gf_multiply(value, 0) == 0
+
+
+@given(BYTE, BYTE)
+def test_multiply_commutative(a, b):
+    assert gf_multiply(a, b) == gf_multiply(b, a)
+
+
+@given(BYTE, BYTE, BYTE)
+def test_multiply_distributes_over_xor(a, b, c):
+    assert gf_multiply(a, b ^ c) == gf_multiply(a, b) ^ gf_multiply(a, c)
+
+
+def test_inverse_of_zero_is_zero():
+    assert gf_inverse(0) == 0
+
+
+@given(BYTE.filter(lambda v: v != 0))
+def test_inverse_property(value):
+    assert gf_multiply(value, gf_inverse(value)) == 1
+
+
+def test_power_basics():
+    assert gf_power(0x02, 0) == 1
+    assert gf_power(0x02, 1) == 2
+    assert gf_power(0x02, 8) == 0x1B  # x^8 reduces to the polynomial tail

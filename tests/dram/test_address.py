@@ -1,0 +1,95 @@
+"""Tests for physical address decomposition and key-index selection."""
+
+import pytest
+
+from repro.dram.address import (
+    GENERATION_ADDRESS_MAPS,
+    DramAddressMap,
+    address_map_for,
+)
+
+
+class TestKeyIndexSelection:
+    def test_skylake_selects_4096_keys(self):
+        assert address_map_for("skylake").keys_per_channel == 4096
+
+    def test_sandybridge_selects_16_keys(self):
+        assert address_map_for("sandybridge").keys_per_channel == 16
+
+    def test_key_index_block_granular(self):
+        amap = address_map_for("skylake")
+        # All addresses within a block share an index.
+        base = 0x12340
+        base -= base % 64
+        indices = {amap.key_index_of(base + o) for o in range(64)}
+        assert len(indices) == 1
+
+    def test_key_index_cycles(self):
+        amap = address_map_for("skylake")
+        assert amap.key_index_of(0) == amap.key_index_of(4096 * 64)
+
+    def test_generations_use_different_bits(self):
+        sandy = address_map_for("sandybridge")
+        ivy = address_map_for("ivybridge")
+        differing = [
+            block * 64
+            for block in range(64)
+            if sandy.key_index_of(block * 64) != ivy.key_index_of(block * 64)
+        ]
+        assert differing, "generations should map addresses differently"
+
+
+class TestChannelRouting:
+    def test_single_channel_is_zero(self):
+        amap = address_map_for("skylake")
+        assert amap.channel_of(0x123456) == 0
+
+    def test_dual_channel_interleaves_on_bit6(self):
+        amap = address_map_for("skylake", channels=2)
+        assert amap.channel_of(0) == 0
+        assert amap.channel_of(64) == 1
+        assert amap.channel_of(128) == 0
+
+    def test_channel_local_packs_densely(self):
+        amap = address_map_for("skylake", channels=2)
+        # Blocks 0, 2, 4... (channel 0) pack to consecutive local blocks.
+        locals_ = [amap.channel_local_address(block * 64) for block in (0, 2, 4)]
+        assert locals_ == [0, 64, 128]
+
+    def test_single_channel_local_is_identity(self):
+        amap = address_map_for("skylake")
+        assert amap.channel_local_address(0xABCDE0) == 0xABCDE0
+
+
+class TestDecomposition:
+    def test_coordinates_in_range(self):
+        amap = address_map_for("skylake")
+        for address in (0, 64 * 1000, 64 * 123456):
+            coords = amap.decompose(address)
+            assert 0 <= coords.bank < amap.banks
+            assert 0 <= coords.column < amap.column_bits_span
+            assert coords.channel == 0
+
+    def test_block_arithmetic(self):
+        amap = address_map_for("skylake")
+        assert amap.block_index(130) == 2
+        assert amap.block_offset(130) == 2
+
+
+class TestValidation:
+    def test_key_bits_below_block_rejected(self):
+        with pytest.raises(ValueError):
+            DramAddressMap(name="bad", key_index_bits=(3, 7))
+
+    def test_insufficient_channel_bits_rejected(self):
+        with pytest.raises(ValueError):
+            DramAddressMap(name="bad", channels=4, channel_bits=(6,))
+
+    def test_unknown_generation_raises(self):
+        with pytest.raises(KeyError):
+            address_map_for("nehalem")
+
+    def test_registry_contents(self):
+        assert {"sandybridge", "ivybridge", "skylake"} <= {
+            m.name.split("-")[0] for m in GENERATION_ADDRESS_MAPS.values()
+        }

@@ -1,0 +1,61 @@
+"""Property tests: the channel scheduler never violates its constraints."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.address import address_map_for
+from repro.dram.bus import DdrChannelSimulator, ReadRequest
+from repro.dram.timing import DDR4_2400
+
+request_strategy = st.tuples(
+    st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    st.integers(min_value=0, max_value=(1 << 24) // 64 - 1),
+).map(lambda t: ReadRequest(arrival_ns=t[0], physical_address=t[1] * 64))
+
+
+@settings(max_examples=40, deadline=None)
+@given(requests=st.lists(request_strategy, min_size=1, max_size=40))
+def test_scheduler_invariants(requests):
+    simulator = DdrChannelSimulator(address_map_for("skylake"))
+    completed = simulator.schedule(requests)
+    timing = simulator.timing
+    assert len(completed) == len(requests)
+
+    # Per-request causality and the CL relation.
+    for read in completed:
+        assert read.cas_issue_ns >= read.request.arrival_ns - 1e-9
+        assert read.data_start_ns - read.cas_issue_ns >= timing.cas_latency_ns - 1e-9
+        assert read.data_end_ns - read.data_start_ns >= DDR4_2400.burst_time_ns - 1e-9
+
+    # Data bus never double-booked.
+    ordered = sorted(completed, key=lambda c: c.data_start_ns)
+    for earlier, later in zip(ordered, ordered[1:]):
+        assert later.data_start_ns >= earlier.data_end_ns - 1e-9
+
+    # Column commands respect tCCD.
+    cas_times = sorted(c.cas_issue_ns for c in completed)
+    for a, b in zip(cas_times, cas_times[1:]):
+        assert b - a >= timing.tccd_ns - 1e-9
+
+    # Row-buffer semantics: a hit requires the previous access to the
+    # same bank to have opened that row.
+    last_row: dict[int, int] = {}
+    for read in sorted(completed, key=lambda c: c.cas_issue_ns):
+        if read.row_hit:
+            assert last_row.get(read.bank) == read.row
+        last_row[read.bank] = read.row
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    gap=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+)
+def test_same_row_streaming_all_hits(n, gap):
+    """Consecutive blocks of one row: everything after the opener hits."""
+    simulator = DdrChannelSimulator(address_map_for("skylake"))
+    n = min(n, simulator.address_map.column_bits_span)
+    completed = simulator.schedule(
+        [ReadRequest(i * gap, i * 64) for i in range(n)]
+    )
+    assert [c.row_hit for c in completed] == [False] + [True] * (n - 1)

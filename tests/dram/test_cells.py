@@ -1,0 +1,128 @@
+"""Tests for the charge-decay physics model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.cells import DecayModel, apply_decay, ground_state_pattern
+
+
+class TestDecayModel:
+    def setup_method(self):
+        self.model = DecayModel(tau_room_s=3.0, beta=1.5, doubling_celsius=9.0)
+
+    def test_cooling_extends_retention(self):
+        assert self.model.tau_at(-25.0) > self.model.tau_at(20.0)
+        # One doubling step per 9 degrees.
+        assert self.model.tau_at(11.0) == pytest.approx(2 * self.model.tau_at(20.0))
+
+    def test_flip_fraction_monotone_in_time(self):
+        times = [0.5, 1.0, 3.0, 10.0, 60.0]
+        fractions = [self.model.flip_fraction(t, 20.0) for t in times]
+        assert fractions == sorted(fractions)
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+
+    def test_zero_time_means_no_decay(self):
+        assert self.model.flip_fraction(0.0, 20.0) == 0.0
+
+    def test_conditional_probability_composes(self):
+        """Decaying in two steps matches one step in probability mass."""
+        a1 = self.model.age_increment(2.0, 20.0)
+        a2 = a1 + self.model.age_increment(3.0, 20.0)
+        p_two_step = 1 - (1 - self.model.conditional_flip_probability(0, a1)) * (
+            1 - self.model.conditional_flip_probability(a1, a2)
+        )
+        p_one_step = self.model.conditional_flip_probability(0, a2)
+        assert p_two_step == pytest.approx(p_one_step)
+
+    def test_conditional_rejects_time_reversal(self):
+        with pytest.raises(ValueError):
+            self.model.conditional_flip_probability(1.0, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecayModel(tau_room_s=0)
+        with pytest.raises(ValueError):
+            DecayModel(tau_room_s=1, beta=0)
+        with pytest.raises(ValueError):
+            self.model.age_increment(-1, 20.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=100),
+        st.floats(min_value=-60, max_value=60),
+    )
+    def test_flip_fraction_is_probability(self, seconds, celsius):
+        fraction = self.model.flip_fraction(seconds, celsius)
+        assert 0.0 <= fraction <= 1.0
+
+
+class TestGroundState:
+    def test_deterministic_per_serial(self):
+        a = ground_state_pattern(8192, serial=1)
+        b = ground_state_pattern(8192, serial=1)
+        assert np.array_equal(a, b)
+
+    def test_varies_with_serial(self):
+        a = ground_state_pattern(65536, serial=1)
+        b = ground_state_pattern(65536, serial=2)
+        assert not np.array_equal(a, b)
+
+    def test_stripes_are_pure(self):
+        pattern = ground_state_pattern(16384, serial=3, stripe_bytes=512)
+        assert set(np.unique(pattern)) <= {0x00, 0xFF}
+        # Each stripe is uniform.
+        stripes = pattern.reshape(-1, 512)
+        assert all(len(np.unique(s)) == 1 for s in stripes)
+
+    def test_both_polarities_present(self):
+        pattern = ground_state_pattern(1 << 16, serial=4)
+        assert 0x00 in pattern and 0xFF in pattern
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            ground_state_pattern(0, serial=0)
+
+
+class TestApplyDecay:
+    def test_zero_probability_flips_nothing(self):
+        data = np.frombuffer(bytes(range(256)) * 4, dtype=np.uint8).copy()
+        ground = np.zeros_like(data)
+        rng = np.random.Generator(np.random.PCG64(0))
+        assert apply_decay(data, ground, 0.0, rng) == 0
+
+    def test_full_probability_reaches_ground(self):
+        ground = ground_state_pattern(1024, serial=9)
+        data = (~ground).astype(np.uint8)
+        rng = np.random.Generator(np.random.PCG64(0))
+        flipped = apply_decay(data, ground, 1.0, rng)
+        assert np.array_equal(data, ground)
+        assert flipped == 8 * 1024
+
+    def test_only_vulnerable_bits_flip(self):
+        """Bits already at ground never change."""
+        ground = ground_state_pattern(4096, serial=5)
+        data = ground.copy()
+        rng = np.random.Generator(np.random.PCG64(1))
+        assert apply_decay(data, ground, 0.5, rng) == 0
+        assert np.array_equal(data, ground)
+
+    def test_flip_count_tracks_probability(self):
+        n = 1 << 16
+        ground = np.zeros(n, dtype=np.uint8)
+        data = np.full(n, 0xFF, dtype=np.uint8)
+        rng = np.random.Generator(np.random.PCG64(2))
+        flipped = apply_decay(data, ground, 0.01, rng)
+        expected = 0.01 * 8 * n
+        assert 0.8 * expected < flipped < 1.2 * expected
+
+    def test_rejects_probability_out_of_range(self):
+        data = np.zeros(64, dtype=np.uint8)
+        rng = np.random.Generator(np.random.PCG64(0))
+        with pytest.raises(ValueError):
+            apply_decay(data, data.copy(), 1.5, rng)
+
+    def test_rejects_shape_mismatch(self):
+        rng = np.random.Generator(np.random.PCG64(0))
+        with pytest.raises(ValueError):
+            apply_decay(np.zeros(64, dtype=np.uint8), np.zeros(32, dtype=np.uint8), 0.1, rng)

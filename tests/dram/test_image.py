@@ -1,0 +1,60 @@
+"""Tests for memory image containers."""
+
+import pytest
+
+from repro.dram.image import MemoryImage
+
+
+def test_block_access():
+    image = MemoryImage(bytes(range(64)) + b"\xaa" * 64)
+    assert image.n_blocks == 2
+    assert image.block(0) == bytes(range(64))
+    assert image.block(1) == b"\xaa" * 64
+
+
+def test_block_address():
+    image = MemoryImage(bytes(128), base_address=0x1000)
+    assert image.block_address(1) == 0x1040
+
+
+def test_block_out_of_range():
+    image = MemoryImage(bytes(64))
+    with pytest.raises(IndexError):
+        image.block(1)
+
+
+def test_alignment_validation():
+    with pytest.raises(ValueError):
+        MemoryImage(bytes(65))
+    with pytest.raises(ValueError):
+        MemoryImage(bytes(64), base_address=32)
+
+
+def test_xor_identity_and_mismatch():
+    a = MemoryImage(bytes([0xF0]) * 64)
+    b = MemoryImage(bytes([0x0F]) * 64)
+    assert a.xor(b).data == bytes([0xFF]) * 64
+    with pytest.raises(ValueError):
+        a.xor(MemoryImage(bytes(128)))
+
+
+def test_bit_error_rate():
+    a = MemoryImage(bytes(64))
+    b = MemoryImage(b"\x01" + bytes(63))
+    assert a.bit_error_rate(b) == pytest.approx(1 / 512)
+    assert a.bit_error_rate(a) == 0.0
+
+
+def test_blocks_matrix_view():
+    image = MemoryImage(bytes(range(64)) * 2)
+    matrix = image.blocks_matrix()
+    assert matrix.shape == (2, 64)
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    image = MemoryImage(bytes(range(128)) + bytes(64))
+    path = tmp_path / "dump.bin"
+    image.save(path)
+    loaded = MemoryImage.load(path, base_address=0x40)
+    assert loaded.data == image.data
+    assert loaded.base_address == 0x40

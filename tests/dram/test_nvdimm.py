@@ -1,0 +1,74 @@
+"""Tests for the non-volatile DIMM threat model (§II-C / §V)."""
+
+import pytest
+
+from repro.dram.module import DramModule, random_fill
+from repro.dram.nvdimm import NvdimmModule, compare_nvdimm_threat
+
+
+class TestNvdimmRetention:
+    def test_no_decay_warm_for_minutes(self):
+        module = NvdimmModule(64 * 1024, serial=5)
+        payload = random_fill(module)
+        module.power_off()
+        module.set_temperature(20.0)
+        assert module.advance_time(600.0) == 0
+        module.power_on()
+        assert module.fraction_correct(payload) == 1.0
+
+    def test_drop_in_replacement_for_dram(self):
+        """An NVDIMM slots anywhere a DramModule does."""
+        from repro.controller.controller import MemoryController
+        from repro.dram.address import address_map_for
+        from repro.scrambler.ddr4 import Ddr4Scrambler
+
+        amap = address_map_for("skylake")
+        module = NvdimmModule(1 << 18, serial=1)
+        mc = MemoryController(amap, {0: module}, Ddr4Scrambler(boot_seed=1, address_map=amap))
+        mc.write(4096, b"persistent secrets" * 3)
+        assert mc.read(4096, 54) == b"persistent secrets" * 3
+
+    def test_rejects_negative_time(self):
+        module = NvdimmModule(4096)
+        module.power_off()
+        with pytest.raises(ValueError):
+            module.advance_time(-1.0)
+
+
+class TestThreatComparison:
+    def test_nvdimm_needs_no_cooling(self):
+        comparison = compare_nvdimm_threat()
+        assert comparison.nvdimm_retention_at_20c_60s == 1.0
+        assert comparison.dram_retention_at_20c_60s < 0.9
+        dram_needs, nvdimm_needs = comparison.needs_cooling
+        assert dram_needs and not nvdimm_needs
+
+
+class TestNvdimmColdBoot:
+    def test_warm_slow_attack_succeeds_on_nvdimm(self):
+        """§V's warning, end to end: no duster, a full minute of transfer,
+        and the scrambled NVDIMM still gives up its secrets."""
+        from repro.attack.coldboot import TransferConditions, cold_boot_transfer
+        from repro.attack.pipeline import Ddr4ColdBootAttack
+        from repro.victim.machine import TABLE_I_MACHINES, Machine
+        from repro.victim.workload import synthesize_memory
+
+        mem = 2 << 20
+        victim = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=mem, machine_id=61)
+        # Swap the DRAM for NVDIMMs before use.
+        victim.shutdown()
+        victim.remove_module(0)
+        victim.install_module(NvdimmModule(mem, serial=99), 0)
+        victim.boot()
+        contents, _ = synthesize_memory(mem - 64 * 1024, zero_fraction=0.35, seed=61)
+        victim.write(64 * 1024, contents)
+        volume = victim.mount_encrypted_volume(b"pw", key_table_address=(1 << 20) + 13)
+
+        attacker = Machine(TABLE_I_MACHINES["i5-6600K"], memory_bytes=mem, machine_id=62)
+        dump = cold_boot_transfer(
+            victim,
+            attacker,
+            TransferConditions(temperature_c=20.0, transfer_seconds=60.0),  # warm & slow!
+        )
+        master = Ddr4ColdBootAttack().recover_xts_master_key(dump)
+        assert master == volume.master_key

@@ -1,0 +1,70 @@
+"""Tests for the §III-D retention profiles and predictions."""
+
+import pytest
+
+from repro.dram.retention import (
+    DUSTER_TEMPERATURE_C,
+    MODULE_PROFILES,
+    TRANSFER_SECONDS,
+    ModuleProfile,
+    predicted_retention,
+    retention_sweep,
+)
+
+
+def test_seven_modules_as_in_paper():
+    generations = [p.generation for p in MODULE_PROFILES.values()]
+    assert generations.count("DDR3") == 5
+    assert generations.count("DDR4") == 2
+
+
+def test_cooled_transfer_retains_90_to_99_percent():
+    """§III-D: all modules retain 90-99% over a ~5s cooled transfer."""
+    for profile in MODULE_PROFILES.values():
+        retained = predicted_retention(profile, TRANSFER_SECONDS, DUSTER_TEMPERATURE_C)
+        assert 0.90 <= retained <= 0.9999, profile.name
+
+
+def test_warm_modules_lose_significant_data_in_3s():
+    """§III-D: significant loss within 3 seconds at operating temperature."""
+    for profile in MODULE_PROFILES.values():
+        retained = predicted_retention(profile, 3.0, 20.0)
+        assert retained < 0.95, profile.name
+
+
+def test_one_ddr3_module_leaks_faster_than_ddr4():
+    ddr3_worst = min(
+        predicted_retention(p, TRANSFER_SECONDS, DUSTER_TEMPERATURE_C)
+        for p in MODULE_PROFILES.values()
+        if p.generation == "DDR3"
+    )
+    ddr4_best = min(
+        predicted_retention(p, TRANSFER_SECONDS, DUSTER_TEMPERATURE_C)
+        for p in MODULE_PROFILES.values()
+        if p.generation == "DDR4"
+    )
+    assert ddr3_worst < ddr4_best
+
+
+def test_retention_sweep_shape():
+    points = retention_sweep(temperatures=(20.0, -25.0), times=(1.0, 5.0))
+    assert len(points) == len(MODULE_PROFILES) * 2 * 2
+    assert all(0.5 <= p.fraction_retained <= 1.0 for p in points)
+
+
+def test_retention_monotone_in_temperature():
+    profile = MODULE_PROFILES["DDR4_A"]
+    warm = predicted_retention(profile, 5.0, 20.0)
+    cool = predicted_retention(profile, 5.0, 0.0)
+    cold = predicted_retention(profile, 5.0, -50.0)
+    assert warm < cool < cold
+
+
+def test_percent_property():
+    points = retention_sweep(temperatures=(-25.0,), times=(5.0,))
+    assert points[0].percent_retained == pytest.approx(100 * points[0].fraction_retained)
+
+
+def test_profile_validates_generation():
+    with pytest.raises(ValueError):
+        ModuleProfile("X", "DDR5", "v", MODULE_PROFILES["DDR4_A"].decay)

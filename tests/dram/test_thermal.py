@@ -1,0 +1,80 @@
+"""Tests for the warming-transfer thermal model."""
+
+import pytest
+
+from repro.dram.module import DramModule, random_fill
+from repro.dram.retention import MODULE_PROFILES
+from repro.dram.thermal import ThermalTransfer
+
+
+class TestTrajectory:
+    def test_starts_cold_ends_ambient(self):
+        transfer = ThermalTransfer(start_celsius=-25.0, ambient_celsius=20.0)
+        assert transfer.temperature_at(0.0) == pytest.approx(-25.0)
+        assert transfer.temperature_at(1e6) == pytest.approx(20.0, abs=0.01)
+
+    def test_monotone_warming(self):
+        transfer = ThermalTransfer()
+        temps = [transfer.temperature_at(t) for t in (0, 30, 90, 300)]
+        assert temps == sorted(temps)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalTransfer(thermal_tau_s=0)
+        with pytest.raises(ValueError):
+            ThermalTransfer().temperature_at(-1)
+
+
+class TestAppliedDecay:
+    def test_warming_transfer_worse_than_constant_cold(self):
+        cold = DramModule(64 * 1024, "DDR4_A", serial=1)
+        warming = DramModule(64 * 1024, "DDR4_A", serial=1)
+        p_cold = random_fill(cold)
+        p_warm = random_fill(warming)
+        for module in (cold, warming):
+            module.power_off()
+        cold.set_temperature(-25.0)
+        cold.advance_time(120.0)
+        ThermalTransfer(start_celsius=-25.0).apply(warming, 120.0)
+        assert warming.fraction_correct(p_warm) < cold.fraction_correct(p_cold)
+
+    def test_short_transfer_barely_differs(self):
+        """Over 5 s the module barely warms; §III-D's constant-cold
+        numbers are a good approximation of the trajectory."""
+        profile = MODULE_PROFILES["DDR4_A"]
+        transfer = ThermalTransfer(start_celsius=-25.0)
+        from repro.dram.retention import predicted_retention
+
+        constant = predicted_retention(profile, 5.0, -25.0)
+        warming = transfer.predicted_retention(profile, 5.0)
+        assert warming == pytest.approx(constant, abs=0.002)
+
+    def test_apply_validation(self):
+        module = DramModule(4096, "DDR4_A")
+        module.power_off()
+        transfer = ThermalTransfer()
+        with pytest.raises(ValueError):
+            transfer.apply(module, 5.0, steps=0)
+        with pytest.raises(ValueError):
+            transfer.apply(module, -1.0)
+
+
+class TestPlanning:
+    def test_max_transfer_monotone_in_floor(self):
+        transfer = ThermalTransfer(start_celsius=-25.0)
+        profile = MODULE_PROFILES["DDR4_A"]
+        strict = transfer.max_transfer_seconds(profile, retention_floor=0.99)
+        loose = transfer.max_transfer_seconds(profile, retention_floor=0.90)
+        assert strict < loose
+
+    def test_colder_start_buys_time(self):
+        profile = MODULE_PROFILES["DDR3_C"]
+        duster = ThermalTransfer(start_celsius=-25.0)
+        ln2 = ThermalTransfer(start_celsius=-50.0)
+        assert ln2.max_transfer_seconds(profile, 0.95) > duster.max_transfer_seconds(
+            profile, 0.95
+        )
+
+    def test_floor_validated(self):
+        with pytest.raises(ValueError):
+            ThermalTransfer().max_transfer_seconds(MODULE_PROFILES["DDR4_A"], 0.3)

@@ -1,0 +1,50 @@
+"""Tests for DDR4 timing parameters."""
+
+import pytest
+
+from repro.dram.timing import (
+    DDR4_2400,
+    JEDEC_CAS_LATENCIES_NS,
+    MAX_CAS_LATENCY_NS,
+    MAX_OUTSTANDING_CAS_DDR4_2400,
+    MIN_CAS_LATENCY_NS,
+    DdrBusTiming,
+    DramTiming,
+)
+
+
+def test_nine_allowed_cas_latencies():
+    """JESD79-4 defines nine standard CAS latencies, all in [12.5, 15.01]."""
+    assert len(JEDEC_CAS_LATENCIES_NS) == 9
+    assert MIN_CAS_LATENCY_NS == 12.5
+    assert MAX_CAS_LATENCY_NS == 15.01
+    assert all(12.5 <= cl <= 15.01 for cl in JEDEC_CAS_LATENCIES_NS)
+
+
+def test_ddr4_2400_bus_parameters():
+    assert DDR4_2400.transfer_rate_mts == 2400
+    assert DDR4_2400.burst_bytes == 64
+    assert DDR4_2400.burst_time_ns == pytest.approx(8 / 2.4)
+    assert DDR4_2400.peak_bandwidth_gbs == pytest.approx(19.2)
+
+
+def test_max_back_to_back_cas_is_18():
+    """The paper's 'up to 18 back-to-back CAS requests' on DDR4-2400."""
+    assert DDR4_2400.max_back_to_back_cas() == 18
+    assert MAX_OUTSTANDING_CAS_DDR4_2400 == 18
+
+
+def test_slower_bus_fits_fewer_bursts():
+    ddr4_1600 = DdrBusTiming("DDR4-1600", io_clock_ghz=0.8)
+    assert ddr4_1600.max_back_to_back_cas() < DDR4_2400.max_back_to_back_cas()
+
+
+def test_read_latency_row_hit_vs_miss():
+    timing = DramTiming(bus=DDR4_2400, cas_latency_ns=12.5, trcd_ns=13.32)
+    assert timing.read_latency_ns(row_buffer_hit=True) == 12.5
+    assert timing.read_latency_ns(row_buffer_hit=False) == pytest.approx(25.82)
+
+
+def test_invalid_cas_rejected():
+    with pytest.raises(ValueError):
+        DramTiming(bus=DDR4_2400, cas_latency_ns=0)

@@ -1,0 +1,52 @@
+"""Tests for the cipher-engine specs against Table II."""
+
+import pytest
+
+from repro.engine.ciphers import ENGINE_SPECS, TABLE_II_PUBLISHED, CipherEngineSpec
+
+
+class TestTableII:
+    @pytest.mark.parametrize("name", list(TABLE_II_PUBLISHED))
+    def test_frequency_matches(self, name):
+        freq, _, _ = TABLE_II_PUBLISHED[name]
+        assert ENGINE_SPECS[name].max_frequency_ghz == freq
+
+    @pytest.mark.parametrize("name", list(TABLE_II_PUBLISHED))
+    def test_cycles_match(self, name):
+        """The structural cycle model reproduces the published counts."""
+        _, cycles, _ = TABLE_II_PUBLISHED[name]
+        assert ENGINE_SPECS[name].cycles_per_block == cycles
+
+    @pytest.mark.parametrize("name", list(TABLE_II_PUBLISHED))
+    def test_pipeline_delay_matches(self, name):
+        _, _, delay = TABLE_II_PUBLISHED[name]
+        assert ENGINE_SPECS[name].pipeline_delay_ns == pytest.approx(delay, abs=0.03)
+
+
+class TestStructuralModel:
+    def test_aes_counts_injection_cycles(self):
+        """cycles/64B = rounds + 3 extra counters for the AES family."""
+        assert ENGINE_SPECS["AES-128"].cycles_per_block == 10 + 3
+        assert ENGINE_SPECS["AES-256"].cycles_per_block == 14 + 3
+
+    def test_chacha_two_stages_per_round(self):
+        assert ENGINE_SPECS["ChaCha8"].cycles_per_block == 2 * 8 + 2
+        assert ENGINE_SPECS["ChaCha20"].cycles_per_block == 2 * 20 + 2
+
+    def test_counters_per_block(self):
+        assert ENGINE_SPECS["AES-128"].counters_per_block == 4
+        assert ENGINE_SPECS["ChaCha8"].counters_per_block == 1
+
+    def test_aes_throughput_matches_paper(self):
+        """The paper quotes ~39 GB/s for the 1-cycle-per-round AES."""
+        assert ENGINE_SPECS["AES-128"].throughput_gb_per_s == pytest.approx(38.4)
+
+    def test_chacha_outruns_any_ddr4_bus(self):
+        # 64B per initiation at 1.96 GHz vastly exceeds 19.2 GB/s bus peak.
+        assert ENGINE_SPECS["ChaCha8"].throughput_gb_per_s > 19.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CipherEngineSpec("x", "des", 16, 1.0, 1, 0.1, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            CipherEngineSpec("x", "aes", 0, 1.0, 4, 0.1, 0.1, 0.1)

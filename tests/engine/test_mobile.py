@@ -1,0 +1,57 @@
+"""Tests for the time-multiplexed mobile engine variants (§IV-C)."""
+
+import pytest
+
+from repro.engine.ciphers import ENGINE_SPECS
+from repro.engine.mobile import (
+    MOBILE_MAX_OUTSTANDING,
+    mobile_tradeoff_sweep,
+    time_multiplexed,
+)
+
+
+class TestTimeMultiplexing:
+    def test_identity_at_factor_one(self):
+        variant = time_multiplexed("ChaCha8", 1)
+        base = ENGINE_SPECS["ChaCha8"]
+        assert variant.pipeline_delay_ns == base.pipeline_delay_ns
+        assert variant.area_mm2 == base.area_mm2
+
+    def test_cycles_scale_with_reuse(self):
+        base = ENGINE_SPECS["ChaCha8"]
+        variant = time_multiplexed(base, 4)
+        assert variant.pipeline_delay_ns > 3 * base.pipeline_delay_ns
+
+    def test_power_and_area_shrink(self):
+        base = ENGINE_SPECS["AES-128"]
+        variant = time_multiplexed(base, base.rounds)
+        assert variant.area_mm2 < base.area_mm2
+        assert variant.dynamic_power_w < base.dynamic_power_w
+        # The 20% shared-datapath floor is respected.
+        assert variant.area_mm2 > 0.19 * base.area_mm2
+
+    def test_reuse_factor_validated(self):
+        with pytest.raises(ValueError):
+            time_multiplexed("ChaCha8", 0)
+        with pytest.raises(ValueError):
+            time_multiplexed("ChaCha8", 9)
+
+
+class TestTradeoffSweep:
+    def test_sweep_shape(self):
+        verdicts = mobile_tradeoff_sweep()
+        assert len(verdicts) == 4
+        # Savings grow with the reuse factor...
+        savings = [v.power_saving_fraction for v in verdicts]
+        assert savings == sorted(savings)
+        # ...and so does exposure: the §IV-C trade-off in one line.
+        exposures = [v.exposed_ns_at_mobile_load for v in verdicts]
+        assert exposures == sorted(exposures)
+
+    def test_baseline_stays_hidden(self):
+        verdicts = mobile_tradeoff_sweep(reuse_factors=(1,))
+        assert verdicts[0].hidden
+        assert verdicts[0].power_saving_fraction == pytest.approx(0.0)
+
+    def test_mobile_load_is_shallow(self):
+        assert MOBILE_MAX_OUTSTANDING <= 4

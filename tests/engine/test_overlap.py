@@ -1,0 +1,74 @@
+"""Tests for the measured keystream/DRAM overlap simulation."""
+
+import pytest
+
+from repro.dram.address import address_map_for
+from repro.dram.bus import DdrChannelSimulator
+from repro.engine.overlap import overlap_comparison, simulate_overlap
+from repro.engine.traffic import bursty_reads, random_reads, streaming_reads
+
+
+def fresh_simulator() -> DdrChannelSimulator:
+    return DdrChannelSimulator(address_map_for("skylake"))
+
+
+class TestChaCha8ZeroExposure:
+    def test_streaming_traffic(self):
+        result = simulate_overlap(
+            "ChaCha8", streaming_reads(128, 10.0), fresh_simulator()
+        )
+        assert result.max_exposed_ns == 0.0
+        assert result.hidden_fraction == 1.0
+
+    def test_random_traffic(self):
+        result = simulate_overlap(
+            "ChaCha8", random_reads(128, 20.0, 1 << 26, seed=1), fresh_simulator()
+        )
+        assert result.max_exposed_ns == 0.0
+
+    def test_saturating_bursts(self):
+        """The Figure 6 worst case through the full command-level model."""
+        reads = bursty_reads(8, burst_length=18, idle_gap_ns=200.0, memory_bytes=1 << 24)
+        result = simulate_overlap("ChaCha8", reads, fresh_simulator())
+        assert result.max_exposed_ns == 0.0
+
+
+class TestChaCha20AlwaysExposed:
+    def test_even_idle_traffic_exposes(self):
+        result = simulate_overlap(
+            "ChaCha20", streaming_reads(32, 1000.0), fresh_simulator()
+        )
+        assert result.hidden_fraction == 0.0
+        assert result.mean_exposed_ns > 8.0
+
+
+class TestAesUnderLoad:
+    def test_aes_hidden_at_low_load(self):
+        result = simulate_overlap(
+            "AES-128", streaming_reads(32, 100.0), fresh_simulator()
+        )
+        assert result.max_exposed_ns == 0.0
+
+    def test_aes_exposes_under_saturating_bursts(self):
+        reads = bursty_reads(4, burst_length=18, idle_gap_ns=100.0, memory_bytes=1 << 24)
+        aes = simulate_overlap("AES-128", reads, fresh_simulator())
+        chacha = simulate_overlap("ChaCha8", reads, fresh_simulator())
+        assert aes.max_exposed_ns > chacha.max_exposed_ns
+        assert aes.max_exposed_ns < 3.0  # worst case stays small (≈1.3 ns figure)
+
+
+class TestComparison:
+    def test_all_engines_same_channel_stats(self):
+        reads = streaming_reads(64, 5.0)
+        results = overlap_comparison(reads, fresh_simulator)
+        assert len(results) == 5
+        hit_rates = {round(r.row_hit_rate, 6) for r in results}
+        assert len(hit_rates) == 1  # identical traffic, identical channel
+
+    def test_ordering_matches_pipeline_delays(self):
+        """With idle traffic exposure ordering follows Table II delays."""
+        reads = streaming_reads(32, 500.0)
+        results = {r.engine: r for r in overlap_comparison(reads, fresh_simulator)}
+        assert results["ChaCha20"].mean_exposed_ns > results["ChaCha12"].mean_exposed_ns
+        assert results["ChaCha12"].mean_exposed_ns >= 0.0
+        assert results["AES-128"].mean_exposed_ns == 0.0

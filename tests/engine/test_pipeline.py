@@ -1,0 +1,47 @@
+"""Tests for the exposed-latency analysis (Figure 5 / §IV-C)."""
+
+import pytest
+
+from repro.dram.timing import JEDEC_CAS_LATENCIES_NS, MIN_CAS_LATENCY_NS
+from repro.engine.pipeline import exposed_latency, exposure_table, viable_replacements
+
+
+class TestViability:
+    def test_three_viable_engines_at_fastest_cas(self):
+        """§IV-C: AES-128, AES-256 and ChaCha8 fit under 12.5 ns."""
+        assert set(viable_replacements(12.5)) == {"AES-128", "AES-256", "ChaCha8"}
+
+    def test_chacha12_viable_only_at_slow_bins(self):
+        assert "ChaCha12" not in viable_replacements(12.5)
+        assert "ChaCha12" in viable_replacements(15.01)
+
+    def test_chacha20_never_viable(self):
+        for cas in JEDEC_CAS_LATENCIES_NS:
+            assert "ChaCha20" not in viable_replacements(cas)
+
+
+class TestExposedLatency:
+    def test_chacha8_fully_hidden(self):
+        result = exposed_latency("ChaCha8", MIN_CAS_LATENCY_NS)
+        assert result.is_hidden
+        assert result.exposed_ns == 0.0
+        assert result.slack_ns == pytest.approx(12.5 - 9.18, abs=0.01)
+
+    def test_chacha20_exposure(self):
+        result = exposed_latency("ChaCha20", 12.5)
+        assert result.exposed_ns == pytest.approx(21.43 - 12.5, abs=0.03)
+        assert not result.is_hidden
+
+    def test_rejects_bad_cas(self):
+        with pytest.raises(ValueError):
+            exposed_latency("ChaCha8", 0)
+
+
+class TestExposureTable:
+    def test_covers_full_grid(self):
+        table = exposure_table()
+        assert len(table) == 5 * 9
+
+    def test_every_standard_bin_in_range(self):
+        for entry in exposure_table():
+            assert 12.5 <= entry.cas_latency_ns <= 15.01

@@ -1,0 +1,68 @@
+"""Tests for the power/area overhead model (Figure 7)."""
+
+import pytest
+
+from repro.engine.power import CPU_PROFILES, CpuProfile, estimate_overhead, overhead_grid
+
+
+class TestFigure7Claims:
+    def test_area_overhead_at_most_about_1_percent(self):
+        """'In all cases, the area overheads are about or below 1%.'"""
+        for estimate in overhead_grid():
+            assert estimate.area_overhead_percent <= 1.05
+
+    def test_power_below_3_percent_except_atom(self):
+        for estimate in overhead_grid(utilisations=(1.0,)):
+            if estimate.cpu != "Atom N280":
+                assert estimate.power_overhead_percent < 3.0
+
+    def test_atom_peaks_near_17_percent(self):
+        worst = max(
+            estimate_overhead("Atom N280", engine, 1.0).power_overhead_percent
+            for engine in ("AES-128", "ChaCha8")
+        )
+        assert 14.0 <= worst <= 17.5
+
+    def test_atom_realistic_load_below_6_percent(self):
+        """'Under more realistic workloads... below 6%.'"""
+        for engine in ("AES-128", "ChaCha8"):
+            overhead = estimate_overhead("Atom N280", engine, 0.2).power_overhead_percent
+            assert overhead < 6.0
+
+    def test_atom_area_highest(self):
+        """The small Atom die pays the (relatively) largest area cost."""
+        atom = estimate_overhead("Atom N280", "ChaCha8").area_overhead
+        others = [
+            estimate_overhead(name, "ChaCha8").area_overhead
+            for name in CPU_PROFILES
+            if name != "Atom N280"
+        ]
+        assert all(atom > other for other in others)
+
+
+class TestModelMechanics:
+    def test_one_engine_per_channel(self):
+        xeon = estimate_overhead("Xeon W3520", "ChaCha8")
+        atom = estimate_overhead("Atom N280", "ChaCha8")
+        assert xeon.area_mm2 == pytest.approx(3 * atom.area_mm2)
+
+    def test_dynamic_power_scales_with_utilisation(self):
+        full = estimate_overhead("Core i5-700", "AES-128", 1.0).power_w
+        idle = estimate_overhead("Core i5-700", "AES-128", 0.0).power_w
+        fifth = estimate_overhead("Core i5-700", "AES-128", 0.2).power_w
+        assert idle < fifth < full
+        assert fifth == pytest.approx(idle + 0.2 * (full - idle))
+
+    def test_four_cpus_as_in_figure(self):
+        assert len(CPU_PROFILES) == 4
+        segments = {p.segment for p in CPU_PROFILES.values()}
+        assert {"mobile", "server"} <= segments
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_overhead("Atom N280", "ChaCha8", utilisation=1.5)
+        with pytest.raises(ValueError):
+            CpuProfile("x", "mobile", tdp_w=-1, die_area_mm2=10, memory_channels=1)
+
+    def test_grid_shape(self):
+        assert len(overhead_grid()) == 4 * 2 * 2

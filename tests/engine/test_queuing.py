@@ -1,0 +1,71 @@
+"""Tests for the load/queueing simulation (Figure 6)."""
+
+import pytest
+
+from repro.dram.timing import DDR4_2400
+from repro.engine.queuing import LoadPoint, load_sweep, simulate_burst
+
+
+class TestFigure6Shape:
+    def test_chacha8_flat_and_hidden_at_all_loads(self):
+        """The paper's headline: ChaCha8 beats 12.5 ns under all loads."""
+        for n in range(1, 19):
+            point = simulate_burst("ChaCha8", n)
+            assert point.decryption_latency_ns == pytest.approx(9.18, abs=0.01)
+            assert point.exposed_ns == 0.0
+
+    def test_aes_wins_at_low_load(self):
+        """At few outstanding requests AES-128 is the fastest engine."""
+        aes = simulate_burst("AES-128", 1).decryption_latency_ns
+        chacha = simulate_burst("ChaCha8", 1).decryption_latency_ns
+        assert aes < chacha
+
+    def test_aes_queues_at_high_load(self):
+        latencies = [simulate_burst("AES-128", n).decryption_latency_ns for n in range(1, 19)]
+        assert latencies == sorted(latencies)
+        assert latencies[-1] > latencies[0]
+
+    def test_aes128_worst_case_exposure_about_1_3ns(self):
+        """The paper: 'a worst case exposed latency of 1.3ns'."""
+        worst = simulate_burst("AES-128", 18)
+        assert worst.exposed_ns == pytest.approx(1.3, abs=0.2)
+
+    def test_aes_crosses_chacha8_under_load(self):
+        """The Figure 6 crossover: AES starts ahead, ends behind."""
+        low_aes = simulate_burst("AES-128", 2).decryption_latency_ns
+        low_chacha = simulate_burst("ChaCha8", 2).decryption_latency_ns
+        high_aes = simulate_burst("AES-128", 18).decryption_latency_ns
+        high_chacha = simulate_burst("ChaCha8", 18).decryption_latency_ns
+        assert low_aes < low_chacha
+        assert high_aes > high_chacha
+
+    def test_chacha20_constant_exposure(self):
+        exposures = {round(simulate_burst("ChaCha20", n).exposed_ns, 3) for n in (1, 9, 18)}
+        assert len(exposures) == 1
+        assert exposures.pop() > 8.0
+
+    def test_aes256_worse_than_aes128(self):
+        assert (
+            simulate_burst("AES-256", 18).exposed_ns
+            > simulate_burst("AES-128", 18).exposed_ns
+        )
+
+
+class TestSweepMechanics:
+    def test_full_sweep_dimensions(self):
+        points = load_sweep()
+        assert len(points) == 5 * 18  # engines x outstanding requests
+
+    def test_utilisation_normalised(self):
+        assert simulate_burst("ChaCha8", 9).bandwidth_utilisation == pytest.approx(0.5)
+
+    def test_unloaded_latency_equals_table2(self):
+        for name, expected in (("AES-128", 5.42), ("ChaCha8", 9.18)):
+            assert simulate_burst(name, 1).decryption_latency_ns == pytest.approx(expected, abs=0.01)
+
+    def test_rejects_zero_requests(self):
+        with pytest.raises(ValueError):
+            simulate_burst("AES-128", 0)
+
+    def test_max_outstanding_follows_bus(self):
+        assert max(p.outstanding_requests for p in load_sweep()) == DDR4_2400.max_back_to_back_cas()

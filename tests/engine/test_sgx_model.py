@@ -1,0 +1,57 @@
+"""Tests for the SGX-class MEE comparison model (§IV-A)."""
+
+import pytest
+
+from repro.engine.sgx_model import SgxLikeEngine, security_performance_table
+
+
+class TestMeeGeometry:
+    def test_tree_depth(self):
+        # 96 MiB / 64 B = 1.5M leaves; arity 8 -> 7 levels.
+        assert SgxLikeEngine().tree_levels == 7
+
+    def test_smaller_region_shallower_tree(self):
+        small = SgxLikeEngine(protected_bytes=1 << 20)
+        assert small.tree_levels < SgxLikeEngine().tree_levels
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SgxLikeEngine(protected_bytes=0)
+        with pytest.raises(ValueError):
+            SgxLikeEngine(metadata_cache_hit_rate=1.5)
+
+
+class TestOverheadRange:
+    def test_matches_scone_range(self):
+        """§IV-A: 'a performance penalty ranging from a few percents to
+        12x depending on the access pattern and working set size'."""
+        best = SgxLikeEngine(metadata_cache_hit_rate=0.99).slowdown_vs_plain()
+        worst = SgxLikeEngine(metadata_cache_hit_rate=0.0).slowdown_vs_plain()
+        assert 1.0 < best < 1.5
+        assert 10.0 < worst < 13.0
+
+    def test_cache_monotone(self):
+        slowdowns = [
+            SgxLikeEngine(metadata_cache_hit_rate=h).slowdown_vs_plain()
+            for h in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert slowdowns == sorted(slowdowns, reverse=True)
+
+
+class TestComparisonTable:
+    def test_structure(self):
+        rows = security_performance_table()
+        assert len(rows) == 5
+        by_scheme = {r.scheme: r for r in rows}
+        paper = by_scheme["ChaCha8 memory encryption (this paper)"]
+        scrambler = by_scheme["scrambler (status quo)"]
+        assert paper.confidentiality and not scrambler.confidentiality
+        assert paper.slowdown == 1.0 and paper.exposed_latency_ns == 0.0
+        assert not paper.integrity and not paper.replay_protection
+
+    def test_sgx_rows_pay_for_integrity(self):
+        rows = security_performance_table()
+        sgx_rows = [r for r in rows if r.integrity]
+        assert sgx_rows
+        assert all(r.replay_protection for r in sgx_rows)
+        assert all(r.slowdown > 1.0 for r in sgx_rows)

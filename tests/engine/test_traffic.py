@@ -1,0 +1,64 @@
+"""Tests for the traffic generators."""
+
+import pytest
+
+from repro.dram.address import address_map_for
+from repro.dram.bus import DdrChannelSimulator
+from repro.engine.traffic import bursty_reads, profile, random_reads, streaming_reads
+
+
+class TestGenerators:
+    def test_streaming_is_sequential(self):
+        reads = streaming_reads(16, interarrival_ns=10.0)
+        addresses = [r.physical_address for r in reads]
+        assert addresses == [i * 64 for i in range(16)]
+
+    def test_streaming_mostly_row_hits(self):
+        sim = DdrChannelSimulator(address_map_for("skylake"))
+        sim.schedule(streaming_reads(64, interarrival_ns=10.0))
+        assert sim.row_hit_rate > 0.9
+
+    def test_random_spreads_addresses(self):
+        reads = random_reads(256, 10.0, memory_bytes=1 << 24, seed=1)
+        assert len({r.physical_address for r in reads}) > 200
+
+    def test_random_mostly_row_misses(self):
+        sim = DdrChannelSimulator(address_map_for("skylake"))
+        sim.schedule(random_reads(128, 60.0, memory_bytes=1 << 26, seed=2))
+        assert sim.row_hit_rate < 0.3
+
+    def test_bursty_structure(self):
+        reads = bursty_reads(4, burst_length=8, idle_gap_ns=500.0, memory_bytes=1 << 22)
+        arrivals = sorted({r.arrival_ns for r in reads})
+        assert len(reads) == 32
+        assert arrivals == [0.0, 500.0, 1000.0, 1500.0]
+
+    def test_determinism(self):
+        a = random_reads(32, 5.0, 1 << 20, seed="x")
+        b = random_reads(32, 5.0, 1 << 20, seed="x")
+        assert a == b
+
+
+class TestProfile:
+    def test_offered_bandwidth(self):
+        reads = streaming_reads(101, interarrival_ns=10.0)
+        stats = profile(reads)
+        # 101 blocks over a 1000 ns span (first to last arrival).
+        assert stats.offered_bandwidth_gbs == pytest.approx(101 * 64 / 1000.0)
+
+    def test_empty(self):
+        assert profile([]).offered_bandwidth_gbs == 0.0
+
+
+class TestValidation:
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            streaming_reads(0, 1.0)
+        with pytest.raises(ValueError):
+            random_reads(1, 0.0, 1 << 20)
+        with pytest.raises(ValueError):
+            bursty_reads(1, 100, 0.0, memory_bytes=64 * 10)
+
+    def test_bad_stride(self):
+        with pytest.raises(ValueError):
+            streaming_reads(4, 1.0, stride_bytes=100)

@@ -1,0 +1,64 @@
+"""Tests for the write-path analysis (§IV-B)."""
+
+import pytest
+
+from repro.dram.timing import DDR4_2400, DdrBusTiming
+from repro.engine.ciphers import ENGINE_SPECS
+from repro.engine.writes import (
+    all_engines_bus_limited,
+    analyze_write_path,
+    write_buffer_fill_time_ns,
+)
+
+
+class TestThroughputVerdict:
+    def test_no_engine_is_crypto_limited_on_ddr4_2400(self):
+        """§IV-B: every engine encrypts faster than the bus can drain."""
+        assert all_engines_bus_limited()
+
+    @pytest.mark.parametrize("name", list(ENGINE_SPECS))
+    def test_margin_at_least_unity(self, name):
+        analysis = analyze_write_path(name)
+        assert analysis.throughput_margin >= 1.0
+        assert not analysis.crypto_limited
+
+    def test_chacha8_has_huge_margin(self):
+        # 64 B per initiation at 1.96 GHz = 125 GB/s vs 19.2 GB/s bus.
+        assert analyze_write_path("ChaCha8").throughput_margin > 6.0
+
+    def test_hypothetical_faster_bus_can_flip_aes(self):
+        """Sanity: the verdict is not vacuous — a fast enough bus would
+        out-run AES's 38.4 GB/s keystream rate."""
+        hyper_bus = DdrBusTiming("DDR5-10000ish", io_clock_ghz=2.5)
+        assert hyper_bus.peak_bandwidth_gbs > 38.4
+        assert analyze_write_path("AES-128", hyper_bus).crypto_limited
+
+
+class TestWriteBuffer:
+    def test_light_store_traffic_never_fills(self):
+        assert write_buffer_fill_time_ns("ChaCha8", 64, store_interarrival_ns=10.0) is None
+
+    def test_oversubscribed_stores_fill_eventually(self):
+        fill = write_buffer_fill_time_ns("ChaCha8", 64, store_interarrival_ns=1.0)
+        assert fill is not None and fill > 0
+
+    def test_deeper_buffer_lasts_longer(self):
+        shallow = write_buffer_fill_time_ns("AES-128", 16, store_interarrival_ns=1.0)
+        deep = write_buffer_fill_time_ns("AES-128", 64, store_interarrival_ns=1.0)
+        assert shallow is not None and deep is not None
+        assert deep > shallow
+
+    def test_encryption_does_not_change_drain_rate(self):
+        """The drain bound is the bus for every engine, so fill times are
+        engine-independent — encryption costs nothing on the write path."""
+        times = {
+            name: write_buffer_fill_time_ns(name, 32, store_interarrival_ns=2.0)
+            for name in ENGINE_SPECS
+        }
+        assert len({round(t, 6) for t in times.values()}) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            write_buffer_fill_time_ns("ChaCha8", 0, 1.0)
+        with pytest.raises(ValueError):
+            write_buffer_fill_time_ns("ChaCha8", 8, 0.0)

@@ -1,0 +1,93 @@
+"""Tests for the scrambler reverse-engineering framework (§III-A/B)."""
+
+import pytest
+
+from repro.dram.image import MemoryImage
+from repro.scrambler.analysis import (
+    analyze_scrambler,
+    census,
+    infer_key_index_bits,
+    seed_mixing_analysis,
+)
+from repro.scrambler.ddr3 import Ddr3Scrambler
+from repro.scrambler.ddr4 import Ddr4Scrambler
+
+
+def keystream_of(scrambler, n_blocks: int) -> MemoryImage:
+    """What a reverse cold boot yields: scramble(zeros) over the range."""
+    return MemoryImage(scrambler.scramble_range(0, bytes(n_blocks * 64)))
+
+
+class TestCensus:
+    def test_ddr3_counts_16(self):
+        stats = census(keystream_of(Ddr3Scrambler(boot_seed=1), 1024))
+        assert stats.n_distinct_keys == 16
+        assert stats.pool_is_power_of_two
+        assert stats.max_reuse == 64
+
+    def test_ddr4_counts_4096(self):
+        stats = census(keystream_of(Ddr4Scrambler(boot_seed=1), 8192))
+        assert stats.n_distinct_keys == 4096
+        assert stats.min_reuse == 2
+
+
+class TestIndexBitInference:
+    def test_ddr3_bits(self):
+        scrambler = Ddr3Scrambler(boot_seed=2)  # index bits 6..9
+        bits = infer_key_index_bits(keystream_of(scrambler, 256))
+        assert bits == (6, 7, 8, 9)
+
+    def test_ddr4_bits(self):
+        scrambler = Ddr4Scrambler(boot_seed=2)  # index bits 6..17
+        bits = infer_key_index_bits(keystream_of(scrambler, 2 * 4096))
+        assert bits == tuple(range(6, 18))
+
+    def test_ivybridge_shifted_bits(self):
+        scrambler = Ddr3Scrambler(boot_seed=2, cpu_generation="ivybridge")  # 7..10
+        bits = infer_key_index_bits(keystream_of(scrambler, 512))
+        assert bits == (7, 8, 9, 10)
+
+    def test_requires_two_blocks(self):
+        with pytest.raises(ValueError):
+            infer_key_index_bits(MemoryImage(bytes(64)))
+
+
+class TestSeedMixing:
+    def test_ddr3_is_separable(self):
+        a = keystream_of(Ddr3Scrambler(boot_seed=1), 512)
+        b = keystream_of(Ddr3Scrambler(boot_seed=2), 512)
+        assert seed_mixing_analysis(a, b).separable
+
+    def test_ddr4_is_not(self):
+        a = keystream_of(Ddr4Scrambler(boot_seed=1), 512)
+        b = keystream_of(Ddr4Scrambler(boot_seed=2), 512)
+        report = seed_mixing_analysis(a, b)
+        assert not report.separable
+        assert report.distinct_cross_boot_xors > 500
+
+
+class TestFullCharacterisation:
+    def test_classifies_ddr3(self):
+        a = keystream_of(Ddr3Scrambler(boot_seed=1), 512)
+        b = keystream_of(Ddr3Scrambler(boot_seed=2), 512)
+        report = analyze_scrambler(a, b)
+        assert report.keys_per_channel == 16
+        assert report.separable_seed_mixing
+        assert not report.keys_reused_across_reboot
+        assert "DDR3-class" in report.generation_verdict()
+
+    def test_classifies_ddr4(self):
+        a = keystream_of(Ddr4Scrambler(boot_seed=1), 2 * 4096)
+        b = keystream_of(Ddr4Scrambler(boot_seed=2), 2 * 4096)
+        report = analyze_scrambler(a, b)
+        assert report.keys_per_channel == 4096
+        assert report.key_index_bits == tuple(range(6, 18))
+        assert not report.separable_seed_mixing
+        assert "DDR4/Skylake-class" in report.generation_verdict()
+
+    def test_detects_sticky_seed(self):
+        """The 'certain vendors' case: identical keystreams across boots."""
+        a = keystream_of(Ddr4Scrambler(boot_seed=5), 512)
+        b = keystream_of(Ddr4Scrambler(boot_seed=5), 512)
+        report = analyze_scrambler(a, b)
+        assert report.keys_reused_across_reboot

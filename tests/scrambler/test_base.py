@@ -1,0 +1,40 @@
+"""Tests for shared scrambler machinery and the BIOS seed policy."""
+
+import pytest
+
+from repro.scrambler.base import bios_seed
+from repro.scrambler.ddr4 import Ddr4Scrambler
+
+
+class TestBiosSeedPolicy:
+    def test_resetting_vendor_changes_seed_each_boot(self):
+        seeds = {bios_seed(boot, vendor_resets_seed=True) for boot in range(5)}
+        assert len(seeds) == 5
+
+    def test_sticky_vendor_reuses_seed(self):
+        """§III-B: 'BIOS from certain vendors do not reset the scrambler seed'."""
+        seeds = {bios_seed(boot, vendor_resets_seed=False) for boot in range(5)}
+        assert len(seeds) == 1
+
+    def test_seed_differs_across_machines(self):
+        assert bios_seed(1, machine_id=1) != bios_seed(1, machine_id=2)
+
+
+class TestKeyCache:
+    def test_cache_consistency_after_reseed(self):
+        scrambler = Ddr4Scrambler(boot_seed=10)
+        first = scrambler.key_for(0, 5)
+        assert scrambler.key_for(0, 5) is first  # cached object
+        scrambler.reseed(11)
+        assert scrambler.key_for(0, 5) != first
+
+    def test_key_index_validated(self):
+        scrambler = Ddr4Scrambler(boot_seed=10)
+        with pytest.raises(ValueError):
+            scrambler.key_for(0, 4096)
+
+    def test_keystream_alias_requires_alignment(self):
+        scrambler = Ddr4Scrambler(boot_seed=10)
+        assert scrambler.keystream_for_block(64) == scrambler.key_for_address(64)
+        with pytest.raises(ValueError):
+            scrambler.keystream_for_block(65)

@@ -1,0 +1,68 @@
+"""Tests for the DDR3 scrambler model: 16 keys, universal-key factoring."""
+
+import pytest
+
+from repro.scrambler.ddr3 import Ddr3Scrambler
+from repro.util.bits import xor_bytes
+
+
+class TestKeyPool:
+    def test_sixteen_distinct_keys_per_channel(self):
+        scrambler = Ddr3Scrambler(boot_seed=42)
+        keys = scrambler.all_keys()
+        assert len(keys) == 16
+        assert len(set(keys)) == 16
+
+    def test_keys_are_64_bytes(self):
+        assert all(len(k) == 64 for k in Ddr3Scrambler(1).all_keys())
+
+    def test_key_reuse_across_memory(self):
+        """Blocks 4096 bytes apart share keys (4 key-index bits at 6..9)."""
+        scrambler = Ddr3Scrambler(boot_seed=42)
+        assert scrambler.key_for_address(0) == scrambler.key_for_address(1024)
+
+    def test_seed_changes_every_key(self):
+        a = Ddr3Scrambler(boot_seed=1).all_keys()
+        b = Ddr3Scrambler(boot_seed=2).all_keys()
+        assert all(x != y for x, y in zip(a, b))
+
+
+class TestUniversalKeyProperty:
+    """The fatal DDR3 flaw: separable seed mixing (§II-C)."""
+
+    def test_cross_boot_xor_collapses_to_one_key(self):
+        a = Ddr3Scrambler(boot_seed=111)
+        b = Ddr3Scrambler(boot_seed=222)
+        xors = {xor_bytes(a.key_for(0, i), b.key_for(0, i)) for i in range(16)}
+        assert len(xors) == 1
+
+    def test_universal_key_helper_agrees(self):
+        a = Ddr3Scrambler(boot_seed=111)
+        b = Ddr3Scrambler(boot_seed=222)
+        universal = a.universal_key_against(222)
+        assert universal == xor_bytes(a.key_for(0, 5), b.key_for(0, 5))
+
+    def test_reseed_behaves_like_reboot(self):
+        scrambler = Ddr3Scrambler(boot_seed=111)
+        before = scrambler.all_keys()
+        scrambler.reseed(333)
+        after = scrambler.all_keys()
+        xors = {xor_bytes(x, y) for x, y in zip(before, after)}
+        assert len(xors) == 1
+
+
+class TestDataPath:
+    def test_scramble_is_self_inverse(self):
+        scrambler = Ddr3Scrambler(boot_seed=9)
+        block = bytes(range(64))
+        assert scrambler.descramble_block(0, scrambler.scramble_block(0, block)) == block
+
+    def test_zero_block_reveals_key(self):
+        scrambler = Ddr3Scrambler(boot_seed=9)
+        assert scrambler.scramble_block(0, bytes(64)) == scrambler.key_for_address(0)
+
+    def test_requires_right_key_count(self):
+        from repro.dram.address import address_map_for
+
+        with pytest.raises(ValueError):
+            Ddr3Scrambler(boot_seed=1, address_map=address_map_for("skylake"))

@@ -1,0 +1,74 @@
+"""Tests for the LFSR pseudo-random number generators."""
+
+import pytest
+
+from repro.scrambler.lfsr import MAXIMAL_TAPS, FibonacciLfsr, GaloisLfsr, lfsr_period
+
+
+class TestGaloisLfsr:
+    def test_deterministic(self):
+        a = GaloisLfsr(16, seed=0xACE1)
+        b = GaloisLfsr(16, seed=0xACE1)
+        assert [a.step() for _ in range(100)] == [b.step() for _ in range(100)]
+
+    def test_zero_seed_coerced(self):
+        reg = GaloisLfsr(16, seed=0)
+        assert reg.state != 0
+
+    @pytest.mark.parametrize("width", [8, 16])
+    def test_maximal_period(self, width):
+        """The default taps give the full 2^w - 1 period."""
+        assert lfsr_period(width) == (1 << width) - 1
+
+    def test_non_maximal_taps_detected(self):
+        # x^8 + x^4 (taps 0x88) is not primitive; period divides but is short.
+        assert lfsr_period(8, taps=0x88) < 255
+
+    def test_next_bits_packs_lsb_first(self):
+        reg = GaloisLfsr(16, seed=0xACE1)
+        bits = [GaloisLfsr(16, seed=0xACE1).step()]
+        assert reg.next_bits(1) == bits[0]
+
+    def test_next_bytes_length(self):
+        assert len(GaloisLfsr(64, seed=5).next_bytes(64)) == 64
+
+    def test_word16(self):
+        reg = GaloisLfsr(64, seed=7)
+        clone = GaloisLfsr(64, seed=7)
+        assert reg.next_word16() == clone.next_bits(16)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            GaloisLfsr(1, seed=1)
+
+    def test_requires_taps_for_odd_width(self):
+        with pytest.raises(ValueError):
+            GaloisLfsr(13, seed=1)
+        GaloisLfsr(13, seed=1, taps=0x1C80)  # explicit taps accepted
+
+
+class TestFibonacciLfsr:
+    def test_maximal_16bit(self):
+        # Taps (16, 14, 13, 11) are the classic maximal 16-bit set.
+        reg = FibonacciLfsr(16, seed=0xACE1, tap_positions=(16, 14, 13, 11))
+        start = reg.state
+        count = 0
+        while count < (1 << 16):
+            reg.step()
+            count += 1
+            if reg.state == start:
+                break
+        assert count == (1 << 16) - 1
+
+    def test_rejects_bad_taps(self):
+        with pytest.raises(ValueError):
+            FibonacciLfsr(16, seed=1, tap_positions=())
+        with pytest.raises(ValueError):
+            FibonacciLfsr(16, seed=1, tap_positions=(17,))
+
+    def test_zero_seed_coerced(self):
+        assert FibonacciLfsr(8, seed=0, tap_positions=(8, 6, 5, 4)).state != 0
+
+
+def test_default_taps_cover_common_widths():
+    assert {8, 16, 24, 32, 64} <= set(MAXIMAL_TAPS)

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.crypto.aes import expand_key
+from repro.dram.image import MemoryImage
+from repro.scrambler.ddr4 import Ddr4Scrambler
+from repro.util.rng import SplitMix64
+
+
+@pytest.fixture
+def scrambled_dump_file(tmp_path):
+    """A small scrambled dump with exposed keys and one planted schedule."""
+    scrambler = Ddr4Scrambler(boot_seed=77)
+    n_blocks = 3 * 4096
+    rng = SplitMix64(1)
+    plain = bytearray(rng.next_bytes(n_blocks * 64))
+    for b in range(0, n_blocks, 3):
+        plain[b * 64 : (b + 1) * 64] = bytes(64)
+    master = rng.next_bytes(32)
+    plain[500 * 64 + 9 : 500 * 64 + 9 + 240] = expand_key(master)
+    path = tmp_path / "dump.bin"
+    MemoryImage(scrambler.scramble_range(0, bytes(plain))).save(path)
+    return str(path), master
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        one_arg = {"mine", "attack", "keyfind"}
+        two_arg = {"analyze"}
+        for command in ("demo", "mine", "attack", "keyfind", "figure3", "figures",
+                        "analyze", "retention", "engines"):
+            if command in one_arg:
+                argv = [command, "x"]
+            elif command in two_arg:
+                argv = [command, "x", "y"]
+            else:
+                argv = [command]
+            assert parser.parse_args(argv).command == command
+
+
+class TestCommands:
+    def test_engines(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "ChaCha8" in out and "Atom N280" in out
+
+    def test_retention(self, capsys):
+        assert main(["retention"]) == 0
+        assert "DDR4_A" in capsys.readouterr().out
+
+    def test_figure3(self, tmp_path, capsys):
+        assert main(["figure3", "--output-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "figure3_a_original.pgm").exists()
+        assert len(list(tmp_path.glob("*.pgm"))) == 5
+
+    def test_mine(self, scrambled_dump_file, capsys):
+        path, _ = scrambled_dump_file
+        assert main(["mine", path, "--top", "3", "--no-limit"]) == 0
+        out = capsys.readouterr().out
+        assert "candidate scrambler keys" in out
+
+    def test_attack(self, scrambled_dump_file, capsys):
+        path, master = scrambled_dump_file
+        assert main(["attack", path]) == 0
+        assert master.hex() in capsys.readouterr().out
+
+    def test_keyfind_on_plaintext(self, tmp_path, capsys):
+        master = b"\x5e" * 32
+        blob = bytearray(SplitMix64(2).next_bytes(64 * 512))
+        blob[3000 : 3000 + 240] = expand_key(master)
+        path = tmp_path / "plain.bin"
+        path.write_bytes(bytes(blob))
+        assert main(["keyfind", str(path)]) == 0
+        assert master.hex() in capsys.readouterr().out
+
+    def test_keyfind_failure_exit_code(self, tmp_path):
+        path = tmp_path / "noise.bin"
+        path.write_bytes(SplitMix64(3).next_bytes(64 * 64))
+        assert main(["keyfind", str(path)]) == 1
+
+
+    def test_analyze(self, tmp_path, capsys):
+        from repro.scrambler.ddr4 import Ddr4Scrambler
+
+        a, b = tmp_path / "b1.bin", tmp_path / "b2.bin"
+        MemoryImage(Ddr4Scrambler(boot_seed=1).scramble_range(0, bytes(8192 * 64))).save(a)
+        MemoryImage(Ddr4Scrambler(boot_seed=2).scramble_range(0, bytes(8192 * 64))).save(b)
+        assert main(["analyze", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "4096" in out and "DDR4/Skylake-class" in out
+
+    def test_figures(self, tmp_path):
+        assert main(["figures", "--output-dir", str(tmp_path)]) == 0
+        assert list(tmp_path.glob("*.svg"))

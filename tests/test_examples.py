@@ -1,0 +1,50 @@
+"""Smoke tests: every example compiles; the fast ones run end to end."""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "disk_key_recovery.py", "ddr3_vs_ddr4.py"} <= names
+    assert len(EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(script):
+    py_compile.compile(str(script), doraise=True)
+
+
+def _run(script: Path, tmp_path, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_runs(tmp_path):
+    out = _run(Path("examples/quickstart.py").absolute(), tmp_path)
+    assert "true key for 0x9000 among candidates: True" in out
+
+
+def test_regenerate_figures_runs(tmp_path):
+    _run(Path("examples/regenerate_figures.py").absolute(), tmp_path)
+    assert (tmp_path / "figure6_latency_vs_load.svg").exists()
+    assert len(list(tmp_path.glob("figure3_*.pgm"))) == 5
+
+
+def test_ddr3_vs_ddr4_runs(tmp_path):
+    out = _run(Path("examples/ddr3_vs_ddr4.py").absolute(), tmp_path)
+    assert "universal key: True" in out
+    assert "universal key: False" in out

@@ -1,0 +1,51 @@
+"""Public API surface integrity: every export exists and is importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.util",
+    "repro.crypto",
+    "repro.dram",
+    "repro.scrambler",
+    "repro.controller",
+    "repro.victim",
+    "repro.attack",
+    "repro.engine",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_imports(package):
+    importlib.import_module(package)
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} lacks __all__"
+    missing = [name for name in module.__all__ if not hasattr(module, name)]
+    assert not missing, f"{package}.__all__ names missing attributes: {missing}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_is_sorted_and_unique(package):
+    module = importlib.import_module(package)
+    exports = list(module.__all__)
+    assert len(exports) == len(set(exports)), f"duplicates in {package}.__all__"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_items_documented(package):
+    """Every exported class/function carries a docstring."""
+    module = importlib.import_module(package)
+    undocumented = []
+    for name in module.__all__:
+        item = getattr(module, name)
+        if callable(item) and not isinstance(item, (int, float, str, bytes, tuple, dict)):
+            if not (getattr(item, "__doc__", None) or "").strip():
+                undocumented.append(name)
+    assert not undocumented, f"{package}: undocumented exports {undocumented}"

@@ -1,0 +1,120 @@
+"""Unit and property tests for bit-level helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import (
+    bit,
+    bytes_to_words16,
+    extract_bits,
+    hamming_distance,
+    hamming_distance_arrays,
+    hamming_weight,
+    popcount8,
+    words16_to_bytes,
+    xor_bytes,
+)
+
+
+class TestPopcount:
+    def test_known_values(self):
+        assert popcount8(0) == 0
+        assert popcount8(0xFF) == 8
+        assert popcount8(0b10110010) == 4
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            popcount8(256)
+        with pytest.raises(ValueError):
+            popcount8(-1)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_matches_bin_count(self, value):
+        assert popcount8(value) == bin(value).count("1")
+
+
+class TestHamming:
+    def test_identical_is_zero(self):
+        assert hamming_distance(b"hello", b"hello") == 0
+
+    def test_single_bit(self):
+        assert hamming_distance(b"\x00", b"\x01") == 1
+        assert hamming_distance(b"\x00", b"\x80") == 1
+
+    def test_all_bits(self):
+        assert hamming_distance(b"\x00" * 8, b"\xff" * 8) == 64
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming_distance(b"ab", b"abc")
+
+    def test_weight(self):
+        assert hamming_weight(b"\x0f\xf0") == 8
+        assert hamming_weight(b"") == 0
+
+    @given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+    def test_symmetry(self, a, b):
+        n = min(len(a), len(b))
+        assert hamming_distance(a[:n], b[:n]) == hamming_distance(b[:n], a[:n])
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_distance_equals_weight_of_xor(self, a):
+        b = bytes(len(a))
+        assert hamming_distance(a, b) == hamming_weight(a)
+
+    def test_array_broadcast(self):
+        reference = np.zeros(4, dtype=np.uint8)
+        candidates = np.array([[0, 0, 0, 0], [255, 0, 0, 0], [1, 1, 1, 1]], dtype=np.uint8)
+        distances = hamming_distance_arrays(candidates, reference)
+        assert distances.tolist() == [0, 8, 4]
+
+
+class TestXorBytes:
+    def test_roundtrip(self):
+        a, b = b"secret data!", b"pseudorandom"
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"a", b"ab")
+
+    @given(st.binary(min_size=0, max_size=128))
+    def test_self_inverse(self, data):
+        assert xor_bytes(data, data) == bytes(len(data))
+
+
+class TestBitExtraction:
+    def test_bit(self):
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 0) == 0
+
+    def test_extract_bits_identity(self):
+        assert extract_bits(0b110101, (0, 1, 2, 3, 4, 5)) == 0b110101
+
+    def test_extract_scattered(self):
+        # bits 6..9 of 0b11_0100_0000 = value>>6 & 0xF
+        value = 0x3FF << 6
+        assert extract_bits(value, (6, 7, 8, 9)) == 0xF
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(min_value=0, max_value=30))
+    def test_single_position(self, value, position):
+        assert extract_bits(value, (position,)) == bit(value, position)
+
+
+class TestWordPacking:
+    def test_roundtrip(self):
+        data = bytes(range(16))
+        assert words16_to_bytes(bytes_to_words16(data)) == data
+
+    def test_big_endian(self):
+        assert bytes_to_words16(b"\x12\x34") == (0x1234,)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_words16(b"\x01\x02\x03")
+
+    @given(st.binary(min_size=2, max_size=64).filter(lambda b: len(b) % 2 == 0))
+    def test_roundtrip_property(self, data):
+        assert words16_to_bytes(bytes_to_words16(data)) == data

@@ -1,0 +1,43 @@
+"""Tests for 64-byte block views."""
+
+import numpy as np
+import pytest
+
+from repro.util.blocks import BLOCK_SIZE, as_block_matrix, iter_blocks, num_blocks
+
+
+def test_block_size_is_ddr_burst():
+    assert BLOCK_SIZE == 64
+
+
+def test_num_blocks_ignores_tail():
+    assert num_blocks(bytes(64)) == 1
+    assert num_blocks(bytes(130)) == 2
+    assert num_blocks(b"") == 0
+
+
+def test_iter_blocks_yields_indexed_blocks():
+    data = bytes(range(64)) + bytes(64)
+    blocks = list(iter_blocks(data))
+    assert blocks[0] == (0, bytes(range(64)))
+    assert blocks[1] == (1, bytes(64))
+
+
+def test_as_block_matrix_shape_and_content():
+    data = bytes(range(256)) * 2
+    matrix = as_block_matrix(data)
+    assert matrix.shape == (8, 64)
+    assert matrix.dtype == np.uint8
+    assert bytes(matrix[0]) == data[:64]
+
+
+def test_as_block_matrix_truncates_partial_tail():
+    matrix = as_block_matrix(bytes(100))
+    assert matrix.shape == (1, 64)
+
+
+def test_as_block_matrix_accepts_ndarray():
+    arr = np.arange(128, dtype=np.uint8)
+    matrix = as_block_matrix(arr)
+    assert matrix.shape == (2, 64)
+    assert matrix[1, 0] == 64

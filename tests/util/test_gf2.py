@@ -1,0 +1,102 @@
+"""Tests for GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.gf2 import Gf2Matrix, nullspace_gf2, solve_gf2
+
+
+def random_matrix(rows: int, cols: int, seed: int) -> tuple[Gf2Matrix, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    dense = rng.integers(0, 2, (rows, cols), dtype=np.uint8)
+    return Gf2Matrix.from_dense(dense), dense
+
+
+class TestConstruction:
+    def test_set_get_roundtrip(self):
+        m = Gf2Matrix(3, 100)
+        m.set(1, 70)
+        assert m.get(1, 70) == 1
+        assert m.get(1, 69) == 0
+        m.set(1, 70, 0)
+        assert m.get(1, 70) == 0
+
+    def test_from_dense_roundtrip(self):
+        matrix, dense = random_matrix(10, 130, seed=1)
+        assert np.array_equal(matrix.to_dense(), dense)
+
+    def test_bounds_checked(self):
+        m = Gf2Matrix(2, 10)
+        with pytest.raises(IndexError):
+            m.get(2, 0)
+        with pytest.raises(IndexError):
+            m.set(0, 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Gf2Matrix(1, 0)
+
+
+class TestElimination:
+    def test_identity_has_full_rank(self):
+        m = Gf2Matrix.from_dense(np.eye(8, dtype=np.uint8))
+        assert m.rank() == 8
+
+    def test_duplicate_rows_reduce_rank(self):
+        dense = np.ones((4, 6), dtype=np.uint8)
+        assert Gf2Matrix.from_dense(dense).rank() == 1
+
+    def test_zero_matrix_rank_zero(self):
+        assert Gf2Matrix(5, 5).rank() == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_rank_bounded(self, seed):
+        matrix, _ = random_matrix(12, 20, seed)
+        assert 0 <= matrix.rank() <= 12
+
+    def test_rank_invariant_under_row_xor(self):
+        matrix, _ = random_matrix(8, 16, seed=3)
+        before = matrix.rank()
+        matrix.xor_rows(0, 1)
+        assert matrix.rank() == before
+
+
+class TestSolve:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_solution_satisfies_system(self, seed):
+        matrix, dense = random_matrix(10, 14, seed)
+        rng = np.random.default_rng(seed + 1)
+        x_true = rng.integers(0, 2, 14, dtype=np.uint8)
+        b = (dense @ x_true) & 1
+        x = solve_gf2(matrix, b)
+        assert x is not None
+        assert np.array_equal((dense @ x) & 1, b)
+
+    def test_inconsistent_system_returns_none(self):
+        # x = 0 and x = 1 simultaneously.
+        matrix = Gf2Matrix.from_dense([[1], [1]])
+        assert solve_gf2(matrix, [0, 1]) is None
+
+    def test_rhs_length_validated(self):
+        matrix = Gf2Matrix(2, 3)
+        with pytest.raises(ValueError):
+            solve_gf2(matrix, [1])
+
+
+class TestNullspace:
+    def test_dimension_matches_rank_nullity(self):
+        matrix, _ = random_matrix(10, 16, seed=9)
+        assert len(nullspace_gf2(matrix)) == 16 - matrix.rank()
+
+    def test_basis_vectors_in_kernel(self):
+        matrix, dense = random_matrix(6, 12, seed=11)
+        for vector in nullspace_gf2(matrix):
+            assert not np.any((dense @ vector) & 1)
+
+    def test_full_rank_square_has_trivial_kernel(self):
+        matrix = Gf2Matrix.from_dense(np.eye(6, dtype=np.uint8))
+        assert nullspace_gf2(matrix) == []

@@ -1,0 +1,35 @@
+"""Tests for hexdump formatting."""
+
+import pytest
+
+from repro.util.hexdump import hexdump
+
+
+def test_basic_line():
+    out = hexdump(b"ABCDEF")
+    assert "41 42 43 44 45 46" in out
+    assert "|ABCDEF|" in out
+
+
+def test_base_offsets_addresses():
+    out = hexdump(bytes(16), base=0x1000)
+    assert out.startswith("00001000")
+
+
+def test_nonprintables_become_dots():
+    out = hexdump(b"\x00\x7f\x80A")
+    assert "|...A|" in out
+
+
+def test_multiline():
+    out = hexdump(bytes(40), width=16)
+    assert len(out.splitlines()) == 3
+
+
+def test_empty_input():
+    assert hexdump(b"") == ""
+
+
+def test_rejects_bad_width():
+    with pytest.raises(ValueError):
+        hexdump(b"abc", width=0)

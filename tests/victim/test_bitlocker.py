@@ -1,0 +1,109 @@
+"""Tests for the BitLocker-style TPM-backed volume."""
+
+import pytest
+
+from repro.victim.bitlocker import (
+    SECTOR_BYTES,
+    BitLockerVolume,
+    SimulatedTpm,
+    decrypt_with_stolen_fvek,
+)
+
+
+class TestTpm:
+    def test_seal_unseal_roundtrip(self):
+        tpm = SimulatedTpm(serial=1)
+        secret = b"volume master key material!!" + bytes(4)
+        assert tpm.unseal(tpm.seal(secret)) == secret
+
+    def test_sealing_is_tpm_bound(self):
+        a, b = SimulatedTpm(serial=1), SimulatedTpm(serial=2)
+        secret = bytes(range(32))
+        assert b.unseal(a.seal(secret)) != secret
+
+    def test_sealed_blob_hides_secret(self):
+        tpm = SimulatedTpm(serial=3)
+        secret = bytes(32)
+        assert tpm.seal(secret) != secret
+
+
+class TestVolumeLifecycle:
+    def test_mount_exposes_schedule(self):
+        volume = BitLockerVolume(SimulatedTpm(1), seed=5)
+        state = volume.mount()
+        assert len(state.fvek_schedule) == 176  # AES-128 expanded schedule
+        assert state.fvek == state.fvek_schedule[:16]
+
+    def test_unmount_clears_state(self):
+        volume = BitLockerVolume(SimulatedTpm(1), seed=5)
+        volume.mount()
+        volume.unmount()
+        assert not volume.is_mounted
+        with pytest.raises(RuntimeError):
+            volume.encrypt_sector(0, bytes(SECTOR_BYTES))
+
+    def test_sector_roundtrip(self):
+        volume = BitLockerVolume(SimulatedTpm(1), seed=5)
+        volume.mount()
+        plaintext = bytes(range(256)) * 2
+        for sector in (0, 7, 12345):
+            assert volume.decrypt_sector(sector, volume.encrypt_sector(sector, plaintext)) == plaintext
+
+    def test_iv_varies_by_sector(self):
+        volume = BitLockerVolume(SimulatedTpm(1), seed=5)
+        volume.mount()
+        plaintext = b"\x00" * SECTOR_BYTES
+        assert volume.encrypt_sector(0, plaintext) != volume.encrypt_sector(1, plaintext)
+
+    def test_validation(self):
+        volume = BitLockerVolume(SimulatedTpm(1), seed=5)
+        volume.mount()
+        with pytest.raises(ValueError):
+            volume.encrypt_sector(0, b"short")
+
+
+class TestColdBootAgainstBitLocker:
+    def test_stolen_fvek_decrypts_without_tpm(self):
+        volume = BitLockerVolume(SimulatedTpm(1), seed=6)
+        state = volume.mount()
+        ciphertext = volume.encrypt_sector(3, b"Q" * SECTOR_BYTES)
+        # The attacker has only the FVEK from the memory dump.
+        assert decrypt_with_stolen_fvek(state.fvek, 3, ciphertext) == b"Q" * SECTOR_BYTES
+
+    def test_fvek_recovered_from_scrambled_ddr4_dump(self):
+        """§II-B's warning, end to end: TPM or not, the mounted volume's
+        AES-128 schedule is in scrambled DRAM and the attack finds it."""
+        from repro.attack.aes_search import AesKeySearch
+        from repro.attack.keymine import keys_matrix, mine_scrambler_keys
+        from repro.attack.coldboot import TransferConditions, cold_boot_transfer
+        from repro.victim.machine import TABLE_I_MACHINES, Machine
+        from repro.victim.workload import synthesize_memory
+
+        mem = 2 << 20
+        victim = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=mem, machine_id=81)
+        contents, _ = synthesize_memory(mem - 64 * 1024, zero_fraction=0.35, seed=81)
+        victim.write(64 * 1024, contents)
+        volume = BitLockerVolume(SimulatedTpm(7), seed=7)
+        state = volume.mount()
+        victim.write((1 << 20) + 23, state.fvek_schedule)  # driver cache
+
+        attacker = Machine(TABLE_I_MACHINES["i5-6600K"], memory_bytes=mem, machine_id=82)
+        dump = cold_boot_transfer(
+            victim, attacker, TransferConditions(temperature_c=-25.0, transfer_seconds=5.0)
+        )
+        candidates = mine_scrambler_keys(dump)
+        search = AesKeySearch(keys_matrix(candidates), key_bits=128)
+        recovered = search.recover_keys(dump)
+        assert state.fvek in [r.master_key for r in recovered]
+
+    def test_unmounted_volume_is_safe(self):
+        """The §II-B mitigation that *does* work: unmount erases the key."""
+        from repro.attack.keyfind import find_aes_keys
+        from repro.util.rng import SplitMix64
+
+        volume = BitLockerVolume(SimulatedTpm(9), seed=9)
+        volume.mount()
+        volume.unmount()
+        # RAM after unmount: the schedule was never written / was erased.
+        memory = SplitMix64(4).next_bytes(64 * 512)
+        assert find_aes_keys(memory, key_bits=128) == []

@@ -1,0 +1,130 @@
+"""Tests for simulated machines: boots, swaps, BIOS policy."""
+
+import pytest
+
+from repro.victim.machine import TABLE_I_MACHINES, Machine, MachineSpec
+
+
+class TestTableI:
+    def test_five_machines(self):
+        assert len(TABLE_I_MACHINES) == 5
+
+    def test_generations_match_paper(self):
+        ddr3 = [m for m in TABLE_I_MACHINES.values() if m.ddr_generation == "DDR3"]
+        ddr4 = [m for m in TABLE_I_MACHINES.values() if m.ddr_generation == "DDR4"]
+        assert len(ddr3) == 3 and len(ddr4) == 2
+        assert all(m.microarchitecture == "skylake" for m in ddr4)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec("x", "haswell", "DDR3", "Q1")
+        with pytest.raises(ValueError):
+            MachineSpec("x", "skylake", "DDR5", "Q1")
+
+
+class TestBootBehaviour:
+    def test_boot_reseeds_scrambler(self):
+        machine = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 18, machine_id=1)
+        first = machine.scrambler.key_for(0, 0)
+        machine.boot()
+        assert machine.scrambler.key_for(0, 0) != first
+
+    def test_sticky_bios_reuses_keys(self):
+        spec = MachineSpec("sticky", "skylake", "DDR4", "Q3", bios_resets_seed=False)
+        machine = Machine(spec, memory_bytes=1 << 18, machine_id=1)
+        first = machine.scrambler.key_for(0, 0)
+        machine.boot()
+        assert machine.scrambler.key_for(0, 0) == first
+
+    def test_boot_pollutes_low_memory(self):
+        machine = Machine(
+            TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 18, machine_id=1,
+            boot_pollution_bytes=4096,
+        )
+        machine.write(0, bytes(4096))
+        machine.boot()
+        assert machine.read(0, 4096) != bytes(4096)
+
+    def test_memory_survives_reboot_scrambled(self):
+        """Raw cells persist over a reboot; the view through the new
+        scrambler is garbled (the Figure 3c/3e experiment)."""
+        machine = Machine(
+            TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 18, machine_id=1,
+            boot_pollution_bytes=0,
+        )
+        machine.write(65536, b"G" * 64)
+        raw_before = machine.modules[0].raw_read(65536, 64)
+        machine.boot()
+        assert machine.modules[0].raw_read(65536, 64) == raw_before
+        assert machine.read(65536, 64) != b"G" * 64
+
+
+class TestProtectionModes:
+    def test_plaintext_machine(self):
+        machine = Machine(
+            TABLE_I_MACHINES["i5-2540M"], memory_bytes=1 << 18, protection="none",
+            boot_pollution_bytes=0,
+        )
+        machine.write(4096, b"P" * 64)
+        assert machine.modules[0].raw_read(machine.address_map.channel_local_address(4096), 64) == b"P" * 64
+
+    def test_encrypted_machine(self):
+        machine = Machine(
+            TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 18, protection="chacha8",
+        )
+        machine.write(4096, b"Q" * 64)
+        assert machine.read(4096, 64) == b"Q" * 64
+        assert machine.modules[0].raw_read(4096, 64) != b"Q" * 64
+
+    def test_unknown_protection_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 18, protection="rot13")
+
+
+class TestModuleSwap:
+    def test_remove_install_cycle(self):
+        donor = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 18, machine_id=1)
+        recipient = Machine(TABLE_I_MACHINES["i5-6600K"], memory_bytes=1 << 18, machine_id=2)
+        donor.shutdown()
+        module = donor.remove_module(0)
+        assert not module.powered
+        recipient.shutdown()
+        recipient.remove_module(0)
+        recipient.install_module(module, 0)
+        recipient.boot()
+        assert module.powered
+        assert recipient.memory_bytes == 1 << 18
+
+    def test_cannot_run_without_module(self):
+        machine = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 18)
+        machine.shutdown()
+        machine.remove_module(0)
+        with pytest.raises(RuntimeError):
+            machine.read(0, 64)
+        with pytest.raises(RuntimeError):
+            machine.boot()
+
+    def test_double_install_rejected(self):
+        machine = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 18)
+        other = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 18, machine_id=9)
+        other.shutdown()
+        spare = other.remove_module(0)
+        with pytest.raises(RuntimeError):
+            machine.install_module(spare, 0)
+
+    def test_wait_decays_only_unpowered(self):
+        machine = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 18, machine_id=4)
+        machine.write(8192, b"W" * 64)
+        machine.wait(100.0)  # powered: no effect
+        assert machine.read(8192, 64) == b"W" * 64
+
+
+class TestVolumeMount:
+    def test_key_table_resident_in_memory(self):
+        machine = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 18, machine_id=5)
+        volume = machine.mount_encrypted_volume(b"pw", key_table_address=0x8003)
+        assert machine.read(0x8003, 480) == volume.expanded_keys().resident_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=100)

@@ -1,0 +1,58 @@
+"""Tests for the suspend-to-RAM acquisition scenario (§II-B)."""
+
+import pytest
+
+from repro.attack.coldboot import TransferConditions, cold_boot_transfer
+from repro.attack.pipeline import Ddr4ColdBootAttack
+from repro.victim.machine import TABLE_I_MACHINES, Machine
+from repro.victim.workload import synthesize_memory
+
+
+class TestSuspendSemantics:
+    def test_suspend_keeps_memory_refreshed(self):
+        machine = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 18, machine_id=71)
+        machine.write(0x8000, b"S" * 64)
+        machine.suspend()
+        machine.wait(600.0)  # minutes pass; self-refresh holds the data
+        machine.resume()
+        assert machine.read(0x8000, 64) == b"S" * 64
+
+    def test_no_software_access_while_suspended(self):
+        machine = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 18, machine_id=72)
+        machine.suspend()
+        with pytest.raises(RuntimeError, match="suspended"):
+            machine.read(0, 64)
+
+    def test_state_transitions_validated(self):
+        machine = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 18, machine_id=73)
+        with pytest.raises(RuntimeError):
+            machine.resume()
+        machine.shutdown()
+        with pytest.raises(RuntimeError):
+            machine.suspend()
+
+    def test_shutdown_clears_suspend(self):
+        machine = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=1 << 18, machine_id=74)
+        machine.suspend()
+        machine.shutdown()
+        assert not machine.suspended
+
+
+class TestSleepModeAttack:
+    def test_cold_boot_on_a_sleeping_laptop(self):
+        """§II-B: disk-encryption key erasure on unmount 'will fail to
+        protect ... if the machine is in sleep mode while the attacker
+        acquires it' — the suspended machine's keys are still in DRAM."""
+        mem = 2 << 20
+        victim = Machine(TABLE_I_MACHINES["i5-6400"], memory_bytes=mem, machine_id=75)
+        contents, _ = synthesize_memory(mem - 64 * 1024, zero_fraction=0.35, seed=75)
+        victim.write(64 * 1024, contents)
+        volume = victim.mount_encrypted_volume(b"pw", key_table_address=(1 << 20) + 19)
+        victim.suspend()  # lid closed; laptop in a bag; keys resident
+
+        attacker = Machine(TABLE_I_MACHINES["i5-6600K"], memory_bytes=mem, machine_id=76)
+        dump = cold_boot_transfer(
+            victim, attacker, TransferConditions(temperature_c=-25.0, transfer_seconds=5.0)
+        )
+        master = Ddr4ColdBootAttack().recover_xts_master_key(dump)
+        assert master == volume.master_key

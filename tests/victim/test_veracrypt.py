@@ -1,0 +1,82 @@
+"""Tests for the simulated VeraCrypt/TrueCrypt volume."""
+
+import pytest
+
+from repro.crypto.aes import expand_key
+from repro.victim.veracrypt import (
+    MASTER_KEY_BYTES,
+    SECTOR_BYTES,
+    VeraCryptVolume,
+    derive_master_key,
+)
+
+
+class TestKeyDerivation:
+    def test_deterministic(self):
+        assert derive_master_key(b"pw", b"salt-salt") == derive_master_key(b"pw", b"salt-salt")
+
+    def test_password_sensitivity(self):
+        assert derive_master_key(b"pw1", b"salt-salt") != derive_master_key(b"pw2", b"salt-salt")
+
+    def test_salt_sensitivity(self):
+        assert derive_master_key(b"pw", b"salt-aaaa") != derive_master_key(b"pw", b"salt-bbbb")
+
+    def test_length(self):
+        assert len(derive_master_key(b"pw", b"salt-salt")) == MASTER_KEY_BYTES
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            derive_master_key(b"", b"salt-salt")
+        with pytest.raises(ValueError):
+            derive_master_key(b"pw", b"s")
+
+
+class TestExpandedKeys:
+    def test_resident_bytes_are_two_schedules(self):
+        volume = VeraCryptVolume.create(b"pw", b"salt-salt")
+        keys = volume.expanded_keys()
+        assert len(keys.resident_bytes) == 480
+        assert keys.resident_bytes == expand_key(volume.master_key[:32]) + expand_key(
+            volume.master_key[32:]
+        )
+
+    def test_master_key_at_schedule_heads(self):
+        """§III-C step 4: the secret key sits at the head of the table."""
+        volume = VeraCryptVolume.create(b"pw", b"salt-salt")
+        assert volume.expanded_keys().master_key == volume.master_key
+
+
+class TestSectorCrypto:
+    def test_roundtrip(self):
+        volume = VeraCryptVolume.create(b"hunter2", b"salty-salt")
+        plaintext = bytes(range(256)) * 2
+        for sector in (0, 1, 99999):
+            assert volume.decrypt_sector(sector, volume.encrypt_sector(sector, plaintext)) == plaintext
+
+    def test_sector_number_tweaks_ciphertext(self):
+        volume = VeraCryptVolume.create(b"pw", b"salt-salt")
+        plaintext = b"\x00" * SECTOR_BYTES
+        assert volume.encrypt_sector(0, plaintext) != volume.encrypt_sector(1, plaintext)
+
+    def test_identical_blocks_within_sector_differ(self):
+        """XEX property: repeated plaintext blocks don't repeat in ciphertext."""
+        volume = VeraCryptVolume.create(b"pw", b"salt-salt")
+        ciphertext = volume.encrypt_sector(5, b"\xaa" * SECTOR_BYTES)
+        blocks = {ciphertext[i : i + 16] for i in range(0, SECTOR_BYTES, 16)}
+        assert len(blocks) == SECTOR_BYTES // 16
+
+    def test_recovered_key_reconstructs_volume(self):
+        """The attack's end state: master key bytes alone decrypt data."""
+        original = VeraCryptVolume.create(b"pw", b"salt-salt")
+        ciphertext = original.encrypt_sector(3, b"X" * SECTOR_BYTES)
+        clone = VeraCryptVolume(original.master_key)
+        assert clone.decrypt_sector(3, ciphertext) == b"X" * SECTOR_BYTES
+
+    def test_validation(self):
+        volume = VeraCryptVolume.create(b"pw", b"salt-salt")
+        with pytest.raises(ValueError):
+            volume.encrypt_sector(0, b"short")
+        with pytest.raises(ValueError):
+            volume.encrypt_sector(-1, bytes(SECTOR_BYTES))
+        with pytest.raises(ValueError):
+            VeraCryptVolume(bytes(32))

@@ -1,0 +1,99 @@
+"""Tests for the encrypted-volume filesystem layer."""
+
+import pytest
+
+from repro.victim.veracrypt import SECTOR_BYTES, VeraCryptVolume
+from repro.victim.volume_fs import EncryptedFilesystem, reopen_with_key
+
+
+@pytest.fixture
+def fs() -> EncryptedFilesystem:
+    volume = VeraCryptVolume.create(b"password", b"salt-salt")
+    filesystem = EncryptedFilesystem(volume, n_sectors=64)
+    filesystem.format()
+    return filesystem
+
+
+class TestBasicOperations:
+    def test_empty_after_format(self, fs):
+        assert fs.list_files() == []
+
+    def test_write_read_roundtrip(self, fs):
+        contents = b"the quick brown fox" * 100
+        fs.write_file("notes.txt", contents)
+        assert fs.read_file("notes.txt") == contents
+
+    def test_multiple_files(self, fs):
+        fs.write_file("a.bin", b"A" * 700)
+        fs.write_file("b.bin", b"B" * 10)
+        fs.write_file("c.bin", b"")
+        names = [e.name for e in fs.list_files()]
+        assert names == ["a.bin", "b.bin", "c.bin"]
+        assert fs.read_file("b.bin") == b"B" * 10
+        assert fs.read_file("c.bin") == b""
+
+    def test_extent_allocation_no_overlap(self, fs):
+        fs.write_file("x", b"X" * (3 * SECTOR_BYTES))
+        fs.write_file("y", b"Y" * SECTOR_BYTES)
+        entries = {e.name: e for e in fs.list_files()}
+        assert entries["y"].first_sector >= entries["x"].first_sector + 3
+
+    def test_missing_file(self, fs):
+        with pytest.raises(FileNotFoundError):
+            fs.read_file("nope")
+
+    def test_duplicate_name_rejected(self, fs):
+        fs.write_file("dup", b"1")
+        with pytest.raises(ValueError):
+            fs.write_file("dup", b"2")
+
+    def test_volume_full(self, fs):
+        with pytest.raises(ValueError):
+            fs.write_file("huge", b"Z" * (100 * SECTOR_BYTES))
+
+    def test_long_name_rejected(self, fs):
+        with pytest.raises(ValueError):
+            fs.write_file("n" * 60, b"x")
+
+
+class TestAtRestSecurity:
+    def test_ciphertext_hides_contents(self, fs):
+        secret = b"TOP SECRET DESIGN DOCUMENTS" * 20
+        fs.write_file("secret.doc", secret)
+        assert b"TOP SECRET" not in fs.ciphertext
+        assert b"secret.doc" not in fs.ciphertext
+
+    def test_reopen_with_correct_key(self, fs):
+        fs.write_file("file", b"payload")
+        stolen = fs.ciphertext
+        recovered = reopen_with_key(stolen, fs.volume.master_key)
+        assert recovered.read_file("file") == b"payload"
+
+    def test_reopen_with_wrong_key_fails(self, fs):
+        fs.write_file("file", b"payload")
+        wrong = bytes(64)
+        with pytest.raises(ValueError, match="bad magic"):
+            reopen_with_key(fs.ciphertext, wrong).list_files()
+
+    def test_reopen_validates_length(self):
+        with pytest.raises(ValueError):
+            reopen_with_key(b"x" * 100, bytes(64))
+
+
+class TestEndToEndWithAttack:
+    def test_recovered_key_reads_the_victims_files(self):
+        """The complete story: dump -> master key -> victim's documents."""
+        from repro.attack.pipeline import Ddr4ColdBootAttack
+        from repro.attack.sweep import synthetic_dump
+
+        # The victim's container, formatted with their (soon stolen) key.
+        dump, master, _ = synthetic_dump(bit_error_rate=0.0, n_blocks=3 * 4096, seed=61)
+        victim_fs = EncryptedFilesystem(VeraCryptVolume(master), n_sectors=32)
+        victim_fs.format()
+        victim_fs.write_file("diary.txt", b"nobody will ever read this")
+        stolen_container = victim_fs.ciphertext
+
+        recovered_key = Ddr4ColdBootAttack().recover_xts_master_key(dump)
+        assert recovered_key == master
+        attacker_fs = reopen_with_key(stolen_container, recovered_key)
+        assert attacker_fs.read_file("diary.txt") == b"nobody will ever read this"
