@@ -46,6 +46,14 @@ from repro.attack.litmus import (
     litmus_pass_mask,
     passes_key_litmus,
 )
+from repro.attack.parallel import (
+    ScanReport,
+    Shard,
+    merge_recovered,
+    parallel_recover_keys,
+    resilient_recover_keys,
+    shard_image,
+)
 from repro.attack.pipeline import AttackConfig, AttackReport, Ddr4ColdBootAttack
 from repro.attack.report import (
     REPORT_SCHEMA_VERSION,
@@ -55,9 +63,11 @@ from repro.attack.report import (
 )
 from repro.attack.sweep import (
     AblationResult,
+    FaultSweepPoint,
     SweepPoint,
     ablate_search,
     attack_success_sweep,
+    fault_recovery_sweep,
     synthetic_dump,
 )
 
@@ -74,9 +84,12 @@ __all__ = [
     "CandidateKey",
     "Ddr3ColdBootAttack",
     "Ddr4ColdBootAttack",
+    "FaultSweepPoint",
     "FrequencyCandidate",
     "KeyfindMatch",
     "RecoveredAesKey",
+    "ScanReport",
+    "Shard",
     "SweepPoint",
     "ScheduleHit",
     "TransferConditions",
@@ -87,17 +100,22 @@ __all__ = [
     "invariant_system",
     "descramble_with_universal_key",
     "exhaustive_hits",
+    "fault_recovery_sweep",
     "find_aes_keys",
     "key_litmus_mismatch_bits",
     "keys_matrix",
     "litmus_pass_mask",
+    "merge_recovered",
     "mine_scrambler_keys",
     "minimum_known_bits_for_unique_key",
+    "parallel_recover_keys",
     "solve_key_from_known_plaintext",
     "passes_key_litmus",
     "reconstruct_schedule",
     "repair_observed_table",
     "recover_universal_key",
+    "resilient_recover_keys",
+    "shard_image",
     "ablate_search",
     "attack_success_sweep",
     "report_to_dict",

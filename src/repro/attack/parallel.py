@@ -12,6 +12,15 @@ hours using multiple machines".  This module implements that split:
   process pool;
 * results merge by table base, deduplicating the overlap.
 
+A multi-hour batch job cannot die because one worker did, so the scan
+runs on :class:`repro.resilience.executor.ResilientShardRunner`:
+crashed or hung shards are retried with deterministic backoff, shards
+out of retry budget are quarantined and reported in the
+:class:`ScanReport`'s ledger, a repeatedly-breaking pool degrades to
+in-process serial execution, and (optionally) every completed shard is
+journalled to a crash-safe checkpoint so an interrupted scan resumes
+without re-searching anything (``checkpoint=path``).
+
 `shard_image` / `merge_recovered` are pure and tested directly; the
 orchestrator works with `workers=1` (in-process) or `workers>1`
 (multiprocessing, fork-safe: shards and key matrices are pickled).
@@ -19,8 +28,9 @@ orchestrator works with `workers=1` (in-process) or `workers>1`
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 import numpy as np
 
@@ -28,6 +38,16 @@ from repro.attack.aes_search import AesKeySearch, RecoveredAesKey
 from repro.attack.keymine import keys_matrix, mine_scrambler_keys
 from repro.crypto.aes import schedule_bytes
 from repro.dram.image import MemoryImage
+from repro.resilience.checkpoint import CheckpointJournal, JournalHeader, dump_fingerprint
+from repro.resilience.errors import ShardLayoutError
+from repro.resilience.executor import (
+    STATUS_FROM_CHECKPOINT,
+    ResilientShardRunner,
+    RunLedger,
+    ShardOutcome,
+)
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import RetryPolicy
 from repro.util.blocks import BLOCK_SIZE
 
 
@@ -40,7 +60,7 @@ class Shard:
 
     def __post_init__(self) -> None:
         if self.base_offset % BLOCK_SIZE:
-            raise ValueError("shard offsets must be block-aligned")
+            raise ShardLayoutError("shard offsets must be block-aligned")
 
 
 def shard_image(dump: MemoryImage, n_shards: int, overlap_bytes: int) -> list[Shard]:
@@ -51,9 +71,9 @@ def shard_image(dump: MemoryImage, n_shards: int, overlap_bytes: int) -> list[Sh
     to that long lies entirely within at least one shard.
     """
     if n_shards < 1:
-        raise ValueError("need at least one shard")
+        raise ShardLayoutError("need at least one shard")
     if overlap_bytes < 0:
-        raise ValueError("overlap must be non-negative")
+        raise ShardLayoutError("overlap must be non-negative")
     total_blocks = dump.n_blocks
     if total_blocks == 0:
         return []
@@ -71,34 +91,180 @@ def shard_image(dump: MemoryImage, n_shards: int, overlap_bytes: int) -> list[Sh
     return shards
 
 
+def _rebase_recovered(result: RecoveredAesKey, shard_offset: int) -> RecoveredAesKey:
+    """Shift a shard-local result into whole-dump coordinates."""
+    if shard_offset == 0:
+        return result
+    shift_blocks = shard_offset // BLOCK_SIZE
+    return replace(
+        result,
+        first_block_index=result.first_block_index + shift_blocks,
+        hits=tuple(
+            replace(hit, block_index=hit.block_index + shift_blocks)
+            for hit in result.hits
+        ),
+    )
+
+
 def merge_recovered(
     per_shard: list[tuple[int, list[RecoveredAesKey]]]
 ) -> list[RecoveredAesKey]:
     """Merge shard results, deduplicating overlap re-discoveries.
 
-    Two shard findings describe the same schedule when their global
-    table bases coincide; the better-confirmed one wins.
+    Each result is first rebased into whole-dump coordinates (its
+    hits' block indices — and hence ``table_base`` — become global), so
+    two shard findings describe the same schedule exactly when their
+    table bases coincide; the better-confirmed one wins.  Results
+    without any :class:`ScheduleHit` carry no location evidence — they
+    cannot be assigned a global base (and must not collide with a
+    genuine schedule at offset 0), so they are dropped.
     """
     by_global_base: dict[int, RecoveredAesKey] = {}
     for shard_offset, results in per_shard:
         for result in results:
-            local_base = result.hits[0].table_base if result.hits else 0
-            global_base = shard_offset + local_base
+            if not result.hits:
+                continue
+            rebased = _rebase_recovered(result, shard_offset)
+            global_base = rebased.hits[0].table_base
             kept = by_global_base.get(global_base)
-            if kept is None or (result.votes, result.match_fraction) > (
+            if kept is None or (rebased.votes, rebased.match_fraction) > (
                 kept.votes,
                 kept.match_fraction,
             ):
-                by_global_base[global_base] = result
+                by_global_base[global_base] = rebased
     return [by_global_base[base] for base in sorted(by_global_base)]
 
 
-def _search_shard(args: tuple[bytes, bytes, int, int]) -> tuple[int, list[RecoveredAesKey]]:
-    """Worker: run the AES search over one shard (picklable signature)."""
-    shard_data, keys_blob, key_bits, shard_offset = args
+def _search_shard(
+    payload: tuple[bytes, bytes, int, FaultPlan | None],
+    shard_offset: int,
+    attempt: int,
+    in_subprocess: bool,
+) -> list[RecoveredAesKey]:
+    """Worker: run the AES search over one shard (picklable signature).
+
+    When a :class:`FaultPlan` rides along it is consulted first — the
+    injected crash/hang/corruption happens in the worker, on exactly
+    the code path a real failure would take.
+    """
+    shard_data, keys_blob, key_bits, fault_plan = payload
+    if fault_plan is not None:
+        shard_data = fault_plan.apply(
+            shard_offset, attempt, shard_data, in_subprocess=in_subprocess
+        )
     keys = np.frombuffer(keys_blob, dtype=np.uint8).reshape(-1, BLOCK_SIZE)
     search = AesKeySearch(keys.copy(), key_bits=key_bits)
-    return shard_offset, search.recover_keys(MemoryImage(shard_data))
+    return search.recover_keys(MemoryImage(shard_data))
+
+
+@dataclass
+class ScanReport:
+    """A resilient sharded scan's findings plus its execution ledger."""
+
+    recovered: list[RecoveredAesKey] = field(default_factory=list)
+    candidates: list = field(default_factory=list)
+    ledger: RunLedger = field(default_factory=RunLedger)
+    n_shards: int = 0
+    mine_seconds: float = 0.0
+    search_seconds: float = 0.0
+
+    @property
+    def quarantined_offsets(self) -> list[int]:
+        """Byte offsets of shards abandoned after retries (sorted)."""
+        return sorted(o.shard_offset for o in self.ledger.quarantined)
+
+    @property
+    def resumed_shards(self) -> int:
+        """How many shards were skipped thanks to the checkpoint."""
+        return len(self.ledger.resumed)
+
+    @property
+    def complete(self) -> bool:
+        """True when every shard was scanned (nothing quarantined)."""
+        return not self.ledger.quarantined
+
+
+def resilient_recover_keys(
+    dump: MemoryImage,
+    key_bits: int = 256,
+    workers: int = 1,
+    n_shards: int | None = None,
+    mining_tolerance_bits: int = 16,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = True,
+    fault_plan: FaultPlan | None = None,
+    on_event=None,
+) -> ScanReport:
+    """Mine once, search in shards fault-tolerantly, merge, report.
+
+    The full-control variant of :func:`parallel_recover_keys`: failures
+    are retried per ``retry_policy``, completed shards are journalled
+    to ``checkpoint`` (and skipped on ``resume``), and ``fault_plan``
+    lets the test harness sabotage workers deterministically.
+    """
+    if workers < 1:
+        raise ShardLayoutError("need at least one worker")
+    policy = retry_policy or RetryPolicy()
+    start = time.perf_counter()
+    candidates = mine_scrambler_keys(dump, tolerance_bits=mining_tolerance_bits)
+    mine_seconds = time.perf_counter() - start
+    if not candidates:
+        return ScanReport(candidates=[], mine_seconds=mine_seconds)
+    keys_blob = keys_matrix(candidates).tobytes()
+    overlap = schedule_bytes(key_bits) + BLOCK_SIZE
+    shards = shard_image(dump, n_shards=n_shards or workers, overlap_bytes=overlap)
+
+    journal: CheckpointJournal | None = None
+    already_done: dict[int, list[RecoveredAesKey]] = {}
+    if checkpoint is not None:
+        header = JournalHeader(
+            dump_len=len(dump),
+            dump_sha256=dump_fingerprint(dump.data),
+            key_bits=key_bits,
+            n_shards=len(shards),
+            overlap_bytes=overlap,
+        )
+        journal, already_done = CheckpointJournal.open(checkpoint, header, resume=resume)
+
+    report = ScanReport(
+        candidates=candidates, n_shards=len(shards), mine_seconds=mine_seconds
+    )
+    search_start = time.perf_counter()
+    jobs: dict[int, tuple] = {}
+    for shard in shards:
+        if shard.base_offset in already_done:
+            report.ledger.outcomes[shard.base_offset] = ShardOutcome(
+                shard_offset=shard.base_offset,
+                status=STATUS_FROM_CHECKPOINT,
+                result=already_done[shard.base_offset],
+            )
+            continue
+        jobs[shard.base_offset] = (shard.image.data, keys_blob, key_bits, fault_plan)
+
+    if jobs:
+        # Journal the instant each shard completes — a scan killed
+        # mid-run must find every finished shard on disk when it resumes.
+        on_result = None if journal is None else journal.record
+        runner = ResilientShardRunner(
+            _search_shard,
+            policy=policy,
+            workers=workers,
+            on_event=on_event,
+            on_result=on_result,
+        )
+        run_ledger = runner.run(jobs)
+        report.ledger.pool_rebuilds = run_ledger.pool_rebuilds
+        report.ledger.degraded_to_serial = run_ledger.degraded_to_serial
+        report.ledger.outcomes.update(run_ledger.outcomes)
+
+    per_shard = [
+        (outcome.shard_offset, outcome.result)
+        for outcome in report.ledger.completed
+    ]
+    report.recovered = merge_recovered(per_shard)
+    report.search_seconds = time.perf_counter() - search_start
+    return report
 
 
 def parallel_recover_keys(
@@ -107,25 +273,25 @@ def parallel_recover_keys(
     workers: int = 1,
     n_shards: int | None = None,
     mining_tolerance_bits: int = 16,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = True,
+    fault_plan: FaultPlan | None = None,
 ) -> list[RecoveredAesKey]:
-    """Mine once, search in shards, merge — the paper's scaling recipe."""
-    if workers < 1:
-        raise ValueError("need at least one worker")
-    candidates = mine_scrambler_keys(dump, tolerance_bits=mining_tolerance_bits)
-    if not candidates:
-        return []
-    keys = keys_matrix(candidates)
-    shards = shard_image(
+    """Mine once, search in shards, merge — the paper's scaling recipe.
+
+    Thin wrapper over :func:`resilient_recover_keys` that returns just
+    the recovered keys; use the latter when the execution ledger
+    (quarantined shards, resume accounting) matters.
+    """
+    return resilient_recover_keys(
         dump,
-        n_shards=n_shards or workers,
-        overlap_bytes=schedule_bytes(key_bits) + BLOCK_SIZE,
-    )
-    jobs = [
-        (shard.image.data, keys.tobytes(), key_bits, shard.base_offset) for shard in shards
-    ]
-    if workers == 1:
-        per_shard = [_search_shard(job) for job in jobs]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            per_shard = list(pool.map(_search_shard, jobs))
-    return merge_recovered(per_shard)
+        key_bits=key_bits,
+        workers=workers,
+        n_shards=n_shards,
+        mining_tolerance_bits=mining_tolerance_bits,
+        retry_policy=retry_policy,
+        checkpoint=checkpoint,
+        resume=resume,
+        fault_plan=fault_plan,
+    ).recovered

@@ -58,6 +58,16 @@ class AttackReport:
     dump_bytes: int = 0
     mine_seconds: float = 0.0
     search_seconds: float = 0.0
+    #: Sharded-run bookkeeping (zero / empty for monolithic runs).
+    n_shards: int = 0
+    quarantined_shards: list[int] = field(default_factory=list)
+    resumed_shards: int = 0
+    degraded_to_serial: bool = False
+
+    @property
+    def complete_scan(self) -> bool:
+        """False when quarantined shards left part of the dump unsearched."""
+        return not self.quarantined_shards
 
     @property
     def master_keys(self) -> list[bytes]:
@@ -74,13 +84,20 @@ class AttackReport:
 
     def summary(self) -> str:
         """One-paragraph human-readable result."""
-        return (
+        text = (
             f"dump={self.dump_bytes / 1048576:.1f}MiB "
             f"candidates={len(self.candidate_keys)} hits={len(self.hits)} "
             f"recovered={len(self.recovered_keys)} "
             f"(mine {self.mine_seconds:.2f}s + search {self.search_seconds:.2f}s, "
             f"{self.scan_rate_mb_per_hour:.0f} MB/h)"
         )
+        if self.n_shards:
+            text += f" shards={self.n_shards}"
+            if self.resumed_shards:
+                text += f" resumed={self.resumed_shards}"
+            if self.quarantined_shards:
+                text += f" QUARANTINED={len(self.quarantined_shards)}"
+        return text
 
 
 class Ddr4ColdBootAttack:
@@ -118,6 +135,54 @@ class Ddr4ColdBootAttack:
         report.recovered_keys = search.recover_keys(dump)
         report.hits = [hit for rec in report.recovered_keys for hit in rec.hits]
         report.search_seconds = time.perf_counter() - start
+        return report
+
+    def run_sharded(
+        self,
+        dump: MemoryImage,
+        workers: int = 1,
+        n_shards: int | None = None,
+        retry_policy=None,
+        checkpoint=None,
+        resume: bool = True,
+        fault_plan=None,
+        on_event=None,
+    ) -> AttackReport:
+        """Execute the attack as a fault-tolerant sharded scan.
+
+        The resilient sibling of :meth:`run`: the search is split into
+        overlapping shards driven by
+        :func:`repro.attack.parallel.resilient_recover_keys`, so worker
+        crashes and hangs are retried, exhausted shards are quarantined
+        (listed in ``report.quarantined_shards``), and — when
+        ``checkpoint`` names a journal file — an interrupted scan
+        resumes without re-searching completed shards.
+        """
+        from repro.attack.parallel import resilient_recover_keys
+
+        config = self.config
+        scan = resilient_recover_keys(
+            dump,
+            key_bits=config.key_bits,
+            workers=workers,
+            n_shards=n_shards,
+            mining_tolerance_bits=config.litmus_tolerance_bits,
+            retry_policy=retry_policy,
+            checkpoint=checkpoint,
+            resume=resume,
+            fault_plan=fault_plan,
+            on_event=on_event,
+        )
+        report = AttackReport(dump_bytes=len(dump))
+        report.candidate_keys = scan.candidates
+        report.recovered_keys = scan.recovered
+        report.hits = [hit for rec in scan.recovered for hit in rec.hits]
+        report.mine_seconds = scan.mine_seconds
+        report.search_seconds = scan.search_seconds
+        report.n_shards = scan.n_shards
+        report.quarantined_shards = scan.quarantined_offsets
+        report.resumed_shards = scan.resumed_shards
+        report.degraded_to_serial = scan.ledger.degraded_to_serial
         return report
 
     def recover_xts_master_key(self, dump: MemoryImage) -> bytes | None:

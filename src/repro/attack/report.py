@@ -15,8 +15,9 @@ from pathlib import Path
 
 from repro.attack.pipeline import AttackReport
 
-#: Schema version for downstream consumers.
-REPORT_SCHEMA_VERSION = 1
+#: Schema version for downstream consumers.  v2 added the
+#: ``resilience`` section (sharding, quarantine, and resume accounting).
+REPORT_SCHEMA_VERSION = 2
 
 
 def report_to_dict(report: AttackReport, include_keys: bool = True) -> dict:
@@ -35,6 +36,13 @@ def report_to_dict(report: AttackReport, include_keys: bool = True) -> dict:
         "candidate_keys": {
             "count": len(report.candidate_keys),
             "top_frequencies": [c.count for c in report.candidate_keys[:16]],
+        },
+        "resilience": {
+            "n_shards": report.n_shards,
+            "quarantined_shards": list(report.quarantined_shards),
+            "resumed_shards": report.resumed_shards,
+            "degraded_to_serial": report.degraded_to_serial,
+            "complete_scan": report.complete_scan,
         },
         "recovered_keys": [
             {
@@ -71,6 +79,16 @@ def report_to_markdown(report: AttackReport, include_keys: bool = False) -> str:
         f"* AES keys recovered: {len(report.recovered_keys)}",
         "",
     ]
+    if report.n_shards:
+        lines.append(
+            f"* sharding: {report.n_shards} shards, "
+            f"{report.resumed_shards} resumed from checkpoint, "
+            f"{len(report.quarantined_shards)} quarantined"
+        )
+        if report.quarantined_shards:
+            offsets = ", ".join(f"{offset:#x}" for offset in report.quarantined_shards)
+            lines.append(f"* **warning: unscanned (quarantined) shard offsets:** {offsets}")
+        lines.append("")
     if report.recovered_keys:
         lines.append("| # | bits | image offset | votes | region match | key |")
         lines.append("|---|------|--------------|-------|--------------|-----|")

@@ -11,7 +11,10 @@ experiments a reviewer would ask for:
   ablations that bypass the full machine simulation;
 * :func:`ablate_search` — measure what each decay-hardening mechanism
   of the search contributes (neighbour extension, bit repair, the
-  banded fingerprint join) by disabling them one at a time.
+  banded fingerprint join) by disabling them one at a time;
+* :func:`fault_recovery_sweep` — inject each worker-fault kind
+  (crash, hang, kill, corruption) into a sharded scan and confirm the
+  resilient runtime still recovers the planted master key.
 """
 
 from __future__ import annotations
@@ -128,6 +131,82 @@ def synthetic_dump(
             (np.frombuffer(bytes(scrambled), dtype=np.uint8) ^ mask).tobytes()
         )
     return MemoryImage(bytes(scrambled)), master, scrambler
+
+
+@dataclass(frozen=True)
+class FaultSweepPoint:
+    """Outcome of one sharded scan under an injected fault kind."""
+
+    fault_kind: str
+    shards_quarantined: int
+    keys_recovered: int
+    master_recovered: bool
+    matches_clean_run: bool
+
+
+def fault_recovery_sweep(
+    fault_kinds: tuple[str, ...] = ("crash", "corrupt"),
+    workers: int = 2,
+    n_shards: int = 4,
+    seed: int = 5,
+    shard_timeout_s: float | None = 120.0,
+    hang_seconds: float = 150.0,
+) -> list[FaultSweepPoint]:
+    """Sabotage a sharded scan one fault kind at a time and re-verify.
+
+    Each point injects a *transient* fault (first attempt only) into
+    one shard of a :func:`synthetic_dump` scan via
+    :class:`repro.resilience.faults.FaultPlan` and checks that the
+    resilient runtime converges to the same recovered keys as the clean
+    run.  ``("crash", "corrupt")`` is the fast default; add ``"hang"``
+    / ``"kill"`` (process death) for the full, slower battery.
+    """
+    from repro.attack.parallel import (
+        parallel_recover_keys,
+        resilient_recover_keys,
+        shard_image,
+    )
+    from repro.crypto.aes import schedule_bytes
+    from repro.resilience.faults import FaultPlan, FaultSpec
+    from repro.resilience.retry import RetryPolicy
+
+    dump, master, _ = synthetic_dump(bit_error_rate=0.0, seed=seed)
+    clean = parallel_recover_keys(dump, key_bits=256, workers=1, n_shards=n_shards)
+    clean_masters = {r.master_key for r in clean}
+    shards = shard_image(dump, n_shards, overlap_bytes=schedule_bytes(256) + 64)
+    policy = RetryPolicy(
+        max_attempts=3, base_delay_s=0.01, shard_timeout_s=shard_timeout_s, seed=seed
+    )
+    points = []
+    for kind in fault_kinds:
+        plan = FaultPlan(
+            faults=(
+                (
+                    shards[len(shards) // 2].base_offset,
+                    FaultSpec(kind=kind, first_attempts=1, hang_seconds=hang_seconds),
+                ),
+            ),
+            seed=seed,
+        )
+        scan = resilient_recover_keys(
+            dump,
+            key_bits=256,
+            workers=workers,
+            n_shards=n_shards,
+            retry_policy=policy,
+            fault_plan=plan,
+        )
+        masters = {r.master_key for r in scan.recovered}
+        points.append(
+            FaultSweepPoint(
+                fault_kind=kind,
+                shards_quarantined=len(scan.quarantined_offsets),
+                keys_recovered=len(scan.recovered),
+                master_recovered=master[:32] in masters and master[32:] in masters,
+                matches_clean_run=masters == clean_masters,
+            )
+        )
+    return points
 
 
 @dataclass(frozen=True)

@@ -55,9 +55,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _load_dump(path: str):
     from repro.dram.image import MemoryImage
 
-    data = Path(path).read_bytes()
-    usable = len(data) - len(data) % 64
-    return MemoryImage(data[:usable])
+    # Tolerant by design: real cold-boot dumps arrive truncated or
+    # torn.  Unusable files raise DumpFormatError, which main() turns
+    # into a one-line message and a nonzero exit instead of a traceback.
+    return MemoryImage.load_tolerant(path)
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
@@ -81,7 +82,35 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
     dump = _load_dump(args.dump)
     attack = Ddr4ColdBootAttack(AttackConfig(key_bits=args.key_bits))
-    report = attack.run(dump)
+    checkpoint = args.checkpoint
+    if args.resume and checkpoint is None:
+        checkpoint = f"{args.dump}.checkpoint.jsonl"
+    if args.workers > 1 or args.shards or checkpoint:
+        # Fault-tolerant sharded scan: crashed/hung shards retry, the
+        # journal lets a killed run resume with --resume.  A resumed run
+        # adopts the journal's shard count unless --shards overrides it
+        # (the journal's geometry is authoritative anyway).
+        n_shards = args.shards or _journal_shard_count(checkpoint)
+        report = attack.run_sharded(
+            dump,
+            workers=args.workers,
+            n_shards=n_shards,
+            checkpoint=checkpoint,
+            resume=args.resume or args.checkpoint is not None,
+            on_event=lambda message: print(f"[resilience] {message}", file=sys.stderr),
+        )
+        if report.resumed_shards:
+            print(f"resumed: {report.resumed_shards}/{report.n_shards} shards "
+                  f"already in {checkpoint}")
+        for offset in report.quarantined_shards:
+            print(f"warning: shard at {offset:#x} quarantined (unscanned)",
+                  file=sys.stderr)
+        # The sharded report already holds every schedule at its global
+        # offset; pair adjacent ones rather than re-running the attack.
+        master = _pair_xts(report.recovered_keys, attack.config.key_bits)
+    else:
+        report = attack.run(dump)
+        master = attack.recover_xts_master_key(dump)
     if args.json:
         save_report_json(report, args.json, include_keys=not args.redact)
         print(f"wrote {args.json}")
@@ -90,10 +119,36 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         print(f"  offset {recovered.hits[0].table_base:#x}: "
               f"AES-{recovered.key_bits} key {recovered.master_key.hex()} "
               f"({recovered.votes} votes, {100 * recovered.match_fraction:.1f}% match)")
-    master = attack.recover_xts_master_key(dump)
     if master is not None:
         print(f"XTS master key (primary||tweak): {master.hex()}")
     return 0 if report.recovered_keys else 1
+
+
+def _journal_shard_count(checkpoint) -> int | None:
+    if not checkpoint or not Path(checkpoint).exists():
+        return None
+    import json
+
+    try:
+        with open(checkpoint, encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+    except (OSError, ValueError):
+        return None  # CheckpointJournal.open will diagnose it properly
+    if header.get("type") == "header":
+        return header.get("n_shards")
+    return None
+
+
+def _pair_xts(recovered, key_bits: int) -> bytes | None:
+    from repro.crypto.aes import schedule_bytes
+
+    by_base = {r.hits[0].table_base: r for r in recovered if r.hits}
+    stride = schedule_bytes(key_bits)
+    for base in sorted(by_base):
+        partner = by_base.get(base + stride)
+        if partner is not None:
+            return by_base[base].master_key + partner.master_key
+    return None
 
 
 def _cmd_keyfind(args: argparse.Namespace) -> int:
@@ -258,6 +313,15 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--key-bits", type=int, default=256, choices=(128, 192, 256))
     attack.add_argument("--json", help="write a machine-readable report to this path")
     attack.add_argument("--redact", action="store_true", help="omit key bytes from the report")
+    attack.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sharded scan (default 1)")
+    attack.add_argument("--shards", type=int, default=0,
+                        help="shard count (default: one per worker)")
+    attack.add_argument("--checkpoint", metavar="PATH",
+                        help="journal completed shards to this JSONL file")
+    attack.add_argument("--resume", action="store_true",
+                        help="skip shards already in the checkpoint journal "
+                             "(default journal: <dump>.checkpoint.jsonl)")
     attack.set_defaults(func=_cmd_attack)
 
     keyfind = sub.add_parser("keyfind", help="Halderman search over plaintext dumps")
@@ -294,9 +358,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    from repro.resilience.errors import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        # Operator errors (bad dump, stale checkpoint, broken shard
+        # layout) get one readable line, not a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

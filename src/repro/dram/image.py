@@ -13,6 +13,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.resilience.errors import DumpFormatError
 from repro.util.bits import hamming_distance_arrays
 from repro.util.blocks import BLOCK_SIZE, as_block_matrix
 
@@ -26,9 +27,9 @@ class MemoryImage:
 
     def __post_init__(self) -> None:
         if self.base_address % BLOCK_SIZE:
-            raise ValueError("base address must be 64-byte aligned")
+            raise DumpFormatError("base address must be 64-byte aligned")
         if len(self.data) % BLOCK_SIZE:
-            raise ValueError("image length must be a multiple of 64 bytes")
+            raise DumpFormatError("image length must be a multiple of 64 bytes")
 
     def __len__(self) -> int:
         return len(self.data)
@@ -60,7 +61,7 @@ class MemoryImage:
         so on DDR4.
         """
         if len(other) != len(self) or other.base_address != self.base_address:
-            raise ValueError("can only XOR images of the same region")
+            raise DumpFormatError("can only XOR images of the same region")
         a = np.frombuffer(self.data, dtype=np.uint8)
         b = np.frombuffer(other.data, dtype=np.uint8)
         return MemoryImage((a ^ b).tobytes(), self.base_address)
@@ -68,7 +69,7 @@ class MemoryImage:
     def bit_error_rate(self, reference: "MemoryImage") -> float:
         """Fraction of differing bits vs a reference image."""
         if len(reference) != len(self):
-            raise ValueError("images must have equal length")
+            raise DumpFormatError("images must have equal length")
         a = np.frombuffer(self.data, dtype=np.uint8)
         b = np.frombuffer(reference.data, dtype=np.uint8)
         return float(hamming_distance_arrays(a, b, axis=None)) / (8 * len(self.data))
@@ -81,3 +82,30 @@ class MemoryImage:
     def load(cls, path: str | Path, base_address: int = 0) -> "MemoryImage":
         """Read a raw image from disk."""
         return cls(Path(path).read_bytes(), base_address)
+
+    @classmethod
+    def load_tolerant(cls, path: str | Path, base_address: int = 0) -> "MemoryImage":
+        """Read a possibly-damaged dump, degrading instead of crashing.
+
+        Real cold-boot dumps arrive truncated and torn; a trailing
+        partial block is clipped (the attack loses at most 63 bytes).
+        Anything unusable — missing file, directory, unreadable, empty
+        — raises :class:`~repro.resilience.errors.DumpFormatError` with
+        a one-line diagnosis instead of an unhandled traceback.
+        """
+        target = Path(path)
+        try:
+            data = target.read_bytes()
+        except FileNotFoundError:
+            raise DumpFormatError(f"dump file not found: {target}") from None
+        except IsADirectoryError:
+            raise DumpFormatError(f"dump path is a directory, not a file: {target}") from None
+        except OSError as exc:
+            raise DumpFormatError(f"cannot read dump {target}: {exc}") from exc
+        usable = len(data) - len(data) % BLOCK_SIZE
+        if usable == 0:
+            raise DumpFormatError(
+                f"dump {target} holds {len(data)} bytes — not even one "
+                f"{BLOCK_SIZE}-byte block"
+            )
+        return cls(data[:usable], base_address)

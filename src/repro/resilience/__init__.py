@@ -1,0 +1,71 @@
+"""Fault tolerance for the attack runtime — the production hardening layer.
+
+The paper's §III-C scan is a multi-hour batch job over damaged inputs;
+this package supplies what such a job needs to survive contact with
+reality: a structured error taxonomy (:mod:`repro.resilience.errors`),
+bounded deterministic retries (:mod:`repro.resilience.retry`), a
+crash-tolerant shard executor (:mod:`repro.resilience.executor`), a
+crash-safe checkpoint journal (:mod:`repro.resilience.checkpoint`),
+and a seeded fault-injection harness (:mod:`repro.resilience.faults`)
+that proves the other four actually work.
+"""
+
+from repro.resilience.checkpoint import (
+    JOURNAL_VERSION,
+    CheckpointJournal,
+    JournalHeader,
+    deserialize_recovered,
+    dump_fingerprint,
+    serialize_recovered,
+)
+from repro.resilience.errors import (
+    CheckpointCorruptError,
+    DumpFormatError,
+    ReproError,
+    ShardLayoutError,
+    ShardTimeoutError,
+    WorkerCrashError,
+)
+from repro.resilience.executor import (
+    STATUS_FROM_CHECKPOINT,
+    STATUS_OK,
+    STATUS_QUARANTINED,
+    ResilientShardRunner,
+    RunLedger,
+    ShardOutcome,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    PERMANENT,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "JOURNAL_VERSION",
+    "PERMANENT",
+    "STATUS_FROM_CHECKPOINT",
+    "STATUS_OK",
+    "STATUS_QUARANTINED",
+    "CheckpointCorruptError",
+    "CheckpointJournal",
+    "DumpFormatError",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "JournalHeader",
+    "ReproError",
+    "ResilientShardRunner",
+    "RetryPolicy",
+    "RunLedger",
+    "ShardLayoutError",
+    "ShardOutcome",
+    "ShardTimeoutError",
+    "WorkerCrashError",
+    "deserialize_recovered",
+    "dump_fingerprint",
+    "serialize_recovered",
+]

@@ -1,0 +1,242 @@
+"""Crash-safe JSONL checkpoint journal for sharded scans.
+
+An 8 GB dump takes the paper ~21 hours to scan; losing hour 20 to a
+power blip is not acceptable.  The journal records one line per
+completed shard — its offset and its serialized
+:class:`~repro.attack.aes_search.RecoveredAesKey` results — so an
+interrupted ``parallel_recover_keys(..., checkpoint=path)`` run picks
+up exactly where it stopped, re-searching nothing.
+
+Crash-safety model:
+
+* every record is one line, flushed and fsynced before the scan moves
+  on, so at most the *currently being written* line can be lost;
+* a torn trailing line (the signature of a crash mid-write) is
+  expected damage: it is dropped and truncated away on resume;
+* anything else that does not parse — interior garbage, an unreadable
+  header — means the journal cannot be trusted and raises
+  :class:`~repro.resilience.errors.CheckpointCorruptError`;
+* the header pins the dump (length + SHA-256) and the scan geometry
+  (key bits, shard count, overlap); resuming against a different dump
+  or layout is refused rather than silently merging alien results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.resilience.errors import CheckpointCorruptError
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard (aes_search → image)
+    from repro.attack.aes_search import RecoveredAesKey
+
+#: Journal schema version; bump on incompatible format changes.
+JOURNAL_VERSION = 1
+
+
+def dump_fingerprint(data: bytes) -> str:
+    """SHA-256 of the dump — the identity a journal is bound to."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass(frozen=True)
+class JournalHeader:
+    """First line of every journal: what scan these records belong to."""
+
+    dump_len: int
+    dump_sha256: str
+    key_bits: int
+    n_shards: int
+    overlap_bytes: int
+    version: int = JOURNAL_VERSION
+
+    def to_json(self) -> dict:
+        """The header as a JSON-ready record."""
+        record = asdict(self)
+        record["type"] = "header"
+        return record
+
+    @classmethod
+    def from_json(cls, record: dict) -> "JournalHeader":
+        """Parse a header record, refusing unknown versions."""
+        if record.get("type") != "header":
+            raise CheckpointCorruptError("journal does not start with a header record")
+        version = record.get("version")
+        if version != JOURNAL_VERSION:
+            raise CheckpointCorruptError(
+                f"journal version {version!r} not supported (want {JOURNAL_VERSION})"
+            )
+        try:
+            return cls(
+                dump_len=int(record["dump_len"]),
+                dump_sha256=str(record["dump_sha256"]),
+                key_bits=int(record["key_bits"]),
+                n_shards=int(record["n_shards"]),
+                overlap_bytes=int(record["overlap_bytes"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointCorruptError(f"malformed journal header: {exc}") from exc
+
+
+def serialize_recovered(recovered: "RecoveredAesKey") -> dict:
+    """A :class:`RecoveredAesKey` as JSON-ready primitives."""
+    return {
+        "master_key": recovered.master_key.hex(),
+        "key_bits": recovered.key_bits,
+        "votes": recovered.votes,
+        "first_block_index": recovered.first_block_index,
+        "match_fraction": recovered.match_fraction,
+        "region_agreement": recovered.region_agreement,
+        "hits": [asdict(hit) for hit in recovered.hits],
+    }
+
+
+def deserialize_recovered(record: dict) -> "RecoveredAesKey":
+    """Rebuild a :class:`RecoveredAesKey` from its journal record."""
+    from repro.attack.aes_search import RecoveredAesKey, ScheduleHit
+
+    try:
+        return RecoveredAesKey(
+            master_key=bytes.fromhex(record["master_key"]),
+            key_bits=int(record["key_bits"]),
+            votes=int(record["votes"]),
+            first_block_index=int(record["first_block_index"]),
+            match_fraction=float(record["match_fraction"]),
+            region_agreement=float(record["region_agreement"]),
+            hits=tuple(ScheduleHit(**hit) for hit in record["hits"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointCorruptError(f"malformed recovered-key record: {exc}") from exc
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed shards.
+
+    Use :meth:`open` — it creates, resumes, or refuses the file as
+    appropriate and returns both the journal and whatever completed
+    shard results it already held.
+    """
+
+    def __init__(self, path: str | Path, header: JournalHeader) -> None:
+        self.path = Path(path)
+        self.header = header
+
+    # -------------------------------------------------------------- creation
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        header: JournalHeader,
+        resume: bool = True,
+    ) -> tuple["CheckpointJournal", dict[int, list["RecoveredAesKey"]]]:
+        """Create or resume a journal; return (journal, completed shards).
+
+        A fresh file (or ``resume=False``) starts with just the header.
+        An existing file is validated against ``header`` — same dump,
+        same geometry — then its completed shards are returned so the
+        caller can skip them.
+        """
+        journal = cls(path, header)
+        if resume and journal.path.exists() and journal.path.stat().st_size > 0:
+            completed = journal._load_and_repair()
+            return journal, completed
+        journal._start_fresh()
+        return journal, {}
+
+    def _start_fresh(self) -> None:
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(self.header.to_json()) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # --------------------------------------------------------------- loading
+
+    def _load_and_repair(self) -> dict[int, list["RecoveredAesKey"]]:
+        """Parse the journal, truncating a torn trailing line if present."""
+        raw = self.path.read_bytes()
+        lines = raw.split(b"\n")
+        # A journal written by `record` always ends with a newline, so a
+        # well-formed file splits into records plus one empty tail.
+        torn_tail = lines[-1] != b""
+        body = lines[:-1]
+        good_bytes = len(raw) - (len(lines[-1]) if torn_tail else 0)
+
+        if not body and not torn_tail:
+            raise CheckpointCorruptError(f"{self.path}: empty journal")
+        if not body:
+            # Only a torn fragment — the header itself never landed.
+            raise CheckpointCorruptError(f"{self.path}: journal header is torn")
+
+        records: list[dict] = []
+        for index, line in enumerate(body):
+            try:
+                records.append(json.loads(line.decode("utf-8")))
+            except (ValueError, UnicodeDecodeError) as exc:
+                if index == len(body) - 1 and not torn_tail:
+                    # Torn final line that happened to contain a newline
+                    # fragment; treat like any torn tail.
+                    good_bytes -= len(line) + 1
+                    break
+                raise CheckpointCorruptError(
+                    f"{self.path}: unreadable record on line {index + 1}: {exc}"
+                ) from exc
+
+        if not records:
+            raise CheckpointCorruptError(f"{self.path}: journal header is torn")
+        header = JournalHeader.from_json(records[0])
+        if header != self.header:
+            raise CheckpointCorruptError(
+                f"{self.path}: journal belongs to a different scan "
+                f"(header {header} != expected {self.header})"
+            )
+
+        completed: dict[int, list] = {}
+        for index, record in enumerate(records[1:], start=2):
+            if record.get("type") != "shard":
+                raise CheckpointCorruptError(
+                    f"{self.path}: unexpected record type {record.get('type')!r} "
+                    f"on line {index}"
+                )
+            try:
+                offset = int(record["offset"])
+                results = [deserialize_recovered(r) for r in record["results"]]
+            except (KeyError, TypeError) as exc:
+                raise CheckpointCorruptError(
+                    f"{self.path}: malformed shard record on line {index}: {exc}"
+                ) from exc
+            completed[offset] = results
+
+        if good_bytes < len(raw):
+            # Drop the torn tail so future appends start on a clean line.
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_bytes)
+        return completed
+
+    # -------------------------------------------------------------- appending
+
+    def record(self, shard_offset: int, results: list["RecoveredAesKey"]) -> None:
+        """Durably append one completed shard's results."""
+        line = json.dumps(
+            {
+                "type": "shard",
+                "offset": shard_offset,
+                "results": [serialize_recovered(r) for r in results],
+            }
+        )
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        """Nothing to flush — every :meth:`record` is already durable.
+
+        Provided so callers can treat the journal like any other
+        resource with a lifecycle.
+        """

@@ -1,0 +1,55 @@
+"""Structured exception taxonomy for the attack runtime.
+
+The §III-C scan is a multi-hour batch job over inherently damaged
+inputs (decayed, truncated, torn dumps), so failures need to carry
+enough structure for the orchestrator to decide: retry, quarantine,
+degrade, or abort.  Every error the resilience layer raises derives
+from :class:`ReproError`; the subclasses also inherit the closest
+builtin (``ValueError``, ``TimeoutError``, ``RuntimeError``) so
+pre-existing ``except ValueError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every structured error raised by this toolkit."""
+
+
+class DumpFormatError(ReproError, ValueError):
+    """A memory dump is missing, truncated, misaligned, or malformed."""
+
+
+class ShardLayoutError(ReproError, ValueError):
+    """A sharded-scan request is internally inconsistent (bad shard
+    count, negative overlap, unaligned shard offsets)."""
+
+
+class ShardTimeoutError(ReproError, TimeoutError):
+    """One shard's search exceeded its per-shard wall-clock budget."""
+
+    def __init__(self, shard_offset: int, timeout_seconds: float, attempt: int) -> None:
+        self.shard_offset = shard_offset
+        self.timeout_seconds = timeout_seconds
+        self.attempt = attempt
+        super().__init__(
+            f"shard {shard_offset:#x} exceeded {timeout_seconds:g}s "
+            f"(attempt {attempt})"
+        )
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """A shard worker raised or its process died mid-search."""
+
+    def __init__(self, shard_offset: int, attempt: int, cause: str) -> None:
+        self.shard_offset = shard_offset
+        self.attempt = attempt
+        self.cause = cause
+        super().__init__(
+            f"shard {shard_offset:#x} worker crashed (attempt {attempt}): {cause}"
+        )
+
+
+class CheckpointCorruptError(ReproError, ValueError):
+    """A checkpoint journal cannot be trusted: unreadable interior
+    records, or a header that does not match the dump being resumed."""

@@ -1,0 +1,351 @@
+"""Crash-tolerant shard execution: futures, timeouts, retries, quarantine.
+
+``pool.map`` — the seed orchestrator's engine — has the wrong failure
+semantics for a multi-hour scan: one crashed worker poisons the whole
+map, one hung shard stalls it forever, and nothing is retried.  This
+executor replaces it with submit-based futures and explicit policy:
+
+* a shard that raises is charged a :class:`WorkerCrashError` attempt
+  and retried with deterministic backoff;
+* a shard that exceeds the per-shard timeout is charged a
+  :class:`ShardTimeoutError` attempt; the pool (now holding a zombie
+  worker) is torn down and rebuilt for the survivors;
+* a shard whose *process* dies (``BrokenProcessPool``) is likewise
+  retried on a fresh pool;
+* when the pool itself keeps breaking (``max_pool_rebuilds``
+  exhausted), execution degrades gracefully to in-process serial mode
+  rather than giving up;
+* a shard that exhausts ``max_attempts`` is quarantined and reported —
+  the scan completes without it.
+
+The worker callable receives ``(payload, shard_offset, attempt,
+in_subprocess)`` and must be picklable (a module-level function); the
+final flag tells fault-injecting workers whether process-level faults
+(kill, hang) are safe to fire.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.resilience.errors import ShardTimeoutError, WorkerCrashError
+from repro.resilience.retry import RetryPolicy
+
+#: Shard lifecycle states reported in a :class:`ShardOutcome`.
+STATUS_OK = "ok"
+STATUS_QUARANTINED = "quarantined"
+STATUS_FROM_CHECKPOINT = "from-checkpoint"
+
+
+@dataclass
+class ShardOutcome:
+    """Terminal record for one shard of a resilient run."""
+
+    shard_offset: int
+    status: str
+    attempts: int = 0
+    result: Any = None
+    #: Human-readable reasons for every failed attempt, in order.
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the shard produced a usable result."""
+        return self.status in (STATUS_OK, STATUS_FROM_CHECKPOINT)
+
+
+@dataclass
+class RunLedger:
+    """Everything a resilient run did, shard by shard."""
+
+    outcomes: dict[int, ShardOutcome] = field(default_factory=dict)
+    pool_rebuilds: int = 0
+    degraded_to_serial: bool = False
+
+    @property
+    def completed(self) -> list[ShardOutcome]:
+        """Outcomes that delivered results (freshly or from checkpoint)."""
+        return [o for o in self.outcomes.values() if o.ok]
+
+    @property
+    def quarantined(self) -> list[ShardOutcome]:
+        """Shards abandoned after exhausting their retry budget."""
+        return [o for o in self.outcomes.values() if o.status == STATUS_QUARANTINED]
+
+    @property
+    def resumed(self) -> list[ShardOutcome]:
+        """Shards skipped because a checkpoint already held their results."""
+        return [o for o in self.outcomes.values() if o.status == STATUS_FROM_CHECKPOINT]
+
+    def summary(self) -> str:
+        """One-line ledger digest for logs and CLI output."""
+        parts = [
+            f"{len(self.completed)}/{len(self.outcomes)} shards ok",
+            f"{len(self.resumed)} from checkpoint",
+            f"{len(self.quarantined)} quarantined",
+        ]
+        if self.pool_rebuilds:
+            parts.append(f"{self.pool_rebuilds} pool rebuilds")
+        if self.degraded_to_serial:
+            parts.append("degraded to serial")
+        return ", ".join(parts)
+
+
+class ResilientShardRunner:
+    """Run shard jobs under a :class:`RetryPolicy`, tolerating failures.
+
+    ``worker(payload, shard_offset, attempt, in_subprocess)`` performs
+    one attempt.
+    ``on_event(message)`` (optional) receives progress strings —
+    retries, rebuilds, quarantines — as they happen.
+    ``on_result(shard_offset, result)`` (optional) fires the moment a
+    shard completes — this is the checkpoint journal's hook, so it must
+    run *before* the next shard is awaited, not after the whole run.
+    """
+
+    def __init__(
+        self,
+        worker: Callable[[Any, int, int, bool], Any],
+        policy: RetryPolicy | None = None,
+        workers: int = 1,
+        on_event: Callable[[str], None] | None = None,
+        on_result: Callable[[int, Any], None] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.worker = worker
+        self.policy = policy or RetryPolicy()
+        self.workers = workers
+        self.on_event = on_event or (lambda message: None)
+        self.on_result = on_result or (lambda offset, result: None)
+        self.sleep = sleep
+
+    # ------------------------------------------------------------------ api
+
+    def run(self, jobs: dict[int, Any]) -> RunLedger:
+        """Execute every job; always returns a complete ledger.
+
+        ``jobs`` maps shard offset → payload.  Crashes, hangs, and
+        broken pools are retried per policy; shards out of budget are
+        quarantined, never raised.
+        """
+        ledger = RunLedger()
+        attempts: dict[int, int] = {offset: 0 for offset in jobs}
+        errors: dict[int, list[str]] = {offset: [] for offset in jobs}
+        pending = dict(jobs)
+        use_pool = self.workers > 1
+
+        while pending and use_pool:
+            finished = self._pool_generation(pending, attempts, errors, ledger)
+            for offset in finished:
+                pending.pop(offset)
+            if pending and ledger.pool_rebuilds > self.policy.max_pool_rebuilds:
+                ledger.degraded_to_serial = True
+                self.on_event(
+                    f"process pool broke {ledger.pool_rebuilds} times; "
+                    f"degrading {len(pending)} shard(s) to serial execution"
+                )
+                use_pool = False
+
+        for offset, payload in pending.items():
+            self._run_serial(offset, payload, attempts, errors, ledger)
+        return ledger
+
+    # ------------------------------------------------------------ accounting
+
+    def _record_ok(
+        self,
+        offset: int,
+        result: Any,
+        attempts: dict[int, int],
+        errors: dict[int, list[str]],
+        ledger: RunLedger,
+    ) -> None:
+        """Record a completed shard and fire the result hook immediately."""
+        ledger.outcomes[offset] = ShardOutcome(
+            shard_offset=offset,
+            status=STATUS_OK,
+            attempts=attempts[offset],
+            result=result,
+            errors=errors[offset],
+        )
+        self.on_result(offset, result)
+
+    def _record_failure(
+        self,
+        offset: int,
+        attempts: dict[int, int],
+        errors: dict[int, list[str]],
+        ledger: RunLedger,
+        error: Exception,
+    ) -> bool:
+        """Charge one failed attempt; quarantine when out of budget.
+
+        Returns True when the shard still has retry budget.
+        """
+        errors[offset].append(f"{type(error).__name__}: {error}")
+        if self.policy.should_retry(attempts[offset]):
+            self.on_event(
+                f"shard {offset:#x} attempt {attempts[offset]} failed "
+                f"({type(error).__name__}); retrying"
+            )
+            return True
+        ledger.outcomes[offset] = ShardOutcome(
+            shard_offset=offset,
+            status=STATUS_QUARANTINED,
+            attempts=attempts[offset],
+            errors=errors[offset],
+        )
+        self.on_event(
+            f"shard {offset:#x} quarantined after {attempts[offset]} attempt(s)"
+        )
+        return False
+
+    def _run_serial(
+        self,
+        offset: int,
+        payload: Any,
+        attempts: dict[int, int],
+        errors: dict[int, list[str]],
+        ledger: RunLedger,
+    ) -> None:
+        """In-process execution with retries (no hang protection)."""
+        while True:
+            attempts[offset] += 1
+            try:
+                result = self.worker(payload, offset, attempts[offset], False)
+            except Exception as exc:  # noqa: BLE001 — quarantine, don't die
+                crash = WorkerCrashError(offset, attempts[offset], str(exc))
+                if not self._record_failure(offset, attempts, errors, ledger, crash):
+                    return
+                self.sleep(self.policy.delay_s(offset, attempts[offset]))
+            else:
+                self._record_ok(offset, result, attempts, errors, ledger)
+                return
+
+    # ------------------------------------------------------------- pool mode
+
+    def _pool_generation(
+        self,
+        pending: dict[int, Any],
+        attempts: dict[int, int],
+        errors: dict[int, list[str]],
+        ledger: RunLedger,
+    ) -> list[int]:
+        """One process-pool pass over the pending shards.
+
+        Returns the offsets that reached a terminal state (ok or
+        quarantined).  A hang or a broken pool abandons the generation:
+        the pool is shut down without waiting and the caller spins up a
+        fresh one for whatever remains.
+        """
+        finished: list[int] = []
+        timeout = self.policy.shard_timeout_s
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        broken = False
+        try:
+            futures: dict[Future, int] = {}
+            deadlines: dict[Future, float] = {}
+            for offset, payload in pending.items():
+                attempts[offset] += 1
+                future = pool.submit(self.worker, payload, offset, attempts[offset], True)
+                futures[future] = offset
+                if timeout is not None:
+                    deadlines[future] = time.monotonic() + timeout
+
+            while futures:
+                if deadlines:
+                    wait_budget = max(0.0, min(deadlines.values()) - time.monotonic())
+                else:
+                    wait_budget = None
+                done, _ = wait(futures, timeout=wait_budget, return_when=FIRST_COMPLETED)
+
+                for future in done:
+                    offset = futures.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        # The pool died; *which* worker killed it is
+                        # unknowable (every sibling future raises this
+                        # too), so charge nobody — refund the attempt,
+                        # leave the shard pending, and rebuild.  The
+                        # rebuild budget bounds a persistent killer:
+                        # once exhausted, serial mode settles the score
+                        # with per-shard attempt accounting.
+                        broken = True
+                        attempts[offset] -= 1
+                        errors[offset].append("BrokenProcessPool: worker process died")
+                    except Exception as exc:  # noqa: BLE001
+                        crash = WorkerCrashError(offset, attempts[offset], str(exc))
+                        if not self._record_failure(offset, attempts, errors, ledger, crash):
+                            finished.append(offset)
+                        else:
+                            self.sleep(self.policy.delay_s(offset, attempts[offset]))
+                            retry = pool.submit(
+                                self.worker, pending[offset], offset, attempts[offset] + 1, True
+                            )
+                            attempts[offset] += 1
+                            futures[retry] = offset
+                            if timeout is not None:
+                                deadlines[retry] = time.monotonic() + timeout
+                    else:
+                        self._record_ok(offset, result, attempts, errors, ledger)
+                        finished.append(offset)
+                if broken:
+                    break
+
+                now = time.monotonic()
+                expired = [f for f, deadline in deadlines.items() if deadline <= now]
+                for future in expired:
+                    if future.done():
+                        continue  # a result beat the deadline; next wait() reaps it
+                    offset = futures.pop(future)
+                    deadlines.pop(future, None)
+                    future.cancel()
+                    broken = True  # a hung worker poisons its pool slot
+                    hang = ShardTimeoutError(
+                        offset, timeout or 0.0, attempts[offset]
+                    )
+                    if not self._record_failure(offset, attempts, errors, ledger, hang):
+                        finished.append(offset)
+                if broken:
+                    break
+
+            # Generation abandoned with futures in flight: harvest any
+            # that won the race, refund the rest (their attempt never
+            # ran to a verdict — charging it would let pool-level
+            # failures quarantine innocent shards).
+            for future, offset in list(futures.items()):
+                resolved = False
+                if future.done():
+                    try:
+                        result = future.result()
+                    except Exception:  # noqa: BLE001 — collateral damage
+                        pass
+                    else:
+                        self._record_ok(offset, result, attempts, errors, ledger)
+                        finished.append(offset)
+                        resolved = True
+                else:
+                    future.cancel()
+                if not resolved:
+                    attempts[offset] -= 1
+        finally:
+            if broken:
+                ledger.pool_rebuilds += 1
+                self.on_event("shard pool broken; rebuilding for remaining shards")
+            # A broken/hung pool must not be joined — shut down without
+            # waiting, then put the zombie workers down explicitly (a
+            # hung worker would otherwise squat on its shard's memory
+            # and stall interpreter exit).
+            pool.shutdown(wait=not broken, cancel_futures=True)
+            if broken:
+                for process in list((getattr(pool, "_processes", None) or {}).values()):
+                    process.terminate()
+        return finished

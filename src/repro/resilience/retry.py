@@ -1,0 +1,73 @@
+"""Retry policy: bounded attempts, exponential backoff, deterministic jitter.
+
+A 21-hour scan cannot afford thundering-herd resubmission after a
+transient failure, nor can a reproducible research pipeline tolerate
+wall-clock-seeded randomness.  Jitter here is derived from the shard's
+identity and attempt number via SplitMix64, so two runs of the same
+scan produce byte-identical schedules (see ``docs/reproducing.md`` on
+determinism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import SplitMix64, derive_seed
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the resilient executor treats failing shards.
+
+    ``max_attempts`` counts the first try: 3 means one try plus two
+    retries, after which the shard is quarantined.  Delays grow as
+    ``base_delay_s * backoff_factor**(attempt-1)`` capped at
+    ``max_delay_s``, each multiplied by a deterministic jitter factor
+    in ``[1 - jitter, 1 + jitter]``.  ``shard_timeout_s`` bounds one
+    attempt's wall clock (enforced only when running on a process
+    pool); ``None`` disables the timeout.  ``max_pool_rebuilds`` is how
+    many times a broken/hung process pool is torn down and rebuilt
+    before the executor degrades to in-process serial execution.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_delay_s: float = 5.0
+    jitter: float = 0.25
+    shard_timeout_s: float | None = 900.0
+    max_pool_rebuilds: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must lie in [0, 1)")
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ValueError("shard timeout must be positive (or None)")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("pool rebuild budget must be non-negative")
+
+    def delay_s(self, shard_offset: int, attempt: int) -> float:
+        """Backoff before retrying ``shard_offset`` after ``attempt`` failures.
+
+        Deterministic: the same (policy seed, shard, attempt) triple
+        always yields the same delay.
+        """
+        if attempt < 1:
+            raise ValueError("delays apply from the first failure onwards")
+        raw = min(self.base_delay_s * self.backoff_factor ** (attempt - 1), self.max_delay_s)
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        rng = SplitMix64(derive_seed("retry-jitter", self.seed, shard_offset, attempt))
+        factor = 1.0 + self.jitter * (2.0 * rng.next_float() - 1.0)
+        return raw * factor
+
+    def should_retry(self, attempt: int) -> bool:
+        """True while ``attempt`` completed failures leave budget for more."""
+        return attempt < self.max_attempts

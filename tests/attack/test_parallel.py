@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.attack.aes_search import RecoveredAesKey, ScheduleHit
 from repro.attack.parallel import (
     Shard,
     merge_recovered,
@@ -9,7 +10,29 @@ from repro.attack.parallel import (
     shard_image,
 )
 from repro.attack.sweep import synthetic_dump
+from repro.crypto.aes import schedule_bytes
 from repro.dram.image import MemoryImage
+from repro.resilience.errors import ShardLayoutError
+
+
+def recovered_at(block_index: int, offset: int = 0, votes: int = 1) -> RecoveredAesKey:
+    hit = ScheduleHit(
+        block_index=block_index,
+        key_index=0,
+        offset=offset,
+        round_index=0,
+        mismatch_bits=0,
+        key_bits=256,
+    )
+    return RecoveredAesKey(
+        master_key=bytes(32),
+        key_bits=256,
+        votes=votes,
+        first_block_index=block_index,
+        match_fraction=1.0,
+        region_agreement=1.0,
+        hits=(hit,),
+    )
 
 
 class TestSharding:
@@ -44,6 +67,48 @@ class TestSharding:
             shard_image(dump, 1, -1)
         with pytest.raises(ValueError):
             Shard(base_offset=32, image=dump)
+
+    def test_layout_errors_are_typed(self):
+        # The old bare ValueErrors are now ShardLayoutError (still a
+        # ValueError for legacy handlers).
+        dump = MemoryImage(bytes(64))
+        with pytest.raises(ShardLayoutError):
+            shard_image(dump, 0, 0)
+        with pytest.raises(ShardLayoutError):
+            Shard(base_offset=32, image=dump)
+
+    def test_overlap_longer_than_a_shard(self):
+        # Overlap (10 blocks) exceeds the nominal shard size (3 blocks);
+        # shards must clamp at the dump end and still cover everything.
+        dump = MemoryImage(bytes(12 * 64))
+        shards = shard_image(dump, n_shards=4, overlap_bytes=10 * 64)
+        covered = set()
+        for shard in shards:
+            assert shard.base_offset + len(shard.image.data) <= len(dump)
+            start = shard.base_offset // 64
+            covered.update(range(start, start + shard.image.n_blocks))
+        assert covered == set(range(12))
+
+    def test_single_block_dump(self):
+        dump = MemoryImage(bytes(64))
+        shards = shard_image(dump, n_shards=4, overlap_bytes=240)
+        assert len(shards) == 1
+        assert shards[0].base_offset == 0
+        assert shards[0].image.n_blocks == 1
+
+    def test_every_schedule_window_lies_inside_some_shard(self):
+        # The guarantee the overlap exists for: any schedule-length
+        # window of the dump is wholly contained in at least one shard.
+        window = schedule_bytes(256) + 64
+        dump = MemoryImage(bytes(97 * 64))
+        for n_shards in (1, 2, 3, 5, 8, 97, 200):
+            shards = shard_image(dump, n_shards=n_shards, overlap_bytes=window)
+            for start in range(0, len(dump) - window + 1, 64):
+                assert any(
+                    shard.base_offset <= start
+                    and start + window <= shard.base_offset + len(shard.image.data)
+                    for shard in shards
+                ), f"window at {start} not covered with n_shards={n_shards}"
 
 
 class TestEndToEnd:
@@ -81,3 +146,39 @@ class TestEndToEnd:
 
         dump = MemoryImage(SplitMix64(1).next_bytes(256 * 64))
         assert parallel_recover_keys(dump) == []
+
+
+class TestMerge:
+    def test_results_without_hits_are_dropped(self):
+        # Regression: a hit-less result used to be assigned
+        # local_base=0, colliding with (and displacing) a genuine
+        # schedule found at its shard's offset 0.
+        hitless = RecoveredAesKey(
+            master_key=bytes(32),
+            key_bits=256,
+            votes=99,
+            first_block_index=0,
+            match_fraction=1.0,
+            region_agreement=1.0,
+            hits=(),
+        )
+        genuine = recovered_at(block_index=0, votes=2)
+        merged = merge_recovered([(0, [genuine]), (4096, [hitless])])
+        assert merged == [genuine]
+
+    def test_merge_rebases_to_global_offsets(self):
+        result = recovered_at(block_index=3, offset=16)
+        [merged] = merge_recovered([(10 * 64, [result])])
+        assert merged.hits[0].block_index == 13
+        assert merged.hits[0].table_base == result.hits[0].table_base + 10 * 64
+        assert merged.first_block_index == 13
+
+    def test_duplicate_across_shards_keeps_stronger(self):
+        # Block 10 seen from shard 0 and from shard at 5 blocks (as its
+        # local block 5): same global base, higher vote count wins.
+        weak = recovered_at(block_index=10, votes=1)
+        strong = recovered_at(block_index=5, votes=4)
+        merged = merge_recovered([(0, [weak]), (5 * 64, [strong])])
+        assert len(merged) == 1
+        assert merged[0].votes == 4
+        assert merged[0].hits[0].block_index == 10

@@ -72,3 +72,42 @@ class TestMarkdownForm:
 
         text = report_to_markdown(AttackReport())
         assert "No expanded AES key schedules" in text
+
+
+class TestResilienceFields:
+    def make_sharded_report(self):
+        from repro.attack.pipeline import AttackReport
+
+        return AttackReport(
+            dump_bytes=1 << 20,
+            n_shards=8,
+            quarantined_shards=[0x30000, 0x70000],
+            resumed_shards=3,
+            degraded_to_serial=True,
+        )
+
+    def test_json_carries_resilience_block(self):
+        parsed = report_to_dict(self.make_sharded_report())
+        resilience = parsed["resilience"]
+        assert resilience["n_shards"] == 8
+        assert resilience["quarantined_shards"] == [0x30000, 0x70000]
+        assert resilience["resumed_shards"] == 3
+        assert resilience["degraded_to_serial"] is True
+        assert resilience["complete_scan"] is False
+
+    def test_monolithic_report_is_marked_complete(self, successful_report):
+        report, _ = successful_report
+        parsed = report_to_dict(report)
+        assert parsed["resilience"]["n_shards"] == 0
+        assert parsed["resilience"]["complete_scan"] is True
+
+    def test_markdown_warns_about_quarantine(self):
+        text = report_to_markdown(self.make_sharded_report())
+        assert "8 shards" in text
+        assert "0x30000" in text
+
+    def test_summary_mentions_sharding(self):
+        summary = self.make_sharded_report().summary()
+        assert "shards=8" in summary
+        assert "resumed=3" in summary
+        assert "QUARANTINED=2" in summary

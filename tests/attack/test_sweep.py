@@ -59,3 +59,18 @@ class TestSweepPoint:
             master_key_recovered=True,
         )
         assert point.master_key_recovered
+
+
+class TestFaultRecoverySweep:
+    def test_dataclass_fields(self):
+        from repro.attack.sweep import FaultSweepPoint
+
+        point = FaultSweepPoint(
+            fault_kind="crash",
+            shards_quarantined=0,
+            keys_recovered=2,
+            master_recovered=True,
+            matches_clean_run=True,
+        )
+        assert point.fault_kind == "crash"
+        assert point.matches_clean_run

@@ -58,3 +58,43 @@ def test_save_and_load_roundtrip(tmp_path):
     loaded = MemoryImage.load(path, base_address=0x40)
     assert loaded.data == image.data
     assert loaded.base_address == 0x40
+
+
+class TestLoadTolerant:
+    def test_truncated_trailing_block_is_clipped(self, tmp_path):
+        from repro.dram.image import MemoryImage
+
+        path = tmp_path / "torn.bin"
+        path.write_bytes(bytes(64) + b"\xaa" * 64 + b"\x01\x02\x03")  # torn tail
+        image = MemoryImage.load_tolerant(path)
+        assert image.n_blocks == 2
+        assert image.data[-64:] == b"\xaa" * 64
+
+    def test_missing_file(self, tmp_path):
+        from repro.dram.image import MemoryImage
+        from repro.resilience.errors import DumpFormatError
+
+        with pytest.raises(DumpFormatError, match="not found"):
+            MemoryImage.load_tolerant(tmp_path / "nope.bin")
+
+    def test_directory(self, tmp_path):
+        from repro.dram.image import MemoryImage
+        from repro.resilience.errors import DumpFormatError
+
+        with pytest.raises(DumpFormatError, match="directory"):
+            MemoryImage.load_tolerant(tmp_path)
+
+    def test_sub_block_file(self, tmp_path):
+        from repro.dram.image import MemoryImage
+        from repro.resilience.errors import DumpFormatError
+
+        path = tmp_path / "tiny.bin"
+        path.write_bytes(b"just a few bytes")
+        with pytest.raises(DumpFormatError, match="not even one"):
+            MemoryImage.load_tolerant(path)
+
+    def test_format_error_is_still_a_value_error(self, tmp_path):
+        from repro.dram.image import MemoryImage
+
+        with pytest.raises(ValueError):
+            MemoryImage.load_tolerant(tmp_path / "nope.bin")

@@ -1,0 +1,131 @@
+"""Crash-safe journal: roundtrip, torn-tail repair, corruption detection."""
+
+import json
+
+import pytest
+
+from repro.attack.aes_search import RecoveredAesKey, ScheduleHit
+from repro.resilience.checkpoint import (
+    CheckpointJournal,
+    JournalHeader,
+    deserialize_recovered,
+    dump_fingerprint,
+    serialize_recovered,
+)
+from repro.resilience.errors import CheckpointCorruptError
+
+
+def make_header(**overrides) -> JournalHeader:
+    defaults = dict(
+        dump_len=4096,
+        dump_sha256=dump_fingerprint(b"\x00" * 4096),
+        key_bits=256,
+        n_shards=4,
+        overlap_bytes=304,
+    )
+    defaults.update(overrides)
+    return JournalHeader(**defaults)
+
+
+def make_result(base_block: int = 7) -> RecoveredAesKey:
+    hits = (
+        ScheduleHit(
+            block_index=base_block,
+            key_index=3,
+            offset=11,
+            round_index=0,
+            mismatch_bits=0,
+            key_bits=256,
+        ),
+    )
+    return RecoveredAesKey(
+        master_key=bytes(range(32)),
+        key_bits=256,
+        votes=3,
+        first_block_index=base_block,
+        match_fraction=1.0,
+        region_agreement=1.0,
+        hits=hits,
+    )
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self):
+        original = make_result()
+        clone = deserialize_recovered(serialize_recovered(original))
+        assert clone == original
+
+    def test_serialized_form_is_json(self):
+        payload = serialize_recovered(make_result())
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestJournal:
+    def test_fresh_journal_then_resume(self, tmp_path):
+        path = tmp_path / "scan.jsonl"
+        header = make_header()
+        journal, done = CheckpointJournal.open(path, header)
+        assert done == {}
+        journal.record(0, [make_result(0)])
+        journal.record(1024, [])
+        journal.close()
+
+        _, done = CheckpointJournal.open(path, header, resume=True)
+        assert set(done) == {0, 1024}
+        assert done[0][0].master_key == bytes(range(32))
+        assert done[1024] == []
+
+    def test_resume_false_starts_over(self, tmp_path):
+        path = tmp_path / "scan.jsonl"
+        header = make_header()
+        journal, _ = CheckpointJournal.open(path, header)
+        journal.record(0, [])
+        journal.close()
+        _, done = CheckpointJournal.open(path, header, resume=False)
+        assert done == {}
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "scan.jsonl"
+        header = make_header()
+        journal, _ = CheckpointJournal.open(path, header)
+        journal.record(0, [make_result(0)])
+        journal.record(1024, [make_result(16)])
+        journal.close()
+        # Simulate a crash mid-write: chop the last line in half.
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - len(raw.splitlines(keepends=True)[-1]) // 2 - 1])
+
+        journal, done = CheckpointJournal.open(path, header, resume=True)
+        assert set(done) == {0}  # the torn record is discarded...
+        journal.record(1024, [])  # ...and the journal accepts appends again
+        journal.close()
+        _, done = CheckpointJournal.open(path, header, resume=True)
+        assert set(done) == {0, 1024}
+
+    def test_interior_corruption_is_an_error(self, tmp_path):
+        path = tmp_path / "scan.jsonl"
+        header = make_header()
+        journal, _ = CheckpointJournal.open(path, header)
+        journal.record(0, [])
+        journal.record(1024, [])
+        journal.close()
+        lines = path.read_text().splitlines()
+        lines[1] = '{"type": "shard", garbage'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointCorruptError):
+            CheckpointJournal.open(path, header, resume=True)
+
+    def test_header_mismatch_rejects_stale_journal(self, tmp_path):
+        path = tmp_path / "scan.jsonl"
+        journal, _ = CheckpointJournal.open(path, make_header())
+        journal.record(0, [])
+        journal.close()
+        other = make_header(dump_sha256=dump_fingerprint(b"\x01" * 4096))
+        with pytest.raises(CheckpointCorruptError):
+            CheckpointJournal.open(path, other, resume=True)
+
+    def test_missing_header_is_corrupt(self, tmp_path):
+        path = tmp_path / "scan.jsonl"
+        path.write_text('{"type": "shard", "offset": 0, "results": []}\n')
+        with pytest.raises(CheckpointCorruptError):
+            CheckpointJournal.open(path, make_header(), resume=True)

@@ -1,0 +1,89 @@
+"""Exception taxonomy contracts and deterministic retry scheduling."""
+
+import pytest
+
+from repro.resilience.errors import (
+    CheckpointCorruptError,
+    DumpFormatError,
+    ReproError,
+    ShardLayoutError,
+    ShardTimeoutError,
+    WorkerCrashError,
+)
+from repro.resilience.retry import RetryPolicy
+
+
+class TestTaxonomy:
+    def test_everything_is_a_repro_error(self):
+        for cls in (
+            DumpFormatError,
+            ShardLayoutError,
+            ShardTimeoutError,
+            WorkerCrashError,
+            CheckpointCorruptError,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_builtin_compatibility(self):
+        # Callers that predate the taxonomy catch the builtin types;
+        # the subclasses must keep satisfying those handlers.
+        assert issubclass(DumpFormatError, ValueError)
+        assert issubclass(ShardLayoutError, ValueError)
+        assert issubclass(CheckpointCorruptError, ValueError)
+        assert issubclass(ShardTimeoutError, TimeoutError)
+        assert issubclass(WorkerCrashError, RuntimeError)
+
+    def test_shard_timeout_carries_context(self):
+        error = ShardTimeoutError(shard_offset=0x4000, timeout_seconds=1.5, attempt=2)
+        assert error.shard_offset == 0x4000
+        assert error.attempt == 2
+        assert "0x4000" in str(error)
+
+    def test_worker_crash_carries_cause(self):
+        error = WorkerCrashError(shard_offset=64, attempt=1, cause="boom")
+        assert error.shard_offset == 64
+        assert "boom" in str(error)
+
+
+class TestRetryPolicy:
+    def test_defaults_are_sane(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts >= 2
+        assert policy.should_retry(1)
+        assert not policy.should_retry(policy.max_attempts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, backoff_factor=2.0, max_delay_s=0.5, jitter=0.0
+        )
+        delays = [policy.delay_s(0, attempt) for attempt in range(1, 6)]
+        assert delays[0] == pytest.approx(0.1)
+        assert delays[1] == pytest.approx(0.2)
+        assert delays[2] == pytest.approx(0.4)
+        assert delays[3] == pytest.approx(0.5)  # capped
+        assert delays[4] == pytest.approx(0.5)
+
+    def test_jitter_is_deterministic(self):
+        policy = RetryPolicy(jitter=0.25, seed=9)
+        same = RetryPolicy(jitter=0.25, seed=9)
+        assert policy.delay_s(128, 2) == same.delay_s(128, 2)
+
+    def test_jitter_varies_by_shard_and_attempt(self):
+        policy = RetryPolicy(jitter=0.25, seed=9)
+        delays = {policy.delay_s(offset, 1) for offset in (0, 64, 128, 192, 256)}
+        assert len(delays) > 1  # not all shards retry in lockstep
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay_s=1.0, backoff_factor=2.0,
+                             max_delay_s=100.0, jitter=0.25, seed=3)
+        for offset in range(0, 64 * 20, 64):
+            delay = policy.delay_s(offset, 1)
+            assert 0.75 <= delay <= 1.25

@@ -1,0 +1,106 @@
+"""The fault-injection harness must be deterministic and self-limiting."""
+
+import pytest
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    PERMANENT,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor")
+
+    def test_transient_fires_then_clears(self):
+        spec = FaultSpec(kind="crash", first_attempts=2)
+        assert spec.fires_on(1)
+        assert spec.fires_on(2)
+        assert not spec.fires_on(3)
+
+    def test_permanent_always_fires(self):
+        spec = FaultSpec(kind="crash", first_attempts=PERMANENT)
+        assert spec.fires_on(1) and spec.fires_on(50)
+
+
+class TestFaultPlan:
+    def test_clean_shard_passes_through(self):
+        plan = FaultPlan(faults=((64, FaultSpec(kind="crash")),))
+        data = b"\xaa" * 128
+        assert plan.apply(0, 1, data) == data
+
+    def test_crash_raises_injected_fault(self):
+        plan = FaultPlan(faults=((0, FaultSpec(kind="crash")),))
+        with pytest.raises(InjectedFault):
+            plan.apply(0, 1, b"\x00" * 64)
+
+    def test_crash_clears_after_first_attempts(self):
+        plan = FaultPlan(faults=((0, FaultSpec(kind="crash", first_attempts=1)),))
+        with pytest.raises(InjectedFault):
+            plan.apply(0, 1, b"\x00" * 64)
+        assert plan.apply(0, 2, b"\x00" * 64) == b"\x00" * 64
+
+    def test_corruption_is_deterministic_and_bounded(self):
+        spec = FaultSpec(kind="corrupt", corrupt_bits=8)
+        plan_a = FaultPlan(faults=((0, spec),), seed=4)
+        plan_b = FaultPlan(faults=((0, spec),), seed=4)
+        data = bytes(range(256)) * 4
+        corrupted_a = plan_a.apply(0, 1, data)
+        corrupted_b = plan_b.apply(0, 1, data)
+        assert corrupted_a == corrupted_b  # same seed, same damage
+        flipped = sum(
+            bin(x ^ y).count("1") for x, y in zip(corrupted_a, data)
+        )
+        assert 0 < flipped <= 8
+
+    def test_different_seeds_corrupt_differently(self):
+        spec = FaultSpec(kind="corrupt", corrupt_bits=64)
+        data = bytes(1024)
+        one = FaultPlan(faults=((0, spec),), seed=1).apply(0, 1, data)
+        two = FaultPlan(faults=((0, spec),), seed=2).apply(0, 1, data)
+        assert one != two
+
+    def test_kill_downgrades_in_process(self):
+        # A kill fault must never take down the orchestrator itself:
+        # outside a subprocess it degrades to a raised InjectedFault.
+        plan = FaultPlan(faults=((0, FaultSpec(kind="kill")),))
+        with pytest.raises(InjectedFault):
+            plan.apply(0, 1, b"\x00" * 64, in_subprocess=False)
+
+    def test_hang_downgrades_in_process(self):
+        plan = FaultPlan(faults=((0, FaultSpec(kind="hang", hang_seconds=60)),))
+        with pytest.raises(InjectedFault):
+            plan.apply(0, 1, b"\x00" * 64, in_subprocess=False)
+
+    def test_scheduled_covers_requested_fractions(self):
+        offsets = tuple(range(0, 64 * 100, 64))
+        plan = FaultPlan.scheduled(
+            seed=7,
+            shard_offsets=offsets,
+            crash_fraction=0.2,
+            corrupt_fraction=0.1,
+        )
+        kinds = [spec.kind for _, spec in plan.faults]
+        assert kinds.count("crash") == 20
+        assert kinds.count("corrupt") == 10
+        # Deterministic: same seed gives the same schedule.
+        again = FaultPlan.scheduled(
+            seed=7, shard_offsets=offsets, crash_fraction=0.2, corrupt_fraction=0.1
+        )
+        assert plan.faults == again.faults
+
+    def test_plan_is_picklable(self):
+        import pickle
+
+        plan = FaultPlan(
+            faults=tuple((i * 64, FaultSpec(kind=k)) for i, k in enumerate(FAULT_KINDS)),
+            seed=3,
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.faults == plan.faults
+        with pytest.raises(InjectedFault):
+            clone.apply(0, 1, b"\x00" * 64)

@@ -99,3 +99,52 @@ class TestCommands:
     def test_figures(self, tmp_path):
         assert main(["figures", "--output-dir", str(tmp_path)]) == 0
         assert list(tmp_path.glob("*.svg"))
+
+
+class TestResilientAttackCli:
+    def test_parser_accepts_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["attack", "dump.bin", "--workers", "4", "--shards", "16",
+             "--checkpoint", "scan.jsonl", "--resume"]
+        )
+        assert (args.workers, args.shards) == (4, 16)
+        assert args.checkpoint == "scan.jsonl"
+        assert args.resume
+
+    def test_missing_dump_is_one_line_error(self, capsys):
+        assert main(["attack", "/no/such/dump.bin"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_sub_block_dump_is_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "tiny.bin"
+        path.write_bytes(b"x" * 10)
+        assert main(["attack", str(path)]) == 2
+        assert "not even one" in capsys.readouterr().err
+
+    def test_stale_checkpoint_is_one_line_error(self, tmp_path, capsys):
+        # A journal pinned to a different dump must refuse to resume.
+        dump = tmp_path / "dump.bin"
+        dump.write_bytes(bytes(4 * 64))
+        journal = tmp_path / "scan.jsonl"
+        journal.write_text(
+            '{"dump_len": 1, "dump_sha256": "ff", "key_bits": 256, '
+            '"n_shards": 1, "overlap_bytes": 304, "version": 1, "type": "header"}\n'
+        )
+        assert main(["attack", str(dump), "--checkpoint", str(journal)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sharded_attack_with_resume(self, scrambled_dump_file, capsys, tmp_path):
+        dump_path, master = scrambled_dump_file
+        journal = str(tmp_path / "scan.jsonl")
+        assert main(["attack", dump_path, "--workers", "2", "--shards", "4",
+                     "--checkpoint", journal]) == 0
+        first = capsys.readouterr().out
+        assert master.hex() in first
+        assert "shards=4" in first
+        # Second run resumes everything from the journal.
+        assert main(["attack", dump_path, "--checkpoint", journal]) == 0
+        second = capsys.readouterr().out
+        assert "resumed: 4/4" in second
+        assert master.hex() in second

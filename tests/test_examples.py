@@ -1,5 +1,6 @@
 """Smoke tests: every example compiles; the fast ones run end to end."""
 
+import os
 import py_compile
 import subprocess
 import sys
@@ -8,6 +9,7 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+SRC_DIR = Path(__file__).parent.parent / "src"
 
 
 def test_examples_exist():
@@ -22,12 +24,19 @@ def test_example_compiles(script):
 
 
 def _run(script: Path, tmp_path, timeout: int = 240) -> str:
+    # The example runs from tmp_path, so a relative PYTHONPATH=src from
+    # the invoking shell would no longer resolve; pin the absolute path.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     result = subprocess.run(
         [sys.executable, str(script)],
         cwd=tmp_path,
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     return result.stdout

@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.controller",
     "repro.victim",
     "repro.attack",
+    "repro.resilience",
     "repro.engine",
     "repro.analysis",
 ]
