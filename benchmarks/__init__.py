@@ -1,0 +1,9 @@
+"""Benchmarks for the paper reproduction.
+
+``bench_*.py`` modules are pytest-benchmark suites regenerating the
+paper's tables and figures; :mod:`benchmarks.harness` is the standalone
+scan-performance harness (``python benchmarks/harness.py``) that tracks
+the perf trajectory of the sharded AES-schedule scan, with
+:mod:`benchmarks.legacy_scan` preserving the pre-optimisation scan as
+its baseline.
+"""

@@ -1,0 +1,277 @@
+#!/usr/bin/env python
+"""Scan-performance harness: time the attack stages, track the trajectory.
+
+Runs the sharded AES-schedule scan over a pinned-seed synthetic dump,
+times each stage (key mining, fingerprint join, verification, and the
+end-to-end sharded recovery), runs the preserved seed implementation
+(:mod:`benchmarks.legacy_scan`) on the same dump, asserts the two
+recover **byte-identical** key sets, and writes the measurements to
+``BENCH_scan.json``::
+
+    python benchmarks/harness.py                  # 64 MiB, 4 workers
+    python benchmarks/harness.py --smoke          # CI-sized quick pass
+    python benchmarks/harness.py --size-mib 8 --workers 2 --no-baseline
+
+Every stage record has the same shape — ``{"wall_s": float,
+"blocks_per_s": float, "keys": int, "workers": int}`` — so successive
+``BENCH_scan.json`` files diff cleanly as the implementation evolves;
+``speedup_vs_baseline`` summarises fast-vs-seed per stage.  See
+``docs/performance.md`` for how to read the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+for _path in (str(_REPO_ROOT / "src"), str(_REPO_ROOT)):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.attack.aes_search import AesKeySearch  # noqa: E402
+from repro.attack.keymine import keys_matrix, mine_scrambler_keys  # noqa: E402
+from repro.attack.parallel import resilient_recover_keys  # noqa: E402
+from repro.attack.sweep import synthetic_dump  # noqa: E402
+from repro.util.blocks import BLOCK_SIZE  # noqa: E402
+
+from benchmarks.legacy_scan import SeedAesKeySearch, legacy_recover_keys  # noqa: E402
+
+#: Schema tag written into (and required from) every BENCH_scan.json.
+BENCH_SCHEMA = "bench-scan/v1"
+#: Required fields of every stage record.
+STAGE_FIELDS = ("wall_s", "blocks_per_s", "keys", "workers")
+#: Stages a complete record must report.
+REQUIRED_STAGES = ("mine", "join", "verify", "end_to_end")
+
+#: Pinned defaults — change them and historical records stop comparing.
+DEFAULT_SEED = 5
+DEFAULT_BIT_ERROR_RATE = 0.002
+
+
+def validate_bench_record(record: dict) -> None:
+    """Raise ``ValueError`` unless ``record`` matches the harness schema."""
+    if record.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"schema must be {BENCH_SCHEMA!r}, got {record.get('schema')!r}")
+    config = record.get("config")
+    if not isinstance(config, dict):
+        raise ValueError("missing config object")
+    for field in ("size_mib", "workers", "seed", "bit_error_rate"):
+        if field not in config:
+            raise ValueError(f"config lacks {field!r}")
+
+    def check_stages(stages: object, where: str) -> None:
+        if not isinstance(stages, dict):
+            raise ValueError(f"{where} must be an object of stage records")
+        for name in REQUIRED_STAGES:
+            if name not in stages:
+                raise ValueError(f"{where} lacks stage {name!r}")
+        for name, stage in stages.items():
+            if not isinstance(stage, dict):
+                raise ValueError(f"{where}[{name}] must be an object")
+            for field in STAGE_FIELDS:
+                if field not in stage:
+                    raise ValueError(f"{where}[{name}] lacks {field!r}")
+            if not float(stage["wall_s"]) >= 0.0:
+                raise ValueError(f"{where}[{name}].wall_s must be >= 0")
+            if not float(stage["blocks_per_s"]) >= 0.0:
+                raise ValueError(f"{where}[{name}].blocks_per_s must be >= 0")
+            if int(stage["keys"]) < 0 or int(stage["workers"]) < 1:
+                raise ValueError(f"{where}[{name}] has invalid keys/workers")
+
+    check_stages(record.get("stages"), "stages")
+    if record.get("baseline") is not None:
+        check_stages(record["baseline"], "baseline")
+        speedups = record.get("speedup_vs_baseline")
+        if not isinstance(speedups, dict) or "end_to_end" not in speedups:
+            raise ValueError("baseline present but speedup_vs_baseline incomplete")
+        if not isinstance(record.get("identical_keys"), bool):
+            raise ValueError("baseline present but identical_keys missing")
+
+
+def _stage(wall_s: float, n_blocks: int, keys: int, workers: int) -> dict:
+    return {
+        "wall_s": wall_s,
+        "blocks_per_s": (n_blocks / wall_s) if wall_s > 0 else 0.0,
+        "keys": keys,
+        "workers": workers,
+    }
+
+
+def _time_join_verify(
+    search: AesKeySearch, blocks, n_blocks: int, n_keys: int
+) -> tuple[dict, dict, int]:
+    """Time the join and verify stages over every (offset, phase)."""
+    geometry = [
+        (offset, phase)
+        for offset in search.offsets
+        for phase in search.variant.phases()
+    ]
+    start = time.perf_counter()
+    joined = [
+        (offset, phase, search._candidate_pairs(blocks, offset, phase))
+        for offset, phase in geometry
+    ]
+    join_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    n_hits = 0
+    for offset, phase, pairs in joined:
+        n_hits += len(search._verify_pairs(blocks, pairs, offset, phase))
+    verify_s = time.perf_counter() - start
+    return (
+        _stage(join_s, n_blocks, n_keys, 1),
+        _stage(verify_s, n_blocks, n_keys, 1),
+        n_hits,
+    )
+
+
+def run_benchmark(
+    size_mib: int,
+    workers: int,
+    seed: int = DEFAULT_SEED,
+    bit_error_rate: float = DEFAULT_BIT_ERROR_RATE,
+    with_baseline: bool = True,
+    smoke: bool = False,
+) -> dict:
+    """Measure all stages on one pinned dump; return the JSON record."""
+    n_blocks = (size_mib << 20) // BLOCK_SIZE
+    print(f"[harness] building {size_mib} MiB dump (seed={seed}, ber={bit_error_rate})")
+    dump, master, _ = synthetic_dump(bit_error_rate, n_blocks=n_blocks, seed=seed)
+
+    start = time.perf_counter()
+    candidates = mine_scrambler_keys(dump)
+    mine_s = time.perf_counter() - start
+    n_keys = len(candidates)
+    keys = keys_matrix(candidates)
+    blocks = dump.blocks_matrix()
+    print(f"[harness] mine: {mine_s:.2f}s, {n_keys} candidate keys")
+
+    fast_search = AesKeySearch(keys, key_bits=256)
+    join_stage, verify_stage, n_hits = _time_join_verify(
+        fast_search, blocks, n_blocks, n_keys
+    )
+    print(
+        f"[harness] join: {join_stage['wall_s']:.2f}s, "
+        f"verify: {verify_stage['wall_s']:.2f}s ({n_hits} hits)"
+    )
+
+    start = time.perf_counter()
+    scan = resilient_recover_keys(dump, key_bits=256, workers=workers, n_shards=workers)
+    end_to_end_s = time.perf_counter() - start
+    recovered = scan.recovered
+    masters = {r.master_key for r in recovered}
+    if not (master[:32] in masters and master[32:] in masters):
+        raise SystemExit("[harness] FATAL: scan failed to recover the planted XTS pair")
+    print(
+        f"[harness] end-to-end ({workers} workers): {end_to_end_s:.2f}s, "
+        f"{len(recovered)} keys recovered"
+    )
+
+    record: dict = {
+        "schema": BENCH_SCHEMA,
+        "config": {
+            "size_mib": size_mib,
+            "workers": workers,
+            "seed": seed,
+            "bit_error_rate": bit_error_rate,
+            "smoke": smoke,
+        },
+        "stages": {
+            "mine": _stage(mine_s, n_blocks, n_keys, 1),
+            "join": join_stage,
+            "verify": verify_stage,
+            "end_to_end": _stage(end_to_end_s, n_blocks, n_keys, workers),
+        },
+        "baseline": None,
+    }
+
+    if with_baseline:
+        seed_search = SeedAesKeySearch(keys, key_bits=256)
+        base_join, base_verify, _ = _time_join_verify(
+            seed_search, blocks, n_blocks, n_keys
+        )
+        print(
+            f"[harness] baseline join: {base_join['wall_s']:.2f}s, "
+            f"verify: {base_verify['wall_s']:.2f}s"
+        )
+        start = time.perf_counter()
+        legacy = legacy_recover_keys(dump, key_bits=256, workers=workers, n_shards=workers)
+        base_e2e_s = time.perf_counter() - start
+        print(f"[harness] baseline end-to-end: {base_e2e_s:.2f}s")
+
+        identical = recovered == legacy
+        record["baseline"] = {
+            # The seed miner's cost is only visible inside end_to_end;
+            # this mirrors the fast mine record to satisfy the schema.
+            "mine": _stage(mine_s, n_blocks, n_keys, 1),
+            "join": base_join,
+            "verify": base_verify,
+            "end_to_end": _stage(base_e2e_s, n_blocks, n_keys, workers),
+        }
+        record["identical_keys"] = identical
+        record["speedup_vs_baseline"] = {
+            name: (record["baseline"][name]["wall_s"] / record["stages"][name]["wall_s"])
+            if record["stages"][name]["wall_s"] > 0
+            else float("inf")
+            for name in ("join", "verify", "end_to_end")
+        }
+        speedup = record["speedup_vs_baseline"]["end_to_end"]
+        print(
+            f"[harness] speedup vs seed: join {record['speedup_vs_baseline']['join']:.1f}x, "
+            f"verify {record['speedup_vs_baseline']['verify']:.1f}x, "
+            f"end-to-end {speedup:.1f}x; identical keys: {identical}"
+        )
+        if not identical:
+            raise SystemExit(
+                "[harness] FATAL: vectorised scan and seed scan disagree on "
+                "the recovered keys"
+            )
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    # allow_abbrev: a typo'd --smok must not silently run (and overwrite
+    # the output record) as --smoke.
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], allow_abbrev=False
+    )
+    parser.add_argument("--size-mib", type=int, default=64,
+                        help="reference dump size in MiB (default 64)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes for the end-to-end stage (default 4)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--bit-error-rate", type=float, default=DEFAULT_BIT_ERROR_RATE)
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="skip the seed-implementation baseline run")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: 1 MiB dump, 2 workers, baseline included")
+    parser.add_argument("--output", default="BENCH_scan.json",
+                        help="where to write the JSON record (default BENCH_scan.json)")
+    args = parser.parse_args(argv)
+    if args.size_mib < 1:
+        parser.error("--size-mib must be at least 1")
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+
+    size_mib = 1 if args.smoke else args.size_mib
+    workers = 2 if args.smoke else args.workers
+    record = run_benchmark(
+        size_mib=size_mib,
+        workers=workers,
+        seed=args.seed,
+        bit_error_rate=args.bit_error_rate,
+        with_baseline=not args.no_baseline,
+        smoke=args.smoke,
+    )
+    validate_bench_record(record)
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"[harness] wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,9 +44,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.crypto.aes import (
+    SBOX,
     Rcon,
     _rot_word,
     _sub_word,
+    batch_expand_from_window,
     batch_next_round_key,
     expand_key,
     extend_schedule_words,
@@ -136,6 +138,70 @@ def _fingerprints(span_data: np.ndarray, nk: int, phase: int) -> np.ndarray:
         for a, b, c in _linear_relation_offsets(nk, phase)
     ]
     return np.concatenate(parts, axis=1)
+
+
+def _as_key_matrix(keys: list[bytes] | np.ndarray) -> np.ndarray:
+    """Normalise candidate scrambler keys to a ``(k, 64)`` uint8 matrix."""
+    if isinstance(keys, np.ndarray):
+        matrix = np.asarray(keys, dtype=np.uint8)
+    else:
+        if not keys:
+            raise ValueError("need at least one candidate scrambler key")
+        matrix = np.vstack([np.frombuffer(bytes(k), dtype=np.uint8) for k in keys])
+    if matrix.ndim != 2 or matrix.shape[1] != BLOCK_SIZE or matrix.shape[0] == 0:
+        raise ValueError(f"keys must form a non-empty (k, 64) matrix, got {matrix.shape}")
+    return matrix
+
+
+class KeyFingerprintCache:
+    """Key-side join state, computed once and shared by every shard.
+
+    The key side of the fingerprint join — band values, their sort
+    order, and the sorted arrays ``searchsorted`` probes — depends only
+    on the candidate keys and the ``(offset, phase)`` geometry, never on
+    the dump.  One cache therefore serves every shard of a scan and
+    every retry of a failed shard: a worker process builds it once from
+    the shared key matrix and reuses it across all the shard tasks it
+    executes, instead of re-fingerprinting ~4k keys × 32 offsets per
+    shard.
+    """
+
+    def __init__(self, keys: list[bytes] | np.ndarray, key_bits: int = 256) -> None:
+        self.keys = _as_key_matrix(keys)
+        self.variant = AesVariant(key_bits)
+        self._bands: dict[
+            tuple[int, int], tuple[np.ndarray, tuple[np.ndarray, ...], tuple[np.ndarray, ...]]
+        ] = {}
+
+    def bands(
+        self, offset: int, phase: int
+    ) -> tuple[np.ndarray, tuple[np.ndarray, ...], tuple[np.ndarray, ...]]:
+        """``(values, orders, indptrs)`` for one (offset, phase).
+
+        ``values`` is the ``(k, n_bands)`` uint16 band matrix; for each
+        band, ``orders[band]`` is the stable argsort of its column and
+        ``indptrs[band]`` a direct-address table over the 2^16 possible
+        band values: the keys holding value ``v`` occupy positions
+        ``indptr[v]:indptr[v+1]`` of ``orders[band]``.  Probing it is
+        two gathers per block instead of two binary searches.
+        """
+        entry = self._bands.get((offset, phase))
+        if entry is None:
+            span = self.variant.span_bytes
+            fp = _fingerprints(self.keys[:, offset : offset + span], self.variant.nk, phase)
+            values = np.ascontiguousarray(fp).view(np.uint16)
+            orders = []
+            indptrs = []
+            for band in range(values.shape[1]):
+                order = np.argsort(values[:, band], kind="stable")
+                orders.append(order)
+                indptr = np.zeros(1 << 16 | 1, dtype=np.int64)
+                counts = np.bincount(values[:, band], minlength=1 << 16)
+                np.cumsum(counts, out=indptr[1:])
+                indptrs.append(indptr)
+            entry = (values, tuple(orders), tuple(indptrs))
+            self._bands[(offset, phase)] = entry
+        return entry
 
 
 @dataclass(frozen=True)
@@ -236,69 +302,82 @@ def repair_observed_table(
     n_words = len(table) // 4
     if n_words < nk + 1:
         return table
-    words = [
-        int.from_bytes(bytes(table[4 * i : 4 * i + 4]), "big") for i in range(n_words)
-    ]
+    # Words as (n_words, 4) big-endian byte rows: every transform in the
+    # recurrence (XOR, RotWord, per-byte SubWord, Rcon on the MSB) is
+    # byte-aligned, so the whole repair runs on uint8 matrices and every
+    # candidate repair of a greedy step is scored in ONE batched pass.
+    words = np.ascontiguousarray(table[: 4 * n_words], dtype=np.uint8).reshape(
+        n_words, 4
+    )
     if known_bytes is None:
-        word_known = [True] * n_words
+        word_known = np.ones(n_words, dtype=bool)
     else:
-        word_known = [bool(known_bytes[4 * i : 4 * i + 4].all()) for i in range(n_words)]
+        word_known = (
+            np.asarray(known_bytes[: 4 * n_words], dtype=bool).reshape(n_words, 4).all(axis=1)
+        )
 
-    def violations(ws: list[int]) -> dict[int, int]:
-        out = {}
-        for i in range(nk, n_words):
-            # Equations touching guess-filled (unknown) words carry no
-            # information about the observed bytes; skip them.
-            if not (word_known[i] and word_known[i - nk] and word_known[i - 1]):
-                continue
-            residue = ws[i] ^ ws[i - nk] ^ _t_forward(ws[i - 1], i, nk)
-            if residue:
-                out[i] = residue
+    eq_index = np.arange(nk, n_words)
+    rot_mask = eq_index % nk == 0
+    sub_mask = (eq_index % nk == 4) if nk > 6 else np.zeros_like(rot_mask)
+    rcon_vals = np.array([Rcon(int(i) // nk) for i in eq_index[rot_mask]], dtype=np.uint8)
+    # Equations touching guess-filled (unknown) words carry no
+    # information about the observed bytes; mask them out.
+    known_eq = word_known[nk:] & word_known[: n_words - nk] & word_known[nk - 1 : -1]
+
+    def residues(ws: np.ndarray) -> np.ndarray:
+        """Equation residues for a ``(..., n_words, 4)`` batch of tables."""
+        prev = ws[..., nk - 1 : -1, :]
+        t = prev.copy()
+        t[..., rot_mask, :] = SBOX[prev[..., rot_mask, :][..., (1, 2, 3, 0)]]
+        t[..., rot_mask, 0] ^= rcon_vals
+        if nk > 6:
+            t[..., sub_mask, :] = SBOX[prev[..., sub_mask, :]]
+        out = ws[..., nk:, :] ^ ws[..., : n_words - nk, :] ^ t
+        out[..., ~known_eq, :] = 0
         return out
 
-    def residue_weight(ws: list[int]) -> int:
-        """Total popcount of all residues — the repair's objective.
+    def weights_of(ws: np.ndarray) -> np.ndarray:
+        """Total residue popcount — the repair's objective.
 
         Popcount (not violation count) discriminates: a *correct* credit
         simultaneously clears every equation the flipped bits touch,
         while a wrong credit merely shuffles residue bits around.
         """
-        return sum(bin(v).count("1") for v in violations(ws).values())
+        return np.bitwise_count(residues(ws)).sum(axis=(-1, -2), dtype=np.int64)
 
     for _ in range(max_steps):
-        current = violations(words)
-        if not current:
+        residue = residues(words)
+        violated = np.nonzero(residue.any(axis=1))[0]
+        if violated.size == 0:
             break
-        base_weight = residue_weight(words)
-        best_trial = None
-        best_weight = base_weight
-        for i, residue in current.items():
+        base_weight = int(weights_of(words))
+        # Enumerate candidate repairs in the scalar order (per violated
+        # equation: credit w[i], credit w[i-Nk], then — for S-box
+        # equations — each single-bit flip of w[i-1]).
+        targets: list[int] = []
+        payloads: list[np.ndarray] = []
+        for row in violated:
+            i = int(eq_index[row])
             # Hypothesis A/B: the error lives in a linear operand, so the
             # residue itself is the correction.
-            for target in (i, i - nk):
-                trial = words.copy()
-                trial[target] ^= residue
-                weight = residue_weight(trial)
-                if weight < best_weight:
-                    best_weight = weight
-                    best_trial = trial
+            targets.extend((i, i - nk))
+            payloads.extend((residue[row], residue[row]))
             # Hypothesis C: the error feeds the S-box input w[i-1]; a
             # single-bit flip there can zero the residue nonlinearly.
-            uses_sbox = (i % nk == 0) or (nk > 6 and i % nk == 4)
-            if uses_sbox:
+            if rot_mask[row] or sub_mask[row]:
                 for bit in range(32):
-                    trial = words.copy()
-                    trial[i - 1] ^= 1 << bit
-                    weight = residue_weight(trial)
-                    if weight < best_weight:
-                        best_weight = weight
-                        best_trial = trial
-        if best_trial is None:
+                    targets.append(i - 1)
+                    payload = np.zeros(4, dtype=np.uint8)
+                    payload[3 - bit // 8] = 1 << (bit % 8)
+                    payloads.append(payload)
+        trials = np.broadcast_to(words, (len(targets), n_words, 4)).copy()
+        trials[np.arange(len(targets)), targets] ^= np.asarray(payloads, dtype=np.uint8)
+        weights = weights_of(trials)
+        best = int(np.argmin(weights))  # ties → first trial, as scalar did
+        if int(weights[best]) >= base_weight:
             break
-        words = best_trial
-    return np.frombuffer(
-        b"".join(w.to_bytes(4, "big") for w in words), dtype=np.uint8
-    ).copy()
+        words = trials[best]
+    return words.reshape(-1).copy()
 
 
 def reconstruct_schedule(window: list[int], first_index: int, key_bits: int) -> bytes:
@@ -346,16 +425,10 @@ class AesKeySearch:
         extension_radius_blocks: int = 6,
         accept_mismatch_fraction: float = 0.05,
         repair_bits: int = 1,
+        join: str = "sorted",
+        key_cache: KeyFingerprintCache | None = None,
     ) -> None:
-        if isinstance(keys, np.ndarray):
-            matrix = np.asarray(keys, dtype=np.uint8)
-        else:
-            if not keys:
-                raise ValueError("need at least one candidate scrambler key")
-            matrix = np.vstack([np.frombuffer(bytes(k), dtype=np.uint8) for k in keys])
-        if matrix.ndim != 2 or matrix.shape[1] != BLOCK_SIZE or matrix.shape[0] == 0:
-            raise ValueError(f"keys must form a non-empty (k, 64) matrix, got {matrix.shape}")
-        self.keys = matrix
+        self.keys = _as_key_matrix(keys)
         self.variant = AesVariant(key_bits)
         if verify_tolerance_bits < 0:
             raise ValueError("tolerances must be non-negative")
@@ -382,12 +455,24 @@ class AesKeySearch:
         #: Decay repair: windows are retried with up to this many bit
         #: flips when no pristine window reconstructs a consistent key.
         self.repair_bits = repair_bits
+        if join not in ("sorted", "dict"):
+            raise ValueError(f"join must be 'sorted' or 'dict', got {join!r}")
+        #: Join implementation: ``"sorted"`` (vectorised searchsorted
+        #: join) or ``"dict"`` (the original Python hash join, kept as
+        #: the equivalence oracle for tests and benchmarks).
+        self.join = join
+        if key_cache is None:
+            key_cache = KeyFingerprintCache(self.keys, key_bits)
+        elif key_cache.variant.key_bits != key_bits or not np.array_equal(
+            key_cache.keys, self.keys
+        ):
+            raise ValueError("key_cache was built for a different key set or key size")
+        self._key_cache = key_cache
+        self._flips: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------- matching
 
-    def _candidate_pairs(
-        self, blocks: np.ndarray, offset: int, phase: int
-    ) -> list[tuple[int, int]]:
+    def _candidate_pairs(self, blocks: np.ndarray, offset: int, phase: int) -> np.ndarray:
         """Fingerprint-join blocks against keys at one (offset, phase).
 
         The join is *banded* for decay tolerance: the fingerprint splits
@@ -399,19 +484,74 @@ class AesKeySearch:
         true windows keep at least one clean band.  Per-band false
         positives arrive at rate 2^-16 per (block, key) pair — a small,
         bounded stream of junk that dies in verification.
+
+        Returns the matching pairs as an ``(n, 2)`` int64 array of
+        ``(block_index, key_index)`` rows in ascending lexicographic
+        order — identical for both join implementations.
         """
         span = self.variant.span_bytes
         nk = self.variant.nk
         block_fp = _fingerprints(blocks[:, offset : offset + span], nk, phase)
-        key_fp = _fingerprints(self.keys[:, offset : offset + span], nk, phase)
-        n_bands = block_fp.shape[1] // 2
+        # np.concatenate output is C-contiguous, so the 2-byte bands can
+        # be reinterpreted as uint16 columns without a copy.
+        block_bands = block_fp.view(np.uint16)
+        key_bands, key_orders, key_indptrs = self._key_cache.bands(offset, phase)
+        if self.join == "dict":
+            return self._banded_join_dict(block_bands, key_bands)
+        return self._banded_join_sorted(block_bands, key_orders, key_indptrs)
 
-        # View each 2-byte band as one uint16 for dict-friendly hashing.
-        block_bands = block_fp.reshape(-1, n_bands, 2).copy().view(np.uint16).reshape(-1, n_bands)
-        key_bands = key_fp.reshape(-1, n_bands, 2).copy().view(np.uint16).reshape(-1, n_bands)
+    def _banded_join_sorted(
+        self,
+        block_bands: np.ndarray,
+        key_orders: tuple[np.ndarray, ...],
+        key_indptrs: tuple[np.ndarray, ...],
+    ) -> np.ndarray:
+        """Vectorised equi-join against the cached key-band order.
 
+        Per band, every block value's run of matching keys is found by
+        two gathers into the direct-address table (``indptr[v]`` /
+        ``indptr[v+1]`` bound the keys holding value ``v`` in the
+        band's sort order); each non-empty ``[left, left+count)`` run is
+        expanded into explicit ``(block, key)`` pairs with
+        cumulative-sum arithmetic — no Python-level loop over blocks or
+        keys.  Bands are unioned by encoding pairs as
+        ``block * n_keys + key`` and deduplicating with ``np.unique``,
+        which also yields the lexicographic order the dict join
+        produced.
+        """
+        n_keys = self.keys.shape[0]
+        codes: list[np.ndarray] = []
+        for band in range(block_bands.shape[1]):
+            indptr = key_indptrs[band]
+            values = block_bands[:, band].astype(np.int64)
+            left = indptr[values]
+            counts = indptr[values + 1] - left
+            rows = np.nonzero(counts)[0]
+            if rows.size == 0:
+                continue
+            left = left[rows]
+            counts = counts[rows]
+            # Flatten the runs [left[i], left[i] + counts[i]) without a
+            # loop: a vector of ones whose run boundaries are adjusted
+            # so its cumsum walks each run in turn.
+            total = int(counts.sum())
+            step = np.ones(total, dtype=np.int64)
+            step[0] = left[0]
+            boundaries = np.cumsum(counts)[:-1]
+            step[boundaries] = left[1:] - left[:-1] - counts[:-1] + 1
+            positions = np.cumsum(step)
+            key_index = key_orders[band][positions]
+            block_index = np.repeat(rows, counts)
+            codes.append(block_index * n_keys + key_index)
+        if not codes:
+            return np.empty((0, 2), dtype=np.int64)
+        merged = np.unique(np.concatenate(codes))
+        return np.stack((merged // n_keys, merged % n_keys), axis=1)
+
+    def _banded_join_dict(self, block_bands: np.ndarray, key_bands: np.ndarray) -> np.ndarray:
+        """The original Python hash join — the oracle the sorted join must match."""
         pairs: set[tuple[int, int]] = set()
-        for band in range(n_bands):
+        for band in range(block_bands.shape[1]):
             key_lookup: dict[int, list[int]] = {}
             for k, value in enumerate(key_bands[:, band].tolist()):
                 key_lookup.setdefault(value, []).append(k)
@@ -419,18 +559,35 @@ class AesKeySearch:
                 hit_keys = key_lookup.get(value)
                 if hit_keys is not None:
                     pairs.update((b, k) for k in hit_keys)
-        return sorted(pairs)
+        if not pairs:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.asarray(sorted(pairs), dtype=np.int64)
 
     def _verify_pairs(
         self,
         blocks: np.ndarray,
-        pairs: list[tuple[int, int]],
+        pairs: list[tuple[int, int]] | np.ndarray,
         offset: int,
         phase: int,
         tolerance_bits: int | None = None,
     ) -> list[ScheduleHit]:
-        """Full S-box verification of joined pairs at every compatible round."""
-        if not pairs:
+        """Full S-box verification of joined pairs at every compatible round.
+
+        Rounds sharing a phase share their expansion structure: the
+        transform applied to predicted word ``t`` depends only on
+        ``(phase + t) mod Nk``, so two rounds of the same phase predict
+        byte-identical words except for the round constant.  The Rcon
+        lands on byte 0 of word ``t0 = (-phase) mod Nk`` (when ``t0``
+        falls among the four predicted words) and — every later
+        predicted transform being the identity XOR — propagates
+        unchanged to byte 0 of each subsequent word.  One expansion per
+        phase therefore serves every round: per round, only the byte
+        columns ``4*t`` for ``t >= t0`` are re-popcounted against the
+        Rcon delta.  For phases with no Rcon among the predicted words
+        (e.g. AES-256 odd rounds), all rounds share one mismatch vector
+        outright.
+        """
+        if len(pairs) == 0:
             return []
         tolerance = self.verify_tolerance_bits if tolerance_bits is None else tolerance_bits
         variant = self.variant
@@ -442,16 +599,33 @@ class AesKeySearch:
         )
         window = data[:, : variant.window_bytes]
         check = data[:, variant.window_bytes :]
-        hits: list[ScheduleHit] = []
         # Every passing round is kept: odd-round expansion steps are
         # Rcon-free and therefore locally indistinguishable from each
         # other, so a window can legitimately match several rounds.  The
         # table-base grouping in recover_keys() — every window of one
         # schedule must agree on where the table starts — plus the
         # full-region confirmation resolve the ambiguity.
-        for round_index in variant.rounds_with_phase(phase):
-            predicted = batch_next_round_key(window, nk=nk, first_word_index=4 * round_index)
-            mismatch = POPCOUNT_TABLE[predicted ^ check].sum(axis=1, dtype=np.int64)
+        rounds = variant.rounds_with_phase(phase)
+        first_round = rounds[0]
+        predicted = batch_next_round_key(window, nk=nk, first_word_index=4 * first_round)
+        xored = predicted ^ check
+        base_mismatch = np.bitwise_count(xored).sum(axis=1, dtype=np.int64)
+        t0 = (-phase) % nk
+        if t0 < 4:
+            affected = np.ascontiguousarray(xored[:, 4 * t0 :: 4][:, : 4 - t0])
+            base_excluded = base_mismatch - np.bitwise_count(affected).sum(
+                axis=1, dtype=np.int64
+            )
+            rcon_first = Rcon((4 * first_round + nk + t0) // nk)
+        hits: list[ScheduleHit] = []
+        for round_index in rounds:
+            if t0 >= 4 or round_index == first_round:
+                mismatch = base_mismatch
+            else:
+                delta = rcon_first ^ Rcon((4 * round_index + nk + t0) // nk)
+                mismatch = base_excluded + np.bitwise_count(
+                    affected ^ np.uint8(delta)
+                ).sum(axis=1, dtype=np.int64)
             for row in np.nonzero(mismatch <= tolerance)[0]:
                 hits.append(
                     ScheduleHit(
@@ -504,6 +678,41 @@ class AesKeySearch:
                 extended.extend(self._verify_pairs(blocks, pairs, offset, phase))
         return extended
 
+    def _flip_matrix(self, n_bytes: int) -> np.ndarray:
+        """Rows of single-bit flips over ``n_bytes`` (bit 0 = MSB of byte 0)."""
+        cached = self._flips.get(n_bytes)
+        if cached is None:
+            cached = np.zeros((8 * n_bytes, n_bytes), dtype=np.uint8)
+            bits = np.arange(8 * n_bytes)
+            cached[bits, bits // 8] = 0x80 >> (bits % 8)
+            self._flips[n_bytes] = cached
+        return cached
+
+    def _window_ballots(
+        self, span: np.ndarray, round_index: int, repair_bits: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All ballots from one window, expanded in a single batch.
+
+        Returns ``(masters, schedules)``: the ``(n, key_bytes)`` master
+        keys and the ``(n, schedule_bytes)`` full expansions, one row
+        per ballot.  Row order matches the scalar path
+        (:meth:`_window_candidates`): the unrepaired window first, then
+        one row per flipped bit.  Since the backward recurrence ends at
+        word 0 and the forward pass re-derives everything from there,
+        each schedule row *is* ``expand_key`` of its master — recovery
+        scores rows directly instead of re-expanding every ballot in
+        Python.
+        """
+        window = np.asarray(span[: self.variant.window_bytes], dtype=np.uint8)
+        if repair_bits == 0:
+            windows = window[None, :]
+        else:
+            windows = np.vstack(
+                [window[None, :], window[None, :] ^ self._flip_matrix(len(window))]
+            )
+        schedules = batch_expand_from_window(windows, 4 * round_index, self.variant.nk)
+        return schedules[:, : self.variant.key_bits // 8], schedules
+
     def _window_candidates(
         self, span: np.ndarray, round_index: int, repair_bits: int
     ) -> list[bytes]:
@@ -531,7 +740,7 @@ class AesKeySearch:
         score = 0
         for round_index, span in spans:
             expected = expansion[16 * round_index : 16 * round_index + len(span)]
-            score += int(POPCOUNT_TABLE[expected ^ span].sum())
+            score += int(np.bitwise_count(expected ^ span).sum())
         return score
 
     def _region_mismatch(
@@ -563,9 +772,9 @@ class AesKeySearch:
             hi = min(base + length, (b + 1) * BLOCK_SIZE)
             expected = expansion[lo - base : hi - base]
             observed = blocks[b, lo - b * BLOCK_SIZE : hi - b * BLOCK_SIZE]
-            per_key = POPCOUNT_TABLE[
+            per_key = np.bitwise_count(
                 (observed ^ self.keys[:, lo - b * BLOCK_SIZE : hi - b * BLOCK_SIZE]) ^ expected
-            ].sum(axis=1, dtype=np.int64)
+            ).sum(axis=1, dtype=np.int64)
             best = int(per_key.min())
             slice_bits = 8 * (hi - lo)
             if best > 0.35 * slice_bits:
@@ -604,10 +813,10 @@ class AesKeySearch:
             lo = max(base, b * BLOCK_SIZE)
             hi = min(base + length, (b + 1) * BLOCK_SIZE)
             observed = blocks[b, lo - b * BLOCK_SIZE : hi - b * BLOCK_SIZE]
-            per_key = POPCOUNT_TABLE[
+            per_key = np.bitwise_count(
                 (observed ^ self.keys[:, lo - b * BLOCK_SIZE : hi - b * BLOCK_SIZE])
                 ^ guess[lo - base : hi - base]
-            ].sum(axis=1, dtype=np.int64)
+            ).sum(axis=1, dtype=np.int64)
             best = int(per_key.min())
             if best > 0.35 * 8 * (hi - lo):
                 pieces.append(guess[lo - base : hi - base].copy())
@@ -642,12 +851,13 @@ class AesKeySearch:
         best_agreement = 0.0
         schedule_bits = 8 * 4 * variant.total_words
 
-        def consider(ballots: list[tuple[bytes, int]]) -> None:
+        def consider(scored: dict[bytes, int], expansions: dict[bytes, np.ndarray]) -> None:
             """Region-confirm the span-score-ranked ballots."""
             nonlocal best_master, best_fraction, best_agreement
-            for master, _span_score in sorted(ballots, key=lambda item: item[1])[:8]:
-                expansion = np.frombuffer(expand_key(master), dtype=np.uint8)
-                mismatch, counted_bits = self._region_mismatch(blocks, base, expansion)
+            for master, _span_score in sorted(scored.items(), key=lambda item: item[1])[:8]:
+                mismatch, counted_bits = self._region_mismatch(
+                    blocks, base, expansions[master]
+                )
                 fraction = mismatch / counted_bits
                 if fraction < best_fraction:
                     best_fraction = fraction
@@ -663,12 +873,19 @@ class AesKeySearch:
 
         for repair in range(self.repair_bits + 1):
             scored: dict[bytes, int] = {}
+            expansions: dict[bytes, np.ndarray] = {}
             for hit, (round_index, span) in group_sorted:
-                for master in self._window_candidates(span, round_index, repair):
+                masters, schedules = self._window_ballots(span, round_index, repair)
+                scores = np.zeros(len(schedules), dtype=np.int64)
+                for span_round, span_data in spans:
+                    segment = schedules[:, 16 * span_round : 16 * span_round + len(span_data)]
+                    scores += np.bitwise_count(segment ^ span_data).sum(axis=1, dtype=np.int64)
+                for row, master_row in enumerate(masters):
+                    master = master_row.tobytes()
                     if master not in scored:
-                        expansion = np.frombuffer(expand_key(master), dtype=np.uint8)
-                        scored[master] = self._span_score(expansion, spans)
-            consider(list(scored.items()))
+                        scored[master] = int(scores[row])
+                        expansions[master] = schedules[row]
+            consider(scored, expansions)
             if best_master is not None and best_fraction <= clearly_clean:
                 break
 
@@ -692,6 +909,7 @@ class AesKeySearch:
                 table = repair_observed_table(table, variant.key_bits, known_bytes=known)
                 for repair in range(self.repair_bits + 1):
                     scored = {}
+                    expansions = {}
                     for round_index in range(0, (variant.total_words - variant.nk) // 4 + 1):
                         lo = 16 * round_index
                         window = table[lo : lo + variant.window_bytes]
@@ -699,13 +917,16 @@ class AesKeySearch:
                             break
                         if not known[lo : lo + variant.window_bytes].all():
                             continue  # never ballot from guess-filled bytes
-                        for master in self._window_candidates(window, round_index, repair):
+                        masters, schedules = self._window_ballots(window, round_index, repair)
+                        scores = np.bitwise_count((schedules ^ table[None, :])[:, known]).sum(
+                            axis=1, dtype=np.int64
+                        )
+                        for row, master_row in enumerate(masters):
+                            master = master_row.tobytes()
                             if master not in scored:
-                                expansion = np.frombuffer(expand_key(master), dtype=np.uint8)
-                                scored[master] = int(
-                                    POPCOUNT_TABLE[(expansion ^ table)[known]].sum()
-                                )
-                    consider(list(scored.items()))
+                                scored[master] = int(scores[row])
+                                expansions[master] = schedules[row]
+                    consider(scored, expansions)
                     if best_fraction <= clearly_clean:
                         break
                 if best_fraction <= clearly_clean or best_fraction >= before:

@@ -25,7 +25,6 @@ import numpy as np
 
 from repro.attack.litmus import key_litmus_mismatch_bits
 from repro.dram.image import MemoryImage
-from repro.util.bits import POPCOUNT_TABLE
 from repro.util.blocks import BLOCK_SIZE
 
 #: Default cap on how much of the dump the miner examines — the paper's
@@ -82,43 +81,57 @@ def mine_scrambler_keys(
     if passing.shape[0] == 0:
         return []
 
-    # Group exact duplicates first (cheap), then merge near-duplicates.
-    exact_groups: dict[bytes, int] = {}
-    for row in passing:
-        value = row.tobytes()
-        exact_groups[value] = exact_groups.get(value, 0) + 1
-
+    # Group exact duplicates first — vectorised: np.unique over rows
+    # replaces a Python dict walk of every passing block.  Then merge
+    # near-duplicates.
+    unique_rows, unique_counts = np.unique(passing, axis=0, return_counts=True)
     # Representatives in descending count order, so the best-supported
-    # version of a key absorbs its decayed variants.
-    ordered = sorted(exact_groups.items(), key=lambda item: (-item[1], item[0]))
-    rep_array = np.empty((len(ordered), BLOCK_SIZE), dtype=np.uint8)
+    # version of a key absorbs its decayed variants.  The stable sort
+    # keeps np.unique's lexicographic order as the tie-break, matching
+    # the dict-based ordering this replaced.
+    order = np.argsort(-unique_counts, kind="stable")
+    unique_rows = unique_rows[order]
+    ordered_counts = unique_counts[order].tolist()
+
+    # Greedy nearest-representative merge.  The Hamming distances run on
+    # uint64 views with a hardware popcount — 8 words per key instead of
+    # 64 table lookups — which is what makes the O(uniques × reps) walk
+    # affordable on a 16 MiB mining window.
+    unique_words = unique_rows.view(np.uint64)
+    rep_words = np.empty((len(ordered_counts), BLOCK_SIZE // 8), dtype=np.uint64)
     n_reps = 0
     counts: list[int] = []
-    members: list[list[tuple[bytes, int]]] = []
-    for value, count in ordered:
-        row = np.frombuffer(value, dtype=np.uint8)
+    members: list[list[tuple[np.ndarray, int]]] = []
+    for index, count in enumerate(ordered_counts):
+        row = unique_rows[index]
         if n_reps and merge_radius_bits > 0:
-            distances = POPCOUNT_TABLE[rep_array[:n_reps] ^ row].sum(axis=1)
+            distances = np.bitwise_count(rep_words[:n_reps] ^ unique_words[index]).sum(
+                axis=1, dtype=np.int64
+            )
             best = int(np.argmin(distances))
             if int(distances[best]) <= merge_radius_bits:
                 counts[best] += count
-                members[best].append((value, count))
+                members[best].append((row, count))
                 continue
-        rep_array[n_reps] = row
+        rep_words[n_reps] = unique_words[index]
         n_reps += 1
         counts.append(count)
-        members.append([(value, count)])
+        members.append([(row, count)])
 
     candidates = []
     for cluster, count in zip(members, counts):
         if count < min_count:
             continue
-        # Expand weighted members for the majority vote (bounded: decay
-        # variants are few; weight caps keep this small).
-        rows = []
-        for value, value_count in cluster:
-            rows.extend([np.frombuffer(value, dtype=np.uint8)] * min(value_count, 32))
-        voted = _majority_vote(np.vstack(rows))
+        if len(cluster) == 1:
+            # Majority over identical copies is the copy itself.
+            voted = cluster[0][0].tobytes()
+        else:
+            # Expand weighted members for the majority vote (bounded:
+            # decay variants are few; weight caps keep this small).
+            rows = []
+            for row, value_count in cluster:
+                rows.extend([row] * min(value_count, 32))
+            voted = _majority_vote(np.vstack(rows))
         candidates.append(
             CandidateKey(
                 key=voted,

@@ -23,7 +23,23 @@ without re-searching anything (``checkpoint=path``).
 
 `shard_image` / `merge_recovered` are pure and tested directly; the
 orchestrator works with `workers=1` (in-process) or `workers>1`
-(multiprocessing, fork-safe: shards and key matrices are pickled).
+(multiprocessing).
+
+Zero-copy dispatch
+------------------
+
+Shards are *views*: :func:`shard_image` slices the dump with
+``memoryview``, so a shard owns ``(base_offset, length)`` — never a
+copy of the bytes.  For multi-process scans the dump and the mined key
+matrix are published once into POSIX shared memory
+(:class:`repro.dram.image.SharedDumpBuffer`); every worker process
+attaches in its pool initializer (:func:`_init_scan_worker`) and builds
+its :class:`~repro.attack.aes_search.KeyFingerprintCache` once.  A
+shard task then pickles to ``(length, fault_plan)`` plus an integer
+offset — well under a kilobyte regardless of dump size — and a retried
+or rescheduled shard re-ships nothing.  When the resilient executor
+rebuilds a broken pool, the fresh processes re-run the initializer and
+re-attach automatically.
 """
 
 from __future__ import annotations
@@ -34,10 +50,10 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.attack.aes_search import AesKeySearch, RecoveredAesKey
+from repro.attack.aes_search import AesKeySearch, KeyFingerprintCache, RecoveredAesKey
 from repro.attack.keymine import keys_matrix, mine_scrambler_keys
 from repro.crypto.aes import schedule_bytes
-from repro.dram.image import MemoryImage
+from repro.dram.image import MemoryImage, SharedDumpBuffer
 from repro.resilience.checkpoint import CheckpointJournal, JournalHeader, dump_fingerprint
 from repro.resilience.errors import ShardLayoutError
 from repro.resilience.executor import (
@@ -53,7 +69,13 @@ from repro.util.blocks import BLOCK_SIZE
 
 @dataclass(frozen=True)
 class Shard:
-    """One slice of a dump, with its offset in the original image."""
+    """One slice of a dump, with its offset in the original image.
+
+    ``image`` is a zero-copy view into the parent dump's buffer (see
+    :meth:`MemoryImage.view`): a shard is fully described by
+    ``(base_offset, length)``, which is all that crosses the process
+    boundary when shards are dispatched to workers.
+    """
 
     base_offset: int
     image: MemoryImage
@@ -61,6 +83,11 @@ class Shard:
     def __post_init__(self) -> None:
         if self.base_offset % BLOCK_SIZE:
             raise ShardLayoutError("shard offsets must be block-aligned")
+
+    @property
+    def length(self) -> int:
+        """Shard size in bytes."""
+        return len(self.image)
 
 
 def shard_image(dump: MemoryImage, n_shards: int, overlap_bytes: int) -> list[Shard]:
@@ -86,8 +113,13 @@ def shard_image(dump: MemoryImage, n_shards: int, overlap_bytes: int) -> list[Sh
         if start_block >= total_blocks:
             break
         stop_block = min(total_blocks, start_block + per_shard + overlap_blocks)
-        data = dump.data[start_block * BLOCK_SIZE : stop_block * BLOCK_SIZE]
-        shards.append(Shard(base_offset=start_block * BLOCK_SIZE, image=MemoryImage(data)))
+        start = start_block * BLOCK_SIZE
+        shards.append(
+            Shard(
+                base_offset=start,
+                image=dump.view(start, stop_block * BLOCK_SIZE - start, base_address=0),
+            )
+        )
     return shards
 
 
@@ -157,6 +189,99 @@ def _search_shard(
     return search.recover_keys(MemoryImage(shard_data))
 
 
+#: Per-process scan state installed by :func:`_init_scan_worker`: the
+#: attached dump buffer, the key matrix, and the key-side fingerprint
+#: cache every shard task in this process reuses.
+_WORKER_STATE: dict = {}
+
+
+def _resolve_buffer(ref: tuple) -> tuple[SharedDumpBuffer | None, object]:
+    """Materialise a buffer reference into ``(holder, buffer)``.
+
+    ``("shm", name, length)`` attaches the named shared-memory segment
+    (the holder keeps the mapping alive); ``("buffer", obj)`` is the
+    in-process fast path used by serial and degraded execution.
+    """
+    kind = ref[0]
+    if kind == "shm":
+        _, name, length = ref
+        holder = SharedDumpBuffer.attach(name, length)
+        return holder, holder.view
+    if kind == "buffer":
+        return None, ref[1]
+    raise ValueError(f"unknown buffer reference kind: {kind!r}")
+
+
+def _release_worker_state() -> None:
+    """Drop this process's scan state and close any attached segments.
+
+    The state (dump view, keys array) must be dropped *before* the
+    segments close — a mapping cannot be torn down while views into it
+    are still exported.
+    """
+    holders = _WORKER_STATE.pop("holders", ())
+    _WORKER_STATE.clear()
+    for holder in holders:
+        if holder is not None:
+            holder.close()
+
+
+def _init_scan_worker(dump_ref: tuple, keys_ref: tuple, key_bits: int) -> None:
+    """Attach dump + key matrix once per worker process (pool initializer).
+
+    Runs in every process of a fresh pool — including the processes of
+    a pool the resilient executor rebuilt after a crash or hang, so
+    re-attachment across pool generations needs no extra bookkeeping.
+    The key-side fingerprint cache is built here once and shared by all
+    shard tasks (and all retries) this process ever executes.
+    """
+    _release_worker_state()
+    dump_holder, dump_view = _resolve_buffer(dump_ref)
+    keys_holder, keys_view = _resolve_buffer(keys_ref)
+    keys = np.frombuffer(keys_view, dtype=np.uint8).reshape(-1, BLOCK_SIZE)
+    _WORKER_STATE.update(
+        dump=dump_view,
+        keys=keys,
+        key_bits=key_bits,
+        key_cache=KeyFingerprintCache(keys, key_bits),
+        holders=(dump_holder, keys_holder),
+    )
+
+
+def _scan_shard_task(
+    payload: tuple[int, FaultPlan | None],
+    shard_offset: int,
+    attempt: int,
+    in_subprocess: bool,
+) -> list[RecoveredAesKey]:
+    """Worker: search one shard of the pre-attached dump.
+
+    The payload is ``(length, fault_plan)`` — with the dump and keys
+    attached by :func:`_init_scan_worker`, a shard is just a window
+    ``[shard_offset, shard_offset + length)`` over the shared buffer.
+    Retries re-enter here with a bumped ``attempt`` and re-ship nothing.
+    """
+    length, fault_plan = payload
+    state = _WORKER_STATE
+    if "dump" not in state:
+        raise RuntimeError("scan worker used before _init_scan_worker ran")
+    shard_view = memoryview(state["dump"])[shard_offset : shard_offset + length]
+    if fault_plan is not None:
+        # Fault injection mutates its copy of the shard, never the
+        # shared buffer every sibling is scanning.
+        image = MemoryImage(
+            fault_plan.apply(
+                shard_offset, attempt, bytes(shard_view), in_subprocess=in_subprocess
+            )
+        )
+    else:
+        image = MemoryImage(shard_view)
+    search = AesKeySearch(
+        state["keys"], key_bits=state["key_bits"], key_cache=state["key_cache"]
+    )
+    return search.recover_keys(image)
+
+
 @dataclass
 class ScanReport:
     """A resilient sharded scan's findings plus its execution ledger."""
@@ -211,7 +336,6 @@ def resilient_recover_keys(
     mine_seconds = time.perf_counter() - start
     if not candidates:
         return ScanReport(candidates=[], mine_seconds=mine_seconds)
-    keys_blob = keys_matrix(candidates).tobytes()
     overlap = schedule_bytes(key_bits) + BLOCK_SIZE
     shards = shard_image(dump, n_shards=n_shards or workers, overlap_bytes=overlap)
 
@@ -240,20 +364,48 @@ def resilient_recover_keys(
                 result=already_done[shard.base_offset],
             )
             continue
-        jobs[shard.base_offset] = (shard.image.data, keys_blob, key_bits, fault_plan)
+        jobs[shard.base_offset] = (shard.length, fault_plan)
 
     if jobs:
-        # Journal the instant each shard completes — a scan killed
-        # mid-run must find every finished shard on disk when it resumes.
-        on_result = None if journal is None else journal.record
-        runner = ResilientShardRunner(
-            _search_shard,
-            policy=policy,
-            workers=workers,
-            on_event=on_event,
-            on_result=on_result,
-        )
-        run_ledger = runner.run(jobs)
+        # The key matrix is only materialised when there is work left to
+        # run — a fully-resumed scan (every shard already journalled)
+        # skips both the matrix build and the shared-memory publication.
+        keys_mat = keys_matrix(candidates)
+        shared_buffers: list[SharedDumpBuffer] = []
+        if workers > 1:
+            # Publish dump + keys once; workers attach by name in their
+            # pool initializer.  Shard payloads carry only (length,
+            # fault_plan), so nothing scales with dump size.
+            dump_buf = SharedDumpBuffer.create(dump.data)
+            keys_buf = SharedDumpBuffer.create(keys_mat.tobytes())
+            shared_buffers = [dump_buf, keys_buf]
+            dump_ref = ("shm", dump_buf.name, dump_buf.length)
+            keys_ref = ("shm", keys_buf.name, keys_buf.length)
+        else:
+            dump_ref = ("buffer", dump.data)
+            keys_ref = ("buffer", keys_mat.tobytes())
+        try:
+            # Journal the instant each shard completes — a scan killed
+            # mid-run must find every finished shard on disk when it
+            # resumes.
+            on_result = None if journal is None else journal.record
+            runner = ResilientShardRunner(
+                _scan_shard_task,
+                policy=policy,
+                workers=workers,
+                on_event=on_event,
+                on_result=on_result,
+                initializer=_init_scan_worker,
+                initargs=(dump_ref, keys_ref, key_bits),
+            )
+            run_ledger = runner.run(jobs)
+        finally:
+            # The parent may itself have attached (serial or degraded
+            # execution runs the initializer in-process) — release its
+            # state before destroying the segments.
+            _release_worker_state()
+            for buffer in shared_buffers:
+                buffer.unlink()
         report.ledger.pool_rebuilds = run_ledger.pool_rebuilds
         report.ledger.degraded_to_serial = run_ledger.degraded_to_serial
         report.ledger.outcomes.update(run_ledger.outcomes)

@@ -77,6 +77,25 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
+    if args.profile:
+        # Wrap the whole scan in cProfile and show where the time went.
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return _run_attack(args)
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative")
+            print("\n[profile] top 20 functions by cumulative time:", file=sys.stderr)
+            stats.print_stats(20)
+    return _run_attack(args)
+
+
+def _run_attack(args: argparse.Namespace) -> int:
     from repro.attack import AttackConfig, Ddr4ColdBootAttack
     from repro.attack.report import save_report_json
 
@@ -319,6 +338,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shard count (default: one per worker)")
     attack.add_argument("--checkpoint", metavar="PATH",
                         help="journal completed shards to this JSONL file")
+    attack.add_argument("--profile", action="store_true",
+                        help="run the scan under cProfile and print the top 20 "
+                             "functions by cumulative time to stderr")
     attack.add_argument("--resume", action="store_true",
                         help="skip shards already in the checkpoint journal "
                              "(default journal: <dump>.checkpoint.jsonl)")

@@ -210,6 +210,61 @@ def batch_next_round_key(blocks: np.ndarray, nk: int, first_word_index: int) -> 
     return np.concatenate(out_words, axis=1)
 
 
+def _batch_transform(temp: np.ndarray, index: int, nk: int) -> np.ndarray:
+    """The expansion transform T at ``index`` applied to ``(N, 4)`` words."""
+    if index % nk == 0:
+        out = SBOX[np.roll(temp, -1, axis=1)]
+        out[:, 0] ^= Rcon(index // nk)
+        return out
+    if nk > 6 and index % nk == 4:
+        return SBOX[temp]
+    return temp
+
+
+def batch_expand_from_window(
+    windows: np.ndarray, first_index: int, nk: int
+) -> np.ndarray:
+    """Vectorised whole-schedule reconstruction from mid-schedule windows.
+
+    ``windows`` is an ``(N, 4 * nk)`` uint8 array; each row holds ``nk``
+    consecutive schedule words assumed to start at absolute word index
+    ``first_index``.  The expansion recurrence is bijective, so every
+    row's full schedule is recovered by running it backwards to word 0
+    and forwards to the end — ``4 * (Nr + 1)`` words, returned as an
+    ``(N, 16 * (Nr + 1))`` uint8 array.
+
+    One row of the result equals
+    ``reconstruct_schedule(row_words, first_index, key_bits)``; batching
+    moves the attack's ballot stage (hundreds of single-bit repair
+    variants per observed window) from per-candidate Python loops onto
+    numpy, which is what makes large-dump scans affordable.
+    """
+    if nk not in _ROUNDS_FOR_NK:
+        raise ValueError(f"unsupported Nk: {nk}")
+    windows = np.asarray(windows, dtype=np.uint8)
+    if windows.ndim != 2 or windows.shape[1] != 4 * nk:
+        raise ValueError(f"windows must be (N, {4 * nk}), got {windows.shape}")
+    total = 4 * (_ROUNDS_FOR_NK[nk] + 1)
+    if first_index < 0 or first_index + nk > total:
+        raise ValueError("window does not fit the schedule")
+    window = [windows[:, 4 * w : 4 * w + 4] for w in range(nk)]
+    # Backwards: invert w[i] = w[i-Nk] ^ T_i(w[i-1]) at the window head.
+    index = first_index
+    while index > 0:
+        i = index + nk - 1
+        temp = _batch_transform(window[-2], i, nk)
+        window = [window[-1] ^ temp] + window[:-1]
+        index -= 1
+    # Forwards from word nk to the end of the schedule.
+    words = list(window)
+    i = nk
+    while len(words) < total:
+        temp = _batch_transform(words[-1], i, nk)
+        words.append(words[-nk] ^ temp)
+        i += 1
+    return np.concatenate(words, axis=1)
+
+
 def _bytes_to_state(block: bytes) -> list[list[int]]:
     """Load a 16-byte block into the column-major AES state matrix."""
     return [[block[r + 4 * c] for c in range(4)] for r in range(4)]

@@ -4,11 +4,24 @@ A :class:`MemoryImage` is an immutable snapshot of (a region of) DRAM —
 either a raw module dump or a dump read back through a (de)scrambler.
 Everything downstream (key mining, AES search, correlation analysis)
 consumes these.
+
+Zero-copy backing
+-----------------
+
+``data`` is any buffer-protocol object — ``bytes``, a ``memoryview``
+over another image's buffer, an ``mmap`` of a dump file
+(:meth:`MemoryImage.load_mapped`), or a view into POSIX shared memory
+(:class:`SharedDumpBuffer`).  Nothing downstream copies it:
+:meth:`blocks_matrix` and the attack's shard views all alias the same
+physical pages, which is what lets a multi-gigabyte scan ship shards to
+worker processes as ``(offset, length)`` pairs instead of pickled
+bytes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import mmap
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -18,11 +31,11 @@ from repro.util.bits import hamming_distance_arrays
 from repro.util.blocks import BLOCK_SIZE, as_block_matrix
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class MemoryImage:
     """An immutable dump of physical memory starting at ``base_address``."""
 
-    data: bytes
+    data: bytes | bytearray | memoryview
     base_address: int = 0
 
     def __post_init__(self) -> None:
@@ -34,6 +47,13 @@ class MemoryImage:
     def __len__(self) -> int:
         return len(self.data)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryImage):
+            return NotImplemented
+        return self.base_address == other.base_address and bytes(self.data) == bytes(
+            other.data
+        )
+
     @property
     def n_blocks(self) -> int:
         """Number of 64-byte blocks in the image."""
@@ -43,7 +63,7 @@ class MemoryImage:
         """The ``index``-th 64-byte block."""
         if not 0 <= index < self.n_blocks:
             raise IndexError(f"block {index} out of range (0..{self.n_blocks - 1})")
-        return self.data[index * BLOCK_SIZE : (index + 1) * BLOCK_SIZE]
+        return bytes(self.data[index * BLOCK_SIZE : (index + 1) * BLOCK_SIZE])
 
     def block_address(self, index: int) -> int:
         """Physical address of the ``index``-th block."""
@@ -52,6 +72,21 @@ class MemoryImage:
     def blocks_matrix(self) -> np.ndarray:
         """The image as an ``(n_blocks, 64)`` uint8 matrix (zero copy)."""
         return as_block_matrix(self.data)
+
+    def view(self, start: int, length: int, base_address: int | None = None) -> "MemoryImage":
+        """A zero-copy sub-image of ``length`` bytes starting at ``start``.
+
+        The returned image aliases this image's buffer — this is how
+        shards reference their slice of a dump without duplicating it.
+        """
+        if start % BLOCK_SIZE or length % BLOCK_SIZE:
+            raise DumpFormatError("sub-image bounds must be block-aligned")
+        if start < 0 or length < 0 or start + length > len(self.data):
+            raise DumpFormatError(
+                f"sub-image [{start}, {start + length}) outside image of {len(self.data)} bytes"
+            )
+        address = self.base_address + start if base_address is None else base_address
+        return MemoryImage(memoryview(self.data)[start : start + length], address)
 
     def xor(self, other: "MemoryImage") -> "MemoryImage":
         """Blockwise XOR of two images of the same region.
@@ -84,6 +119,33 @@ class MemoryImage:
         return cls(Path(path).read_bytes(), base_address)
 
     @classmethod
+    def load_mapped(cls, path: str | Path, base_address: int = 0) -> "MemoryImage":
+        """Memory-map a dump file instead of reading it into the heap.
+
+        The image's buffer is the page cache itself: an 8 GB dump costs
+        no RSS until blocks are actually scanned, and a torn trailing
+        partial block is clipped exactly as :meth:`load_tolerant` does.
+        """
+        target = Path(path)
+        try:
+            with open(target, "rb") as handle:
+                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except FileNotFoundError:
+            raise DumpFormatError(f"dump file not found: {target}") from None
+        except IsADirectoryError:
+            raise DumpFormatError(f"dump path is a directory, not a file: {target}") from None
+        except (OSError, ValueError) as exc:
+            raise DumpFormatError(f"cannot map dump {target}: {exc}") from exc
+        usable = len(mapped) - len(mapped) % BLOCK_SIZE
+        if usable == 0:
+            mapped.close()
+            raise DumpFormatError(
+                f"dump {target} holds {len(mapped)} bytes — not even one "
+                f"{BLOCK_SIZE}-byte block"
+            )
+        return cls(memoryview(mapped)[:usable], base_address)
+
+    @classmethod
     def load_tolerant(cls, path: str | Path, base_address: int = 0) -> "MemoryImage":
         """Read a possibly-damaged dump, degrading instead of crashing.
 
@@ -109,3 +171,83 @@ class MemoryImage:
                 f"{BLOCK_SIZE}-byte block"
             )
         return cls(data[:usable], base_address)
+
+
+@dataclass
+class SharedDumpBuffer:
+    """A dump (or key matrix) published once in POSIX shared memory.
+
+    The parent copies the bytes into a ``multiprocessing.shared_memory``
+    segment exactly once; every worker process attaches by name and
+    reads the same physical pages.  Shard dispatch then ships only
+    ``(offset, length)`` — no dump bytes cross the pickle boundary, and
+    a retried or rescheduled shard costs nothing to re-send.
+
+    Lifecycle: the creating side calls :meth:`unlink` when the scan is
+    over (``close`` merely drops this process's mapping).  Attached
+    sides just :meth:`close`; they are unregistered from the resource
+    tracker so a worker exiting does not tear the segment down under
+    its siblings.
+    """
+
+    name: str
+    length: int
+    _shm: object = field(repr=False)
+    _owner: bool = field(default=False, repr=False)
+
+    @classmethod
+    def create(cls, data: bytes | bytearray | memoryview) -> "SharedDumpBuffer":
+        """Publish ``data`` into a fresh shared-memory segment (one copy)."""
+        from multiprocessing import shared_memory
+
+        length = len(data)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, length))
+        shm.buf[:length] = bytes(data) if not isinstance(data, bytes) else data
+        return cls(name=shm.name, length=length, _shm=shm, _owner=True)
+
+    @classmethod
+    def attach(cls, name: str, length: int) -> "SharedDumpBuffer":
+        """Attach to a segment created elsewhere (zero copy)."""
+        from multiprocessing import resource_tracker, shared_memory
+
+        # Attaching registers the segment with the resource tracker,
+        # which would "clean up" (unlink!) the segment when any single
+        # worker exits — and with forked workers sharing one tracker,
+        # even a register/unregister pair from sibling workers races.
+        # Only the creator owns the lifecycle, so suppress registration
+        # entirely for the duration of the attach.
+        original_register = resource_tracker.register
+        try:  # pragma: no cover — tracker internals vary across versions
+            resource_tracker.register = lambda *args, **kwargs: None
+        except Exception:
+            pass
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        return cls(name=name, length=length, _shm=shm, _owner=False)
+
+    @property
+    def view(self) -> memoryview:
+        """The published bytes (a writable view; treat as read-only)."""
+        return self._shm.buf[: self.length]  # type: ignore[attr-defined]
+
+    def image(self, base_address: int = 0) -> MemoryImage:
+        """The published dump as a zero-copy :class:`MemoryImage`."""
+        return MemoryImage(self.view, base_address)
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        try:
+            self._shm.close()  # type: ignore[attr-defined]
+        except Exception:  # pragma: no cover — already closed
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment; only the creating side should call this."""
+        self.close()
+        if self._owner:
+            try:
+                self._shm.unlink()  # type: ignore[attr-defined]
+            except Exception:  # pragma: no cover — already unlinked
+                pass

@@ -190,6 +190,15 @@ class CheckpointJournal:
         if not records:
             raise CheckpointCorruptError(f"{self.path}: journal header is torn")
         header = JournalHeader.from_json(records[0])
+        if header.overlap_bytes != self.header.overlap_bytes:
+            # Called out separately from the generic header check: an
+            # overlap mismatch means the shard geometry the journal's
+            # offsets describe no longer exists, so resuming would merge
+            # results from incompatible shard layouts.
+            raise CheckpointCorruptError(
+                f"{self.path}: journal overlap_bytes={header.overlap_bytes} does not "
+                f"match this scan's overlap_bytes={self.header.overlap_bytes}"
+            )
         if header != self.header:
             raise CheckpointCorruptError(
                 f"{self.path}: journal belongs to a different scan "

@@ -105,6 +105,14 @@ class ResilientShardRunner:
     ``on_result(shard_offset, result)`` (optional) fires the moment a
     shard completes — this is the checkpoint journal's hook, so it must
     run *before* the next shard is awaited, not after the whole run.
+
+    ``initializer(*initargs)`` (optional) runs once in every worker
+    process when a pool is (re)built — the shared-memory attach hook:
+    workers map the dump and key matrix once per process, and because a
+    rebuilt pool spawns fresh processes, re-attachment after a crash or
+    hang is automatic.  Serial and degraded execution call the same
+    initializer in-process (once) so the worker callable sees one
+    protocol everywhere.
     """
 
     def __init__(
@@ -115,6 +123,8 @@ class ResilientShardRunner:
         on_event: Callable[[str], None] | None = None,
         on_result: Callable[[int, Any], None] | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -124,6 +134,9 @@ class ResilientShardRunner:
         self.on_event = on_event or (lambda message: None)
         self.on_result = on_result or (lambda offset, result: None)
         self.sleep = sleep
+        self.initializer = initializer
+        self.initargs = initargs
+        self._serial_initialized = False
 
     # ------------------------------------------------------------------ api
 
@@ -215,6 +228,9 @@ class ResilientShardRunner:
         ledger: RunLedger,
     ) -> None:
         """In-process execution with retries (no hang protection)."""
+        if self.initializer is not None and not self._serial_initialized:
+            self.initializer(*self.initargs)
+            self._serial_initialized = True
         while True:
             attempts[offset] += 1
             try:
@@ -246,7 +262,11 @@ class ResilientShardRunner:
         """
         finished: list[int] = []
         timeout = self.policy.shard_timeout_s
-        pool = ProcessPoolExecutor(max_workers=self.workers)
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=self.initializer,
+            initargs=self.initargs,
+        )
         broken = False
         try:
             futures: dict[Future, int] = {}
@@ -287,13 +307,20 @@ class ResilientShardRunner:
                             finished.append(offset)
                         else:
                             self.sleep(self.policy.delay_s(offset, attempts[offset]))
-                            retry = pool.submit(
-                                self.worker, pending[offset], offset, attempts[offset] + 1, True
-                            )
-                            attempts[offset] += 1
-                            futures[retry] = offset
-                            if timeout is not None:
-                                deadlines[retry] = time.monotonic() + timeout
+                            try:
+                                retry = pool.submit(
+                                    self.worker, pending[offset], offset, attempts[offset] + 1, True
+                                )
+                            except BrokenProcessPool:
+                                # A sibling's death broke the pool while
+                                # this shard was being resubmitted; leave
+                                # it pending for the rebuilt pool.
+                                broken = True
+                            else:
+                                attempts[offset] += 1
+                                futures[retry] = offset
+                                if timeout is not None:
+                                    deadlines[retry] = time.monotonic() + timeout
                     else:
                         self._record_ok(offset, result, attempts, errors, ledger)
                         finished.append(offset)

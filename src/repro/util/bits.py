@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 #: Per-byte population count, indexed by byte value.  Built once at import.
-POPCOUNT_TABLE = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
+POPCOUNT_TABLE = np.array([v.bit_count() for v in range(256)], dtype=np.uint8)
 
 
 def popcount8(value: int) -> int:

@@ -27,13 +27,18 @@ def iter_blocks(data: bytes) -> Iterator[tuple[int, bytes]]:
         yield i, data[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE]
 
 
-def as_block_matrix(data: bytes | bytearray | np.ndarray) -> np.ndarray:
+def as_block_matrix(data: bytes | bytearray | memoryview | np.ndarray) -> np.ndarray:
     """View ``data`` as an ``(n_blocks, 64)`` uint8 matrix (zero copy).
 
     Trailing bytes that do not fill a whole block are ignored, matching
-    how the attack scans dumps block-by-block.
+    how the attack scans dumps block-by-block.  Any buffer-protocol
+    object works — ``bytes``, ``bytearray``, ``memoryview`` (including
+    views over ``mmap`` or ``multiprocessing.shared_memory`` buffers) —
+    and none of them is copied: the matrix aliases the caller's memory.
     """
-    arr = np.frombuffer(bytes(data), dtype=np.uint8) if not isinstance(data, np.ndarray) else data
-    arr = np.asarray(arr, dtype=np.uint8).ravel()
+    if isinstance(data, np.ndarray):
+        arr = np.asarray(data, dtype=np.uint8).ravel()
+    else:
+        arr = np.frombuffer(data, dtype=np.uint8)
     n = len(arr) // BLOCK_SIZE
     return arr[: n * BLOCK_SIZE].reshape(n, BLOCK_SIZE)

@@ -1,0 +1,96 @@
+"""Zero-copy shard dispatch: tiny payloads, shared memory, pool rebuilds.
+
+The sharded scan publishes the dump and key matrix once (POSIX shared
+memory when a pool is used) and ships each shard as ``(offset, length)``.
+These tests pin the three load-bearing properties:
+
+* a shard task's pickled payload stays under 1 KiB no matter how large
+  the dump grows;
+* :class:`SharedDumpBuffer` attach/close never tears the segment down
+  under the creator;
+* a SIGKILLed worker breaks the pool, and the rebuilt pool's fresh
+  processes re-attach the shared memory and still converge.
+"""
+
+import pickle
+
+import pytest
+
+from repro.attack.parallel import resilient_recover_keys, shard_image
+from repro.attack.sweep import synthetic_dump
+from repro.crypto.aes import schedule_bytes
+from repro.dram.image import SharedDumpBuffer
+from repro.resilience.executor import ResilientShardRunner
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.resilience.retry import RetryPolicy
+
+
+class TestSharedDumpBuffer:
+    def test_attach_sees_created_bytes(self):
+        payload = bytes(range(256)) * 16
+        owner = SharedDumpBuffer.create(payload)
+        try:
+            attached = SharedDumpBuffer.attach(owner.name, owner.length)
+            assert bytes(attached.view) == payload
+            assert attached.image().block(0) == payload[:64]
+            attached.close()
+        finally:
+            owner.unlink()
+
+    def test_non_owner_unlink_leaves_segment_alive(self):
+        owner = SharedDumpBuffer.create(b"\xa5" * 64)
+        try:
+            attached = SharedDumpBuffer.attach(owner.name, 64)
+            attached.unlink()  # non-owners only close
+            again = SharedDumpBuffer.attach(owner.name, 64)
+            assert bytes(again.view) == b"\xa5" * 64
+            again.close()
+        finally:
+            owner.unlink()
+
+
+@pytest.mark.parametrize("n_blocks", [2048, 16384])
+def test_shard_payload_under_1kib_regardless_of_dump_size(monkeypatch, n_blocks):
+    captured = {}
+    original_run = ResilientShardRunner.run
+
+    def spy(self, jobs):
+        captured.update(jobs)
+        return original_run(self, jobs)
+
+    monkeypatch.setattr(ResilientShardRunner, "run", spy)
+    dump, _, _ = synthetic_dump(0.0, n_blocks=n_blocks, seed=3)
+    resilient_recover_keys(dump, key_bits=256, workers=1, n_shards=4)
+    assert captured
+    for offset, payload in captured.items():
+        wire_size = len(pickle.dumps((payload, offset), protocol=pickle.HIGHEST_PROTOCOL))
+        assert wire_size < 1024
+
+
+def test_pool_rebuild_reattaches_shared_memory():
+    """A killed worker breaks the pool; the rebuilt pool still converges.
+
+    The kill lands on the first attempt of shard 0, so the scan must
+    survive one BrokenProcessPool, respawn workers (whose initializer
+    re-attaches the shared dump and key matrix), retry the shard, and
+    recover the planted XTS pair.
+    """
+    dump, master, _ = synthetic_dump(0.0, seed=5)
+    shards = shard_image(dump, n_shards=4, overlap_bytes=schedule_bytes(256) + 64)
+    plan = FaultPlan(
+        faults=((shards[0].base_offset, FaultSpec(kind="kill", first_attempts=1)),),
+        seed=5,
+    )
+    scan = resilient_recover_keys(
+        dump,
+        key_bits=256,
+        workers=2,
+        n_shards=4,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.001, seed=5),
+        fault_plan=plan,
+    )
+    assert scan.ledger.pool_rebuilds >= 1
+    assert scan.ledger.outcomes[shards[0].base_offset].attempts >= 2
+    assert scan.complete
+    masters = {r.master_key for r in scan.recovered}
+    assert master[:32] in masters and master[32:] in masters

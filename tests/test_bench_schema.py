@@ -1,0 +1,113 @@
+"""Contract tests for the ``BENCH_scan.json`` schema (bench-scan/v1).
+
+The harness's JSON records are consumed across sessions (CI artifacts,
+perf-trajectory diffs), so the schema is pinned here: a record the
+validator accepts today must keep validating, and the validator must
+reject every mutation a refactor could plausibly introduce.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.harness import (  # noqa: E402
+    BENCH_SCHEMA,
+    REQUIRED_STAGES,
+    STAGE_FIELDS,
+    validate_bench_record,
+)
+
+
+def stage_record(wall_s=1.5, workers=1):
+    return {"wall_s": wall_s, "blocks_per_s": 1000.0, "keys": 4096, "workers": workers}
+
+
+def valid_record(with_baseline=True):
+    stages = {name: stage_record() for name in REQUIRED_STAGES}
+    record = {
+        "schema": BENCH_SCHEMA,
+        "config": {"size_mib": 64, "workers": 4, "seed": 5, "bit_error_rate": 0.002},
+        "stages": stages,
+        "baseline": None,
+    }
+    if with_baseline:
+        record["baseline"] = {name: stage_record(wall_s=6.0) for name in REQUIRED_STAGES}
+        record["identical_keys"] = True
+        record["speedup_vs_baseline"] = {"join": 4.0, "verify": 4.0, "end_to_end": 4.0}
+    return record
+
+
+def test_valid_record_passes():
+    validate_bench_record(valid_record())
+
+
+def test_valid_record_without_baseline_passes():
+    validate_bench_record(valid_record(with_baseline=False))
+
+
+def test_json_roundtrip_still_validates(tmp_path):
+    path = tmp_path / "BENCH_scan.json"
+    path.write_text(json.dumps(valid_record()))
+    validate_bench_record(json.loads(path.read_text()))
+
+
+def test_wrong_schema_tag_rejected():
+    record = valid_record()
+    record["schema"] = "bench-scan/v0"
+    with pytest.raises(ValueError, match="schema"):
+        validate_bench_record(record)
+
+
+def test_missing_config_field_rejected():
+    record = valid_record()
+    del record["config"]["workers"]
+    with pytest.raises(ValueError, match="workers"):
+        validate_bench_record(record)
+
+
+@pytest.mark.parametrize("stage", REQUIRED_STAGES)
+def test_missing_stage_rejected(stage):
+    record = valid_record()
+    del record["stages"][stage]
+    with pytest.raises(ValueError, match=stage):
+        validate_bench_record(record)
+
+
+@pytest.mark.parametrize("field", STAGE_FIELDS)
+def test_missing_stage_field_rejected(field):
+    record = valid_record()
+    del record["stages"]["join"][field]
+    with pytest.raises(ValueError, match=field):
+        validate_bench_record(record)
+
+
+def test_negative_wall_time_rejected():
+    record = valid_record()
+    record["stages"]["verify"]["wall_s"] = -0.1
+    with pytest.raises(ValueError, match="wall_s"):
+        validate_bench_record(record)
+
+
+def test_zero_workers_rejected():
+    record = valid_record()
+    record["stages"]["end_to_end"]["workers"] = 0
+    with pytest.raises(ValueError):
+        validate_bench_record(record)
+
+
+def test_baseline_without_speedups_rejected():
+    record = valid_record()
+    del record["speedup_vs_baseline"]
+    with pytest.raises(ValueError, match="speedup"):
+        validate_bench_record(record)
+
+
+def test_baseline_without_identical_keys_rejected():
+    record = valid_record()
+    del record["identical_keys"]
+    with pytest.raises(ValueError, match="identical_keys"):
+        validate_bench_record(record)
