@@ -8,14 +8,25 @@ DDR3 frequency analysis and the classic Halderman plaintext search are
 included as the baselines the DDR4 attack is measured against.
 """
 
+from repro.attack.adaptive import (
+    AdaptiveBudget,
+    AdaptiveRecovery,
+    AdaptiveRecoveryEngine,
+    BudgetStage,
+    DecayEstimate,
+    estimate_decay_rate,
+    triage_regions,
+)
 from repro.attack.aes_search import (
     AesKeySearch,
     AesVariant,
     RecoveredAesKey,
     ScheduleHit,
+    confidence_score,
     exhaustive_hits,
     reconstruct_schedule,
     repair_observed_table,
+    vote_correct_table,
 )
 from repro.attack.equations import (
     consistent_with_invariants,
@@ -43,6 +54,8 @@ from repro.attack.litmus import (
     INVARIANT_WORD_OFFSETS,
     SUB_WORD_OFFSETS,
     key_litmus_mismatch_bits,
+    litmus_decode_keys,
+    litmus_parity_matrix,
     litmus_pass_mask,
     passes_key_litmus,
 )
@@ -75,8 +88,13 @@ __all__ = [
     "DEFAULT_SCAN_LIMIT_BYTES",
     "INVARIANT_WORD_OFFSETS",
     "SUB_WORD_OFFSETS",
+    "AdaptiveBudget",
+    "AdaptiveRecovery",
+    "AdaptiveRecoveryEngine",
     "AesKeySearch",
     "AesVariant",
+    "BudgetStage",
+    "DecayEstimate",
     "REPORT_SCHEMA_VERSION",
     "AblationResult",
     "AttackConfig",
@@ -95,7 +113,9 @@ __all__ = [
     "TransferConditions",
     "block_frequency_analysis",
     "cold_boot_transfer",
+    "confidence_score",
     "consistent_with_invariants",
+    "estimate_decay_rate",
     "invariant_manifold_dimension",
     "invariant_system",
     "descramble_with_universal_key",
@@ -104,6 +124,8 @@ __all__ = [
     "find_aes_keys",
     "key_litmus_mismatch_bits",
     "keys_matrix",
+    "litmus_decode_keys",
+    "litmus_parity_matrix",
     "litmus_pass_mask",
     "merge_recovered",
     "mine_scrambler_keys",
@@ -123,5 +145,7 @@ __all__ = [
     "reverse_cold_boot",
     "save_report_json",
     "synthetic_dump",
+    "triage_regions",
     "unique_master_keys",
+    "vote_correct_table",
 ]

@@ -1,0 +1,757 @@
+"""Decay-adaptive recovery: estimate the channel, then spend budget on it.
+
+The paper's pipeline tolerates "modest bit flips" through three fixed
+Hamming budgets (litmus 16, verify 16, keyfind 8).  Those constants
+encode an assumption — a cold transfer, seconds without power — and a
+dump decayed past them recovers *nothing* rather than *less, with
+lower confidence*.  This module replaces the constants with a
+controller:
+
+1. **Estimate** the dump's bit decay rate.  Three sources, best first:
+   a reference image (``repro.analysis.decay_map``), the residual
+   mismatch of mined-key support sets (every candidate's sightings
+   disagree with their majority vote at exactly the channel's rate),
+   or a configurable prior.
+2. **Escalate** through :class:`BudgetStage`\\ s — a strict first pass
+   at the paper's budgets, then calibrated and widened retries whose
+   tolerances are set to ``mean + 3σ`` of the mismatch a true artefact
+   would show at the estimated rate — under a total work budget.
+3. **Quarantine** regions that cannot contribute (torn constant fill,
+   a second scrambler's keystream, decay past the litmus horizon) with
+   structured :class:`~repro.resilience.errors.RegionQuarantineError`
+   diagnostics, and complete the scan over the remainder.
+
+Escalated stages turn on the cross-round consistency voting of
+:func:`repro.attack.aes_search.vote_correct_table` — correcting flipped
+schedule bits instead of merely tolerating them — and thread the decay
+estimate into :func:`repro.attack.aes_search.confidence_score` so every
+recovery carries a posterior confidence calibrated to the channel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attack.aes_search import AesKeySearch, RecoveredAesKey
+from repro.attack.keyfind import KeyfindMatch, find_aes_keys
+from repro.attack.keymine import (
+    DEFAULT_SCAN_LIMIT_BYTES,
+    CandidateKey,
+    keys_matrix,
+    mine_scrambler_keys,
+)
+from repro.attack.litmus import key_litmus_mismatch_bits, litmus_parity_matrix
+from repro.attack.parallel import merge_recovered
+from repro.crypto.aes import schedule_bytes
+from repro.dram.image import MemoryImage
+from repro.resilience.errors import (
+    MixedScramblerRegionError,
+    RegionQuarantineError,
+    TornRegionError,
+    UndecodableRegionError,
+)
+from repro.util.blocks import BLOCK_SIZE
+
+if False:  # pragma: no cover — typing-only import, avoids analysis dependency
+    from repro.analysis.decay_map import DecayMap
+
+#: Decay rate assumed when nothing measurable is available — the
+#: paper's cold-transfer regime (sub-second without power).
+DEFAULT_PRIOR_RATE = 0.002
+
+#: Granularity of region triage.  256 KiB is fine enough to isolate a
+#: damaged stretch without fragmenting the scan, and every region holds
+#: thousands of blocks so the density statistics are meaningful.
+DEFAULT_REGION_BYTES = 256 * 1024
+
+
+# --------------------------------------------------------------------------
+# Decay estimation
+
+
+@dataclass(frozen=True)
+class DecayEstimate:
+    """The channel model everything downstream is calibrated against."""
+
+    #: Estimated per-bit flip probability of the dump.
+    rate: float
+    #: Where the estimate came from: ``decay-map`` (reference image),
+    #: ``mined-support`` (candidate residuals), or ``prior``.
+    source: str
+    #: How many member bits the estimate was measured over (0 for the
+    #: prior) — small samples deserve wider stage headroom.
+    sample_bits: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 0.5:
+            raise ValueError("decay rate must lie in [0, 0.5)")
+        if self.sample_bits < 0:
+            raise ValueError("sample_bits must be non-negative")
+
+
+#: Mismatch ceiling selecting the keystream population for estimation.
+#: Decayed zero blocks sit at ``~2 · 512 · rate`` mismatch bits while
+#: random data sits near half the invariant comparisons (~128), so 64
+#: separates the populations for every rate the attack can survive.
+_ESTIMATE_LITMUS_CAP = 64
+
+
+def _per_flip_sensitivity() -> float:
+    """How many litmus-mismatch bits one flipped key bit costs, on average.
+
+    Derived, not assumed: the litmus invariants form a parity-check
+    matrix over the key's 512 bits, and a flipped bit toggles exactly
+    the checks whose row contains it — so the mean mismatch delta per
+    flip is the matrix's mean column weight (2.0 for the §III-B
+    relations).
+    """
+    parity = litmus_parity_matrix()
+    return float(parity.sum()) / parity.shape[1]
+
+
+def _litmus_mismatch_estimate(
+    image: MemoryImage,
+    scan_limit_bytes: int | None = DEFAULT_SCAN_LIMIT_BYTES,
+    min_blocks: int = 32,
+) -> DecayEstimate | None:
+    """Estimate decay from the litmus residuals of keystream blocks.
+
+    A clean zero block sits *on* the scrambler's invariant manifold;
+    decay pushes it off at a rate of (measured) ~2 mismatch bits per
+    flipped bit.  The mean mismatch of the keystream population —
+    blocks under :data:`_ESTIMATE_LITMUS_CAP`, cleanly separated from
+    random data — divided by the per-flip sensitivity and the block
+    size therefore reads the channel's flip rate directly, with no
+    need for repeated sightings of any single key.  Slightly
+    optimistic at extreme rates (blocks decayed past the cap drop out
+    of the population); the widened budget stage absorbs that.
+    """
+    data = image.data
+    if scan_limit_bytes is not None:
+        data = data[: scan_limit_bytes - scan_limit_bytes % BLOCK_SIZE]
+    matrix = np.frombuffer(data, dtype=np.uint8).reshape(-1, BLOCK_SIZE)
+    if matrix.shape[0] == 0:
+        return None
+    mismatch = key_litmus_mismatch_bits(matrix)
+    keystream = mismatch[mismatch <= _ESTIMATE_LITMUS_CAP]
+    if keystream.size < min_blocks:
+        return None
+    rate = float(keystream.mean()) / (_per_flip_sensitivity() * 8 * BLOCK_SIZE)
+    return DecayEstimate(
+        rate=min(rate, 0.499),
+        source="litmus-mismatch",
+        sample_bits=int(keystream.size) * 8 * BLOCK_SIZE,
+    )
+
+
+def estimate_decay_rate(
+    candidates: list[CandidateKey] | None = None,
+    reference_map: "DecayMap | None" = None,
+    image: MemoryImage | None = None,
+    prior_rate: float = DEFAULT_PRIOR_RATE,
+    min_sample_bits: int = 32 * 1024,
+) -> DecayEstimate:
+    """Estimate the dump's bit decay rate from the best available source.
+
+    A reference image (``reference_map``) measures the rate directly
+    and wins.  Next, the mined candidates self-report it: each
+    candidate's ``litmus_mismatch_bits`` is the Hamming residual
+    between its majority vote and its support members, and for small
+    rates the expected residual per member bit *is* the channel rate
+    (each member disagrees with the vote exactly where it — and not
+    the majority — decayed).  When the keystream never repeats (every
+    key sighted once), the litmus residuals of the passing blocks
+    themselves carry the rate (``image`` source).  Failing everything,
+    the prior.
+
+    The measured estimates are mildly optimistic: blocks that pass the
+    litmus budget are the less-decayed ones, so heavily damaged dumps
+    under-report.  :class:`AdaptiveBudget` compensates with ``+3σ``
+    headroom and a widened final stage.
+    """
+    if reference_map is not None and reference_map.rates.size:
+        sample = int(reference_map.rates.size) * reference_map.window_bytes * 8
+        return DecayEstimate(
+            rate=min(float(reference_map.overall_rate), 0.499),
+            source="decay-map",
+            sample_bits=sample,
+        )
+    if candidates:
+        residual = 0
+        support = 0
+        for candidate in candidates:
+            if candidate.count >= 2 and candidate.support_bits > 0:
+                residual += candidate.litmus_mismatch_bits
+                support += candidate.support_bits
+        if support >= min_sample_bits:
+            return DecayEstimate(
+                rate=min(residual / support, 0.499),
+                source="mined-support",
+                sample_bits=support,
+            )
+    if image is not None:
+        estimate = _litmus_mismatch_estimate(image)
+        if estimate is not None:
+            return estimate
+    return DecayEstimate(rate=prior_rate, source="prior", sample_bits=0)
+
+
+def pool_decay_rate(pool: np.ndarray) -> float:
+    """Residual decay rate carried by a candidate-key pool itself.
+
+    Descrambling pays the pool key's own flips on top of each window's
+    local decay, so the channel the verifier actually sees is the sum
+    of the two.  A single-sighting pool carries the full dump rate; a
+    pool whose keys were majority-voted from many sightings carries a
+    fraction of it — the pool's litmus residuals measure exactly this.
+    """
+    if pool.shape[0] == 0:
+        return 0.0
+    residual = key_litmus_mismatch_bits(pool)
+    keystream = residual[residual <= _ESTIMATE_LITMUS_CAP]
+    if keystream.size == 0:
+        return 0.0
+    return float(keystream.mean()) / (_per_flip_sensitivity() * 8 * BLOCK_SIZE)
+
+
+# --------------------------------------------------------------------------
+# Budget stages
+
+
+@dataclass(frozen=True)
+class BudgetStage:
+    """One rung of the escalation ladder: a full set of Hamming budgets."""
+
+    name: str
+    litmus_tolerance_bits: int
+    merge_radius_bits: int
+    verify_tolerance_bits: int
+    keyfind_tolerance_bits: int
+    accept_mismatch_fraction: float
+    repair_bits: int
+    schedule_vote: bool
+    #: Relative work units this stage consumes from the total budget.
+    cost: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cost < 1:
+            raise ValueError("stage cost must be at least 1")
+        if min(
+            self.litmus_tolerance_bits,
+            self.merge_radius_bits,
+            self.verify_tolerance_bits,
+            self.keyfind_tolerance_bits,
+            self.repair_bits,
+        ) < 0:
+            raise ValueError("budgets must be non-negative")
+        if not 0.0 < self.accept_mismatch_fraction < 0.5:
+            raise ValueError("accept_mismatch_fraction must lie in (0, 0.5)")
+
+
+#: The paper's fixed budgets, as stage zero of every ladder.
+STRICT_STAGE = BudgetStage(
+    name="strict",
+    litmus_tolerance_bits=16,
+    merge_radius_bits=16,
+    verify_tolerance_bits=16,
+    keyfind_tolerance_bits=8,
+    accept_mismatch_fraction=0.05,
+    repair_bits=1,
+    schedule_vote=False,
+    cost=1,
+)
+
+
+def _tail_budget(bits: float, rate: float, floor: int, cap: int, sigmas: float = 3.0) -> int:
+    """Hamming budget covering ``mean + sigmas·σ`` flips over ``bits``.
+
+    ``bits`` is the *effective* bit count the artefact's mismatch is
+    measured over (invariant comparisons, check bits plus diffused
+    window bits, ...); a Poisson-ish tail bound keeps true artefacts
+    inside the budget while the cap keeps random junk out.
+    """
+    mean = bits * rate
+    width = int(math.ceil(mean + sigmas * math.sqrt(max(mean, 1.0))))
+    return max(floor, min(width, cap))
+
+
+def stage_for_rate(name: str, rate: float, cost: int, schedule_vote: bool = True) -> BudgetStage:
+    """Budgets calibrated so true artefacts at ``rate`` pass with margin.
+
+    Effective bit counts: a zero block's litmus invariants re-read each
+    of its 512 bits about three times; two noisy sightings of one key
+    differ over 2·512 member bits; a verification window's 128 check
+    bits plus its (nonlinearly diffused) window bits behave like ~700;
+    the plaintext keyfind window is the same shape.
+    """
+    return BudgetStage(
+        name=name,
+        litmus_tolerance_bits=_tail_budget(1536, rate, floor=16, cap=64),
+        merge_radius_bits=_tail_budget(1024, rate, floor=16, cap=48),
+        verify_tolerance_bits=_tail_budget(700, rate, floor=16, cap=44),
+        keyfind_tolerance_bits=_tail_budget(700, rate, floor=8, cap=32),
+        accept_mismatch_fraction=min(0.30, max(0.05, 6.0 * rate + 0.02)),
+        repair_bits=1 if rate < 0.008 else 2,
+        schedule_vote=schedule_vote,
+        cost=cost,
+    )
+
+
+@dataclass(frozen=True)
+class AdaptiveBudget:
+    """Derives the escalation ladder for a decay estimate.
+
+    Strict first — at low decay the paper's budgets are both the
+    fastest and the most junk-resistant pass — then a stage calibrated
+    to the estimated rate (with consistency voting on), then a widened
+    stage at 1.5× the estimate to absorb estimator optimism.  Stages
+    are kept while their cumulative cost fits ``total_work``.
+    """
+
+    estimate: DecayEstimate
+    total_work: int = 6
+
+    def __post_init__(self) -> None:
+        if self.total_work < 1:
+            raise ValueError("total_work must be at least 1")
+
+    def stages(self) -> list[BudgetStage]:
+        """The ladder, strict first, trimmed to the work budget."""
+        rate = self.estimate.rate
+        ladder = [STRICT_STAGE]
+        calibrated = stage_for_rate("calibrated", rate, cost=2)
+        if calibrated != STRICT_STAGE:
+            ladder.append(calibrated)
+        widened = stage_for_rate("widened", max(1.5 * rate, rate + 0.004), cost=3)
+        if widened != ladder[-1]:
+            ladder.append(widened)
+        kept: list[BudgetStage] = []
+        spent = 0
+        for stage in ladder:
+            if kept and spent + stage.cost > self.total_work:
+                break
+            kept.append(stage)
+            spent += stage.cost
+        return kept
+
+
+# --------------------------------------------------------------------------
+# Region triage
+
+
+def _quarantine_mixed_or_undecodable(
+    offset: int,
+    length: int,
+    far_rows: np.ndarray,
+    merge_radius_bits: int,
+    far_fraction: float,
+) -> RegionQuarantineError:
+    """Classify a region whose litmus-passing blocks sit far from the pool.
+
+    If the alien blocks cluster tightly *among themselves* they are a
+    coherent keystream — another scrambler seed covers this stretch.
+    If they scatter, the region's zero pages decayed past recognition.
+    """
+    sample = far_rows[:256].view(np.uint64)
+    coherent = 0
+    for index in range(sample.shape[0]):
+        distances = np.bitwise_count(sample ^ sample[index]).sum(axis=1, dtype=np.int64)
+        distances[index] = np.iinfo(np.int64).max
+        if sample.shape[0] > 1 and int(distances.min()) <= merge_radius_bits:
+            coherent += 1
+    if sample.shape[0] > 1 and coherent * 2 > sample.shape[0]:
+        return MixedScramblerRegionError(
+            offset,
+            length,
+            f"{far_rows.shape[0]} litmus-passing blocks form a coherent "
+            f"keystream foreign to the dump-wide pool "
+            f"({far_fraction:.0%} beyond the merge radius)",
+        )
+    return UndecodableRegionError(
+        offset,
+        length,
+        f"{far_rows.shape[0]} litmus-passing blocks match no mined key and "
+        f"do not cohere with each other ({far_fraction:.0%} beyond the merge radius)",
+    )
+
+
+def triage_regions(
+    image: MemoryImage,
+    candidates: list[CandidateKey],
+    litmus_tolerance_bits: int,
+    merge_radius_bits: int,
+    region_bytes: int = DEFAULT_REGION_BYTES,
+) -> tuple[list[tuple[int, int]], list[RegionQuarantineError]]:
+    """Partition a dump into scannable extents and quarantined regions.
+
+    Three detectors, each emitting a structured diagnostic instead of
+    letting the damage poison mining or waste search time:
+
+    * **torn** — the region is constant fill (an imager wrote filler,
+      not memory; scrambled DRAM is never byte-constant);
+    * **mixed-scrambler** — the region's litmus-passing blocks form a
+      coherent keystream that does not merge with the dump-wide
+      candidate pool (a dump stitched across reboots);
+    * **undecodable** — the region's litmus-pass density collapsed
+      relative to the rest of the dump, or its passing blocks are
+      incoherent junk: local decay beyond the widest escalated budget.
+
+    The density detector is a heuristic — it only fires when the dump
+    as a whole is rich in zero pages (pass density ≥ 5%) and the region
+    is an extreme outlier (< 20% of the dump-wide density), so dense
+    data regions in ordinary dumps are left alone.
+
+    Returns ``(extents, quarantined)`` where ``extents`` are merged
+    block-aligned ``(offset, length)`` runs covering every healthy
+    region.
+    """
+    if region_bytes % BLOCK_SIZE:
+        raise ValueError("region_bytes must be a multiple of the block size")
+    matrix = image.blocks_matrix()
+    n_blocks = matrix.shape[0]
+    if n_blocks == 0:
+        return [], []
+    mismatch = key_litmus_mismatch_bits(matrix)
+    passing_mask = mismatch <= litmus_tolerance_bits
+    dump_density = float(passing_mask.mean())
+    pool_words = keys_matrix(candidates).view(np.uint64) if candidates else None
+
+    blocks_per_region = region_bytes // BLOCK_SIZE
+    quarantined: list[RegionQuarantineError] = []
+    healthy: list[tuple[int, int]] = []
+    n_regions = (n_blocks + blocks_per_region - 1) // blocks_per_region
+    for region_index in range(n_regions):
+        first = region_index * blocks_per_region
+        last = min(first + blocks_per_region, n_blocks)
+        offset = first * BLOCK_SIZE
+        length = (last - first) * BLOCK_SIZE
+        region = matrix[first:last]
+        flat = region.reshape(-1)
+        if n_regions > 1 and flat.size and int(flat[0]) == int(flat.min()) == int(flat.max()):
+            quarantined.append(
+                TornRegionError(
+                    offset, length, f"constant fill 0x{int(flat[0]):02x} over every byte"
+                )
+            )
+            continue
+        region_pass = passing_mask[first:last]
+        n_pass = int(region_pass.sum())
+        verdict: RegionQuarantineError | None = None
+        if n_pass >= 8 and pool_words is not None and pool_words.size:
+            rows = np.ascontiguousarray(region[region_pass])
+            row_words = rows.view(np.uint64)
+            far_bits = 2 * merge_radius_bits
+            distances = np.empty(row_words.shape[0], dtype=np.int64)
+            for index in range(row_words.shape[0]):
+                distances[index] = int(
+                    np.bitwise_count(pool_words ^ row_words[index])
+                    .sum(axis=1, dtype=np.int64)
+                    .min()
+                )
+            far = distances > far_bits
+            far_fraction = float(far.mean())
+            if far_fraction > 0.5:
+                verdict = _quarantine_mixed_or_undecodable(
+                    offset, length, rows[far], merge_radius_bits, far_fraction
+                )
+        elif (
+            n_regions > 1
+            and dump_density >= 0.05
+            and last - first >= 64
+            and n_pass < 0.2 * dump_density * (last - first)
+        ):
+            verdict = UndecodableRegionError(
+                offset,
+                length,
+                f"litmus pass density {n_pass / (last - first):.1%} vs "
+                f"{dump_density:.1%} dump-wide — local decay beyond the "
+                f"{litmus_tolerance_bits}-bit budget",
+            )
+        if verdict is not None:
+            quarantined.append(verdict)
+            continue
+        if healthy and healthy[-1][0] + healthy[-1][1] == offset:
+            healthy[-1] = (healthy[-1][0], healthy[-1][1] + length)
+        else:
+            healthy.append((offset, length))
+    return healthy, quarantined
+
+
+# --------------------------------------------------------------------------
+# The engine
+
+
+@dataclass
+class AdaptiveRecovery:
+    """Everything a decay-adaptive scan learned, not just the keys."""
+
+    recovered: list[RecoveredAesKey]
+    candidates: list[CandidateKey]
+    estimate: DecayEstimate
+    stages_run: list[str]
+    work_spent: int
+    quarantined: list[RegionQuarantineError] = field(default_factory=list)
+    diagnostics: list[str] = field(default_factory=list)
+
+    @property
+    def masters(self) -> list[bytes]:
+        """The recovered master keys, in dump order."""
+        return [result.master_key for result in self.recovered]
+
+    def summary(self) -> dict:
+        """JSON-ready digest for reports and the CLI."""
+        return {
+            "estimated_decay_rate": self.estimate.rate,
+            "decay_source": self.estimate.source,
+            "decay_sample_bits": self.estimate.sample_bits,
+            "stages_run": list(self.stages_run),
+            "work_spent": self.work_spent,
+            "n_recovered": len(self.recovered),
+            "min_confidence": min((r.confidence for r in self.recovered), default=0.0),
+            "quarantined_regions": [error.to_dict() for error in self.quarantined],
+            "diagnostics": list(self.diagnostics),
+        }
+
+
+class AdaptiveRecoveryEngine:
+    """Runs the full estimate → triage → escalate → recover loop.
+
+    ``total_work`` bounds how much of the ladder runs (strict costs 1,
+    calibrated 2, widened 3 — roughly their relative runtimes); the
+    engine stops at the first stage that recovers schedules, so a
+    lightly decayed dump pays only the strict pass.
+    """
+
+    def __init__(
+        self,
+        key_bits: int = 256,
+        total_work: int = 6,
+        prior_rate: float = DEFAULT_PRIOR_RATE,
+        region_bytes: int = DEFAULT_REGION_BYTES,
+        max_candidate_keys: int | None = None,
+        scan_limit_bytes: int | None = DEFAULT_SCAN_LIMIT_BYTES,
+    ) -> None:
+        if not 0.0 <= prior_rate < 0.5:
+            raise ValueError("prior_rate must lie in [0, 0.5)")
+        if max_candidate_keys is not None and max_candidate_keys < 1:
+            raise ValueError("max_candidate_keys must be positive")
+        self.key_bits = key_bits
+        self.total_work = total_work
+        self.prior_rate = prior_rate
+        self.region_bytes = region_bytes
+        self.max_candidate_keys = max_candidate_keys
+        self.scan_limit_bytes = scan_limit_bytes
+
+    # ---------------------------------------------------------------- helpers
+
+    def _mining_image(self, image: MemoryImage, extents: list[tuple[int, int]]) -> MemoryImage:
+        """The scannable extents spliced for mining (keys are position-free).
+
+        The miner groups blocks by *value* only, so concatenating the
+        healthy stretches — up to the paper's 16 MB mining bound — keeps
+        quarantined bytes out of the candidate pool without re-indexing.
+        """
+        if len(extents) == 1 and extents[0] == (0, len(image)):
+            return image
+        limit = self.scan_limit_bytes or DEFAULT_SCAN_LIMIT_BYTES
+        parts: list[bytes] = []
+        total = 0
+        for offset, length in extents:
+            take = min(length, limit - total)
+            take -= take % BLOCK_SIZE
+            if take <= 0:
+                break
+            parts.append(bytes(image.data[offset : offset + take]))
+            total += take
+        return MemoryImage(b"".join(parts))
+
+    def _complete_pairs(
+        self,
+        image: MemoryImage,
+        search: AesKeySearch,
+        recovered: list[RecoveredAesKey],
+        stage: BudgetStage,
+    ) -> list[RecoveredAesKey]:
+        """Second chance for XTS siblings one schedule-length away.
+
+        Mirrors the pipeline's targeted rescue: with the base pinned by
+        a recovered partner, verification affords a loose budget, so a
+        tweak schedule too decayed for the open scan still surfaces.
+        """
+        stride = schedule_bytes(self.key_bits)
+        by_base = {r.hits[0].table_base: r for r in recovered if r.hits}
+        loose = max(40, stage.verify_tolerance_bits + 8)
+        for base in sorted(by_base):
+            for sibling in (base - stride, base + stride):
+                if sibling < 0 or sibling in by_base:
+                    continue
+                extra = search.recover_at_base(image, sibling, loose_tolerance_bits=loose)
+                if extra is not None and extra.hits:
+                    by_base[sibling] = extra
+        return [by_base[base] for base in sorted(by_base)]
+
+    # ------------------------------------------------------------------- scan
+
+    def recover(
+        self, image: MemoryImage, reference: MemoryImage | None = None
+    ) -> AdaptiveRecovery:
+        """Estimate, triage, escalate; return keys plus diagnostics.
+
+        ``reference`` (a pre-decay image, when the experiment has one)
+        upgrades the decay estimate from mined-support statistics to a
+        direct measurement.
+        """
+        diagnostics: list[str] = []
+        strict_candidates = mine_scrambler_keys(
+            image,
+            tolerance_bits=STRICT_STAGE.litmus_tolerance_bits,
+            merge_radius_bits=STRICT_STAGE.merge_radius_bits,
+            scan_limit_bytes=self.scan_limit_bytes,
+        )
+        reference_map = None
+        if reference is not None:
+            from repro.analysis.decay_map import decay_map
+
+            reference_map = decay_map(reference, image)
+        estimate = estimate_decay_rate(
+            candidates=strict_candidates,
+            reference_map=reference_map,
+            image=image,
+            prior_rate=self.prior_rate,
+        )
+        stages = AdaptiveBudget(estimate, total_work=self.total_work).stages()
+        diagnostics.append(
+            f"decay rate {estimate.rate:.4f} from {estimate.source}; "
+            f"ladder: {', '.join(stage.name for stage in stages)}"
+        )
+        widest = stages[-1]
+        # Triage compares each region's litmus passers against the pool
+        # the *widest* stage would mine — a strict pool misses the keys
+        # only visible at escalated tolerances and would flag healthy
+        # regions of a heavily decayed dump as alien.
+        triage_pool = strict_candidates
+        if widest.litmus_tolerance_bits > STRICT_STAGE.litmus_tolerance_bits:
+            triage_pool = mine_scrambler_keys(
+                image,
+                tolerance_bits=widest.litmus_tolerance_bits,
+                merge_radius_bits=widest.merge_radius_bits,
+                scan_limit_bytes=self.scan_limit_bytes,
+            )
+        extents, quarantined = triage_regions(
+            image,
+            triage_pool,
+            litmus_tolerance_bits=widest.litmus_tolerance_bits,
+            merge_radius_bits=widest.merge_radius_bits,
+            region_bytes=self.region_bytes,
+        )
+        diagnostics.extend(str(error) for error in quarantined)
+        if not extents:
+            diagnostics.append("no scannable regions remain after triage")
+            return AdaptiveRecovery(
+                recovered=[],
+                candidates=strict_candidates,
+                estimate=estimate,
+                stages_run=[],
+                work_spent=0,
+                quarantined=quarantined,
+                diagnostics=diagnostics,
+            )
+        mining_image = self._mining_image(image, extents)
+
+        recovered: list[RecoveredAesKey] = []
+        candidates = strict_candidates
+        stages_run: list[str] = []
+        spent = 0
+        for stage in stages:
+            if stages_run and spent + stage.cost > self.total_work:
+                diagnostics.append(f"work budget exhausted before stage {stage.name!r}")
+                break
+            spent += stage.cost
+            stages_run.append(stage.name)
+            candidates = mine_scrambler_keys(
+                mining_image,
+                tolerance_bits=stage.litmus_tolerance_bits,
+                merge_radius_bits=stage.merge_radius_bits,
+                scan_limit_bytes=self.scan_limit_bytes,
+            )
+            if self.max_candidate_keys is not None:
+                candidates = candidates[: self.max_candidate_keys]
+            if not candidates:
+                diagnostics.append(f"stage {stage.name!r}: no candidate keys mined")
+                continue
+            # Wider mining sees more disagreement, so the estimate can
+            # only sharpen upward — refresh it for confidence scoring.
+            refreshed = estimate_decay_rate(candidates=candidates, prior_rate=estimate.rate)
+            if refreshed.source == "mined-support" and refreshed.rate > estimate.rate:
+                estimate = refreshed
+            pool = keys_matrix(candidates)
+            # Confidence is scored against the channel the verifier
+            # actually sees: local decay plus the pool keys' own
+            # residual decay (see :func:`pool_decay_rate`).
+            effective_rate = min(0.499, estimate.rate + pool_decay_rate(pool))
+            search = AesKeySearch(
+                pool,
+                self.key_bits,
+                verify_tolerance_bits=stage.verify_tolerance_bits,
+                accept_mismatch_fraction=stage.accept_mismatch_fraction,
+                repair_bits=stage.repair_bits,
+                schedule_vote=stage.schedule_vote,
+                decay_rate=effective_rate,
+            )
+            per_extent = [
+                (offset, search.recover_keys(image.view(offset, length, base_address=0)))
+                for offset, length in extents
+            ]
+            recovered = merge_recovered(per_extent)
+            recovered = self._complete_pairs(image, search, recovered, stage)
+            if recovered:
+                diagnostics.append(
+                    f"stage {stage.name!r}: recovered {len(recovered)} schedule(s)"
+                )
+                break
+            diagnostics.append(f"stage {stage.name!r}: no schedules recovered")
+        return AdaptiveRecovery(
+            recovered=recovered,
+            candidates=candidates,
+            estimate=estimate,
+            stages_run=stages_run,
+            work_spent=spent,
+            quarantined=quarantined,
+            diagnostics=diagnostics,
+        )
+
+    # ---------------------------------------------------------------- keyfind
+
+    def keyfind(
+        self, image: MemoryImage, reference: MemoryImage | None = None
+    ) -> tuple[list[KeyfindMatch], list[str]]:
+        """Escalating Halderman-style search over *unscrambled* memory.
+
+        No litmus statistics exist without a scrambler, so the estimate
+        comes from a reference image or the prior; the ladder then
+        escalates ``find_aes_keys``'s window tolerance stage by stage.
+        Returns ``(matches, stages_run)``.
+        """
+        reference_map = None
+        if reference is not None:
+            from repro.analysis.decay_map import decay_map
+
+            reference_map = decay_map(reference, image)
+        estimate = estimate_decay_rate(reference_map=reference_map, prior_rate=self.prior_rate)
+        stages = AdaptiveBudget(estimate, total_work=self.total_work).stages()
+        stages_run: list[str] = []
+        spent = 0
+        for stage in stages:
+            if stages_run and spent + stage.cost > self.total_work:
+                break
+            spent += stage.cost
+            stages_run.append(stage.name)
+            matches = find_aes_keys(
+                image, key_bits=self.key_bits, tolerance_bits=stage.keyfind_tolerance_bits
+            )
+            if matches:
+                return matches, stages_run
+        return [], stages_run

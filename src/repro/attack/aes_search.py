@@ -39,11 +39,13 @@ equation-guided table repair, and whole-region confirmation — see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.crypto.aes import (
+    INV_SBOX,
     SBOX,
     Rcon,
     _rot_word,
@@ -244,11 +246,57 @@ class RecoveredAesKey:
     #: explains only the stretch around its window.
     region_agreement: float
     hits: tuple[ScheduleHit, ...]
+    #: Posterior confidence in [0, 1] from :func:`confidence_score`:
+    #: how well the residual mismatch is explained by the estimated
+    #: decay rate.  Excluded from equality (``compare=False``) so the
+    #: fast-vs-seed identity checks — the seed never scores confidence
+    #: — keep comparing the recovery itself.
+    confidence: float = field(default=0.0, compare=False)
 
     @property
     def schedule(self) -> bytes:
         """The full expanded schedule this key produces."""
         return expand_key(self.master_key)
+
+
+def confidence_score(
+    residual_fraction: float,
+    decay_rate: float | None = None,
+    coverage: float = 1.0,
+) -> float:
+    """Posterior confidence in a recovered key, in ``[0, 1]``.
+
+    A recovery is trustworthy when its residual mismatch — the fraction
+    of schedule-region bits its expansion fails to explain — is no more
+    than the decay channel accounts for.  The score combines three
+    monotone penalties:
+
+    * the estimated decay rate itself (a heavily decayed dump can
+      always hide a wrong key better, so *no* recovery from it may
+      claim more confidence than a cleaner dump's — this is what makes
+      confidence calibration monotone across a decay sweep);
+    * the **surprise**: residual mismatch beyond the estimated rate,
+      weighted hard (a key that disagrees with the dump more than decay
+      explains is suspect);
+    * lost **coverage**: the fraction of the schedule region that had
+      no attributable scrambler key and so went unscored.
+
+    With ``decay_rate=None`` the residual itself serves as the rate
+    estimate (self-calibration: zero surprise, pure rate penalty).
+
+    The weights keep the rate term dominant over the coverage term:
+    coverage varies by tens of percent between recovery strategies
+    (ballot-only vs consistency-voted reconstruction), and confidence
+    must stay monotone in the channel — a dump decayed one budget step
+    further (Δrate ≈ 0.008) must never score higher just because a
+    later stage scored more of its schedule region.
+    """
+    residual = max(0.0, float(residual_fraction))
+    rate = residual if decay_rate is None else max(0.0, float(decay_rate))
+    surprise = max(0.0, residual - rate)
+    coverage = min(1.0, max(0.0, float(coverage)))
+    score = math.exp(-25.0 * rate - 64.0 * surprise - 0.5 * (1.0 - coverage))
+    return min(1.0, max(0.0, score))
 
 
 def _t_inverse_step(words: list[int], first_index: int, nk: int) -> int:
@@ -380,6 +428,109 @@ def repair_observed_table(
     return words.reshape(-1).copy()
 
 
+def vote_correct_table(
+    table: np.ndarray,
+    key_bits: int,
+    known_bytes: np.ndarray | None = None,
+    max_sweeps: int = 8,
+) -> np.ndarray:
+    """Cross-round consistency voting over an observed schedule image.
+
+    Where :func:`repair_observed_table` greedily credits one equation's
+    residue at a time, this corrector exploits that every schedule word
+    is predicted *independently* by three neighbouring relations of
+    ``w[i] = w[i-Nk] ^ T_i(w[i-1])``:
+
+    * **forward**:   ``w[i-Nk] ^ T_i(w[i-1])``        (the equation at i);
+    * **backward**:  ``w[i+Nk] ^ T_{i+Nk}(w[i+Nk-1])`` (the equation at i+Nk);
+    * **inverse**:   ``T_{i+1}^{-1}(w[i+1] ^ w[i+1-Nk])`` — every
+      expansion transform is a bijection (RotWord/SubWord/Rcon all
+      invert), so the equation at i+1 pins down its own S-box *input*.
+
+    Each word's bits are set by majority over the available predictions
+    plus the observed word itself; ties keep the observation.  Because
+    decay flips are sparse and the predictions draw on *different*
+    neighbours, a decayed word is usually outvoted by two or three
+    clean predictions — and each sweep's corrections sharpen the next
+    sweep's predictions, so iterating converges (a fixpoint or
+    ``max_sweeps``, whichever first).  On a clean table every equation
+    already holds and the vote is a no-op.
+
+    ``known_bytes`` marks observed bytes (as in :meth:`_observed_table`);
+    guess-filled words don't get an observation vote, so the vote
+    re-derives them purely from their neighbours.
+    """
+    variant = AesVariant(key_bits)
+    nk = variant.nk
+    n_words = len(table) // 4
+    out = np.ascontiguousarray(table, dtype=np.uint8).copy()
+    if n_words < nk + 1 or max_sweeps < 1:
+        return out
+    words = out[: 4 * n_words].reshape(n_words, 4).copy()
+    if known_bytes is None:
+        word_known = np.ones(n_words, dtype=bool)
+    else:
+        word_known = (
+            np.asarray(known_bytes[: 4 * n_words], dtype=bool).reshape(n_words, 4).all(axis=1)
+        )
+
+    eq_index = np.arange(nk, n_words)
+    rot_mask = eq_index % nk == 0
+    sub_mask = (eq_index % nk == 4) if nk > 6 else np.zeros_like(rot_mask)
+    rcon_vals = np.array([Rcon(int(i) // nk) for i in eq_index[rot_mask]], dtype=np.uint8)
+
+    def transform(prev: np.ndarray) -> np.ndarray:
+        """``T_i`` applied to the w[i-1] rows of every equation."""
+        t = prev.copy()
+        t[rot_mask] = SBOX[prev[rot_mask][:, (1, 2, 3, 0)]]
+        t[rot_mask, 0] ^= rcon_vals
+        if nk > 6:
+            t[sub_mask] = SBOX[prev[sub_mask]]
+        return t
+
+    def transform_inverse(values: np.ndarray) -> np.ndarray:
+        """``T_i^{-1}`` of every equation's ``w[i] ^ w[i-Nk]``."""
+        out_vals = values.copy()
+        x = values[rot_mask].copy()
+        x[:, 0] ^= rcon_vals
+        x = INV_SBOX[x]
+        out_vals[rot_mask] = x[:, (3, 0, 1, 2)]
+        if nk > 6:
+            out_vals[sub_mask] = INV_SBOX[values[sub_mask]]
+        return out_vals
+
+    for _ in range(max_sweeps):
+        t = transform(words[nk - 1 : -1])
+        # Prediction targets: forward → w[nk:], backward → w[:n-nk],
+        # inverse → w[nk-1:n-1].  Each covers a contiguous word range.
+        pred_forward = words[: n_words - nk] ^ t
+        pred_backward = words[nk:] ^ t
+        pred_inverse = transform_inverse(words[nk:] ^ words[: n_words - nk])
+
+        ballots = np.zeros((n_words, 32), dtype=np.int16)
+        voters = np.zeros((n_words, 1), dtype=np.int16)
+        for prediction, lo, hi in (
+            (pred_forward, nk, n_words),
+            (pred_backward, 0, n_words - nk),
+            (pred_inverse, nk - 1, n_words - 1),
+        ):
+            ballots[lo:hi] += np.unpackbits(prediction, axis=1)
+            voters[lo:hi] += 1
+        observed_bits = np.unpackbits(words, axis=1)
+        ballots[word_known] += observed_bits[word_known]
+        voters[word_known[:, None]] += 1
+
+        corrected_bits = np.where(
+            2 * ballots > voters, 1, np.where(2 * ballots < voters, 0, observed_bits)
+        ).astype(np.uint8)
+        corrected = np.packbits(corrected_bits, axis=1)
+        if np.array_equal(corrected, words):
+            break
+        words = corrected
+    out[: 4 * n_words] = words.reshape(-1)
+    return out
+
+
 def reconstruct_schedule(window: list[int], first_index: int, key_bits: int) -> bytes:
     """Rebuild the full schedule from Nk consecutive words at any position.
 
@@ -427,6 +578,8 @@ class AesKeySearch:
         repair_bits: int = 1,
         join: str = "sorted",
         key_cache: KeyFingerprintCache | None = None,
+        schedule_vote: bool = False,
+        decay_rate: float | None = None,
     ) -> None:
         self.keys = _as_key_matrix(keys)
         self.variant = AesVariant(key_bits)
@@ -461,6 +614,19 @@ class AesKeySearch:
         #: join) or ``"dict"`` (the original Python hash join, kept as
         #: the equivalence oracle for tests and benchmarks).
         self.join = join
+        #: Error-correcting reconstruction: run cross-round consistency
+        #: voting (:func:`vote_correct_table`) over the observed table
+        #: before the greedy equation repair.  Off by default — it can
+        #: recover keys the seed path cannot, which would break the
+        #: fast-vs-seed equivalence checks; the adaptive engine turns
+        #: it on in its widened stages.
+        self.schedule_vote = bool(schedule_vote)
+        if decay_rate is not None and not 0.0 <= decay_rate < 0.5:
+            raise ValueError("decay_rate must lie in [0, 0.5)")
+        #: Estimated per-bit decay rate of the dump; calibrates each
+        #: recovery's :func:`confidence_score` (None = self-calibrate
+        #: from the residual alone).
+        self.decay_rate = decay_rate
         if key_cache is None:
             key_cache = KeyFingerprintCache(self.keys, key_bits)
         elif key_cache.variant.key_bits != key_bits or not np.array_equal(
@@ -849,11 +1015,12 @@ class AesKeySearch:
         best_fraction = 1.0
 
         best_agreement = 0.0
+        best_counted_bits = 0
         schedule_bits = 8 * 4 * variant.total_words
 
         def consider(scored: dict[bytes, int], expansions: dict[bytes, np.ndarray]) -> None:
             """Region-confirm the span-score-ranked ballots."""
-            nonlocal best_master, best_fraction, best_agreement
+            nonlocal best_master, best_fraction, best_agreement, best_counted_bits
             for master, _span_score in sorted(scored.items(), key=lambda item: item[1])[:8]:
                 mismatch, counted_bits = self._region_mismatch(
                     blocks, base, expansions[master]
@@ -862,6 +1029,7 @@ class AesKeySearch:
                 if fraction < best_fraction:
                     best_fraction = fraction
                     best_agreement = max(0.0, (counted_bits - mismatch) / schedule_bits)
+                    best_counted_bits = counted_bits
                     best_master = master
 
         # A ballot is "clearly clean" when its expansion disagrees with
@@ -906,6 +1074,12 @@ class AesKeySearch:
                 if observed is None:
                     break
                 table, known = observed
+                if self.schedule_vote:
+                    # Consistency voting first: it corrects dense decay
+                    # (multiple flips per equation) that the greedy
+                    # single-residue repair stalls on, leaving the
+                    # greedy pass only the stragglers.
+                    table = vote_correct_table(table, variant.key_bits, known_bytes=known)
                 table = repair_observed_table(table, variant.key_bits, known_bytes=known)
                 for repair in range(self.repair_bits + 1):
                     scored = {}
@@ -953,6 +1127,11 @@ class AesKeySearch:
             match_fraction=1.0 - best_fraction,
             region_agreement=best_agreement,
             hits=tuple(sorted(group, key=lambda h: (h.block_index, h.offset))),
+            confidence=confidence_score(
+                best_fraction,
+                decay_rate=self.decay_rate,
+                coverage=best_counted_bits / schedule_bits,
+            ),
         )
 
     def recover_at_base(

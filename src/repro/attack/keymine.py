@@ -34,17 +34,34 @@ DEFAULT_SCAN_LIMIT_BYTES = 16 * 1024 * 1024
 
 @dataclass(frozen=True)
 class CandidateKey:
-    """One mined scrambler-key candidate with its supporting evidence."""
+    """One mined scrambler-key candidate with its supporting evidence.
+
+    ``litmus_mismatch_bits`` is the group's *residual* mismatch: the
+    total Hamming distance between the voted key and its (weighted)
+    support members.  A true key's decayed sightings sit a few bits
+    from the vote; a coincidental merge of unrelated near-passing
+    blocks leaves a large residual — so the residual breaks frequency
+    ties in the candidate ranking and, summed over all candidates
+    against ``support_bits``, estimates the dump's bit decay rate
+    (see :func:`repro.attack.adaptive.estimate_decay_rate`).
+    """
 
     key: bytes
     count: int
+    #: Total residual Hamming bits between the voted key and its
+    #: weighted support members (0 when every sighting was identical).
     litmus_mismatch_bits: int = 0
+    #: Total member bits the residual was measured over (512 per
+    #: weighted member row); 0 for legacy callers that never counted.
+    support_bits: int = 0
 
     def __post_init__(self) -> None:
         if len(self.key) != BLOCK_SIZE:
             raise ValueError("scrambler keys are 64 bytes")
         if self.count < 1:
             raise ValueError("count must be at least 1")
+        if self.litmus_mismatch_bits < 0 or self.support_bits < 0:
+            raise ValueError("mismatch and support bit counts must be non-negative")
 
 
 def _majority_vote(members: np.ndarray) -> bytes:
@@ -132,16 +149,30 @@ def mine_scrambler_keys(
             for row, value_count in cluster:
                 rows.extend([row] * min(value_count, 32))
             voted = _majority_vote(np.vstack(rows))
+        # Residual mismatch of the vote against its own support: the
+        # decay the vote filtered out.  Weighted exactly as the vote
+        # was, so residual / support_bits estimates the per-bit decay
+        # rate of the blocks behind this candidate.
+        voted_words = np.frombuffer(voted, dtype=np.uint8).view(np.uint64)
+        residual = 0
+        weight_total = 0
+        for row, value_count in cluster:
+            weight = min(value_count, 32)
+            distance = int(np.bitwise_count(row.view(np.uint64) ^ voted_words).sum())
+            residual += weight * distance
+            weight_total += weight
         candidates.append(
             CandidateKey(
                 key=voted,
                 count=count,
-                litmus_mismatch_bits=int(
-                    key_litmus_mismatch_bits(np.frombuffer(voted, dtype=np.uint8).reshape(1, -1))[0]
-                ),
+                litmus_mismatch_bits=residual,
+                support_bits=8 * BLOCK_SIZE * weight_total,
             )
         )
-    candidates.sort(key=lambda c: (-c.count, c.key))
+    # Frequency first (true keys recur); among equally-frequent
+    # candidates the one whose support sits *closest* to its vote wins
+    # — a large residual marks a coincidental merge, not a real key.
+    candidates.sort(key=lambda c: (-c.count, c.litmus_mismatch_bits, c.key))
     return candidates
 
 

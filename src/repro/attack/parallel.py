@@ -45,6 +45,7 @@ re-attach automatically.
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -55,7 +56,12 @@ from repro.attack.keymine import keys_matrix, mine_scrambler_keys
 from repro.crypto.aes import schedule_bytes
 from repro.dram.image import MemoryImage, SharedDumpBuffer
 from repro.resilience.checkpoint import CheckpointJournal, JournalHeader, dump_fingerprint
-from repro.resilience.errors import ShardLayoutError
+from repro.resilience.errors import (
+    CheckpointCorruptError,
+    CheckpointStaleError,
+    ShardLayoutError,
+    SharedSegmentCorruptError,
+)
 from repro.resilience.executor import (
     STATUS_FROM_CHECKPOINT,
     ResilientShardRunner,
@@ -159,10 +165,14 @@ def merge_recovered(
             rebased = _rebase_recovered(result, shard_offset)
             global_base = rebased.hits[0].table_base
             kept = by_global_base.get(global_base)
-            if kept is None or (rebased.votes, rebased.match_fraction) > (
-                kept.votes,
-                kept.match_fraction,
-            ):
+            # Votes are the hardest evidence; among equally-voted
+            # findings the posterior confidence (residual mismatch vs
+            # the decay channel) outranks the raw match fraction.
+            if kept is None or (
+                rebased.votes,
+                rebased.confidence,
+                rebased.match_fraction,
+            ) > (kept.votes, kept.confidence, kept.match_fraction):
                 by_global_base[global_base] = rebased
     return [by_global_base[base] for base in sorted(by_global_base)]
 
@@ -226,7 +236,9 @@ def _release_worker_state() -> None:
             holder.close()
 
 
-def _init_scan_worker(dump_ref: tuple, keys_ref: tuple, key_bits: int) -> None:
+def _init_scan_worker(
+    dump_ref: tuple, keys_ref: tuple, key_bits: int, keys_crc: int | None = None
+) -> None:
     """Attach dump + key matrix once per worker process (pool initializer).
 
     Runs in every process of a fresh pool — including the processes of
@@ -234,6 +246,13 @@ def _init_scan_worker(dump_ref: tuple, keys_ref: tuple, key_bits: int) -> None:
     re-attachment across pool generations needs no extra bookkeeping.
     The key-side fingerprint cache is built here once and shared by all
     shard tasks (and all retries) this process ever executes.
+
+    ``keys_crc`` is the CRC32 of the key matrix as the orchestrator
+    published it; every shard task re-checks its view against it, so a
+    segment that was torn, remapped, or otherwise corrupted between
+    publication and use surfaces as a structured
+    :class:`~repro.resilience.errors.SharedSegmentCorruptError` instead
+    of silently descrambling the dump with garbage keys.
     """
     _release_worker_state()
     dump_holder, dump_view = _resolve_buffer(dump_ref)
@@ -243,6 +262,7 @@ def _init_scan_worker(dump_ref: tuple, keys_ref: tuple, key_bits: int) -> None:
         dump=dump_view,
         keys=keys,
         key_bits=key_bits,
+        keys_crc=keys_crc,
         key_cache=KeyFingerprintCache(keys, key_bits),
         holders=(dump_holder, keys_holder),
     )
@@ -265,6 +285,17 @@ def _scan_shard_task(
     state = _WORKER_STATE
     if "dump" not in state:
         raise RuntimeError("scan worker used before _init_scan_worker ran")
+    keys = state["keys"]
+    if fault_plan is not None:
+        # A scripted "poison" fault damages this worker's view of the
+        # key matrix — exactly what a torn shared-memory segment looks
+        # like — without touching what sibling workers see.
+        keys = fault_plan.poison_keys(shard_offset, attempt, keys)
+    expected_crc = state.get("keys_crc")
+    if expected_crc is not None:
+        actual_crc = zlib.crc32(np.ascontiguousarray(keys).tobytes()) & 0xFFFFFFFF
+        if actual_crc != expected_crc:
+            raise SharedSegmentCorruptError("keys", expected_crc, actual_crc)
     shard_view = memoryview(state["dump"])[shard_offset : shard_offset + length]
     if fault_plan is not None:
         # Fault injection mutates its copy of the shard, never the
@@ -276,9 +307,11 @@ def _scan_shard_task(
         )
     else:
         image = MemoryImage(shard_view)
-    search = AesKeySearch(
-        state["keys"], key_bits=state["key_bits"], key_cache=state["key_cache"]
-    )
+    # A poisoned matrix that slipped past the CRC (no checksum was
+    # published) must also invalidate the fingerprint cache — it was
+    # built from the clean keys.
+    cache = state["key_cache"] if keys is state["keys"] else None
+    search = AesKeySearch(keys, key_bits=state["key_bits"], key_cache=cache)
     return search.recover_keys(image)
 
 
@@ -292,6 +325,10 @@ class ScanReport:
     n_shards: int = 0
     mine_seconds: float = 0.0
     search_seconds: float = 0.0
+    #: Diagnostic when an existing checkpoint journal was rejected
+    #: (failed CRC or unreadable records) and the scan restarted fresh
+    #: instead of replaying untrusted results.
+    checkpoint_rejected: str | None = None
 
     @property
     def quarantined_offsets(self) -> list[int]:
@@ -341,6 +378,7 @@ def resilient_recover_keys(
 
     journal: CheckpointJournal | None = None
     already_done: dict[int, list[RecoveredAesKey]] = {}
+    checkpoint_rejected: str | None = None
     if checkpoint is not None:
         header = JournalHeader(
             dump_len=len(dump),
@@ -349,10 +387,26 @@ def resilient_recover_keys(
             n_shards=len(shards),
             overlap_bytes=overlap,
         )
-        journal, already_done = CheckpointJournal.open(checkpoint, header, resume=resume)
+        try:
+            journal, already_done = CheckpointJournal.open(checkpoint, header, resume=resume)
+        except CheckpointStaleError:
+            # The journal is intact but pinned to a different dump or
+            # shard geometry — a caller mistake, not damage.  Refuse
+            # rather than silently discarding the wrong checkpoint.
+            raise
+        except CheckpointCorruptError as exc:
+            # A journal that fails its integrity checks must neither be
+            # replayed (a rotted line could resurrect a wrong key) nor
+            # abort a multi-hour scan: record the diagnostic, start a
+            # fresh journal, and re-search everything.
+            checkpoint_rejected = str(exc)
+            journal, already_done = CheckpointJournal.open(checkpoint, header, resume=False)
 
     report = ScanReport(
-        candidates=candidates, n_shards=len(shards), mine_seconds=mine_seconds
+        candidates=candidates,
+        n_shards=len(shards),
+        mine_seconds=mine_seconds,
+        checkpoint_rejected=checkpoint_rejected,
     )
     search_start = time.perf_counter()
     jobs: dict[int, tuple] = {}
@@ -389,6 +443,19 @@ def resilient_recover_keys(
             # mid-run must find every finished shard on disk when it
             # resumes.
             on_result = None if journal is None else journal.record
+            if (
+                on_result is not None
+                and fault_plan is not None
+                and fault_plan.has_journal_faults()
+            ):
+                record = on_result
+                journal_path = journal.path
+
+                def on_result(offset: int, results, _record=record) -> None:
+                    _record(offset, results)
+                    fault_plan.corrupt_journal_record(journal_path, offset)
+
+            keys_crc = zlib.crc32(keys_mat.tobytes()) & 0xFFFFFFFF
             runner = ResilientShardRunner(
                 _scan_shard_task,
                 policy=policy,
@@ -396,7 +463,7 @@ def resilient_recover_keys(
                 on_event=on_event,
                 on_result=on_result,
                 initializer=_init_scan_worker,
-                initargs=(dump_ref, keys_ref, key_bits),
+                initargs=(dump_ref, keys_ref, key_bits, keys_crc),
             )
             run_ledger = runner.run(jobs)
         finally:

@@ -50,6 +50,17 @@ class AttackConfig:
     #: ``"dict"`` (the original Python hash join, kept for equivalence
     #: testing and benchmark baselines).
     join: str = "sorted"
+    #: Run the decay-adaptive engine instead of the fixed budgets: the
+    #: dump's decay rate is estimated, damaged regions are quarantined,
+    #: and the Hamming budgets escalate stage by stage until schedules
+    #: surface (see :mod:`repro.attack.adaptive`).
+    adaptive: bool = False
+    #: Work budget for the adaptive escalation ladder (strict costs 1,
+    #: calibrated 2, widened 3).
+    adaptive_total_work: int = 6
+    #: Decay-rate prior the adaptive engine falls back on when the dump
+    #: offers nothing measurable.
+    prior_decay_rate: float = 0.002
 
 
 @dataclass
@@ -67,11 +78,24 @@ class AttackReport:
     quarantined_shards: list[int] = field(default_factory=list)
     resumed_shards: int = 0
     degraded_to_serial: bool = False
+    #: Adaptive-run bookkeeping (``None`` for fixed-budget runs): the
+    #: :meth:`repro.attack.adaptive.AdaptiveRecovery.summary` digest —
+    #: estimated decay rate and source, stages run, confidence floor,
+    #: quarantined regions, diagnostics.
+    adaptive: dict | None = None
+    #: Regions the adaptive triage excluded from the scan, as
+    #: structured dicts (offset, length, reason, detail).
+    quarantined_regions: list[dict] = field(default_factory=list)
 
     @property
     def complete_scan(self) -> bool:
-        """False when quarantined shards left part of the dump unsearched."""
-        return not self.quarantined_shards
+        """False when quarantine left part of the dump unsearched."""
+        return not self.quarantined_shards and not self.quarantined_regions
+
+    @property
+    def min_confidence(self) -> float:
+        """The weakest recovered key's posterior confidence (0 if none)."""
+        return min((r.confidence for r in self.recovered_keys), default=0.0)
 
     @property
     def master_keys(self) -> list[bytes]:
@@ -101,6 +125,15 @@ class AttackReport:
                 text += f" resumed={self.resumed_shards}"
             if self.quarantined_shards:
                 text += f" QUARANTINED={len(self.quarantined_shards)}"
+        if self.adaptive is not None:
+            text += (
+                f" adaptive[rate={self.adaptive['estimated_decay_rate']:.4f} "
+                f"({self.adaptive['decay_source']}) "
+                f"stages={'+'.join(self.adaptive['stages_run']) or 'none'} "
+                f"confidence≥{self.min_confidence:.2f}]"
+            )
+            if self.quarantined_regions:
+                text += f" QUARANTINED_REGIONS={len(self.quarantined_regions)}"
         return text
 
 
@@ -110,9 +143,16 @@ class Ddr4ColdBootAttack:
     def __init__(self, config: AttackConfig | None = None) -> None:
         self.config = config or AttackConfig()
 
-    def run(self, dump: MemoryImage) -> AttackReport:
-        """Execute steps 1–4 on a scrambled memory image."""
+    def run(self, dump: MemoryImage, reference: MemoryImage | None = None) -> AttackReport:
+        """Execute steps 1–4 on a scrambled memory image.
+
+        ``reference`` (a pre-decay image, when the experiment has one)
+        is only consulted by the adaptive engine, where it upgrades the
+        decay estimate to a direct measurement.
+        """
         config = self.config
+        if config.adaptive:
+            return self._run_adaptive(dump, reference)
         report = AttackReport(dump_bytes=len(dump))
 
         start = time.perf_counter()
@@ -140,6 +180,32 @@ class Ddr4ColdBootAttack:
         report.recovered_keys = search.recover_keys(dump)
         report.hits = [hit for rec in report.recovered_keys for hit in rec.hits]
         report.search_seconds = time.perf_counter() - start
+        return report
+
+    def _run_adaptive(self, dump: MemoryImage, reference: MemoryImage | None) -> AttackReport:
+        """The decay-adaptive path of :meth:`run`."""
+        from repro.attack.adaptive import AdaptiveRecoveryEngine
+
+        config = self.config
+        engine = AdaptiveRecoveryEngine(
+            key_bits=config.key_bits,
+            total_work=config.adaptive_total_work,
+            prior_rate=config.prior_decay_rate,
+            max_candidate_keys=config.max_candidate_keys,
+            scan_limit_bytes=config.key_scan_limit_bytes,
+        )
+        start = time.perf_counter()
+        result = engine.recover(dump, reference=reference)
+        elapsed = time.perf_counter() - start
+        report = AttackReport(dump_bytes=len(dump))
+        report.candidate_keys = result.candidates
+        report.recovered_keys = result.recovered
+        report.hits = [hit for rec in result.recovered for hit in rec.hits]
+        # The engine interleaves mining and searching per stage; the
+        # split timing is not meaningful, so everything lands in search.
+        report.search_seconds = elapsed
+        report.adaptive = result.summary()
+        report.quarantined_regions = [error.to_dict() for error in result.quarantined]
         return report
 
     def run_sharded(

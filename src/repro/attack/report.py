@@ -16,8 +16,11 @@ from pathlib import Path
 from repro.attack.pipeline import AttackReport
 
 #: Schema version for downstream consumers.  v2 added the
-#: ``resilience`` section (sharding, quarantine, and resume accounting).
-REPORT_SCHEMA_VERSION = 2
+#: ``resilience`` section (sharding, quarantine, and resume accounting);
+#: v3 added the ``robustness`` section (decay estimate, escalation
+#: stages, quarantined regions), per-key ``confidence`` scores, and
+#: per-candidate litmus residuals.
+REPORT_SCHEMA_VERSION = 3
 
 
 def report_to_dict(report: AttackReport, include_keys: bool = True) -> dict:
@@ -36,6 +39,9 @@ def report_to_dict(report: AttackReport, include_keys: bool = True) -> dict:
         "candidate_keys": {
             "count": len(report.candidate_keys),
             "top_frequencies": [c.count for c in report.candidate_keys[:16]],
+            "top_litmus_mismatch_bits": [
+                c.litmus_mismatch_bits for c in report.candidate_keys[:16]
+            ],
         },
         "resilience": {
             "n_shards": report.n_shards,
@@ -43,6 +49,11 @@ def report_to_dict(report: AttackReport, include_keys: bool = True) -> dict:
             "resumed_shards": report.resumed_shards,
             "degraded_to_serial": report.degraded_to_serial,
             "complete_scan": report.complete_scan,
+        },
+        "robustness": {
+            "adaptive": report.adaptive,
+            "quarantined_regions": list(report.quarantined_regions),
+            "min_confidence": report.min_confidence,
         },
         "recovered_keys": [
             {
@@ -52,6 +63,7 @@ def report_to_dict(report: AttackReport, include_keys: bool = True) -> dict:
                 "votes": recovered.votes,
                 "match_fraction": recovered.match_fraction,
                 "region_agreement": recovered.region_agreement,
+                "confidence": recovered.confidence,
                 "hits": [asdict(hit) for hit in recovered.hits],
             }
             for recovered in report.recovered_keys
@@ -89,9 +101,21 @@ def report_to_markdown(report: AttackReport, include_keys: bool = False) -> str:
             offsets = ", ".join(f"{offset:#x}" for offset in report.quarantined_shards)
             lines.append(f"* **warning: unscanned (quarantined) shard offsets:** {offsets}")
         lines.append("")
+    if report.adaptive is not None:
+        lines.append(
+            f"* adaptive recovery: decay rate {report.adaptive['estimated_decay_rate']:.4f} "
+            f"({report.adaptive['decay_source']}), stages "
+            f"{' → '.join(report.adaptive['stages_run']) or 'none'}"
+        )
+        for region in report.quarantined_regions:
+            lines.append(
+                f"* **warning: quarantined region** {region['offset']:#x}"
+                f"+{region['length']:#x} ({region['reason']}): {region['detail']}"
+            )
+        lines.append("")
     if report.recovered_keys:
-        lines.append("| # | bits | image offset | votes | region match | key |")
-        lines.append("|---|------|--------------|-------|--------------|-----|")
+        lines.append("| # | bits | image offset | votes | region match | confidence | key |")
+        lines.append("|---|------|--------------|-------|--------------|------------|-----|")
         for index, recovered in enumerate(report.recovered_keys, start=1):
             base = recovered.hits[0].table_base if recovered.hits else 0
             key = (
@@ -101,7 +125,8 @@ def report_to_markdown(report: AttackReport, include_keys: bool = False) -> str:
             )
             lines.append(
                 f"| {index} | {recovered.key_bits} | {base:#x} | {recovered.votes} "
-                f"| {100 * recovered.match_fraction:.1f}% | `{key}` |"
+                f"| {100 * recovered.match_fraction:.1f}% "
+                f"| {recovered.confidence:.2f} | `{key}` |"
             )
     else:
         lines.append("_No expanded AES key schedules were located._")

@@ -100,8 +100,14 @@ def _run_attack(args: argparse.Namespace) -> int:
     from repro.attack.report import save_report_json
 
     dump = _load_dump(args.dump)
-    attack = Ddr4ColdBootAttack(AttackConfig(key_bits=args.key_bits))
+    attack = Ddr4ColdBootAttack(
+        AttackConfig(key_bits=args.key_bits, adaptive=args.adaptive)
+    )
     checkpoint = args.checkpoint
+    if args.adaptive and (args.workers > 1 or args.shards or checkpoint):
+        print("error: --adaptive runs monolithically; drop --workers/--shards/--checkpoint",
+              file=sys.stderr)
+        return 2
     if args.resume and checkpoint is None:
         checkpoint = f"{args.dump}.checkpoint.jsonl"
     if args.workers > 1 or args.shards or checkpoint:
@@ -126,6 +132,17 @@ def _run_attack(args: argparse.Namespace) -> int:
                   file=sys.stderr)
         # The sharded report already holds every schedule at its global
         # offset; pair adjacent ones rather than re-running the attack.
+        master = _pair_xts(report.recovered_keys, attack.config.key_bits)
+    elif args.adaptive:
+        reference = _load_dump(args.reference) if args.reference else None
+        report = attack.run(dump, reference=reference)
+        for note in (report.adaptive or {}).get("diagnostics", ()):
+            print(f"[adaptive] {note}", file=sys.stderr)
+        for region in report.quarantined_regions:
+            print(f"warning: region {region['offset']:#x}+{region['length']:#x} "
+                  f"quarantined ({region['reason']}): {region['detail']}",
+                  file=sys.stderr)
+        # The adaptive engine already rescued XTS siblings; pair here.
         master = _pair_xts(report.recovered_keys, attack.config.key_bits)
     else:
         report = attack.run(dump)
@@ -344,6 +361,13 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--resume", action="store_true",
                         help="skip shards already in the checkpoint journal "
                              "(default journal: <dump>.checkpoint.jsonl)")
+    attack.add_argument("--adaptive", action="store_true",
+                        help="estimate the dump's decay rate, quarantine damaged "
+                             "regions, and escalate Hamming budgets until keys "
+                             "surface (confidence-scored recoveries)")
+    attack.add_argument("--reference", metavar="PATH",
+                        help="pre-decay reference dump for a direct decay-rate "
+                             "measurement (adaptive mode only)")
     attack.set_defaults(func=_cmd_attack)
 
     keyfind = sub.add_parser("keyfind", help="Halderman search over plaintext dumps")

@@ -13,6 +13,12 @@ Crash-safety model:
   on, so at most the *currently being written* line can be lost;
 * a torn trailing line (the signature of a crash mid-write) is
   expected damage: it is dropped and truncated away on resume;
+* every line carries a CRC32 of its canonical JSON form (``crc``
+  field), so a record whose *content* rotted on disk — bit flips
+  inside a hex key string still parse as JSON — is rejected with
+  :class:`~repro.resilience.errors.CheckpointCorruptError` instead of
+  silently replaying a wrong key; journals written before the CRC
+  field existed (no ``crc`` key) remain readable;
 * anything else that does not parse — interior garbage, an unreadable
   header — means the journal cannot be trusted and raises
   :class:`~repro.resilience.errors.CheckpointCorruptError`;
@@ -26,11 +32,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zlib
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from repro.resilience.errors import CheckpointCorruptError
+from repro.resilience.errors import CheckpointCorruptError, CheckpointStaleError
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard (aes_search → image)
     from repro.attack.aes_search import RecoveredAesKey
@@ -42,6 +49,39 @@ JOURNAL_VERSION = 1
 def dump_fingerprint(data: bytes) -> str:
     """SHA-256 of the dump — the identity a journal is bound to."""
     return hashlib.sha256(data).hexdigest()
+
+
+def line_crc(record: dict) -> str:
+    """CRC32 (8 hex digits) of a record's canonical JSON form.
+
+    Computed over the record *without* its ``crc`` field, with sorted
+    keys and minimal separators, so the checksum is independent of both
+    field order and the writer's formatting.
+    """
+    canonical = json.dumps(
+        {key: value for key, value in record.items() if key != "crc"},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return f"{zlib.crc32(canonical.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+def _check_line_crc(record: dict, path: Path, line_number: int) -> None:
+    """Reject a record whose stored CRC does not match its content.
+
+    Records without a ``crc`` field are accepted — journals written
+    before the field existed stay readable.
+    """
+    stored = record.get("crc")
+    if stored is None:
+        return
+    expected = line_crc(record)
+    if stored != expected:
+        raise CheckpointCorruptError(
+            f"{path}: CRC mismatch on line {line_number} "
+            f"(stored {stored!r}, content {expected!r}) — the record was "
+            "altered after it was written and cannot be replayed"
+        )
 
 
 @dataclass(frozen=True)
@@ -92,6 +132,7 @@ def serialize_recovered(recovered: "RecoveredAesKey") -> dict:
         "first_block_index": recovered.first_block_index,
         "match_fraction": recovered.match_fraction,
         "region_agreement": recovered.region_agreement,
+        "confidence": recovered.confidence,
         "hits": [asdict(hit) for hit in recovered.hits],
     }
 
@@ -109,6 +150,8 @@ def deserialize_recovered(record: dict) -> "RecoveredAesKey":
             match_fraction=float(record["match_fraction"]),
             region_agreement=float(record["region_agreement"]),
             hits=tuple(ScheduleHit(**hit) for hit in record["hits"]),
+            # Journals written before confidence scoring lack the field.
+            confidence=float(record.get("confidence", 0.0)),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointCorruptError(f"malformed recovered-key record: {exc}") from exc
@@ -150,8 +193,10 @@ class CheckpointJournal:
         return journal, {}
 
     def _start_fresh(self) -> None:
+        record = self.header.to_json()
+        record["crc"] = line_crc(record)
         with open(self.path, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(self.header.to_json()) + "\n")
+            handle.write(json.dumps(record) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
 
@@ -189,18 +234,20 @@ class CheckpointJournal:
 
         if not records:
             raise CheckpointCorruptError(f"{self.path}: journal header is torn")
+        for index, record in enumerate(records, start=1):
+            _check_line_crc(record, self.path, index)
         header = JournalHeader.from_json(records[0])
         if header.overlap_bytes != self.header.overlap_bytes:
             # Called out separately from the generic header check: an
             # overlap mismatch means the shard geometry the journal's
             # offsets describe no longer exists, so resuming would merge
             # results from incompatible shard layouts.
-            raise CheckpointCorruptError(
+            raise CheckpointStaleError(
                 f"{self.path}: journal overlap_bytes={header.overlap_bytes} does not "
                 f"match this scan's overlap_bytes={self.header.overlap_bytes}"
             )
         if header != self.header:
-            raise CheckpointCorruptError(
+            raise CheckpointStaleError(
                 f"{self.path}: journal belongs to a different scan "
                 f"(header {header} != expected {self.header})"
             )
@@ -231,13 +278,13 @@ class CheckpointJournal:
 
     def record(self, shard_offset: int, results: list["RecoveredAesKey"]) -> None:
         """Durably append one completed shard's results."""
-        line = json.dumps(
-            {
-                "type": "shard",
-                "offset": shard_offset,
-                "results": [serialize_recovered(r) for r in results],
-            }
-        )
+        payload = {
+            "type": "shard",
+            "offset": shard_offset,
+            "results": [serialize_recovered(r) for r in results],
+        }
+        payload["crc"] = line_crc(payload)
+        line = json.dumps(payload)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()

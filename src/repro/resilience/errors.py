@@ -52,4 +52,80 @@ class WorkerCrashError(ReproError, RuntimeError):
 
 class CheckpointCorruptError(ReproError, ValueError):
     """A checkpoint journal cannot be trusted: unreadable interior
-    records, or a header that does not match the dump being resumed."""
+    records, a failed per-line CRC, or a header that does not match
+    the dump being resumed."""
+
+
+class CheckpointStaleError(CheckpointCorruptError):
+    """The journal is intact but belongs to a *different* scan (another
+    dump, or incompatible shard geometry).  Unlike on-disk damage —
+    which the runtime tolerates by rejecting the journal and rescanning
+    — a stale journal is a caller mistake and propagates, so the wrong
+    checkpoint is never silently discarded."""
+
+
+class SharedSegmentCorruptError(ReproError, RuntimeError):
+    """A worker's view of a published shared-memory segment failed its
+    integrity check (the key matrix it attached is not the one the
+    orchestrator wrote).  Retrying re-reads the segment; persistent
+    corruption exhausts the retry budget and quarantines the shard."""
+
+    def __init__(self, segment: str, expected_crc: int, actual_crc: int) -> None:
+        self.segment = segment
+        self.expected_crc = expected_crc
+        self.actual_crc = actual_crc
+        super().__init__(
+            f"shared segment {segment!r} failed integrity check "
+            f"(crc {actual_crc:#010x}, expected {expected_crc:#010x})"
+        )
+
+
+class RegionQuarantineError(ReproError, RuntimeError):
+    """Base of the structured diagnostics for dump regions the adaptive
+    scan isolates instead of aborting on.  Instances are *collected*
+    (in :class:`repro.attack.adaptive.AdaptiveRecovery`) rather than
+    raised — the scan completes over the remaining regions — but they
+    stay exceptions so callers that do want to abort can ``raise`` one.
+    """
+
+    reason = "quarantined"
+
+    def __init__(self, offset: int, length: int, detail: str) -> None:
+        self.offset = offset
+        self.length = length
+        self.detail = detail
+        super().__init__(
+            f"region [{offset:#x}, {offset + length:#x}) {self.reason}: {detail}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready diagnostic record for reports."""
+        return {
+            "offset": self.offset,
+            "length": self.length,
+            "reason": self.reason,
+            "detail": self.detail,
+        }
+
+
+class UndecodableRegionError(RegionQuarantineError):
+    """No mined scrambler key explains any block of the region even at
+    the widest escalated litmus budget — the bytes cannot be attributed
+    to the scrambler keystream (extreme local decay, or overwritten)."""
+
+    reason = "undecodable"
+
+
+class MixedScramblerRegionError(RegionQuarantineError):
+    """The region's zero blocks expose scrambler keys that do not merge
+    with the dump-wide candidate pool — the signature of a dump stitched
+    across reboots (a second scrambler seed covers this stretch)."""
+
+    reason = "mixed-scrambler"
+
+
+class TornRegionError(RegionQuarantineError):
+    """The region carries no information: constant fill from a torn or
+    truncated acquisition (the imager wrote filler, not memory)."""
+
+    reason = "torn"

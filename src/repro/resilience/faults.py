@@ -26,8 +26,17 @@ from repro.util.rng import SplitMix64, derive_seed
 #: ``first_attempts`` value meaning "fault on every attempt, forever".
 PERMANENT = 1 << 30
 
-#: Fault kinds understood by :meth:`FaultPlan.apply`.
-FAULT_KINDS = ("crash", "kill", "hang", "corrupt")
+#: Fault kinds understood by the chaos harness.  The first four are
+#: process faults fired by :meth:`FaultPlan.apply` inside the worker;
+#: the last three are *data* faults: ``"bitrot"`` corrupts the shard's
+#: bytes at a seeded rate (decay concentrated in one stretch of the
+#: dump), ``"journal"`` corrupts the shard's checkpoint-journal line
+#: after it is written (fired by the orchestrator via
+#: :meth:`FaultPlan.corrupt_journal_record`), and ``"poison"`` corrupts
+#: the worker's copy of the shared-memory key matrix (fired by the
+#: shard task via :meth:`FaultPlan.poison_keys` before its integrity
+#: check).
+FAULT_KINDS = ("crash", "kill", "hang", "corrupt", "bitrot", "journal", "poison")
 
 
 class InjectedFault(RuntimeError):
@@ -46,7 +55,16 @@ class FaultSpec:
     * ``"hang"``   — the worker sleeps ``hang_seconds`` before
       answering, tripping the per-shard timeout;
     * ``"corrupt"`` — ``corrupt_bits`` deterministic bit flips are
-      applied to the shard bytes before the search sees them.
+      applied to the shard bytes before the search sees them;
+    * ``"bitrot"`` — every bit of the shard flips independently with
+      probability ``corrupt_rate`` (seeded): localized decay, the
+      data-level analogue of a hot spot in the §III-D retention maps;
+    * ``"journal"`` — the shard computes normally, but the checkpoint
+      record written for it is corrupted on disk afterwards (the
+      orchestrator fires this one; the worker ignores it);
+    * ``"poison"`` — the worker's private copy of the shared-memory
+      key matrix gets ``corrupt_bits`` flips before its CRC check (the
+      shard task fires this one; ``apply`` ignores it).
 
     ``first_attempts`` bounds the sabotage: the fault fires on attempts
     ``1..first_attempts`` and the shard behaves from then on.  Use
@@ -58,6 +76,7 @@ class FaultSpec:
     first_attempts: int = 1
     hang_seconds: float = 30.0
     corrupt_bits: int = 64
+    corrupt_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -66,6 +85,8 @@ class FaultSpec:
             raise ValueError("a fault must fire on at least one attempt")
         if self.hang_seconds < 0 or self.corrupt_bits < 0:
             raise ValueError("hang duration and corrupt bits must be non-negative")
+        if not 0.0 <= self.corrupt_rate < 0.5:
+            raise ValueError("corrupt_rate must lie in [0, 0.5)")
 
     def fires_on(self, attempt: int) -> bool:
         """Whether this fault is active on the given 1-based attempt."""
@@ -98,6 +119,70 @@ class FaultPlan:
             corrupted[bit // 8] ^= 0x80 >> (bit % 8)
         return corrupted.tobytes()
 
+    def bitrot(self, shard_offset: int, attempt: int, data: bytes, rate: float) -> bytes:
+        """Flip every bit of ``data`` independently at ``rate`` (seeded)."""
+        if not data or rate <= 0.0:
+            return data
+        generator = np.random.Generator(
+            np.random.PCG64(derive_seed("fault-bitrot", self.seed, shard_offset, attempt))
+        )
+        flips = generator.random(len(data) * 8) < rate
+        mask = np.packbits(flips)
+        return (np.frombuffer(data, dtype=np.uint8) ^ mask).tobytes()
+
+    def poison_keys(self, shard_offset: int, attempt: int, keys: np.ndarray) -> np.ndarray:
+        """A bit-flipped copy of a worker's key matrix, when scripted.
+
+        Returns ``keys`` untouched unless a ``"poison"`` fault is
+        scripted for this shard and fires on this attempt; the caller's
+        CRC check against the orchestrator's published matrix is what
+        turns the poison into a structured
+        :class:`~repro.resilience.errors.SharedSegmentCorruptError`.
+        """
+        spec = self.spec_for(shard_offset)
+        if spec is None or spec.kind != "poison" or not spec.fires_on(attempt):
+            return keys
+        poisoned = bytearray(
+            self.corrupt(shard_offset, attempt, np.ascontiguousarray(keys).tobytes(),
+                         max(1, spec.corrupt_bits))
+        )
+        return np.frombuffer(bytes(poisoned), dtype=np.uint8).reshape(keys.shape)
+
+    def corrupt_journal_record(self, path, shard_offset: int) -> bool:
+        """Corrupt the checkpoint record just written for a shard.
+
+        Fired by the orchestrator immediately after the journal line
+        lands on disk, when a ``"journal"`` fault is scripted for the
+        shard: one character inside the final line's JSON content is
+        XOR-damaged (the line still parses or not — either way its CRC
+        no longer matches, so a resume must reject it rather than
+        silently replay a wrong record).  Returns whether a record was
+        corrupted.
+        """
+        spec = self.spec_for(shard_offset)
+        if spec is None or spec.kind != "journal":
+            return False
+        from pathlib import Path
+
+        target = Path(path)
+        raw = target.read_bytes()
+        body = raw[:-1] if raw.endswith(b"\n") else raw
+        line_start = body.rfind(b"\n") + 1
+        if line_start >= len(body):
+            return False
+        rng = SplitMix64(derive_seed("fault-journal", self.seed, shard_offset))
+        position = line_start + rng.next_below(len(body) - line_start)
+        damaged = bytearray(raw)
+        # Stay printable so the damage survives JSON parsing and must be
+        # caught by the CRC, not by a decode error.
+        damaged[position] = ord("0") if damaged[position] != ord("0") else ord("1")
+        target.write_bytes(bytes(damaged))
+        return True
+
+    def has_journal_faults(self) -> bool:
+        """Whether any shard has a ``"journal"`` fault scripted."""
+        return any(spec.kind == "journal" for _, spec in self.faults)
+
     def apply(
         self,
         shard_offset: int,
@@ -119,6 +204,12 @@ class FaultPlan:
             return data
         if spec.kind == "corrupt":
             return self.corrupt(shard_offset, attempt, data, spec.corrupt_bits)
+        if spec.kind == "bitrot":
+            return self.bitrot(shard_offset, attempt, data, spec.corrupt_rate)
+        if spec.kind in ("journal", "poison"):
+            # Fired elsewhere: the orchestrator corrupts the journal
+            # record, the shard task poisons its key-matrix copy.
+            return data
         if spec.kind == "crash" or not in_subprocess:
             raise InjectedFault(
                 f"injected {spec.kind} on shard {shard_offset:#x} attempt {attempt}"

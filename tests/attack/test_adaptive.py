@@ -1,0 +1,225 @@
+"""Decay-adaptive recovery: estimation, budget ladder, triage, engine."""
+
+import numpy as np
+import pytest
+
+from repro.attack.adaptive import (
+    STRICT_STAGE,
+    AdaptiveBudget,
+    AdaptiveRecoveryEngine,
+    BudgetStage,
+    DecayEstimate,
+    estimate_decay_rate,
+    pool_decay_rate,
+    stage_for_rate,
+    triage_regions,
+)
+from repro.attack.aes_search import confidence_score
+from repro.attack.keymine import CandidateKey, keys_matrix, mine_scrambler_keys
+from repro.attack.sweep import synthetic_dump
+from repro.dram.image import MemoryImage
+from repro.resilience.errors import (
+    MixedScramblerRegionError,
+    RegionQuarantineError,
+    TornRegionError,
+)
+from repro.util.blocks import BLOCK_SIZE
+
+
+class TestDecayEstimation:
+    @pytest.mark.parametrize("true_rate", [0.004, 0.012, 0.020])
+    def test_litmus_mismatch_estimator_tracks_the_channel(self, true_rate):
+        dump, _, _ = synthetic_dump(bit_error_rate=true_rate, seed=5)
+        estimate = estimate_decay_rate(image=dump)
+        assert estimate.source == "litmus-mismatch"
+        assert estimate.rate == pytest.approx(true_rate, rel=0.35)
+
+    def test_clean_dump_estimates_near_zero(self):
+        dump, _, _ = synthetic_dump(bit_error_rate=0.0, seed=5)
+        estimate = estimate_decay_rate(image=dump)
+        assert estimate.rate < 0.001
+
+    def test_prior_when_nothing_measurable(self):
+        rng = np.random.default_rng(3)
+        noise = MemoryImage(rng.integers(0, 256, 64 * BLOCK_SIZE, np.uint8).tobytes())
+        estimate = estimate_decay_rate(image=noise, prior_rate=0.007)
+        assert estimate.source == "prior"
+        assert estimate.rate == 0.007
+        assert estimate.sample_bits == 0
+
+    def test_mined_support_beats_image(self):
+        dump, _, _ = synthetic_dump(bit_error_rate=0.01, seed=5)
+        candidates = [
+            CandidateKey(bytes(64), count=4, litmus_mismatch_bits=400, support_bits=40_000)
+        ]
+        estimate = estimate_decay_rate(candidates=candidates, image=dump)
+        assert estimate.source == "mined-support"
+        assert estimate.rate == pytest.approx(0.01)
+
+    def test_reference_map_wins_over_everything(self):
+        from repro.analysis.decay_map import decay_map
+
+        dump, _, _ = synthetic_dump(bit_error_rate=0.008, seed=5)
+        reference, _, _ = synthetic_dump(bit_error_rate=0.0, seed=5)
+        mapped = decay_map(reference, dump)
+        estimate = estimate_decay_rate(reference_map=mapped, image=dump)
+        assert estimate.source == "decay-map"
+        assert estimate.rate == pytest.approx(0.008, rel=0.25)
+
+    def test_pool_decay_rate_zero_for_clean_pool(self):
+        dump, _, _ = synthetic_dump(bit_error_rate=0.0, seed=5)
+        pool = keys_matrix(mine_scrambler_keys(dump))
+        assert pool_decay_rate(pool) == pytest.approx(0.0, abs=1e-6)
+
+    def test_decayed_pool_carries_residual_rate(self):
+        dump, _, _ = synthetic_dump(bit_error_rate=0.012, seed=5)
+        pool = keys_matrix(mine_scrambler_keys(dump, tolerance_bits=32))
+        assert pool_decay_rate(pool) > 0.005
+
+    def test_estimate_validates_range(self):
+        with pytest.raises(ValueError):
+            DecayEstimate(rate=0.5, source="prior", sample_bits=0)
+
+
+class TestBudgetLadder:
+    def test_strict_stage_matches_the_papers_constants(self):
+        assert STRICT_STAGE.litmus_tolerance_bits == 16
+        assert STRICT_STAGE.verify_tolerance_bits == 16
+        assert STRICT_STAGE.keyfind_tolerance_bits == 8
+        assert STRICT_STAGE.schedule_vote is False
+
+    def test_ladder_starts_strict_and_widens(self):
+        estimate = DecayEstimate(rate=0.015, source="prior", sample_bits=0)
+        stages = AdaptiveBudget(estimate).stages()
+        assert stages[0] == STRICT_STAGE
+        tolerances = [s.litmus_tolerance_bits for s in stages]
+        assert tolerances == sorted(tolerances)
+        assert stages[-1].litmus_tolerance_bits > 16
+        assert all(s.schedule_vote for s in stages[1:])
+
+    def test_budgets_scale_with_rate(self):
+        low = stage_for_rate("calibrated", 0.004, cost=2)
+        high = stage_for_rate("calibrated", 0.02, cost=2)
+        assert high.litmus_tolerance_bits > low.litmus_tolerance_bits
+        assert high.verify_tolerance_bits > low.verify_tolerance_bits
+        assert high.accept_mismatch_fraction > low.accept_mismatch_fraction
+
+    def test_total_work_trims_the_ladder(self):
+        estimate = DecayEstimate(rate=0.02, source="prior", sample_bits=0)
+        assert len(AdaptiveBudget(estimate, total_work=1).stages()) == 1
+        assert len(AdaptiveBudget(estimate, total_work=6).stages()) == 3
+
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            BudgetStage("bad", 16, 16, 16, 8, 0.6, 1, False)
+        with pytest.raises(ValueError):
+            BudgetStage("bad", -1, 16, 16, 8, 0.05, 1, False)
+
+
+class TestConfidenceCalibration:
+    def test_residual_above_the_channel_costs_confidence(self):
+        explained = confidence_score(0.01, decay_rate=0.01)
+        surprising = confidence_score(0.05, decay_rate=0.01)
+        assert surprising < explained
+
+    def test_worse_channel_never_raises_confidence(self):
+        scores = [
+            confidence_score(rate, decay_rate=rate)
+            for rate in (0.002, 0.008, 0.012, 0.016, 0.020)
+        ]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_bounded_in_unit_interval(self):
+        assert 0.0 <= confidence_score(0.4, decay_rate=0.0, coverage=0.1) <= 1.0
+        assert confidence_score(0.0, decay_rate=0.0) == pytest.approx(1.0)
+
+
+class TestTriage:
+    def test_healthy_dump_is_one_extent(self):
+        dump, _, _ = synthetic_dump(bit_error_rate=0.002, seed=5)
+        candidates = mine_scrambler_keys(dump)
+        extents, quarantined = triage_regions(dump, candidates, 16, 16)
+        assert quarantined == []
+        assert extents == [(0, len(dump))]
+
+    def test_torn_region_is_quarantined(self):
+        dump, _, _ = synthetic_dump(bit_error_rate=0.002, seed=5)
+        region = 256 * 1024
+        torn = dump.data[:region] + b"\xaa" * region + dump.data[2 * region :]
+        image = MemoryImage(torn)
+        candidates = mine_scrambler_keys(image)
+        extents, quarantined = triage_regions(image, candidates, 16, 16)
+        assert len(quarantined) == 1
+        error = quarantined[0]
+        assert isinstance(error, TornRegionError)
+        assert error.offset == region and error.length == region
+        assert error.to_dict()["reason"] == "torn"
+        covered = sum(length for _, length in extents)
+        assert covered == len(image) - region
+
+    def test_foreign_keystream_is_flagged_mixed(self):
+        dump, _, _ = synthetic_dump(bit_error_rate=0.002, seed=5)
+        other, _, _ = synthetic_dump(bit_error_rate=0.002, seed=99)
+        region = 256 * 1024
+        # A coherent keystream from a different scrambler seed covers
+        # the head: litmus-passing blocks that merge with each other
+        # but with nothing in the dump-wide pool.
+        foreign = mine_scrambler_keys(other)[0].key
+        stitched = MemoryImage(foreign * (region // len(foreign)) + dump.data[region:])
+        candidates = mine_scrambler_keys(MemoryImage(bytes(dump.data[region:])))
+        _, quarantined = triage_regions(stitched, candidates, 16, 16)
+        mixed = [e for e in quarantined if isinstance(e, MixedScramblerRegionError)]
+        assert len(mixed) == 1
+        assert mixed[0].offset == 0 and mixed[0].length == region
+
+    def test_diagnostics_are_structured(self):
+        error = TornRegionError(0x1000, 0x2000, "constant fill")
+        record = error.to_dict()
+        assert record["offset"] == 0x1000 and record["length"] == 0x2000
+        assert isinstance(error, RegionQuarantineError)
+
+
+class TestEngine:
+    def test_beyond_the_seed_cliff_adaptive_still_recovers(self):
+        """At 1.2% BER the fixed budgets recover nothing; adaptive must."""
+        from repro.attack.pipeline import Ddr4ColdBootAttack
+
+        dump, master, _ = synthetic_dump(bit_error_rate=0.012, seed=5)
+        fixed = Ddr4ColdBootAttack().run(dump)
+        assert fixed.recovered_keys == []
+
+        result = AdaptiveRecoveryEngine().recover(dump)
+        truth = {master[:32], master[32:]}
+        assert truth <= set(result.masters)
+        assert result.stages_run[0] == "strict"
+        assert len(result.stages_run) >= 2
+        assert all(r.confidence > 0.0 for r in result.recovered)
+
+    def test_clean_dump_stops_at_strict(self):
+        dump, master, _ = synthetic_dump(bit_error_rate=0.0, seed=5)
+        result = AdaptiveRecoveryEngine().recover(dump)
+        assert result.stages_run == ["strict"]
+        assert result.work_spent == 1
+        assert {master[:32], master[32:]} <= set(result.masters)
+
+    def test_summary_is_json_ready(self):
+        import json
+
+        dump, _, _ = synthetic_dump(bit_error_rate=0.0, seed=5)
+        result = AdaptiveRecoveryEngine().recover(dump)
+        digest = json.loads(json.dumps(result.summary()))
+        assert digest["decay_source"] in ("litmus-mismatch", "mined-support", "prior")
+        assert digest["n_recovered"] == len(result.recovered)
+        assert digest["stages_run"] == ["strict"]
+
+    def test_keyfind_stops_at_strict_on_clean_memory(self):
+        from repro.crypto.aes import expand_key
+
+        rng = np.random.default_rng(11)
+        data = bytearray(rng.integers(0, 256, 64 * 1024, np.uint8).tobytes())
+        master = bytes(rng.integers(0, 256, 32, np.uint8))
+        schedule = expand_key(master)
+        data[4096 : 4096 + len(schedule)] = schedule
+        matches, stages_run = AdaptiveRecoveryEngine().keyfind(MemoryImage(bytes(data)))
+        assert stages_run == ["strict"]
+        assert any(m.master_key == master for m in matches)

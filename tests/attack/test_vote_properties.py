@@ -1,0 +1,141 @@
+"""Property tests: majority voting and schedule error-correction.
+
+Hypothesis drives both correctors through the decay channel the paper
+actually faces — asymmetric flips toward each cell's ground state
+(true cells discharge to 0, anti-cells to 1; a discharged cell never
+recharges) — plus the degenerate shapes (one member, exact ties) that
+unit suites tend to miss.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack.aes_search import AesVariant, vote_correct_table
+from repro.attack.keymine import _majority_vote
+from repro.crypto.aes import expand_key
+from repro.dram.cells import apply_decay, ground_state_pattern
+from repro.util.blocks import BLOCK_SIZE
+
+
+def _reference_majority(members: np.ndarray) -> bytes:
+    """Bit-by-bit reference implementation (ties go to 1)."""
+    bits = np.unpackbits(members, axis=1)
+    out = np.zeros(bits.shape[1], dtype=np.uint8)
+    for column in range(bits.shape[1]):
+        ones = int(bits[:, column].sum())
+        out[column] = 1 if 2 * ones >= members.shape[0] else 0
+    return np.packbits(out).tobytes()
+
+
+def _decayed_members(
+    key: np.ndarray, n_members: int, rate: float, seed: int
+) -> np.ndarray:
+    """Noisy sightings of one key, each decayed toward a per-cell ground."""
+    rng = np.random.default_rng(seed)
+    ground = ground_state_pattern(BLOCK_SIZE, serial=seed, stripe_bytes=16)
+    members = np.repeat(key[None, :], n_members, axis=0).copy()
+    for row in members:
+        apply_decay(row, ground, rate, rng)
+    return members
+
+
+class TestMajorityVote:
+    @given(st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE))
+    def test_single_member_is_returned_verbatim(self, data):
+        members = np.frombuffer(data, dtype=np.uint8).reshape(1, BLOCK_SIZE)
+        assert _majority_vote(members) == data
+
+    @given(
+        st.integers(min_value=2, max_value=9),
+        st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_matches_bitwise_reference(self, n_members, data, seed):
+        key = np.frombuffer(data, dtype=np.uint8)
+        members = _decayed_members(key, n_members, rate=0.1, seed=seed)
+        assert _majority_vote(members) == _reference_majority(members)
+
+    def test_exact_tie_resolves_toward_one(self):
+        members = np.vstack(
+            [np.zeros(BLOCK_SIZE, dtype=np.uint8), np.full(BLOCK_SIZE, 0xFF, np.uint8)]
+        )
+        assert _majority_vote(members) == b"\xff" * BLOCK_SIZE
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_minority_decay_is_outvoted(self, n_decayed, data, seed):
+        """With a strict majority of clean sightings, the vote is exact."""
+        key = np.frombuffer(data, dtype=np.uint8)
+        clean = np.repeat(key[None, :], n_decayed + 1, axis=0)
+        noisy = _decayed_members(key, n_decayed, rate=0.3, seed=seed)
+        members = np.vstack([clean, noisy])
+        assert _majority_vote(members) == data
+
+
+def _random_schedule(key_bits: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    master = rng.integers(0, 256, key_bits // 8, dtype=np.uint8).tobytes()
+    return np.frombuffer(expand_key(master), dtype=np.uint8)
+
+
+class TestVoteCorrectTable:
+    @given(
+        st.sampled_from([128, 192, 256]),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_clean_schedule_is_a_fixpoint(self, key_bits, seed):
+        schedule = _random_schedule(key_bits, seed)
+        assert np.array_equal(vote_correct_table(schedule.copy(), key_bits), schedule)
+
+    @given(
+        st.sampled_from([128, 256]),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_interior_single_flip_is_repaired_exactly(self, key_bits, seed, where):
+        """A flip in a word with all three cross-round predictions heals.
+
+        Interior words are predicted independently by the forward,
+        backward, and inverse key-schedule relations; three clean
+        predictions outvote one decayed observation every time.
+        """
+        variant = AesVariant(key_bits)
+        schedule = _random_schedule(key_bits, seed)
+        interior_words = variant.total_words - 2 * variant.nk
+        word = variant.nk + (where % interior_words)
+        bit = where % 32
+        damaged = schedule.copy()
+        damaged[4 * word + bit // 8] ^= 0x80 >> (bit % 8)
+        assert np.array_equal(vote_correct_table(damaged, key_bits), schedule)
+
+    @settings(deadline=None)
+    @given(
+        st.sampled_from([128, 256]),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.floats(min_value=0.0, max_value=0.02),
+    )
+    def test_asymmetric_decay_never_gets_worse(self, key_bits, seed, rate):
+        """Correction is monotone under ground-state decay.
+
+        Bits only flip *toward* each cell's ground state (§III-D), so
+        the damage is asymmetric; voting must strictly help or leave
+        the table alone — never push it further from the truth.
+        """
+        schedule = _random_schedule(key_bits, seed)
+        rng = np.random.default_rng(seed)
+        ground = ground_state_pattern(len(schedule), serial=seed, stripe_bytes=32)
+        damaged = schedule.copy()
+        apply_decay(damaged, ground, rate, rng)
+        before = int(np.unpackbits(damaged ^ schedule).sum())
+        corrected = vote_correct_table(damaged, key_bits)
+        after = int(np.unpackbits(corrected ^ schedule).sum())
+        assert after <= before
+
+    def test_too_short_table_is_untouched(self):
+        """A 1-word stub (no equations at all) passes through unchanged."""
+        stub = np.arange(4, dtype=np.uint8)
+        assert np.array_equal(vote_correct_table(stub, 128), stub)

@@ -129,3 +129,46 @@ class TestJournal:
         path.write_text('{"type": "shard", "offset": 0, "results": []}\n')
         with pytest.raises(CheckpointCorruptError):
             CheckpointJournal.open(path, make_header(), resume=True)
+
+
+class TestLineCrc:
+    def test_content_rot_fails_the_crc(self, tmp_path):
+        """Valid JSON with silently altered content is still rejected."""
+        path = tmp_path / "scan.jsonl"
+        header = make_header()
+        journal, _ = CheckpointJournal.open(path, header)
+        journal.record(0, [make_result(0)])
+        journal.record(1024, [])
+        journal.close()
+        lines = path.read_text().splitlines()
+        rotted = json.loads(lines[1])
+        rotted["offset"] = 512  # bit-rot that keeps the line parseable
+        lines[1] = json.dumps(rotted)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointCorruptError, match="CRC mismatch on line 2"):
+            CheckpointJournal.open(path, header, resume=True)
+
+    def test_journal_without_crc_fields_still_resumes(self, tmp_path):
+        """Journals written before the CRC field existed stay readable."""
+        path = tmp_path / "scan.jsonl"
+        header = make_header()
+        journal, _ = CheckpointJournal.open(path, header)
+        journal.record(0, [make_result(0)])
+        journal.record(1024, [])
+        journal.close()
+        stripped = []
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            record.pop("crc", None)
+            stripped.append(json.dumps(record))
+        path.write_text("\n".join(stripped) + "\n")
+        _, done = CheckpointJournal.open(path, header, resume=True)
+        assert set(done) == {0, 1024}
+        assert done[0][0].master_key == bytes(range(32))
+
+    def test_crc_ignores_field_order(self):
+        from repro.resilience.checkpoint import line_crc
+
+        record = {"type": "shard", "offset": 7, "results": []}
+        shuffled = {"results": [], "offset": 7, "type": "shard"}
+        assert line_crc(record) == line_crc(shuffled)
