@@ -1,0 +1,131 @@
+"""The seed machine data path, frozen in time: the harness baseline.
+
+:class:`LegacyMemoryController` restores the controller's read/write
+loops exactly as they shipped before the vectorisation PR — one Python
+iteration per 64-byte block, a scalar keystream lookup per block, and a
+``memoryview(bytes(data))`` defensive copy of every payload.
+:func:`legacy_warm_key_pool` generates a scrambler's whole key pool the
+seed way, one key at a time through the bit-at-a-time LFSR clocking in
+``_generate_key``.  :func:`legacy_apply_decay` is the seed decay step:
+eight float32 Bernoulli draws per byte and ``np.unpackbits`` counting.
+
+Keeping the old code importable (rather than checking out an old
+commit) lets ``benchmarks/machine_harness.py`` measure the speedup
+*and* assert byte-identical scrambled contents and dumps in a single
+process, on identical inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.controller.controller import BusTransaction, MemoryController
+from repro.scrambler.base import ScramblerModel
+from repro.util.blocks import BLOCK_SIZE
+
+
+class LegacyMemoryController(MemoryController):
+    """Seed-era controller: per-block Python loops on the data path."""
+
+    def write(self, physical_address: int, data: bytes) -> None:
+        """Write bytes at any alignment (read-modify-write of edge blocks)."""
+        if physical_address < 0:
+            raise ValueError("address must be non-negative")
+        offset = physical_address % BLOCK_SIZE
+        cursor = physical_address - offset
+        payload = memoryview(bytes(data))
+        consumed = 0
+        while consumed < len(data):
+            take = min(BLOCK_SIZE - offset, len(data) - consumed)
+            module, local = self._route(cursor)
+            stream = self._block_keystream(cursor)
+            if take == BLOCK_SIZE:
+                plain = np.frombuffer(payload[consumed : consumed + take], dtype=np.uint8)
+                wire = (plain ^ stream).tobytes()
+            else:
+                # Partial block: merge with the block's current plaintext.
+                raw = np.frombuffer(module.raw_read(local, BLOCK_SIZE), dtype=np.uint8)
+                plain = raw ^ stream
+                plain = plain.copy()
+                plain[offset : offset + take] = np.frombuffer(
+                    payload[consumed : consumed + take], dtype=np.uint8
+                )
+                wire = (plain ^ stream).tobytes()
+            module.raw_write(local, wire)
+            if self._trace_bus:
+                self.bus_trace.append(BusTransaction("write", cursor, wire))
+            consumed += take
+            cursor += BLOCK_SIZE
+            offset = 0
+
+    def read(self, physical_address: int, length: int) -> bytes:
+        """Read bytes at any alignment through the descrambler/decryptor."""
+        if physical_address < 0 or length < 0:
+            raise ValueError("address and length must be non-negative")
+        offset = physical_address % BLOCK_SIZE
+        cursor = physical_address - offset
+        out = bytearray()
+        remaining = length
+        while remaining > 0:
+            take = min(BLOCK_SIZE - offset, remaining)
+            module, local = self._route(cursor)
+            wire = module.raw_read(local, BLOCK_SIZE)
+            if self._trace_bus:
+                self.bus_trace.append(BusTransaction("read", cursor, wire))
+            stream = self._block_keystream(cursor)
+            plain = np.frombuffer(wire, dtype=np.uint8) ^ stream
+            out += plain[offset : offset + take].tobytes()
+            remaining -= take
+            cursor += BLOCK_SIZE
+            offset = 0
+        return bytes(out)
+
+
+def legacy_warm_key_pool(scrambler: ScramblerModel, channel: int) -> np.ndarray:
+    """Generate a channel's full key pool the seed way: one key at a time.
+
+    Each key clocks the generation's LFSR bit by bit inside
+    ``_generate_key``; the keys also land in the scalar ``key_for``
+    cache, so a subsequent legacy fill/dump pays only the per-block
+    Python loop, not key generation — mirroring the seed's behaviour
+    after its first pass over an address range.
+    """
+    pool = np.empty((scrambler.keys_per_channel, BLOCK_SIZE), dtype=np.uint8)
+    for index in range(scrambler.keys_per_channel):
+        key = scrambler._generate_key(channel, index)
+        scrambler._key_cache[(channel, index)] = key
+        pool[index] = np.frombuffer(key, dtype=np.uint8)
+    return pool
+
+
+#: Seed chunking constant, kept for exact reproduction of the old loop.
+LEGACY_DECAY_CHUNK_BYTES = 1 << 20
+
+
+def legacy_apply_decay(
+    data: np.ndarray,
+    ground: np.ndarray,
+    flip_probability: float,
+    rng: np.random.Generator,
+) -> int:
+    """The seed decay step: a dense per-bit Bernoulli draw per chunk."""
+    if data.shape != ground.shape:
+        raise ValueError("data and ground state must have the same shape")
+    if not 0.0 <= flip_probability <= 1.0:
+        raise ValueError(f"flip probability out of range: {flip_probability}")
+    if flip_probability == 0.0:
+        return 0
+    flipped = 0
+    n = len(data)
+    for start in range(0, n, LEGACY_DECAY_CHUNK_BYTES):
+        stop = min(n, start + LEGACY_DECAY_CHUNK_BYTES)
+        chunk = data[start:stop]
+        vulnerable = chunk ^ ground[start:stop]
+        if flip_probability >= 1.0:
+            mask = vulnerable
+        else:
+            raw = rng.random((stop - start) * 8, dtype=np.float32) < flip_probability
+            mask = np.packbits(raw) & vulnerable
+        chunk ^= mask
+        flipped += int(np.unpackbits(mask).sum())
+    return flipped

@@ -39,7 +39,7 @@ class DuplicateBlockStats:
 def duplicate_block_stats(image: MemoryImage) -> DuplicateBlockStats:
     """Count repeated 64-byte block values in an image."""
     counts: Counter[bytes] = Counter()
-    data = image.data
+    data = bytes(image.data)  # dumps may arrive in a mutable buffer
     for i in range(image.n_blocks):
         counts[data[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE]] += 1
     duplicated = sum(c for c in counts.values() if c > 1)

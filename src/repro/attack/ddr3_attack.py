@@ -47,7 +47,7 @@ def block_frequency_analysis(image: MemoryImage, top_n: int = 16) -> list[Freque
     if top_n < 1:
         raise ValueError("top_n must be positive")
     counts: Counter[bytes] = Counter()
-    data = image.data
+    data = bytes(image.data)  # dumps may arrive in a mutable buffer
     for i in range(image.n_blocks):
         counts[data[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE]] += 1
     return [FrequencyCandidate(value, count) for value, count in counts.most_common(top_n)]

@@ -69,7 +69,7 @@ class MemoryController:
         #: BIOS toggle: scrambling/encryption can be switched off, which is
         #: how the paper's analysis motherboard exposed raw DRAM contents.
         self.transform_enabled = transform is not None
-        self.bus_trace: list[BusTransaction] = [] if trace_bus else []
+        self.bus_trace: list[BusTransaction] = []
         self._trace_bus = trace_bus
 
     # ------------------------------------------------------------ geometry
@@ -96,60 +96,191 @@ class MemoryController:
             return np.frombuffer(stream, dtype=np.uint8)
         return np.zeros(BLOCK_SIZE, dtype=np.uint8)
 
+    # ---------------------------------------------------------- bulk routing
+
+    def _route_run(self, base_address: int, n_blocks: int) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised routing for an aligned run: (channels, local block indices)."""
+        amap = self.address_map
+        addresses = np.uint64(base_address) + np.arange(
+            n_blocks, dtype=np.uint64
+        ) * np.uint64(BLOCK_SIZE)
+        channels = amap.channel_of_array(addresses)
+        block_indices = (
+            amap.channel_local_address_array(addresses) >> np.uint64(6)
+        ).astype(np.int64)
+        for channel in np.unique(channels):
+            selected = channels == channel
+            module = self.modules[int(channel)]
+            local = block_indices[selected]
+            over = (local < 0) | (local * BLOCK_SIZE + BLOCK_SIZE > module.capacity_bytes)
+            if over.any():
+                bad = int(addresses[selected][over][0])
+                raise ValueError(
+                    f"address {bad:#x} maps beyond channel {int(channel)}'s module"
+                )
+        return channels, block_indices
+
+    def _range_keystream(self, base_address: int, n_blocks: int) -> np.ndarray | None:
+        """Batched keystream rows for an aligned run; ``None`` = transform off."""
+        if self.transform is None or not self.transform_enabled:
+            return None
+        batched = getattr(self.transform, "keystream_for_range", None)
+        if batched is not None:
+            return np.asarray(batched(base_address, n_blocks), dtype=np.uint8)
+        rows = np.empty((n_blocks, BLOCK_SIZE), dtype=np.uint8)
+        for i in range(n_blocks):
+            rows[i] = np.frombuffer(
+                self.transform.keystream_for_block(base_address + i * BLOCK_SIZE),
+                dtype=np.uint8,
+            )
+        return rows
+
+    def _gather_wire(self, base_address: int, n_blocks: int) -> np.ndarray:
+        """Raw wire data for an aligned run as ``(n_blocks, 64)`` rows.
+
+        Single-channel layouts return a zero-copy view of the module.
+        """
+        if self.address_map.channels == 1:
+            return self.modules[0].raw_read_run(base_address // BLOCK_SIZE, n_blocks)
+        channels, block_indices = self._route_run(base_address, n_blocks)
+        out = np.empty((n_blocks, BLOCK_SIZE), dtype=np.uint8)
+        for channel in np.unique(channels):
+            selected = channels == channel
+            out[selected] = self.modules[int(channel)].raw_read_blocks(
+                block_indices[selected]
+            )
+        return out
+
+    def _scatter_wire(self, base_address: int, rows: np.ndarray) -> None:
+        """Write ``(n, 64)`` wire rows to an aligned run across channels."""
+        if self.address_map.channels == 1:
+            self.modules[0].raw_write_run(base_address // BLOCK_SIZE, rows)
+            return
+        channels, block_indices = self._route_run(base_address, len(rows))
+        for channel in np.unique(channels):
+            selected = channels == channel
+            self.modules[int(channel)].raw_write_blocks(
+                block_indices[selected], rows[selected]
+            )
+
+    def _trace_run(self, kind: str, base_address: int, rows: np.ndarray) -> None:
+        append = self.bus_trace.append
+        for i in range(len(rows)):
+            append(
+                BusTransaction(kind, base_address + i * BLOCK_SIZE, rows[i].tobytes())
+            )
+
     # ------------------------------------------------------------ data path
 
+    #: Blocks per bulk run (4 MiB): bounds keystream/wire temporaries.
+    RUN_BLOCKS = 1 << 16
+
+    def _write_partial(self, block_address: int, offset: int, chunk: np.ndarray) -> None:
+        """Read-modify-write for an unaligned edge of a larger write."""
+        module, local = self._route(block_address)
+        stream = self._block_keystream(block_address)
+        raw = np.frombuffer(module.raw_read(local, BLOCK_SIZE), dtype=np.uint8)
+        plain = raw ^ stream
+        plain[offset : offset + chunk.size] = chunk
+        wire = (plain ^ stream).tobytes()
+        module.raw_write(local, wire)
+        if self._trace_bus:
+            self.bus_trace.append(BusTransaction("write", block_address, wire))
+
     def write(self, physical_address: int, data: bytes) -> None:
-        """Write bytes at any alignment (read-modify-write of edge blocks)."""
+        """Write any bytes-like at any alignment, without copying the payload.
+
+        Aligned whole-block runs go through the vectorised path — one
+        routing pass, one batched keystream, one XOR — with scalar
+        read-modify-write only at unaligned edges.
+        """
         if physical_address < 0:
             raise ValueError("address must be non-negative")
+        payload = np.frombuffer(data, dtype=np.uint8)
+        total = payload.size
+        if total == 0:
+            return
+        cursor = physical_address
+        consumed = 0
+        offset = physical_address % BLOCK_SIZE
+        if offset:
+            take = min(BLOCK_SIZE - offset, total)
+            self._write_partial(cursor - offset, offset, payload[:take])
+            consumed = take
+            cursor += take
+        while (total - consumed) // BLOCK_SIZE:
+            n_run = min((total - consumed) // BLOCK_SIZE, self.RUN_BLOCKS)
+            rows = payload[consumed : consumed + n_run * BLOCK_SIZE].reshape(
+                n_run, BLOCK_SIZE
+            )
+            stream = self._range_keystream(cursor, n_run)
+            wire = rows if stream is None else rows ^ stream
+            self._scatter_wire(cursor, wire)
+            if self._trace_bus:
+                self._trace_run("write", cursor, wire)
+            consumed += n_run * BLOCK_SIZE
+            cursor += n_run * BLOCK_SIZE
+        if consumed < total:
+            self._write_partial(cursor, 0, payload[consumed:])
+
+    def _read_into_array(self, physical_address: int, out: np.ndarray) -> None:
+        """Descramble ``out.size`` bytes starting anywhere into ``out``."""
+        length = out.size
         offset = physical_address % BLOCK_SIZE
         cursor = physical_address - offset
-        payload = memoryview(bytes(data))
-        consumed = 0
-        while consumed < len(data):
-            take = min(BLOCK_SIZE - offset, len(data) - consumed)
-            module, local = self._route(cursor)
-            stream = self._block_keystream(cursor)
-            if take == BLOCK_SIZE:
-                plain = np.frombuffer(payload[consumed : consumed + take], dtype=np.uint8)
-                wire = (plain ^ stream).tobytes()
-            else:
-                # Partial block: merge with the block's current plaintext.
-                raw = np.frombuffer(module.raw_read(local, BLOCK_SIZE), dtype=np.uint8)
-                plain = raw ^ stream
-                plain = plain.copy()
-                plain[offset : offset + take] = np.frombuffer(
-                    payload[consumed : consumed + take], dtype=np.uint8
-                )
-                wire = (plain ^ stream).tobytes()
-            module.raw_write(local, wire)
+        produced = 0
+        while produced < length:
+            remaining = length - produced
+            n_run = min(
+                (offset + remaining + BLOCK_SIZE - 1) // BLOCK_SIZE, self.RUN_BLOCKS
+            )
+            wire = self._gather_wire(cursor, n_run)
             if self._trace_bus:
-                self.bus_trace.append(BusTransaction("write", cursor, wire))
-            consumed += take
-            cursor += BLOCK_SIZE
+                self._trace_run("read", cursor, wire)
+            stream = self._range_keystream(cursor, n_run)
+            take = min(n_run * BLOCK_SIZE - offset, remaining)
+            dest = out[produced : produced + take]
+            if offset == 0 and take == n_run * BLOCK_SIZE:
+                # Whole-run case: XOR straight into the caller's buffer.
+                shaped = dest.reshape(n_run, BLOCK_SIZE)
+                if stream is None:
+                    np.copyto(shaped, wire)
+                else:
+                    np.bitwise_xor(wire, stream, out=shaped)
+            else:
+                plain = wire if stream is None else wire ^ stream
+                dest[:] = plain.reshape(-1)[offset : offset + take]
+            produced += take
+            cursor += n_run * BLOCK_SIZE
             offset = 0
 
     def read(self, physical_address: int, length: int) -> bytes:
         """Read bytes at any alignment through the descrambler/decryptor."""
         if physical_address < 0 or length < 0:
             raise ValueError("address and length must be non-negative")
-        offset = physical_address % BLOCK_SIZE
-        cursor = physical_address - offset
-        out = bytearray()
-        remaining = length
-        while remaining > 0:
-            take = min(BLOCK_SIZE - offset, remaining)
-            module, local = self._route(cursor)
-            wire = module.raw_read(local, BLOCK_SIZE)
-            if self._trace_bus:
-                self.bus_trace.append(BusTransaction("read", cursor, wire))
-            stream = self._block_keystream(cursor)
-            plain = np.frombuffer(wire, dtype=np.uint8) ^ stream
-            out += plain[offset : offset + take].tobytes()
-            remaining -= take
-            cursor += BLOCK_SIZE
-            offset = 0
-        return bytes(out)
+        if length == 0:
+            return b""
+        out = np.empty(length, dtype=np.uint8)
+        self._read_into_array(physical_address, out)
+        return out.tobytes()
+
+    def read_into(self, physical_address: int, out) -> None:
+        """Descramble a range directly into a writable buffer, zero-copy.
+
+        ``out`` may be any writable buffer (bytearray, shared-memory
+        memoryview, numpy array); its length sets the read size.  This is
+        the streaming path :meth:`~repro.victim.machine.Machine.
+        bare_metal_dump` uses to fill preallocated dump buffers.
+        """
+        if physical_address < 0:
+            raise ValueError("address must be non-negative")
+        if isinstance(out, np.ndarray):
+            arr = out.reshape(-1).view(np.uint8)
+        else:
+            arr = np.frombuffer(out, dtype=np.uint8)
+        if not arr.flags.writeable:
+            raise ValueError("read_into needs a writable buffer")
+        self._read_into_array(physical_address, arr)
 
     # --------------------------------------------------------- raw access
 
@@ -161,9 +292,9 @@ class MemoryController:
         """
         if physical_address % BLOCK_SIZE or len(data) % BLOCK_SIZE:
             raise ValueError("raw wire access requires whole aligned blocks")
-        for i in range(0, len(data), BLOCK_SIZE):
-            module, local = self._route(physical_address + i)
-            module.raw_write(local, data[i : i + BLOCK_SIZE])
+        rows = np.frombuffer(data, dtype=np.uint8).reshape(-1, BLOCK_SIZE)
+        if len(rows):
+            self._scatter_wire(physical_address, rows)
 
     def dump_through_transform(self, base_address: int, length: int) -> bytes:
         """What the bare-metal GRUB dumper sees: a read of the whole range."""

@@ -15,6 +15,8 @@ under load in Figure 6 (see ``repro.engine``).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.crypto.chacha import ChaCha
 from repro.crypto.ctr import CtrKeystream
 from repro.util.blocks import BLOCK_SIZE
@@ -75,3 +77,22 @@ class StreamCipherEngine:
         if self._chacha is not None:
             return self._chacha.keystream_block(block_index)
         return self._ctr.keystream(counter=4 * block_index, length=BLOCK_SIZE)
+
+    def keystream_for_range(self, base_address: int, n_blocks: int) -> np.ndarray:
+        """Keystream for ``n_blocks`` consecutive bursts: (n_blocks, 64).
+
+        ChaCha consumes one counter per burst; AES-CTR consumes four
+        16-byte counter blocks per burst, generated as one batch.
+        """
+        if base_address % BLOCK_SIZE:
+            raise ValueError("keystream requests must be 64-byte aligned")
+        if n_blocks < 0:
+            raise ValueError("n_blocks must be non-negative")
+        first_block = base_address // BLOCK_SIZE
+        block_indices = np.uint64(first_block) + np.arange(n_blocks, dtype=np.uint64)
+        if self._chacha is not None:
+            return self._chacha.keystream_blocks(block_indices)
+        counters = (
+            np.uint64(4) * block_indices[:, None] + np.arange(4, dtype=np.uint64)
+        ).reshape(-1)
+        return self._ctr.keystream_blocks(counters).reshape(n_blocks, BLOCK_SIZE)

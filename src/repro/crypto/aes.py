@@ -366,3 +366,49 @@ class AES:
     def expanded_schedule(self) -> bytes:
         """The full expanded key schedule as stored in memory by software."""
         return b"".join(self.round_keys)
+
+    def encrypt_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Encrypt many 16-byte blocks at once: ``(n, 16)`` in and out.
+
+        Row ``i`` equals ``encrypt_block(blocks[i])``; each AES layer
+        runs as one table lookup / permutation / XOR over the whole
+        batch, which is what lets the §IV AES-CTR engine keep up with
+        the bulk memory-controller data path.
+        """
+        blocks = np.asarray(blocks, dtype=np.uint8)
+        if blocks.ndim != 2 or blocks.shape[1] != 16:
+            raise ValueError(f"blocks must be (n, 16), got {blocks.shape}")
+        round_keys = np.frombuffer(b"".join(self.round_keys), dtype=np.uint8).reshape(
+            self.rounds + 1, 16
+        )
+        state = blocks ^ round_keys[0]
+        for round_index in range(1, self.rounds):
+            state = SBOX[state][:, _SHIFT_ROWS_PERM]
+            state = _mix_columns_batch(state)
+            state ^= round_keys[round_index]
+        state = SBOX[state][:, _SHIFT_ROWS_PERM]
+        state ^= round_keys[self.rounds]
+        return state
+
+
+#: ShiftRows as a flat byte permutation: state[r][c] lives at r + 4c, and
+#: the rotated row reads state[r][(c + r) % 4].
+_SHIFT_ROWS_PERM = np.array(
+    [r + 4 * ((c + r) % 4) for c in range(4) for r in range(4)], dtype=np.intp
+)
+
+#: GF(2^8) ·2 and ·3 lookup tables for the batched MixColumns.
+_GF_MUL2 = np.array([gf_multiply(2, value) for value in range(256)], dtype=np.uint8)
+_GF_MUL3 = np.array([gf_multiply(3, value) for value in range(256)], dtype=np.uint8)
+
+
+def _mix_columns_batch(state: np.ndarray) -> np.ndarray:
+    """MixColumns over an ``(n, 16)`` batch (forward direction only)."""
+    columns = state.reshape(-1, 4, 4)
+    b0, b1, b2, b3 = (columns[:, :, r] for r in range(4))
+    mixed = np.empty_like(columns)
+    mixed[:, :, 0] = _GF_MUL2[b0] ^ _GF_MUL3[b1] ^ b2 ^ b3
+    mixed[:, :, 1] = b0 ^ _GF_MUL2[b1] ^ _GF_MUL3[b2] ^ b3
+    mixed[:, :, 2] = b0 ^ b1 ^ _GF_MUL2[b2] ^ _GF_MUL3[b3]
+    mixed[:, :, 3] = _GF_MUL3[b0] ^ b1 ^ b2 ^ _GF_MUL2[b3]
+    return mixed.reshape(-1, 16)

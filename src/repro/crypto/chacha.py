@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import struct
 
+import numpy as np
+
 _CONSTANTS = struct.unpack("<4I", b"expand 32-byte k")
 _MASK32 = 0xFFFFFFFF
 
@@ -84,6 +86,68 @@ def chacha_block(key: bytes, counter: int, nonce: bytes, rounds: int = 20) -> by
     return struct.pack("<16I", *output)
 
 
+def _rotl32_vec(values: np.ndarray, amount: int) -> np.ndarray:
+    """Rotate a uint32 vector left (wrapping shifts, no promotion)."""
+    amount = np.uint32(amount)
+    inverse = np.uint32(32) - amount
+    return (values << amount) | (values >> inverse)
+
+
+def _quarter_round_vec(state: list[np.ndarray], a: int, b: int, c: int, d: int) -> None:
+    """The quarter round over vectors of states (one lane per counter)."""
+    state[a] += state[b]
+    state[d] = _rotl32_vec(state[d] ^ state[a], 16)
+    state[c] += state[d]
+    state[b] = _rotl32_vec(state[b] ^ state[c], 12)
+    state[a] += state[b]
+    state[d] = _rotl32_vec(state[d] ^ state[a], 8)
+    state[c] += state[d]
+    state[b] = _rotl32_vec(state[b] ^ state[c], 7)
+
+
+def chacha_blocks(
+    key: bytes, counters: np.ndarray, nonce: bytes, rounds: int = 20
+) -> np.ndarray:
+    """Many 64-byte ChaCha keystream blocks at once: ``(n, 64)`` uint8.
+
+    Row ``i`` equals ``chacha_block(key, counters[i], nonce, rounds)``;
+    the 16 state words are uint32 vectors with one lane per counter, so
+    a whole memory range's keystream is a few dozen numpy ops instead
+    of a Python round function per block.
+    """
+    if rounds <= 0 or rounds % 2:
+        raise ValueError(f"rounds must be a positive even number, got {rounds}")
+    counters = np.asarray(counters, dtype=np.uint64)
+    # Validate key/nonce layout once via the scalar state builder.
+    template = _initial_state(key, 0, nonce)
+    n = counters.shape[0]
+    state = [np.full(n, word, dtype=np.uint32) for word in template]
+    if len(nonce) == 12:
+        if n and int(counters.max()) >= (1 << 32):
+            raise ValueError("counter out of range for a 12-byte nonce (32-bit counter)")
+        state[12] = counters.astype(np.uint32)
+    else:
+        state[12] = (counters & np.uint64(_MASK32)).astype(np.uint32)
+        state[13] = (counters >> np.uint64(32)).astype(np.uint32)
+    working = [words.copy() for words in state]
+    for _ in range(rounds // 2):
+        # Column round.
+        _quarter_round_vec(working, 0, 4, 8, 12)
+        _quarter_round_vec(working, 1, 5, 9, 13)
+        _quarter_round_vec(working, 2, 6, 10, 14)
+        _quarter_round_vec(working, 3, 7, 11, 15)
+        # Diagonal round.
+        _quarter_round_vec(working, 0, 5, 10, 15)
+        _quarter_round_vec(working, 1, 6, 11, 12)
+        _quarter_round_vec(working, 2, 7, 8, 13)
+        _quarter_round_vec(working, 3, 4, 9, 14)
+    output = np.empty((n, 16), dtype=np.uint32)
+    for index in range(16):
+        output[:, index] = working[index] + state[index]
+    # Serialise words little-endian, matching struct.pack("<16I", ...).
+    return output.astype("<u4", copy=False).view(np.uint8).reshape(n, 64)
+
+
 class ChaCha:
     """ChaCha keystream generator / XOR cipher.
 
@@ -107,6 +171,10 @@ class ChaCha:
     def keystream_block(self, counter: int) -> bytes:
         """The 64-byte keystream block for one counter value."""
         return chacha_block(self.key, counter, self.nonce, self.rounds)
+
+    def keystream_blocks(self, counters: np.ndarray) -> np.ndarray:
+        """Batched keystream: one 64-byte row per counter value."""
+        return chacha_blocks(self.key, counters, self.nonce, self.rounds)
 
     def keystream(self, counter: int, length: int) -> bytes:
         """``length`` bytes of keystream starting at block ``counter``."""

@@ -8,6 +8,8 @@ so encrypting one memory block consumes four consecutive counter values
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.crypto.aes import AES
 
 
@@ -39,6 +41,14 @@ class CtrKeystream:
     def keystream_block(self, counter: int) -> bytes:
         """One 16-byte keystream block for one counter value."""
         return self._cipher.encrypt_block(_counter_block(self.nonce, counter))
+
+    def keystream_blocks(self, counters: np.ndarray) -> np.ndarray:
+        """Batched keystream: one 16-byte row per counter value."""
+        counters = np.ascontiguousarray(counters, dtype=">u8")
+        inputs = np.empty((counters.shape[0], self.BLOCK_BYTES), dtype=np.uint8)
+        inputs[:, :8] = np.frombuffer(self.nonce, dtype=np.uint8)
+        inputs[:, 8:] = counters.view(np.uint8).reshape(-1, 8)
+        return self._cipher.encrypt_blocks(inputs)
 
     def keystream(self, counter: int, length: int) -> bytes:
         """``length`` keystream bytes starting at block ``counter``."""

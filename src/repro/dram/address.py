@@ -19,7 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.util.bits import extract_bits
+import numpy as np
+
+from repro.util.bits import extract_bits, extract_bits_array
 from repro.util.blocks import BLOCK_SIZE
 
 
@@ -78,6 +80,42 @@ class DramAddressMap:
         scrambler mixes it with the boot seed (see ``repro.scrambler``).
         """
         return extract_bits(physical_address, self.key_index_bits)
+
+    # ------------------------------------------------------- vector forms
+    #
+    # The bulk controller/scrambler data path routes whole address runs
+    # at once; these are the array-vectorised twins of the scalar
+    # methods above, operating on uint64 address vectors.
+
+    def channel_of_array(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`channel_of` over a uint64 address vector."""
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        if self.channels == 1:
+            return np.zeros(addresses.shape, dtype=np.int64)
+        selected = extract_bits_array(addresses, self.channel_bits)
+        return (selected % np.uint64(self.channels)).astype(np.int64)
+
+    def key_index_of_array(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`key_index_of` over a uint64 address vector."""
+        return extract_bits_array(addresses, self.key_index_bits).astype(np.int64)
+
+    def channel_local_address_array(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`channel_local_address` (uint64 in and out).
+
+        Squeezes the channel-select bits out of every address with the
+        same shift/mask cascade as the scalar form, highest dropped bit
+        first.
+        """
+        addresses = np.asarray(addresses, dtype=np.uint64).copy()
+        if self.channels == 1:
+            return addresses
+        one = np.uint64(1)
+        for position in sorted(self.channel_bits, reverse=True):
+            pos = np.uint64(position)
+            high = addresses >> (pos + one)
+            low = addresses & ((one << pos) - one)
+            addresses = (high << pos) | low
+        return addresses
 
     def decompose(self, physical_address: int) -> "DramCoordinates":
         """Full channel/bank/row/column decomposition of an address."""

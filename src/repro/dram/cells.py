@@ -27,11 +27,66 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.util.bits import popcount_bytes
 from repro.util.rng import derive_seed
 
 #: Bytes processed per chunk when applying decay, to bound the size of
 #: the temporary per-bit random arrays (8 floats per byte).
 DECAY_CHUNK_BYTES = 1 << 20
+
+#: Below this flip probability, decay switches from the dense per-bit
+#: Bernoulli draw to sparse position sampling (same distribution, cost
+#: proportional to the number of flips instead of the number of bits).
+#: Kept conservatively low: above it the draw is bit-for-bit identical
+#: to the original dense implementation (same RNG consumption), so
+#: fixed-seed simulations of cold-to-moderate transfers reproduce the
+#: exact historical flip patterns; the sparse win only matters in the
+#: sub-0.5% regimes where flips are rare anyway.
+SPARSE_DECAY_THRESHOLD = 0.005
+
+
+def _build_select_table() -> np.ndarray:
+    """``table[value, k]`` = mask of the k-th set bit of ``value``, MSB first."""
+    table = np.zeros((256, 8), dtype=np.uint8)
+    for value in range(256):
+        k = 0
+        for bit in range(7, -1, -1):
+            if value >> bit & 1:
+                table[value, k] = 1 << bit
+                k += 1
+    return table
+
+
+_SELECT_TABLE = _build_select_table()
+
+
+def _sample_flip_positions(
+    rng: np.random.Generator, total: int, p: float
+) -> np.ndarray:
+    """Ranks of flipped bits among ``total`` vulnerable bits.
+
+    Successive success positions of a Bernoulli(p) stream have i.i.d.
+    Geometric(p) gaps, so walking sampled gaps reproduces the dense
+    per-bit draw's distribution without materialising ``total`` floats.
+    """
+    batches = []
+    prev = -1
+    while prev < total - 1:
+        size = int((total - 1 - prev) * p * 1.1) + 16
+        gaps = rng.geometric(p, size=size)
+        # For tiny p the sampler saturates gaps at int64 max, and their
+        # cumsum would wrap negative.  A gap >= total lands past the end
+        # (ending the walk) no matter its exact value, so cap first.
+        np.minimum(gaps, total, out=gaps)
+        positions = prev + np.cumsum(gaps)
+        if positions[-1] >= total:
+            batches.append(positions[positions < total])
+            break
+        batches.append(positions)
+        prev = int(positions[-1])
+    if not batches:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(batches)
 
 
 @dataclass(frozen=True)
@@ -139,9 +194,26 @@ def apply_decay(
         vulnerable = chunk ^ ground[start:stop]
         if flip_probability >= 1.0:
             mask = vulnerable
-        else:
+        elif flip_probability >= SPARSE_DECAY_THRESHOLD:
             raw = rng.random((stop - start) * 8, dtype=np.float32) < flip_probability
             mask = np.packbits(raw) & vulnerable
+        else:
+            # Sparse path: sample which vulnerable bits flip instead of
+            # drawing a float per bit of the chunk.
+            counts = popcount_bytes(vulnerable)
+            cumulative = np.cumsum(counts, dtype=np.int64)
+            total = int(cumulative[-1]) if counts.size else 0
+            if total == 0:
+                continue
+            ranks = _sample_flip_positions(rng, total, flip_probability)
+            if ranks.size == 0:
+                continue
+            byte_index = np.searchsorted(cumulative, ranks, side="right")
+            rank_in_byte = ranks - (cumulative[byte_index] - counts[byte_index])
+            masks = _SELECT_TABLE[vulnerable[byte_index], rank_in_byte]
+            np.bitwise_xor.at(chunk, byte_index, masks)
+            flipped += int(ranks.size)
+            continue
         chunk ^= mask
-        flipped += int(np.unpackbits(mask).sum())
+        flipped += int(popcount_bytes(mask).sum())
     return flipped

@@ -206,6 +206,22 @@ class SharedDumpBuffer:
         return cls(name=shm.name, length=length, _shm=shm, _owner=True)
 
     @classmethod
+    def allocate(cls, length: int) -> "SharedDumpBuffer":
+        """Create an empty segment for a dump to be streamed into.
+
+        Unlike :meth:`create`, no source buffer exists yet: the dumper
+        writes directly into :attr:`view` (e.g. via
+        ``MemoryController.read_into``), so the dump bytes are produced
+        straight into shared memory with zero intermediate copies.
+        """
+        from multiprocessing import shared_memory
+
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        shm = shared_memory.SharedMemory(create=True, size=max(1, length))
+        return cls(name=shm.name, length=length, _shm=shm, _owner=True)
+
+    @classmethod
     def attach(cls, name: str, length: int) -> "SharedDumpBuffer":
         """Attach to a segment created elsewhere (zero copy)."""
         from multiprocessing import resource_tracker, shared_memory

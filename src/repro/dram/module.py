@@ -119,8 +119,51 @@ class DramModule:
             raise RuntimeError("cannot write an unpowered module")
         self._check_range(address, len(payload))
         self.data[address : address + len(payload)] = np.frombuffer(
-            bytes(payload), dtype=np.uint8
+            payload, dtype=np.uint8
         )
+
+    # ----------------------------------------------------------- bulk access
+
+    def _check_block_indices(self, block_indices: np.ndarray) -> None:
+        if not self.powered:
+            raise RuntimeError("cannot access an unpowered module")
+        if block_indices.size and (
+            int(block_indices.min()) < 0
+            or int(block_indices.max()) * 64 + 64 > self.capacity_bytes
+        ):
+            raise ValueError(
+                f"block access outside module of {self.capacity_bytes} bytes"
+            )
+
+    def blocks_view(self) -> np.ndarray:
+        """The cell array as a zero-copy ``(n_blocks, 64)`` matrix."""
+        return self.data.reshape(-1, 64)
+
+    def raw_read_blocks(self, block_indices: np.ndarray) -> np.ndarray:
+        """Gather whole 64-byte blocks by block index: ``(n, 64)`` copy."""
+        block_indices = np.asarray(block_indices, dtype=np.int64)
+        self._check_block_indices(block_indices)
+        return self.blocks_view()[block_indices]
+
+    def raw_read_run(self, start_block: int, n_blocks: int) -> np.ndarray:
+        """A contiguous block run as a zero-copy ``(n_blocks, 64)`` view."""
+        if not self.powered:
+            raise RuntimeError("cannot read an unpowered module")
+        self._check_range(start_block * 64, n_blocks * 64)
+        return self.blocks_view()[start_block : start_block + n_blocks]
+
+    def raw_write_run(self, start_block: int, rows: np.ndarray) -> None:
+        """Overwrite a contiguous block run with ``(n, 64)`` rows."""
+        if not self.powered:
+            raise RuntimeError("cannot write an unpowered module")
+        self._check_range(start_block * 64, len(rows) * 64)
+        self.blocks_view()[start_block : start_block + len(rows)] = rows
+
+    def raw_write_blocks(self, block_indices: np.ndarray, rows: np.ndarray) -> None:
+        """Scatter whole 64-byte blocks by block index."""
+        block_indices = np.asarray(block_indices, dtype=np.int64)
+        self._check_block_indices(block_indices)
+        self.blocks_view()[block_indices] = rows
 
     def dump(self) -> bytes:
         """Full raw image of the module (bare-metal GRUB dump)."""
@@ -143,9 +186,9 @@ class DramModule:
         if len(reference) != self.capacity_bytes:
             raise ValueError("reference length must equal module capacity")
         ref = np.frombuffer(reference, dtype=np.uint8)
-        from repro.util.bits import POPCOUNT_TABLE
+        from repro.util.bits import popcount_bytes
 
-        wrong = int(POPCOUNT_TABLE[self.data ^ ref].sum())
+        wrong = int(popcount_bytes(self.data ^ ref).sum())
         return 1.0 - wrong / (8 * self.capacity_bytes)
 
 

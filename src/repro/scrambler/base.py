@@ -32,12 +32,25 @@ class ScramblerModel(ABC):
         self.address_map = address_map
         self.boot_seed = boot_seed
         self._key_cache: dict[tuple[int, int], bytes] = {}
+        self._pool_cache: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------- key model
 
     @abstractmethod
     def _generate_key(self, channel: int, key_index: int) -> bytes:
         """Produce the 64-byte key for one (channel, key-index) pair."""
+
+    def _generate_key_pool(self, channel: int) -> np.ndarray:
+        """Materialise the channel's whole key pool as a (keys, 64) matrix.
+
+        Subclasses override this with batched generators (GF(2) leap
+        matrices over all key indices at once); the fallback loops the
+        scalar :meth:`_generate_key` so any scrambler gets a pool.
+        """
+        pool = np.empty((self.keys_per_channel, BLOCK_SIZE), dtype=np.uint8)
+        for index in range(self.keys_per_channel):
+            pool[index] = np.frombuffer(self.key_for(channel, index), dtype=np.uint8)
+        return pool
 
     @property
     def keys_per_channel(self) -> int:
@@ -48,6 +61,25 @@ class ScramblerModel(ABC):
         """Simulate a reboot: the BIOS writes a fresh scrambler seed."""
         self.boot_seed = boot_seed
         self._key_cache.clear()
+        self._pool_cache.clear()
+
+    def key_pool(self, channel: int = 0) -> np.ndarray:
+        """The channel's full key pool as a read-only (keys, 64) matrix.
+
+        Built once per (channel, boot seed) — the bulk data path serves
+        every keystream request as a fancy-index gather from this matrix.
+        """
+        pool = self._pool_cache.get(channel)
+        if pool is None:
+            pool = np.ascontiguousarray(self._generate_key_pool(channel), dtype=np.uint8)
+            if pool.shape != (self.keys_per_channel, BLOCK_SIZE):
+                raise AssertionError(
+                    f"key pool must be ({self.keys_per_channel}, {BLOCK_SIZE}), "
+                    f"got {pool.shape}"
+                )
+            pool.setflags(write=False)
+            self._pool_cache[channel] = pool
+        return pool
 
     def key_for(self, channel: int, key_index: int) -> bytes:
         """The 64-byte key for a (channel, key-index) pair, cached."""
@@ -73,6 +105,30 @@ class ScramblerModel(ABC):
             raise ValueError("keystream requests must be 64-byte aligned")
         return self.key_for_address(physical_address)
 
+    def keystream_for_range(self, base_address: int, n_blocks: int) -> np.ndarray:
+        """Keystream for ``n_blocks`` consecutive blocks: (n_blocks, 64).
+
+        The bulk controller path: channel and key-index selectors for
+        the whole run come from the vectorised address map, then each
+        channel's rows are one fancy-index gather from its key pool.
+        """
+        if base_address % BLOCK_SIZE:
+            raise ValueError("keystream requests must be 64-byte aligned")
+        if n_blocks < 0:
+            raise ValueError("n_blocks must be non-negative")
+        addresses = np.uint64(base_address) + np.arange(
+            n_blocks, dtype=np.uint64
+        ) * np.uint64(BLOCK_SIZE)
+        key_indices = self.address_map.key_index_of_array(addresses)
+        if self.address_map.channels == 1:
+            return self.key_pool(0)[key_indices]
+        channels = self.address_map.channel_of_array(addresses)
+        out = np.empty((n_blocks, BLOCK_SIZE), dtype=np.uint8)
+        for channel in np.unique(channels):
+            selected = channels == channel
+            out[selected] = self.key_pool(int(channel))[key_indices[selected]]
+        return out
+
     def all_keys(self, channel: int = 0) -> list[bytes]:
         """The channel's full key pool, ordered by key index."""
         return [self.key_for(channel, i) for i in range(self.keys_per_channel)]
@@ -97,12 +153,8 @@ class ScramblerModel(ABC):
         if base_address % BLOCK_SIZE or len(data) % BLOCK_SIZE:
             raise ValueError("range operations require whole aligned blocks")
         n = len(data) // BLOCK_SIZE
-        keys = np.empty((n, BLOCK_SIZE), dtype=np.uint8)
-        for i in range(n):
-            keys[i] = np.frombuffer(
-                self.key_for_address(base_address + i * BLOCK_SIZE), dtype=np.uint8
-            )
-        blocks = np.frombuffer(bytes(data), dtype=np.uint8).reshape(n, BLOCK_SIZE)
+        keys = self.keystream_for_range(base_address, n)
+        blocks = np.frombuffer(data, dtype=np.uint8).reshape(n, BLOCK_SIZE)
         return (blocks ^ keys).tobytes()
 
     descramble_range = scramble_range

@@ -21,9 +21,11 @@ seed alone.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.dram.address import DramAddressMap, address_map_for
 from repro.scrambler.base import ScramblerModel
-from repro.scrambler.lfsr import GaloisLfsr
+from repro.scrambler.lfsr import GaloisLfsr, batch_lfsr_bytes
 from repro.util.blocks import BLOCK_SIZE
 from repro.util.rng import derive_seed
 
@@ -66,6 +68,24 @@ class Ddr3Scrambler(ScramblerModel):
         address_part = self._address_pattern(channel, key_index)
         seed_part = self._seed_pattern(channel)
         return bytes(a ^ s for a, s in zip(address_part, seed_part))
+
+    def _generate_key_pool(self, channel: int) -> np.ndarray:
+        # All 16 address-pattern LFSRs plus the seed-pattern LFSR advance
+        # together through the GF(2) leap functionals; byte-identical to
+        # the scalar _generate_key, key by key.
+        address_seeds = np.array(
+            [
+                derive_seed("ddr3-addr-pattern", self.cpu_generation, channel, index)
+                for index in range(self.keys_per_channel)
+            ],
+            dtype=np.uint64,
+        )
+        address_parts = batch_lfsr_bytes(address_seeds, BLOCK_SIZE)
+        seed_seed = np.array(
+            [derive_seed("ddr3-seed-pattern", self.boot_seed, channel)], dtype=np.uint64
+        )
+        seed_part = batch_lfsr_bytes(seed_seed, BLOCK_SIZE)
+        return address_parts ^ seed_part
 
     def universal_key_against(self, other_seed: int, channel: int = 0) -> bytes:
         """The single key relating this boot's scrambling to another boot's.

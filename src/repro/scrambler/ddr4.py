@@ -27,9 +27,11 @@ read back through a scrambler with a different set of keys."
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.dram.address import DramAddressMap, address_map_for
 from repro.scrambler.base import ScramblerModel
-from repro.scrambler.lfsr import GaloisLfsr
+from repro.scrambler.lfsr import GaloisLfsr, batch_lfsr_bits
 from repro.util.bits import words16_to_bytes
 from repro.util.rng import derive_seed
 
@@ -79,3 +81,28 @@ class Ddr4Scrambler(ScramblerModel):
             second_half = [w ^ reuse_constant for w in first_half]
             sub_blocks.append(words16_to_bytes(first_half + second_half))
         return b"".join(sub_blocks)
+
+    def _generate_key_pool(self, channel: int) -> np.ndarray:
+        # Every key consumes 4 sub-blocks × 5 LFSR words of 16 bits; all
+        # 4096 registers produce those 320 bits in one leap-functional
+        # product, then the word/byte assembly mirrors _generate_key.
+        seeds = np.array(
+            [
+                derive_seed(
+                    "ddr4-key", self.cpu_generation, self.boot_seed, channel, index
+                )
+                for index in range(self.keys_per_channel)
+            ],
+            dtype=np.uint64,
+        )
+        n_words = self.SUB_BLOCKS * 5  # 4 fresh words + 1 reuse constant each
+        bits = batch_lfsr_bits(seeds, n_words * 16)
+        bits = bits.reshape(len(seeds), self.SUB_BLOCKS, 5, 16)
+        # next_word16 collects LSB first; words16_to_bytes is big-endian,
+        # so pack little within each byte, then swap (lo, hi) -> (hi, lo).
+        words = np.packbits(bits, axis=-1, bitorder="little")[..., ::-1]
+        first_half = words[:, :, 0:4, :]
+        reuse_constant = words[:, :, 4:5, :]
+        second_half = first_half ^ reuse_constant
+        pool = np.concatenate([first_half, second_half], axis=2)
+        return pool.reshape(len(seeds), 8 * self.SUB_BLOCKS * 2)

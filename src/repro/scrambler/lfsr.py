@@ -10,6 +10,10 @@ their keystreams from these registers.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+import numpy as np
+
 #: Maximal-length tap masks (Galois form) for common register widths.
 #: Tap positions follow the usual x^w + ... + 1 primitive polynomials.
 MAXIMAL_TAPS: dict[int, int] = {
@@ -104,6 +108,92 @@ class FibonacciLfsr:
         for i in range(n):
             value |= self.step() << i
         return value
+
+
+def _resolve_taps(width: int, taps: int | None) -> int:
+    if taps is None:
+        taps = MAXIMAL_TAPS.get(width)
+        if taps is None:
+            raise ValueError(f"no default taps for width {width}; pass taps=")
+    return taps
+
+
+def lfsr_transition_matrix(width: int, taps: int | None = None):
+    """One LFSR step as a GF(2) matrix: ``state' = M · state``.
+
+    The Galois update (``out = s₀; state >>= 1; if out: state ^= taps``)
+    is linear over GF(2), so ``M[j][j+1] = 1`` (the shift) and column 0
+    carries the tap feedback.  Powers of this matrix are the *leap
+    matrices* that let the batched key generator evaluate any output
+    bit of thousands of differently seeded registers at once.
+    """
+    from repro.util.gf2 import Gf2Matrix
+
+    if width < 2 or width > 64:
+        raise ValueError(f"transition matrices support widths 2..64, got {width}")
+    taps = _resolve_taps(width, taps)
+    matrix = Gf2Matrix(width, width)
+    for j in range(width - 1):
+        matrix.set(j, j + 1)
+    for j in range(width):
+        if (taps >> j) & 1:
+            matrix.set(j, 0, matrix.get(j, 0) ^ 1)
+    return matrix
+
+
+@lru_cache(maxsize=8)
+def _output_functionals(width: int, taps: int, n_bits: int) -> np.ndarray:
+    """Packed linear functionals ``F`` with ``b_t(seed) = parity(F[t] & seed)``.
+
+    The LFSR's ``t``-th output bit is ``e₀ᵀ·Mᵗ·s`` — a linear functional
+    of the initial state ``s`` — so the whole keystream of *any* seed is
+    one matrix product.  Built by leaping ``e₀`` through ``Mᵀ`` once per
+    output bit; cached per (width, taps, length).
+    """
+    step = lfsr_transition_matrix(width, taps).transpose()
+    functionals = np.empty(n_bits, dtype=np.uint64)
+    current = np.uint64(1)  # e₀: the output tap reads state bit 0
+    for t in range(n_bits):
+        functionals[t] = current
+        current = step.matvec_packed(current)
+    functionals.setflags(write=False)
+    return functionals
+
+
+def batch_lfsr_bits(
+    seeds: np.ndarray, n_bits: int, width: int = 64, taps: int | None = None
+) -> np.ndarray:
+    """Output bits of many Galois LFSRs at once: ``(n_seeds, n_bits)`` uint8.
+
+    Row ``i`` equals the first ``n_bits`` outputs of
+    ``GaloisLfsr(width, seeds[i], taps)`` — including the hardware
+    zero-seed coercion to 1 — but every register advances through one
+    popcount-parity product against the cached leap functionals instead
+    of bit-at-a-time Python stepping.
+    """
+    if width < 2 or width > 64:
+        raise ValueError(f"batched LFSRs support widths 2..64, got {width}")
+    taps = _resolve_taps(width, taps)
+    mask = np.uint64((1 << width) - 1)
+    seeds = np.asarray(seeds, dtype=np.uint64) & mask
+    seeds = np.where(seeds == 0, np.uint64(1), seeds)
+    functionals = _output_functionals(width, taps, n_bits)
+    return (np.bitwise_count(seeds[:, None] & functionals[None, :]) & 1).astype(np.uint8)
+
+
+def batch_lfsr_bytes(
+    seeds: np.ndarray, n_bytes: int, width: int = 64, taps: int | None = None
+) -> np.ndarray:
+    """Keystream bytes of many Galois LFSRs: ``(n_seeds, n_bytes)`` uint8.
+
+    Row ``i`` equals ``GaloisLfsr(width, seeds[i], taps).next_bytes(n_bytes)``
+    (bits collected LSB first within each byte, as ``next_bits`` does).
+    """
+    bits = batch_lfsr_bits(seeds, n_bytes * 8, width, taps)
+    n = bits.shape[0]
+    return np.packbits(
+        bits.reshape(n, n_bytes, 8), axis=-1, bitorder="little"
+    ).reshape(n, n_bytes)
 
 
 def lfsr_period(width: int, seed: int = 1, taps: int | None = None, limit: int | None = None) -> int:

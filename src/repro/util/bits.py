@@ -23,6 +23,19 @@ def popcount8(value: int) -> int:
     return int(POPCOUNT_TABLE[value])
 
 
+if hasattr(np, "bitwise_count"):
+
+    def popcount_bytes(values: np.ndarray) -> np.ndarray:
+        """Per-element set-bit counts of a uint8 array (hardware popcount)."""
+        return np.bitwise_count(values)
+
+else:  # pragma: no cover - numpy < 2.0 fallback
+
+    def popcount_bytes(values: np.ndarray) -> np.ndarray:
+        """Per-element set-bit counts of a uint8 array (table lookup)."""
+        return POPCOUNT_TABLE[values]
+
+
 def hamming_weight(data: bytes) -> int:
     """Total number of set bits in a byte string."""
     arr = np.frombuffer(data, dtype=np.uint8)
@@ -71,6 +84,22 @@ def extract_bits(value: int, positions: tuple[int, ...] | list[int]) -> int:
     out = 0
     for i, pos in enumerate(positions):
         out |= ((value >> pos) & 1) << i
+    return out
+
+
+def extract_bits_array(values: np.ndarray, positions: tuple[int, ...] | list[int]) -> np.ndarray:
+    """Vectorised :func:`extract_bits` over a uint64 address vector.
+
+    Packs the bits of every element of ``values`` at ``positions`` (LSB
+    first) into a uint64 result of the same shape — the array form used
+    by the bulk controller/scrambler data path to derive channel and
+    key-index selectors for whole address runs at once.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    out = np.zeros_like(values)
+    one = np.uint64(1)
+    for i, pos in enumerate(positions):
+        out |= ((values >> np.uint64(pos)) & one) << np.uint64(i)
     return out
 
 

@@ -74,6 +74,30 @@ class Gf2Matrix:
         clone.rows = self.rows.copy()
         return clone
 
+    def transpose(self) -> "Gf2Matrix":
+        """The transposed matrix (rows and columns swapped)."""
+        return Gf2Matrix.from_dense(self.to_dense().T)
+
+    def matvec_packed(self, vectors: np.ndarray) -> np.ndarray:
+        """Apply the matrix to bit-packed column vectors, batched.
+
+        ``vectors`` holds one packed GF(2) vector per element — bit ``j``
+        of each uint64 is coordinate ``j`` — and the matrix must fit a
+        single word (``n_cols <= 64``).  Returns the packed products
+        ``A·v`` with bit ``i`` of each output word equal to
+        ``parity(row_i & v)``.  This is the primitive behind the LFSR
+        leap matrices: advancing many scrambler seed registers happens
+        as one popcount-parity sweep instead of per-register stepping.
+        """
+        if self._n_words != 1 or self.n_rows > 64:
+            raise ValueError("matvec_packed requires a matrix within one 64-bit word")
+        vectors = np.asarray(vectors, dtype=np.uint64)
+        rows = self.rows[:, 0]
+        # parity(row_i & v) for every (vector, row) pair, then repack.
+        bits = np.bitwise_count(vectors[..., None] & rows) & np.uint64(1)
+        shifts = np.arange(self.n_rows, dtype=np.uint64)
+        return np.bitwise_or.reduce(bits << shifts, axis=-1)
+
     def to_dense(self) -> np.ndarray:
         """Unpack to a (rows, cols) 0/1 uint8 array."""
         out = np.zeros((self.n_rows, self.n_cols), dtype=np.uint8)

@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dram.cells import DecayModel, apply_decay, ground_state_pattern
+from repro.dram.cells import (
+    SPARSE_DECAY_THRESHOLD,
+    DecayModel,
+    apply_decay,
+    ground_state_pattern,
+)
 
 
 class TestDecayModel:
@@ -126,3 +131,90 @@ class TestApplyDecay:
         rng = np.random.Generator(np.random.PCG64(0))
         with pytest.raises(ValueError):
             apply_decay(np.zeros(64, dtype=np.uint8), np.zeros(32, dtype=np.uint8), 0.1, rng)
+
+
+class TestSparseSamplerDistribution:
+    """The sparse position sampler must match the dense Bernoulli draw.
+
+    Below ``SPARSE_DECAY_THRESHOLD``, ``apply_decay`` samples flip
+    positions by geometric gaps instead of drawing a float per bit; the
+    two procedures must be indistinguishable in distribution.
+    """
+
+    N_BYTES = 1 << 14
+    P = 0.003
+    TRIALS = 120
+
+    def _flip_counts(self, probability):
+        """(dense counts, sparse counts) over matched per-trial seeds."""
+        assert probability < SPARSE_DECAY_THRESHOLD
+        ground = ground_state_pattern(self.N_BYTES, serial=3)
+        base = np.random.Generator(np.random.PCG64(8)).integers(
+            0, 256, self.N_BYTES, dtype=np.uint8
+        )
+        dense, sparse = [], []
+        for trial in range(self.TRIALS):
+            rng = np.random.Generator(np.random.PCG64(trial))
+            raw = rng.random(self.N_BYTES * 8, dtype=np.float32) < probability
+            mask = np.packbits(raw) & (base ^ ground)
+            dense.append(int(np.unpackbits(mask).sum()))
+            data = base.copy()
+            rng = np.random.Generator(np.random.PCG64(trial))
+            sparse.append(apply_decay(data, ground, probability, rng))
+        return np.array(dense), np.array(sparse)
+
+    def test_flip_count_distributions_agree(self):
+        """KS-style check: the empirical CDFs of flip counts must agree."""
+        dense, sparse = self._flip_counts(self.P)
+        # Compare empirical CDFs at the pooled sample points.
+        pooled = np.sort(np.concatenate([dense, sparse]))
+        cdf_dense = np.searchsorted(np.sort(dense), pooled, side="right") / len(dense)
+        cdf_sparse = np.searchsorted(np.sort(sparse), pooled, side="right") / len(sparse)
+        ks_statistic = float(np.max(np.abs(cdf_dense - cdf_sparse)))
+        # KS critical value at alpha=0.001 for two samples of size n:
+        # c(alpha) * sqrt(2/n) with c(0.001) ~ 1.95.
+        critical = 1.95 * np.sqrt(2.0 / self.TRIALS)
+        assert ks_statistic < critical, (ks_statistic, critical)
+        # Means must agree within sampling error too.
+        tolerance = 4.0 * (dense.std() + sparse.std()) / np.sqrt(self.TRIALS)
+        assert abs(dense.mean() - sparse.mean()) < tolerance
+
+    def test_sparse_path_flips_only_vulnerable_bits(self):
+        ground = ground_state_pattern(self.N_BYTES, serial=4)
+        base = np.random.Generator(np.random.PCG64(9)).integers(
+            0, 256, self.N_BYTES, dtype=np.uint8
+        )
+        data = base.copy()
+        rng = np.random.Generator(np.random.PCG64(5))
+        flipped = apply_decay(data, ground, 0.004, rng)
+        changed = data ^ base
+        # Every changed bit was vulnerable (differed from ground)...
+        assert np.all(changed & ~(base ^ ground) == 0)
+        # ...and the reported count matches the actual flips.
+        assert int(np.unpackbits(changed).sum()) == flipped
+
+    def test_sparse_and_dense_regimes_are_continuous(self):
+        """Flip rates just below and above the threshold line up."""
+        ground = np.zeros(self.N_BYTES, dtype=np.uint8)
+        rates = []
+        for probability in (SPARSE_DECAY_THRESHOLD * 0.9, SPARSE_DECAY_THRESHOLD * 1.1):
+            counts = []
+            for trial in range(40):
+                data = np.full(self.N_BYTES, 0xFF, dtype=np.uint8)
+                rng = np.random.Generator(np.random.PCG64(trial + 100))
+                counts.append(apply_decay(data, ground, probability, rng))
+            rates.append(np.mean(counts) / (8 * self.N_BYTES))
+        assert rates[0] == pytest.approx(SPARSE_DECAY_THRESHOLD * 0.9, rel=0.05)
+        assert rates[1] == pytest.approx(SPARSE_DECAY_THRESHOLD * 1.1, rel=0.05)
+
+    @pytest.mark.parametrize("probability", [1e-12, 1e-19, 1e-300, 5e-324])
+    def test_vanishing_probability_terminates(self, probability):
+        """Tiny p saturates the geometric sampler at int64 max; the gap
+        walk must still terminate (regression: the saturated gaps'
+        cumsum wrapped negative and the walk never advanced)."""
+        data = np.full(1 << 12, 0xFF, dtype=np.uint8)
+        ground = np.zeros_like(data)
+        rng = np.random.Generator(np.random.PCG64(5))
+        flipped = apply_decay(data, ground, probability, rng)
+        assert flipped <= 1
+        assert int(np.unpackbits(data ^ np.uint8(0xFF)).sum()) == flipped

@@ -1,7 +1,8 @@
-"""Contract tests for the ``BENCH_scan.json`` schema (bench-scan/v1).
+"""Contract tests for the benchmark record schemas.
 
-The harness's JSON records are consumed across sessions (CI artifacts,
-perf-trajectory diffs), so the schema is pinned here: a record the
+``BENCH_scan.json`` (bench-scan/v1) and ``BENCH_machine.json``
+(bench-machine/v1) are consumed across sessions (CI artifacts,
+perf-trajectory diffs), so the schemas are pinned here: a record the
 validator accepts today must keep validating, and the validator must
 reject every mutation a refactor could plausibly introduce.
 """
@@ -20,6 +21,7 @@ from benchmarks.harness import (  # noqa: E402
     STAGE_FIELDS,
     validate_bench_record,
 )
+from benchmarks import machine_harness  # noqa: E402
 
 
 def stage_record(wall_s=1.5, workers=1):
@@ -111,3 +113,107 @@ def test_baseline_without_identical_keys_rejected():
     del record["identical_keys"]
     with pytest.raises(ValueError, match="identical_keys"):
         validate_bench_record(record)
+
+
+# ------------------------------------------------- bench-machine/v1 schema
+
+
+def machine_stage(wall_s=0.5):
+    return {"wall_s": wall_s, "mib_per_s": 128.0}
+
+
+def valid_machine_record(with_baseline=True):
+    stages = {name: machine_stage() for name in machine_harness.REQUIRED_STAGES}
+    record = {
+        "schema": machine_harness.BENCH_SCHEMA,
+        "config": {
+            "size_mib": 64,
+            "machine": "i5-6400",
+            "seed": 7,
+            "decay_flip_probability": 0.001,
+        },
+        "stages": stages,
+        "baseline": None,
+    }
+    if with_baseline:
+        record["baseline"] = {
+            name: machine_stage(wall_s=8.0) for name in machine_harness.REQUIRED_STAGES
+        }
+        record["identical_dumps"] = True
+        record["speedup_vs_baseline"] = {
+            name: 16.0 for name in machine_harness.REQUIRED_STAGES
+        }
+    return record
+
+
+def test_valid_machine_record_passes():
+    machine_harness.validate_bench_record(valid_machine_record())
+
+
+def test_valid_machine_record_without_baseline_passes():
+    machine_harness.validate_bench_record(valid_machine_record(with_baseline=False))
+
+
+def test_machine_json_roundtrip_still_validates(tmp_path):
+    path = tmp_path / "BENCH_machine.json"
+    path.write_text(json.dumps(valid_machine_record()))
+    machine_harness.validate_bench_record(json.loads(path.read_text()))
+
+
+def test_machine_wrong_schema_tag_rejected():
+    record = valid_machine_record()
+    record["schema"] = BENCH_SCHEMA  # the scan schema is not the machine schema
+    with pytest.raises(ValueError, match="schema"):
+        machine_harness.validate_bench_record(record)
+
+
+@pytest.mark.parametrize("field", ["size_mib", "machine", "seed", "decay_flip_probability"])
+def test_machine_missing_config_field_rejected(field):
+    record = valid_machine_record()
+    del record["config"][field]
+    with pytest.raises(ValueError, match=field):
+        machine_harness.validate_bench_record(record)
+
+
+@pytest.mark.parametrize("stage", machine_harness.REQUIRED_STAGES)
+def test_machine_missing_stage_rejected(stage):
+    record = valid_machine_record()
+    del record["stages"][stage]
+    with pytest.raises(ValueError, match=stage):
+        machine_harness.validate_bench_record(record)
+
+
+@pytest.mark.parametrize("field", machine_harness.STAGE_FIELDS)
+def test_machine_missing_stage_field_rejected(field):
+    record = valid_machine_record()
+    del record["stages"]["fill"][field]
+    with pytest.raises(ValueError, match=field):
+        machine_harness.validate_bench_record(record)
+
+
+def test_machine_negative_wall_time_rejected():
+    record = valid_machine_record()
+    record["stages"]["dump"]["wall_s"] = -0.1
+    with pytest.raises(ValueError, match="wall_s"):
+        machine_harness.validate_bench_record(record)
+
+
+def test_machine_baseline_without_identity_gate_rejected():
+    """A baseline record must assert byte-identical dumps, not just omit it."""
+    record = valid_machine_record()
+    del record["identical_dumps"]
+    with pytest.raises(ValueError, match="identical_dumps"):
+        machine_harness.validate_bench_record(record)
+    record = valid_machine_record()
+    record["identical_dumps"] = False
+    with pytest.raises(ValueError, match="identical_dumps"):
+        machine_harness.validate_bench_record(record)
+
+
+def test_committed_machine_record_validates():
+    """The checked-in BENCH_machine.json must satisfy its own schema."""
+    path = Path(__file__).resolve().parent.parent / "BENCH_machine.json"
+    record = json.loads(path.read_text())
+    machine_harness.validate_bench_record(record)
+    assert record["identical_dumps"] is True
+    assert record["speedup_vs_baseline"]["end_to_end"] >= 10.0
