@@ -31,6 +31,7 @@ recovery carries a posterior confidence calibrated to the channel.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -47,6 +48,7 @@ from repro.attack.litmus import key_litmus_mismatch_bits, litmus_parity_matrix
 from repro.attack.parallel import merge_recovered
 from repro.crypto.aes import schedule_bytes
 from repro.dram.image import MemoryImage
+from repro.resilience.deadline import Deadline
 from repro.resilience.errors import (
     MixedScramblerRegionError,
     RegionQuarantineError,
@@ -318,8 +320,19 @@ class AdaptiveBudget:
         if self.total_work < 1:
             raise ValueError("total_work must be at least 1")
 
-    def stages(self) -> list[BudgetStage]:
-        """The ladder, strict first, trimmed to the work budget."""
+    def stages(
+        self,
+        deadline: "Deadline | None" = None,
+        seconds_per_cost: float | None = None,
+    ) -> list[BudgetStage]:
+        """The ladder, strict first, trimmed to the work budget.
+
+        With a ``deadline`` and a measured ``seconds_per_cost`` (wall
+        seconds one unit of stage cost takes on this dump), the ladder
+        is additionally trimmed so the cumulative estimated wall time
+        fits the remaining deadline — escalation the clock cannot
+        afford is dropped up front instead of discovered mid-stage.
+        """
         rate = self.estimate.rate
         ladder = [STRICT_STAGE]
         calibrated = stage_for_rate("calibrated", rate, cost=2)
@@ -328,10 +341,18 @@ class AdaptiveBudget:
         widened = stage_for_rate("widened", max(1.5 * rate, rate + 0.004), cost=3)
         if widened != ladder[-1]:
             ladder.append(widened)
+        remaining_s = deadline.remaining() if deadline is not None else None
         kept: list[BudgetStage] = []
         spent = 0
         for stage in ladder:
             if kept and spent + stage.cost > self.total_work:
+                break
+            if (
+                kept
+                and remaining_s is not None
+                and seconds_per_cost is not None
+                and (spent + stage.cost) * seconds_per_cost > remaining_s
+            ):
                 break
             kept.append(stage)
             spent += stage.cost
@@ -596,14 +617,22 @@ class AdaptiveRecoveryEngine:
     # ------------------------------------------------------------------- scan
 
     def recover(
-        self, image: MemoryImage, reference: MemoryImage | None = None
+        self,
+        image: MemoryImage,
+        reference: MemoryImage | None = None,
+        deadline: "Deadline | float | None" = None,
     ) -> AdaptiveRecovery:
         """Estimate, triage, escalate; return keys plus diagnostics.
 
         ``reference`` (a pre-decay image, when the experiment has one)
         upgrades the decay estimate from mined-support statistics to a
-        direct measurement.
+        direct measurement.  ``deadline`` bounds escalation: a stage is
+        skipped when the wall time already spent per unit of stage cost
+        predicts it will not fit the remaining budget, and nothing
+        starts after expiry — the engine returns whatever the completed
+        stages recovered rather than raising.
         """
+        deadline = Deadline.coerce(deadline)
         diagnostics: list[str] = []
         strict_candidates = mine_scrambler_keys(
             image,
@@ -665,10 +694,28 @@ class AdaptiveRecoveryEngine:
         candidates = strict_candidates
         stages_run: list[str] = []
         spent = 0
+        escalation_start = time.monotonic()
         for stage in stages:
             if stages_run and spent + stage.cost > self.total_work:
                 diagnostics.append(f"work budget exhausted before stage {stage.name!r}")
                 break
+            if deadline is not None and deadline.expired:
+                diagnostics.append(
+                    f"deadline expired before stage {stage.name!r}; stopping escalation"
+                )
+                break
+            if stages_run and deadline is not None and spent:
+                # Completed stages calibrate what one unit of cost takes
+                # on this dump; an escalation that cannot fit the
+                # remaining clock is not worth starting.
+                seconds_per_cost = (time.monotonic() - escalation_start) / spent
+                estimated = stage.cost * seconds_per_cost
+                if estimated > deadline.remaining():
+                    diagnostics.append(
+                        f"stage {stage.name!r} skipped: ~{estimated:.1f}s estimated, "
+                        f"{deadline.remaining():.1f}s of deadline remain"
+                    )
+                    break
             spent += stage.cost
             stages_run.append(stage.name)
             candidates = mine_scrambler_keys(
@@ -726,7 +773,10 @@ class AdaptiveRecoveryEngine:
     # ---------------------------------------------------------------- keyfind
 
     def keyfind(
-        self, image: MemoryImage, reference: MemoryImage | None = None
+        self,
+        image: MemoryImage,
+        reference: MemoryImage | None = None,
+        deadline: "Deadline | float | None" = None,
     ) -> tuple[list[KeyfindMatch], list[str]]:
         """Escalating Halderman-style search over *unscrambled* memory.
 
@@ -740,12 +790,15 @@ class AdaptiveRecoveryEngine:
             from repro.analysis.decay_map import decay_map
 
             reference_map = decay_map(reference, image)
+        deadline = Deadline.coerce(deadline)
         estimate = estimate_decay_rate(reference_map=reference_map, prior_rate=self.prior_rate)
         stages = AdaptiveBudget(estimate, total_work=self.total_work).stages()
         stages_run: list[str] = []
         spent = 0
         for stage in stages:
             if stages_run and spent + stage.cost > self.total_work:
+                break
+            if deadline is not None and deadline.expired:
                 break
             spent += stage.cost
             stages_run.append(stage.name)

@@ -635,6 +635,11 @@ class AesKeySearch:
             raise ValueError("key_cache was built for a different key set or key size")
         self._key_cache = key_cache
         self._flips: dict[int, np.ndarray] = {}
+        #: Optional zero-argument liveness hook, called after every
+        #: (offset, phase) scan pass.  The sharded orchestrator points
+        #: this at the heartbeat watchdog so a multi-minute shard search
+        #: publishes progress beats at sub-shard granularity.
+        self.on_progress = None
 
     # ------------------------------------------------------------- matching
 
@@ -815,6 +820,8 @@ class AesKeySearch:
             for phase in self.variant.phases():
                 pairs = self._candidate_pairs(blocks, offset, phase)
                 hits.extend(self._verify_pairs(blocks, pairs, offset, phase))
+            if self.on_progress is not None:
+                self.on_progress()
         hits.sort(key=lambda h: (h.block_index, h.offset, h.round_index))
         return hits
 
@@ -842,6 +849,8 @@ class AesKeySearch:
         for offset in self.offsets:
             for phase in self.variant.phases():
                 extended.extend(self._verify_pairs(blocks, pairs, offset, phase))
+            if self.on_progress is not None:
+                self.on_progress()
         return extended
 
     def _flip_matrix(self, n_bytes: int) -> np.ndarray:

@@ -54,11 +54,13 @@ import numpy as np
 from repro.attack.aes_search import AesKeySearch, KeyFingerprintCache, RecoveredAesKey
 from repro.attack.keymine import keys_matrix, mine_scrambler_keys
 from repro.crypto.aes import schedule_bytes
-from repro.dram.image import MemoryImage, SharedDumpBuffer
+from repro.dram.image import MemoryImage
 from repro.resilience.checkpoint import CheckpointJournal, JournalHeader, dump_fingerprint
+from repro.resilience.deadline import Deadline
 from repro.resilience.errors import (
     CheckpointCorruptError,
     CheckpointStaleError,
+    CheckpointStorageError,
     ShardLayoutError,
     SharedSegmentCorruptError,
 )
@@ -69,7 +71,22 @@ from repro.resilience.executor import (
     ShardOutcome,
 )
 from repro.resilience.faults import FaultPlan
+from repro.resilience.resources import (
+    BACKEND_SERIAL,
+    PublishedBuffer,
+    ResourcePolicy,
+    publish_bytes,
+    resolve_ref,
+)
 from repro.resilience.retry import RetryPolicy
+from repro.resilience.watchdog import (
+    HeartbeatBoard,
+    HeartbeatMonitor,
+    WatchdogConfig,
+    attach_worker_heartbeat,
+    beat,
+    detach_worker_heartbeat,
+)
 from repro.util.blocks import BLOCK_SIZE
 
 
@@ -205,21 +222,15 @@ def _search_shard(
 _WORKER_STATE: dict = {}
 
 
-def _resolve_buffer(ref: tuple) -> tuple[SharedDumpBuffer | None, object]:
+def _resolve_buffer(ref: tuple) -> tuple[object | None, object]:
     """Materialise a buffer reference into ``(holder, buffer)``.
 
-    ``("shm", name, length)`` attaches the named shared-memory segment
-    (the holder keeps the mapping alive); ``("buffer", obj)`` is the
-    in-process fast path used by serial and degraded execution.
+    Delegates to :func:`repro.resilience.resources.resolve_ref`, which
+    owns the attach protocol for every backend in the degradation chain
+    — ``("shm", name, length)``, ``("file", path, length)``, and the
+    in-process ``("buffer", obj)`` fast path.
     """
-    kind = ref[0]
-    if kind == "shm":
-        _, name, length = ref
-        holder = SharedDumpBuffer.attach(name, length)
-        return holder, holder.view
-    if kind == "buffer":
-        return None, ref[1]
-    raise ValueError(f"unknown buffer reference kind: {kind!r}")
+    return resolve_ref(ref)
 
 
 def _release_worker_state() -> None:
@@ -234,10 +245,16 @@ def _release_worker_state() -> None:
     for holder in holders:
         if holder is not None:
             holder.close()
+    detach_worker_heartbeat()
 
 
 def _init_scan_worker(
-    dump_ref: tuple, keys_ref: tuple, key_bits: int, keys_crc: int | None = None
+    dump_ref: tuple,
+    keys_ref: tuple,
+    key_bits: int,
+    keys_crc: int | None = None,
+    heartbeat_ref: tuple | None = None,
+    heartbeat_slots: dict[int, int] | None = None,
 ) -> None:
     """Attach dump + key matrix once per worker process (pool initializer).
 
@@ -253,6 +270,9 @@ def _init_scan_worker(
     publication and use surfaces as a structured
     :class:`~repro.resilience.errors.SharedSegmentCorruptError` instead
     of silently descrambling the dump with garbage keys.
+
+    ``heartbeat_ref``/``heartbeat_slots`` (optional) attach this process
+    to the watchdog's beat board so shard tasks publish liveness.
     """
     _release_worker_state()
     dump_holder, dump_view = _resolve_buffer(dump_ref)
@@ -266,6 +286,8 @@ def _init_scan_worker(
         key_cache=KeyFingerprintCache(keys, key_bits),
         holders=(dump_holder, keys_holder),
     )
+    if heartbeat_ref is not None:
+        attach_worker_heartbeat(heartbeat_ref, heartbeat_slots or {})
 
 
 def _scan_shard_task(
@@ -285,6 +307,9 @@ def _scan_shard_task(
     state = _WORKER_STATE
     if "dump" not in state:
         raise RuntimeError("scan worker used before _init_scan_worker ran")
+    # First beat arms the watchdog's stall clock for this shard: from
+    # here on, silence past stall_timeout_s means a genuine wedge.
+    beat(shard_offset)
     keys = state["keys"]
     if fault_plan is not None:
         # A scripted "poison" fault damages this worker's view of the
@@ -312,7 +337,10 @@ def _scan_shard_task(
     # built from the clean keys.
     cache = state["key_cache"] if keys is state["keys"] else None
     search = AesKeySearch(keys, key_bits=state["key_bits"], key_cache=cache)
-    return search.recover_keys(image)
+    search.on_progress = lambda: beat(shard_offset)
+    results = search.recover_keys(image)
+    beat(shard_offset)
+    return results
 
 
 @dataclass
@@ -329,6 +357,17 @@ class ScanReport:
     #: (failed CRC or unreadable records) and the scan restarted fresh
     #: instead of replaying untrusted results.
     checkpoint_rejected: str | None = None
+    #: The run's wall-clock budget in seconds (None = unbounded).
+    deadline_seconds: float | None = None
+    #: Diagnostic when journaling died (primary *and* fallback paths
+    #: unwritable) and the scan completed without further checkpoints.
+    checkpoint_error: str | None = None
+    #: Where the journal actually lives — differs from the requested
+    #: path after an ENOSPC rotation to the fallback directory.
+    checkpoint_path: str | None = None
+    #: Which degradation backend published the dump/keys for workers
+    #: ("shm", "file", "serial", or "buffer" for single-process scans).
+    resource_backend: str = "buffer"
 
     @property
     def quarantined_offsets(self) -> list[int]:
@@ -336,14 +375,35 @@ class ScanReport:
         return sorted(o.shard_offset for o in self.ledger.quarantined)
 
     @property
+    def unscanned_offsets(self) -> list[int]:
+        """Offsets left resumable by a deadline expiry or interrupt."""
+        return sorted(o.shard_offset for o in self.ledger.unfinished)
+
+    @property
     def resumed_shards(self) -> int:
         """How many shards were skipped thanks to the checkpoint."""
         return len(self.ledger.resumed)
 
     @property
+    def interrupted(self) -> bool:
+        """Whether a graceful-shutdown signal cut the scan short."""
+        return self.ledger.interrupted
+
+    @property
+    def deadline_expired(self) -> bool:
+        """Whether the wall-clock deadline cut the scan short."""
+        return self.ledger.deadline_expired
+
+    @property
+    def expiry_cause(self) -> str | None:
+        """Why the scan ended early ("deadline", a signal name), if it did."""
+        return self.ledger.stop_cause or None
+
+    @property
     def complete(self) -> bool:
-        """True when every shard was scanned (nothing quarantined)."""
-        return not self.ledger.quarantined
+        """True when every shard was scanned (nothing quarantined,
+        nothing left behind by a deadline or interrupt)."""
+        return not self.ledger.quarantined and not self.ledger.unfinished
 
 
 def resilient_recover_keys(
@@ -357,6 +417,11 @@ def resilient_recover_keys(
     resume: bool = True,
     fault_plan: FaultPlan | None = None,
     on_event=None,
+    deadline: "Deadline | float | None" = None,
+    stop=None,
+    watchdog: WatchdogConfig | None = None,
+    resource_policy: ResourcePolicy | None = None,
+    checkpoint_fallback_dir: str | Path | None = None,
 ) -> ScanReport:
     """Mine once, search in shards fault-tolerantly, merge, report.
 
@@ -364,15 +429,29 @@ def resilient_recover_keys(
     are retried per ``retry_policy``, completed shards are journalled
     to ``checkpoint`` (and skipped on ``resume``), and ``fault_plan``
     lets the test harness sabotage workers deterministically.
+
+    ``deadline`` (a :class:`Deadline` or seconds) bounds the whole scan
+    — on expiry the completed shards are already journalled, the rest
+    are reported as unscanned, and the run is resumable.  ``stop`` (a
+    :class:`~repro.resilience.shutdown.GracefulShutdown`) drains
+    in-flight shards to the journal on the first signal.  ``watchdog``
+    enables heartbeat stall detection for multi-process scans.
+    ``resource_policy`` controls the shm → mmap-tempfile → serial
+    publication chain; ``checkpoint_fallback_dir`` is where the journal
+    rotates when its primary path stops accepting writes.
     """
     if workers < 1:
         raise ShardLayoutError("need at least one worker")
     policy = retry_policy or RetryPolicy()
+    deadline = Deadline.coerce(deadline)
+    deadline_seconds = deadline.total_seconds if deadline is not None else None
     start = time.perf_counter()
     candidates = mine_scrambler_keys(dump, tolerance_bits=mining_tolerance_bits)
     mine_seconds = time.perf_counter() - start
     if not candidates:
-        return ScanReport(candidates=[], mine_seconds=mine_seconds)
+        return ScanReport(
+            candidates=[], mine_seconds=mine_seconds, deadline_seconds=deadline_seconds
+        )
     overlap = schedule_bytes(key_bits) + BLOCK_SIZE
     shards = shard_image(dump, n_shards=n_shards or workers, overlap_bytes=overlap)
 
@@ -388,7 +467,10 @@ def resilient_recover_keys(
             overlap_bytes=overlap,
         )
         try:
-            journal, already_done = CheckpointJournal.open(checkpoint, header, resume=resume)
+            journal, already_done = CheckpointJournal.open(
+                checkpoint, header, resume=resume,
+                fallback_directory=checkpoint_fallback_dir,
+            )
         except CheckpointStaleError:
             # The journal is intact but pinned to a different dump or
             # shard geometry — a caller mistake, not damage.  Refuse
@@ -400,13 +482,18 @@ def resilient_recover_keys(
             # abort a multi-hour scan: record the diagnostic, start a
             # fresh journal, and re-search everything.
             checkpoint_rejected = str(exc)
-            journal, already_done = CheckpointJournal.open(checkpoint, header, resume=False)
+            journal, already_done = CheckpointJournal.open(
+                checkpoint, header, resume=False,
+                fallback_directory=checkpoint_fallback_dir,
+            )
 
     report = ScanReport(
         candidates=candidates,
         n_shards=len(shards),
         mine_seconds=mine_seconds,
         checkpoint_rejected=checkpoint_rejected,
+        deadline_seconds=deadline_seconds,
+        checkpoint_path=None if journal is None else str(journal.path),
     )
     search_start = time.perf_counter()
     jobs: dict[int, tuple] = {}
@@ -421,27 +508,58 @@ def resilient_recover_keys(
         jobs[shard.base_offset] = (shard.length, fault_plan)
 
     if jobs:
+        notify = on_event or (lambda message: None)
         # The key matrix is only materialised when there is work left to
         # run — a fully-resumed scan (every shard already journalled)
         # skips both the matrix build and the shared-memory publication.
         keys_mat = keys_matrix(candidates)
-        shared_buffers: list[SharedDumpBuffer] = []
+        published: list[PublishedBuffer] = []
+        board: HeartbeatBoard | None = None
+        monitor: HeartbeatMonitor | None = None
+        effective_workers = workers
         if workers > 1:
             # Publish dump + keys once; workers attach by name in their
             # pool initializer.  Shard payloads carry only (length,
-            # fault_plan), so nothing scales with dump size.
-            dump_buf = SharedDumpBuffer.create(dump.data)
-            keys_buf = SharedDumpBuffer.create(keys_mat.tobytes())
-            shared_buffers = [dump_buf, keys_buf]
-            dump_ref = ("shm", dump_buf.name, dump_buf.length)
-            keys_ref = ("shm", keys_buf.name, keys_buf.length)
+            # fault_plan), so nothing scales with dump size.  The
+            # publication itself degrades shm → mmap tempfile → serial.
+            dump_pub = publish_bytes(dump.data, resource_policy, on_event=notify)
+            published.append(dump_pub)
+            keys_pub = publish_bytes(keys_mat.tobytes(), resource_policy, on_event=notify)
+            published.append(keys_pub)
+            if BACKEND_SERIAL in (dump_pub.backend, keys_pub.backend):
+                # No cross-process backend available at all: nothing
+                # can be shared, so nothing can be parallel.
+                notify("no shared-buffer backend available; running serially")
+                effective_workers = 1
+                report.ledger.degraded_to_serial = True
+                report.resource_backend = BACKEND_SERIAL
+                dump_ref = ("buffer", dump.data)
+                keys_ref = ("buffer", keys_mat.tobytes())
+            else:
+                report.resource_backend = dump_pub.backend
+                dump_ref = dump_pub.ref
+                keys_ref = keys_pub.ref
         else:
             dump_ref = ("buffer", dump.data)
             keys_ref = ("buffer", keys_mat.tobytes())
+        heartbeat_ref = None
+        heartbeat_slots: dict[int, int] = {}
+        if watchdog is not None and effective_workers > 1:
+            board = HeartbeatBoard.create(len(jobs), resource_policy)
+            if board is None:
+                notify("heartbeat board unavailable; stall watchdog disabled")
+            else:
+                heartbeat_ref = board.ref
+                heartbeat_slots = {
+                    offset: slot for slot, offset in enumerate(sorted(jobs))
+                }
+                monitor = HeartbeatMonitor(board, heartbeat_slots, watchdog)
         try:
             # Journal the instant each shard completes — a scan killed
             # mid-run must find every finished shard on disk when it
-            # resumes.
+            # resumes.  Journaling survives a dying filesystem by
+            # rotating to the fallback path; if even that fails the
+            # scan continues un-journalled rather than dying mid-write.
             on_result = None if journal is None else journal.record
             if (
                 on_result is not None
@@ -455,26 +573,54 @@ def resilient_recover_keys(
                     _record(offset, results)
                     fault_plan.corrupt_journal_record(journal_path, offset)
 
+            if on_result is not None:
+                recorder = on_result
+
+                def on_result(offset: int, results) -> None:
+                    if report.checkpoint_error is not None:
+                        return
+                    try:
+                        recorder(offset, results)
+                    except CheckpointStorageError as exc:
+                        report.checkpoint_error = str(exc)
+                        notify(
+                            f"checkpoint journaling disabled ({exc}); "
+                            "scan continues but is no longer resumable"
+                        )
+                    else:
+                        report.checkpoint_path = str(journal.path)
+
             keys_crc = zlib.crc32(keys_mat.tobytes()) & 0xFFFFFFFF
             runner = ResilientShardRunner(
                 _scan_shard_task,
                 policy=policy,
-                workers=workers,
+                workers=effective_workers,
                 on_event=on_event,
                 on_result=on_result,
                 initializer=_init_scan_worker,
-                initargs=(dump_ref, keys_ref, key_bits, keys_crc),
+                initargs=(
+                    dump_ref, keys_ref, key_bits, keys_crc,
+                    heartbeat_ref, heartbeat_slots,
+                ),
             )
-            run_ledger = runner.run(jobs)
+            run_ledger = runner.run(jobs, deadline=deadline, stop=stop, watchdog=monitor)
         finally:
             # The parent may itself have attached (serial or degraded
             # execution runs the initializer in-process) — release its
             # state before destroying the segments.
             _release_worker_state()
-            for buffer in shared_buffers:
+            for buffer in published:
                 buffer.unlink()
+            if board is not None:
+                board.unlink()
         report.ledger.pool_rebuilds = run_ledger.pool_rebuilds
-        report.ledger.degraded_to_serial = run_ledger.degraded_to_serial
+        report.ledger.degraded_to_serial = (
+            report.ledger.degraded_to_serial or run_ledger.degraded_to_serial
+        )
+        report.ledger.stall_kills = run_ledger.stall_kills
+        report.ledger.interrupted = run_ledger.interrupted
+        report.ledger.deadline_expired = run_ledger.deadline_expired
+        report.ledger.stop_cause = run_ledger.stop_cause
         report.ledger.outcomes.update(run_ledger.outcomes)
 
     per_shard = [

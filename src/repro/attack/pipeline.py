@@ -61,6 +61,17 @@ class AttackConfig:
     #: Decay-rate prior the adaptive engine falls back on when the dump
     #: offers nothing measurable.
     prior_decay_rate: float = 0.002
+    #: Wall-clock budget for a whole run in seconds (None = unbounded).
+    #: Charge decay makes the attack window physical: when the budget
+    #: expires, sharded runs stop resumable (completed shards
+    #: journalled, the rest reported unscanned) and the adaptive ladder
+    #: stops escalating.
+    deadline_s: float | None = None
+    #: Heartbeat stall timeout for multi-process sharded runs in
+    #: seconds (None disables the watchdog).  A worker that publishes
+    #: no progress beat for this long is killed and its shard
+    #: resubmitted.
+    stall_timeout_s: float | None = None
 
 
 @dataclass
@@ -78,6 +89,22 @@ class AttackReport:
     quarantined_shards: list[int] = field(default_factory=list)
     resumed_shards: int = 0
     degraded_to_serial: bool = False
+    #: Deadline/watchdog bookkeeping (defaults for monolithic runs).
+    deadline_s: float | None = None
+    deadline_expired: bool = False
+    interrupted: bool = False
+    #: Why the run ended early — "deadline" or a signal name (None when
+    #: it ran to completion).
+    expiry_cause: str | None = None
+    #: Shard offsets left unscanned by an expiry/interrupt (resumable).
+    unscanned_shards: list[int] = field(default_factory=list)
+    #: Workers killed by the heartbeat watchdog for stalled beats.
+    stall_kills: int = 0
+    #: Degradation-chain bookkeeping: which backend published shared
+    #: buffers, where the journal ended up, and whether journaling died.
+    resource_backend: str = ""
+    checkpoint_path: str | None = None
+    checkpoint_error: str | None = None
     #: Adaptive-run bookkeeping (``None`` for fixed-budget runs): the
     #: :meth:`repro.attack.adaptive.AdaptiveRecovery.summary` digest —
     #: estimated decay rate and source, stages run, confidence floor,
@@ -89,8 +116,21 @@ class AttackReport:
 
     @property
     def complete_scan(self) -> bool:
-        """False when quarantine left part of the dump unsearched."""
-        return not self.quarantined_shards and not self.quarantined_regions
+        """False when quarantine, a deadline expiry, or an interrupt
+        left part of the dump unsearched."""
+        return (
+            not self.quarantined_shards
+            and not self.quarantined_regions
+            and not self.unscanned_shards
+        )
+
+    @property
+    def resumable(self) -> bool:
+        """True when the run stopped early but left a usable trail: a
+        deadline/interrupt cut with shards still unscanned."""
+        return bool(self.unscanned_shards) and (
+            self.deadline_expired or self.interrupted
+        )
 
     @property
     def min_confidence(self) -> float:
@@ -125,6 +165,13 @@ class AttackReport:
                 text += f" resumed={self.resumed_shards}"
             if self.quarantined_shards:
                 text += f" QUARANTINED={len(self.quarantined_shards)}"
+            if self.unscanned_shards:
+                text += (
+                    f" UNSCANNED={len(self.unscanned_shards)}"
+                    f" ({self.expiry_cause or 'stopped'}, resumable)"
+                )
+            if self.stall_kills:
+                text += f" stall_kills={self.stall_kills}"
         if self.adaptive is not None:
             text += (
                 f" adaptive[rate={self.adaptive['estimated_decay_rate']:.4f} "
@@ -153,7 +200,7 @@ class Ddr4ColdBootAttack:
         config = self.config
         if config.adaptive:
             return self._run_adaptive(dump, reference)
-        report = AttackReport(dump_bytes=len(dump))
+        report = AttackReport(dump_bytes=len(dump), deadline_s=config.deadline_s)
 
         start = time.perf_counter()
         report.candidate_keys = mine_scrambler_keys(
@@ -195,9 +242,9 @@ class Ddr4ColdBootAttack:
             scan_limit_bytes=config.key_scan_limit_bytes,
         )
         start = time.perf_counter()
-        result = engine.recover(dump, reference=reference)
+        result = engine.recover(dump, reference=reference, deadline=config.deadline_s)
         elapsed = time.perf_counter() - start
-        report = AttackReport(dump_bytes=len(dump))
+        report = AttackReport(dump_bytes=len(dump), deadline_s=config.deadline_s)
         report.candidate_keys = result.candidates
         report.recovered_keys = result.recovered
         report.hits = [hit for rec in result.recovered for hit in rec.hits]
@@ -218,6 +265,10 @@ class Ddr4ColdBootAttack:
         resume: bool = True,
         fault_plan=None,
         on_event=None,
+        deadline=None,
+        stop=None,
+        resource_policy=None,
+        checkpoint_fallback_dir=None,
     ) -> AttackReport:
         """Execute the attack as a fault-tolerant sharded scan.
 
@@ -228,10 +279,24 @@ class Ddr4ColdBootAttack:
         (listed in ``report.quarantined_shards``), and — when
         ``checkpoint`` names a journal file — an interrupted scan
         resumes without re-searching completed shards.
+
+        ``deadline`` (seconds or a
+        :class:`~repro.resilience.deadline.Deadline`; defaults to
+        ``config.deadline_s``) bounds the run resumably, ``stop`` wires
+        in graceful-shutdown signals, and ``config.stall_timeout_s``
+        arms the heartbeat watchdog for multi-process scans.
         """
         from repro.attack.parallel import resilient_recover_keys
+        from repro.resilience.deadline import Deadline
+        from repro.resilience.watchdog import WatchdogConfig
 
         config = self.config
+        if deadline is None:
+            deadline = config.deadline_s
+        deadline = Deadline.coerce(deadline)
+        watchdog = None
+        if config.stall_timeout_s is not None:
+            watchdog = WatchdogConfig(stall_timeout_s=config.stall_timeout_s)
         scan = resilient_recover_keys(
             dump,
             key_bits=config.key_bits,
@@ -243,6 +308,11 @@ class Ddr4ColdBootAttack:
             resume=resume,
             fault_plan=fault_plan,
             on_event=on_event,
+            deadline=deadline,
+            stop=stop,
+            watchdog=watchdog,
+            resource_policy=resource_policy,
+            checkpoint_fallback_dir=checkpoint_fallback_dir,
         )
         report = AttackReport(dump_bytes=len(dump))
         report.candidate_keys = scan.candidates
@@ -254,6 +324,15 @@ class Ddr4ColdBootAttack:
         report.quarantined_shards = scan.quarantined_offsets
         report.resumed_shards = scan.resumed_shards
         report.degraded_to_serial = scan.ledger.degraded_to_serial
+        report.deadline_s = scan.deadline_seconds
+        report.deadline_expired = scan.deadline_expired
+        report.interrupted = scan.interrupted
+        report.expiry_cause = scan.expiry_cause
+        report.unscanned_shards = scan.unscanned_offsets
+        report.stall_kills = scan.ledger.stall_kills
+        report.resource_backend = scan.resource_backend
+        report.checkpoint_path = scan.checkpoint_path
+        report.checkpoint_error = scan.checkpoint_error
         return report
 
     def recover_xts_master_key(self, dump: MemoryImage) -> bytes | None:

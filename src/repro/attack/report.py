@@ -19,8 +19,11 @@ from repro.attack.pipeline import AttackReport
 #: ``resilience`` section (sharding, quarantine, and resume accounting);
 #: v3 added the ``robustness`` section (decay estimate, escalation
 #: stages, quarantined regions), per-key ``confidence`` scores, and
-#: per-candidate litmus residuals.
-REPORT_SCHEMA_VERSION = 3
+#: per-candidate litmus residuals; v4 added the ``timing`` section
+#: (per-stage wall time, the run's deadline, how and why it ended) and
+#: the degradation fields in ``resilience`` (stall kills, unscanned
+#: shards, resource backend, checkpoint rotation/error).
+REPORT_SCHEMA_VERSION = 4
 
 
 def report_to_dict(report: AttackReport, include_keys: bool = True) -> dict:
@@ -36,6 +39,16 @@ def report_to_dict(report: AttackReport, include_keys: bool = True) -> dict:
             "search_seconds": report.search_seconds,
             "scan_rate_mb_per_hour": report.scan_rate_mb_per_hour,
         },
+        "timing": {
+            "stages": {
+                "mine_seconds": report.mine_seconds,
+                "search_seconds": report.search_seconds,
+            },
+            "deadline_seconds": report.deadline_s,
+            "deadline_expired": report.deadline_expired,
+            "interrupted": report.interrupted,
+            "expiry_cause": report.expiry_cause,
+        },
         "candidate_keys": {
             "count": len(report.candidate_keys),
             "top_frequencies": [c.count for c in report.candidate_keys[:16]],
@@ -49,6 +62,11 @@ def report_to_dict(report: AttackReport, include_keys: bool = True) -> dict:
             "resumed_shards": report.resumed_shards,
             "degraded_to_serial": report.degraded_to_serial,
             "complete_scan": report.complete_scan,
+            "unscanned_shards": list(report.unscanned_shards),
+            "stall_kills": report.stall_kills,
+            "resource_backend": report.resource_backend,
+            "checkpoint_path": report.checkpoint_path,
+            "checkpoint_error": report.checkpoint_error,
         },
         "robustness": {
             "adaptive": report.adaptive,
@@ -78,6 +96,76 @@ def save_report_json(report: AttackReport, path: str | Path, include_keys: bool 
     )
 
 
+def migrate_report_dict(data: dict) -> dict:
+    """Upgrade an older report dict to the current schema, losslessly.
+
+    Reports are archived artifacts — a forensics pipeline that stored a
+    v2/v3 report must still be able to feed it to v4 tooling.  Every
+    field that exists in the input is preserved verbatim; fields the
+    newer schema added are filled with their "nothing happened"
+    defaults (no deadline, no interrupt, no degradation).  Migration is
+    idempotent: migrating an already-current dict returns an equal
+    dict, so load → migrate → save round-trips.
+
+    Raises ``ValueError`` for a report *newer* than this reader — the
+    fields it would drop are exactly the ones its writer cared about.
+    """
+    import copy
+
+    version = int(data.get("schema_version", 1))
+    if version > REPORT_SCHEMA_VERSION:
+        raise ValueError(
+            f"report schema v{version} is newer than this reader "
+            f"(v{REPORT_SCHEMA_VERSION}); refusing to downgrade it"
+        )
+    migrated = copy.deepcopy(data)
+    if version < 2:
+        migrated.setdefault(
+            "resilience",
+            {
+                "n_shards": 0,
+                "quarantined_shards": [],
+                "resumed_shards": 0,
+                "degraded_to_serial": False,
+                "complete_scan": True,
+            },
+        )
+    if version < 3:
+        migrated.setdefault(
+            "robustness",
+            {"adaptive": None, "quarantined_regions": [], "min_confidence": 0.0},
+        )
+    if version < 4:
+        timings = migrated.get("timings", {})
+        migrated.setdefault(
+            "timing",
+            {
+                "stages": {
+                    "mine_seconds": timings.get("mine_seconds", 0.0),
+                    "search_seconds": timings.get("search_seconds", 0.0),
+                },
+                "deadline_seconds": None,
+                "deadline_expired": False,
+                "interrupted": False,
+                "expiry_cause": None,
+            },
+        )
+        resilience = migrated.setdefault("resilience", {})
+        resilience.setdefault("unscanned_shards", [])
+        resilience.setdefault("stall_kills", 0)
+        resilience.setdefault("resource_backend", "")
+        resilience.setdefault("checkpoint_path", None)
+        resilience.setdefault("checkpoint_error", None)
+    migrated["schema_version"] = REPORT_SCHEMA_VERSION
+    return migrated
+
+
+def load_report_json(path: str | Path) -> dict:
+    """Read a report JSON of any supported schema version, migrated to
+    the current one."""
+    return migrate_report_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
 def report_to_markdown(report: AttackReport, include_keys: bool = False) -> str:
     """A human-readable summary (keys redacted unless asked for)."""
     lines = [
@@ -100,6 +188,12 @@ def report_to_markdown(report: AttackReport, include_keys: bool = False) -> str:
         if report.quarantined_shards:
             offsets = ", ".join(f"{offset:#x}" for offset in report.quarantined_shards)
             lines.append(f"* **warning: unscanned (quarantined) shard offsets:** {offsets}")
+        if report.unscanned_shards:
+            lines.append(
+                f"* **warning: run stopped early ({report.expiry_cause or 'stopped'});** "
+                f"{len(report.unscanned_shards)} shard(s) unscanned — resume with the "
+                f"same checkpoint to finish"
+            )
         lines.append("")
     if report.adaptive is not None:
         lines.append(

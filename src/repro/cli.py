@@ -98,10 +98,20 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 def _run_attack(args: argparse.Namespace) -> int:
     from repro.attack import AttackConfig, Ddr4ColdBootAttack
     from repro.attack.report import save_report_json
+    from repro.resilience.shutdown import (
+        EXIT_DEADLINE_EXPIRED,
+        EXIT_INTERRUPTED,
+        GracefulShutdown,
+    )
 
     dump = _load_dump(args.dump)
     attack = Ddr4ColdBootAttack(
-        AttackConfig(key_bits=args.key_bits, adaptive=args.adaptive)
+        AttackConfig(
+            key_bits=args.key_bits,
+            adaptive=args.adaptive,
+            deadline_s=args.deadline,
+            stall_timeout_s=args.stall_timeout,
+        )
     )
     checkpoint = args.checkpoint
     if args.adaptive and (args.workers > 1 or args.shards or checkpoint):
@@ -116,14 +126,19 @@ def _run_attack(args: argparse.Namespace) -> int:
         # adopts the journal's shard count unless --shards overrides it
         # (the journal's geometry is authoritative anyway).
         n_shards = args.shards or _journal_shard_count(checkpoint)
-        report = attack.run_sharded(
-            dump,
-            workers=args.workers,
-            n_shards=n_shards,
-            checkpoint=checkpoint,
-            resume=args.resume or args.checkpoint is not None,
-            on_event=lambda message: print(f"[resilience] {message}", file=sys.stderr),
-        )
+        # SIGINT/SIGTERM drain in-flight shards to the journal and exit
+        # resumable; a second signal abandons them (still resumable).
+        with GracefulShutdown() as stop:
+            report = attack.run_sharded(
+                dump,
+                workers=args.workers,
+                n_shards=n_shards,
+                checkpoint=checkpoint,
+                resume=args.resume or args.checkpoint is not None,
+                on_event=lambda message: print(f"[resilience] {message}", file=sys.stderr),
+                stop=stop,
+                checkpoint_fallback_dir=args.checkpoint_fallback_dir,
+            )
         if report.resumed_shards:
             print(f"resumed: {report.resumed_shards}/{report.n_shards} shards "
                   f"already in {checkpoint}")
@@ -157,6 +172,12 @@ def _run_attack(args: argparse.Namespace) -> int:
               f"({recovered.votes} votes, {100 * recovered.match_fraction:.1f}% match)")
     if master is not None:
         print(f"XTS master key (primary||tweak): {master.hex()}")
+    if report.resumable:
+        how = (f"--checkpoint {checkpoint} --resume"
+               if checkpoint else "a --checkpoint journal")
+        print(f"run stopped early ({report.expiry_cause or 'stopped'}); "
+              f"rerun with {how} to finish", file=sys.stderr)
+        return EXIT_INTERRUPTED if report.interrupted else EXIT_DEADLINE_EXPIRED
     return 0 if report.recovered_keys else 1
 
 
@@ -361,6 +382,16 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--resume", action="store_true",
                         help="skip shards already in the checkpoint journal "
                              "(default journal: <dump>.checkpoint.jsonl)")
+    attack.add_argument("--deadline", type=float, metavar="SECONDS",
+                        help="wall-clock budget for the whole run; on expiry "
+                             "the scan checkpoints, writes a partial report, "
+                             "and exits resumable (exit code 4)")
+    attack.add_argument("--stall-timeout", type=float, metavar="SECONDS",
+                        help="kill and resubmit a worker whose heartbeat "
+                             "goes silent this long (sharded scans only)")
+    attack.add_argument("--checkpoint-fallback-dir", metavar="DIR",
+                        help="rotate the checkpoint journal here if its "
+                             "primary path stops accepting writes (ENOSPC)")
     attack.add_argument("--adaptive", action="store_true",
                         help="estimate the dump's decay rate, quarantine damaged "
                              "regions, and escalate Hamming budgets until keys "

@@ -6,8 +6,13 @@ reality: a structured error taxonomy (:mod:`repro.resilience.errors`),
 bounded deterministic retries (:mod:`repro.resilience.retry`), a
 crash-tolerant shard executor (:mod:`repro.resilience.executor`), a
 crash-safe checkpoint journal (:mod:`repro.resilience.checkpoint`),
-and a seeded fault-injection harness (:mod:`repro.resilience.faults`)
-that proves the other four actually work.
+a seeded fault-injection harness (:mod:`repro.resilience.faults`)
+that proves the other four actually work, and the deadline-aware
+watchdog runtime: monotonic deadlines
+(:mod:`repro.resilience.deadline`), heartbeat stall detection
+(:mod:`repro.resilience.watchdog`), cooperative signal handling
+(:mod:`repro.resilience.shutdown`), and the shm → file → serial
+resource-degradation chain (:mod:`repro.resilience.resources`).
 """
 
 from repro.resilience.checkpoint import (
@@ -18,16 +23,22 @@ from repro.resilience.checkpoint import (
     dump_fingerprint,
     serialize_recovered,
 )
+from repro.resilience.deadline import Deadline, clamp_sleep
 from repro.resilience.errors import (
     CheckpointCorruptError,
+    CheckpointStorageError,
+    DeadlineExceededError,
     DumpFormatError,
     ReproError,
     ShardLayoutError,
+    ShardStallError,
     ShardTimeoutError,
     WorkerCrashError,
 )
 from repro.resilience.executor import (
+    STATUS_EXPIRED,
     STATUS_FROM_CHECKPOINT,
+    STATUS_INTERRUPTED,
     STATUS_OK,
     STATUS_QUARANTINED,
     ResilientShardRunner,
@@ -41,31 +52,70 @@ from repro.resilience.faults import (
     FaultSpec,
     InjectedFault,
 )
+from repro.resilience.resources import (
+    BACKEND_FILE,
+    BACKEND_SERIAL,
+    BACKEND_SHM,
+    PublishedBuffer,
+    ResourcePolicy,
+    publish_bytes,
+    resolve_ref,
+)
 from repro.resilience.retry import RetryPolicy
+from repro.resilience.shutdown import (
+    EXIT_DEADLINE_EXPIRED,
+    EXIT_INTERRUPTED,
+    GracefulShutdown,
+)
+from repro.resilience.watchdog import (
+    HeartbeatBoard,
+    HeartbeatMonitor,
+    WatchdogConfig,
+)
 
 __all__ = [
+    "BACKEND_FILE",
+    "BACKEND_SERIAL",
+    "BACKEND_SHM",
+    "EXIT_DEADLINE_EXPIRED",
+    "EXIT_INTERRUPTED",
     "FAULT_KINDS",
     "JOURNAL_VERSION",
     "PERMANENT",
+    "STATUS_EXPIRED",
     "STATUS_FROM_CHECKPOINT",
+    "STATUS_INTERRUPTED",
     "STATUS_OK",
     "STATUS_QUARANTINED",
     "CheckpointCorruptError",
     "CheckpointJournal",
+    "CheckpointStorageError",
+    "Deadline",
+    "DeadlineExceededError",
     "DumpFormatError",
     "FaultPlan",
     "FaultSpec",
+    "GracefulShutdown",
+    "HeartbeatBoard",
+    "HeartbeatMonitor",
     "InjectedFault",
     "JournalHeader",
+    "PublishedBuffer",
     "ReproError",
     "ResilientShardRunner",
+    "ResourcePolicy",
     "RetryPolicy",
     "RunLedger",
     "ShardLayoutError",
     "ShardOutcome",
+    "ShardStallError",
     "ShardTimeoutError",
+    "WatchdogConfig",
     "WorkerCrashError",
+    "clamp_sleep",
     "deserialize_recovered",
     "dump_fingerprint",
+    "publish_bytes",
+    "resolve_ref",
     "serialize_recovered",
 ]

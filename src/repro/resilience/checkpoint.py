@@ -37,7 +37,11 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from repro.resilience.errors import CheckpointCorruptError, CheckpointStaleError
+from repro.resilience.errors import (
+    CheckpointCorruptError,
+    CheckpointStaleError,
+    CheckpointStorageError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard (aes_search → image)
     from repro.attack.aes_search import RecoveredAesKey
@@ -157,17 +161,49 @@ def deserialize_recovered(record: dict) -> "RecoveredAesKey":
         raise CheckpointCorruptError(f"malformed recovered-key record: {exc}") from exc
 
 
+def _truncate_torn_tail(path: Path) -> None:
+    """Drop any bytes after the final newline (a torn trailing record)."""
+    raw = path.read_bytes()
+    cut = raw.rfind(b"\n") + 1
+    if cut < len(raw):
+        with open(path, "r+b") as handle:
+            handle.truncate(cut)
+
+
 class CheckpointJournal:
     """Append-only JSONL journal of completed shards.
 
     Use :meth:`open` — it creates, resumes, or refuses the file as
     appropriate and returns both the journal and whatever completed
     shard results it already held.
+
+    Appends tolerate a dying filesystem: when the primary path becomes
+    unwritable (``ENOSPC``, a yanked mount), the journal *rotates* —
+    its records so far are copied to a fallback path (by default under
+    the system tempdir) and appending continues there, so completed
+    work keeps being persisted.  Only when the fallback fails too does
+    :meth:`record` raise
+    :class:`~repro.resilience.errors.CheckpointStorageError`; the
+    orchestrator catches that, disables journaling, and finishes the
+    scan un-resumable rather than dying mid-write.
     """
 
-    def __init__(self, path: str | Path, header: JournalHeader) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        header: JournalHeader,
+        fallback_directory: str | Path | None = None,
+    ) -> None:
         self.path = Path(path)
         self.header = header
+        self.fallback_directory = fallback_directory
+        #: Original path, set once appends have rotated to the fallback.
+        self.rotated_from: Path | None = None
+
+    @property
+    def rotated(self) -> bool:
+        """Whether appends moved to the fallback path."""
+        return self.rotated_from is not None
 
     # -------------------------------------------------------------- creation
 
@@ -177,6 +213,7 @@ class CheckpointJournal:
         path: str | Path,
         header: JournalHeader,
         resume: bool = True,
+        fallback_directory: str | Path | None = None,
     ) -> tuple["CheckpointJournal", dict[int, list["RecoveredAesKey"]]]:
         """Create or resume a journal; return (journal, completed shards).
 
@@ -185,7 +222,7 @@ class CheckpointJournal:
         same geometry — then its completed shards are returned so the
         caller can skip them.
         """
-        journal = cls(path, header)
+        journal = cls(path, header, fallback_directory=fallback_directory)
         if resume and journal.path.exists() and journal.path.stat().st_size > 0:
             completed = journal._load_and_repair()
             return journal, completed
@@ -277,7 +314,12 @@ class CheckpointJournal:
     # -------------------------------------------------------------- appending
 
     def record(self, shard_offset: int, results: list["RecoveredAesKey"]) -> None:
-        """Durably append one completed shard's results."""
+        """Durably append one completed shard's results.
+
+        A failed append rotates the journal to the fallback path and
+        retries once; a second failure raises
+        :class:`~repro.resilience.errors.CheckpointStorageError`.
+        """
         payload = {
             "type": "shard",
             "offset": shard_offset,
@@ -285,10 +327,43 @@ class CheckpointJournal:
         }
         payload["crc"] = line_crc(payload)
         line = json.dumps(payload)
+        try:
+            self._append(line)
+        except OSError as exc:
+            self._rotate(exc)
+            try:
+                self._append(line)
+            except OSError as retry_exc:
+                raise CheckpointStorageError(str(self.path), str(retry_exc)) from retry_exc
+
+    def _append(self, line: str) -> None:
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+
+    def _rotate(self, cause: OSError) -> None:
+        """Move appending to the fallback path, carrying records over.
+
+        The primary is usually still *readable* when it stops being
+        writable (``ENOSPC``), so its records are copied across; a
+        partial line the failed append may have left behind is
+        truncated so the fallback resumes on a clean record boundary.
+        """
+        import shutil
+        import tempfile
+
+        directory = Path(self.fallback_directory or tempfile.gettempdir())
+        target = directory / f"{self.path.name}.fallback"
+        try:
+            shutil.copyfile(self.path, target)
+            _truncate_torn_tail(target)
+        except OSError as exc:
+            raise CheckpointStorageError(
+                str(self.path), f"rotation to {target} failed: {exc}"
+            ) from exc
+        self.rotated_from = self.path
+        self.path = target
 
     def close(self) -> None:
         """Nothing to flush — every :meth:`record` is already durable.

@@ -1,0 +1,81 @@
+"""Monotonic wall-clock deadlines for the attack runtime.
+
+The paper's attack window is physically bounded: charge decay destroys
+the dump while the scan runs, so a recovery that finishes after the
+window is worthless.  A :class:`Deadline` makes that bound explicit —
+one monotonic expiry threaded through the orchestrator, the shard
+executor, the adaptive escalation ladder, and the CLI
+(``attack --deadline SECONDS``) — so every stage can ask "is there
+time left?" and every sleep can be clamped to the remaining budget.
+
+Deadlines are *absolute* (pinned to ``time.monotonic()`` at creation),
+so passing one object down a call chain never resets the clock, and
+``None`` everywhere means "unbounded" — callers without a deadline pay
+nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.resilience.errors import DeadlineExceededError
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute monotonic expiry with a query/clamp/check interface.
+
+    Build one with :meth:`after` (``Deadline.after(300)`` expires five
+    minutes from now) or :meth:`coerce` (accepts an existing deadline,
+    a plain number of seconds, or ``None``).  The raw ``expires_at`` is
+    a ``time.monotonic()`` instant — wall-clock adjustments (NTP, DST)
+    cannot move it.
+    """
+
+    expires_at: float
+    total_seconds: float = field(default=0.0)
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        if seconds <= 0:
+            raise ValueError("deadline must be a positive number of seconds")
+        return cls(expires_at=time.monotonic() + seconds, total_seconds=float(seconds))
+
+    @classmethod
+    def coerce(cls, value: "Deadline | float | int | None") -> "Deadline | None":
+        """Normalise ``Deadline | seconds | None`` into ``Deadline | None``."""
+        if value is None or isinstance(value, Deadline):
+            return value
+        return cls.after(float(value))
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (never negative)."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        """Whether the deadline has passed."""
+        return time.monotonic() >= self.expires_at
+
+    def check(self, context: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is gone."""
+        if self.expired:
+            raise DeadlineExceededError(self.total_seconds, context)
+
+    def clamp(self, seconds: float) -> float:
+        """``seconds`` capped so a sleep/wait never outlives the deadline."""
+        return min(seconds, self.remaining())
+
+
+def clamp_sleep(seconds: float, deadline: Deadline | None) -> float:
+    """The backoff-sleep helper: cap ``seconds`` to the remaining budget.
+
+    ``None`` deadline leaves the sleep untouched; an expired deadline
+    collapses it to zero so retry loops fall through to their expiry
+    handling instead of sleeping through a budget that is already gone.
+    """
+    if deadline is None:
+        return seconds
+    return deadline.clamp(seconds)

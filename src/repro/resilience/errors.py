@@ -38,6 +38,58 @@ class ShardTimeoutError(ReproError, TimeoutError):
         )
 
 
+class ShardStallError(ReproError, TimeoutError):
+    """One shard's heartbeat stopped advancing past the stall timeout.
+
+    Unlike :class:`ShardTimeoutError` — a budget the shard blew while
+    possibly still making progress — a stall means the worker published
+    no progress beat for ``stalled_seconds``: it is genuinely hung
+    (deadlocked, busy-looped, wedged in a syscall), so the watchdog
+    kills its pool slot and resubmits the shard."""
+
+    def __init__(self, shard_offset: int, stalled_seconds: float, attempt: int) -> None:
+        self.shard_offset = shard_offset
+        self.stalled_seconds = stalled_seconds
+        self.attempt = attempt
+        super().__init__(
+            f"shard {shard_offset:#x} heartbeat stalled for "
+            f"{stalled_seconds:g}s (attempt {attempt})"
+        )
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """The run's wall-clock deadline expired.
+
+    The attack window is physically bounded — charge decay destroys the
+    dump while the scan runs — so every stage accepts a
+    :class:`~repro.resilience.deadline.Deadline` and raises this when
+    the budget is gone.  Catchers checkpoint, report partially, and
+    exit resumable rather than discarding completed work."""
+
+    def __init__(self, deadline_seconds: float, context: str = "") -> None:
+        self.deadline_seconds = deadline_seconds
+        self.context = context
+        suffix = f" during {context}" if context else ""
+        super().__init__(
+            f"deadline of {deadline_seconds:g}s exceeded{suffix}"
+        )
+
+
+class CheckpointStorageError(ReproError, OSError):
+    """The checkpoint journal could not be written durably anywhere.
+
+    Raised only after the rotation chain — primary path, then the
+    fallback path — failed (``ENOSPC`` on both, an unwritable fallback
+    directory).  A scan catching this completes without further
+    journaling rather than dying mid-journal; the run is simply no
+    longer resumable past this point."""
+
+    def __init__(self, path: str, cause: str) -> None:
+        self.path = path
+        self.cause = cause
+        super().__init__(f"checkpoint journal {path} unwritable: {cause}")
+
+
 class WorkerCrashError(ReproError, RuntimeError):
     """A shard worker raised or its process died mid-search."""
 

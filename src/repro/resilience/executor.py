@@ -32,13 +32,24 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.resilience.errors import ShardTimeoutError, WorkerCrashError
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import (
+    ShardStallError,
+    ShardTimeoutError,
+    WorkerCrashError,
+)
 from repro.resilience.retry import RetryPolicy
 
 #: Shard lifecycle states reported in a :class:`ShardOutcome`.
 STATUS_OK = "ok"
 STATUS_QUARANTINED = "quarantined"
 STATUS_FROM_CHECKPOINT = "from-checkpoint"
+#: The run's deadline expired before this shard got a verdict; it is
+#: not quarantined — a resumed run will scan it.
+STATUS_EXPIRED = "deadline-expired"
+#: A graceful-shutdown signal stopped the run before this shard got a
+#: verdict; likewise resumable.
+STATUS_INTERRUPTED = "interrupted"
 
 
 @dataclass
@@ -65,6 +76,14 @@ class RunLedger:
     outcomes: dict[int, ShardOutcome] = field(default_factory=dict)
     pool_rebuilds: int = 0
     degraded_to_serial: bool = False
+    #: Workers killed by the heartbeat watchdog for stalled beats.
+    stall_kills: int = 0
+    #: The run stopped early on a graceful-shutdown signal.
+    interrupted: bool = False
+    #: The run stopped early because its wall-clock deadline expired.
+    deadline_expired: bool = False
+    #: Why the run stopped early (signal name, "deadline"), if it did.
+    stop_cause: str = ""
 
     @property
     def completed(self) -> list[ShardOutcome]:
@@ -81,6 +100,15 @@ class RunLedger:
         """Shards skipped because a checkpoint already held their results."""
         return [o for o in self.outcomes.values() if o.status == STATUS_FROM_CHECKPOINT]
 
+    @property
+    def unfinished(self) -> list[ShardOutcome]:
+        """Shards left resumable by a deadline expiry or interrupt."""
+        return [
+            o
+            for o in self.outcomes.values()
+            if o.status in (STATUS_EXPIRED, STATUS_INTERRUPTED)
+        ]
+
     def summary(self) -> str:
         """One-line ledger digest for logs and CLI output."""
         parts = [
@@ -88,8 +116,12 @@ class RunLedger:
             f"{len(self.resumed)} from checkpoint",
             f"{len(self.quarantined)} quarantined",
         ]
+        if self.unfinished:
+            parts.append(f"{len(self.unfinished)} unfinished ({self.stop_cause})")
         if self.pool_rebuilds:
             parts.append(f"{self.pool_rebuilds} pool rebuilds")
+        if self.stall_kills:
+            parts.append(f"{self.stall_kills} stall kills")
         if self.degraded_to_serial:
             parts.append("degraded to serial")
         return ", ".join(parts)
@@ -140,34 +172,124 @@ class ResilientShardRunner:
 
     # ------------------------------------------------------------------ api
 
-    def run(self, jobs: dict[int, Any]) -> RunLedger:
+    def run(
+        self,
+        jobs: dict[int, Any],
+        deadline: "Deadline | float | None" = None,
+        stop: Any = None,
+        watchdog: Any = None,
+    ) -> RunLedger:
         """Execute every job; always returns a complete ledger.
 
         ``jobs`` maps shard offset → payload.  Crashes, hangs, and
         broken pools are retried per policy; shards out of budget are
         quarantined, never raised.
+
+        ``deadline`` (a :class:`Deadline` or plain seconds) bounds the
+        whole run: on expiry, in-flight shards are abandoned and every
+        unfinished shard is recorded :data:`STATUS_EXPIRED` — resumable,
+        not quarantined.  ``stop`` (a
+        :class:`~repro.resilience.shutdown.GracefulShutdown` or
+        anything with ``requested``/``forced``/``cause``) drains
+        in-flight shards to their result hooks, then records the rest
+        :data:`STATUS_INTERRUPTED`; a *forced* stop abandons in-flight
+        work immediately.  ``watchdog`` (a
+        :class:`~repro.resilience.watchdog.HeartbeatMonitor`) is
+        started here and kills/resubmits shards whose heartbeat stalls,
+        with a circuit breaker degrading to serial after
+        ``max_stall_kills`` consecutive stall-kills.
         """
+        deadline = Deadline.coerce(deadline)
         ledger = RunLedger()
         attempts: dict[int, int] = {offset: 0 for offset in jobs}
         errors: dict[int, list[str]] = {offset: [] for offset in jobs}
         pending = dict(jobs)
         use_pool = self.workers > 1
+        consecutive_stalls = 0
 
-        while pending and use_pool:
-            finished = self._pool_generation(pending, attempts, errors, ledger)
-            for offset in finished:
-                pending.pop(offset)
-            if pending and ledger.pool_rebuilds > self.policy.max_pool_rebuilds:
-                ledger.degraded_to_serial = True
-                self.on_event(
-                    f"process pool broke {ledger.pool_rebuilds} times; "
-                    f"degrading {len(pending)} shard(s) to serial execution"
+        if watchdog is not None and use_pool:
+            watchdog.start()
+        try:
+            while pending and use_pool:
+                if self._halt_pending(pending, attempts, errors, ledger, deadline, stop):
+                    return ledger
+                stalls_before = ledger.stall_kills
+                finished = self._pool_generation(
+                    pending, attempts, errors, ledger, deadline, stop, watchdog
                 )
-                use_pool = False
+                for offset in finished:
+                    pending.pop(offset)
+                if ledger.stall_kills > stalls_before:
+                    consecutive_stalls += ledger.stall_kills - stalls_before
+                elif finished:
+                    consecutive_stalls = 0
+                if (
+                    pending
+                    and watchdog is not None
+                    and consecutive_stalls >= watchdog.config.max_stall_kills
+                ):
+                    ledger.degraded_to_serial = True
+                    self.on_event(
+                        f"watchdog killed {consecutive_stalls} consecutive stalled "
+                        f"worker(s); degrading {len(pending)} shard(s) to serial "
+                        f"execution"
+                    )
+                    use_pool = False
+                if pending and use_pool and ledger.pool_rebuilds > self.policy.max_pool_rebuilds:
+                    ledger.degraded_to_serial = True
+                    self.on_event(
+                        f"process pool broke {ledger.pool_rebuilds} times; "
+                        f"degrading {len(pending)} shard(s) to serial execution"
+                    )
+                    use_pool = False
+        finally:
+            if watchdog is not None:
+                watchdog.stop()
 
-        for offset, payload in pending.items():
-            self._run_serial(offset, payload, attempts, errors, ledger)
+        while pending:
+            if self._halt_pending(pending, attempts, errors, ledger, deadline, stop):
+                return ledger
+            offset = next(iter(pending))
+            payload = pending.pop(offset)
+            self._run_serial(offset, payload, attempts, errors, ledger, deadline, stop)
         return ledger
+
+    def _halt_pending(
+        self,
+        pending: dict[int, Any],
+        attempts: dict[int, int],
+        errors: dict[int, list[str]],
+        ledger: RunLedger,
+        deadline: "Deadline | None",
+        stop: Any,
+    ) -> bool:
+        """If a stop/deadline fired, mark all pending shards resumable.
+
+        Returns True when the run should end now.  The marked shards are
+        *not* quarantined — a resumed run re-scans exactly these.
+        """
+        if stop is not None and stop.requested:
+            status = STATUS_INTERRUPTED
+            ledger.interrupted = True
+            ledger.stop_cause = getattr(stop, "cause", "") or "interrupt"
+        elif deadline is not None and deadline.expired:
+            status = STATUS_EXPIRED
+            ledger.deadline_expired = True
+            ledger.stop_cause = "deadline"
+        else:
+            return False
+        for offset in pending:
+            ledger.outcomes[offset] = ShardOutcome(
+                shard_offset=offset,
+                status=status,
+                attempts=attempts[offset],
+                errors=errors[offset],
+            )
+        self.on_event(
+            f"run halted ({ledger.stop_cause}); "
+            f"{len(pending)} shard(s) left resumable"
+        )
+        return True
 
     # ------------------------------------------------------------ accounting
 
@@ -226,12 +348,16 @@ class ResilientShardRunner:
         attempts: dict[int, int],
         errors: dict[int, list[str]],
         ledger: RunLedger,
+        deadline: "Deadline | None" = None,
+        stop: Any = None,
     ) -> None:
         """In-process execution with retries (no hang protection)."""
         if self.initializer is not None and not self._serial_initialized:
             self.initializer(*self.initargs)
             self._serial_initialized = True
         while True:
+            if self._halt_pending({offset: payload}, attempts, errors, ledger, deadline, stop):
+                return
             attempts[offset] += 1
             try:
                 result = self.worker(payload, offset, attempts[offset], False)
@@ -239,7 +365,7 @@ class ResilientShardRunner:
                 crash = WorkerCrashError(offset, attempts[offset], str(exc))
                 if not self._record_failure(offset, attempts, errors, ledger, crash):
                     return
-                self.sleep(self.policy.delay_s(offset, attempts[offset]))
+                self.sleep(self.policy.clamped_delay_s(offset, attempts[offset], deadline))
             else:
                 self._record_ok(offset, result, attempts, errors, ledger)
                 return
@@ -252,13 +378,20 @@ class ResilientShardRunner:
         attempts: dict[int, int],
         errors: dict[int, list[str]],
         ledger: RunLedger,
+        deadline: "Deadline | None" = None,
+        stop: Any = None,
+        watchdog: Any = None,
     ) -> list[int]:
         """One process-pool pass over the pending shards.
 
         Returns the offsets that reached a terminal state (ok or
         quarantined).  A hang or a broken pool abandons the generation:
         the pool is shut down without waiting and the caller spins up a
-        fresh one for whatever remains.
+        fresh one for whatever remains.  A stalled heartbeat likewise
+        abandons the generation (the hung worker poisons its pool), but
+        is accounted as a stall-kill rather than a rebuild so the
+        watchdog's circuit breaker sees it.  A graceful stop drains:
+        in-flight shards run to a verdict, nothing is resubmitted.
         """
         finished: list[int] = []
         timeout = self.policy.shard_timeout_s
@@ -268,26 +401,52 @@ class ResilientShardRunner:
             initargs=self.initargs,
         )
         broken = False
+        stalled_pool = False
+        aborted = False
         try:
             futures: dict[Future, int] = {}
             deadlines: dict[Future, float] = {}
-            for offset, payload in pending.items():
+            # Shards are submitted lazily, at most ``workers`` in flight:
+            # anything handed to the pool gets prefetched into its call
+            # queue where ``Future.cancel`` cannot reach it, so eager
+            # submission would make a graceful drain run the whole scan.
+            # Lazy submission also starts each shard's timeout at actual
+            # dispatch, not at enqueue.
+            waiting = list(pending.items())
+
+            def submit_next() -> None:
+                offset, payload = waiting.pop(0)
+                future = pool.submit(self.worker, payload, offset, attempts[offset] + 1, True)
                 attempts[offset] += 1
-                future = pool.submit(self.worker, payload, offset, attempts[offset], True)
                 futures[future] = offset
                 if timeout is not None:
                     deadlines[future] = time.monotonic() + timeout
+                if watchdog is not None:
+                    watchdog.track(offset)
+
+            while waiting and len(futures) < self.workers:
+                submit_next()
 
             while futures:
+                caps: list[float] = []
                 if deadlines:
-                    wait_budget = max(0.0, min(deadlines.values()) - time.monotonic())
-                else:
-                    wait_budget = None
+                    caps.append(max(0.0, min(deadlines.values()) - time.monotonic()))
+                if watchdog is not None:
+                    caps.append(watchdog.poll_interval_s)
+                if deadline is not None:
+                    caps.append(deadline.remaining())
+                if stop is not None:
+                    # Stay responsive to signals even with lazy shards.
+                    caps.append(0.25)
+                wait_budget = min(caps) if caps else None
                 done, _ = wait(futures, timeout=wait_budget, return_when=FIRST_COMPLETED)
 
+                draining = stop is not None and stop.requested
                 for future in done:
                     offset = futures.pop(future)
                     deadlines.pop(future, None)
+                    if watchdog is not None:
+                        watchdog.untrack(offset)
                     try:
                         result = future.result()
                     except BrokenProcessPool:
@@ -305,8 +464,14 @@ class ResilientShardRunner:
                         crash = WorkerCrashError(offset, attempts[offset], str(exc))
                         if not self._record_failure(offset, attempts, errors, ledger, crash):
                             finished.append(offset)
+                        elif draining:
+                            # Drain mode: the failure is recorded, but
+                            # the retry belongs to the resumed run.
+                            pass
                         else:
-                            self.sleep(self.policy.delay_s(offset, attempts[offset]))
+                            self.sleep(
+                                self.policy.clamped_delay_s(offset, attempts[offset], deadline)
+                            )
                             try:
                                 retry = pool.submit(
                                     self.worker, pending[offset], offset, attempts[offset] + 1, True
@@ -321,19 +486,47 @@ class ResilientShardRunner:
                                 futures[retry] = offset
                                 if timeout is not None:
                                     deadlines[retry] = time.monotonic() + timeout
+                                if watchdog is not None:
+                                    watchdog.track(offset)
                     else:
                         self._record_ok(offset, result, attempts, errors, ledger)
                         finished.append(offset)
                 if broken:
                     break
 
+                if draining and not (stop is not None and stop.forced):
+                    # Graceful drain: shards already executing run to a
+                    # verdict (and get journaled), but anything still
+                    # queued belongs to the resumed run — cancel it and
+                    # refund the attempt that never started.
+                    for future in list(futures):
+                        if future.cancel():
+                            offset = futures.pop(future)
+                            deadlines.pop(future, None)
+                            attempts[offset] -= 1
+                            if watchdog is not None:
+                                watchdog.untrack(offset)
+
+                if stop is not None and stop.forced:
+                    # Second signal: abandon in-flight work right now.
+                    aborted = True
+                    break
+                if deadline is not None and deadline.expired:
+                    # Budget gone: completed shards are journaled; the
+                    # rest resume.  Waiting out in-flight shards could
+                    # take a full shard timeout — abandon them instead.
+                    aborted = True
+                    break
+
                 now = time.monotonic()
-                expired = [f for f, deadline in deadlines.items() if deadline <= now]
+                expired = [f for f, future_deadline in deadlines.items() if future_deadline <= now]
                 for future in expired:
                     if future.done():
                         continue  # a result beat the deadline; next wait() reaps it
                     offset = futures.pop(future)
                     deadlines.pop(future, None)
+                    if watchdog is not None:
+                        watchdog.untrack(offset)
                     future.cancel()
                     broken = True  # a hung worker poisons its pool slot
                     hang = ShardTimeoutError(
@@ -343,6 +536,37 @@ class ResilientShardRunner:
                         finished.append(offset)
                 if broken:
                     break
+
+                if watchdog is not None:
+                    for offset, silent_for in watchdog.take_stalled():
+                        future = next(
+                            (f for f, o in futures.items() if o == offset), None
+                        )
+                        if future is None or future.done():
+                            continue  # a verdict raced the stall; next wait() reaps it
+                        futures.pop(future)
+                        deadlines.pop(future, None)
+                        future.cancel()
+                        stalled_pool = True  # the hung worker squats on a pool slot
+                        ledger.stall_kills += 1
+                        stall = ShardStallError(offset, silent_for, attempts[offset])
+                        if not self._record_failure(offset, attempts, errors, ledger, stall):
+                            finished.append(offset)
+                    if stalled_pool:
+                        break
+
+                # Re-check the stop flag: a result hook (the checkpoint
+                # journal's caller) may have requested the stop while
+                # this batch was being recorded.
+                if not (stop is not None and stop.requested):
+                    while waiting and len(futures) < self.workers:
+                        try:
+                            submit_next()
+                        except BrokenProcessPool:
+                            broken = True
+                            break
+                    if broken:
+                        break
 
             # Generation abandoned with futures in flight: harvest any
             # that won the race, refund the rest (their attempt never
@@ -363,16 +587,23 @@ class ResilientShardRunner:
                     future.cancel()
                 if not resolved:
                     attempts[offset] -= 1
+                if watchdog is not None:
+                    watchdog.untrack(offset)
         finally:
             if broken:
                 ledger.pool_rebuilds += 1
                 self.on_event("shard pool broken; rebuilding for remaining shards")
-            # A broken/hung pool must not be joined — shut down without
-            # waiting, then put the zombie workers down explicitly (a
-            # hung worker would otherwise squat on its shard's memory
-            # and stall interpreter exit).
-            pool.shutdown(wait=not broken, cancel_futures=True)
-            if broken:
+            elif stalled_pool:
+                self.on_event(
+                    "stalled worker killed; rebuilding pool for remaining shards"
+                )
+            # A broken/hung/abandoned pool must not be joined — shut
+            # down without waiting, then put the zombie workers down
+            # explicitly (a hung worker would otherwise squat on its
+            # shard's memory and stall interpreter exit).
+            teardown = broken or stalled_pool or aborted
+            pool.shutdown(wait=not teardown, cancel_futures=True)
+            if teardown:
                 for process in list((getattr(pool, "_processes", None) or {}).values()):
                     process.terminate()
         return finished

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.resilience.deadline import Deadline, clamp_sleep
 from repro.util.rng import SplitMix64, derive_seed
 
 
@@ -67,6 +68,17 @@ class RetryPolicy:
         rng = SplitMix64(derive_seed("retry-jitter", self.seed, shard_offset, attempt))
         factor = 1.0 + self.jitter * (2.0 * rng.next_float() - 1.0)
         return raw * factor
+
+    def clamped_delay_s(
+        self, shard_offset: int, attempt: int, deadline: Deadline | None = None
+    ) -> float:
+        """:meth:`delay_s`, but never sleeping past ``deadline``.
+
+        A backoff that outlives the run's wall-clock budget would turn
+        an orderly deadline expiry into dead air; the executor uses
+        this form for every retry sleep.
+        """
+        return clamp_sleep(self.delay_s(shard_offset, attempt), deadline)
 
     def should_retry(self, attempt: int) -> bool:
         """True while ``attempt`` completed failures leave budget for more."""

@@ -1,0 +1,99 @@
+"""Cooperative SIGINT/SIGTERM handling for long scans.
+
+A multi-hour recovery killed by ^C should not discard hours of
+journaled work — it should stop *cleanly*: finish draining in-flight
+shards into the checkpoint journal, fsync, and exit with a distinct
+resumable status so ``attack --resume`` picks up exactly where the
+signal landed.
+
+:class:`GracefulShutdown` is a context manager that converts the first
+SIGINT/SIGTERM into a cooperative stop flag (the executor drains and
+returns), a second signal into a *force* flag (in-flight work is
+abandoned immediately — completed shards are already journaled), and
+restores default handlers on the second signal so a third kills the
+process outright if even the forced path wedges.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+
+#: Exit status for a run interrupted by signal but resumable from journal.
+EXIT_INTERRUPTED = 3
+#: Exit status for a run that hit its deadline but is resumable.
+EXIT_DEADLINE_EXPIRED = 4
+
+
+class GracefulShutdown:
+    """Signal-to-flag bridge with two-stage escalation.
+
+    Use as a context manager around the attack run; pass the instance
+    down as the executor's ``stop``.  Outside a ``with`` block it is an
+    inert flag holder — tests (and the chaos harness) drive it with
+    :meth:`request` instead of real signals.
+    """
+
+    def __init__(self, signals: tuple[int, ...] = (signal.SIGINT, signal.SIGTERM)) -> None:
+        self.signals = signals
+        self.stop_requested = threading.Event()
+        self.force_requested = threading.Event()
+        self.cause: str = ""
+        self._previous: dict[int, object] = {}
+
+    # ---------------------------------------------------------------- state
+
+    @property
+    def requested(self) -> bool:
+        """Whether a stop (graceful or forced) has been requested."""
+        return self.stop_requested.is_set()
+
+    @property
+    def forced(self) -> bool:
+        """Whether the second-signal force escalation fired."""
+        return self.force_requested.is_set()
+
+    def request(self, cause: str = "request", force: bool = False) -> None:
+        """Programmatic trigger (tests, chaos harness, embedding apps)."""
+        if not self.stop_requested.is_set():
+            self.cause = cause
+            self.stop_requested.set()
+        else:
+            # Mirror the signal ladder: asking twice means force.
+            self.force_requested.set()
+        if force:
+            self.force_requested.set()
+
+    # -------------------------------------------------------------- handlers
+
+    def _handle(self, signum: int, frame: object) -> None:
+        name = signal.Signals(signum).name
+        if not self.stop_requested.is_set():
+            self.cause = name
+            self.stop_requested.set()
+            return
+        # Second signal: force-abandon in-flight work, and hand the
+        # handlers back to the OS so a third signal kills us for real.
+        self.force_requested.set()
+        self._restore()
+
+    def _restore(self) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)  # type: ignore[arg-type]
+            except (ValueError, OSError):  # pragma: no cover — exotic context
+                pass
+        self._previous = {}
+
+    def __enter__(self) -> "GracefulShutdown":
+        for signum in self.signals:
+            try:
+                self._previous[signum] = signal.signal(signum, self._handle)
+            except ValueError:
+                # Not the main thread (embedded use); stay a flag holder.
+                break
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._restore()

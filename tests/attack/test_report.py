@@ -7,6 +7,8 @@ import pytest
 from repro.attack.pipeline import Ddr4ColdBootAttack
 from repro.attack.report import (
     REPORT_SCHEMA_VERSION,
+    load_report_json,
+    migrate_report_dict,
     report_to_dict,
     report_to_markdown,
     save_report_json,
@@ -111,3 +113,127 @@ class TestResilienceFields:
         assert "shards=8" in summary
         assert "resumed=3" in summary
         assert "QUARANTINED=2" in summary
+
+
+class TestTimingFields:
+    def make_expired_report(self):
+        from repro.attack.pipeline import AttackReport
+
+        return AttackReport(
+            dump_bytes=1 << 20,
+            n_shards=4,
+            deadline_s=300.0,
+            deadline_expired=True,
+            expiry_cause="deadline",
+            unscanned_shards=[0x40000, 0x60000],
+            stall_kills=1,
+            resource_backend="shm",
+            checkpoint_path="/tmp/scan.jsonl",
+        )
+
+    def test_json_carries_timing_block(self):
+        parsed = report_to_dict(self.make_expired_report())
+        timing = parsed["timing"]
+        assert timing["deadline_seconds"] == 300.0
+        assert timing["deadline_expired"] is True
+        assert timing["interrupted"] is False
+        assert timing["expiry_cause"] == "deadline"
+        resilience = parsed["resilience"]
+        assert resilience["unscanned_shards"] == [0x40000, 0x60000]
+        assert resilience["stall_kills"] == 1
+        assert resilience["resource_backend"] == "shm"
+        assert resilience["checkpoint_path"] == "/tmp/scan.jsonl"
+        assert resilience["complete_scan"] is False
+
+    def test_resumable_property(self):
+        report = self.make_expired_report()
+        assert report.resumable
+        report.unscanned_shards = []
+        assert not report.resumable
+
+    def test_markdown_warns_about_early_stop(self):
+        text = report_to_markdown(self.make_expired_report())
+        assert "run stopped early" in text
+        assert "deadline" in text
+
+
+class TestSchemaMigration:
+    def v1_dict(self):
+        return {
+            "schema_version": 1,
+            "dump_bytes": 1024,
+            "timings": {
+                "mine_seconds": 1.5,
+                "search_seconds": 2.5,
+                "scan_rate_mb_per_hour": 9.0,
+            },
+            "candidate_keys": {"count": 0, "top_frequencies": []},
+            "recovered_keys": [],
+        }
+
+    def test_v1_upgrades_to_current(self):
+        migrated = migrate_report_dict(self.v1_dict())
+        assert migrated["schema_version"] == REPORT_SCHEMA_VERSION
+        assert migrated["timing"]["stages"]["mine_seconds"] == 1.5
+        assert migrated["timing"]["deadline_seconds"] is None
+        assert migrated["timing"]["deadline_expired"] is False
+        assert migrated["resilience"]["complete_scan"] is True
+        assert migrated["resilience"]["unscanned_shards"] == []
+        assert migrated["resilience"]["stall_kills"] == 0
+        assert migrated["robustness"]["quarantined_regions"] == []
+
+    def test_migration_preserves_existing_fields(self):
+        original = self.v1_dict()
+        migrated = migrate_report_dict(original)
+        assert migrated["dump_bytes"] == 1024
+        assert migrated["timings"]["scan_rate_mb_per_hour"] == 9.0
+        assert original["schema_version"] == 1  # input untouched
+
+    def test_migration_is_idempotent(self):
+        once = migrate_report_dict(self.v1_dict())
+        assert migrate_report_dict(once) == once
+
+    def test_current_report_passes_unchanged(self, successful_report):
+        report, _ = successful_report
+        current = report_to_dict(report)
+        assert migrate_report_dict(current) == current
+
+    def test_newer_schema_is_refused(self):
+        too_new = {"schema_version": REPORT_SCHEMA_VERSION + 1}
+        with pytest.raises(ValueError, match="newer"):
+            migrate_report_dict(too_new)
+
+    def test_v3_keeps_its_resilience_counts(self):
+        v3 = self.v1_dict()
+        v3["schema_version"] = 3
+        v3["resilience"] = {
+            "n_shards": 8,
+            "quarantined_shards": [7],
+            "resumed_shards": 2,
+            "degraded_to_serial": True,
+            "complete_scan": False,
+        }
+        migrated = migrate_report_dict(v3)
+        assert migrated["resilience"]["n_shards"] == 8
+        assert migrated["resilience"]["resumed_shards"] == 2
+        assert migrated["resilience"]["stall_kills"] == 0  # filled default
+
+    def test_load_report_json_round_trip(self, successful_report, tmp_path):
+        """save → load of an old-version file yields a current dict."""
+        report, master = successful_report
+        path = tmp_path / "report.json"
+        save_report_json(report, path)
+        # Age the file: rewrite it as if a v3 writer had produced it.
+        aged = json.loads(path.read_text())
+        aged["schema_version"] = 3
+        del aged["timing"]
+        for field in ("unscanned_shards", "stall_kills", "resource_backend",
+                      "checkpoint_path", "checkpoint_error"):
+            del aged["resilience"][field]
+        path.write_text(json.dumps(aged))
+
+        loaded = load_report_json(path)
+        assert loaded["schema_version"] == REPORT_SCHEMA_VERSION
+        assert loaded["timing"]["stages"]["mine_seconds"] == aged["timings"]["mine_seconds"]
+        keys = {entry["master_key"] for entry in loaded["recovered_keys"]}
+        assert master[:32].hex() in keys

@@ -54,9 +54,9 @@ def test_shard_payload_under_1kib_regardless_of_dump_size(monkeypatch, n_blocks)
     captured = {}
     original_run = ResilientShardRunner.run
 
-    def spy(self, jobs):
+    def spy(self, jobs, **kwargs):
         captured.update(jobs)
-        return original_run(self, jobs)
+        return original_run(self, jobs, **kwargs)
 
     monkeypatch.setattr(ResilientShardRunner, "run", spy)
     dump, _, _ = synthetic_dump(0.0, n_blocks=n_blocks, seed=3)

@@ -1,0 +1,72 @@
+"""Unit tests for the monotonic deadline primitive and clamped sleeps."""
+
+import time
+
+import pytest
+
+from repro.resilience.deadline import Deadline, clamp_sleep
+from repro.resilience.errors import DeadlineExceededError, ReproError
+from repro.resilience.retry import RetryPolicy
+
+
+def test_after_pins_an_absolute_expiry():
+    deadline = Deadline.after(60.0)
+    assert not deadline.expired
+    assert 0.0 < deadline.remaining() <= 60.0
+    assert deadline.total_seconds == 60.0
+
+
+def test_after_rejects_non_positive_budgets():
+    with pytest.raises(ValueError):
+        Deadline.after(0.0)
+    with pytest.raises(ValueError):
+        Deadline.after(-1.0)
+
+
+def test_coerce_accepts_none_seconds_and_deadlines():
+    assert Deadline.coerce(None) is None
+    existing = Deadline.after(5.0)
+    assert Deadline.coerce(existing) is existing
+    coerced = Deadline.coerce(5)
+    assert isinstance(coerced, Deadline)
+    assert coerced.total_seconds == 5.0
+
+
+def test_expired_deadline_reports_zero_remaining():
+    deadline = Deadline(expires_at=time.monotonic() - 1.0, total_seconds=1.0)
+    assert deadline.expired
+    assert deadline.remaining() == 0.0
+
+
+def test_check_raises_only_after_expiry():
+    Deadline.after(60.0).check("live")  # must not raise
+    expired = Deadline(expires_at=time.monotonic() - 1.0, total_seconds=2.5)
+    with pytest.raises(DeadlineExceededError) as excinfo:
+        expired.check("mining stage")
+    assert "mining stage" in str(excinfo.value)
+    # Deadline expiry is part of the operator-facing taxonomy: the CLI
+    # turns ReproError into a one-line message, not a traceback.
+    assert isinstance(excinfo.value, ReproError)
+
+
+def test_clamp_caps_sleeps_to_the_remaining_budget():
+    deadline = Deadline.after(0.5)
+    assert deadline.clamp(10.0) <= 0.5
+    assert deadline.clamp(0.0) == 0.0
+    expired = Deadline(expires_at=time.monotonic() - 1.0, total_seconds=1.0)
+    assert expired.clamp(10.0) == 0.0
+
+
+def test_clamp_sleep_passes_through_without_a_deadline():
+    assert clamp_sleep(7.0, None) == 7.0
+    assert clamp_sleep(7.0, Deadline.after(60.0)) == 7.0
+
+
+def test_retry_policy_backoff_is_deadline_clamped():
+    policy = RetryPolicy(base_delay_s=10.0, max_delay_s=10.0, jitter=0.0)
+    unclamped = policy.clamped_delay_s(0, 1, None)
+    assert unclamped == policy.delay_s(0, 1) == 10.0
+    near_expiry = Deadline.after(0.2)
+    assert policy.clamped_delay_s(0, 1, near_expiry) <= 0.2
+    expired = Deadline(expires_at=time.monotonic() - 1.0, total_seconds=1.0)
+    assert policy.clamped_delay_s(0, 1, expired) == 0.0

@@ -217,3 +217,130 @@ def test_committed_machine_record_validates():
     machine_harness.validate_bench_record(record)
     assert record["identical_dumps"] is True
     assert record["speedup_vs_baseline"]["end_to_end"] >= 10.0
+
+
+# --------------------------------------------------- robust-chaos/v1 schema
+
+
+from benchmarks.chaos_soak import (  # noqa: E402
+    CHAOS_SCHEMA,
+    SCENARIOS,
+    validate_chaos_record,
+)
+
+
+def chaos_iteration(iteration=0, scenario="crash-retry", violations=()):
+    return {
+        "iteration": iteration,
+        "scenario": scenario,
+        "fault_kinds": ["crash"],
+        "workers": 2,
+        "backend": "shm",
+        "complete_first_pass": True,
+        "interrupted": False,
+        "deadline_expired": False,
+        "stall_kills": 0,
+        "pool_rebuilds": 0,
+        "degraded_to_serial": False,
+        "journaled_shards": 4,
+        "resumed_shards": 0,
+        "resume_ran": False,
+        "keys_byte_identical": True,
+        "seconds": 3.2,
+        "violations": list(violations),
+    }
+
+
+def valid_chaos_record():
+    return {
+        "schema": CHAOS_SCHEMA,
+        "seed": 5,
+        "n_shards": 4,
+        "baseline_keys": 2,
+        "iterations": [
+            chaos_iteration(i, scenario) for i, scenario in enumerate(SCENARIOS)
+        ],
+        "acceptance": {
+            "iterations_run": len(SCENARIOS),
+            "zero_violations": True,
+            "watchdog_fired": True,
+            "drain_exercised": True,
+            "deadline_exercised": True,
+            "degradation_exercised": True,
+            "all_byte_identical": True,
+        },
+    }
+
+
+def test_valid_chaos_record_passes():
+    assert validate_chaos_record(valid_chaos_record()) == []
+
+
+def test_chaos_json_roundtrip_still_validates(tmp_path):
+    path = tmp_path / "ROBUST_chaos.json"
+    path.write_text(json.dumps(valid_chaos_record()))
+    assert validate_chaos_record(json.loads(path.read_text())) == []
+
+
+def test_chaos_wrong_schema_tag_rejected():
+    record = valid_chaos_record()
+    record["schema"] = "robust-chaos/v0"
+    assert any("schema" in e for e in validate_chaos_record(record))
+
+
+def test_chaos_empty_iterations_rejected():
+    record = valid_chaos_record()
+    record["iterations"] = []
+    assert any("iterations" in e for e in validate_chaos_record(record))
+
+
+@pytest.mark.parametrize("field", [
+    "scenario", "fault_kinds", "stall_kills", "keys_byte_identical",
+    "violations", "seconds",
+])
+def test_chaos_missing_iteration_field_rejected(field):
+    record = valid_chaos_record()
+    del record["iterations"][0][field]
+    assert any(field in e for e in validate_chaos_record(record))
+
+
+def test_chaos_unknown_scenario_rejected():
+    record = valid_chaos_record()
+    record["iterations"][0]["scenario"] = "meteor-strike"
+    assert any("scenario" in e for e in validate_chaos_record(record))
+
+
+def test_chaos_bool_masquerading_as_count_rejected():
+    """`stall_kills: true` must not satisfy the int check (bool is a
+    subclass of int — the validator has to reject it explicitly)."""
+    record = valid_chaos_record()
+    record["iterations"][0]["stall_kills"] = True
+    assert any("stall_kills" in e for e in validate_chaos_record(record))
+
+
+@pytest.mark.parametrize("field", [
+    "zero_violations", "watchdog_fired", "drain_exercised",
+    "deadline_exercised", "degradation_exercised", "all_byte_identical",
+])
+def test_chaos_missing_acceptance_bool_rejected(field):
+    record = valid_chaos_record()
+    del record["acceptance"][field]
+    assert any(field in e for e in validate_chaos_record(record))
+
+
+def test_committed_chaos_record_validates():
+    """The checked-in ROBUST_chaos.json must satisfy its own schema and
+    certify the soak's headline claims: every fault layer exercised,
+    zero invariant violations, every run byte-identical (directly or
+    via resume)."""
+    path = Path(__file__).resolve().parent.parent / "ROBUST_chaos.json"
+    record = json.loads(path.read_text())
+    assert validate_chaos_record(record) == []
+    acceptance = record["acceptance"]
+    assert acceptance["iterations_run"] >= 50
+    assert acceptance["zero_violations"] is True
+    assert acceptance["watchdog_fired"] is True
+    assert acceptance["drain_exercised"] is True
+    assert acceptance["deadline_exercised"] is True
+    assert acceptance["degradation_exercised"] is True
+    assert acceptance["all_byte_identical"] is True
