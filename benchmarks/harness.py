@@ -10,19 +10,33 @@ recover **byte-identical** key sets, and writes the measurements to
 
     python benchmarks/harness.py                  # 64 MiB, 4 workers
     python benchmarks/harness.py --smoke          # CI-sized quick pass
-    python benchmarks/harness.py --size-mib 8 --workers 2 --no-baseline
+    python benchmarks/harness.py --repeat 3       # median-of-3 stages
+    python benchmarks/harness.py --min-speedup 20 # regression gate (CI)
+
+Stage times are honest: the fast path's join and verify numbers come
+from :attr:`AesKeySearch.stage_seconds` — the clocks the fused kernel
+runs *inside* ``find_hits`` — not from replaying the stages separately,
+and each record's ``workers`` field is the parallelism the stage really
+ran with (mine/join/verify are single-threaded measurements; only
+``end_to_end`` fans out, and it also records which executor the scan
+chose).  With ``--repeat N`` every fast stage is measured N times and
+the median recorded (raw samples ride along as ``wall_s_samples``).
 
 Every stage record has the same shape — ``{"wall_s": float,
 "blocks_per_s": float, "keys": int, "workers": int}`` — so successive
 ``BENCH_scan.json`` files diff cleanly as the implementation evolves;
-``speedup_vs_baseline`` summarises fast-vs-seed per stage.  See
-``docs/performance.md`` for how to read the numbers.
+``speedup_vs_baseline`` summarises fast-vs-seed per stage.  With
+``--min-speedup X`` the harness exits non-zero when the end-to-end
+speedup drops below ``X`` or the recoveries diverge from the seed
+path — the CI regression gate.  See ``docs/performance.md`` for how to
+read the numbers.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -119,19 +133,34 @@ def _canonical_recoveries(recovered: list) -> list[tuple]:
     )
 
 
-def _stage(wall_s: float, n_blocks: int, keys: int, workers: int) -> dict:
-    return {
+def _stage(
+    wall_s: float,
+    n_blocks: int,
+    keys: int,
+    workers: int,
+    samples: list[float] | None = None,
+    **extra: object,
+) -> dict:
+    record = {
         "wall_s": wall_s,
         "blocks_per_s": (n_blocks / wall_s) if wall_s > 0 else 0.0,
         "keys": keys,
         "workers": workers,
     }
+    if samples is not None and len(samples) > 1:
+        record["wall_s_samples"] = samples
+    record.update(extra)
+    return record
 
 
 def _time_join_verify(
     search: AesKeySearch, blocks, n_blocks: int, n_keys: int
 ) -> tuple[dict, dict, int]:
-    """Time the join and verify stages over every (offset, phase)."""
+    """Time the seed path's join and verify over every (offset, phase).
+
+    Only the frozen :class:`SeedAesKeySearch` is measured this way —
+    its stages really are separate passes.  The fast path reports the
+    clocks the fused kernel keeps itself (``stage_seconds``)."""
     geometry = [
         (offset, phase)
         for offset in search.offsets
@@ -163,40 +192,66 @@ def run_benchmark(
     bit_error_rate: float = DEFAULT_BIT_ERROR_RATE,
     with_baseline: bool = True,
     smoke: bool = False,
+    repeat: int = 1,
 ) -> dict:
-    """Measure all stages on one pinned dump; return the JSON record."""
+    """Measure all stages on one pinned dump; return the JSON record.
+
+    ``repeat`` reruns the fast-path measurements (mine, fused
+    join/verify, end-to-end) that many times and records the median per
+    stage; the deterministic seed baseline runs once — it is the frozen
+    reference, ~20× slower, and not the thing whose noise we are
+    smoothing.
+    """
     n_blocks = (size_mib << 20) // BLOCK_SIZE
     print(f"[harness] building {size_mib} MiB dump (seed={seed}, ber={bit_error_rate})")
     dump, master, _ = synthetic_dump(bit_error_rate, n_blocks=n_blocks, seed=seed)
 
-    start = time.perf_counter()
-    candidates = mine_scrambler_keys(dump)
-    mine_s = time.perf_counter() - start
-    n_keys = len(candidates)
-    keys = keys_matrix(candidates)
-    blocks = dump.blocks_matrix()
-    print(f"[harness] mine: {mine_s:.2f}s, {n_keys} candidate keys")
+    mine_samples: list[float] = []
+    join_samples: list[float] = []
+    verify_samples: list[float] = []
+    e2e_samples: list[float] = []
+    n_keys = n_hits = 0
+    executor = "serial"
+    keys = None
+    blocks = None
+    recovered = None
+    for rep in range(repeat):
+        start = time.perf_counter()
+        candidates = mine_scrambler_keys(dump)
+        mine_samples.append(time.perf_counter() - start)
+        n_keys = len(candidates)
+        keys = keys_matrix(candidates)
+        blocks = dump.blocks_matrix()
 
-    fast_search = AesKeySearch(keys, key_bits=256)
-    join_stage, verify_stage, n_hits = _time_join_verify(
-        fast_search, blocks, n_blocks, n_keys
-    )
-    print(
-        f"[harness] join: {join_stage['wall_s']:.2f}s, "
-        f"verify: {verify_stage['wall_s']:.2f}s ({n_hits} hits)"
-    )
+        # The fused kernel times its own stages while it streams; read
+        # them back instead of re-simulating the join and verify as
+        # separate passes the scan no longer performs.
+        fast_search = AesKeySearch(keys, key_bits=256)
+        n_hits = len(fast_search.find_hits(dump))
+        join_samples.append(fast_search.stage_seconds["join"])
+        verify_samples.append(fast_search.stage_seconds["verify"])
 
-    start = time.perf_counter()
-    scan = resilient_recover_keys(dump, key_bits=256, workers=workers, n_shards=workers)
-    end_to_end_s = time.perf_counter() - start
-    recovered = scan.recovered
-    masters = {r.master_key for r in recovered}
-    if not (master[:32] in masters and master[32:] in masters):
-        raise SystemExit("[harness] FATAL: scan failed to recover the planted XTS pair")
-    print(
-        f"[harness] end-to-end ({workers} workers): {end_to_end_s:.2f}s, "
-        f"{len(recovered)} keys recovered"
-    )
+        start = time.perf_counter()
+        scan = resilient_recover_keys(
+            dump, key_bits=256, workers=workers, n_shards=workers
+        )
+        e2e_samples.append(time.perf_counter() - start)
+        executor = scan.executor
+        if recovered is None:
+            recovered = scan.recovered
+        masters = {r.master_key for r in scan.recovered}
+        if not (master[:32] in masters and master[32:] in masters):
+            raise SystemExit(
+                "[harness] FATAL: scan failed to recover the planted XTS pair"
+            )
+        print(
+            f"[harness] rep {rep + 1}/{repeat}: mine {mine_samples[-1]:.2f}s "
+            f"({n_keys} keys), join {join_samples[-1]:.2f}s, "
+            f"verify {verify_samples[-1]:.2f}s ({n_hits} hits), "
+            f"end-to-end {e2e_samples[-1]:.2f}s "
+            f"({workers} workers, {executor} executor, "
+            f"{len(scan.recovered)} keys recovered)"
+        )
 
     record: dict = {
         "schema": BENCH_SCHEMA,
@@ -206,12 +261,25 @@ def run_benchmark(
             "seed": seed,
             "bit_error_rate": bit_error_rate,
             "smoke": smoke,
+            "repeat": repeat,
         },
         "stages": {
-            "mine": _stage(mine_s, n_blocks, n_keys, 1),
-            "join": join_stage,
-            "verify": verify_stage,
-            "end_to_end": _stage(end_to_end_s, n_blocks, n_keys, workers),
+            "mine": _stage(
+                statistics.median(mine_samples), n_blocks, n_keys, 1,
+                samples=mine_samples,
+            ),
+            "join": _stage(
+                statistics.median(join_samples), n_blocks, n_keys, 1,
+                samples=join_samples,
+            ),
+            "verify": _stage(
+                statistics.median(verify_samples), n_blocks, n_keys, 1,
+                samples=verify_samples,
+            ),
+            "end_to_end": _stage(
+                statistics.median(e2e_samples), n_blocks, n_keys, workers,
+                samples=e2e_samples, executor=executor, shards=workers,
+            ),
         },
         "baseline": None,
     }
@@ -234,7 +302,7 @@ def run_benchmark(
         record["baseline"] = {
             # The seed miner's cost is only visible inside end_to_end;
             # this mirrors the fast mine record to satisfy the schema.
-            "mine": _stage(mine_s, n_blocks, n_keys, 1),
+            "mine": _stage(statistics.median(mine_samples), n_blocks, n_keys, 1),
             "join": base_join,
             "verify": base_verify,
             "end_to_end": _stage(base_e2e_s, n_blocks, n_keys, workers),
@@ -276,6 +344,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the seed-implementation baseline run")
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: 1 MiB dump, 2 workers, baseline included")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="measure the fast stages N times, record medians "
+                             "(default 1)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="regression gate: exit non-zero unless the "
+                             "end-to-end speedup vs the seed baseline reaches "
+                             "this floor with identical recoveries")
     parser.add_argument("--output", default="BENCH_scan.json",
                         help="where to write the JSON record (default BENCH_scan.json)")
     args = parser.parse_args(argv)
@@ -283,6 +358,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--size-mib must be at least 1")
     if args.workers < 1:
         parser.error("--workers must be at least 1")
+    if args.repeat < 1:
+        parser.error("--repeat must be at least 1")
+    if args.min_speedup is not None and args.no_baseline:
+        parser.error("--min-speedup needs the baseline (drop --no-baseline)")
 
     size_mib = 1 if args.smoke else args.size_mib
     workers = 2 if args.smoke else args.workers
@@ -293,10 +372,26 @@ def main(argv: list[str] | None = None) -> int:
         bit_error_rate=args.bit_error_rate,
         with_baseline=not args.no_baseline,
         smoke=args.smoke,
+        repeat=args.repeat,
     )
     validate_bench_record(record)
     Path(args.output).write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
     print(f"[harness] wrote {args.output}")
+
+    if args.min_speedup is not None:
+        speedup = record["speedup_vs_baseline"]["end_to_end"]
+        identical = record["identical_keys"]
+        if not identical or speedup < args.min_speedup:
+            print(
+                f"[harness] GATE FAILED: end-to-end speedup {speedup:.1f}x "
+                f"(floor {args.min_speedup:.1f}x), identical_keys={identical}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"[harness] gate passed: {speedup:.1f}x >= "
+            f"{args.min_speedup:.1f}x, identical recoveries"
+        )
     return 0
 
 

@@ -39,7 +39,10 @@ equation-guided table repair, and whole-region confirmation — see
 
 from __future__ import annotations
 
+import json
 import math
+import sys
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -59,6 +62,20 @@ from repro.crypto.aes import (
 from repro.dram.image import MemoryImage
 from repro.util.bits import POPCOUNT_TABLE
 from repro.util.blocks import BLOCK_SIZE
+
+#: The fused scan composes 2-byte band values as ``lo | hi << 8`` to
+#: match the cache's native ``view(np.uint16)`` of fingerprint bytes —
+#: an equivalence that holds only on little-endian hosts.  Big-endian
+#: hosts take the per-offset path instead (same results, slower).
+_NATIVE_LITTLE = sys.byteorder == "little"
+
+#: Blocks per streaming chunk of the fused scan: 65536 rows = 4 MiB of
+#: dump.  Every offset and phase probes the chunk's relation tables
+#: while they are cache-resident, instead of re-reading (and
+#: re-fingerprinting) the whole dump once per offset; measured on the
+#: benchmark dump, 4 MiB amortises the ~60 fixed probes per chunk best
+#: without pushing the band tables out of cache.
+SCAN_CHUNK_BLOCKS = 65536
 
 
 @dataclass(frozen=True)
@@ -155,6 +172,91 @@ def _as_key_matrix(keys: list[bytes] | np.ndarray) -> np.ndarray:
     return matrix
 
 
+def default_scan_offsets(key_bits: int) -> tuple[int, ...]:
+    """The in-block offsets :class:`AesKeySearch` scans by default."""
+    max_offset = BLOCK_SIZE - AesVariant(key_bits).span_bytes
+    return tuple(range(min(32, max_offset + 1)))
+
+
+#: Shared empty probe result, so memoised no-hit bands cost nothing.
+_EMPTY_CODES = np.empty(0, dtype=np.int64)
+
+
+def _all_pairs(blocks: np.ndarray, n_keys: int) -> np.ndarray:
+    """Every (block, key) pair, lexicographic — as an array, not tuples.
+
+    ``_verify_pairs`` takes pairs as an ``(n, 2)`` array; building the
+    cross product directly avoids materialising (and re-converting)
+    hundreds of thousands of Python tuples per verification pass.
+    """
+    pairs = np.empty((blocks.size * n_keys, 2), dtype=np.int64)
+    pairs[:, 0] = np.repeat(blocks, n_keys)
+    pairs[:, 1] = np.tile(np.arange(n_keys, dtype=np.int64), blocks.size)
+    return pairs
+
+
+def _word_popcount(array: np.ndarray, skip_byte0: bool = False) -> np.ndarray:
+    """Per-row popcount of an ``(n, 4)`` uint8 array, as ``(n,)`` uint8.
+
+    One ``bitwise_count`` over the rows viewed as uint32 replaces the
+    per-byte count + axis reduce — the prefilter calls this thousands
+    of times per scan, and the fused form is ~25× faster.  With
+    ``skip_byte0`` the count excludes each row's byte 0 (the column a
+    round-varying Rcon perturbs) by subtracting its own count; a row's
+    total always bounds its byte-0 count, so the uint8 difference
+    cannot wrap.
+    """
+    counts = np.bitwise_count(
+        np.ascontiguousarray(array).view(np.uint32).ravel()
+    )
+    if skip_byte0:
+        counts -= np.bitwise_count(array[:, 0])
+    return counts
+
+
+def _sorted_unique(codes: np.ndarray) -> np.ndarray:
+    """Sort-and-mask deduplication, in place of ``np.unique``.
+
+    Same result (ascending uniques) without the hash-table pass the
+    hotter callers cannot afford; mutates and returns ``codes``.
+    """
+    codes.sort()
+    if codes.size > 1:
+        keep = np.empty(codes.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(codes[1:], codes[:-1], out=keep[1:])
+        codes = codes[keep]
+    return codes
+
+
+def _expand_probe_runs(
+    rows: np.ndarray,
+    left: np.ndarray,
+    counts: np.ndarray,
+    order: np.ndarray,
+    n_keys: int,
+    dtype: type = np.int64,
+) -> np.ndarray:
+    """Expand bucket runs ``[left, left+count)`` into joined pair codes.
+
+    ``rows`` are the block indices whose band value hit a non-empty key
+    bucket; each run is flattened without a Python loop by a vector of
+    ones whose run boundaries are adjusted so its cumsum walks each run
+    in turn.  Returns ``block * n_keys + key`` codes, one per pair, in
+    ``dtype`` — callers whose codes provably fit pass ``np.int32`` to
+    halve the memory traffic of the downstream merge.
+    """
+    total = int(counts.sum())
+    step = np.ones(total, dtype=np.int64)
+    step[0] = left[0]
+    boundaries = np.cumsum(counts)[:-1]
+    step[boundaries] = left[1:] - left[:-1] - counts[:-1] + 1
+    positions = np.cumsum(step)
+    codes = np.repeat((rows * n_keys).astype(dtype, copy=False), counts)
+    codes += order[positions].astype(dtype, copy=False)
+    return codes
+
+
 class KeyFingerprintCache:
     """Key-side join state, computed once and shared by every shard.
 
@@ -166,6 +268,12 @@ class KeyFingerprintCache:
     the shared key matrix and reuses it across all the shard tasks it
     executes, instead of re-fingerprinting ~4k keys × 32 offsets per
     shard.
+
+    For multi-process scans the cache also round-trips through shared
+    memory: :meth:`export_blob` serialises every computed entry into one
+    buffer and :meth:`attach` reconstitutes a cache whose entries are
+    zero-copy read-only views of it, so workers inherit the tables the
+    parent already built instead of rebuilding them per process.
     """
 
     def __init__(self, keys: list[bytes] | np.ndarray, key_bits: int = 256) -> None:
@@ -173,6 +281,20 @@ class KeyFingerprintCache:
         self.variant = AesVariant(key_bits)
         self._bands: dict[
             tuple[int, int], tuple[np.ndarray, tuple[np.ndarray, ...], tuple[np.ndarray, ...]]
+        ] = {}
+        # Band tables deduplicated by what they actually index: the
+        # 2-byte fingerprint value of relation byte-triple ``rel`` at
+        # span position ``j``.  Offset ``o``'s high band of a relation
+        # is offset ``o+2``'s low band, and phases with identical
+        # relation triples (AES-256's even/odd rounds) share all of
+        # them, so entries reuse the same order/indptr arrays instead
+        # of rebuilding ~2× copies.
+        self._band_tables: dict[
+            tuple[tuple[int, int, int], int], tuple[np.ndarray, np.ndarray]
+        ] = {}
+        self._entries_shared: dict[
+            tuple[tuple[tuple[int, int, int], ...], int],
+            tuple[np.ndarray, tuple[np.ndarray, ...], tuple[np.ndarray, ...]],
         ] = {}
 
     def bands(
@@ -189,21 +311,146 @@ class KeyFingerprintCache:
         """
         entry = self._bands.get((offset, phase))
         if entry is None:
-            span = self.variant.span_bytes
-            fp = _fingerprints(self.keys[:, offset : offset + span], self.variant.nk, phase)
-            values = np.ascontiguousarray(fp).view(np.uint16)
-            orders = []
-            indptrs = []
-            for band in range(values.shape[1]):
-                order = np.argsort(values[:, band], kind="stable")
-                orders.append(order)
-                indptr = np.zeros(1 << 16 | 1, dtype=np.int64)
-                counts = np.bincount(values[:, band], minlength=1 << 16)
-                np.cumsum(counts, out=indptr[1:])
-                indptrs.append(indptr)
-            entry = (values, tuple(orders), tuple(indptrs))
+            relations = _linear_relation_offsets(self.variant.nk, phase)
+            entry = self._entries_shared.get((relations, offset))
+            if entry is None:
+                span = self.variant.span_bytes
+                fp = _fingerprints(
+                    self.keys[:, offset : offset + span], self.variant.nk, phase
+                )
+                values = np.ascontiguousarray(fp).view(np.uint16)
+                orders = []
+                indptrs = []
+                for band in range(values.shape[1]):
+                    table_key = (relations[band // 2], offset + 2 * (band % 2))
+                    table = self._band_tables.get(table_key)
+                    if table is None:
+                        order = np.argsort(values[:, band], kind="stable").astype(
+                            np.uint32
+                        )
+                        indptr = np.zeros((1 << 16) + 1, dtype=np.int32)
+                        counts = np.bincount(values[:, band], minlength=1 << 16)
+                        np.cumsum(counts, out=indptr[1:])
+                        table = (order, indptr)
+                        self._band_tables[table_key] = table
+                    orders.append(table[0])
+                    indptrs.append(table[1])
+                entry = (values, tuple(orders), tuple(indptrs))
+                self._entries_shared[(relations, offset)] = entry
             self._bands[(offset, phase)] = entry
         return entry
+
+    def fingerprint_bytes(self, offset: int, phase: int) -> np.ndarray:
+        """The raw ``(k, 4 * relations)`` uint8 fingerprint matrix."""
+        return self.bands(offset, phase)[0].view(np.uint8)
+
+    def precompute(
+        self,
+        offsets: tuple[int, ...] | None = None,
+        phases: tuple[int, ...] | None = None,
+    ) -> KeyFingerprintCache:
+        """Eagerly build every (offset, phase) entry of a scan geometry.
+
+        The fused scan and the thread-sharded orchestrator call this
+        before fanning out so the lazily-built ``_bands`` dict is never
+        mutated concurrently — after precompute, same-geometry lookups
+        are pure reads.
+        """
+        if offsets is None:
+            offsets = default_scan_offsets(self.variant.key_bits)
+        if phases is None:
+            phases = self.variant.phases()
+        for offset in offsets:
+            for phase in phases:
+                self.bands(offset, phase)
+        return self
+
+    def export_blob(self) -> bytes:
+        """Serialise every computed entry into one shareable buffer.
+
+        Layout: 8-byte little-endian header length, a JSON header
+        (key-set shape plus per-entry array locations), then the raw
+        arrays, each 8-byte aligned.  The payload is position-
+        independent, so it can live in shared memory and be attached by
+        any process holding the same key matrix.
+        """
+        chunks: list[bytes] = []
+        entries: list[list[object]] = []
+        position = 0
+        seen: dict[int, int] = {}
+
+        def add(array: np.ndarray) -> int:
+            nonlocal position
+            start = seen.get(id(array))
+            if start is not None:  # shared across entries: write once
+                return start
+            raw = array.tobytes()
+            start = position
+            seen[id(array)] = start
+            chunks.append(raw)
+            position += len(raw)
+            pad = -position % 8
+            if pad:
+                chunks.append(b"\x00" * pad)
+                position += pad
+            return start
+
+        for (offset, phase), (values, orders, indptrs) in sorted(self._bands.items()):
+            locations = [add(values)]
+            locations.extend(add(order) for order in orders)
+            locations.extend(add(indptr) for indptr in indptrs)
+            entries.append([offset, phase, int(values.shape[1]), locations])
+        header = json.dumps(
+            {
+                "key_bits": self.variant.key_bits,
+                "n_keys": int(self.keys.shape[0]),
+                "entries": entries,
+            }
+        ).encode()
+        header += b" " * (-(8 + len(header)) % 8)  # align the payload
+        return len(header).to_bytes(8, "little") + header + b"".join(chunks)
+
+    @classmethod
+    def attach(
+        cls, keys: list[bytes] | np.ndarray, key_bits: int, blob: bytes | memoryview
+    ) -> KeyFingerprintCache:
+        """Reconstitute a cache from :meth:`export_blob` without copying.
+
+        Every entry becomes a read-only view into ``blob`` (which may be
+        a shared-memory buffer); entries for geometries absent from the
+        blob still build lazily from ``keys`` as usual.
+        """
+        cache = cls(keys, key_bits)
+        view = memoryview(blob)
+        header_len = int.from_bytes(bytes(view[:8]), "little")
+        meta = json.loads(bytes(view[8 : 8 + header_len]).decode())
+        if meta["key_bits"] != key_bits or meta["n_keys"] != int(cache.keys.shape[0]):
+            raise ValueError("fingerprint blob was built for a different key set")
+        payload = view[8 + header_len :]
+        n_keys = int(cache.keys.shape[0])
+        shared: dict[int, np.ndarray] = {}
+
+        def array(location: int, dtype: type, count: int) -> np.ndarray:
+            out = shared.get(location)
+            if out is None:
+                out = np.frombuffer(payload, dtype=dtype, count=count, offset=location)
+                out.flags.writeable = False
+                shared[location] = out
+            return out
+
+        for offset, phase, n_bands, locations in meta["entries"]:
+            values = array(locations[0], np.uint16, n_keys * n_bands).reshape(
+                n_keys, n_bands
+            )
+            orders = tuple(
+                array(locations[1 + band], np.uint32, n_keys) for band in range(n_bands)
+            )
+            indptrs = tuple(
+                array(locations[1 + n_bands + band], np.int32, (1 << 16) + 1)
+                for band in range(n_bands)
+            )
+            cache._bands[(offset, phase)] = (values, orders, indptrs)
+        return cache
 
 
 @dataclass(frozen=True)
@@ -592,7 +839,7 @@ class AesKeySearch:
         #: alignment; shorter variants (AES-128's 32-byte span) scan all
         #: the offsets that fit, doubling the windows per schedule and
         #: with them the decay resilience.
-        self.offsets = offsets if offsets is not None else tuple(range(min(32, max_offset + 1)))
+        self.offsets = offsets if offsets is not None else default_scan_offsets(key_bits)
         if any(o < 0 or o > max_offset for o in self.offsets):
             raise ValueError(f"offsets must lie in 0..{max_offset}")
         if not 0.0 < accept_mismatch_fraction < 0.5:
@@ -640,6 +887,19 @@ class AesKeySearch:
         #: this at the heartbeat watchdog so a multi-minute shard search
         #: publishes progress beats at sub-shard granularity.
         self.on_progress = None
+        #: Wall-clock split of the last :meth:`find_hits` call: "join"
+        #: (relation tables + direct-address probes) vs "verify"
+        #: (mismatch prefilter + S-box verification).  The benchmark
+        #: harness reads this so BENCH_scan.json reports the stages as
+        #: they actually ran inside the fused pass, not a re-simulation.
+        self.stage_seconds: dict[str, float] = {"join": 0.0, "verify": 0.0}
+        # Per-band "bucket is non-empty" bitmaps, keyed by the identity
+        # of the band's indptr table (the same key the probe memo uses).
+        # A 64 KiB bool gather decides which blocks hit anything before
+        # the wider int32 bucket-bound gathers run on the survivors.
+        # Worker threads may race to fill an entry; both compute the
+        # same array, so last-write-wins is harmless.
+        self._band_nonempty: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------- matching
 
@@ -686,9 +946,8 @@ class AesKeySearch:
         expanded into explicit ``(block, key)`` pairs with
         cumulative-sum arithmetic — no Python-level loop over blocks or
         keys.  Bands are unioned by encoding pairs as
-        ``block * n_keys + key`` and deduplicating with ``np.unique``,
-        which also yields the lexicographic order the dict join
-        produced.
+        ``block * n_keys + key`` and sort-deduplicating, which also
+        yields the lexicographic order the dict join produced.
         """
         n_keys = self.keys.shape[0]
         codes: list[np.ndarray] = []
@@ -700,23 +959,18 @@ class AesKeySearch:
             rows = np.nonzero(counts)[0]
             if rows.size == 0:
                 continue
-            left = left[rows]
-            counts = counts[rows]
-            # Flatten the runs [left[i], left[i] + counts[i]) without a
-            # loop: a vector of ones whose run boundaries are adjusted
-            # so its cumsum walks each run in turn.
-            total = int(counts.sum())
-            step = np.ones(total, dtype=np.int64)
-            step[0] = left[0]
-            boundaries = np.cumsum(counts)[:-1]
-            step[boundaries] = left[1:] - left[:-1] - counts[:-1] + 1
-            positions = np.cumsum(step)
-            key_index = key_orders[band][positions]
-            block_index = np.repeat(rows, counts)
-            codes.append(block_index * n_keys + key_index)
+            codes.append(
+                _expand_probe_runs(
+                    rows,
+                    left[rows].astype(np.int64),
+                    counts[rows].astype(np.int64),
+                    key_orders[band],
+                    n_keys,
+                )
+            )
         if not codes:
             return np.empty((0, 2), dtype=np.int64)
-        merged = np.unique(np.concatenate(codes))
+        merged = _sorted_unique(np.concatenate(codes))
         return np.stack((merged // n_keys, merged % n_keys), axis=1)
 
     def _banded_join_dict(self, block_bands: np.ndarray, key_bands: np.ndarray) -> np.ndarray:
@@ -815,15 +1069,356 @@ class AesKeySearch:
     def find_hits(self, image: MemoryImage) -> list[ScheduleHit]:
         """All verified schedule sightings in the image."""
         blocks = image.blocks_matrix()
-        hits: list[ScheduleHit] = []
-        for offset in self.offsets:
-            for phase in self.variant.phases():
-                pairs = self._candidate_pairs(blocks, offset, phase)
-                hits.extend(self._verify_pairs(blocks, pairs, offset, phase))
-            if self.on_progress is not None:
-                self.on_progress()
+        self.stage_seconds = {"join": 0.0, "verify": 0.0}
+        # The fused kernel inlines the join and verify stages, so it can
+        # only stand in for the staged loop when those hooks are the
+        # base-class ones.  A subclass overriding either (the frozen
+        # SeedAesKeySearch in benchmarks/legacy_scan.py overrides both)
+        # must keep flowing through the per-offset loop, where its
+        # overrides are actually called — otherwise the "seed baseline"
+        # would silently run the fast kernels it exists to benchmark.
+        overridden = (
+            type(self)._candidate_pairs is not AesKeySearch._candidate_pairs
+            or type(self)._verify_pairs is not AesKeySearch._verify_pairs
+        )
+        if self.join == "dict" or not _NATIVE_LITTLE or overridden:
+            hits = self._find_hits_per_offset(blocks)
+        else:
+            hits = self._find_hits_fused(blocks)
         hits.sort(key=lambda h: (h.block_index, h.offset, h.round_index))
         return hits
+
+    def _find_hits_per_offset(self, blocks: np.ndarray) -> list[ScheduleHit]:
+        """The unfused scan: one full-dump join pass per (offset, phase).
+
+        Kept as the ``join="dict"`` reference path (and the big-endian
+        fallback): it re-reads the whole dump once per offset, which the
+        fused scan exists to avoid, but its simplicity makes it the
+        oracle the streaming kernel is pinned against.
+        """
+        hits: list[ScheduleHit] = []
+        stage = self.stage_seconds
+        for offset in self.offsets:
+            for phase in self.variant.phases():
+                tick = time.perf_counter()
+                pairs = self._candidate_pairs(blocks, offset, phase)
+                tock = time.perf_counter()
+                stage["join"] += tock - tick
+                hits.extend(self._verify_pairs(blocks, pairs, offset, phase))
+                stage["verify"] += time.perf_counter() - tock
+            if self.on_progress is not None:
+                self.on_progress()
+        return hits
+
+    def _find_hits_fused(self, blocks: np.ndarray) -> list[ScheduleHit]:
+        """Single streaming pass: mine the relation tables of each chunk
+        once, then join and verify every (offset, phase) against them.
+
+        Each 2 MiB chunk of the dump is touched once: its three linear-
+        relation byte streams (and their 2-byte band composition) cover
+        *every* scan offset, so the per-offset fingerprint recompute of
+        the unfused path — 17 full passes over the dump for AES-256 —
+        collapses into one.  Joined pairs then pass the exact mismatch
+        lower bound (:meth:`_prefilter_chunk_pairs`) before the S-box
+        verification, which prunes the ~2^-16-rate band collisions
+        without touching the dump again.  Hit lists are byte-identical
+        to the per-offset path: probe output is in ascending (block,
+        key) order per (offset, phase), verification order per pair is
+        unchanged, and the caller's final sort is stable.
+        """
+        if not self.offsets:
+            return []
+        hits: list[ScheduleHit] = []
+        n_blocks = blocks.shape[0]
+        nk = self.variant.nk
+        phases = self.variant.phases()
+        phase_relations = {
+            phase: _linear_relation_offsets(nk, phase) for phase in phases
+        }
+        # Phases with identical relation triples (AES-256's even and
+        # odd rounds) see identical fingerprints, so they share the
+        # chunk's tables, probes, and prefiltered pairs — only the
+        # round verification differs.
+        groups: dict[tuple[tuple[int, int, int], ...], list[int]] = {}
+        for phase in phases:
+            groups.setdefault(phase_relations[phase], []).append(phase)
+        stage = self.stage_seconds
+        for start in range(0, n_blocks, SCAN_CHUNK_BLOCKS):
+            chunk = blocks[start : start + SCAN_CHUNK_BLOCKS]
+            for relations, group_phases in groups.items():
+                tick = time.perf_counter()
+                streams, band_tables = self._relation_tables(chunk, group_phases[0])
+                stage["join"] += time.perf_counter() - tick
+                ts = [(a - 4 * nk) // 4 for a, _, _ in relations]
+                probe_memo: dict[int, np.ndarray] = {}
+                for offset in self.offsets:
+                    tick = time.perf_counter()
+                    pairs = self._probe_chunk(
+                        band_tables, offset, group_phases[0], probe_memo
+                    )
+                    tock = time.perf_counter()
+                    stage["join"] += tock - tick
+                    if pairs.shape[0]:
+                        pairs = self._prefilter_chunk_pairs(
+                            chunk, streams, pairs, offset, group_phases, ts
+                        )
+                        pairs[:, 0] += start
+                    for phase in group_phases:
+                        if pairs.shape[0]:
+                            hits.extend(self._verify_pairs(blocks, pairs, offset, phase))
+                    stage["verify"] += time.perf_counter() - tock
+            if self.on_progress is not None:
+                self.on_progress()
+        return hits
+
+    def _relation_tables(
+        self, chunk: np.ndarray, phase: int
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Per-relation fingerprint streams covering every scan offset.
+
+        For relation bytes ``(a, b, c)``, row ``j`` of the byte table is
+        ``chunk[:, j+a] ^ chunk[:, j+b] ^ chunk[:, j+c]`` — the
+        fingerprint byte at in-span position ``j`` — for every ``j`` any
+        offset can reach.  The band table composes adjacent rows into
+        little-endian uint16 band values, so the band value of offset
+        ``o``, half ``h`` is band-table row ``o + 2h``.  The band table
+        is transposed so one offset's probe reads contiguous rows; the
+        byte streams land side by side in one ``(blocks, 3·width)``
+        matrix, so the prefilter fetches a pair's *entire* fingerprint
+        neighbourhood with a single row gather — one cache line per
+        pair instead of one per relation byte.
+        """
+        width = max(self.offsets) + 4
+        relations = _linear_relation_offsets(self.variant.nk, phase)
+        streams = np.empty((chunk.shape[0], len(relations) * width), dtype=np.uint8)
+        band_tables: list[np.ndarray] = []
+        for r, (a, b, c) in enumerate(relations):
+            f = streams[:, r * width : (r + 1) * width]
+            np.bitwise_xor(chunk[:, a : a + width], chunk[:, b : b + width], out=f)
+            f ^= chunk[:, c : c + width]
+            v = f[:, :-1].astype(np.uint16)
+            v |= f[:, 1:].astype(np.uint16) << 8
+            band_tables.append(np.ascontiguousarray(v.T))
+        return streams, band_tables
+
+    def _probe_chunk(
+        self,
+        band_tables: list[np.ndarray],
+        offset: int,
+        phase: int,
+        memo: dict[int, np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Direct-address banded join of one chunk at one (offset, phase).
+
+        The block side streams straight out of the chunk's band tables —
+        no per-offset fingerprint pass — while the key side is the
+        cache's direct-address buckets.  Returns ``(n, 2)`` int64
+        ``(chunk-local block, key)`` pairs in ascending lexicographic
+        order, exactly as :meth:`_candidate_pairs` would for the chunk.
+
+        ``memo`` (keyed by the identity of a band's bucket table) skips
+        bands already probed for another offset: the cache shares each
+        (relation, span-position) table between the offset reading it as
+        its low band and the one reading it as its high band, and both
+        read the same block values, so the expanded pair codes are
+        identical.
+
+        Most band values hit an empty key bucket, so each probe first
+        gathers a 64 KiB non-empty bitmap and compresses to the hitting
+        blocks before touching the wider int32 bucket bounds.  Chunk-
+        local codes fit int32 whenever ``chunk · n_keys < 2^31``, which
+        halves the merge's memory traffic and hits numpy's vectorised
+        32-bit introsort.
+        """
+        _, key_orders, key_indptrs = self._key_cache.bands(offset, phase)
+        n_keys = self.keys.shape[0]
+        dtype: type = (
+            np.int32 if band_tables[0].shape[1] * n_keys < 2**31 else np.int64
+        )
+        codes: list[np.ndarray] = []
+        band = 0
+        for table in band_tables:
+            for half in (0, 1):
+                indptr = key_indptrs[band]
+                band_codes = None if memo is None else memo.get(id(indptr))
+                if band_codes is None:
+                    nonempty = self._band_nonempty.get(id(indptr))
+                    if nonempty is None:
+                        nonempty = indptr[1:] != indptr[:-1]
+                        self._band_nonempty[id(indptr)] = nonempty
+                    values = table[offset + 2 * half]
+                    rows = np.flatnonzero(nonempty[values])
+                    if rows.size:
+                        hit_values = values[rows].astype(np.int64)
+                        left = indptr[hit_values].astype(np.int64)
+                        counts = indptr[1:][hit_values]
+                        counts = counts.astype(np.int64)
+                        counts -= left
+                        band_codes = _expand_probe_runs(
+                            rows, left, counts, key_orders[band], n_keys, dtype
+                        )
+                    else:
+                        band_codes = _EMPTY_CODES
+                    if memo is not None:
+                        memo[id(indptr)] = band_codes
+                if band_codes.size:
+                    codes.append(band_codes)
+                band += 1
+        if not codes:
+            return np.empty((0, 2), dtype=np.int64)
+        merged = np.concatenate(codes) if len(codes) > 1 else codes[0].copy()
+        merged = _sorted_unique(merged).astype(np.int64, copy=False)
+        return np.stack((merged // n_keys, merged % n_keys), axis=1)
+
+    def _prefilter_chunk_pairs(
+        self,
+        chunk: np.ndarray,
+        streams: np.ndarray,
+        pairs: np.ndarray,
+        offset: int,
+        phases: list[int],
+        ts: list[int],
+    ) -> np.ndarray:
+        """Drop joined pairs no round of verification could accept.
+
+        Exact stages, each a lower bound on *every* compatible round's
+        mismatch, so pairs that could pass any round of any of the
+        (relation-sharing) ``phases`` always survive — the final hit
+        list is identical to verifying every joined pair.
+
+        Stage 0 applies the chain bound to the first **two** relations
+        only.  Dropping a run's non-negative terms (or whole runs) can
+        only lower its per-bit minimum, so the two-relation bound is
+        itself a bound on the full one — and it already rejects all but
+        ~10^-4 of joined pairs for a third of the gather and popcount
+        traffic, leaving the full three-relation machinery a rounding
+        error.
+
+        Stage 1 is the phase-independent chain bound over all relations
+        (:meth:`_mismatch_lower_bounds`).  It cannot reject a pair whose
+        linear residuals are all consistent — notably a zero-filled
+        block joined against its own mined key stream, where every
+        ``u_t`` is zero — so stage 2 anchors the chain exactly when the
+        S-box word is ``t = 0``: its expansion input is the *window's
+        last word*, observed data, making every linear word's residual
+        ``x_t = x_0 ^ u_1 ^ … ^ u_t`` computable outright.  Only the
+        round constant escapes (it perturbs byte 0 of every residual
+        when the ``t = 0`` transform carries Rcon), so those byte
+        columns are excluded from the bound; phases whose ``t = 0``
+        transform is SubWord-only (AES-256 odd rounds) bound all 32
+        bits of every word — there the bound *is* the round mismatch.
+        """
+        key_fp = self._key_cache.fingerprint_bytes(offset, phases[0])
+        tolerance = self.verify_tolerance_bits
+        width = streams.shape[1] // len(ts)
+        # Single row gathers: each pair's whole fingerprint neighbourhood
+        # (all relations) and its key fingerprint, one take() each —
+        # numpy's row-take is several times faster than the equivalent
+        # per-relation mixed advanced-plus-slice indexing.
+        block_fp = streams.take(pairs[:, 0], axis=0)
+        pair_fp = key_fp.take(pairs[:, 1], axis=0)
+
+        def u_part(r: int) -> np.ndarray:
+            lo = r * width + offset
+            return block_fp[:, lo : lo + 4] ^ pair_fp[:, 4 * r : 4 * r + 4]
+
+        # Stage 0: two-relation coarse bound over every joined pair.
+        u_parts = [u_part(0), u_part(1)]
+        coarse = np.flatnonzero(
+            self._mismatch_lower_bounds(u_parts, ts[:2]) <= tolerance
+        )
+        pairs = pairs[coarse]
+        if pairs.shape[0] == 0:
+            return pairs
+        block_fp = block_fp.take(coarse, axis=0)
+        pair_fp = pair_fp.take(coarse, axis=0)
+        u_parts = [part.take(coarse, axis=0) for part in u_parts]
+        u_parts.extend(u_part(r) for r in range(2, len(ts)))
+
+        # Stage 1: the full chain bound on the coarse survivors.
+        survivors = np.flatnonzero(self._mismatch_lower_bounds(u_parts, ts) <= tolerance)
+        pairs = pairs[survivors]
+        if 0 in ts or pairs.shape[0] == 0:
+            return pairs
+        u_parts = [part.take(survivors, axis=0) for part in u_parts]
+        block_rows = pairs[:, 0]
+        key_rows = pairs[:, 1]
+        nk = self.variant.nk
+        p = 4 * nk
+        columns = offset + np.array(
+            (0, 1, 2, 3, p - 4, p - 3, p - 2, p - 1, p, p + 1, p + 2, p + 3)
+        )
+        spans = chunk[block_rows[:, None], columns]
+        spans ^= self.keys[key_rows[:, None], columns]
+        source = spans[:, 0:4]
+        previous = spans[:, 4:8]
+        check = spans[:, 8:12]
+        best: np.ndarray | None = None
+        for phase in phases:
+            if phase % nk == 0:  # RotWord ∘ SubWord ∘ Rcon at t = 0
+                x = SBOX[previous[:, (1, 2, 3, 0)]]
+                rcon_byte = True  # Rcon varies per round on byte 0: exclude it
+            else:  # nk > 6 S-box rule: SubWord only, round-independent
+                x = SBOX[previous]
+                rcon_byte = False
+            x ^= source
+            x ^= check
+            bound = _word_popcount(x, skip_byte0=rcon_byte).astype(np.int64)
+            for part in u_parts:
+                x ^= part
+                bound += _word_popcount(x, skip_byte0=rcon_byte)
+            best = bound if best is None else np.minimum(best, bound)
+        return pairs[best <= tolerance]
+
+    @staticmethod
+    def _mismatch_lower_bounds(u_parts: list[np.ndarray], ts: list[int]) -> np.ndarray:
+        """Exact per-pair lower bound on every round's verify mismatch.
+
+        Write ``x_t = predicted_t ^ check_t`` for the four verified
+        words; the mismatch of a round is ``Σ popcount(x_t)``.  For a
+        *linear* predicted word ``t`` the expansion step is a pure XOR,
+        so ``x_t ^ x_{t-1} = u_t`` — the (block ^ key) fingerprint part,
+        a data-only quantity — at **every** round sharing the phase
+        (``x_{-1} = 0``: relation ``t = 0`` chains to the window's last
+        word, which prediction starts from; Rcon deltas between rounds
+        enter only at the S-box word and cancel out of every linear
+        ``u_t``).  Minimising ``Σ popcount(x_t)`` subject to those chain
+        constraints — independently per bit position, S-box words free
+        at zero — therefore bounds all rounds at once:
+
+        * a run of consecutive linear ``t`` anchored at ``t = 0`` has no
+          free variable; its minimum is the popcount of every prefix XOR
+          of its ``u`` values;
+        * an unanchored run of length L has one free base bit; per bit,
+          ``min(k, L + 1 - k)`` where ``k`` counts set bits among the
+          prefix XORs — closed forms below for L ≤ 3 (runs are at most
+          the four predicted words, and a length-4 run is anchored).
+        """
+        bounds = np.zeros(u_parts[0].shape[0], dtype=np.int64)
+        popcount = _word_popcount
+
+        runs: list[list[int]] = [[0]]
+        for i in range(1, len(ts)):
+            if ts[i] == ts[i - 1] + 1:
+                runs[-1].append(i)
+            else:
+                runs.append([i])
+        for run in runs:
+            prefixes: list[np.ndarray] = []
+            for i in run:
+                prefixes.append(u_parts[i] if not prefixes else prefixes[-1] ^ u_parts[i])
+            if ts[run[0]] == 0:  # anchored: x_{-1} = 0 pins every variable
+                for prefix in prefixes:
+                    bounds += popcount(prefix)
+            elif len(prefixes) == 1:
+                bounds += popcount(prefixes[0])
+            elif len(prefixes) == 2:
+                bounds += popcount(prefixes[0] | prefixes[1])
+            else:  # L = 3: per bit, k - 2·[k == 3] realises min(k, 4 - k)
+                s1, s2, s3 = prefixes
+                bounds += popcount(s1) + popcount(s2) + popcount(s3)
+                bounds -= 2 * popcount(s1 & s2 & s3)
+        return bounds
 
     # ------------------------------------------------------------- recovery
 
@@ -844,7 +1439,7 @@ class AesKeySearch:
                 for b in range(max(0, hit.block_index - radius), min(n_blocks, hit.block_index + radius + 1))
             }
         )
-        pairs = [(b, k) for b in interesting for k in range(n_keys)]
+        pairs = _all_pairs(np.asarray(interesting, dtype=np.int64), n_keys)
         extended: list[ScheduleHit] = []
         for offset in self.offsets:
             for phase in self.variant.phases():
@@ -1165,11 +1760,9 @@ class AesKeySearch:
         last = (base + schedule_len - 1) // BLOCK_SIZE
         if first < 0 or last >= blocks.shape[0]:
             return None
-        pairs = [
-            (b, k)
-            for b in range(first, last + 1)
-            for k in range(self.keys.shape[0])
-        ]
+        pairs = _all_pairs(
+            np.arange(first, last + 1, dtype=np.int64), self.keys.shape[0]
+        )
         hits: list[ScheduleHit] = []
         for offset in self.offsets:
             for phase in variant.phases():
@@ -1280,7 +1873,7 @@ def exhaustive_hits(
     variant = searcher.variant
     blocks = image.blocks_matrix()
     n_blocks, n_keys = blocks.shape[0], searcher.keys.shape[0]
-    all_pairs = [(b, k) for b in range(n_blocks) for k in range(n_keys)]
+    all_pairs = _all_pairs(np.arange(n_blocks, dtype=np.int64), n_keys)
     hits: list[ScheduleHit] = []
     for offset in searcher.offsets:
         for phase in variant.phases():

@@ -112,24 +112,64 @@ def mine_scrambler_keys(
 
     # Greedy nearest-representative merge.  The Hamming distances run on
     # uint64 views with a hardware popcount — 8 words per key instead of
-    # 64 table lookups — which is what makes the O(uniques × reps) walk
-    # affordable on a 16 MiB mining window.
+    # 64 table lookups.  The candidate set per row comes from an *exact*
+    # banded lookup: split the 64 bytes into ``merge_radius_bits + 1``
+    # disjoint byte bands — by pigeonhole, any representative within the
+    # merge radius matches at least one band byte-for-byte — and keep a
+    # dict per band from band bytes to the representatives holding them.
+    # Each row then measures exact distances only against its few band
+    # candidates instead of every representative, turning the
+    # O(uniques × reps) walk into O(uniques × candidates) with identical
+    # assignments (every in-radius representative is a candidate, and
+    # scanning candidates in ascending index keeps argmin's tie-break).
     unique_words = unique_rows.view(np.uint64)
     rep_words = np.empty((len(ordered_counts), BLOCK_SIZE // 8), dtype=np.uint64)
     n_reps = 0
     counts: list[int] = []
     members: list[list[tuple[np.ndarray, int]]] = []
+    # Pigeonhole needs merge_radius_bits + 1 disjoint bands, and bands
+    # are byte-aligned, so radii past 63 bits fall back to the dense
+    # walk (they merge almost everything anyway, so reps stay few).
+    use_bands = 0 < merge_radius_bits < BLOCK_SIZE
+    if use_bands:
+        n_bands = merge_radius_bits + 1
+        edges = np.linspace(0, BLOCK_SIZE, n_bands + 1, dtype=np.int64)
+        band_slices = [slice(int(lo), int(hi)) for lo, hi in zip(edges[:-1], edges[1:])]
+        band_reps: list[dict[bytes, list[int]]] = [{} for _ in band_slices]
     for index, count in enumerate(ordered_counts):
         row = unique_rows[index]
         if n_reps and merge_radius_bits > 0:
-            distances = np.bitwise_count(rep_words[:n_reps] ^ unique_words[index]).sum(
-                axis=1, dtype=np.int64
-            )
-            best = int(np.argmin(distances))
-            if int(distances[best]) <= merge_radius_bits:
+            if use_bands:
+                row_bytes = row.tobytes()
+                candidate_set: set[int] = set()
+                for lookup, band in zip(band_reps, band_slices):
+                    hits = lookup.get(row_bytes[band])
+                    if hits is not None:
+                        candidate_set.update(hits)
+                candidates_idx = sorted(candidate_set)
+                if not candidates_idx:
+                    merged = False
+                else:
+                    distances = np.bitwise_count(
+                        rep_words[candidates_idx] ^ unique_words[index]
+                    ).sum(axis=1, dtype=np.int64)
+                    best_pos = int(np.argmin(distances))
+                    merged = int(distances[best_pos]) <= merge_radius_bits
+                    best = candidates_idx[best_pos]
+            else:
+                distances = np.bitwise_count(rep_words[:n_reps] ^ unique_words[index]).sum(
+                    axis=1, dtype=np.int64
+                )
+                best = int(np.argmin(distances))
+                merged = int(distances[best]) <= merge_radius_bits
+            if merged:
                 counts[best] += count
                 members[best].append((row, count))
                 continue
+        if use_bands:
+            row_bytes = row.tobytes()
+            for lookup, band in zip(band_reps, band_slices):
+                lookup.setdefault(row_bytes[band], []).append(n_reps)
         rep_words[n_reps] = unique_words[index]
         n_reps += 1
         counts.append(count)

@@ -33,13 +33,28 @@ Shards are *views*: :func:`shard_image` slices the dump with
 copy of the bytes.  For multi-process scans the dump and the mined key
 matrix are published once into POSIX shared memory
 (:class:`repro.dram.image.SharedDumpBuffer`); every worker process
-attaches in its pool initializer (:func:`_init_scan_worker`) and builds
-its :class:`~repro.attack.aes_search.KeyFingerprintCache` once.  A
-shard task then pickles to ``(length, fault_plan)`` plus an integer
-offset — well under a kilobyte regardless of dump size — and a retried
-or rescheduled shard re-ships nothing.  When the resilient executor
-rebuilds a broken pool, the fresh processes re-run the initializer and
-re-attach automatically.
+attaches in its pool initializer (:func:`_init_scan_worker`).  The
+key-side join tables travel the same way: the orchestrator precomputes
+one :class:`~repro.attack.aes_search.KeyFingerprintCache`, exports it
+as a position-independent blob, and publishes it through the resource
+chain so workers attach read-only views instead of rebuilding the
+tables per process.  A shard task then pickles to ``(length,
+fault_plan)`` plus an integer offset — well under a kilobyte
+regardless of dump size — and a retried or rescheduled shard re-ships
+nothing.  When the resilient executor rebuilds a broken pool, the
+fresh processes re-run the initializer and re-attach automatically.
+
+Thread executor
+---------------
+
+The scan kernels are numpy bulk operations that release the GIL, so
+the default executor (``executor="auto"`` → ``"thread"``) runs shards
+on a thread pool sharing the orchestrator's address space: no process
+spin-up, no pickling, no shared-memory segments — the dump, keys, and
+fingerprint cache are passed by reference.  The process pool remains
+one flag away (``executor="process"``) and is selected automatically
+when a run needs process isolation: a stall watchdog, or a fault plan
+scripting process-level (``kill``/``hang``) faults.
 """
 
 from __future__ import annotations
@@ -255,6 +270,7 @@ def _init_scan_worker(
     keys_crc: int | None = None,
     heartbeat_ref: tuple | None = None,
     heartbeat_slots: dict[int, int] | None = None,
+    cache_ref: tuple | None = None,
 ) -> None:
     """Attach dump + key matrix once per worker process (pool initializer).
 
@@ -273,18 +289,48 @@ def _init_scan_worker(
 
     ``heartbeat_ref``/``heartbeat_slots`` (optional) attach this process
     to the watchdog's beat board so shard tasks publish liveness.
+
+    ``cache_ref`` (optional) carries the orchestrator's fingerprint
+    cache: ``("cache", obj)`` for thread pools (the object itself —
+    same address space, nothing to parse) or a
+    :meth:`KeyFingerprintCache.export_blob` buffer reference published
+    alongside the dump and keys for process pools, where the worker
+    *attaches* read-only views into the shared blob instead of
+    rebuilding the join tables per process.  A blob that fails its
+    structural checks falls back to a local rebuild (the cache is a
+    pure function of the keys, so correctness never depends on the
+    blob).
     """
     _release_worker_state()
     dump_holder, dump_view = _resolve_buffer(dump_ref)
     keys_holder, keys_view = _resolve_buffer(keys_ref)
     keys = np.frombuffer(keys_view, dtype=np.uint8).reshape(-1, BLOCK_SIZE)
+    cache_holder = None
+    key_cache = None
+    if cache_ref is not None and cache_ref[0] == "cache":
+        # Thread pool: the orchestrator's cache object itself.  Same
+        # address space, so there is no blob to parse — workers share
+        # the precomputed band tables (and their probe memo bitmaps)
+        # by reference.
+        key_cache = cache_ref[1]
+    elif cache_ref is not None:
+        cache_holder, cache_view = _resolve_buffer(cache_ref)
+        try:
+            key_cache = KeyFingerprintCache.attach(keys, key_bits, cache_view)
+        except (ValueError, KeyError):
+            if cache_holder is not None:
+                cache_holder.close()
+            cache_holder = None
+            key_cache = None
+    if key_cache is None:
+        key_cache = KeyFingerprintCache(keys, key_bits)
     _WORKER_STATE.update(
         dump=dump_view,
         keys=keys,
         key_bits=key_bits,
         keys_crc=keys_crc,
-        key_cache=KeyFingerprintCache(keys, key_bits),
-        holders=(dump_holder, keys_holder),
+        key_cache=key_cache,
+        holders=(dump_holder, keys_holder, cache_holder),
     )
     if heartbeat_ref is not None:
         attach_worker_heartbeat(heartbeat_ref, heartbeat_slots or {})
@@ -368,6 +414,11 @@ class ScanReport:
     #: Which degradation backend published the dump/keys for workers
     #: ("shm", "file", "serial", or "buffer" for single-process scans).
     resource_backend: str = "buffer"
+    #: How shard jobs actually ran: ``"serial"`` (one worker,
+    #: in-process), ``"thread"`` (shared-address-space pool for the
+    #: GIL-releasing fused kernels), or ``"process"`` (isolated,
+    #: killable workers — the chaos-tolerant pool).
+    executor: str = "serial"
 
     @property
     def quarantined_offsets(self) -> list[int]:
@@ -422,6 +473,7 @@ def resilient_recover_keys(
     watchdog: WatchdogConfig | None = None,
     resource_policy: ResourcePolicy | None = None,
     checkpoint_fallback_dir: str | Path | None = None,
+    executor: str = "auto",
 ) -> ScanReport:
     """Mine once, search in shards fault-tolerantly, merge, report.
 
@@ -439,9 +491,27 @@ def resilient_recover_keys(
     ``resource_policy`` controls the shm → mmap-tempfile → serial
     publication chain; ``checkpoint_fallback_dir`` is where the journal
     rotates when its primary path stops accepting writes.
+
+    ``executor`` picks the worker pool: ``"thread"`` shares the dump,
+    key matrix, and fingerprint cache by reference (the scan kernels
+    release the GIL, so threads scale without spin-up, pickling, or
+    shared-memory round-trips), ``"process"`` keeps the isolated,
+    killable workers, and ``"auto"`` (default) uses threads unless the
+    run needs process isolation — a stall watchdog or a fault plan with
+    process-level (``kill``/``hang``) faults.
     """
     if workers < 1:
         raise ShardLayoutError("need at least one worker")
+    if executor not in ("auto", "thread", "process"):
+        raise ShardLayoutError(
+            f"unknown executor {executor!r} (want 'auto', 'thread', or 'process')"
+        )
+    pool_kind = executor
+    if executor == "auto":
+        needs_isolation = watchdog is not None or (
+            fault_plan is not None and fault_plan.has_process_faults()
+        )
+        pool_kind = "process" if needs_isolation else "thread"
     policy = retry_policy or RetryPolicy()
     deadline = Deadline.coerce(deadline)
     deadline_seconds = deadline.total_seconds if deadline is not None else None
@@ -517,7 +587,15 @@ def resilient_recover_keys(
         board: HeartbeatBoard | None = None
         monitor: HeartbeatMonitor | None = None
         effective_workers = workers
+        cache_ref: tuple | None = None
         if workers > 1:
+            # The key-side join tables are a pure function of the mined
+            # keys and the scan geometry: build them once here so every
+            # worker shares them instead of rebuilding per worker —
+            # thread pools by object reference, process pools via the
+            # published read-only export blob.
+            shared_cache = KeyFingerprintCache(keys_mat, key_bits).precompute()
+        if workers > 1 and pool_kind == "process":
             # Publish dump + keys once; workers attach by name in their
             # pool initializer.  Shard payloads carry only (length,
             # fault_plan), so nothing scales with dump size.  The
@@ -539,12 +617,29 @@ def resilient_recover_keys(
                 report.resource_backend = dump_pub.backend
                 dump_ref = dump_pub.ref
                 keys_ref = keys_pub.ref
+                cache_pub = publish_bytes(
+                    shared_cache.export_blob(), resource_policy, on_event=notify
+                )
+                published.append(cache_pub)
+                if cache_pub.backend != BACKEND_SERIAL:
+                    cache_ref = cache_pub.ref
+        elif workers > 1:
+            # Thread pool: every worker lives in this address space, so
+            # the dump, keys, and fingerprint cache are shared directly
+            # — no shm segments, no blob round-trip, nothing to unlink.
+            dump_ref = ("buffer", dump.data)
+            keys_ref = ("buffer", keys_mat.tobytes())
+            cache_ref = ("cache", shared_cache)
         else:
             dump_ref = ("buffer", dump.data)
             keys_ref = ("buffer", keys_mat.tobytes())
+        if watchdog is not None and pool_kind != "process" and effective_workers > 1:
+            # A stalled thread cannot be killed from outside; only the
+            # process pool supports stall-kill semantics.
+            notify("stall watchdog requires the process executor; disabled")
         heartbeat_ref = None
         heartbeat_slots: dict[int, int] = {}
-        if watchdog is not None and effective_workers > 1:
+        if watchdog is not None and effective_workers > 1 and pool_kind == "process":
             board = HeartbeatBoard.create(len(jobs), resource_policy)
             if board is None:
                 notify("heartbeat board unavailable; stall watchdog disabled")
@@ -591,6 +686,7 @@ def resilient_recover_keys(
                         report.checkpoint_path = str(journal.path)
 
             keys_crc = zlib.crc32(keys_mat.tobytes()) & 0xFFFFFFFF
+            report.executor = "serial" if effective_workers == 1 else pool_kind
             runner = ResilientShardRunner(
                 _scan_shard_task,
                 policy=policy,
@@ -600,8 +696,9 @@ def resilient_recover_keys(
                 initializer=_init_scan_worker,
                 initargs=(
                     dump_ref, keys_ref, key_bits, keys_crc,
-                    heartbeat_ref, heartbeat_slots,
+                    heartbeat_ref, heartbeat_slots, cache_ref,
                 ),
+                pool_kind=pool_kind,
             )
             run_ledger = runner.run(jobs, deadline=deadline, stop=stop, watchdog=monitor)
         finally:
@@ -642,6 +739,7 @@ def parallel_recover_keys(
     checkpoint: str | Path | None = None,
     resume: bool = True,
     fault_plan: FaultPlan | None = None,
+    executor: str = "auto",
 ) -> list[RecoveredAesKey]:
     """Mine once, search in shards, merge — the paper's scaling recipe.
 
@@ -659,4 +757,5 @@ def parallel_recover_keys(
         checkpoint=checkpoint,
         resume=resume,
         fault_plan=fault_plan,
+        executor=executor,
     ).recovered

@@ -72,6 +72,10 @@ class AttackConfig:
     #: no progress beat for this long is killed and its shard
     #: resubmitted.
     stall_timeout_s: float | None = None
+    #: Worker pool for sharded runs: ``"auto"`` (threads unless the run
+    #: needs process isolation), ``"thread"``, or ``"process"`` — see
+    #: :func:`repro.attack.parallel.resilient_recover_keys`.
+    executor: str = "auto"
 
 
 @dataclass
@@ -105,6 +109,9 @@ class AttackReport:
     resource_backend: str = ""
     checkpoint_path: str | None = None
     checkpoint_error: str | None = None
+    #: How shard jobs ran ("serial", "thread", or "process"; "" for
+    #: non-sharded runs).
+    executor: str = ""
     #: Adaptive-run bookkeeping (``None`` for fixed-budget runs): the
     #: :meth:`repro.attack.adaptive.AdaptiveRecovery.summary` digest —
     #: estimated decay rate and source, stages run, confidence floor,
@@ -313,6 +320,7 @@ class Ddr4ColdBootAttack:
             watchdog=watchdog,
             resource_policy=resource_policy,
             checkpoint_fallback_dir=checkpoint_fallback_dir,
+            executor=config.executor,
         )
         report = AttackReport(dump_bytes=len(dump))
         report.candidate_keys = scan.candidates
@@ -333,6 +341,7 @@ class Ddr4ColdBootAttack:
         report.resource_backend = scan.resource_backend
         report.checkpoint_path = scan.checkpoint_path
         report.checkpoint_error = scan.checkpoint_error
+        report.executor = scan.executor
         return report
 
     def recover_xts_master_key(self, dump: MemoryImage) -> bytes | None:

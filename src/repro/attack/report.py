@@ -22,8 +22,9 @@ from repro.attack.pipeline import AttackReport
 #: per-candidate litmus residuals; v4 added the ``timing`` section
 #: (per-stage wall time, the run's deadline, how and why it ended) and
 #: the degradation fields in ``resilience`` (stall kills, unscanned
-#: shards, resource backend, checkpoint rotation/error).
-REPORT_SCHEMA_VERSION = 4
+#: shards, resource backend, checkpoint rotation/error); v5 added
+#: ``resilience.executor`` (which worker pool ran the shards).
+REPORT_SCHEMA_VERSION = 5
 
 
 def report_to_dict(report: AttackReport, include_keys: bool = True) -> dict:
@@ -65,6 +66,7 @@ def report_to_dict(report: AttackReport, include_keys: bool = True) -> dict:
             "unscanned_shards": list(report.unscanned_shards),
             "stall_kills": report.stall_kills,
             "resource_backend": report.resource_backend,
+            "executor": report.executor,
             "checkpoint_path": report.checkpoint_path,
             "checkpoint_error": report.checkpoint_error,
         },
@@ -156,6 +158,9 @@ def migrate_report_dict(data: dict) -> dict:
         resilience.setdefault("resource_backend", "")
         resilience.setdefault("checkpoint_path", None)
         resilience.setdefault("checkpoint_error", None)
+    if version < 5:
+        resilience = migrated.setdefault("resilience", {})
+        resilience.setdefault("executor", "")
     migrated["schema_version"] = REPORT_SCHEMA_VERSION
     return migrated
 

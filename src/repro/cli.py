@@ -77,7 +77,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
-    if args.profile:
+    if args.profile or args.profile_out:
         # Wrap the whole scan in cProfile and show where the time went.
         import cProfile
         import pstats
@@ -90,8 +90,16 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             profiler.disable()
             stats = pstats.Stats(profiler, stream=sys.stderr)
             stats.sort_stats("cumulative")
-            print("\n[profile] top 20 functions by cumulative time:", file=sys.stderr)
-            stats.print_stats(20)
+            if args.profile_out:
+                # Raw pstats dump for offline analysis (snakeviz,
+                # pstats.Stats(path), gprof2dot, ...).
+                stats.dump_stats(args.profile_out)
+                print(f"[profile] raw pstats written to {args.profile_out}",
+                      file=sys.stderr)
+            if args.profile:
+                print("\n[profile] top 20 functions by cumulative time:",
+                      file=sys.stderr)
+                stats.print_stats(20)
     return _run_attack(args)
 
 
@@ -111,6 +119,7 @@ def _run_attack(args: argparse.Namespace) -> int:
             adaptive=args.adaptive,
             deadline_s=args.deadline,
             stall_timeout_s=args.stall_timeout,
+            executor=args.executor,
         )
     )
     checkpoint = args.checkpoint
@@ -371,7 +380,14 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--json", help="write a machine-readable report to this path")
     attack.add_argument("--redact", action="store_true", help="omit key bytes from the report")
     attack.add_argument("--workers", type=int, default=1,
-                        help="worker processes for the sharded scan (default 1)")
+                        help="workers for the sharded scan (default 1)")
+    attack.add_argument("--executor", choices=("auto", "thread", "process"),
+                        default="auto",
+                        help="worker pool for sharded scans: threads share the "
+                             "dump and join tables in-process (the kernels "
+                             "release the GIL), processes give killable "
+                             "isolation; auto picks threads unless the run "
+                             "needs a stall watchdog (default: auto)")
     attack.add_argument("--shards", type=int, default=0,
                         help="shard count (default: one per worker)")
     attack.add_argument("--checkpoint", metavar="PATH",
@@ -379,6 +395,10 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--profile", action="store_true",
                         help="run the scan under cProfile and print the top 20 "
                              "functions by cumulative time to stderr")
+    attack.add_argument("--profile-out", metavar="PATH",
+                        help="also dump the raw cProfile stats to PATH for "
+                             "offline analysis (pstats/snakeviz); implies "
+                             "profiling even without --profile")
     attack.add_argument("--resume", action="store_true",
                         help="skip shards already in the checkpoint journal "
                              "(default journal: <dump>.checkpoint.jsonl)")

@@ -27,7 +27,13 @@ final flag tells fault-injecting workers whether process-level faults
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -39,6 +45,16 @@ from repro.resilience.errors import (
     WorkerCrashError,
 )
 from repro.resilience.retry import RetryPolicy
+
+#: Worker-pool flavours the runner can drive.  ``"process"`` is the
+#: chaos-tolerant default: workers are killable, a hung shard only
+#: poisons its own process, and fault injection may fire process-level
+#: faults.  ``"thread"`` trades that isolation for zero spin-up,
+#: pickling, and shared-memory cost — the right choice for numpy
+#: kernels that release the GIL (the fused scan path), where every
+#: worker can simply share the orchestrator's dump, key matrix, and
+#: fingerprint cache by reference.
+POOL_KINDS = ("process", "thread")
 
 #: Shard lifecycle states reported in a :class:`ShardOutcome`.
 STATUS_OK = "ok"
@@ -145,6 +161,18 @@ class ResilientShardRunner:
     hang is automatic.  Serial and degraded execution call the same
     initializer in-process (once) so the worker callable sees one
     protocol everywhere.
+
+    ``pool_kind`` selects the worker pool (:data:`POOL_KINDS`).  Thread
+    pools run the initializer once, in the orchestrator thread, before
+    the first generation — worker state is module-global, so running it
+    per thread would race in-flight shard tasks against a sibling
+    thread's re-initialisation.  Thread workers are told
+    ``in_subprocess=False`` (a process-level injected fault would take
+    the orchestrator down with it), and a thread that genuinely hangs
+    cannot be killed — its shard is still charged a timeout and retried
+    on a fresh pool, but the zombie thread lingers until process exit.
+    Process pools remain the executor for chaos tolerance; threads are
+    for kernels that release the GIL.
     """
 
     def __init__(
@@ -157,9 +185,12 @@ class ResilientShardRunner:
         sleep: Callable[[float], None] = time.sleep,
         initializer: Callable[..., None] | None = None,
         initargs: tuple[Any, ...] = (),
+        pool_kind: str = "process",
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
+        if pool_kind not in POOL_KINDS:
+            raise ValueError(f"unknown pool kind {pool_kind!r} (want one of {POOL_KINDS})")
         self.worker = worker
         self.policy = policy or RetryPolicy()
         self.workers = workers
@@ -168,7 +199,14 @@ class ResilientShardRunner:
         self.sleep = sleep
         self.initializer = initializer
         self.initargs = initargs
+        self.pool_kind = pool_kind
         self._serial_initialized = False
+
+    def _ensure_initialized_inline(self) -> None:
+        """Run the initializer once in this process (serial/thread mode)."""
+        if self.initializer is not None and not self._serial_initialized:
+            self.initializer(*self.initargs)
+            self._serial_initialized = True
 
     # ------------------------------------------------------------------ api
 
@@ -352,9 +390,7 @@ class ResilientShardRunner:
         stop: Any = None,
     ) -> None:
         """In-process execution with retries (no hang protection)."""
-        if self.initializer is not None and not self._serial_initialized:
-            self.initializer(*self.initargs)
-            self._serial_initialized = True
+        self._ensure_initialized_inline()
         while True:
             if self._halt_pending({offset: payload}, attempts, errors, ledger, deadline, stop):
                 return
@@ -395,11 +431,20 @@ class ResilientShardRunner:
         """
         finished: list[int] = []
         timeout = self.policy.shard_timeout_s
-        pool = ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=self.initializer,
-            initargs=self.initargs,
-        )
+        in_subprocess = self.pool_kind == "process"
+        if in_subprocess:
+            pool: Any = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=self.initializer,
+                initargs=self.initargs,
+            )
+        else:
+            # Threads share the orchestrator's module state: initialise
+            # it exactly once, here, *before* any shard task can run —
+            # a per-thread initializer would tear down and rebuild the
+            # state under a sibling thread's in-flight task.
+            self._ensure_initialized_inline()
+            pool = ThreadPoolExecutor(max_workers=self.workers)
         broken = False
         stalled_pool = False
         aborted = False
@@ -416,7 +461,9 @@ class ResilientShardRunner:
 
             def submit_next() -> None:
                 offset, payload = waiting.pop(0)
-                future = pool.submit(self.worker, payload, offset, attempts[offset] + 1, True)
+                future = pool.submit(
+                    self.worker, payload, offset, attempts[offset] + 1, in_subprocess
+                )
                 attempts[offset] += 1
                 futures[future] = offset
                 if timeout is not None:
@@ -474,7 +521,11 @@ class ResilientShardRunner:
                             )
                             try:
                                 retry = pool.submit(
-                                    self.worker, pending[offset], offset, attempts[offset] + 1, True
+                                    self.worker,
+                                    pending[offset],
+                                    offset,
+                                    attempts[offset] + 1,
+                                    in_subprocess,
                                 )
                             except BrokenProcessPool:
                                 # A sibling's death broke the pool while

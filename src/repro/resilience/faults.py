@@ -183,6 +183,17 @@ class FaultPlan:
         """Whether any shard has a ``"journal"`` fault scripted."""
         return any(spec.kind == "journal" for _, spec in self.faults)
 
+    def has_process_faults(self) -> bool:
+        """Whether any scripted fault needs a real worker *process*.
+
+        ``kill`` and ``hang`` only behave as scripted when the worker
+        is a killable subprocess — fired in a thread they downgrade to
+        :class:`InjectedFault` (see :meth:`apply`).  Orchestrators that
+        pick an executor automatically use this to keep chaos plans on
+        the process pool.
+        """
+        return any(spec.kind in ("kill", "hang") for _, spec in self.faults)
+
     def apply(
         self,
         shard_offset: int,

@@ -98,13 +98,30 @@ def test_faulted_scan_matches_clean_run(dump_and_master, clean_baseline):
 
 KILLED_SCAN_SCRIPT = """
 import sys
-from repro.attack.parallel import resilient_recover_keys
+from repro.attack.parallel import resilient_recover_keys, shard_image
 from repro.attack.sweep import synthetic_dump
+from repro.crypto.aes import schedule_bytes
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.util.blocks import BLOCK_SIZE
 
 dump, _, _ = synthetic_dump(bit_error_rate=0.0, seed={seed})
+# The fused scan clears this dump in well under a second — too fast for
+# the parent to catch a partially-written journal.  Hang every shard for
+# a beat (far below the 900s shard timeout) so the kill lands mid-run;
+# hang faults need killable workers, so run on a 2-process pool (the
+# executor auto-picks "process" for plans with process-level faults).
+shards = shard_image(dump, {n_shards}, overlap_bytes=schedule_bytes(256) + BLOCK_SIZE)
+plan = FaultPlan(
+    faults=tuple(
+        (shard.base_offset, FaultSpec(kind="hang", hang_seconds=0.75))
+        for shard in shards
+    ),
+    seed={seed},
+)
 print("scanning", flush=True)
 resilient_recover_keys(
-    dump, key_bits=256, workers=1, n_shards={n_shards}, checkpoint=sys.argv[1]
+    dump, key_bits=256, workers=2, n_shards={n_shards}, checkpoint=sys.argv[1],
+    fault_plan=plan,
 )
 print("finished", flush=True)  # the test SIGKILLs us long before this
 """

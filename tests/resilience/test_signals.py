@@ -32,7 +32,13 @@ from repro.resilience.shutdown import (
 )
 
 SEED = 5
-N_SHARDS = 4
+N_SHARDS = 8
+WORKERS = 2
+#: Blocks in the acceptance dump.  The fused scan clears the seed-era
+#: 768 KiB dump in milliseconds — far too fast to signal mid-scan — so
+#: the subprocess tests use 64 MiB (~0.5 s per 8 MiB shard), keeping
+#: shards queued while the signal is delivered and drained.
+N_BLOCKS = 1 << 20
 
 
 # ------------------------------------------------------------ shutdown flags
@@ -163,7 +169,7 @@ def test_serial_runner_honours_stop_and_deadline():
 def dump_file(tmp_path_factory):
     from repro.attack.sweep import synthetic_dump
 
-    dump, master, _ = synthetic_dump(bit_error_rate=0.0, seed=SEED)
+    dump, master, _ = synthetic_dump(bit_error_rate=0.0, n_blocks=N_BLOCKS, seed=SEED)
     path = tmp_path_factory.mktemp("signals") / "dump.bin"
     path.write_bytes(bytes(dump.data))
     return path, master
@@ -182,7 +188,7 @@ def _journaled_offsets(path: Path) -> list[int]:
 
 def _attack_argv(dump_path, checkpoint, *extra):
     return [
-        "attack", str(dump_path), "--workers", "2", "--shards", str(N_SHARDS),
+        "attack", str(dump_path), "--workers", str(WORKERS), "--shards", str(N_SHARDS),
         "--checkpoint", str(checkpoint), *extra,
     ]
 
@@ -226,9 +232,14 @@ def test_signalled_scan_drains_and_resumes(tmp_path, dump_file, signum):
         while time.monotonic() < deadline:
             if child.poll() is not None:
                 pytest.fail("scan finished before it could be signalled")
-            if 1 <= len(_journaled_offsets(checkpoint)) < N_SHARDS:
+            # Signal while shards are still *queued*: the lazy executor
+            # keeps at most WORKERS in flight, and at most another
+            # WORKERS can journal between this poll and the delivery,
+            # so breaking at <= N_SHARDS - 2*WORKERS - 1 guarantees the
+            # drain leaves the queue's tail unscanned.
+            if 1 <= len(_journaled_offsets(checkpoint)) <= N_SHARDS - 2 * WORKERS - 1:
                 break
-            time.sleep(0.1)
+            time.sleep(0.02)
         else:
             pytest.fail("no shard was journaled within the deadline")
         child.send_signal(signum)
@@ -258,7 +269,7 @@ def test_deadline_expiry_writes_partial_report_and_resumes(tmp_path, dump_file):
     assert rc == EXIT_DEADLINE_EXPIRED
 
     report = json.loads(report_path.read_text())
-    assert report["schema_version"] == 4
+    assert report["schema_version"] == 5
     timing = report["timing"]
     assert timing["deadline_seconds"] == 1.0
     assert timing["deadline_expired"] is True
