@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.attack.aes_search import AesKeySearch, RecoveredAesKey
+from repro.attack.decode import DEFAULT_DECODE_ITERS, clamp_rate
 from repro.attack.keyfind import KeyfindMatch, find_aes_keys
 from repro.attack.keymine import (
     DEFAULT_SCAN_LIMIT_BYTES,
@@ -50,6 +51,7 @@ from repro.crypto.aes import schedule_bytes
 from repro.dram.image import MemoryImage
 from repro.resilience.deadline import Deadline
 from repro.resilience.errors import (
+    DeadlineExceededError,
     MixedScramblerRegionError,
     RegionQuarantineError,
     TornRegionError,
@@ -68,6 +70,28 @@ DEFAULT_PRIOR_RATE = 0.002
 #: damaged stretch without fragmenting the scan, and every region holds
 #: thousands of blocks so the density statistics are meaningful.
 DEFAULT_REGION_BYTES = 256 * 1024
+
+#: A stage's recoveries stop the escalation ladder only when at least
+#: one clears this posterior confidence.  Just past the classical
+#: crossover a calibrated/widened ballot occasionally coughs up a
+#: junk-tail key scored ~1e-3 (a true key at any stage's operating
+#: point scores ≥~5e-2); breaking on it would both return a wrong key
+#: and starve the decoded stage that can still produce the right one.
+#: Recoveries under the floor are dropped — abstaining is part of the
+#: contract, being wrong is not — with the drop recorded in the run's
+#: diagnostics.
+STOP_CONFIDENCE_FLOOR = 0.01
+
+#: Past this estimated decay rate the classical vote+repair stages are
+#: provably hopeless — the crossover where a true schedule's best
+#: verify window sinks below the junk floor sits near 0.020, and the
+#: widened stage's 1.5× inflation buys at most a few millirate beyond
+#: it — yet their junk handling is the most expensive part of the
+#: ladder (minutes per stage, against seconds for the strict pass).
+#: The budget therefore escalates straight from strict to the decoded
+#: stage, spending the work where belief propagation can still win
+#: instead of burning it on ballots that cannot.
+CLASSICAL_CEILING_RATE = 0.028
 
 
 # --------------------------------------------------------------------------
@@ -143,7 +167,7 @@ def _litmus_mismatch_estimate(
         return None
     rate = float(keystream.mean()) / (_per_flip_sensitivity() * 8 * BLOCK_SIZE)
     return DecayEstimate(
-        rate=min(rate, 0.499),
+        rate=clamp_rate(rate),
         source="litmus-mismatch",
         sample_bits=int(keystream.size) * 8 * BLOCK_SIZE,
     )
@@ -173,11 +197,18 @@ def estimate_decay_rate(
     litmus budget are the less-decayed ones, so heavily damaged dumps
     under-report.  :class:`AdaptiveBudget` compensates with ``+3σ``
     headroom and a widened final stage.
+
+    Every exit path clamps the rate into ``[1e-6, 0.499]`` (see
+    :func:`repro.attack.decode.clamp_rate`): a literal zero — a
+    mismatch-free support set, a pristine reference — would make the
+    decode stage's channel priors infinitely trusting, after which one
+    contradicted observation deadlocks the whole constraint graph; and
+    a saturated measurement must stay below 0.5 or the channel inverts.
     """
     if reference_map is not None and reference_map.rates.size:
         sample = int(reference_map.rates.size) * reference_map.window_bytes * 8
         return DecayEstimate(
-            rate=min(float(reference_map.overall_rate), 0.499),
+            rate=clamp_rate(float(reference_map.overall_rate)),
             source="decay-map",
             sample_bits=sample,
         )
@@ -190,7 +221,7 @@ def estimate_decay_rate(
                 support += candidate.support_bits
         if support >= min_sample_bits:
             return DecayEstimate(
-                rate=min(residual / support, 0.499),
+                rate=clamp_rate(residual / support),
                 source="mined-support",
                 sample_bits=support,
             )
@@ -198,7 +229,7 @@ def estimate_decay_rate(
         estimate = _litmus_mismatch_estimate(image)
         if estimate is not None:
             return estimate
-    return DecayEstimate(rate=prior_rate, source="prior", sample_bits=0)
+    return DecayEstimate(rate=clamp_rate(prior_rate), source="prior", sample_bits=0)
 
 
 def pool_decay_rate(pool: np.ndarray) -> float:
@@ -209,14 +240,20 @@ def pool_decay_rate(pool: np.ndarray) -> float:
     of the two.  A single-sighting pool carries the full dump rate; a
     pool whose keys were majority-voted from many sightings carries a
     fraction of it — the pool's litmus residuals measure exactly this.
+
+    Clamped into ``[1e-6, 0.499]`` like every other rate estimate: the
+    result feeds the decode stage's channel model, where a literal zero
+    or a rate past 0.5 poisons the priors.
     """
     if pool.shape[0] == 0:
-        return 0.0
+        return clamp_rate(0.0)
     residual = key_litmus_mismatch_bits(pool)
     keystream = residual[residual <= _ESTIMATE_LITMUS_CAP]
     if keystream.size == 0:
-        return 0.0
-    return float(keystream.mean()) / (_per_flip_sensitivity() * 8 * BLOCK_SIZE)
+        return clamp_rate(0.0)
+    return clamp_rate(
+        float(keystream.mean()) / (_per_flip_sensitivity() * 8 * BLOCK_SIZE)
+    )
 
 
 # --------------------------------------------------------------------------
@@ -235,12 +272,31 @@ class BudgetStage:
     accept_mismatch_fraction: float
     repair_bits: int
     schedule_vote: bool
+    #: Belief-propagation decode of observed tables
+    #: (:mod:`repro.attack.decode`) — the ladder's last resort, far
+    #: slower than voting/repair but correct well past their horizon.
+    schedule_decode: bool = False
+    #: Hamming radius of the fingerprint band join (0 = exact match).
+    #: Radius 1 probes every single-bit neighbour of each 16-bit band,
+    #: catching windows whose every band decayed by a bit — the join,
+    #: not verification, is what starves the decoder at high BER.
+    join_radius_bits: int = 0
+    #: Blocks around each seed hit re-verified without the fingerprint
+    #: filter (the paper's neighbour walk).  The decoded stage sets 0:
+    #: its wide budgets admit thousands of junk seeds whose combined
+    #: neighbourhoods would degenerate into an exhaustive scan, and the
+    #: decoder replaces the walk's error tolerance anyway.
+    extension_radius_blocks: int = 6
     #: Relative work units this stage consumes from the total budget.
     cost: int = 1
 
     def __post_init__(self) -> None:
         if self.cost < 1:
             raise ValueError("stage cost must be at least 1")
+        if self.join_radius_bits not in (0, 1):
+            raise ValueError("join_radius_bits must be 0 or 1")
+        if self.extension_radius_blocks < 0:
+            raise ValueError("extension_radius_blocks must be non-negative")
         if min(
             self.litmus_tolerance_bits,
             self.merge_radius_bits,
@@ -302,6 +358,55 @@ def stage_for_rate(name: str, rate: float, cost: int, schedule_vote: bool = True
     )
 
 
+#: Stage names in escalation order, for ``max_stage`` validation.
+STAGE_ORDER = ("strict", "calibrated", "widened", "decoded")
+
+
+def decode_stage_for_rate(rate: float) -> BudgetStage:
+    """The ladder's top rung: budgets wide enough to *reach* the decoder.
+
+    The decoder corrects channels several times past the widened
+    stage's horizon, but it only ever sees tables that survived mining,
+    the fingerprint join, and verification — and at high decay those
+    gates, not the corrector, are what starve recovery.  On a
+    single-sighting pool every candidate key carries the dump's full
+    flip rate on top of the window's own, so the channel the verifier
+    sees runs near *twice* the estimate (``2r(1-r)``), and S-box
+    diffusion roughly triples it again inside the 128 check bits: at a
+    4 % dump BER a true window's best verify mismatch sits around
+    32–45 bits.  The gate that actually drops true windows there is
+    the *exact* band join — every 16-bit band of a fingerprint decays
+    with probability ~1-(1-2r)^48 — so this stage joins at Hamming
+    radius 1 instead of widening verification into junk territory:
+    verify stays capped at 40 of 128 bits, where random pairs pass at
+    ~2e-5 and the radius-1 join's 17× pair stream stays in the low
+    thousands of junk groups, each dying in the plausibility gate
+    before any decode is spent.  The accept gate opens only modestly
+    (a decoded table's region residual legitimately runs near the
+    doubled channel) and stays far below random junk's ~0.45 floor;
+    the decode itself is confirmed by its zero syndrome.
+    """
+    inflated = clamp_rate(max(2.0 * rate, rate + 0.008))
+    return BudgetStage(
+        name="decoded",
+        litmus_tolerance_bits=_tail_budget(1536, inflated, floor=64, cap=96),
+        merge_radius_bits=_tail_budget(1024, inflated, floor=48, cap=64),
+        verify_tolerance_bits=_tail_budget(700, inflated, floor=36, cap=40),
+        keyfind_tolerance_bits=_tail_budget(700, inflated, floor=24, cap=32),
+        accept_mismatch_fraction=min(0.25, max(0.10, 3.0 * inflated + 0.04)),
+        # One repair bit only: the widened stage's 2-bit escalation is
+        # a 32k-variant ballot per window, which the junk the wide
+        # verify budget admits would pay thousands of times over — and
+        # correction past one flip is the decoder's job here anyway.
+        repair_bits=1,
+        schedule_vote=True,
+        schedule_decode=True,
+        join_radius_bits=1,
+        extension_radius_blocks=0,
+        cost=4,
+    )
+
+
 @dataclass(frozen=True)
 class AdaptiveBudget:
     """Derives the escalation ladder for a decay estimate.
@@ -309,16 +414,35 @@ class AdaptiveBudget:
     Strict first — at low decay the paper's budgets are both the
     fastest and the most junk-resistant pass — then a stage calibrated
     to the estimated rate (with consistency voting on), then a widened
-    stage at 1.5× the estimate to absorb estimator optimism.  Stages
-    are kept while their cumulative cost fits ``total_work``.
+    stage at 1.5× the estimate to absorb estimator optimism, and
+    finally the ``decoded`` stage: belief-propagation decoding behind
+    budgets wide enough to feed it (:func:`decode_stage_for_rate`).
+    Past :data:`CLASSICAL_CEILING_RATE` the calibrated and widened
+    rungs are dropped entirely — hopeless at that channel, and by far
+    the slowest — so the ladder jumps from strict to decoded (which
+    then fits even the default work budget).  Stages are kept while
+    their cumulative cost fits ``total_work``.
     """
 
     estimate: DecayEstimate
     total_work: int = 6
+    #: Highest rung the ladder may climb (a :data:`STAGE_ORDER` name);
+    #: ``None`` lets the work budget alone decide.  The decoded stage
+    #: costs 4, so at the default ``total_work=6`` it is trimmed
+    #: whenever the full four-rung ladder applies — callers that want
+    #: it unconditionally (the CLI's ``--max-stage decoded``, the
+    #: robustness benchmark) raise ``total_work`` to 10.  Past
+    #: :data:`CLASSICAL_CEILING_RATE` the middle rungs drop out and
+    #: strict+decoded (cost 5) fits the default budget on its own.
+    max_stage: str | None = None
 
     def __post_init__(self) -> None:
         if self.total_work < 1:
             raise ValueError("total_work must be at least 1")
+        if self.max_stage is not None and self.max_stage not in STAGE_ORDER:
+            raise ValueError(
+                f"max_stage must be one of {STAGE_ORDER}, got {self.max_stage!r}"
+            )
 
     def stages(
         self,
@@ -335,12 +459,19 @@ class AdaptiveBudget:
         """
         rate = self.estimate.rate
         ladder = [STRICT_STAGE]
-        calibrated = stage_for_rate("calibrated", rate, cost=2)
-        if calibrated != STRICT_STAGE:
-            ladder.append(calibrated)
-        widened = stage_for_rate("widened", max(1.5 * rate, rate + 0.004), cost=3)
-        if widened != ladder[-1]:
-            ladder.append(widened)
+        if rate <= CLASSICAL_CEILING_RATE:
+            calibrated = stage_for_rate("calibrated", rate, cost=2)
+            if calibrated != STRICT_STAGE:
+                ladder.append(calibrated)
+            widened = stage_for_rate("widened", max(1.5 * rate, rate + 0.004), cost=3)
+            if widened != ladder[-1]:
+                ladder.append(widened)
+        ladder.append(decode_stage_for_rate(rate))
+        if self.max_stage is not None:
+            keep_through = STAGE_ORDER.index(self.max_stage)
+            ladder = [
+                stage for stage in ladder if STAGE_ORDER.index(stage.name) <= keep_through
+            ]
         remaining_s = deadline.remaining() if deadline is not None else None
         kept: list[BudgetStage] = []
         spent = 0
@@ -516,6 +647,17 @@ class AdaptiveRecovery:
     work_spent: int
     quarantined: list[RegionQuarantineError] = field(default_factory=list)
     diagnostics: list[str] = field(default_factory=list)
+    #: Aggregated belief-propagation telemetry (``None`` when the
+    #: decoded stage never ran): tables attempted, total sweeps,
+    #: converged/abstained counts, mean posterior entropy, and whether
+    #: a deadline interrupted a decode mid-sweep.
+    decode: dict | None = None
+    #: Structured evidence for every table the decoder declined to
+    #: turn into a key (:class:`~repro.resilience.errors.DecodeAbstainError`).
+    decode_abstains: list = field(default_factory=list)
+    #: Wall seconds each escalation stage spent (mining + search),
+    #: keyed by stage name — the robustness sweep's cost breakdown.
+    stage_seconds: dict = field(default_factory=dict)
 
     @property
     def masters(self) -> list[bytes]:
@@ -524,6 +666,10 @@ class AdaptiveRecovery:
 
     def summary(self) -> dict:
         """JSON-ready digest for reports and the CLI."""
+        decode_block = None
+        if self.decode is not None:
+            decode_block = dict(self.decode)
+            decode_block["abstains"] = [error.to_dict() for error in self.decode_abstains]
         return {
             "estimated_decay_rate": self.estimate.rate,
             "decay_source": self.estimate.source,
@@ -534,6 +680,8 @@ class AdaptiveRecovery:
             "min_confidence": min((r.confidence for r in self.recovered), default=0.0),
             "quarantined_regions": [error.to_dict() for error in self.quarantined],
             "diagnostics": list(self.diagnostics),
+            "decode": decode_block,
+            "stage_seconds": dict(self.stage_seconds),
         }
 
 
@@ -554,17 +702,30 @@ class AdaptiveRecoveryEngine:
         region_bytes: int = DEFAULT_REGION_BYTES,
         max_candidate_keys: int | None = None,
         scan_limit_bytes: int | None = DEFAULT_SCAN_LIMIT_BYTES,
+        max_stage: str | None = None,
+        decode_iters: int = DEFAULT_DECODE_ITERS,
+        decode_state_store=None,
     ) -> None:
         if not 0.0 <= prior_rate < 0.5:
             raise ValueError("prior_rate must lie in [0, 0.5)")
         if max_candidate_keys is not None and max_candidate_keys < 1:
             raise ValueError("max_candidate_keys must be positive")
+        if max_stage is not None and max_stage not in STAGE_ORDER:
+            raise ValueError(f"max_stage must be one of {STAGE_ORDER}, got {max_stage!r}")
+        if decode_iters < 1:
+            raise ValueError("decode_iters must be at least 1")
         self.key_bits = key_bits
         self.total_work = total_work
         self.prior_rate = prior_rate
         self.region_bytes = region_bytes
         self.max_candidate_keys = max_candidate_keys
         self.scan_limit_bytes = scan_limit_bytes
+        #: Ceiling on the escalation ladder (see :data:`STAGE_ORDER`).
+        self.max_stage = max_stage
+        self.decode_iters = decode_iters
+        #: Optional :class:`~repro.resilience.checkpoint.DecodeStateStore`
+        #: for resumable mid-decode checkpoints.
+        self.decode_state_store = decode_state_store
 
     # ---------------------------------------------------------------- helpers
 
@@ -651,7 +812,9 @@ class AdaptiveRecoveryEngine:
             image=image,
             prior_rate=self.prior_rate,
         )
-        stages = AdaptiveBudget(estimate, total_work=self.total_work).stages()
+        stages = AdaptiveBudget(
+            estimate, total_work=self.total_work, max_stage=self.max_stage
+        ).stages()
         diagnostics.append(
             f"decay rate {estimate.rate:.4f} from {estimate.source}; "
             f"ladder: {', '.join(stage.name for stage in stages)}"
@@ -694,6 +857,25 @@ class AdaptiveRecoveryEngine:
         candidates = strict_candidates
         stages_run: list[str] = []
         spent = 0
+        decode_totals = {
+            "tables": 0,
+            "iterations": 0,
+            "converged": 0,
+            "abstained": 0,
+            "posterior_entropy_sum": 0.0,
+            "interrupted": False,
+        }
+        decode_abstains: list = []
+        stage_seconds: dict[str, float] = {}
+
+        def fold_decode(search: AesKeySearch) -> None:
+            for key_name in ("tables", "iterations", "converged", "abstained"):
+                decode_totals[key_name] += search.decode_stats[key_name]
+            decode_totals["posterior_entropy_sum"] += search.decode_stats[
+                "posterior_entropy_sum"
+            ]
+            decode_abstains.extend(search.decode_abstains)
+
         escalation_start = time.monotonic()
         for stage in stages:
             if stages_run and spent + stage.cost > self.total_work:
@@ -718,48 +900,99 @@ class AdaptiveRecoveryEngine:
                     break
             spent += stage.cost
             stages_run.append(stage.name)
-            candidates = mine_scrambler_keys(
-                mining_image,
-                tolerance_bits=stage.litmus_tolerance_bits,
-                merge_radius_bits=stage.merge_radius_bits,
-                scan_limit_bytes=self.scan_limit_bytes,
-            )
-            if self.max_candidate_keys is not None:
-                candidates = candidates[: self.max_candidate_keys]
-            if not candidates:
-                diagnostics.append(f"stage {stage.name!r}: no candidate keys mined")
-                continue
-            # Wider mining sees more disagreement, so the estimate can
-            # only sharpen upward — refresh it for confidence scoring.
-            refreshed = estimate_decay_rate(candidates=candidates, prior_rate=estimate.rate)
-            if refreshed.source == "mined-support" and refreshed.rate > estimate.rate:
-                estimate = refreshed
-            pool = keys_matrix(candidates)
-            # Confidence is scored against the channel the verifier
-            # actually sees: local decay plus the pool keys' own
-            # residual decay (see :func:`pool_decay_rate`).
-            effective_rate = min(0.499, estimate.rate + pool_decay_rate(pool))
-            search = AesKeySearch(
-                pool,
-                self.key_bits,
-                verify_tolerance_bits=stage.verify_tolerance_bits,
-                accept_mismatch_fraction=stage.accept_mismatch_fraction,
-                repair_bits=stage.repair_bits,
-                schedule_vote=stage.schedule_vote,
-                decay_rate=effective_rate,
-            )
-            per_extent = [
-                (offset, search.recover_keys(image.view(offset, length, base_address=0)))
-                for offset, length in extents
-            ]
-            recovered = merge_recovered(per_extent)
-            recovered = self._complete_pairs(image, search, recovered, stage)
-            if recovered:
-                diagnostics.append(
-                    f"stage {stage.name!r}: recovered {len(recovered)} schedule(s)"
+            stage_start = time.monotonic()
+            try:
+                candidates = mine_scrambler_keys(
+                    mining_image,
+                    tolerance_bits=stage.litmus_tolerance_bits,
+                    merge_radius_bits=stage.merge_radius_bits,
+                    scan_limit_bytes=self.scan_limit_bytes,
                 )
-                break
-            diagnostics.append(f"stage {stage.name!r}: no schedules recovered")
+                if self.max_candidate_keys is not None:
+                    candidates = candidates[: self.max_candidate_keys]
+                if not candidates:
+                    diagnostics.append(f"stage {stage.name!r}: no candidate keys mined")
+                    continue
+                # Wider mining sees more disagreement, so the estimate can
+                # only sharpen upward — refresh it for confidence scoring.
+                refreshed = estimate_decay_rate(candidates=candidates, prior_rate=estimate.rate)
+                if refreshed.source == "mined-support" and refreshed.rate > estimate.rate:
+                    estimate = refreshed
+                pool = keys_matrix(candidates)
+                # Confidence is scored against the channel the verifier
+                # actually sees: local decay plus the pool keys' own
+                # residual decay (see :func:`pool_decay_rate`).
+                effective_rate = min(0.499, estimate.rate + pool_decay_rate(pool))
+                search = AesKeySearch(
+                    pool,
+                    self.key_bits,
+                    verify_tolerance_bits=stage.verify_tolerance_bits,
+                    accept_mismatch_fraction=stage.accept_mismatch_fraction,
+                    repair_bits=stage.repair_bits,
+                    schedule_vote=stage.schedule_vote,
+                    join_radius_bits=stage.join_radius_bits,
+                    extension_radius_blocks=stage.extension_radius_blocks,
+                    decay_rate=effective_rate,
+                    schedule_decode=stage.schedule_decode,
+                    decode_iters=self.decode_iters,
+                    decode_state_store=self.decode_state_store,
+                    deadline=deadline,
+                )
+                try:
+                    per_extent = [
+                        (
+                            offset,
+                            search.recover_keys(image.view(offset, length, base_address=0)),
+                        )
+                        for offset, length in extents
+                    ]
+                    recovered = merge_recovered(per_extent)
+                    recovered = self._complete_pairs(image, search, recovered, stage)
+                except DeadlineExceededError as error:
+                    # Mid-decode expiry: the partial posteriors are already
+                    # in the state store (the search saved them before
+                    # re-raising), so the run is resumable — report what
+                    # completed instead of discarding it.
+                    fold_decode(search)
+                    decode_totals["interrupted"] = True
+                    diagnostics.append(
+                        f"stage {stage.name!r} interrupted: {error}"
+                        + (
+                            "; partial decode state checkpointed"
+                            if self.decode_state_store is not None
+                            else ""
+                        )
+                    )
+                    break
+                fold_decode(search)
+                if recovered:
+                    if max(r.confidence for r in recovered) >= STOP_CONFIDENCE_FLOOR:
+                        diagnostics.append(
+                            f"stage {stage.name!r}: recovered {len(recovered)} schedule(s)"
+                        )
+                        break
+                    diagnostics.append(
+                        f"stage {stage.name!r}: dropped {len(recovered)} recovery(ies) "
+                        f"below the confidence floor ({STOP_CONFIDENCE_FLOOR}); escalating"
+                    )
+                    recovered = []
+                    continue
+                diagnostics.append(f"stage {stage.name!r}: no schedules recovered")
+            finally:
+                stage_seconds[stage.name] = time.monotonic() - stage_start
+        decode_block = None
+        if decode_totals["tables"] or decode_totals["interrupted"]:
+            tables = decode_totals["tables"]
+            decode_block = {
+                "tables": tables,
+                "iterations": decode_totals["iterations"],
+                "converged": decode_totals["converged"],
+                "abstained": decode_totals["abstained"],
+                "mean_posterior_entropy": (
+                    decode_totals["posterior_entropy_sum"] / tables if tables else 0.0
+                ),
+                "interrupted": decode_totals["interrupted"],
+            }
         return AdaptiveRecovery(
             recovered=recovered,
             candidates=candidates,
@@ -768,6 +1001,9 @@ class AdaptiveRecoveryEngine:
             work_spent=spent,
             quarantined=quarantined,
             diagnostics=diagnostics,
+            decode=decode_block,
+            decode_abstains=decode_abstains,
+            stage_seconds=stage_seconds,
         )
 
     # ---------------------------------------------------------------- keyfind

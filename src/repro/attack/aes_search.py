@@ -44,9 +44,21 @@ import math
 import sys
 import time
 from dataclasses import dataclass, field
+from itertools import product
 
 import numpy as np
 
+from repro.attack.decode import (
+    DEFAULT_DAMPING,
+    DEFAULT_DECODE_ITERS,
+    ChannelModel,
+    DecodeResult,
+    DecodeState,
+    block_key_plausibility,
+    clamp_rate,
+    decode_schedule,
+    schedule_plausibility,
+)
 from repro.crypto.aes import (
     INV_SBOX,
     SBOX,
@@ -60,6 +72,8 @@ from repro.crypto.aes import (
     rounds_for,
 )
 from repro.dram.image import MemoryImage
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceededError, DecodeAbstainError
 from repro.util.bits import POPCOUNT_TABLE
 from repro.util.blocks import BLOCK_SIZE
 
@@ -68,6 +82,47 @@ from repro.util.blocks import BLOCK_SIZE
 #: an equivalence that holds only on little-endian hosts.  Big-endian
 #: hosts take the per-offset path instead (same results, slower).
 _NATIVE_LITTLE = sys.byteorder == "little"
+
+#: Minimum satisfied (fully observed) expansion checks an observed
+#: table must show before a belief-propagation decode is attempted.
+#: Random bytes satisfy ~n_checks/256 ≈ 0.8 checks by luck (so the
+#: Poisson tail past 4 is ~1e-3), while a true schedule at any
+#: decodable channel keeps an order of magnitude more — the gate turns
+#: the flood of junk groups the decoded stage's wide verify budget
+#: admits into one cheap vectorized syndrome count each, instead of a
+#: full message-passing run.
+_DECODE_MIN_CLEAN_CHECKS = 4
+
+#: The span-table pre-gate sorts junk bases from real ones using only
+#: the seed hits' spans.  The radius-1 join's junk hits are *selected*
+#: for schedule-likeness (a ≤40-of-128 verify tail), so they satisfy
+#: byte-checks far above the 1/256 chance rate: measured at BER 0.04,
+#: junk span tables score a median of 1 clean check with p99 = 3,
+#: while a true two-hit span table scores ~12 (each byte survives the
+#: combined channel with probability ≈0.53, so a check is clean at
+#: ≈0.15 of ~44 fully-known checks, concentrated by shared bytes).
+#: Alias bases (±32 bytes, one transform period) score nearly as high
+#: as true ones and must pass — the decoder's Rcon frustration rejects
+#: them downstream.
+_DECODE_SEED_MIN_CLEAN_CHECKS = 5
+
+#: A pool key joins a block's candidate list past this internal-check
+#: score.  True keys at the decodable limit keep λ ≈ 4–5 of a 64-byte
+#: slice's ~32 self-contained checks; a wrong key's λ ≈ 0.13, putting
+#: 3+ at ~3e-4 per key — a handful of false keys per 4096-key pool,
+#: which is why candidates form a *list* (resolved by decode
+#: convergence) rather than an argmax adoption: at the decodable limit
+#: a decayed true key often ties a lucky junk key at exactly this bar.
+_BLOCK_KEY_MIN_CLEAN_CHECKS = 3
+
+#: Per-block candidate list cap.  Measured ties at the decodable limit
+#: run 3–4 keys wide; a longer tail only multiplies combos.
+_BLOCK_KEY_MAX_CANDIDATES = 3
+
+#: Ceiling on list-decode combinations tried per base.  Each combo is
+#: one bounded message-passing run (~0.2 s); the true assignment is
+#: found early because combos are ordered by coverage then score.
+_DECODE_MAX_COMBOS = 24
 
 #: Blocks per streaming chunk of the fused scan: 65536 rows = 4 MiB of
 #: dump.  Every offset and phase probes the chunk's relation tables
@@ -510,6 +565,7 @@ def confidence_score(
     residual_fraction: float,
     decay_rate: float | None = None,
     coverage: float = 1.0,
+    posterior_certainty: float | None = None,
 ) -> float:
     """Posterior confidence in a recovered key, in ``[0, 1]``.
 
@@ -531,6 +587,14 @@ def confidence_score(
     With ``decay_rate=None`` the residual itself serves as the rate
     estimate (self-calibration: zero surprise, pure rate penalty).
 
+    ``posterior_certainty`` recalibrates the score from a converged
+    belief-propagation decode (:mod:`repro.attack.decode`): the mean
+    max-posterior probability over the schedule's bytes multiplies the
+    channel score.  Certainty is itself monotone in the channel (worse
+    decay flattens the posteriors), so the multiplication preserves the
+    sweep-monotonicity guarantee while letting a sharp decode separate
+    itself from a marginal ballot at the same residual.
+
     The weights keep the rate term dominant over the coverage term:
     coverage varies by tens of percent between recovery strategies
     (ballot-only vs consistency-voted reconstruction), and confidence
@@ -543,6 +607,8 @@ def confidence_score(
     surprise = max(0.0, residual - rate)
     coverage = min(1.0, max(0.0, float(coverage)))
     score = math.exp(-25.0 * rate - 64.0 * surprise - 0.5 * (1.0 - coverage))
+    if posterior_certainty is not None:
+        score *= min(1.0, max(0.0, float(posterior_certainty)))
     return min(1.0, max(0.0, score))
 
 
@@ -824,9 +890,15 @@ class AesKeySearch:
         accept_mismatch_fraction: float = 0.05,
         repair_bits: int = 1,
         join: str = "sorted",
+        join_radius_bits: int = 0,
         key_cache: KeyFingerprintCache | None = None,
         schedule_vote: bool = False,
         decay_rate: float | None = None,
+        schedule_decode: bool = False,
+        decode_iters: int = DEFAULT_DECODE_ITERS,
+        decode_damping: float = DEFAULT_DAMPING,
+        decode_state_store=None,
+        deadline: Deadline | float | None = None,
     ) -> None:
         self.keys = _as_key_matrix(keys)
         self.variant = AesVariant(key_bits)
@@ -861,6 +933,14 @@ class AesKeySearch:
         #: join) or ``"dict"`` (the original Python hash join, kept as
         #: the equivalence oracle for tests and benchmarks).
         self.join = join
+        if join_radius_bits not in (0, 1):
+            raise ValueError("join_radius_bits must be 0 or 1")
+        #: Hamming radius of the band join.  At radius 1 every block
+        #: band also probes its 16 single-bit neighbours, so a window
+        #: survives the join unless *every* band decayed by two or more
+        #: bits — the decoded stage's acquisition channel, where the
+        #: exact join is the gate that starves the decoder.
+        self.join_radius_bits = int(join_radius_bits)
         #: Error-correcting reconstruction: run cross-round consistency
         #: voting (:func:`vote_correct_table`) over the observed table
         #: before the greedy equation repair.  Off by default — it can
@@ -874,6 +954,39 @@ class AesKeySearch:
         #: recovery's :func:`confidence_score` (None = self-calibrate
         #: from the residual alone).
         self.decay_rate = decay_rate
+        #: Belief-propagation decode: when the rescue loop has a mostly
+        #: right guess, run message passing over the key-expansion
+        #: constraint graph on the observed table instead of relying on
+        #: vote+repair alone.  Off by default for the same seed
+        #: equivalence reason as ``schedule_vote``; the adaptive
+        #: engine's ``decoded`` stage turns it on.
+        self.schedule_decode = bool(schedule_decode)
+        if decode_iters < 1:
+            raise ValueError("decode_iters must be at least 1")
+        if not 0.0 <= decode_damping < 1.0:
+            raise ValueError("decode_damping must lie in [0, 1)")
+        self.decode_iters = int(decode_iters)
+        self.decode_damping = float(decode_damping)
+        #: Optional :class:`~repro.resilience.checkpoint.DecodeStateStore`
+        #: holding partial decode posteriors across a deadline, keyed by
+        #: table base; with it a ``--resume`` warm-starts mid-decode and
+        #: finishes byte-identically.
+        self.decode_state_store = decode_state_store
+        #: Wall-clock deadline threaded into each decode's sweep loop.
+        self.deadline = Deadline.coerce(deadline)
+        #: Telemetry from every decode attempt this search has made,
+        #: aggregated into the report's ``robustness.decode`` block.
+        self.decode_stats: dict = {
+            "tables": 0,
+            "iterations": 0,
+            "converged": 0,
+            "abstained": 0,
+            "gated": 0,
+            "posterior_entropy_sum": 0.0,
+        }
+        #: Structured :class:`DecodeAbstainError` evidence, one entry
+        #: per table the decoder declined to emit a key for.
+        self.decode_abstains: list = []
         if key_cache is None:
             key_cache = KeyFingerprintCache(self.keys, key_bits)
         elif key_cache.variant.key_bits != key_bits or not np.array_equal(
@@ -954,6 +1067,18 @@ class AesKeySearch:
         for band in range(block_bands.shape[1]):
             indptr = key_indptrs[band]
             values = block_bands[:, band].astype(np.int64)
+            if self.join_radius_bits:
+                # Radius-1 probing: each block band queries its own
+                # value plus all 16 single-bit neighbours.  The probe
+                # rows remember which block issued each query, so the
+                # run-expansion below is unchanged.
+                neighbours = values[:, None] ^ self._band_probe_masks()[None, :]
+                probe_rows = np.repeat(
+                    np.arange(values.shape[0], dtype=np.int64), neighbours.shape[1]
+                )
+                values = neighbours.reshape(-1)
+            else:
+                probe_rows = None
             left = indptr[values]
             counts = indptr[values + 1] - left
             rows = np.nonzero(counts)[0]
@@ -961,7 +1086,7 @@ class AesKeySearch:
                 continue
             codes.append(
                 _expand_probe_runs(
-                    rows,
+                    rows if probe_rows is None else probe_rows[rows],
                     left[rows].astype(np.int64),
                     counts[rows].astype(np.int64),
                     key_orders[band],
@@ -973,17 +1098,27 @@ class AesKeySearch:
         merged = _sorted_unique(np.concatenate(codes))
         return np.stack((merged // n_keys, merged % n_keys), axis=1)
 
+    def _band_probe_masks(self) -> np.ndarray:
+        """XOR masks of the radius-1 band neighbourhood: 0, then each bit."""
+        masks = np.zeros(17, dtype=np.int64)
+        masks[1:] = 1 << np.arange(16)
+        return masks
+
     def _banded_join_dict(self, block_bands: np.ndarray, key_bands: np.ndarray) -> np.ndarray:
         """The original Python hash join — the oracle the sorted join must match."""
+        probe_masks = (
+            [0] if not self.join_radius_bits else [0, *(1 << i for i in range(16))]
+        )
         pairs: set[tuple[int, int]] = set()
         for band in range(block_bands.shape[1]):
             key_lookup: dict[int, list[int]] = {}
             for k, value in enumerate(key_bands[:, band].tolist()):
                 key_lookup.setdefault(value, []).append(k)
             for b, value in enumerate(block_bands[:, band].tolist()):
-                hit_keys = key_lookup.get(value)
-                if hit_keys is not None:
-                    pairs.update((b, k) for k in hit_keys)
+                for mask in probe_masks:
+                    hit_keys = key_lookup.get(value ^ mask)
+                    if hit_keys is not None:
+                        pairs.update((b, k) for k in hit_keys)
         if not pairs:
             return np.empty((0, 2), dtype=np.int64)
         return np.asarray(sorted(pairs), dtype=np.int64)
@@ -1081,7 +1216,10 @@ class AesKeySearch:
             type(self)._candidate_pairs is not AesKeySearch._candidate_pairs
             or type(self)._verify_pairs is not AesKeySearch._verify_pairs
         )
-        if self.join == "dict" or not _NATIVE_LITTLE or overridden:
+        # The fused kernel's probe tables and mismatch prefilter assume
+        # exact band equality; the tolerant radius-1 join flows through
+        # the per-offset path, whose probes expand the neighbourhood.
+        if self.join == "dict" or not _NATIVE_LITTLE or overridden or self.join_radius_bits:
             hits = self._find_hits_per_offset(blocks)
         else:
             hits = self._find_hits_fused(blocks)
@@ -1599,11 +1737,356 @@ class AesKeySearch:
                 known_pieces.append(np.ones(hi - lo, dtype=bool))
         return np.concatenate(pieces), np.concatenate(known_pieces)
 
-    def _recover_from_group(
+    def _decode_table(
+        self,
+        table: np.ndarray,
+        known: np.ndarray,
+        base: int,
+        state_key: str,
+        rate_hint: float,
+        evidence: bool = True,
+    ) -> DecodeResult | None:
+        """Belief-propagation pass over one observed table.
+
+        Returns ``None`` without decoding when the table fails the
+        plausibility gate — too few intact checks to be a schedule at
+        any decodable rate, i.e. junk that slipped the wide verify
+        budget.  Otherwise loads any checkpointed partial posteriors
+        for ``state_key``, runs the decode under the search deadline —
+        saving fresh partial state back through the store before
+        re-raising on expiry, so a ``--resume`` warm-starts mid-decode
+        — and folds the outcome into the search's decode telemetry.
+        An abstain is recorded as structured evidence; the caller
+        decides whether to fall back to vote+repair.
+        """
+        key_bits = self.variant.key_bits
+        if schedule_plausibility(table, known, key_bits) < _DECODE_MIN_CLEAN_CHECKS:
+            self.decode_stats["gated"] += 1
+            return None
+        if self.decay_rate is not None:
+            # A single-sighting pool key carries the dump's flip rate
+            # itself, so the observed table's bytes see the decay twice
+            # over: once on the table block, once on the key that
+            # descrambled it.
+            rate = 2.0 * self.decay_rate * (1.0 - self.decay_rate)
+        else:
+            rate = rate_hint
+        channel = ChannelModel.symmetric(clamp_rate(rate))
+        state = None
+        if self.decode_state_store is not None:
+            payload = self.decode_state_store.load(state_key)
+            if payload is not None:
+                state = DecodeState.from_dict(payload)
+        try:
+            result = decode_schedule(
+                table,
+                self.variant.key_bits,
+                channel,
+                known=known,
+                max_iters=self.decode_iters,
+                damping=self.decode_damping,
+                on_progress=self.on_progress,
+                deadline=self.deadline,
+                state=state,
+            )
+        except DeadlineExceededError as error:
+            partial = getattr(error, "decode_state", None)
+            if partial is not None and self.decode_state_store is not None:
+                self.decode_state_store.save(state_key, partial.to_dict())
+            raise
+        if self.decode_state_store is not None:
+            self.decode_state_store.discard(state_key)
+        stats = self.decode_stats
+        stats["tables"] += 1
+        stats["iterations"] += result.iterations
+        stats["posterior_entropy_sum"] += float(result.posterior_entropy[0])
+        if result.abstained():
+            stats["abstained"] += 1
+            # List-decode combo attempts pass evidence=False so a junk
+            # base leaves one summarizing abstain, not one per combo.
+            if evidence:
+                self.decode_abstains.append(
+                    DecodeAbstainError(
+                        table_base=base,
+                        iterations=result.iterations,
+                        syndrome_weight=int(result.syndrome_weight[0]),
+                        posterior_entropy=float(result.posterior_entropy[0]),
+                    )
+                )
+        else:
+            stats["converged"] += 1
+        return result
+
+    def _span_table_from_hits(
         self, blocks: np.ndarray, base: int, group: list[ScheduleHit]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(table, known) assembled purely from hit spans.
+
+        Unlike :meth:`_observed_table` this needs no expansion guess:
+        each verified hit pins its own 3-round stretch of the table
+        (window plus check), descrambled with the key that verified.
+        Bytes covered by several hits take the lowest-mismatch one —
+        spans are written in decreasing-mismatch order so the best
+        sighting lands last.  Uncovered bytes stay unknown; the decoder
+        treats them as erasures.
+        """
+        variant = self.variant
+        length = 4 * variant.total_words
+        table = np.zeros(length, dtype=np.uint8)
+        known = np.zeros(length, dtype=bool)
+        for hit in sorted(group, key=lambda h: -h.mismatch_bits):
+            lo = 16 * hit.round_index
+            hi = min(length, lo + variant.span_bytes)
+            if lo < 0 or lo >= hi:
+                continue
+            span = (
+                blocks[hit.block_index, hit.offset : hit.offset + variant.span_bytes]
+                ^ self.keys[hit.key_index, hit.offset : hit.offset + variant.span_bytes]
+            )
+            table[lo:hi] = span[: hi - lo]
+            known[lo:hi] = True
+        return table, known
+
+    def _block_key_candidates(
+        self, blocks: np.ndarray, base: int
+    ) -> list[tuple[int, int, np.ndarray, np.ndarray]] | None:
+        """Guess-free per-block candidate lists for list decoding.
+
+        Each block overlapping the table tries *every* pool key at once
+        (:func:`block_key_plausibility`) and keeps the few whose
+        descrambled slice satisfies enough of the schedule's
+        self-contained byte-checks to be worth a decode trial.  No
+        hits, windows, or expansion guess are involved, so this
+        recovers coverage for blocks whose every verify window decayed
+        — the decoder's main starvation mode at high BER.  A *list*
+        (not an argmax adoption) because at the decodable limit a
+        decayed true key's score routinely ties a lucky junk key's;
+        which candidate is right is decided by which assignment the
+        decoder converges on, not by the score.  Returns
+        ``(lo, hi, slices, scores)`` per block with a non-empty list
+        (bounds are table-relative), or ``None`` when the region runs
+        off the image.
+        """
+        variant = self.variant
+        length = 4 * variant.total_words
+        first = base // BLOCK_SIZE
+        last = (base + length - 1) // BLOCK_SIZE
+        if first < 0 or last >= blocks.shape[0]:
+            return None
+        out: list[tuple[int, int, np.ndarray, np.ndarray]] = []
+        for b in range(first, last + 1):
+            lo = max(base, b * BLOCK_SIZE)
+            hi = min(base + length, (b + 1) * BLOCK_SIZE)
+            slices = (
+                blocks[b, lo - b * BLOCK_SIZE : hi - b * BLOCK_SIZE][None, :]
+                ^ self.keys[:, lo - b * BLOCK_SIZE : hi - b * BLOCK_SIZE]
+            )
+            scores = block_key_plausibility(slices, lo - base, variant.key_bits)
+            order = np.argsort(scores, kind="stable")[::-1][:_BLOCK_KEY_MAX_CANDIDATES]
+            keep = order[scores[order] >= _BLOCK_KEY_MIN_CLEAN_CHECKS]
+            if keep.size:
+                out.append((lo - base, hi - base, slices[keep], scores[keep]))
+        return out
+
+    def _decode_group(
+        self, blocks: np.ndarray, base: int, group: list[ScheduleHit], pinned: bool = False
+    ) -> tuple[RecoveredAesKey | None, bool]:
+        """List-decode path: junk gate → candidate lists → BP per combo.
+
+        The classical rescue needs a mostly-right expansion guess
+        before it can even assemble an observed table; at the decoded
+        stage's channel no ballot produces one.  This path goes the
+        other way.  The verified hit spans *are* partial observations
+        of the table, so the plausibility pre-gate sorts junk bases
+        from real ones before anything expensive runs (``pinned``
+        bases — vouched for by a recovered XTS partner — skip it,
+        since their groups may be pure junk-tail even when the table
+        is real).  Surviving bases list each region block's plausible
+        scrambler keys guess-free, then belief propagation arbitrates:
+        every bounded combination of per-block candidates (with
+        erasure as the alternative, because an unminable block's list
+        holds only impostors) gets a decode trial, ordered by coverage
+        so the true assignment lands early.  A combo carrying a junk
+        slice frustrates the syndrome and abstains; the true one
+        converges — a valid schedule by construction (zero syndrome).
+        When no combo converges outright, the bootstrap loop feeds the
+        least-frustrated posterior back as the :meth:`_observed_table`
+        guess — a partial decode is usually enough to unlock keys the
+        candidate bar missed, and the re-decode with that coverage
+        converges.  The region residual check then confirms any
+        decoded schedule against the dump like a classical ballot.
+        Returns ``(key, gated)``; ``gated`` tells the caller the base
+        never looked like a schedule at all.
+        """
+        variant = self.variant
+        span_table, span_known = self._span_table_from_hits(blocks, base, group)
+        span_plausible = (
+            schedule_plausibility(span_table, span_known, variant.key_bits)
+            >= _DECODE_SEED_MIN_CLEAN_CHECKS
+        )
+        if not pinned and not span_plausible:
+            self.decode_stats["gated"] += 1
+            return None, True
+        # A pinned base's junk-tail spans would poison the decode as
+        # false observations; use them only when they look schedule-like.
+        if not span_plausible:
+            span_table = np.zeros_like(span_table)
+            span_known = np.zeros_like(span_known)
+        candidates = self._block_key_candidates(blocks, base) or []
+        combos: list[tuple[int, float, tuple]] = []
+        for choice in product(*(
+            [*range(len(scores)), None] for (_lo, _hi, _sl, scores) in candidates
+        )):
+            adopted = sum(1 for c in choice if c is not None)
+            total = sum(
+                float(candidates[i][3][c]) for i, c in enumerate(choice) if c is not None
+            )
+            combos.append((-adopted, -total, choice))
+        combos.sort(key=lambda entry: entry[:2])
+        spans_only = (-0, -0.0, tuple([None] * len(candidates)))
+        combos = combos[:_DECODE_MAX_COMBOS]
+        if span_plausible and spans_only not in combos:
+            combos.append(spans_only)
+        # Verify mismatch counts S-box-diffused bits (~700 effective per
+        # window), so the per-bit channel of the assembled table runs
+        # somewhat above best_mismatch/700; the decoder only needs the
+        # right order of magnitude.
+        rate_hint = 1.3 * min(h.mismatch_bits for h in group) / 700.0
+        best: tuple[int, DecodeResult, np.ndarray, np.ndarray] | None = None
+        for idx, (_adopted, _total, choice) in enumerate(combos):
+            table, known = span_table.copy(), span_known.copy()
+            any_slice = False
+            for (lo, hi, slices, _scores), c in zip(candidates, choice):
+                if c is None:
+                    continue
+                table[lo:hi] = slices[c]
+                known[lo:hi] = True
+                any_slice = True
+            if not any_slice and not span_plausible:
+                continue
+            result = self._decode_table(
+                table, known, base, f"{base:#x}:{idx}", rate_hint, evidence=False
+            )
+            if result is None:
+                continue
+            if not result.abstained():
+                key = self._decoded_key(result, blocks, base, group)
+                if key is not None:
+                    return key, False
+                continue
+            syndrome = int(result.syndrome_weight[0])
+            if best is None or syndrome < best[0]:
+                best = (syndrome, result, table, known)
+        # No combo converged: bootstrap from the least-frustrated
+        # posterior — still the best table estimate anywhere, mostly
+        # right even short of a valid codeword.  Use it as the
+        # observed-table guess to pick keys for blocks the candidate
+        # bar missed, and retry with the extra coverage.  Stop as soon
+        # as a pass adds nothing.
+        final: DecodeResult | None = None
+        if best is not None:
+            _syndrome, result, table, known = best
+            final = result
+            for round_index in range(2):
+                observed = self._observed_table(blocks, base, result.tables[0])
+                if observed is None:
+                    break
+                next_table = np.where(observed[1], observed[0], table).astype(np.uint8)
+                next_known = known | observed[1]
+                if (next_table == table).all() and (next_known == known).all():
+                    break
+                table, known = next_table, next_known
+                result = self._decode_table(
+                    table, known, base, f"{base:#x}:boot{round_index}",
+                    rate_hint, evidence=False,
+                )
+                if result is None:
+                    break
+                final = result
+                if not result.abstained():
+                    return self._decoded_key(result, blocks, base, group), False
+        if final is not None and final.abstained():
+            # One summarizing abstain for the whole base, in place of
+            # the per-combo evidence the trials suppressed.
+            self.decode_abstains.append(
+                DecodeAbstainError(
+                    table_base=base,
+                    iterations=final.iterations,
+                    syndrome_weight=int(final.syndrome_weight[0]),
+                    posterior_entropy=float(final.posterior_entropy[0]),
+                )
+            )
+        return None, False
+
+    def _decoded_key(
+        self,
+        result: DecodeResult,
+        blocks: np.ndarray,
+        base: int,
+        group: list[ScheduleHit],
+    ) -> RecoveredAesKey | None:
+        """Confirm a converged decode against the dump and package it."""
+        variant = self.variant
+        decoded = result.tables[0]
+        master = decoded[: variant.key_bits // 8].tobytes()
+        expansion = np.frombuffer(expand_key(master), dtype=np.uint8)
+        mismatch, counted_bits = self._region_mismatch(blocks, base, expansion)
+        fraction = mismatch / counted_bits
+        if fraction > self.accept_mismatch_fraction:
+            return None
+        votes = 0
+        for hit in group:
+            lo = 16 * hit.round_index
+            hi = min(len(expansion), lo + variant.span_bytes)
+            span = (
+                blocks[hit.block_index, hit.offset : hit.offset + variant.span_bytes]
+                ^ self.keys[hit.key_index, hit.offset : hit.offset + variant.span_bytes]
+            )[: hi - lo]
+            bits = int(POPCOUNT_TABLE[expansion[lo:hi] ^ span].sum())
+            if bits <= self.accept_mismatch_fraction * 8 * (hi - lo):
+                votes += 1
+        schedule_bits = 8 * 4 * variant.total_words
+        return RecoveredAesKey(
+            master_key=master,
+            key_bits=variant.key_bits,
+            votes=votes,
+            first_block_index=min(h.block_index for h in group),
+            match_fraction=1.0 - fraction,
+            region_agreement=max(0.0, (counted_bits - mismatch) / schedule_bits),
+            hits=tuple(sorted(group, key=lambda h: (h.block_index, h.offset))),
+            confidence=confidence_score(
+                fraction,
+                decay_rate=self.decay_rate,
+                coverage=counted_bits / schedule_bits,
+                posterior_certainty=float(result.certainty[0]),
+            ),
+        )
+
+    def _recover_from_group(
+        self,
+        blocks: np.ndarray,
+        base: int,
+        group: list[ScheduleHit],
+        pinned: bool = False,
     ) -> RecoveredAesKey | None:
         """Reconstruct, repair, and confirm one schedule's master key."""
         variant = self.variant
+        if self.schedule_decode:
+            # The decode path runs first: at this stage's channel the
+            # ballot machinery below almost never assembles a usable
+            # guess, while the hit spans alone are enough for belief
+            # propagation.  A base the seed gate rejected never looked
+            # like a schedule at all — running the classical ballots on
+            # it would only manufacture spurious keys from the junk
+            # tail the wide verify budget admits (and burn most of the
+            # stage's wall time doing it).  Falling through on a
+            # genuine abstain keeps the classical rescue as the safety
+            # net for plausible bases the decoder could not settle.
+            decoded, gated = self._decode_group(blocks, base, group, pinned=pinned)
+            if decoded is not None:
+                return decoded
+            if gated:
+                return None
         spans: list[tuple[int, np.ndarray]] = []
         for hit in group:
             span = (
@@ -1620,6 +2103,10 @@ class AesKeySearch:
 
         best_agreement = 0.0
         best_counted_bits = 0
+        #: Converged decoded tables (as bytes) → mean max-posterior
+        #: probability, for recalibrating the final confidence when the
+        #: accepted master's expansion is one the decoder produced.
+        decode_certainty: dict[bytes, float] = {}
         schedule_bits = 8 * 4 * variant.total_words
 
         def consider(scored: dict[bytes, int], expansions: dict[bytes, np.ndarray]) -> None:
@@ -1671,20 +2158,47 @@ class AesKeySearch:
             # strictly lower than any near-miss's, so the running
             # minimum converges on it.  The guess is refreshed between
             # iterations since a better guess picks better per-block keys.
+            decode_attempted = False
             for _iteration in range(3):
+                if self.on_progress is not None:
+                    self.on_progress()
                 before = best_fraction
                 guess = np.frombuffer(expand_key(best_master), dtype=np.uint8)
                 observed = self._observed_table(blocks, base, guess)
                 if observed is None:
                     break
                 table, known = observed
-                if self.schedule_vote:
-                    # Consistency voting first: it corrects dense decay
-                    # (multiple flips per equation) that the greedy
-                    # single-residue repair stalls on, leaving the
-                    # greedy pass only the stragglers.
-                    table = vote_correct_table(table, variant.key_bits, known_bytes=known)
-                table = repair_observed_table(table, variant.key_bits, known_bytes=known)
+                decoded_clean = False
+                if self.schedule_decode and not decode_attempted:
+                    # Message passing sees the whole table at once and
+                    # corrects channels far beyond what greedy repair
+                    # survives; a converged (zero-syndrome) decode IS a
+                    # valid codeword, so every byte becomes known and
+                    # vote/repair have nothing left to do.  An abstain
+                    # falls through to the classical correctors — and
+                    # is not retried on later rescue iterations, whose
+                    # observed table barely differs.
+                    decode_attempted = True
+                    result = self._decode_table(
+                        table, known, base, f"{base:#x}", before
+                    )
+                    if result is not None and not result.abstained():
+                        table = result.tables[0].copy()
+                        known = np.ones_like(known)
+                        decoded_clean = True
+                        decode_certainty[table.tobytes()] = float(result.certainty[0])
+                if not decoded_clean:
+                    if self.schedule_vote:
+                        # Consistency voting first: it corrects dense decay
+                        # (multiple flips per equation) that the greedy
+                        # single-residue repair stalls on, leaving the
+                        # greedy pass only the stragglers.
+                        table = vote_correct_table(
+                            table, variant.key_bits, known_bytes=known
+                        )
+                    table = repair_observed_table(
+                        table, variant.key_bits, known_bytes=known
+                    )
                 for repair in range(self.repair_bits + 1):
                     scored = {}
                     expansions = {}
@@ -1735,6 +2249,7 @@ class AesKeySearch:
                 best_fraction,
                 decay_rate=self.decay_rate,
                 coverage=best_counted_bits / schedule_bits,
+                posterior_certainty=decode_certainty.get(expansion.tobytes()),
             ),
         )
 
@@ -1754,12 +2269,28 @@ class AesKeySearch:
         if base < 0:
             return None
         blocks = image.blocks_matrix()
+        hits = self._region_hits(blocks, base, loose_tolerance_bits)
+        if not hits:
+            return None
+        return self._recover_from_group(blocks, base, hits, pinned=True)
+
+    def _region_hits(
+        self, blocks: np.ndarray, base: int, tolerance_bits: int
+    ) -> list[ScheduleHit]:
+        """Joinless verification of a pinned table base.
+
+        Every (region block, key, offset, round) whose window lands
+        exactly on ``base`` is verified directly — no fingerprint gate,
+        so windows whose every band decayed still surface.  With the
+        base fixed, only ~1 in 200 (offset, round) cells can even claim
+        it, which is what makes the loose Hamming budget affordable.
+        """
         variant = self.variant
         schedule_len = 4 * variant.total_words
         first = base // BLOCK_SIZE
         last = (base + schedule_len - 1) // BLOCK_SIZE
         if first < 0 or last >= blocks.shape[0]:
-            return None
+            return []
         pairs = _all_pairs(
             np.arange(first, last + 1, dtype=np.int64), self.keys.shape[0]
         )
@@ -1767,13 +2298,13 @@ class AesKeySearch:
         for offset in self.offsets:
             for phase in variant.phases():
                 for hit in self._verify_pairs(
-                    blocks, pairs, offset, phase, tolerance_bits=loose_tolerance_bits
+                    blocks, pairs, offset, phase, tolerance_bits=tolerance_bits
                 ):
                     if hit.table_base == base:
                         hits.append(hit)
-        if not hits:
-            return None
-        return self._recover_from_group(blocks, base, hits)
+            if self.on_progress is not None:
+                self.on_progress()
+        return hits
 
     def _competitive_overlap_filter(
         self, recovered: list[RecoveredAesKey]

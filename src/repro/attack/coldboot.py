@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.attack.decode import ChannelModel, clamp_rate
 from repro.dram.image import MemoryImage
-from repro.dram.retention import DUSTER_TEMPERATURE_C, TRANSFER_SECONDS
+from repro.dram.retention import DUSTER_TEMPERATURE_C, TRANSFER_SECONDS, ModuleProfile
 from repro.victim.machine import Machine
 
 
@@ -32,6 +33,40 @@ class TransferConditions:
     #: Seconds between the duster spray and the power cut (the module is
     #: still refreshed during this window, so it does not decay).
     spray_to_poweroff_seconds: float = 1.0
+
+    def expected_bit_error_rate(self, profile: ModuleProfile) -> float:
+        """Whole-image flip rate this transfer costs on ``profile``.
+
+        Only bits stored opposite their ground state can decay, and in
+        random-looking contents that is about half of them, so the
+        image-wide rate is half the vulnerable-bit flip fraction the
+        module's retention model predicts for this time/temperature.
+        Clamped like every channel estimate (see
+        :func:`repro.attack.decode.clamp_rate`).
+        """
+        flip = profile.decay.flip_fraction(self.transfer_seconds, self.temperature_c)
+        return clamp_rate(0.5 * flip)
+
+    def channel_model(
+        self, profile: ModuleProfile, ground: bytes | None = None
+    ) -> ChannelModel:
+        """Asymmetric decode channel for this transfer on ``profile``.
+
+        Decay is one-directional — cells leak *toward* ground — so the
+        belief-propagation priors should not be symmetric when the
+        module's ground state is known: a bit observed at ground may
+        have decayed there with the full vulnerable-bit flip fraction,
+        while a bit observed off ground almost certainly never moved.
+        ``ground`` optionally carries the profiled per-byte ground
+        pattern over the schedule region (``None`` models ground zero,
+        the common charge-to-zero case).
+        """
+        flip = profile.decay.flip_fraction(self.transfer_seconds, self.temperature_c)
+        return ChannelModel(
+            rate_to_ground=clamp_rate(flip),
+            rate_from_ground=clamp_rate(0.0),
+            ground=ground,
+        )
 
 
 def cold_boot_transfer(

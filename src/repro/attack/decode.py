@@ -1,0 +1,601 @@
+"""Belief-propagation decoding of decayed AES key schedules.
+
+An expanded key schedule is massively redundant: of AES-256's 240
+bytes only 32 are free, the rest pinned by ``w[i] = w[i-Nk] ^
+T_i(w[i-1])``.  A schedule pulled from a decayed dump is therefore a
+noisy codeword of a rate-~0.13 nonlinear code, and the question "what
+was the key?" is a decoding problem — the framing of Zimerman et al.'s
+deep cold-boot work, reproduced here with classical message passing
+instead of a learned model.
+
+The factor graph has one 256-state variable per schedule byte and one
+check node per byte of every expansion equation (see
+:func:`repro.crypto.aes.schedule_constraints`).  Each check is a
+three-operand XOR constraint ``t ^ s ^ f(p) = 0`` where ``f`` is the
+identity, the S-box, or S-box-plus-Rcon — always a byte bijection, so
+messages cross it by a 256-entry permutation.  Check-to-variable
+updates are XOR convolutions of the other two incoming messages,
+computed for every check at once via the Walsh–Hadamard transform
+(``WHT(a ⊛ b) = WHT(a) · WHT(b)`` over GF(2)^8); variable updates are
+batched log-domain sums.  Damping keeps the loopy iteration stable and
+a hard-decision syndrome check exits early the moment every equation
+is satisfied.
+
+Channel priors come from the asymmetric ground-state decay model: DRAM
+cells only leak *toward* their ground state, so the flip probability of
+an observed bit depends on whether it currently sits at ground
+(:class:`ChannelModel`).  When the posteriors do not converge the
+decoder abstains with structured
+:class:`~repro.resilience.errors.DecodeAbstainError` evidence instead
+of hallucinating a key, and partial posteriors can be checkpointed and
+resumed bit-exactly across a deadline
+(:class:`~repro.resilience.checkpoint.DecodeStateStore`).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import math
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crypto.aes import SBOX, rounds_for, schedule_constraints
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceededError
+
+#: Default cap on message-passing sweeps.  The graph's diameter is a
+#: few dozen hops (information must cross the whole schedule), and on
+#: decodable channels convergence lands well under this; the cap only
+#: bounds the abstain path.
+DEFAULT_DECODE_ITERS = 72
+
+#: Default damping factor: each new check→variable message keeps this
+#: fraction of its predecessor.  Loopy graphs with S-box checks
+#: oscillate undamped; 0.2 is stable across the BER sweep without
+#: noticeably slowing convergence.
+DEFAULT_DAMPING = 0.2
+
+#: Flip rates are clamped to this interval before becoming priors: a
+#: zero rate would make every observed bit infinitely trusted (one
+#: contradicted observation then deadlocks the whole graph) and a rate
+#: at or above 0.5 inverts the channel.
+RATE_FLOOR = 1e-6
+RATE_CEIL = 0.499
+
+
+def clamp_rate(rate: float) -> float:
+    """Clamp a flip rate into ``[RATE_FLOOR, RATE_CEIL]``."""
+    return min(RATE_CEIL, max(RATE_FLOOR, float(rate)))
+
+
+@dataclass(frozen=True)
+class ChannelModel:
+    """Per-bit decay channel with ground-state asymmetry.
+
+    Cells leak toward their ground state only (§III-D), so the two
+    directions of the binary channel differ: ``rate_to_ground`` is the
+    probability a bit stored *opposite* ground has flipped by dump
+    time, ``rate_from_ground`` the (physically near-zero) reverse.
+    ``ground`` optionally carries the module's per-byte ground-state
+    pattern over the schedule region; ``None`` models ground zero.
+    A symmetric channel — the right model when the scrambler has
+    whitened ground-state knowledge away — uses equal rates.
+    """
+
+    rate_to_ground: float
+    rate_from_ground: float
+    ground: bytes | None = None
+
+    def __post_init__(self) -> None:
+        for rate in (self.rate_to_ground, self.rate_from_ground):
+            if not 0.0 <= rate <= 0.5:
+                raise ValueError("channel rates must lie in [0, 0.5]")
+
+    @classmethod
+    def symmetric(cls, rate: float) -> "ChannelModel":
+        """Direction-free channel at the given (clamped) flip rate."""
+        clamped = clamp_rate(rate)
+        return cls(rate_to_ground=clamped, rate_from_ground=clamped)
+
+    def flip_probabilities(self, n_bytes: int) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior flip probability per bit, split by observed state.
+
+        Returns ``(p_at_ground, p_off_ground)`` as ``(n_bytes, 8)``
+        float64 arrays: the probability the *true* bit differs from the
+        observed one given the observation sits at / off the ground
+        state (uniform prior on the true bit).
+        """
+        r_to = clamp_rate(self.rate_to_ground)
+        r_from = clamp_rate(self.rate_from_ground)
+        p_at = clamp_rate(r_to / ((1.0 - r_from) + r_to))
+        p_off = clamp_rate(r_from / ((1.0 - r_to) + r_from))
+        return (
+            np.full((n_bytes, 8), p_at, dtype=np.float64),
+            np.full((n_bytes, 8), p_off, dtype=np.float64),
+        )
+
+    def ground_bits(self, n_bytes: int) -> np.ndarray:
+        """The ground-state pattern as an ``(n_bytes, 8)`` bit matrix."""
+        if self.ground is None:
+            return np.zeros((n_bytes, 8), dtype=np.uint8)
+        pattern = np.frombuffer(self.ground, dtype=np.uint8)
+        if pattern.size < n_bytes:
+            pattern = np.resize(pattern, n_bytes)
+        return np.unpackbits(pattern[:n_bytes]).reshape(n_bytes, 8)
+
+
+# --------------------------------------------------------------------------
+# Constraint graph
+
+
+@dataclass(frozen=True)
+class ConstraintGraph:
+    """Vectorized check-node tables for one AES variant's schedule code.
+
+    One check per byte of every expansion equation; arrays are indexed
+    by check.  ``fwd_lut[c]`` maps the prev-operand's byte value into
+    the check's XOR domain (identity / S-box / S-box ⊕ Rcon) and
+    ``inv_lut`` is its inverse — both exist because every expansion
+    transform is a byte bijection.  ``var_in_edges`` lists, per
+    variable, the flat edge ids (``3·check + slot``) it touches, padded
+    with ``n_edges`` (a dummy edge carrying a unit message).
+    """
+
+    key_bits: int
+    n_vars: int
+    n_checks: int
+    t_idx: np.ndarray
+    s_idx: np.ndarray
+    p_idx: np.ndarray
+    fwd_lut: np.ndarray
+    inv_lut: np.ndarray
+    edge_var: np.ndarray
+    var_in_edges: np.ndarray
+
+    @property
+    def n_edges(self) -> int:
+        return 3 * self.n_checks
+
+
+_GRAPH_CACHE: dict[int, ConstraintGraph] = {}
+
+
+def build_constraint_graph(key_bits: int) -> ConstraintGraph:
+    """Build (and cache) the schedule constraint graph for a variant."""
+    cached = _GRAPH_CACHE.get(key_bits)
+    if cached is not None:
+        return cached
+    constraints = schedule_constraints(key_bits)
+    nk = {128: 4, 192: 6, 256: 8}[key_bits]
+    n_vars = 16 * (rounds_for(key_bits) + 1)
+    identity = np.arange(256, dtype=np.uint8)
+    t_list: list[int] = []
+    s_list: list[int] = []
+    p_list: list[int] = []
+    fwd_rows: list[np.ndarray] = []
+    for i, kind, rcon in constraints:
+        for b in range(4):
+            t_list.append(4 * i + b)
+            s_list.append(4 * (i - nk) + b)
+            if kind == "rot":
+                # RotWord: target byte b reads source byte (b+1) mod 4;
+                # Rcon lands on the word's leading byte only.
+                p_list.append(4 * (i - 1) + (b + 1) % 4)
+                fwd_rows.append(SBOX ^ (rcon if b == 0 else 0))
+            elif kind == "sub":
+                p_list.append(4 * (i - 1) + b)
+                fwd_rows.append(SBOX.copy())
+            else:
+                p_list.append(4 * (i - 1) + b)
+                fwd_rows.append(identity.copy())
+    n_checks = len(t_list)
+    fwd_lut = np.ascontiguousarray(np.stack(fwd_rows), dtype=np.uint8)
+    inv_lut = np.empty_like(fwd_lut)
+    rows = np.arange(n_checks)[:, None]
+    inv_lut[rows, fwd_lut.astype(np.intp)] = identity[None, :]
+    t_idx = np.asarray(t_list, dtype=np.intp)
+    s_idx = np.asarray(s_list, dtype=np.intp)
+    p_idx = np.asarray(p_list, dtype=np.intp)
+    edge_var = np.stack([t_idx, s_idx, p_idx], axis=1).reshape(-1)
+    n_edges = 3 * n_checks
+    var_in_edges = np.full((n_vars, 3), n_edges, dtype=np.intp)
+    fill = np.zeros(n_vars, dtype=np.intp)
+    for edge, var in enumerate(edge_var):
+        var_in_edges[var, fill[var]] = edge
+        fill[var] += 1
+    for array in (t_idx, s_idx, p_idx, fwd_lut, inv_lut, edge_var, var_in_edges):
+        array.setflags(write=False)
+    graph = ConstraintGraph(
+        key_bits=key_bits,
+        n_vars=n_vars,
+        n_checks=n_checks,
+        t_idx=t_idx,
+        s_idx=s_idx,
+        p_idx=p_idx,
+        fwd_lut=fwd_lut,
+        inv_lut=inv_lut,
+        edge_var=edge_var,
+        var_in_edges=var_in_edges,
+    )
+    _GRAPH_CACHE[key_bits] = graph
+    return graph
+
+
+def schedule_plausibility(
+    table: np.ndarray, known: np.ndarray | None, key_bits: int
+) -> int:
+    """Count fully-observed, satisfied expansion checks in a raw table.
+
+    The cheap junk gate ahead of a full decode: a true schedule at
+    channel rate ``b`` keeps about ``n_checks·(1-b)^24`` of its byte
+    checks intact (a check spans three bytes, clean only when none of
+    the 24 bits flipped), while random bytes satisfy ``n_checks/256``
+    by luck — populations separated by an order of magnitude at every
+    rate the decoder can actually correct.  Checks touching a byte
+    outside ``known`` are not counted.
+    """
+    graph = build_constraint_graph(key_bits)
+    table = np.asarray(table, dtype=np.uint8)
+    rows = np.arange(graph.n_checks)
+    clean = (
+        table[graph.t_idx]
+        ^ table[graph.s_idx]
+        ^ graph.fwd_lut[rows, table[graph.p_idx]]
+    ) == 0
+    if known is not None:
+        mask = np.asarray(known, dtype=bool)
+        clean &= mask[graph.t_idx] & mask[graph.s_idx] & mask[graph.p_idx]
+    return int(clean.sum())
+
+
+def block_key_plausibility(
+    slices: np.ndarray, slice_start: int, key_bits: int
+) -> np.ndarray:
+    """Score candidate descramblings of one block's slice of a table.
+
+    ``slices`` is ``(n_candidates, slice_len)`` — typically one row per
+    candidate scrambler key, each the block's bytes XOR that key — and
+    ``slice_start`` is where the slice begins inside the schedule.
+    Returns per-candidate counts of satisfied checks whose three bytes
+    all fall inside the slice.
+
+    This is the guess-free form of the plausibility gate: a 64-byte
+    slice of an AES-256 schedule contains ~32 self-contained byte
+    checks, so the block's true key scores ``~32·(1-b)^24`` while a
+    wrong key's pseudorandom bytes score ``~32/256`` — enough to pick
+    each block's key straight out of the mined pool with *no* prior
+    guess of the table's contents, which is exactly what the decoder
+    needs when the block's own windows decayed past every verify
+    budget.
+    """
+    graph = build_constraint_graph(key_bits)
+    slices = np.ascontiguousarray(np.atleast_2d(slices), dtype=np.uint8)
+    lo = int(slice_start)
+    hi = lo + slices.shape[1]
+    inside = (
+        (graph.t_idx >= lo)
+        & (graph.t_idx < hi)
+        & (graph.s_idx >= lo)
+        & (graph.s_idx < hi)
+        & (graph.p_idx >= lo)
+        & (graph.p_idx < hi)
+    )
+    rows = np.nonzero(inside)[0]
+    if rows.size == 0:
+        return np.zeros(slices.shape[0], dtype=np.int64)
+    t = graph.t_idx[rows] - lo
+    s = graph.s_idx[rows] - lo
+    p = graph.p_idx[rows] - lo
+    clean = (
+        slices[:, t] ^ slices[:, s] ^ graph.fwd_lut[rows[None, :], slices[:, p]]
+    ) == 0
+    return clean.sum(axis=1, dtype=np.int64)
+
+
+def _wht(values: np.ndarray) -> np.ndarray:
+    """Walsh–Hadamard transform along the last (256-long) axis."""
+    shape = values.shape
+    out = np.ascontiguousarray(values, dtype=np.float64).reshape(-1, 256).copy()
+    half = 1
+    while half < 256:
+        out = out.reshape(-1, 256 // (2 * half), 2, half)
+        low = out[:, :, 0, :].copy()
+        high = out[:, :, 1, :].copy()
+        out[:, :, 0, :] = low + high
+        out[:, :, 1, :] = low - high
+        out = out.reshape(-1, 256)
+        half *= 2
+    return out.reshape(shape)
+
+
+_VALUE_BITS = np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1)
+
+
+def byte_priors(
+    observed: np.ndarray,
+    channel: ChannelModel,
+    known: np.ndarray | None = None,
+) -> np.ndarray:
+    """Log-domain 256-state priors for every observed schedule byte.
+
+    ``observed`` is ``(..., n_bytes)`` uint8; the result appends a
+    256-long axis of unnormalised log probabilities, the product of
+    each bit's channel likelihood.  Bytes where ``known`` is False get
+    a flat prior — the graph alone must reconstruct them.
+    """
+    observed = np.asarray(observed, dtype=np.uint8)
+    n_bytes = observed.shape[-1]
+    obs_bits = np.unpackbits(observed, axis=-1).reshape(*observed.shape, 8)
+    p_at, p_off = channel.flip_probabilities(n_bytes)
+    at_ground = obs_bits == channel.ground_bits(n_bytes)
+    p_flip = np.where(at_ground, p_at, p_off)
+    match = _VALUE_BITS[(None,) * observed.ndim] == obs_bits[..., None, :]
+    prior_log = np.where(
+        match, np.log1p(-p_flip)[..., None, :], np.log(p_flip)[..., None, :]
+    ).sum(axis=-1)
+    if known is not None:
+        prior_log = np.where(np.asarray(known, dtype=bool)[..., None], prior_log, 0.0)
+    return prior_log
+
+
+# --------------------------------------------------------------------------
+# The decoder
+
+
+@dataclass
+class DecodeState:
+    """Resumable snapshot of an in-flight decode (bit-exact messages)."""
+
+    iteration: int
+    messages: np.ndarray  # (batch, n_checks, 3, 256) float64 check→var messages
+    digest: str  # context digest the state belongs to
+
+    def to_dict(self) -> dict:
+        """JSON-ready form with a CRC over the raw message bytes."""
+        raw = np.ascontiguousarray(self.messages, dtype=np.float64).tobytes()
+        return {
+            "iteration": int(self.iteration),
+            "shape": list(self.messages.shape),
+            "messages_b64": base64.b64encode(raw).decode("ascii"),
+            "crc32": zlib.crc32(raw) & 0xFFFFFFFF,
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecodeState | None":
+        """Reconstruct a state; returns None on any damage."""
+        try:
+            raw = base64.b64decode(data["messages_b64"])
+            if (zlib.crc32(raw) & 0xFFFFFFFF) != int(data["crc32"]):
+                return None
+            messages = np.frombuffer(raw, dtype=np.float64).reshape(data["shape"]).copy()
+            return cls(
+                iteration=int(data["iteration"]),
+                messages=messages,
+                digest=str(data["digest"]),
+            )
+        except (KeyError, ValueError, TypeError):
+            return None
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of one belief-propagation decode over a table batch."""
+
+    #: Hard-decided schedule bytes, shape ``(batch, n_bytes)``.
+    tables: np.ndarray
+    #: Per-table convergence: the syndrome reached zero.
+    converged: np.ndarray
+    #: Message-passing sweeps actually run.
+    iterations: int
+    #: Per-table residual syndrome weight (violated checks).
+    syndrome_weight: np.ndarray
+    #: Per-table mean posterior entropy, bits per byte (0 = certain).
+    posterior_entropy: np.ndarray
+    #: Per-table mean max-posterior probability — the certainty the
+    #: confidence machinery is recalibrated from.
+    certainty: np.ndarray
+    #: True when a deadline stopped the decode before convergence; the
+    #: partial posteriors are in ``state``.
+    interrupted: bool = False
+    state: DecodeState | None = field(default=None, repr=False)
+
+    def abstained(self, index: int = 0) -> bool:
+        """Whether table ``index`` failed to converge (abstain path)."""
+        return not bool(self.converged[index])
+
+
+def context_digest(
+    observed: np.ndarray,
+    known: np.ndarray | None,
+    channel: ChannelModel,
+    key_bits: int,
+    damping: float,
+) -> str:
+    """Digest pinning a decode context, so resumed state can't be
+    replayed against a different table, channel, or tuning."""
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(observed, dtype=np.uint8).tobytes())
+    if known is not None:
+        h.update(np.packbits(np.asarray(known, dtype=bool)).tobytes())
+    h.update(
+        f"{key_bits}:{channel.rate_to_ground:.9f}:{channel.rate_from_ground:.9f}"
+        f":{damping:.6f}".encode()
+    )
+    if channel.ground is not None:
+        h.update(channel.ground)
+    return h.hexdigest()
+
+
+def decode_schedules(
+    observed: np.ndarray,
+    key_bits: int,
+    channel: ChannelModel,
+    known: np.ndarray | None = None,
+    max_iters: int = DEFAULT_DECODE_ITERS,
+    damping: float = DEFAULT_DAMPING,
+    on_progress=None,
+    deadline: "Deadline | float | None" = None,
+    state: DecodeState | None = None,
+    beat_every: int = 4,
+    stall_sweeps: int = 8,
+) -> DecodeResult:
+    """Sum-product decode of a batch of observed schedule tables.
+
+    ``observed`` is ``(batch, n_bytes)`` (or ``(n_bytes,)``) uint8 —
+    every candidate schedule decodes in one set of batched kernels.
+    Iteration stops at the first all-tables-clean syndrome or at
+    ``max_iters``; non-converged tables are the caller's abstain
+    signal, never silently returned as keys.
+
+    ``on_progress`` (zero-arg) is invoked every ``beat_every`` sweeps —
+    the watchdog heartbeat hook, so a long decode is never mistaken
+    for a stalled worker.  An expired ``deadline`` raises
+    :class:`~repro.resilience.errors.DeadlineExceededError` with the
+    partial messages attached as ``error.decode_state`` for
+    checkpointing; passing that state back in resumes bit-exactly.
+
+    ``stall_sweeps`` is the stagnation abstain: a decodable table's
+    syndrome weight falls steadily sweep over sweep, while an
+    undecodable one (junk past the verify gate, decay beyond the
+    code's horizon) oscillates around its floor — that many sweeps
+    without a new minimum and the decode stops early rather than
+    burning the full ``max_iters`` to reach the same abstain.
+    """
+    graph = build_constraint_graph(key_bits)
+    observed = np.asarray(observed, dtype=np.uint8)
+    squeeze = observed.ndim == 1
+    if squeeze:
+        observed = observed[None, :]
+        if known is not None:
+            known = np.asarray(known, dtype=bool)[None, :]
+    if observed.shape[-1] != graph.n_vars:
+        raise ValueError(
+            f"expected {graph.n_vars}-byte tables for AES-{key_bits}, "
+            f"got {observed.shape[-1]}"
+        )
+    if not 0.0 <= damping < 1.0:
+        raise ValueError("damping must lie in [0, 1)")
+    deadline = Deadline.coerce(deadline)
+    batch = observed.shape[0]
+    digest = context_digest(observed, known, channel, key_bits, damping)
+
+    prior_log = byte_priors(observed, channel, known)  # (B, V, 256)
+    n_checks, n_edges = graph.n_checks, graph.n_edges
+    if (
+        state is not None
+        and state.digest == digest
+        and state.messages.shape == (batch, n_checks, 3, 256)
+    ):
+        cv = state.messages.astype(np.float64, copy=True)
+        start_iteration = int(state.iteration)
+    else:
+        cv = np.full((batch, n_checks, 3, 256), 1.0 / 256.0, dtype=np.float64)
+        start_iteration = 0
+    cv_log = np.log(cv)
+
+    rows = np.arange(n_checks)
+    hard = observed.copy()
+    iterations = start_iteration
+    converged = np.zeros(batch, dtype=bool)
+    syndrome_weight = np.full(batch, n_checks, dtype=np.int64)
+
+    def syndrome_of(tables: np.ndarray) -> np.ndarray:
+        t = tables[:, graph.t_idx]
+        s = tables[:, graph.s_idx]
+        p = tables[:, graph.p_idx]
+        residue = t ^ s ^ graph.fwd_lut[rows[None, :], p]
+        return (residue != 0).sum(axis=1)
+
+    def posteriors() -> np.ndarray:
+        padded = np.concatenate(
+            [cv_log.reshape(batch, n_edges, 256), np.zeros((batch, 1, 256))], axis=1
+        )
+        return prior_log + padded[:, graph.var_in_edges, :].sum(axis=2)
+
+    posterior_log = posteriors()
+    best_total_syndrome = math.inf
+    stagnant_sweeps = 0
+    for iteration in range(start_iteration, max_iters):
+        hard = posterior_log.argmax(axis=2).astype(np.uint8)
+        syndrome_weight = syndrome_of(hard)
+        converged = syndrome_weight == 0
+        if converged.all():
+            break
+        total = int(syndrome_weight.sum())
+        if total < best_total_syndrome:
+            best_total_syndrome = total
+            stagnant_sweeps = 0
+        else:
+            stagnant_sweeps += 1
+            if stall_sweeps and stagnant_sweeps >= stall_sweeps:
+                break
+        if deadline is not None and deadline.expired:
+            error = DeadlineExceededError(
+                deadline.total_seconds, context=f"schedule decode sweep {iteration}"
+            )
+            error.decode_state = DecodeState(  # type: ignore[attr-defined]
+                iteration=iteration, messages=cv.copy(), digest=digest
+            )
+            raise error
+        if on_progress is not None and iteration % max(1, beat_every) == 0:
+            on_progress()
+        # Variable→check messages: posterior with own edge divided out.
+        vc_log = posterior_log[:, graph.edge_var, :].reshape(
+            batch, n_checks, 3, 256
+        ) - cv_log
+        vc_log -= vc_log.max(axis=-1, keepdims=True)
+        vc = np.exp(vc_log)
+        vc /= vc.sum(axis=-1, keepdims=True)
+        # Prev operand enters the XOR in its transformed domain.
+        vc_p = np.take_along_axis(vc[:, :, 2, :], graph.inv_lut[None, :, :], axis=2)
+        w_t = _wht(vc[:, :, 0, :])
+        w_s = _wht(vc[:, :, 1, :])
+        w_p = _wht(vc_p)
+        # XOR convolution: pointwise product in the WHT domain.
+        to_t = _wht(w_s * w_p)
+        to_s = _wht(w_t * w_p)
+        to_p_check = _wht(w_t * w_s)
+        to_p = np.take_along_axis(to_p_check, graph.fwd_lut[None, :, :], axis=2)
+        fresh = np.stack([to_t, to_s, to_p], axis=2)
+        np.clip(fresh, 1e-300, None, out=fresh)
+        fresh /= fresh.sum(axis=-1, keepdims=True)
+        cv = damping * cv + (1.0 - damping) * fresh
+        cv /= cv.sum(axis=-1, keepdims=True)
+        cv_log = np.log(cv)
+        posterior_log = posteriors()
+        iterations = iteration + 1
+
+    shifted = posterior_log - posterior_log.max(axis=-1, keepdims=True)
+    posterior = np.exp(shifted)
+    posterior /= posterior.sum(axis=-1, keepdims=True)
+    entropy = -(posterior * np.log2(np.clip(posterior, 1e-300, None))).sum(axis=-1)
+    result = DecodeResult(
+        tables=hard,
+        converged=converged,
+        iterations=iterations,
+        syndrome_weight=syndrome_weight.astype(np.int64),
+        posterior_entropy=entropy.mean(axis=-1),
+        certainty=posterior.max(axis=-1).mean(axis=-1),
+    )
+    return result
+
+
+def decode_schedule(
+    observed: np.ndarray,
+    key_bits: int,
+    channel: ChannelModel,
+    known: np.ndarray | None = None,
+    **kwargs,
+) -> DecodeResult:
+    """Single-table convenience wrapper around :func:`decode_schedules`."""
+    return decode_schedules(
+        np.asarray(observed, dtype=np.uint8)[None, :],
+        key_bits,
+        channel,
+        known=None if known is None else np.asarray(known, dtype=bool)[None, :],
+        **kwargs,
+    )

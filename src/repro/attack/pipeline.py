@@ -56,8 +56,21 @@ class AttackConfig:
     #: surface (see :mod:`repro.attack.adaptive`).
     adaptive: bool = False
     #: Work budget for the adaptive escalation ladder (strict costs 1,
-    #: calibrated 2, widened 3).
+    #: calibrated 2, widened 3, decoded 4).
     adaptive_total_work: int = 6
+    #: Highest rung the adaptive ladder may climb (``"strict"``,
+    #: ``"calibrated"``, ``"widened"``, ``"decoded"``; None lets the
+    #: work budget decide).  Note the decoded stage's cost of 4 only
+    #: fits when ``adaptive_total_work`` ≥ 10.
+    adaptive_max_stage: str | None = None
+    #: Cap on belief-propagation sweeps per decoded table.
+    decode_iters: int = 72
+    #: Path for the decode-state sidecar
+    #: (:class:`~repro.resilience.checkpoint.DecodeStateStore`): a
+    #: deadline that expires mid-decode checkpoints the partial
+    #: posteriors here, and a re-run with the same path warm-starts
+    #: them and finishes byte-identically.
+    decode_checkpoint: str | None = None
     #: Decay-rate prior the adaptive engine falls back on when the dump
     #: offers nothing measurable.
     prior_decay_rate: float = 0.002
@@ -241,12 +254,20 @@ class Ddr4ColdBootAttack:
         from repro.attack.adaptive import AdaptiveRecoveryEngine
 
         config = self.config
+        store = None
+        if config.decode_checkpoint is not None:
+            from repro.resilience.checkpoint import DecodeStateStore
+
+            store = DecodeStateStore(config.decode_checkpoint)
         engine = AdaptiveRecoveryEngine(
             key_bits=config.key_bits,
             total_work=config.adaptive_total_work,
             prior_rate=config.prior_decay_rate,
             max_candidate_keys=config.max_candidate_keys,
             scan_limit_bytes=config.key_scan_limit_bytes,
+            max_stage=config.adaptive_max_stage,
+            decode_iters=config.decode_iters,
+            decode_state_store=store,
         )
         start = time.perf_counter()
         result = engine.recover(dump, reference=reference, deadline=config.deadline_s)
@@ -260,6 +281,14 @@ class Ddr4ColdBootAttack:
         report.search_seconds = elapsed
         report.adaptive = result.summary()
         report.quarantined_regions = [error.to_dict() for error in result.quarantined]
+        if result.decode is not None and result.decode.get("interrupted"):
+            # A deadline cut the decode mid-sweep; the partial
+            # posteriors (if a checkpoint store is wired) make the run
+            # resumable, so surface it the same way a sharded expiry is.
+            report.deadline_expired = True
+            report.interrupted = True
+            report.expiry_cause = "deadline"
+            report.checkpoint_path = config.decode_checkpoint
         return report
 
     def run_sharded(

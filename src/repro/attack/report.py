@@ -23,8 +23,11 @@ from repro.attack.pipeline import AttackReport
 #: (per-stage wall time, the run's deadline, how and why it ended) and
 #: the degradation fields in ``resilience`` (stall kills, unscanned
 #: shards, resource backend, checkpoint rotation/error); v5 added
-#: ``resilience.executor`` (which worker pool ran the shards).
-REPORT_SCHEMA_VERSION = 5
+#: ``resilience.executor`` (which worker pool ran the shards); v6 added
+#: ``robustness.decode`` (belief-propagation telemetry of the decoded
+#: escalation stage: tables tried, message-passing sweeps, converged
+#: and abstained counts, per-base abstain evidence, interrupt flag).
+REPORT_SCHEMA_VERSION = 6
 
 
 def report_to_dict(report: AttackReport, include_keys: bool = True) -> dict:
@@ -74,6 +77,7 @@ def report_to_dict(report: AttackReport, include_keys: bool = True) -> dict:
             "adaptive": report.adaptive,
             "quarantined_regions": list(report.quarantined_regions),
             "min_confidence": report.min_confidence,
+            "decode": (report.adaptive or {}).get("decode"),
         },
         "recovered_keys": [
             {
@@ -161,6 +165,9 @@ def migrate_report_dict(data: dict) -> dict:
     if version < 5:
         resilience = migrated.setdefault("resilience", {})
         resilience.setdefault("executor", "")
+    if version < 6:
+        robustness = migrated.setdefault("robustness", {})
+        robustness.setdefault("decode", None)
     migrated["schema_version"] = REPORT_SCHEMA_VERSION
     return migrated
 
@@ -206,6 +213,14 @@ def report_to_markdown(report: AttackReport, include_keys: bool = False) -> str:
             f"({report.adaptive['decay_source']}), stages "
             f"{' → '.join(report.adaptive['stages_run']) or 'none'}"
         )
+        decode = report.adaptive.get("decode")
+        if decode:
+            lines.append(
+                f"* decoded stage: {decode['converged']} converged / "
+                f"{decode['abstained']} abstained of {decode['tables']} tables "
+                f"({decode['iterations']} sweeps"
+                + (", interrupted by deadline)" if decode.get("interrupted") else ")")
+            )
         for region in report.quarantined_regions:
             lines.append(
                 f"* **warning: quarantined region** {region['offset']:#x}"

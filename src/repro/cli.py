@@ -113,23 +113,34 @@ def _run_attack(args: argparse.Namespace) -> int:
     )
 
     dump = _load_dump(args.dump)
+    if args.adaptive and (args.workers > 1 or args.shards):
+        print("error: --adaptive runs monolithically; drop --workers/--shards",
+              file=sys.stderr)
+        return 2
+    checkpoint = args.checkpoint
+    if args.resume and checkpoint is None:
+        checkpoint = f"{args.dump}.checkpoint.jsonl"
+    # The decoded rung costs 4 work units; asking for it explicitly
+    # raises the ladder budget so it actually fits.
+    total_work = 10 if args.max_stage == "decoded" else 6
     attack = Ddr4ColdBootAttack(
         AttackConfig(
             key_bits=args.key_bits,
             adaptive=args.adaptive,
+            adaptive_total_work=total_work,
+            adaptive_max_stage=args.max_stage,
+            decode_iters=args.decode_iters,
+            # In adaptive mode the journal path doubles as the decode
+            # state sidecar: a deadline that expires mid-decode saves
+            # the partial posteriors there, and --resume warm-starts
+            # them for a byte-identical finish.
+            decode_checkpoint=checkpoint if args.adaptive else None,
             deadline_s=args.deadline,
             stall_timeout_s=args.stall_timeout,
             executor=args.executor,
         )
     )
-    checkpoint = args.checkpoint
-    if args.adaptive and (args.workers > 1 or args.shards or checkpoint):
-        print("error: --adaptive runs monolithically; drop --workers/--shards/--checkpoint",
-              file=sys.stderr)
-        return 2
-    if args.resume and checkpoint is None:
-        checkpoint = f"{args.dump}.checkpoint.jsonl"
-    if args.workers > 1 or args.shards or checkpoint:
+    if not args.adaptive and (args.workers > 1 or args.shards or checkpoint):
         # Fault-tolerant sharded scan: crashed/hung shards retry, the
         # journal lets a killed run resume with --resume.  A resumed run
         # adopts the journal's shard count unless --shards overrides it
@@ -419,6 +430,14 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--reference", metavar="PATH",
                         help="pre-decay reference dump for a direct decay-rate "
                              "measurement (adaptive mode only)")
+    attack.add_argument("--max-stage", metavar="STAGE", default=None,
+                        choices=("strict", "calibrated", "widened", "decoded"),
+                        help="highest adaptive escalation rung; 'decoded' "
+                             "turns on belief-propagation key recovery and "
+                             "raises the work budget to fit it")
+    attack.add_argument("--decode-iters", type=int, default=72,
+                        help="cap on message-passing sweeps per decoded "
+                             "table (adaptive mode, default: 72)")
     attack.set_defaults(func=_cmd_attack)
 
     keyfind = sub.add_parser("keyfind", help="Halderman search over plaintext dumps")

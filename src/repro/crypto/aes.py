@@ -106,6 +106,32 @@ def schedule_bytes(key_bits: int) -> int:
     return 16 * (rounds_for(key_bits) + 1)
 
 
+def schedule_constraints(key_bits: int) -> list[tuple[int, str, int]]:
+    """The key-expansion recurrence as an explicit constraint list.
+
+    Every expanded schedule satisfies ``w[i] = w[i-Nk] ^ T_i(w[i-1])``
+    for ``i`` in ``Nk .. 4·(Nr+1)-1``; this enumerates those equations
+    as ``(i, kind, rcon)`` tuples where ``kind`` is ``"rot"`` (RotWord ∘
+    SubWord ∘ Rcon), ``"sub"`` (SubWord only, AES-256's mid-key step) or
+    ``"linear"`` (plain XOR), and ``rcon`` is the round-constant byte
+    (0 outside ``"rot"`` steps).  This is the redundancy that makes a
+    decayed in-memory schedule an error-correcting codeword — the
+    belief-propagation decoder in :mod:`repro.attack.decode` builds its
+    check-node tables from exactly this list.
+    """
+    nk = _NK_FOR_BITS[key_bits]
+    total_words = 4 * (rounds_for(key_bits) + 1)
+    constraints: list[tuple[int, str, int]] = []
+    for i in range(nk, total_words):
+        if i % nk == 0:
+            constraints.append((i, "rot", Rcon(i // nk)))
+        elif nk > 6 and i % nk == 4:
+            constraints.append((i, "sub", 0))
+        else:
+            constraints.append((i, "linear", 0))
+    return constraints
+
+
 def _sub_word(word: int) -> int:
     """Apply the S-box to each byte of a 32-bit word."""
     return (

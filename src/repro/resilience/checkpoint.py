@@ -371,3 +371,75 @@ class CheckpointJournal:
         Provided so callers can treat the journal like any other
         resource with a lifecycle.
         """
+
+
+class DecodeStateStore:
+    """Sidecar store for partial belief-propagation decode posteriors.
+
+    The shard journal above is strictly append-only JSONL whose readers
+    reject unknown record types — the right contract for shard results,
+    and the wrong one for decode state, which is a dense float blob
+    that gets *overwritten* on every checkpoint rather than appended.
+    So mid-decode state lives in its own small JSON sidecar (by
+    convention ``<checkpoint>.decode``): a map from a caller-chosen
+    context key (stage, table base, rescue iteration) to a
+    :class:`repro.attack.decode.DecodeState` dict, each entry CRC'd via
+    :func:`line_crc` and the whole file replaced atomically.  A resumed
+    run warm-starts message passing from the stored float64 messages,
+    which continues the iteration bit-exactly — the resumed decode's
+    result is byte-identical to an uninterrupted run's.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._entries: dict[str, dict] = {}
+        if self.path.exists():
+            self._entries = self._load()
+
+    def _load(self) -> dict[str, dict]:
+        """Read the sidecar, dropping any entry that fails its CRC."""
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if not isinstance(data, dict) or data.get("version") != self.VERSION:
+            return {}
+        entries = data.get("entries")
+        if not isinstance(entries, dict):
+            return {}
+        kept: dict[str, dict] = {}
+        for key, entry in entries.items():
+            if isinstance(entry, dict) and entry.get("crc") == line_crc(entry):
+                kept[key] = entry
+        return kept
+
+    def save(self, key: str, state_dict: dict) -> None:
+        """Store one decode state and atomically rewrite the sidecar."""
+        entry = dict(state_dict)
+        entry["crc"] = line_crc(entry)
+        self._entries[key] = entry
+        payload = json.dumps({"version": self.VERSION, "entries": self._entries})
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(payload, encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            raise CheckpointStorageError(str(self.path), str(exc)) from exc
+
+    def load(self, key: str) -> dict | None:
+        """Fetch one stored decode state dict (CRC already verified)."""
+        return self._entries.get(key)
+
+    def discard(self, key: str) -> None:
+        """Drop a consumed state so a finished decode is not replayed."""
+        if key in self._entries:
+            del self._entries[key]
+            payload = json.dumps({"version": self.VERSION, "entries": self._entries})
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            try:
+                tmp.write_text(payload, encoding="utf-8")
+                os.replace(tmp, self.path)
+            except OSError:
+                pass  # best effort — a stale entry is digest-guarded anyway

@@ -132,6 +132,43 @@ class SharedSegmentCorruptError(ReproError, RuntimeError):
         )
 
 
+class DecodeAbstainError(ReproError, RuntimeError):
+    """The belief-propagation decode stage declined to emit a key.
+
+    Raised (or, in the adaptive engine, *collected*) when message
+    passing over the key-expansion constraint graph fails to reach a
+    zero syndrome: the channel is beyond what the schedule's redundancy
+    can correct, so any key read off the posteriors would be a guess.
+    Abstaining with evidence — instead of returning the guess — is what
+    keeps the decoded stage's zero-spurious guarantee."""
+
+    def __init__(
+        self,
+        table_base: int,
+        iterations: int,
+        syndrome_weight: int,
+        posterior_entropy: float,
+    ) -> None:
+        self.table_base = table_base
+        self.iterations = iterations
+        self.syndrome_weight = syndrome_weight
+        self.posterior_entropy = posterior_entropy
+        super().__init__(
+            f"decode abstained at table base {table_base:#x}: "
+            f"{syndrome_weight} unsatisfied checks after {iterations} sweeps "
+            f"(posterior entropy {posterior_entropy:.2f} bits/byte)"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready evidence record for reports and diagnostics."""
+        return {
+            "table_base": self.table_base,
+            "iterations": self.iterations,
+            "syndrome_weight": self.syndrome_weight,
+            "posterior_entropy": self.posterior_entropy,
+        }
+
+
 class RegionQuarantineError(ReproError, RuntimeError):
     """Base of the structured diagnostics for dump regions the adaptive
     scan isolates instead of aborting on.  Instances are *collected*

@@ -223,3 +223,96 @@ class TestEngine:
         matches, stages_run = AdaptiveRecoveryEngine().keyfind(MemoryImage(bytes(data)))
         assert stages_run == ["strict"]
         assert any(m.master_key == master for m in matches)
+
+
+class TestDecodedRung:
+    """The belief-propagation rung and the ladder reshaping around it."""
+
+    def test_ladder_tops_out_with_the_decoded_stage(self):
+        from repro.attack.adaptive import decode_stage_for_rate
+
+        estimate = DecayEstimate(rate=0.02, source="prior", sample_bits=0)
+        stages = AdaptiveBudget(estimate, total_work=10).stages()
+        assert stages[-1].name == "decoded"
+        assert stages[-1] == decode_stage_for_rate(0.02)
+        assert stages[-1].schedule_decode
+
+    def test_classical_rungs_drop_past_the_ceiling(self):
+        """Past CLASSICAL_CEILING_RATE the calibrated/widened budgets
+        are hopeless (the v1 crossover was 0.020) and slow; the ladder
+        must jump straight from strict to decoded."""
+        from repro.attack.adaptive import CLASSICAL_CEILING_RATE
+
+        estimate = DecayEstimate(
+            rate=CLASSICAL_CEILING_RATE + 0.004, source="prior", sample_bits=0
+        )
+        names = [s.name for s in AdaptiveBudget(estimate, total_work=10).stages()]
+        assert names == ["strict", "decoded"]
+
+    def test_classical_rungs_survive_below_the_ceiling(self):
+        estimate = DecayEstimate(rate=0.015, source="prior", sample_bits=0)
+        names = [s.name for s in AdaptiveBudget(estimate, total_work=10).stages()]
+        assert names == ["strict", "calibrated", "widened", "decoded"]
+
+    def test_decoded_fits_the_default_budget_past_the_ceiling(self):
+        """strict(1) + decoded(4) = 5 ≤ the default total_work of 6 —
+        the decode escalation is reachable without any budget bump
+        exactly where it is the only remaining option."""
+        estimate = DecayEstimate(rate=0.04, source="prior", sample_bits=0)
+        names = [s.name for s in AdaptiveBudget(estimate).stages()]
+        assert names == ["strict", "decoded"]
+
+    def test_max_stage_caps_the_ladder(self):
+        estimate = DecayEstimate(rate=0.015, source="prior", sample_bits=0)
+        budget = AdaptiveBudget(estimate, total_work=10, max_stage="calibrated")
+        assert [s.name for s in budget.stages()] == ["strict", "calibrated"]
+        with pytest.raises(ValueError):
+            AdaptiveBudget(estimate, max_stage="turbo")
+
+    def test_engine_rejects_unknown_max_stage(self):
+        with pytest.raises(ValueError):
+            AdaptiveRecoveryEngine(max_stage="turbo")
+
+
+class TestConfidenceFloor:
+    def test_under_floor_recoveries_do_not_stop_escalation(self):
+        """A stage that returns only junk-grade recoveries (confidence
+        below STOP_CONFIDENCE_FLOOR) must not freeze the ladder — the
+        spurious-key failure mode the floor exists to stop."""
+        from repro.attack.adaptive import STOP_CONFIDENCE_FLOOR
+
+        # True keys in the measured envelope score >= ~0.05; the floor
+        # must sit well under them and well over junk's ~0.001.
+        assert 0.001 < STOP_CONFIDENCE_FLOOR <= 0.05
+
+
+class TestDecodedEngineEndToEnd:
+    def test_far_beyond_the_classical_crossover(self):
+        """At 4% BER — double the v1 crossover — every classical stage
+        recovers nothing; the decoded stage must return both masters
+        byte-exact with zero spurious keys."""
+        dump, master, _ = synthetic_dump(bit_error_rate=0.04, seed=5)
+        result = AdaptiveRecoveryEngine(key_bits=256, total_work=10).recover(dump)
+        truth = {master[:32], master[32:]}
+        assert set(result.masters) == truth
+        assert result.stages_run == ["strict", "decoded"]
+        assert result.decode is not None
+        assert result.decode["converged"] >= 2
+        assert all(r.confidence > 0.0 for r in result.recovered)
+
+    def test_hopeless_channel_abstains_not_wrong(self):
+        """Past the decode horizon the engine must return nothing at
+        all — never a plausible-looking wrong key."""
+        dump, _, _ = synthetic_dump(bit_error_rate=0.10, seed=5)
+        result = AdaptiveRecoveryEngine(key_bits=256, total_work=10).recover(dump)
+        assert result.masters == []
+        assert result.stages_run[-1] == "decoded"
+
+    def test_summary_carries_stage_seconds_and_decode(self):
+        import json
+
+        dump, _, _ = synthetic_dump(bit_error_rate=0.0, seed=5)
+        result = AdaptiveRecoveryEngine().recover(dump)
+        digest = json.loads(json.dumps(result.summary()))
+        assert set(digest["stage_seconds"]) == set(digest["stages_run"])
+        assert all(s >= 0.0 for s in digest["stage_seconds"].values())

@@ -80,3 +80,34 @@ class TestColdBootTransfer:
         cold_boot_transfer(victim, attacker)
         assert not victim.powered
         assert victim.modules[0] is None
+
+
+class TestTransferChannel:
+    """The bridge from physical transfer conditions to decode priors."""
+
+    def profile(self):
+        from repro.dram.retention import MODULE_PROFILES
+
+        return MODULE_PROFILES["DDR4_A"]
+
+    def test_expected_rate_is_half_the_vulnerable_flip_fraction(self):
+        from repro.attack.decode import RATE_CEIL, RATE_FLOOR
+
+        conditions = TransferConditions(transfer_seconds=10.0, temperature_c=20.0)
+        profile = self.profile()
+        rate = conditions.expected_bit_error_rate(profile)
+        flip = profile.decay.flip_fraction(10.0, 20.0)
+        assert RATE_FLOOR <= rate <= RATE_CEIL
+        assert rate == pytest.approx(min(RATE_CEIL, max(RATE_FLOOR, 0.5 * flip)))
+
+    def test_colder_transfers_cost_fewer_flips(self):
+        profile = self.profile()
+        warm = TransferConditions(transfer_seconds=10.0, temperature_c=30.0)
+        cold = TransferConditions(transfer_seconds=10.0, temperature_c=-40.0)
+        assert cold.expected_bit_error_rate(profile) < warm.expected_bit_error_rate(profile)
+
+    def test_channel_model_is_one_directional(self):
+        conditions = TransferConditions(transfer_seconds=5.0, temperature_c=20.0)
+        channel = conditions.channel_model(self.profile(), ground=b"\x00")
+        assert channel.rate_to_ground > channel.rate_from_ground
+        assert channel.ground == b"\x00"

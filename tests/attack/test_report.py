@@ -237,3 +237,74 @@ class TestSchemaMigration:
         assert loaded["timing"]["stages"]["mine_seconds"] == aged["timings"]["mine_seconds"]
         keys = {entry["master_key"] for entry in loaded["recovered_keys"]}
         assert master[:32].hex() in keys
+
+
+class TestV6DecodeMigration:
+    def v5_dict(self):
+        return {
+            "schema_version": 5,
+            "dump_bytes": 2048,
+            "timings": {"mine_seconds": 1.0, "search_seconds": 1.0,
+                        "scan_rate_mb_per_hour": 1.0},
+            "candidate_keys": {"count": 0, "top_frequencies": []},
+            "recovered_keys": [],
+            "robustness": {
+                "adaptive": {"stages_run": ["strict"]},
+                "quarantined_regions": [],
+                "min_confidence": 0.5,
+            },
+        }
+
+    def test_v5_gains_a_null_decode_block(self):
+        migrated = migrate_report_dict(self.v5_dict())
+        assert migrated["schema_version"] == REPORT_SCHEMA_VERSION
+        assert migrated["robustness"]["decode"] is None
+        # Pre-existing robustness content survives verbatim.
+        assert migrated["robustness"]["min_confidence"] == 0.5
+
+    def test_v6_round_trips_decode_telemetry(self, tmp_path):
+        from repro.attack.pipeline import AttackReport
+
+        report = AttackReport(
+            dump_bytes=4096,
+            adaptive={
+                "stages_run": ["strict", "decoded"],
+                "decode": {"tables": 9, "converged": 2, "abstained": 7,
+                           "iterations": 120, "interrupted": False},
+            },
+        )
+        path = tmp_path / "v6.json"
+        save_report_json(report, path)
+        loaded = load_report_json(path)
+        assert loaded["robustness"]["decode"]["converged"] == 2
+        assert migrate_report_dict(loaded) == loaded
+
+    def test_v1_chain_reaches_v6_with_decode_default(self):
+        v1 = {
+            "schema_version": 1,
+            "dump_bytes": 1,
+            "timings": {"mine_seconds": 0.0, "search_seconds": 0.0,
+                        "scan_rate_mb_per_hour": 0.0},
+            "candidate_keys": {"count": 0, "top_frequencies": []},
+            "recovered_keys": [],
+        }
+        migrated = migrate_report_dict(v1)
+        assert migrated["schema_version"] == REPORT_SCHEMA_VERSION
+        assert migrated["robustness"]["decode"] is None
+
+    def test_markdown_reports_decode_stage(self):
+        from repro.attack.pipeline import AttackReport
+
+        report = AttackReport(
+            adaptive={
+                "estimated_decay_rate": 0.04,
+                "decay_source": "litmus-mismatch",
+                "stages_run": ["strict", "decoded"],
+                "n_recovered": 1,
+                "decode": {"tables": 9, "converged": 2, "abstained": 7,
+                           "iterations": 120, "interrupted": True},
+            },
+        )
+        text = report_to_markdown(report)
+        assert "decoded stage: 2 converged / 7 abstained of 9 tables" in text
+        assert "interrupted by deadline" in text

@@ -172,3 +172,67 @@ class TestLineCrc:
         record = {"type": "shard", "offset": 7, "results": []}
         shuffled = {"results": [], "offset": 7, "type": "shard"}
         assert line_crc(record) == line_crc(shuffled)
+
+
+class TestDecodeStateStore:
+    def make_state_dict(self):
+        import numpy as np
+
+        from repro.attack.decode import DecodeState
+
+        return DecodeState(
+            iteration=4,
+            messages=np.random.default_rng(0).random((1, 3, 3, 256)),
+            digest="ctx",
+        ).to_dict()
+
+    def test_save_load_round_trip(self, tmp_path):
+        from repro.attack.decode import DecodeState
+        from repro.resilience.checkpoint import DecodeStateStore
+
+        store = DecodeStateStore(tmp_path / "scan.jsonl.decode")
+        original = self.make_state_dict()
+        store.save("0xaf0b:0", original)
+
+        reopened = DecodeStateStore(tmp_path / "scan.jsonl.decode")
+        loaded = reopened.load("0xaf0b:0")
+        assert loaded is not None
+        state = DecodeState.from_dict(loaded)
+        assert state is not None and state.iteration == 4
+        back = DecodeState.from_dict(original)
+        assert (state.messages == back.messages).all()
+
+    def test_corrupt_entry_is_dropped_on_load(self, tmp_path):
+        import json as jsonlib
+
+        from repro.resilience.checkpoint import DecodeStateStore
+
+        path = tmp_path / "scan.jsonl.decode"
+        store = DecodeStateStore(path)
+        store.save("a", self.make_state_dict())
+        store.save("b", self.make_state_dict())
+        blob = jsonlib.loads(path.read_text())
+        blob["entries"]["a"]["iteration"] = 99  # rot without a CRC update
+        path.write_text(jsonlib.dumps(blob))
+        reopened = DecodeStateStore(path)
+        assert reopened.load("a") is None
+        assert reopened.load("b") is not None
+
+    def test_unreadable_or_alien_file_starts_empty(self, tmp_path):
+        from repro.resilience.checkpoint import DecodeStateStore
+
+        path = tmp_path / "scan.jsonl.decode"
+        path.write_text("not json at all {")
+        assert DecodeStateStore(path).load("x") is None
+        path.write_text('{"version": 99, "entries": {}}')
+        assert DecodeStateStore(path).load("x") is None
+
+    def test_discard_removes_consumed_state(self, tmp_path):
+        from repro.resilience.checkpoint import DecodeStateStore
+
+        path = tmp_path / "scan.jsonl.decode"
+        store = DecodeStateStore(path)
+        store.save("done", self.make_state_dict())
+        store.discard("done")
+        assert store.load("done") is None
+        assert DecodeStateStore(path).load("done") is None

@@ -268,8 +268,10 @@ def test_deadline_expiry_writes_partial_report_and_resumes(tmp_path, dump_file):
     )
     assert rc == EXIT_DEADLINE_EXPIRED
 
+    from repro.attack.report import REPORT_SCHEMA_VERSION
+
     report = json.loads(report_path.read_text())
-    assert report["schema_version"] == 5
+    assert report["schema_version"] == REPORT_SCHEMA_VERSION
     timing = report["timing"]
     assert timing["deadline_seconds"] == 1.0
     assert timing["deadline_expired"] is True

@@ -300,3 +300,52 @@ def test_stall_error_is_structured():
     assert error.stalled_seconds == 12.5
     assert error.attempt == 2
     assert "0x4000" in str(error)
+
+
+def test_decode_heartbeats_keep_the_stall_clock_fed(monitor_parts):
+    """A belief-propagation decode beats the watchdog from inside its
+    sweep loop (decode_schedules' on_progress hook): advancing the
+    clock close to the stall budget between sweeps must never trip the
+    monitor, while the same schedule decoded with the hook disconnected
+    stalls — multi-minute decodes are workers, not hangs."""
+    import numpy as np
+
+    from repro.attack.decode import ChannelModel, decode_schedule
+    from repro.crypto.aes import expand_key
+
+    board, monitor, clock = monitor_parts
+    monitor.track(0x100)
+    board.beat(0)  # arm
+    monitor.scan_once()
+
+    rng = np.random.default_rng(8)
+    master = bytes(rng.integers(0, 256, 32, np.uint8))
+    bits = np.unpackbits(np.frombuffer(expand_key(master), dtype=np.uint8))
+    bits ^= rng.random(bits.size) < 0.06
+    observed = np.packbits(bits)
+
+    def beat_and_tick():
+        board.beat(0)
+        monitor.scan_once()
+        clock.advance(4.0)  # each sweep "takes" most of the 5 s budget
+
+    result = decode_schedule(
+        observed,
+        256,
+        ChannelModel.symmetric(0.06),
+        on_progress=beat_and_tick,
+        beat_every=1,
+    )
+    assert not result.abstained()
+    monitor.scan_once()
+    assert monitor.take_stalled() == []
+
+    # Same decode, hook disconnected: the armed counter goes silent for
+    # the whole run and the monitor must flag the stall.
+    monitor.track(0x100)
+    board.beat(0)
+    monitor.scan_once()
+    decode_schedule(observed, 256, ChannelModel.symmetric(0.06))
+    clock.advance(6.0)
+    monitor.scan_once()
+    assert [offset for offset, _ in monitor.take_stalled()] == [0x100]

@@ -344,3 +344,131 @@ def test_committed_chaos_record_validates():
     assert acceptance["deadline_exercised"] is True
     assert acceptance["degradation_exercised"] is True
     assert acceptance["all_byte_identical"] is True
+
+
+# --------------------------------------------------- robust-decay/v2 schema
+
+
+def _robust_point(rate, seed_exact=0, exact=2, spurious=0, recovered=2,
+                  confidence=0.5):
+    return {
+        "bit_error_rate": rate,
+        "seed_exact_keys": seed_exact,
+        "seed_keys_recovered": seed_exact,
+        "adaptive_exact_keys": exact,
+        "adaptive_spurious_keys": spurious,
+        "adaptive_keys_recovered": recovered,
+        "max_confidence": confidence,
+        "confidences": [confidence] * recovered,
+        "stages_run": ["strict", "decoded"],
+        "work_spent": 5,
+        "estimated_decay_rate": rate,
+        "decay_source": "litmus-mismatch",
+        "seed_seconds": 1.0,
+        "adaptive_seconds": 2.0,
+        "stage_seconds": {"strict": 1.0, "decoded": 1.0},
+        "decode_tables": 4,
+        "decode_iterations": 40,
+        "decode_converged": 2,
+        "decode_abstained": 2,
+        "quarantined_regions": 0,
+        "diagnostics": [],
+    }
+
+
+def _valid_robust_record():
+    from benchmarks.robustness import ROBUST_SCHEMA, _acceptance
+
+    points = [
+        _robust_point(0.002, seed_exact=2, confidence=0.8),
+        _robust_point(0.040, confidence=0.2),
+        _robust_point(0.080, exact=0, recovered=0, confidence=0.0),
+    ]
+    return {
+        "schema": ROBUST_SCHEMA,
+        "seed": 5,
+        "total_work": 10,
+        "points": points,
+        "acceptance": _acceptance(points),
+    }
+
+
+def test_valid_robust_record_passes():
+    from benchmarks.robustness import validate_robust_record
+
+    assert validate_robust_record(_valid_robust_record()) == []
+
+
+def test_robust_wrong_schema_tag_rejected():
+    from benchmarks.robustness import validate_robust_record
+
+    record = _valid_robust_record()
+    record["schema"] = "robust-decay/v1"
+    assert any("schema" in e for e in validate_robust_record(record))
+
+
+def test_robust_missing_point_field_rejected():
+    from benchmarks.robustness import validate_robust_record
+
+    record = _valid_robust_record()
+    del record["points"][0]["decode_tables"]
+    assert any("decode_tables" in e for e in validate_robust_record(record))
+
+
+def test_robust_acceptance_requires_decode_bar():
+    from benchmarks.robustness import validate_robust_record
+
+    record = _valid_robust_record()
+    del record["acceptance"]["exact_at_twice_classical_crossover"]
+    assert any(
+        "exact_at_twice_classical_crossover" in e
+        for e in validate_robust_record(record)
+    )
+
+
+def test_robust_acceptance_semantics():
+    from benchmarks.robustness import _acceptance
+
+    accepted = _acceptance(_valid_robust_record()["points"])
+    assert accepted["exact_at_twice_classical_crossover"] is True
+    assert accepted["max_full_exact_rate"] == 0.040
+    assert accepted["abstains_not_wrong"] is True
+    # A point that recovers keys but none exact is a wrong answer, not
+    # an abstain — the bar the decode stage must never cross.
+    spurious = [_robust_point(0.06, exact=0, spurious=1, recovered=1)]
+    assert _acceptance(spurious)["abstains_not_wrong"] is False
+    assert _acceptance(spurious)["all_keys_byte_exact"] is False
+
+
+def test_robust_baseline_gate_catches_regressions():
+    from benchmarks.robustness import compare_to_baseline
+
+    baseline = _valid_robust_record()
+    fresh = _valid_robust_record()
+    assert compare_to_baseline(fresh, baseline) == []
+    # Losing an exact key at a shared rate is a regression...
+    fresh["points"][1]["adaptive_exact_keys"] = 1
+    assert any("exact keys fell" in p for p in compare_to_baseline(fresh, baseline))
+    # ...and a new spurious key is one even when exactness holds.
+    fresh["points"][1]["adaptive_exact_keys"] = 2
+    fresh["points"][1]["adaptive_spurious_keys"] = 1
+    assert any("spurious" in p for p in compare_to_baseline(fresh, baseline))
+    # Grids may grow: rates only one record has are ignored.
+    fresh = _valid_robust_record()
+    fresh["points"].append(_robust_point(0.123, exact=0, recovered=0))
+    assert compare_to_baseline(fresh, baseline) == []
+
+
+def test_committed_robust_record_validates():
+    """The checked-in ROBUST_decay.json must satisfy its own schema and
+    certify the decoded-stage acceptance bar."""
+    from benchmarks.robustness import validate_robust_record
+
+    path = Path(__file__).resolve().parent.parent / "ROBUST_decay.json"
+    record = json.loads(path.read_text())
+    assert validate_robust_record(record) == []
+    acceptance = record["acceptance"]
+    assert acceptance["adaptive_beats_seed"] is True
+    assert acceptance["all_keys_byte_exact"] is True
+    assert acceptance["exact_at_twice_classical_crossover"] is True
+    assert acceptance["abstains_not_wrong"] is True

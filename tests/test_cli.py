@@ -148,3 +148,37 @@ class TestResilientAttackCli:
         second = capsys.readouterr().out
         assert "resumed: 4/4" in second
         assert master.hex() in second
+
+
+class TestDecodedStageCli:
+    def test_parser_accepts_decode_flags(self):
+        args = build_parser().parse_args(
+            ["attack", "dump.bin", "--adaptive", "--max-stage", "decoded",
+             "--decode-iters", "96", "--checkpoint", "scan.jsonl"]
+        )
+        assert args.adaptive
+        assert args.max_stage == "decoded"
+        assert args.decode_iters == 96
+        assert args.checkpoint == "scan.jsonl"
+
+    def test_parser_rejects_unknown_stage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["attack", "dump.bin", "--adaptive", "--max-stage", "turbo"]
+            )
+
+    def test_adaptive_still_refuses_sharding_flags(self, tmp_path, capsys):
+        dump = tmp_path / "dump.bin"
+        dump.write_bytes(bytes(4 * 64))
+        assert main(["attack", str(dump), "--adaptive", "--workers", "4"]) == 2
+        assert "--adaptive runs monolithically" in capsys.readouterr().err
+
+    def test_adaptive_accepts_a_checkpoint_sidecar(self, scrambled_dump_file,
+                                                   capsys, tmp_path):
+        """--checkpoint with --adaptive is the decode-state sidecar, not
+        an error (the --resume path for deadline-interrupted decodes)."""
+        dump_path, master = scrambled_dump_file
+        journal = str(tmp_path / "scan.jsonl")
+        assert main(["attack", dump_path, "--adaptive",
+                     "--checkpoint", journal]) == 0
+        assert master.hex() in capsys.readouterr().out
