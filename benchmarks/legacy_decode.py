@@ -1,0 +1,208 @@
+"""The dense belief-propagation decoder, frozen in time.
+
+:func:`legacy_decode_schedules` restores the decode hot path exactly as
+it shipped before the residual-scheduled rewrite: one dense sweep over
+*every* check of *every* table per iteration, per-level copying
+Walsh–Hadamard butterflies, float64 messages, full posterior recompute
+each sweep, and batch-total (not per-table) stagnation tracking — the
+code that spent 69.9 s in the decoded rung at BER 0.024.
+
+Keeping the old code importable (rather than checking out an old
+commit) lets ``benchmarks/decode_harness.py`` measure the speedup *and*
+assert identical recovered tables and identical abstain decisions in a
+single process, on identical inputs.  Only the structural pieces whose
+semantics are pinned by their own tests (the constraint graph, the
+channel priors) are imported from the live module.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.attack.decode import (
+    ChannelModel,
+    DecodeResult,
+    DecodeState,
+    build_constraint_graph,
+    context_digest,
+)
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceededError
+
+_LEGACY_VALUE_BITS = np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1)
+
+
+def _legacy_byte_priors(
+    observed: np.ndarray,
+    channel: ChannelModel,
+    known: np.ndarray | None = None,
+) -> np.ndarray:
+    """The seed prior computation: full broadcast, no lookup table.
+
+    Produces bit-identical values to the live :func:`byte_priors` (the
+    rewrite only tabulates this exact expression), but pays the
+    ``(batch, n_bytes, 256, 8)`` float64 broadcast the seed paid.
+    """
+    observed = np.asarray(observed, dtype=np.uint8)
+    n_bytes = observed.shape[-1]
+    obs_bits = np.unpackbits(observed, axis=-1).reshape(*observed.shape, 8)
+    p_at, p_off = channel.flip_probabilities(n_bytes)
+    at_ground = obs_bits == channel.ground_bits(n_bytes)
+    p_flip = np.where(at_ground, p_at, p_off)
+    match = _LEGACY_VALUE_BITS[(None,) * observed.ndim] == obs_bits[..., None, :]
+    prior_log = np.where(
+        match, np.log1p(-p_flip)[..., None, :], np.log(p_flip)[..., None, :]
+    ).sum(axis=-1)
+    if known is not None:
+        prior_log = np.where(np.asarray(known, dtype=bool)[..., None], prior_log, 0.0)
+    return prior_log
+
+
+def _legacy_wht(values: np.ndarray) -> np.ndarray:
+    """The seed Walsh–Hadamard transform: float64, copies per level."""
+    shape = values.shape
+    out = np.ascontiguousarray(values, dtype=np.float64).reshape(-1, 256).copy()
+    half = 1
+    while half < 256:
+        out = out.reshape(-1, 256 // (2 * half), 2, half)
+        low = out[:, :, 0, :].copy()
+        high = out[:, :, 1, :].copy()
+        out[:, :, 0, :] = low + high
+        out[:, :, 1, :] = low - high
+        out = out.reshape(-1, 256)
+        half *= 2
+    return out.reshape(shape)
+
+
+def legacy_decode_schedules(
+    observed: np.ndarray,
+    key_bits: int,
+    channel: ChannelModel,
+    known: np.ndarray | None = None,
+    max_iters: int = 72,
+    damping: float = 0.2,
+    on_progress=None,
+    deadline: "Deadline | float | None" = None,
+    state: DecodeState | None = None,
+    beat_every: int = 4,
+    stall_sweeps: int = 8,
+) -> DecodeResult:
+    """Dense sum-product decode, verbatim from the pre-rewrite module."""
+    graph = build_constraint_graph(key_bits)
+    observed = np.asarray(observed, dtype=np.uint8)
+    squeeze = observed.ndim == 1
+    if squeeze:
+        observed = observed[None, :]
+        if known is not None:
+            known = np.asarray(known, dtype=bool)[None, :]
+    if observed.shape[-1] != graph.n_vars:
+        raise ValueError(
+            f"expected {graph.n_vars}-byte tables for AES-{key_bits}, "
+            f"got {observed.shape[-1]}"
+        )
+    if not 0.0 <= damping < 1.0:
+        raise ValueError("damping must lie in [0, 1)")
+    deadline = Deadline.coerce(deadline)
+    batch = observed.shape[0]
+    digest = context_digest(observed, known, channel, key_bits, damping)
+
+    prior_log = _legacy_byte_priors(observed, channel, known)  # (B, V, 256)
+    n_checks, n_edges = graph.n_checks, graph.n_edges
+    if (
+        state is not None
+        and state.digest == digest
+        and state.messages.shape == (batch, n_checks, 3, 256)
+    ):
+        cv = state.messages.astype(np.float64, copy=True)
+        start_iteration = int(state.iteration)
+    else:
+        cv = np.full((batch, n_checks, 3, 256), 1.0 / 256.0, dtype=np.float64)
+        start_iteration = 0
+    cv_log = np.log(cv)
+
+    rows = np.arange(n_checks)
+    hard = observed.copy()
+    iterations = start_iteration
+    converged = np.zeros(batch, dtype=bool)
+    syndrome_weight = np.full(batch, n_checks, dtype=np.int64)
+
+    def syndrome_of(tables: np.ndarray) -> np.ndarray:
+        t = tables[:, graph.t_idx]
+        s = tables[:, graph.s_idx]
+        p = tables[:, graph.p_idx]
+        residue = t ^ s ^ graph.fwd_lut[rows[None, :], p]
+        return (residue != 0).sum(axis=1)
+
+    def posteriors() -> np.ndarray:
+        padded = np.concatenate(
+            [cv_log.reshape(batch, n_edges, 256), np.zeros((batch, 1, 256))], axis=1
+        )
+        return prior_log + padded[:, graph.var_in_edges, :].sum(axis=2)
+
+    posterior_log = posteriors()
+    best_total_syndrome = math.inf
+    stagnant_sweeps = 0
+    for iteration in range(start_iteration, max_iters):
+        hard = posterior_log.argmax(axis=2).astype(np.uint8)
+        syndrome_weight = syndrome_of(hard)
+        converged = syndrome_weight == 0
+        if converged.all():
+            break
+        total = int(syndrome_weight.sum())
+        if total < best_total_syndrome:
+            best_total_syndrome = total
+            stagnant_sweeps = 0
+        else:
+            stagnant_sweeps += 1
+            if stall_sweeps and stagnant_sweeps >= stall_sweeps:
+                break
+        if deadline is not None and deadline.expired:
+            error = DeadlineExceededError(
+                deadline.total_seconds, context=f"schedule decode sweep {iteration}"
+            )
+            error.decode_state = DecodeState(  # type: ignore[attr-defined]
+                iteration=iteration, messages=cv.copy(), digest=digest
+            )
+            raise error
+        if on_progress is not None and iteration % max(1, beat_every) == 0:
+            on_progress()
+        # Variable→check messages: posterior with own edge divided out.
+        vc_log = posterior_log[:, graph.edge_var, :].reshape(
+            batch, n_checks, 3, 256
+        ) - cv_log
+        vc_log -= vc_log.max(axis=-1, keepdims=True)
+        vc = np.exp(vc_log)
+        vc /= vc.sum(axis=-1, keepdims=True)
+        # Prev operand enters the XOR in its transformed domain.
+        vc_p = np.take_along_axis(vc[:, :, 2, :], graph.inv_lut[None, :, :], axis=2)
+        w_t = _legacy_wht(vc[:, :, 0, :])
+        w_s = _legacy_wht(vc[:, :, 1, :])
+        w_p = _legacy_wht(vc_p)
+        # XOR convolution: pointwise product in the WHT domain.
+        to_t = _legacy_wht(w_s * w_p)
+        to_s = _legacy_wht(w_t * w_p)
+        to_p_check = _legacy_wht(w_t * w_s)
+        to_p = np.take_along_axis(to_p_check, graph.fwd_lut[None, :, :], axis=2)
+        fresh = np.stack([to_t, to_s, to_p], axis=2)
+        np.clip(fresh, 1e-300, None, out=fresh)
+        fresh /= fresh.sum(axis=-1, keepdims=True)
+        cv = damping * cv + (1.0 - damping) * fresh
+        cv /= cv.sum(axis=-1, keepdims=True)
+        cv_log = np.log(cv)
+        posterior_log = posteriors()
+        iterations = iteration + 1
+
+    shifted = posterior_log - posterior_log.max(axis=-1, keepdims=True)
+    posterior = np.exp(shifted)
+    posterior /= posterior.sum(axis=-1, keepdims=True)
+    entropy = -(posterior * np.log2(np.clip(posterior, 1e-300, None))).sum(axis=-1)
+    return DecodeResult(
+        tables=hard,
+        converged=converged,
+        iterations=iterations,
+        syndrome_weight=syndrome_weight.astype(np.int64),
+        posterior_entropy=entropy.mean(axis=-1),
+        certainty=posterior.max(axis=-1).mean(axis=-1),
+    )

@@ -93,6 +93,18 @@ STOP_CONFIDENCE_FLOOR = 0.01
 #: instead of burning it on ballots that cannot.
 CLASSICAL_CEILING_RATE = 0.028
 
+#: Past this estimated rate the decoded rung runs *before* widened.
+#: Between here and :data:`CLASSICAL_CEILING_RATE` both rungs can in
+#: principle recover — but the decoder converges in seconds where the
+#: widened stage's junk ballots take tens of seconds, so the ladder
+#: tries belief propagation first and only falls back to the widened
+#: budgets when the decoder abstains.  At or below this rate the
+#: classical stages are cheap and near-certain, and decoded stays the
+#: ladder's top rung.  The threshold sits at the v1 classical
+#: crossover: exactly where a true window's verify margin starts
+#: sinking toward the junk floor.
+DECODE_FIRST_RATE = 0.020
+
 
 # --------------------------------------------------------------------------
 # Decay estimation
@@ -466,7 +478,16 @@ class AdaptiveBudget:
             widened = stage_for_rate("widened", max(1.5 * rate, rate + 0.004), cost=3)
             if widened != ladder[-1]:
                 ladder.append(widened)
-        ladder.append(decode_stage_for_rate(rate))
+        decoded = decode_stage_for_rate(rate)
+        if rate > DECODE_FIRST_RATE and ladder and ladder[-1].name == "widened":
+            # Decode-first band: belief propagation converges in
+            # seconds where the widened ballots take tens of seconds,
+            # so decoded slots in ahead of widened; the engine stops at
+            # the first stage that recovers, making widened the
+            # fallback for decoder abstains rather than the default.
+            ladder.insert(len(ladder) - 1, decoded)
+        else:
+            ladder.append(decoded)
         if self.max_stage is not None:
             keep_through = STAGE_ORDER.index(self.max_stage)
             ladder = [
@@ -476,15 +497,19 @@ class AdaptiveBudget:
         kept: list[BudgetStage] = []
         spent = 0
         for stage in ladder:
+            # Skip (rather than stop at) a rung that does not fit: with
+            # decoded ordered ahead of widened the ladder's costs are no
+            # longer monotonic, so a later, cheaper rung may still fit
+            # the remaining work or wall-clock budget.
             if kept and spent + stage.cost > self.total_work:
-                break
+                continue
             if (
                 kept
                 and remaining_s is not None
                 and seconds_per_cost is not None
                 and (spent + stage.cost) * seconds_per_cost > remaining_s
             ):
-                break
+                continue
             kept.append(stage)
             spent += stage.cost
         return kept
@@ -704,6 +729,7 @@ class AdaptiveRecoveryEngine:
         scan_limit_bytes: int | None = DEFAULT_SCAN_LIMIT_BYTES,
         max_stage: str | None = None,
         decode_iters: int = DEFAULT_DECODE_ITERS,
+        decode_workers: int = 1,
         decode_state_store=None,
     ) -> None:
         if not 0.0 <= prior_rate < 0.5:
@@ -714,6 +740,8 @@ class AdaptiveRecoveryEngine:
             raise ValueError(f"max_stage must be one of {STAGE_ORDER}, got {max_stage!r}")
         if decode_iters < 1:
             raise ValueError("decode_iters must be at least 1")
+        if decode_workers < 1:
+            raise ValueError("decode_workers must be at least 1")
         self.key_bits = key_bits
         self.total_work = total_work
         self.prior_rate = prior_rate
@@ -723,6 +751,8 @@ class AdaptiveRecoveryEngine:
         #: Ceiling on the escalation ladder (see :data:`STAGE_ORDER`).
         self.max_stage = max_stage
         self.decode_iters = decode_iters
+        #: Thread shards for the decoded rung's batched combo decodes.
+        self.decode_workers = int(decode_workers)
         #: Optional :class:`~repro.resilience.checkpoint.DecodeStateStore`
         #: for resumable mid-decode checkpoints.
         self.decode_state_store = decode_state_store
@@ -819,11 +849,13 @@ class AdaptiveRecoveryEngine:
             f"decay rate {estimate.rate:.4f} from {estimate.source}; "
             f"ladder: {', '.join(stage.name for stage in stages)}"
         )
-        widest = stages[-1]
         # Triage compares each region's litmus passers against the pool
         # the *widest* stage would mine — a strict pool misses the keys
         # only visible at escalated tolerances and would flag healthy
-        # regions of a heavily decayed dump as alien.
+        # regions of a heavily decayed dump as alien.  (Max by budget,
+        # not last in the ladder: in the decode-first band the decoded
+        # rung runs before widened but still mines the widest.)
+        widest = max(stages, key=lambda stage: stage.litmus_tolerance_bits)
         triage_pool = strict_candidates
         if widest.litmus_tolerance_bits > STRICT_STAGE.litmus_tolerance_bits:
             triage_pool = mine_scrambler_keys(
@@ -862,6 +894,8 @@ class AdaptiveRecoveryEngine:
             "iterations": 0,
             "converged": 0,
             "abstained": 0,
+            "checks_updated": 0,
+            "checks_dense": 0,
             "posterior_entropy_sum": 0.0,
             "interrupted": False,
         }
@@ -869,7 +903,14 @@ class AdaptiveRecoveryEngine:
         stage_seconds: dict[str, float] = {}
 
         def fold_decode(search: AesKeySearch) -> None:
-            for key_name in ("tables", "iterations", "converged", "abstained"):
+            for key_name in (
+                "tables",
+                "iterations",
+                "converged",
+                "abstained",
+                "checks_updated",
+                "checks_dense",
+            ):
                 decode_totals[key_name] += search.decode_stats[key_name]
             decode_totals["posterior_entropy_sum"] += search.decode_stats[
                 "posterior_entropy_sum"
@@ -879,8 +920,12 @@ class AdaptiveRecoveryEngine:
         escalation_start = time.monotonic()
         for stage in stages:
             if stages_run and spent + stage.cost > self.total_work:
-                diagnostics.append(f"work budget exhausted before stage {stage.name!r}")
-                break
+                # Skip, don't stop: in the decode-first band a cheaper
+                # rung (widened) follows the expensive decoded rung.
+                diagnostics.append(
+                    f"stage {stage.name!r} skipped: work budget exhausted"
+                )
+                continue
             if deadline is not None and deadline.expired:
                 diagnostics.append(
                     f"deadline expired before stage {stage.name!r}; stopping escalation"
@@ -897,7 +942,7 @@ class AdaptiveRecoveryEngine:
                         f"stage {stage.name!r} skipped: ~{estimated:.1f}s estimated, "
                         f"{deadline.remaining():.1f}s of deadline remain"
                     )
-                    break
+                    continue
             spent += stage.cost
             stages_run.append(stage.name)
             stage_start = time.monotonic()
@@ -935,6 +980,7 @@ class AdaptiveRecoveryEngine:
                     decay_rate=effective_rate,
                     schedule_decode=stage.schedule_decode,
                     decode_iters=self.decode_iters,
+                    decode_workers=self.decode_workers,
                     decode_state_store=self.decode_state_store,
                     deadline=deadline,
                 )
@@ -988,6 +1034,9 @@ class AdaptiveRecoveryEngine:
                 "iterations": decode_totals["iterations"],
                 "converged": decode_totals["converged"],
                 "abstained": decode_totals["abstained"],
+                "checks_updated": decode_totals["checks_updated"],
+                "checks_dense": decode_totals["checks_dense"],
+                "workers": self.decode_workers,
                 "mean_posterior_entropy": (
                     decode_totals["posterior_entropy_sum"] / tables if tables else 0.0
                 ),

@@ -59,6 +59,7 @@ from repro.attack.decode import (
     decode_schedule,
     schedule_plausibility,
 )
+from repro.attack.decode_shard import decode_schedules_sharded
 from repro.crypto.aes import (
     INV_SBOX,
     SBOX,
@@ -897,6 +898,7 @@ class AesKeySearch:
         schedule_decode: bool = False,
         decode_iters: int = DEFAULT_DECODE_ITERS,
         decode_damping: float = DEFAULT_DAMPING,
+        decode_workers: int = 1,
         decode_state_store=None,
         deadline: Deadline | float | None = None,
     ) -> None:
@@ -967,6 +969,12 @@ class AesKeySearch:
             raise ValueError("decode_damping must lie in [0, 1)")
         self.decode_iters = int(decode_iters)
         self.decode_damping = float(decode_damping)
+        if decode_workers < 1:
+            raise ValueError("decode_workers must be at least 1")
+        #: Thread shards for batched combo decodes: candidate tables
+        #: are split across the resilient thread pool (the WHT kernels
+        #: release the GIL), byte-identically to an unsharded decode.
+        self.decode_workers = int(decode_workers)
         #: Optional :class:`~repro.resilience.checkpoint.DecodeStateStore`
         #: holding partial decode posteriors across a deadline, keyed by
         #: table base; with it a ``--resume`` warm-starts mid-decode and
@@ -983,6 +991,11 @@ class AesKeySearch:
             "abstained": 0,
             "gated": 0,
             "posterior_entropy_sum": 0.0,
+            # Residual-schedule savings: check-message updates actually
+            # computed vs what dense sweeps over the same live tables
+            # would have computed.
+            "checks_updated": 0,
+            "checks_dense": 0,
         }
         #: Structured :class:`DecodeAbstainError` evidence, one entry
         #: per table the decoder declined to emit a key for.
@@ -1149,14 +1162,50 @@ class AesKeySearch:
         """
         if len(pairs) == 0:
             return []
+        pair_array = np.asarray(pairs, dtype=np.int64)
+        offsets = np.full(pair_array.shape[0], offset, dtype=np.int64)
+        return self._verify_pairs_at(blocks, pair_array, offsets, phase, tolerance_bits)
+
+    def _verify_pairs_at(
+        self,
+        blocks: np.ndarray,
+        pair_array: np.ndarray,
+        offsets: np.ndarray,
+        phase: int,
+        tolerance_bits: int | None = None,
+    ) -> list[ScheduleHit]:
+        """:meth:`_verify_pairs` over a stacked multi-offset pair batch.
+
+        ``offsets[i]`` is pair ``i``'s scan offset.  The expansion
+        prediction and Rcon algebra depend only on the phase, never the
+        offset, so the fused scan stacks every surviving pair of a
+        chunk into one call: one gather, one
+        :func:`batch_next_round_key`, and one ``np.bitwise_count`` over
+        the whole XOR matrix, instead of a small per-offset batch per
+        probe — the fixed per-call cost was most of the verify stage's
+        wall time once the join got cheap.
+        """
+        if pair_array.shape[0] == 0:
+            return []
         tolerance = self.verify_tolerance_bits if tolerance_bits is None else tolerance_bits
         variant = self.variant
         nk = variant.nk
-        pair_array = np.asarray(pairs, dtype=np.int64)
-        data = (
-            blocks[pair_array[:, 0], offset : offset + variant.span_bytes]
-            ^ self.keys[pair_array[:, 1], offset : offset + variant.span_bytes]
-        )
+        span = variant.span_bytes
+        if (offsets == offsets[0]).all():
+            # Single-offset batches (the per-offset path) keep the
+            # contiguous slice; the gather below would pay fancy-index
+            # cost for nothing.
+            lo = int(offsets[0])
+            data = (
+                blocks[pair_array[:, 0], lo : lo + span]
+                ^ self.keys[pair_array[:, 1], lo : lo + span]
+            )
+        else:
+            cols = offsets[:, None] + np.arange(span, dtype=np.int64)[None, :]
+            data = (
+                blocks[pair_array[:, 0][:, None], cols]
+                ^ self.keys[pair_array[:, 1][:, None], cols]
+            )
         window = data[:, : variant.window_bytes]
         check = data[:, variant.window_bytes :]
         # Every passing round is kept: odd-round expansion steps are
@@ -1191,7 +1240,7 @@ class AesKeySearch:
                     ScheduleHit(
                         block_index=int(pair_array[row, 0]),
                         key_index=int(pair_array[row, 1]),
-                        offset=offset,
+                        offset=int(offsets[row]),
                         round_index=round_index,
                         mismatch_bits=int(mismatch[row]),
                         key_bits=variant.key_bits,
@@ -1289,6 +1338,11 @@ class AesKeySearch:
                 stage["join"] += time.perf_counter() - tick
                 ts = [(a - 4 * nk) // 4 for a, _, _ in relations]
                 probe_memo: dict[int, np.ndarray] = {}
+                # Pairs surviving the prefilter accumulate across the
+                # chunk's offsets; the S-box verification then runs
+                # once per phase over the stacked batch instead of once
+                # per (offset, phase) sliver.
+                surviving: list[tuple[int, np.ndarray]] = []
                 for offset in self.offsets:
                     tick = time.perf_counter()
                     pairs = self._probe_chunk(
@@ -1301,10 +1355,27 @@ class AesKeySearch:
                             chunk, streams, pairs, offset, group_phases, ts
                         )
                         pairs[:, 0] += start
-                    for phase in group_phases:
                         if pairs.shape[0]:
-                            hits.extend(self._verify_pairs(blocks, pairs, offset, phase))
+                            surviving.append((offset, pairs))
                     stage["verify"] += time.perf_counter() - tock
+                if surviving:
+                    tick = time.perf_counter()
+                    pair_array = np.concatenate(
+                        [p for _, p in surviving], axis=0
+                    ).astype(np.int64, copy=False)
+                    pair_offsets = np.concatenate(
+                        [
+                            np.full(p.shape[0], off, dtype=np.int64)
+                            for off, p in surviving
+                        ]
+                    )
+                    for phase in group_phases:
+                        hits.extend(
+                            self._verify_pairs_at(
+                                blocks, pair_array, pair_offsets, phase
+                            )
+                        )
+                    stage["verify"] += time.perf_counter() - tick
             if self.on_progress is not None:
                 self.on_progress()
         return hits
@@ -1800,6 +1871,8 @@ class AesKeySearch:
         stats["tables"] += 1
         stats["iterations"] += result.iterations
         stats["posterior_entropy_sum"] += float(result.posterior_entropy[0])
+        stats["checks_updated"] += result.checks_updated
+        stats["checks_dense"] += result.checks_dense
         if result.abstained():
             stats["abstained"] += 1
             # List-decode combo attempts pass evidence=False so a junk
@@ -1815,6 +1888,72 @@ class AesKeySearch:
                 )
         else:
             stats["converged"] += 1
+        return result
+
+    def _decode_batch(
+        self,
+        tables: np.ndarray,
+        knowns: np.ndarray,
+        base: int,
+        state_key: str,
+        rate_hint: float,
+    ) -> DecodeResult:
+        """One batched (optionally sharded) decode over combo tables.
+
+        The list-decode trials of :meth:`_decode_group` share a channel
+        and differ only in their observed bytes, so all of them run as
+        one ``decode_schedules`` batch — per-table freeze masks mean
+        the batch costs what its slowest live table costs, not the sum
+        of every combo, and ``decode_workers > 1`` splits the tables
+        across the resilient thread pool on top.  Checkpoint state is
+        keyed per *group* (``{base:#x}:combos``) and covers the whole
+        batch, so a deadline hit mid-group resumes every combo's
+        messages, not just the one in flight.
+        """
+        key_bits = self.variant.key_bits
+        if self.decay_rate is not None:
+            rate = 2.0 * self.decay_rate * (1.0 - self.decay_rate)
+        else:
+            rate = rate_hint
+        channel = ChannelModel.symmetric(clamp_rate(rate))
+        state = None
+        if self.decode_state_store is not None:
+            payload = self.decode_state_store.load(state_key)
+            if payload is not None:
+                state = DecodeState.from_dict(payload)
+        try:
+            result = decode_schedules_sharded(
+                tables,
+                key_bits,
+                channel,
+                known=knowns,
+                max_iters=self.decode_iters,
+                damping=self.decode_damping,
+                on_progress=self.on_progress,
+                deadline=self.deadline,
+                state=state,
+                workers=self.decode_workers,
+            )
+        except DeadlineExceededError as error:
+            partial = getattr(error, "decode_state", None)
+            if partial is not None and self.decode_state_store is not None:
+                self.decode_state_store.save(state_key, partial.to_dict())
+            raise
+        if self.decode_state_store is not None:
+            self.decode_state_store.discard(state_key)
+        stats = self.decode_stats
+        batch = int(tables.shape[0])
+        converged = int(result.converged.sum())
+        stats["tables"] += batch
+        if result.table_iterations is not None:
+            stats["iterations"] += int(result.table_iterations.sum())
+        else:
+            stats["iterations"] += result.iterations * batch
+        stats["posterior_entropy_sum"] += float(result.posterior_entropy.sum())
+        stats["converged"] += converged
+        stats["abstained"] += batch - converged
+        stats["checks_updated"] += result.checks_updated
+        stats["checks_dense"] += result.checks_dense
         return result
 
     def _span_table_from_hits(
@@ -1952,8 +2091,14 @@ class AesKeySearch:
         # somewhat above best_mismatch/700; the decoder only needs the
         # right order of magnitude.
         rate_hint = 1.3 * min(h.mismatch_bits for h in group) / 700.0
-        best: tuple[int, DecodeResult, np.ndarray, np.ndarray] | None = None
-        for idx, (_adopted, _total, choice) in enumerate(combos):
+        # Assemble every plausible combo table up front: the trials
+        # share one channel, so they decode as a single batched
+        # (optionally thread-sharded) call instead of one kernel launch
+        # per combo — the per-table freeze masks mean converged and
+        # stalled combos drop out of the batch as they settle.
+        combo_tables: list[np.ndarray] = []
+        combo_knowns: list[np.ndarray] = []
+        for _adopted, _total, choice in combos:
             table, known = span_table.copy(), span_known.copy()
             any_slice = False
             for (lo, hi, slices, _scores), c in zip(candidates, choice):
@@ -1964,19 +2109,40 @@ class AesKeySearch:
                 any_slice = True
             if not any_slice and not span_plausible:
                 continue
-            result = self._decode_table(
-                table, known, base, f"{base:#x}:{idx}", rate_hint, evidence=False
+            if (
+                schedule_plausibility(table, known, variant.key_bits)
+                < _DECODE_MIN_CLEAN_CHECKS
+            ):
+                self.decode_stats["gated"] += 1
+                continue
+            combo_tables.append(table)
+            combo_knowns.append(known)
+        best: tuple[int, DecodeResult, np.ndarray, np.ndarray] | None = None
+        if combo_tables:
+            batched = self._decode_batch(
+                np.stack(combo_tables),
+                np.stack(combo_knowns),
+                base,
+                f"{base:#x}:combos",
+                rate_hint,
             )
-            if result is None:
-                continue
-            if not result.abstained():
-                key = self._decoded_key(result, blocks, base, group)
-                if key is not None:
-                    return key, False
-                continue
-            syndrome = int(result.syndrome_weight[0])
-            if best is None or syndrome < best[0]:
-                best = (syndrome, result, table, known)
+            # Combos keep their coverage-priority order, so the first
+            # converged combo that validates is the same one the old
+            # sequential trial loop would have returned.
+            for idx in range(len(combo_tables)):
+                if not batched.abstained(idx):
+                    key = self._decoded_key(batched.table(idx), blocks, base, group)
+                    if key is not None:
+                        return key, False
+                    continue
+                syndrome = int(batched.syndrome_weight[idx])
+                if best is None or syndrome < best[0]:
+                    best = (
+                        syndrome,
+                        batched.table(idx),
+                        combo_tables[idx],
+                        combo_knowns[idx],
+                    )
         # No combo converged: bootstrap from the least-frustrated
         # posterior — still the best table estimate anywhere, mostly
         # right even short of a valid codeword.  Use it as the

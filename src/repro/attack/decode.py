@@ -15,11 +15,23 @@ three-operand XOR constraint ``t ^ s ^ f(p) = 0`` where ``f`` is the
 identity, the S-box, or S-box-plus-Rcon — always a byte bijection, so
 messages cross it by a 256-entry permutation.  Check-to-variable
 updates are XOR convolutions of the other two incoming messages,
-computed for every check at once via the Walsh–Hadamard transform
-(``WHT(a ⊛ b) = WHT(a) · WHT(b)`` over GF(2)^8); variable updates are
-batched log-domain sums.  Damping keeps the loopy iteration stable and
-a hard-decision syndrome check exits early the moment every equation
-is satisfied.
+computed via the Walsh–Hadamard transform (``WHT(a ⊛ b) = WHT(a) ·
+WHT(b)`` over GF(2)^8); variable updates are batched log-domain sums.
+Damping keeps the loopy iteration stable and a hard-decision syndrome
+check exits early the moment every equation is satisfied.
+
+The sweep engine is *residual-scheduled* in the Gauss–Seidel tradition
+of LDPC decoding practice: most messages stop changing after a few
+sweeps, so each sweep only recomputes the checks whose input
+posteriors accumulated drift above ``residual_tol`` since that check
+last ran.  Convergence is tracked per table — a table whose syndrome
+hits zero (or that trips the stagnation abstain) is frozen and dropped
+from the batched WHT kernels mid-run, so one call can carry a whole
+candidate list and pay only for the tables still undecided.  Messages
+default to float32 (float64 remains the checkpoint format, which
+stores float32 values exactly); ``residual_tol=0.0`` with
+``message_dtype="float64"`` reproduces the dense reference
+sweep-for-sweep.
 
 Channel priors come from the asymmetric ground-state decay model: DRAM
 cells only leak *toward* their ground state, so the flip probability of
@@ -27,16 +39,16 @@ an observed bit depends on whether it currently sits at ground
 (:class:`ChannelModel`).  When the posteriors do not converge the
 decoder abstains with structured
 :class:`~repro.resilience.errors.DecodeAbstainError` evidence instead
-of hallucinating a key, and partial posteriors can be checkpointed and
-resumed bit-exactly across a deadline
-(:class:`~repro.resilience.checkpoint.DecodeStateStore`).
+of hallucinating a key, and partial posteriors — including the
+scheduling state — can be checkpointed and resumed bit-exactly across
+a deadline (:class:`~repro.resilience.checkpoint.DecodeStateStore`).
 """
 
 from __future__ import annotations
 
 import base64
 import hashlib
-import math
+import json
 import zlib
 from dataclasses import dataclass, field
 
@@ -57,6 +69,35 @@ DEFAULT_DECODE_ITERS = 72
 #: oscillate undamped; 0.2 is stable across the BER sweep without
 #: noticeably slowing convergence.
 DEFAULT_DAMPING = 0.2
+
+#: Default residual tolerance for check scheduling.  A check is only
+#: recomputed once the message residuals that touched its variables
+#: accumulate past this probability-domain drift; 0.0 disables the
+#: skip (only exactly-unchanged neighbourhoods rest) and reproduces
+#: the dense reference trajectory.
+DEFAULT_RESIDUAL_TOL = 1e-3
+
+#: Hopeless-table triage: after this many total sweeps, a fully
+#: observed table whose best hard-decision syndrome still violates
+#: more than half the checks freezes as an abstain instead of dribbling
+#: toward the stagnation limit.  The populations are far apart: a
+#: random table satisfies each check with probability 1/256 (syndrome
+#: ≈ 0.996·n_checks, and loopy BP only ever polishes it down to
+#: ~0.6·n_checks), while a decodable schedule falls below 0.15·n_checks
+#: within two sweeps even past the code's BER horizon — the midpoint
+#: sits more than ten standard deviations from either side.  Tables
+#: with erased (un-``known``) bytes are exempt: a large erased span
+#: legitimately holds its syndrome high until messages propagate
+#: across it.
+_HOPELESS_PROBE_SWEEPS = 2
+
+#: Rows (dirty checks) processed per chunk inside a message sweep.
+#: Each row carries a handful of (3, 256) float temporaries through
+#: ~20 elementwise passes; chunking keeps that working set inside the
+#: CPU cache instead of streaming the full batch through memory once
+#: per pass.  Purely a blocking factor — results are identical for any
+#: value.
+_SWEEP_CHUNK = 128
 
 #: Flip rates are clamped to this interval before becoming priors: a
 #: zero rate would make every observed bit infinitely trusted (one
@@ -224,6 +265,179 @@ def build_constraint_graph(key_bits: int) -> ConstraintGraph:
     return graph
 
 
+# --------------------------------------------------------------------------
+# Decode plan: the precomputed gather tensors of the sweep kernel
+
+
+@dataclass(frozen=True)
+class DecodePlan:
+    """Read-only gather tensors the scheduled sweep kernel runs on.
+
+    Everything here is derived from :class:`ConstraintGraph` once per
+    variant and shared by every decode — the ``check_vars`` table that
+    flattens (table, check) pairs into posterior rows, and the S-box /
+    Rcon permutation tensors the XOR convolution crosses.  A plan can
+    be serialised with :meth:`export_blob` and re-materialised
+    zero-copy with :meth:`attach`, so sharded workers receive it
+    through the same :mod:`repro.resilience.resources` publication
+    chain (shm → mmap file → in-process buffer) as the fingerprint
+    cache instead of rebuilding it per shard.
+    """
+
+    key_bits: int
+    n_vars: int
+    n_checks: int
+    #: ``(n_checks, 3)`` — the t/s/p variable of every check.
+    check_vars: np.ndarray
+    #: ``(n_checks, 256)`` uint8 forward / inverse byte permutations.
+    fwd_lut: np.ndarray
+    inv_lut: np.ndarray
+    #: ``(n_vars, 3)`` flat edge ids per variable, padded with n_edges.
+    var_in_edges: np.ndarray
+    #: The permutations again as intp — ``take_along_axis`` index
+    #: dtype, precomputed so sweeps never re-cast the uint8 tables.
+    fwd_take: np.ndarray
+    inv_take: np.ndarray
+
+    @property
+    def n_edges(self) -> int:
+        return 3 * self.n_checks
+
+    _EXPORT_ARRAYS = ("check_vars", "fwd_lut", "inv_lut", "var_in_edges")
+
+    def export_blob(self) -> bytes:
+        """Serialise the plan: JSON header + raw little-endian arrays."""
+        header: dict = {
+            "magic": "decode-plan/v1",
+            "key_bits": self.key_bits,
+            "n_vars": self.n_vars,
+            "n_checks": self.n_checks,
+            "arrays": [],
+        }
+        payload = bytearray()
+        for name in self._EXPORT_ARRAYS:
+            array = np.ascontiguousarray(getattr(self, name))
+            if array.dtype == np.intp:
+                array = array.astype("<i8")
+            raw = array.tobytes()
+            header["arrays"].append(
+                {
+                    "name": name,
+                    "dtype": array.dtype.str,
+                    "shape": list(array.shape),
+                    "offset": len(payload),
+                    "nbytes": len(raw),
+                }
+            )
+            payload += raw
+        head = json.dumps(header).encode()
+        return len(head).to_bytes(8, "little") + head + bytes(payload)
+
+    @classmethod
+    def attach(cls, blob) -> "DecodePlan":
+        """Re-materialise a plan from :meth:`export_blob` bytes.
+
+        Arrays are zero-copy views into ``blob`` where the buffer
+        allows it (shm / mmap segments), marked read-only either way.
+        """
+        view = memoryview(blob)
+        head_len = int.from_bytes(view[:8], "little")
+        header = json.loads(bytes(view[8 : 8 + head_len]))
+        if header.get("magic") != "decode-plan/v1":
+            raise ValueError("not a decode-plan blob")
+        body = view[8 + head_len :]
+        arrays: dict[str, np.ndarray] = {}
+        for spec in header["arrays"]:
+            raw = body[spec["offset"] : spec["offset"] + spec["nbytes"]]
+            array = np.frombuffer(raw, dtype=spec["dtype"]).reshape(spec["shape"])
+            if array.dtype != np.uint8:
+                array = np.ascontiguousarray(array, dtype=np.intp)
+            array.setflags(write=False)
+            arrays[spec["name"]] = array
+        fwd_take = np.ascontiguousarray(arrays["fwd_lut"], dtype=np.intp)
+        inv_take = np.ascontiguousarray(arrays["inv_lut"], dtype=np.intp)
+        fwd_take.setflags(write=False)
+        inv_take.setflags(write=False)
+        return cls(
+            key_bits=int(header["key_bits"]),
+            n_vars=int(header["n_vars"]),
+            n_checks=int(header["n_checks"]),
+            fwd_take=fwd_take,
+            inv_take=inv_take,
+            **arrays,
+        )
+
+
+_PLAN_CACHE: dict[int, DecodePlan] = {}
+
+
+def decode_plan(key_bits: int) -> DecodePlan:
+    """The memoized :class:`DecodePlan` for one AES variant."""
+    cached = _PLAN_CACHE.get(key_bits)
+    if cached is not None:
+        return cached
+    graph = build_constraint_graph(key_bits)
+    check_vars = np.stack([graph.t_idx, graph.s_idx, graph.p_idx], axis=1)
+    fwd_take = graph.fwd_lut.astype(np.intp)
+    inv_take = graph.inv_lut.astype(np.intp)
+    for array in (check_vars, fwd_take, inv_take):
+        array.setflags(write=False)
+    plan = DecodePlan(
+        key_bits=key_bits,
+        n_vars=graph.n_vars,
+        n_checks=graph.n_checks,
+        check_vars=check_vars,
+        fwd_lut=graph.fwd_lut,
+        inv_lut=graph.inv_lut,
+        var_in_edges=graph.var_in_edges,
+        fwd_take=fwd_take,
+        inv_take=inv_take,
+    )
+    _PLAN_CACHE[key_bits] = plan
+    return plan
+
+
+def install_plan(plan: DecodePlan) -> DecodePlan:
+    """Seed the module plan cache with an attached plan (worker side).
+
+    Shard initializers resolve the published plan ref and install it
+    here, so every decode in the worker gathers from the shared
+    read-only tensors instead of rebuilding them.
+    """
+    if plan.key_bits not in _PLAN_CACHE:
+        _PLAN_CACHE[plan.key_bits] = plan
+    return _PLAN_CACHE[plan.key_bits]
+
+
+def publish_plan(key_bits: int, policy=None):
+    """Publish the variant's :class:`DecodePlan` blob for shard workers.
+
+    Returns a :class:`~repro.resilience.resources.PublishedBuffer`
+    whose ``ref`` travels to worker initializers (shm → mmap file →
+    in-process buffer, same degradation chain as the dump itself);
+    workers hand it to :func:`install_plan_ref`.  The caller owns the
+    buffer's lifetime.
+    """
+    from repro.resilience.resources import publish_bytes
+
+    return publish_bytes(decode_plan(key_bits).export_blob(), policy=policy)
+
+
+#: Holders for attached plan segments — the attached arrays are
+#: zero-copy views into these mappings, which must outlive the plan.
+_PLAN_HOLDERS: list = []
+
+
+def install_plan_ref(ref) -> DecodePlan:
+    """Worker-side half of :func:`publish_plan`: resolve, attach, install."""
+    from repro.resilience.resources import resolve_ref
+
+    holder, buffer = resolve_ref(ref)
+    if holder is not None:
+        _PLAN_HOLDERS.append(holder)
+    return install_plan(DecodePlan.attach(buffer))
+
+
 def schedule_plausibility(
     table: np.ndarray, known: np.ndarray | None, key_bits: int
 ) -> int:
@@ -295,23 +509,90 @@ def block_key_plausibility(
     return clean.sum(axis=1, dtype=np.int64)
 
 
+def _hadamard(n: int) -> np.ndarray:
+    """The ±1 Sylvester–Hadamard matrix of order ``n`` (a power of 2)."""
+    h = np.array([[1.0]])
+    while h.shape[0] < n:
+        h = np.block([[h, h], [h, -h]])
+    return h
+
+
+#: H256 = H16 ⊗ H16, so a length-256 WHT is two 16×16 matmuls on a
+#: reshaped (…, 16, 16) view — contiguous BLAS kernels, ~20× faster
+#: than strided butterflies on large batches.
+_H16_BY_DTYPE = {
+    np.dtype(np.float32): np.ascontiguousarray(_hadamard(16), dtype=np.float32),
+    np.dtype(np.float64): np.ascontiguousarray(_hadamard(16), dtype=np.float64),
+}
+
+
 def _wht(values: np.ndarray) -> np.ndarray:
-    """Walsh–Hadamard transform along the last (256-long) axis."""
+    """Walsh–Hadamard transform along the last (256-long) axis.
+
+    float32 (the default message dtype) runs the H16 ⊗ H16 matmul
+    factorisation; float64 keeps the reference butterfly so the
+    ``message_dtype=float64, residual_tol=0`` mode reproduces the dense
+    decoder's floating-point trajectory bit-for-bit.
+    """
+    if values.dtype == np.float64:
+        return _wht_butterfly(values)
+    h16 = _H16_BY_DTYPE[values.dtype]
     shape = values.shape
-    out = np.ascontiguousarray(values, dtype=np.float64).reshape(-1, 256).copy()
+    folded = values.reshape(-1, 16, 16)
+    return np.matmul(h16, folded @ h16).reshape(shape)
+
+
+def _wht_butterfly(values: np.ndarray) -> np.ndarray:
+    """The reference WHT: iterative butterflies, bit-exact with the
+    frozen dense decoder's op order, on one working copy plus a reused
+    half-size scratch buffer."""
+    shape = values.shape
+    out = np.array(values, dtype=values.dtype, copy=True).reshape(-1, 256)
+    scratch = np.empty((out.shape[0], 128), dtype=out.dtype)
     half = 1
     while half < 256:
-        out = out.reshape(-1, 256 // (2 * half), 2, half)
-        low = out[:, :, 0, :].copy()
-        high = out[:, :, 1, :].copy()
-        out[:, :, 0, :] = low + high
-        out[:, :, 1, :] = low - high
-        out = out.reshape(-1, 256)
+        view = out.reshape(-1, 2, half)
+        low = view[:, 0, :]
+        high = view[:, 1, :]
+        tmp = scratch.reshape(-1, half)[: low.shape[0]]
+        np.subtract(low, high, out=tmp)
+        np.add(low, high, out=low)
+        high[...] = tmp
         half *= 2
     return out.reshape(shape)
 
 
 _VALUE_BITS = np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1)
+
+
+_PRIOR_LUT_CACHE: dict[tuple[float, float, int], np.ndarray] = {}
+
+
+def _prior_lut(channel: ChannelModel, ground_byte: int) -> np.ndarray:
+    """``(256 observed, 256 candidate)`` log-likelihood table.
+
+    The per-bit flip probabilities depend only on whether the observed
+    bit sits at ground, so a byte's 256-state prior is a function of
+    (observed byte, ground byte) alone.  The table is built with the
+    same per-bit match/``log``/``sum`` expression the decoder has
+    always used — identical values in identical summation order — so
+    gathering from it is bit-for-bit the direct computation.
+    """
+    key = (channel.rate_to_ground, channel.rate_from_ground, ground_byte)
+    cached = _PRIOR_LUT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    obs_bits = _VALUE_BITS  # (256 observed, 8)
+    ground_bits = np.unpackbits(np.full(1, ground_byte, dtype=np.uint8))
+    p_at, p_off = channel.flip_probabilities(1)
+    p_flip = np.where(obs_bits == ground_bits[None, :], p_at[0], p_off[0])
+    match = _VALUE_BITS[None, :, :] == obs_bits[:, None, :]
+    lut = np.where(
+        match, np.log1p(-p_flip)[:, None, :], np.log(p_flip)[:, None, :]
+    ).sum(axis=-1)
+    lut.setflags(write=False)
+    _PRIOR_LUT_CACHE[key] = lut
+    return lut
 
 
 def byte_priors(
@@ -328,14 +609,16 @@ def byte_priors(
     """
     observed = np.asarray(observed, dtype=np.uint8)
     n_bytes = observed.shape[-1]
-    obs_bits = np.unpackbits(observed, axis=-1).reshape(*observed.shape, 8)
-    p_at, p_off = channel.flip_probabilities(n_bytes)
-    at_ground = obs_bits == channel.ground_bits(n_bytes)
-    p_flip = np.where(at_ground, p_at, p_off)
-    match = _VALUE_BITS[(None,) * observed.ndim] == obs_bits[..., None, :]
-    prior_log = np.where(
-        match, np.log1p(-p_flip)[..., None, :], np.log(p_flip)[..., None, :]
-    ).sum(axis=-1)
+    if channel.ground is None:
+        prior_log = _prior_lut(channel, 0)[observed]
+    else:
+        pattern = np.frombuffer(channel.ground, dtype=np.uint8)
+        if pattern.size < n_bytes:
+            pattern = np.resize(pattern, n_bytes)
+        pattern = pattern[:n_bytes]
+        values, g_idx = np.unique(pattern, return_inverse=True)
+        luts = np.stack([_prior_lut(channel, int(value)) for value in values])
+        prior_log = luts[g_idx, observed]
     if known is not None:
         prior_log = np.where(np.asarray(known, dtype=bool)[..., None], prior_log, 0.0)
     return prior_log
@@ -345,37 +628,59 @@ def byte_priors(
 # The decoder
 
 
+def _b64(raw: bytes) -> str:
+    return base64.b64encode(raw).decode("ascii")
+
+
+def _unb64(text: str) -> bytes:
+    return base64.b64decode(text)
+
+
 @dataclass
 class DecodeState:
-    """Resumable snapshot of an in-flight decode (bit-exact messages)."""
+    """Resumable snapshot of an in-flight decode (bit-exact messages).
+
+    ``sched`` carries the scheduling/abstain bookkeeping of the
+    residual-scheduled engine — frozen masks, dirty checks, accumulated
+    drift, per-table stall counters — so a resumed run continues the
+    exact trajectory an uninterrupted run would have taken.  States
+    written before the scheduler existed load with ``sched=None`` and
+    restart conservatively with every check dirty.
+    """
 
     iteration: int
     messages: np.ndarray  # (batch, n_checks, 3, 256) float64 check→var messages
     digest: str  # context digest the state belongs to
+    sched: dict | None = field(default=None, repr=False)
 
     def to_dict(self) -> dict:
         """JSON-ready form with a CRC over the raw message bytes."""
         raw = np.ascontiguousarray(self.messages, dtype=np.float64).tobytes()
-        return {
+        data = {
             "iteration": int(self.iteration),
             "shape": list(self.messages.shape),
-            "messages_b64": base64.b64encode(raw).decode("ascii"),
+            "messages_b64": _b64(raw),
             "crc32": zlib.crc32(raw) & 0xFFFFFFFF,
             "digest": self.digest,
         }
+        if self.sched is not None:
+            data["sched"] = dict(self.sched)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "DecodeState | None":
         """Reconstruct a state; returns None on any damage."""
         try:
-            raw = base64.b64decode(data["messages_b64"])
+            raw = _unb64(data["messages_b64"])
             if (zlib.crc32(raw) & 0xFFFFFFFF) != int(data["crc32"]):
                 return None
             messages = np.frombuffer(raw, dtype=np.float64).reshape(data["shape"]).copy()
+            sched = data.get("sched")
             return cls(
                 iteration=int(data["iteration"]),
                 messages=messages,
                 digest=str(data["digest"]),
+                sched=dict(sched) if isinstance(sched, dict) else None,
             )
         except (KeyError, ValueError, TypeError):
             return None
@@ -402,10 +707,35 @@ class DecodeResult:
     #: partial posteriors are in ``state``.
     interrupted: bool = False
     state: DecodeState | None = field(default=None, repr=False)
+    #: Per-table sweeps until that table froze (converged / stalled);
+    #: ``None`` only for results built by very old callers.
+    table_iterations: np.ndarray | None = None
+    #: Check-message updates actually computed vs what a dense sweep
+    #: schedule would have computed — the active-set/residual savings.
+    checks_updated: int = 0
+    checks_dense: int = 0
 
     def abstained(self, index: int = 0) -> bool:
         """Whether table ``index`` failed to converge (abstain path)."""
         return not bool(self.converged[index])
+
+    def table(self, index: int) -> "DecodeResult":
+        """A one-table view of a batched result (shared arrays)."""
+        titers = self.table_iterations
+        return DecodeResult(
+            tables=self.tables[index : index + 1],
+            converged=self.converged[index : index + 1],
+            iterations=(
+                int(titers[index]) if titers is not None else self.iterations
+            ),
+            syndrome_weight=self.syndrome_weight[index : index + 1],
+            posterior_entropy=self.posterior_entropy[index : index + 1],
+            certainty=self.certainty[index : index + 1],
+            interrupted=self.interrupted,
+            table_iterations=(
+                titers[index : index + 1] if titers is not None else None
+            ),
+        )
 
 
 def context_digest(
@@ -430,6 +760,71 @@ def context_digest(
     return h.hexdigest()
 
 
+class _SweepSchedule:
+    """Per-table freeze masks + residual-driven dirty-check tracking.
+
+    All state is per-table (nothing couples tables), which is what
+    makes a batched decode byte-identical to running each table alone:
+    batching is purely a kernel-shape optimisation.
+    """
+
+    def __init__(self, batch: int, n_checks: int) -> None:
+        self.frozen = np.zeros(batch, dtype=bool)
+        self.converged = np.zeros(batch, dtype=bool)
+        self.dirty = np.ones((batch, n_checks), dtype=bool)
+        self.pending = np.zeros((batch, n_checks), dtype=np.float32)
+        self.best_syndrome = np.full(batch, np.iinfo(np.int64).max, dtype=np.int64)
+        self.stagnant = np.zeros(batch, dtype=np.int64)
+        self.table_iterations = np.zeros(batch, dtype=np.int64)
+
+    def to_dict(self) -> dict:
+        return {
+            "frozen_b64": _b64(np.packbits(self.frozen).tobytes()),
+            "converged_b64": _b64(np.packbits(self.converged).tobytes()),
+            "dirty_b64": _b64(np.packbits(self.dirty).tobytes()),
+            "pending_b64": _b64(self.pending.astype("<f4").tobytes()),
+            "best": [int(v) for v in self.best_syndrome],
+            "stagnant": [int(v) for v in self.stagnant],
+            "titers": [int(v) for v in self.table_iterations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, batch: int, n_checks: int) -> "_SweepSchedule":
+        sched = cls(batch, n_checks)
+        sched.frozen = (
+            np.unpackbits(np.frombuffer(_unb64(data["frozen_b64"]), dtype=np.uint8))[
+                :batch
+            ].astype(bool)
+        )
+        sched.converged = (
+            np.unpackbits(
+                np.frombuffer(_unb64(data["converged_b64"]), dtype=np.uint8)
+            )[:batch].astype(bool)
+        )
+        sched.dirty = (
+            np.unpackbits(np.frombuffer(_unb64(data["dirty_b64"]), dtype=np.uint8))[
+                : batch * n_checks
+            ]
+            .astype(bool)
+            .reshape(batch, n_checks)
+        )
+        sched.pending = (
+            np.frombuffer(_unb64(data["pending_b64"]), dtype="<f4")
+            .reshape(batch, n_checks)
+            .astype(np.float32)
+        )
+        sched.best_syndrome = np.asarray(data["best"], dtype=np.int64)
+        sched.stagnant = np.asarray(data["stagnant"], dtype=np.int64)
+        sched.table_iterations = np.asarray(data["titers"], dtype=np.int64)
+        if (
+            sched.best_syndrome.shape != (batch,)
+            or sched.stagnant.shape != (batch,)
+            or sched.table_iterations.shape != (batch,)
+        ):
+            raise ValueError("scheduling state shape mismatch")
+        return sched
+
+
 def decode_schedules(
     observed: np.ndarray,
     key_bits: int,
@@ -442,30 +837,55 @@ def decode_schedules(
     state: DecodeState | None = None,
     beat_every: int = 4,
     stall_sweeps: int = 8,
+    residual_tol: float = DEFAULT_RESIDUAL_TOL,
+    message_dtype=np.float32,
+    keep_state: bool = False,
 ) -> DecodeResult:
     """Sum-product decode of a batch of observed schedule tables.
 
     ``observed`` is ``(batch, n_bytes)`` (or ``(n_bytes,)``) uint8 —
     every candidate schedule decodes in one set of batched kernels.
-    Iteration stops at the first all-tables-clean syndrome or at
-    ``max_iters``; non-converged tables are the caller's abstain
-    signal, never silently returned as keys.
+    Convergence, stagnation, and check scheduling are all tracked *per
+    table*: a table whose syndrome hits zero (or that stalls for
+    ``stall_sweeps``) is frozen and leaves the batched kernels, so a
+    batched call returns byte-identical results to decoding each table
+    alone while paying only for the tables still in play.  Within a
+    table, only checks whose input variables accumulated message drift
+    above ``residual_tol`` are recomputed each sweep (Gauss–Seidel /
+    residual scheduling); a table with no dirty checks left can never
+    change again and freezes immediately.
 
     ``on_progress`` (zero-arg) is invoked every ``beat_every`` sweeps —
     the watchdog heartbeat hook, so a long decode is never mistaken
     for a stalled worker.  An expired ``deadline`` raises
     :class:`~repro.resilience.errors.DeadlineExceededError` with the
-    partial messages attached as ``error.decode_state`` for
-    checkpointing; passing that state back in resumes bit-exactly.
+    partial messages (and scheduling state) attached as
+    ``error.decode_state`` for checkpointing; passing that state back
+    in resumes bit-exactly.
 
     ``stall_sweeps`` is the stagnation abstain: a decodable table's
     syndrome weight falls steadily sweep over sweep, while an
     undecodable one (junk past the verify gate, decay beyond the
     code's horizon) oscillates around its floor — that many sweeps
-    without a new minimum and the decode stops early rather than
-    burning the full ``max_iters`` to reach the same abstain.
+    without a new minimum and the table freezes as an abstain rather
+    than burning the full ``max_iters`` (unless it is already within a
+    handful of violated checks of a codeword, where oscillation
+    usually resolves and the dirty set is tiny anyway).  Fully
+    observed tables get a
+    cheaper exit first: one whose best syndrome still violates more
+    than half the checks after ``_HOPELESS_PROBE_SWEEPS`` sweeps is
+    statistically certain to be junk (see the constant's rationale)
+    and abstains immediately instead of feeding the stagnation
+    counter.  Setting ``stall_sweeps=0`` disables both abstains.
+
+    Messages run in ``message_dtype`` (float32 by default; checkpoints
+    always store float64, which represents every float32 exactly, so
+    interrupt/resume stays bit-exact).  ``residual_tol=0.0`` together
+    with ``message_dtype=np.float64`` reproduces the dense reference
+    decoder's trajectory.
     """
     graph = build_constraint_graph(key_bits)
+    plan = decode_plan(key_bits)
     observed = np.asarray(observed, dtype=np.uint8)
     squeeze = observed.ndim == 1
     if squeeze:
@@ -479,29 +899,96 @@ def decode_schedules(
         )
     if not 0.0 <= damping < 1.0:
         raise ValueError("damping must lie in [0, 1)")
+    if residual_tol < 0.0:
+        raise ValueError("residual_tol must be non-negative")
+    dtype = np.dtype(message_dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError("message_dtype must be float32 or float64")
     deadline = Deadline.coerce(deadline)
     batch = observed.shape[0]
     digest = context_digest(observed, known, channel, key_bits, damping)
 
-    prior_log = byte_priors(observed, channel, known)  # (B, V, 256)
+    n_vars = graph.n_vars
     n_checks, n_edges = graph.n_checks, graph.n_edges
+    # Probability floor before the log: 1e-300 keeps the float64 path
+    # on the dense reference's exact trajectory; float32 needs its own
+    # (normal) floor so the log stays finite.
+    tiny = 1e-300 if dtype == np.dtype(np.float64) else float(np.finfo(dtype).tiny)
+
+    prior_log = byte_priors(observed, channel, known).astype(dtype)  # (B, V, 256)
     if (
         state is not None
         and state.digest == digest
         and state.messages.shape == (batch, n_checks, 3, 256)
     ):
-        cv = state.messages.astype(np.float64, copy=True)
+        cv = state.messages.astype(dtype, copy=True)
         start_iteration = int(state.iteration)
+        sched = None
+        if state.sched is not None:
+            try:
+                sched = _SweepSchedule.from_dict(state.sched, batch, n_checks)
+            except (KeyError, ValueError, TypeError):
+                sched = None
+        if sched is None:
+            sched = _SweepSchedule(batch, n_checks)
     else:
-        cv = np.full((batch, n_checks, 3, 256), 1.0 / 256.0, dtype=np.float64)
+        cv = None
         start_iteration = 0
-    cv_log = np.log(cv)
+        sched = _SweepSchedule(batch, n_checks)
+
+    # The float32 fast path keeps messages *only* in the log domain:
+    # probability-domain values are re-derived by exponentiating the
+    # already-gathered logs inside each sweep chunk, which halves the
+    # resident message state and drops a gather + scatter per chunk.
+    # The float64 path keeps the probability-domain ``cv`` array so its
+    # arithmetic matches the dense reference operation for operation.
+    fast = dtype == np.dtype(np.float32)
+
+    # Messages in flat-edge layout with a trailing zero dummy row, so a
+    # variable's posterior is prior + a 3-way padded gather-sum.
+    cv_log_pad = np.zeros((batch, n_edges + 1, 256), dtype=dtype)
+    if cv is not None:
+        cv_log_pad[:, :n_edges, :] = np.log(cv).reshape(batch, n_edges, 256)
+    else:
+        cv_log_pad[:, :n_edges, :] = np.log(np.float64(1.0) / 256.0)
+        if not fast:
+            cv = np.full((batch, n_checks, 3, 256), 1.0 / 256.0, dtype=dtype)
+    if fast:
+        cv = None
+    clp_flat = cv_log_pad.reshape(batch * (n_edges + 1), 256)
+
+    # The edge gather leaves advanced-index-first strides on its
+    # output; adding through ``out=`` pins the posterior buffer
+    # C-contiguous so ``post_flat`` below is a true view of it.
+    posterior_log = np.empty_like(prior_log)
+    np.add(
+        prior_log,
+        cv_log_pad[:, graph.var_in_edges, :].sum(axis=2),
+        out=posterior_log,
+    )
+    post_flat = posterior_log.reshape(batch * n_vars, 256)
+    prior_flat = prior_log.reshape(batch * n_vars, 256)
+    hard = posterior_log.argmax(axis=2).astype(np.uint8)
+    hard_flat = hard.reshape(batch * n_vars)
 
     rows = np.arange(n_checks)
-    hard = observed.copy()
-    iterations = start_iteration
-    converged = np.zeros(batch, dtype=bool)
     syndrome_weight = np.full(batch, n_checks, dtype=np.int64)
+    # Hopeless triage applies only to fully observed tables — erased
+    # spans hold the syndrome high for honest reasons (see
+    # ``_HOPELESS_PROBE_SWEEPS``).
+    fully_known = (
+        np.ones(batch, dtype=bool)
+        if known is None
+        else np.asarray(known, dtype=bool).all(axis=1)
+    )
+    iterations = start_iteration
+    checks_updated = 0
+    checks_dense = 0
+    slot = np.arange(3, dtype=np.intp)
+    # Flat offsets of each chunk row's slot-2 vector inside a
+    # contiguous (chunk, 3, 256) buffer — the prev-operand permutations
+    # are applied as flat gathers, which beat ``take_along_axis``.
+    slot2_base = np.arange(_SWEEP_CHUNK, dtype=np.intp)[:, None] * 768 + 512
 
     def syndrome_of(tables: np.ndarray) -> np.ndarray:
         t = tables[:, graph.t_idx]
@@ -510,78 +997,217 @@ def decode_schedules(
         residue = t ^ s ^ graph.fwd_lut[rows[None, :], p]
         return (residue != 0).sum(axis=1)
 
-    def posteriors() -> np.ndarray:
-        padded = np.concatenate(
-            [cv_log.reshape(batch, n_edges, 256), np.zeros((batch, 1, 256))], axis=1
-        )
-        return prior_log + padded[:, graph.var_in_edges, :].sum(axis=2)
-
-    posterior_log = posteriors()
-    best_total_syndrome = math.inf
-    stagnant_sweeps = 0
-    for iteration in range(start_iteration, max_iters):
-        hard = posterior_log.argmax(axis=2).astype(np.uint8)
-        syndrome_weight = syndrome_of(hard)
-        converged = syndrome_weight == 0
-        if converged.all():
-            break
-        total = int(syndrome_weight.sum())
-        if total < best_total_syndrome:
-            best_total_syndrome = total
-            stagnant_sweeps = 0
+    def snapshot_state(iteration: int) -> DecodeState:
+        if cv is not None:
+            messages = cv.astype(np.float64, copy=True)
         else:
-            stagnant_sweeps += 1
-            if stall_sweeps and stagnant_sweeps >= stall_sweeps:
-                break
+            # Fast path: re-exponentiate the log-domain messages.  The
+            # exp/log round-trip through float64 recovers every float32
+            # log exactly, so resuming from the snapshot is bit-exact.
+            messages = np.exp(cv_log_pad[:, :n_edges, :].astype(np.float64)).reshape(
+                batch, n_checks, 3, 256
+            )
+        return DecodeState(
+            iteration=iteration,
+            messages=messages,
+            digest=digest,
+            sched=sched.to_dict(),
+        )
+
+    for iteration in range(start_iteration, max_iters):
+        active = np.flatnonzero(~sched.frozen)
+        if active.size == 0:
+            break
+        # Hard-decision syndrome for the tables still in play.
+        syn = syndrome_of(hard[active])
+        syndrome_weight[active] = syn
+        now_converged = syn == 0
+        if now_converged.any():
+            done = active[now_converged]
+            sched.converged[done] = True
+            sched.frozen[done] = True
+            sched.dirty[done] = False
+            sched.table_iterations[done] = iteration
+        # Stagnation abstain, per table: that many sweeps without a new
+        # syndrome minimum and the table freezes rather than burning
+        # the full iteration budget to reach the same abstain.
+        live = active[~now_converged]
+        if live.size:
+            improved = syndrome_weight[live] < sched.best_syndrome[live]
+            sched.best_syndrome[live] = np.minimum(
+                sched.best_syndrome[live], syndrome_weight[live]
+            )
+            sched.stagnant[live] = np.where(improved, 0, sched.stagnant[live] + 1)
+            stalled = np.zeros(live.size, dtype=bool)
+            if stall_sweeps:
+                # Stagnation only abstains tables still far from a
+                # codeword: one oscillating within a handful of violated
+                # checks is circling a fixpoint it usually reaches, and
+                # its dirty set is tiny — let it spend the budget.
+                near = sched.best_syndrome[live] * 32 <= n_checks
+                stalled |= (sched.stagnant[live] >= stall_sweeps) & ~near
+                # Hopeless triage: still violating the majority of
+                # checks after the probe sweeps means junk, not a slow
+                # decode — abstain now rather than dribble toward the
+                # stagnation limit one syndrome point at a time.
+                if iteration >= _HOPELESS_PROBE_SWEEPS:
+                    stalled |= fully_known[live] & (
+                        sched.best_syndrome[live] * 2 > n_checks
+                    )
+            # A table with no dirty checks has reached a message
+            # fixpoint — nothing can change it, so freeze it now.
+            stalled |= ~sched.dirty[live].any(axis=1)
+            if stalled.any():
+                halt = live[stalled]
+                sched.frozen[halt] = True
+                sched.dirty[halt] = False
+                sched.table_iterations[halt] = iteration
+        if sched.frozen.all():
+            break
         if deadline is not None and deadline.expired:
             error = DeadlineExceededError(
                 deadline.total_seconds, context=f"schedule decode sweep {iteration}"
             )
-            error.decode_state = DecodeState(  # type: ignore[attr-defined]
-                iteration=iteration, messages=cv.copy(), digest=digest
-            )
+            error.decode_state = snapshot_state(iteration)  # type: ignore[attr-defined]
             raise error
         if on_progress is not None and iteration % max(1, beat_every) == 0:
             on_progress()
-        # Variable→check messages: posterior with own edge divided out.
-        vc_log = posterior_log[:, graph.edge_var, :].reshape(
-            batch, n_checks, 3, 256
-        ) - cv_log
-        vc_log -= vc_log.max(axis=-1, keepdims=True)
-        vc = np.exp(vc_log)
-        vc /= vc.sum(axis=-1, keepdims=True)
-        # Prev operand enters the XOR in its transformed domain.
-        vc_p = np.take_along_axis(vc[:, :, 2, :], graph.inv_lut[None, :, :], axis=2)
-        w_t = _wht(vc[:, :, 0, :])
-        w_s = _wht(vc[:, :, 1, :])
-        w_p = _wht(vc_p)
-        # XOR convolution: pointwise product in the WHT domain.
-        to_t = _wht(w_s * w_p)
-        to_s = _wht(w_t * w_p)
-        to_p_check = _wht(w_t * w_s)
-        to_p = np.take_along_axis(to_p_check, graph.fwd_lut[None, :, :], axis=2)
-        fresh = np.stack([to_t, to_s, to_p], axis=2)
-        np.clip(fresh, 1e-300, None, out=fresh)
-        fresh /= fresh.sum(axis=-1, keepdims=True)
-        cv = damping * cv + (1.0 - damping) * fresh
-        cv /= cv.sum(axis=-1, keepdims=True)
-        cv_log = np.log(cv)
-        posterior_log = posteriors()
+
+        # ---- one residual-scheduled message sweep -------------------
+        sel_t, sel_c = np.nonzero(sched.dirty)
+        m = sel_t.size
+        checks_updated += int(m)
+        checks_dense += int((~sched.frozen).sum()) * n_checks
+        flat_v = sel_t[:, None] * n_vars + plan.check_vars[sel_c]  # (M, 3)
+        flat_e = (
+            sel_t[:, None] * (n_edges + 1) + (3 * sel_c)[:, None] + slot[None, :]
+        )  # (M, 3)
+        residual = np.empty(m, dtype=np.float32)  # (M,)
+        # The sweep walks the dirty checks in cache-sized chunks: every
+        # op below is row-independent, so chunking changes nothing but
+        # keeps the ~20 passes over the chunk temporaries in L2 instead
+        # of streaming multi-MB arrays through memory once per op.
+        for lo in range(0, m, _SWEEP_CHUNK):
+            hi = min(m, lo + _SWEEP_CHUNK)
+            ct, cc = sel_t[lo:hi], sel_c[lo:hi]
+            cfv, cfe = flat_v[lo:hi], flat_e[lo:hi]
+            if fast:
+                # BP messages are scale-invariant (any per-message
+                # factor becomes an additive posterior constant that
+                # the max-shift removes), so the fast path skips every
+                # cosmetic normalisation, folds the damping factor into
+                # the one scale it does apply, and re-derives the old
+                # probability messages from the logs it already
+                # gathered instead of keeping a second array.
+                g = clp_flat[cfe]  # (chunk, 3, 256) log old messages
+                vc = post_flat[cfv]
+                vc -= g
+                vc -= vc.max(axis=-1, keepdims=True)
+                np.exp(vc, out=vc)
+                # Prev operand enters the XOR in its transformed domain.
+                bidx = slot2_base[: hi - lo]
+                vc[:, 2, :] = vc.ravel()[bidx + plan.inv_take[cc]]
+                w = _wht(vc.reshape(-1, 256)).reshape(-1, 3, 256)
+                prods = np.empty_like(w)
+                # XOR convolution: pointwise product in the WHT domain.
+                np.multiply(w[:, 1], w[:, 2], out=prods[:, 0])
+                np.multiply(w[:, 0], w[:, 2], out=prods[:, 1])
+                np.multiply(w[:, 0], w[:, 1], out=prods[:, 2])
+                fresh = _wht(prods.reshape(-1, 256)).reshape(-1, 3, 256)
+                fresh[:, 2, :] = fresh.ravel()[bidx + plan.fwd_take[cc]]
+                np.clip(fresh, tiny, None, out=fresh)
+                fresh *= (1.0 - damping) / fresh.sum(axis=-1, keepdims=True)
+                old = np.exp(g, out=g)
+                fresh += np.multiply(old, damping, out=prods)
+                np.subtract(old, fresh, out=old)
+                np.abs(old, out=old)
+                residual[lo:hi] = old.max(axis=(1, 2))
+                np.log(fresh, out=fresh)
+                clp_flat[cfe.ravel()] = fresh.reshape((hi - lo) * 3, 256)
+                continue
+            # Variable→check messages: posterior, own edge divided out.
+            vc = post_flat[cfv]
+            vc -= clp_flat[cfe]
+            vc -= vc.max(axis=-1, keepdims=True)
+            np.exp(vc, out=vc)
+            vc /= vc.sum(axis=-1, keepdims=True)
+            # Prev operand enters the XOR in its transformed domain.
+            vc_p = np.take_along_axis(vc[:, 2, :], plan.inv_take[cc], axis=1)
+            w_t = _wht(vc[:, 0, :])
+            w_s = _wht(vc[:, 1, :])
+            w_p = _wht(vc_p)
+            # XOR convolution: pointwise product in the WHT domain.
+            to_t = _wht(w_s * w_p)
+            to_s = _wht(np.multiply(w_t, w_p, out=w_p))
+            to_p_check = _wht(np.multiply(w_t, w_s, out=w_s))
+            to_p = np.take_along_axis(to_p_check, plan.fwd_take[cc], axis=1)
+            fresh = np.stack([to_t, to_s, to_p], axis=1)  # (chunk, 3, 256)
+            np.clip(fresh, tiny, None, out=fresh)
+            fresh /= fresh.sum(axis=-1, keepdims=True)
+            old = cv[ct, cc]  # (chunk, 3, 256)
+            # Damped blend, in place: fresh becomes the renormalised new
+            # message; old is then consumed by the residual computation.
+            fresh *= 1.0 - damping
+            fresh += damping * old
+            fresh /= fresh.sum(axis=-1, keepdims=True)
+            new = fresh
+            np.subtract(old, new, out=old)
+            np.abs(old, out=old)
+            residual[lo:hi] = old.max(axis=(1, 2))
+            cv[ct, cc] = new
+            clp_flat[cfe.ravel()] = np.log(new).reshape((hi - lo) * 3, 256)
+        # Refresh posteriors + hard decisions of the touched tables.
+        # (Vars whose checks all rested keep their values — their edge
+        # messages are unchanged, so recomputing them is a no-op.)
+        upd = np.unique(sel_t)
+        sub = cv_log_pad[
+            upd[:, None, None], graph.var_in_edges[None, :, :], :
+        ].sum(axis=2)
+        posterior_log[upd] = prior_log[upd] + sub
+        hard[upd] = posterior_log[upd].argmax(axis=2).astype(np.uint8)
+        # Residual scheduling: a check re-runs once the message drift
+        # that reached its variables accumulates past the tolerance.
+        # Each variable feeds at most one check per slot, so the
+        # scatter-max decomposes into three unique-index maximums.
+        perturb = np.zeros(batch * n_vars, dtype=np.float32)
+        for k in range(3):
+            idx = flat_v[:, k]
+            perturb[idx] = np.maximum(perturb[idx], residual)
+        sched.pending[sel_t, sel_c] = 0.0
+        act = np.flatnonzero(~sched.frozen)
+        sched.pending[act] += perturb.reshape(batch, n_vars)[act][
+            :, plan.check_vars
+        ].max(axis=2)
+        sched.dirty[act] = sched.pending[act] > residual_tol
         iterations = iteration + 1
+
+    never_frozen = ~sched.frozen
+    if never_frozen.any():
+        sched.table_iterations[never_frozen] = iterations
+    # Tables frozen before a resume never re-enter the loop; recompute
+    # everyone's syndrome from the returned hard decisions so the
+    # weights are consistent with ``tables`` regardless of history.
+    syndrome_weight = syndrome_of(hard).astype(np.int64)
 
     shifted = posterior_log - posterior_log.max(axis=-1, keepdims=True)
     posterior = np.exp(shifted)
     posterior /= posterior.sum(axis=-1, keepdims=True)
-    entropy = -(posterior * np.log2(np.clip(posterior, 1e-300, None))).sum(axis=-1)
-    result = DecodeResult(
+    entropy = -(posterior * np.log2(np.clip(posterior, tiny, None))).sum(axis=-1)
+    return DecodeResult(
         tables=hard,
-        converged=converged,
+        converged=sched.converged.copy(),
         iterations=iterations,
         syndrome_weight=syndrome_weight.astype(np.int64),
-        posterior_entropy=entropy.mean(axis=-1),
-        certainty=posterior.max(axis=-1).mean(axis=-1),
+        posterior_entropy=entropy.mean(axis=-1, dtype=np.float64),
+        certainty=posterior.max(axis=-1).mean(axis=-1, dtype=np.float64),
+        table_iterations=sched.table_iterations.copy(),
+        checks_updated=checks_updated,
+        checks_dense=checks_dense,
+        # keep_state lets the sharded orchestrator merge finished
+        # shards into one full-batch checkpoint when a sibling shard
+        # trips the deadline; resuming from it is still bit-exact.
+        state=snapshot_state(iterations) if keep_state else None,
     )
-    return result
 
 
 def decode_schedule(

@@ -1,0 +1,339 @@
+"""Sharded belief-propagation decode over the resilient thread pool.
+
+:func:`decode_schedules_sharded` splits a candidate-table batch across
+:class:`~repro.resilience.executor.ResilientShardRunner` thread workers.
+The scheduling state of :func:`~repro.attack.decode.decode_schedules`
+is strictly per-table — nothing couples tables inside a batch — so any
+partition of the batch decodes to byte-identical tables; sharding, like
+batching, is purely a kernel-shape decision.  Threads (not processes)
+because the decode hot loop spends its time in numpy matmul/ufunc
+kernels that release the GIL, and because the observed tables, priors,
+and :class:`~repro.attack.decode.DecodePlan` tensors can then be shared
+by reference; the plan still travels through the
+:mod:`repro.resilience.resources` publication chain so the same worker
+protocol lifts onto process pools unchanged.
+
+Deadline handling mirrors the unsharded decoder: every worker watches
+the same :class:`~repro.resilience.deadline.Deadline`, returns a
+``("deadline", state)`` sentinel with its partial messages instead of
+raising into the retry machinery, and the orchestrator merges every
+shard's state — partial, finished, or never-started — into one
+full-batch :class:`~repro.attack.decode.DecodeState` attached to the
+re-raised :class:`~repro.resilience.errors.DeadlineExceededError`.
+Because the merged checkpoint covers the whole batch, a resumed run may
+use a *different* shard count (or none at all): the state is re-sliced
+per shard by table index on the way back in.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.attack.decode import (
+    DEFAULT_DAMPING,
+    DEFAULT_DECODE_ITERS,
+    DEFAULT_RESIDUAL_TOL,
+    ChannelModel,
+    DecodeResult,
+    DecodeState,
+    _SweepSchedule,
+    context_digest,
+    decode_plan,
+    decode_schedules,
+    install_plan_ref,
+    publish_plan,
+)
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceededError
+from repro.resilience.executor import ResilientShardRunner
+from repro.resilience.retry import RetryPolicy
+
+__all__ = ["decode_schedules_sharded", "slice_state", "merge_states"]
+
+
+def slice_state(
+    state: DecodeState | None,
+    idx: np.ndarray,
+    observed: np.ndarray,
+    known: np.ndarray | None,
+    channel: ChannelModel,
+    key_bits: int,
+    damping: float,
+) -> DecodeState | None:
+    """One shard's view of a full-batch checkpoint.
+
+    ``idx`` selects the shard's tables; the sliced state re-digests
+    against the shard's own observed subset so
+    :func:`~repro.attack.decode.decode_schedules` accepts it.  Returns
+    ``None`` (fresh start) when there is nothing usable to slice —
+    a missing or shape-mismatched state, or damaged scheduling
+    bookkeeping.
+    """
+    if state is None:
+        return None
+    plan = decode_plan(key_bits)
+    batch = observed.shape[0]
+    if state.messages.shape != (batch, plan.n_checks, 3, 256):
+        return None
+    sched = None
+    if state.sched is not None:
+        try:
+            full = _SweepSchedule.from_dict(state.sched, batch, plan.n_checks)
+        except (KeyError, ValueError, TypeError):
+            return None
+        sub = _SweepSchedule(idx.size, plan.n_checks)
+        sub.frozen = full.frozen[idx].copy()
+        sub.converged = full.converged[idx].copy()
+        sub.dirty = full.dirty[idx].copy()
+        sub.pending = full.pending[idx].copy()
+        sub.best_syndrome = full.best_syndrome[idx].copy()
+        sub.stagnant = full.stagnant[idx].copy()
+        sub.table_iterations = full.table_iterations[idx].copy()
+        sched = sub.to_dict()
+    digest = context_digest(
+        observed[idx],
+        None if known is None else known[idx],
+        channel,
+        key_bits,
+        damping,
+    )
+    return DecodeState(
+        iteration=int(state.iteration),
+        messages=np.ascontiguousarray(state.messages[idx], dtype=np.float64),
+        digest=digest,
+        sched=sched,
+    )
+
+
+def merge_states(
+    parts: list[tuple[np.ndarray, DecodeState | None]],
+    observed: np.ndarray,
+    known: np.ndarray | None,
+    channel: ChannelModel,
+    key_bits: int,
+    damping: float,
+) -> DecodeState:
+    """Stitch per-shard states back into one full-batch checkpoint.
+
+    Shards that never ran (the pool's deadline fired before they were
+    submitted) contribute fresh uniform messages and default scheduling
+    state.  The merged iteration is the *minimum* across contributing
+    shards — conservative: no table is charged sweeps it never ran.
+    """
+    plan = decode_plan(key_bits)
+    batch = observed.shape[0]
+    messages = np.full(
+        (batch, plan.n_checks, 3, 256), 1.0 / 256.0, dtype=np.float64
+    )
+    merged = _SweepSchedule(batch, plan.n_checks)
+    iteration: int | None = None
+    for idx, part in parts:
+        if part is None:
+            continue
+        messages[idx] = part.messages
+        if part.sched is not None:
+            sub = _SweepSchedule.from_dict(part.sched, idx.size, plan.n_checks)
+            merged.frozen[idx] = sub.frozen
+            merged.converged[idx] = sub.converged
+            merged.dirty[idx] = sub.dirty
+            merged.pending[idx] = sub.pending
+            merged.best_syndrome[idx] = sub.best_syndrome
+            merged.stagnant[idx] = sub.stagnant
+            merged.table_iterations[idx] = sub.table_iterations
+        iteration = (
+            int(part.iteration)
+            if iteration is None
+            else min(iteration, int(part.iteration))
+        )
+    digest = context_digest(observed, known, channel, key_bits, damping)
+    return DecodeState(
+        iteration=iteration or 0,
+        messages=messages,
+        digest=digest,
+        sched=merged.to_dict(),
+    )
+
+
+def _merge_results(
+    parts: list[tuple[np.ndarray, DecodeResult]], batch: int, n_vars: int
+) -> DecodeResult:
+    """Reassemble shard results into batch order."""
+    tables = np.zeros((batch, n_vars), dtype=np.uint8)
+    converged = np.zeros(batch, dtype=bool)
+    syndrome = np.zeros(batch, dtype=np.int64)
+    entropy = np.zeros(batch, dtype=np.float64)
+    certainty = np.zeros(batch, dtype=np.float64)
+    titers = np.zeros(batch, dtype=np.int64)
+    iterations = 0
+    checks_updated = 0
+    checks_dense = 0
+    for idx, part in parts:
+        tables[idx] = part.tables
+        converged[idx] = part.converged
+        syndrome[idx] = part.syndrome_weight
+        entropy[idx] = part.posterior_entropy
+        certainty[idx] = part.certainty
+        if part.table_iterations is not None:
+            titers[idx] = part.table_iterations
+        iterations = max(iterations, part.iterations)
+        checks_updated += part.checks_updated
+        checks_dense += part.checks_dense
+    return DecodeResult(
+        tables=tables,
+        converged=converged,
+        iterations=iterations,
+        syndrome_weight=syndrome,
+        posterior_entropy=entropy,
+        certainty=certainty,
+        table_iterations=titers,
+        checks_updated=checks_updated,
+        checks_dense=checks_dense,
+    )
+
+
+def decode_schedules_sharded(
+    observed: np.ndarray,
+    key_bits: int,
+    channel: ChannelModel,
+    known: np.ndarray | None = None,
+    max_iters: int = DEFAULT_DECODE_ITERS,
+    damping: float = DEFAULT_DAMPING,
+    on_progress=None,
+    deadline: "Deadline | float | None" = None,
+    state: DecodeState | None = None,
+    beat_every: int = 4,
+    stall_sweeps: int = 8,
+    residual_tol: float = DEFAULT_RESIDUAL_TOL,
+    message_dtype=np.float32,
+    workers: int = 1,
+    on_event=None,
+) -> DecodeResult:
+    """:func:`~repro.attack.decode.decode_schedules` across shard workers.
+
+    Drop-in compatible: with ``workers <= 1`` (or a batch too small to
+    split) it simply delegates.  Otherwise the batch is split into
+    ``workers`` contiguous index shards, each decoded on a pool thread
+    with per-shard heartbeats (``on_progress`` calls are serialised
+    through a lock) and the shared deadline.  Results come back in
+    batch order; per-table outputs are byte-identical to the unsharded
+    call.  A worker that fails outright has its error re-raised here,
+    after every other shard has settled.
+    """
+    observed = np.asarray(observed, dtype=np.uint8)
+    if observed.ndim == 1:
+        observed = observed[None, :]
+        if known is not None:
+            known = np.asarray(known, dtype=bool)[None, :]
+    if known is not None:
+        known = np.asarray(known, dtype=bool)
+    batch = observed.shape[0]
+    workers = max(1, int(workers))
+    common = dict(
+        max_iters=max_iters,
+        damping=damping,
+        on_progress=on_progress,
+        deadline=deadline,
+        beat_every=beat_every,
+        stall_sweeps=stall_sweeps,
+        residual_tol=residual_tol,
+        message_dtype=message_dtype,
+    )
+    if workers == 1 or batch < 2:
+        return decode_schedules(
+            observed, key_bits, channel, known=known, state=state, **common
+        )
+    deadline = Deadline.coerce(deadline)
+    common["deadline"] = deadline
+    workers = min(workers, batch)
+    plan = decode_plan(key_bits)
+    shards = [
+        idx for idx in np.array_split(np.arange(batch), workers) if idx.size
+    ]
+    beat_lock = threading.Lock()
+
+    def beat() -> None:
+        if on_progress is not None:
+            with beat_lock:
+                on_progress()
+
+    common["on_progress"] = beat if on_progress is not None else None
+
+    def worker(payload, shard_offset, attempt, in_subprocess):
+        idx = payload
+        sub_state = slice_state(
+            state, idx, observed, known, channel, key_bits, damping
+        )
+        try:
+            result = decode_schedules(
+                observed[idx],
+                key_bits,
+                channel,
+                known=None if known is None else known[idx],
+                state=sub_state,
+                keep_state=True,
+                **common,
+            )
+        except DeadlineExceededError as error:
+            # Sentinel, not a raise: a deadline is a checkpoint event
+            # shared by every shard, not a per-shard failure the retry
+            # policy should burn attempts on.
+            return ("deadline", getattr(error, "decode_state", None))
+        except Exception as error:  # noqa: BLE001 — re-raised by the caller
+            return ("error", error)
+        return ("ok", result)
+
+    published = publish_plan(key_bits)
+    runner = ResilientShardRunner(
+        worker,
+        policy=RetryPolicy(max_attempts=1, shard_timeout_s=None),
+        workers=workers,
+        pool_kind="thread",
+        initializer=install_plan_ref,
+        initargs=(published.ref,),
+        on_event=on_event,
+    )
+    try:
+        ledger = runner.run(
+            {i: idx for i, idx in enumerate(shards)}, deadline=deadline
+        )
+    finally:
+        published.unlink()
+
+    ok_parts: list[tuple[np.ndarray, DecodeResult]] = []
+    state_parts: list[tuple[np.ndarray, DecodeState | None]] = []
+    expired = False
+    failure: Exception | None = None
+    for i, idx in enumerate(shards):
+        outcome = ledger.outcomes.get(i)
+        verdict = outcome.result if outcome is not None and outcome.ok else None
+        if verdict is None:
+            # Never submitted (pool deadline) or quarantined: resumable
+            # as a fresh shard either way.
+            expired = True
+            state_parts.append((idx, slice_state(
+                state, idx, observed, known, channel, key_bits, damping
+            )))
+            continue
+        kind, value = verdict
+        if kind == "ok":
+            ok_parts.append((idx, value))
+            state_parts.append((idx, value.state))
+        elif kind == "deadline":
+            expired = True
+            state_parts.append((idx, value))
+        else:
+            failure = value
+    if failure is not None:
+        raise failure
+    if expired:
+        error = DeadlineExceededError(
+            deadline.total_seconds if deadline is not None else 0.0,
+            context=f"sharded schedule decode ({len(shards)} shards)",
+        )
+        error.decode_state = merge_states(  # type: ignore[attr-defined]
+            state_parts, observed, known, channel, key_bits, damping
+        )
+        raise error
+    return _merge_results(ok_parts, batch, plan.n_vars)

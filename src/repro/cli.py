@@ -130,6 +130,7 @@ def _run_attack(args: argparse.Namespace) -> int:
             adaptive_total_work=total_work,
             adaptive_max_stage=args.max_stage,
             decode_iters=args.decode_iters,
+            decode_workers=args.decode_workers,
             # In adaptive mode the journal path doubles as the decode
             # state sidecar: a deadline that expires mid-decode saves
             # the partial posteriors there, and --resume warm-starts
@@ -438,6 +439,10 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--decode-iters", type=int, default=72,
                         help="cap on message-passing sweeps per decoded "
                              "table (adaptive mode, default: 72)")
+    attack.add_argument("--decode-workers", type=int, default=1,
+                        help="thread shards for the decoded stage; candidate "
+                             "tables split across workers with byte-identical "
+                             "results (adaptive mode, default: 1)")
     attack.set_defaults(func=_cmd_attack)
 
     keyfind = sub.add_parser("keyfind", help="Halderman search over plaintext dumps")

@@ -32,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import zlib
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -395,6 +396,11 @@ class DecodeStateStore:
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._entries: dict[str, dict] = {}
+        # Sharded decode workers checkpoint through the orchestrator,
+        # but nothing stops two searches (or a search and a watchdog
+        # flush) from sharing a store — serialise the read-modify-
+        # rewrite cycle so concurrent saves cannot drop entries.
+        self._lock = threading.Lock()
         if self.path.exists():
             self._entries = self._load()
 
@@ -419,22 +425,26 @@ class DecodeStateStore:
         """Store one decode state and atomically rewrite the sidecar."""
         entry = dict(state_dict)
         entry["crc"] = line_crc(entry)
-        self._entries[key] = entry
-        payload = json.dumps({"version": self.VERSION, "entries": self._entries})
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        try:
-            tmp.write_text(payload, encoding="utf-8")
-            os.replace(tmp, self.path)
-        except OSError as exc:
-            raise CheckpointStorageError(str(self.path), str(exc)) from exc
+        with self._lock:
+            self._entries[key] = entry
+            payload = json.dumps({"version": self.VERSION, "entries": self._entries})
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            try:
+                tmp.write_text(payload, encoding="utf-8")
+                os.replace(tmp, self.path)
+            except OSError as exc:
+                raise CheckpointStorageError(str(self.path), str(exc)) from exc
 
     def load(self, key: str) -> dict | None:
         """Fetch one stored decode state dict (CRC already verified)."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def discard(self, key: str) -> None:
         """Drop a consumed state so a finished decode is not replayed."""
-        if key in self._entries:
+        with self._lock:
+            if key not in self._entries:
+                return
             del self._entries[key]
             payload = json.dumps({"version": self.VERSION, "entries": self._entries})
             tmp = self.path.with_name(self.path.name + ".tmp")

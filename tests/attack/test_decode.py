@@ -390,3 +390,135 @@ class TestWatchdogHeartbeat:
         )
         assert result.abstained()
         assert result.iterations < 72
+
+
+class TestSweepScheduling:
+    """The residual-scheduled rewrite's own contracts."""
+
+    def test_hopeless_junk_abstains_at_the_probe(self):
+        """A fully observed random table freezes right after the probe
+        sweeps — not after dribbling to the stagnation limit."""
+        from repro.attack.decode import _HOPELESS_PROBE_SWEEPS
+
+        rng = np.random.default_rng(61)
+        junk = rng.integers(0, 256, 240, np.uint8)
+        result = decode_schedule(junk, 256, ChannelModel.symmetric(0.04))
+        assert result.abstained()
+        assert int(result.table_iterations[0]) == _HOPELESS_PROBE_SWEEPS
+
+    def test_hopeless_triage_spares_erased_tables(self):
+        """A table with a big erased span holds its syndrome high for
+        honest reasons; triage must not abstain it."""
+        master = _master(256, 62)
+        observed = _corrupt(expand_key(master), 0.01, seed=62)
+        known = np.ones(observed.size, dtype=bool)
+        known[:120] = False  # half the schedule erased
+        observed[:120] = 0
+        result = decode_schedule(
+            observed, 256, ChannelModel.symmetric(0.01), known=known
+        )
+        assert not result.abstained()
+        assert result.tables[0, :32].tobytes() == master
+
+    def test_near_codeword_tables_outlast_stagnation(self):
+        """Regression (hypothesis-found): AES-128 at BER 0.03125 sits at
+        syndrome 1–2 for more than the stall window before snapping to
+        the codeword at sweep 13.  The stagnation abstain must not fire
+        inside the near-codeword band."""
+        master = _master(128, 3053)
+        observed = _corrupt(expand_key(master), 0.03125, seed=3053)
+        result = decode_schedule(
+            observed, 128, ChannelModel.symmetric(0.03125)
+        )
+        assert not result.abstained()
+        assert result.tables[0, :16].tobytes() == master
+
+    def test_scheduled_f32_matches_dense_f64_outcomes(self):
+        """The fast path may skip work and round messages, but wherever
+        either path converges both must land on the same bytes."""
+        observed = np.vstack(
+            [
+                _corrupt(expand_key(_master(256, s)), 0.035, seed=s)
+                for s in (63, 64, 65)
+            ]
+        )
+        channel = ChannelModel.symmetric(0.035)
+        fast = decode_schedules(observed, 256, channel)
+        dense = decode_schedules(
+            observed, 256, channel,
+            message_dtype=np.float64, residual_tol=0.0,
+        )
+        assert np.array_equal(fast.converged, dense.converged)
+        assert np.array_equal(
+            fast.tables[fast.converged], dense.tables[dense.converged]
+        )
+
+    def test_keep_state_attaches_a_resumable_snapshot(self):
+        observed = _corrupt(expand_key(_master(256, 66)), 0.05, seed=66)
+        channel = ChannelModel.symmetric(0.05)
+        partial = decode_schedules(
+            observed[None, :], 256, channel, max_iters=3, keep_state=True
+        )
+        assert partial.state is not None
+        assert partial.state.iteration == 3
+        bare = decode_schedules(observed[None, :], 256, channel, max_iters=3)
+        assert bare.state is None
+        resumed = decode_schedules(
+            observed[None, :], 256, channel, state=partial.state
+        )
+        straight = decode_schedules(observed[None, :], 256, channel)
+        assert (resumed.tables == straight.tables).all()
+        assert np.array_equal(resumed.converged, straight.converged)
+
+    def test_sweep_telemetry_reports_scheduling_savings(self):
+        """checks_updated (work done) must undercut checks_dense (work a
+        dense sweep would have done) once parts of the graph go quiet —
+        the near-codeword band is where residual scheduling pays, and
+        these are the counters the adaptive report surfaces."""
+        observed = _corrupt(expand_key(_master(128, 3053)), 0.03125, seed=3053)
+        result = decode_schedule(
+            observed, 128, ChannelModel.symmetric(0.03125)
+        )
+        assert result.checks_dense > 0
+        assert 0 < result.checks_updated < result.checks_dense
+
+
+class TestDecodePlanTransport:
+    """The shared-plan publication path the shard workers ride."""
+
+    def test_export_attach_round_trip(self):
+        from repro.attack.decode import DecodePlan, decode_plan
+
+        plan = decode_plan(192)
+        clone = DecodePlan.attach(plan.export_blob())
+        assert clone.key_bits == plan.key_bits
+        for field in ("check_vars", "fwd_lut", "inv_lut", "var_in_edges",
+                      "fwd_take", "inv_take"):
+            assert np.array_equal(getattr(clone, field), getattr(plan, field))
+
+    def test_attach_rejects_foreign_blobs(self):
+        from repro.attack.decode import DecodePlan
+
+        with pytest.raises(ValueError):
+            DecodePlan.attach(b"not a decode plan")
+
+    def test_publish_then_install_ref(self):
+        from repro.attack.decode import (
+            decode_plan,
+            install_plan_ref,
+            publish_plan,
+        )
+
+        published = publish_plan(128)
+        try:
+            installed = install_plan_ref(published.ref)
+        finally:
+            published.unlink()
+        reference = decode_plan(128)
+        assert installed.key_bits == 128
+        assert np.array_equal(installed.fwd_take, reference.fwd_take)
+        # The installed plan must be live, not a dangling view.
+        master = _master(128, 68)
+        observed = _corrupt(expand_key(master), 0.02, seed=68)
+        result = decode_schedule(observed, 128, ChannelModel.symmetric(0.02))
+        assert result.tables[0, :16].tobytes() == master

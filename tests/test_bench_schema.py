@@ -472,3 +472,124 @@ def test_committed_robust_record_validates():
     assert acceptance["all_keys_byte_exact"] is True
     assert acceptance["exact_at_twice_classical_crossover"] is True
     assert acceptance["abstains_not_wrong"] is True
+
+
+# --------------------------------------------------- bench-decode/v1 schema
+
+
+from benchmarks import decode_harness  # noqa: E402
+
+
+def decode_stage(wall_s=0.3, workers=1):
+    return {
+        "wall_s": wall_s,
+        "tables_per_s": 100.0,
+        "sweeps": 120,
+        "converged": 4,
+        "abstained": 28,
+        "workers": workers,
+    }
+
+
+def valid_decode_record(with_baseline=True):
+    record = {
+        "schema": decode_harness.BENCH_SCHEMA,
+        "config": {
+            "key_bits": 256,
+            "batch": 32,
+            "n_true": 4,
+            "seed": 11,
+            "bit_error_rate": 0.040,
+            "max_iters": 72,
+        },
+        "stages": {
+            "decode": decode_stage(),
+            "decode_sharded": decode_stage(workers=2),
+        },
+        "baseline": None,
+        "sharded_identical": True,
+    }
+    if with_baseline:
+        record["baseline"] = {"decode": decode_stage(wall_s=5.0)}
+        record["identical_keys"] = True
+        record["identical_abstains"] = True
+        record["speedup_vs_baseline"] = {"decode": 16.0, "decode_sharded": 14.0}
+    return record
+
+
+def test_valid_decode_record_passes():
+    decode_harness.validate_bench_record(valid_decode_record())
+
+
+def test_valid_decode_record_without_baseline_passes():
+    decode_harness.validate_bench_record(valid_decode_record(with_baseline=False))
+
+
+def test_decode_json_roundtrip_still_validates(tmp_path):
+    path = tmp_path / "BENCH_decode.json"
+    path.write_text(json.dumps(valid_decode_record()))
+    decode_harness.validate_bench_record(json.loads(path.read_text()))
+
+
+def test_decode_wrong_schema_tag_rejected():
+    record = valid_decode_record()
+    record["schema"] = BENCH_SCHEMA  # the scan schema is not the decode schema
+    with pytest.raises(ValueError, match="schema"):
+        decode_harness.validate_bench_record(record)
+
+
+@pytest.mark.parametrize(
+    "field", ["key_bits", "batch", "n_true", "seed", "bit_error_rate", "max_iters"]
+)
+def test_decode_missing_config_field_rejected(field):
+    record = valid_decode_record()
+    del record["config"][field]
+    with pytest.raises(ValueError, match=field):
+        decode_harness.validate_bench_record(record)
+
+
+@pytest.mark.parametrize("field", decode_harness.STAGE_FIELDS)
+def test_decode_missing_stage_field_rejected(field):
+    record = valid_decode_record()
+    del record["stages"]["decode"][field]
+    with pytest.raises(ValueError, match=field):
+        decode_harness.validate_bench_record(record)
+
+
+def test_decode_negative_wall_time_rejected():
+    record = valid_decode_record()
+    record["stages"]["decode"]["wall_s"] = -0.1
+    with pytest.raises(ValueError, match="wall_s"):
+        decode_harness.validate_bench_record(record)
+
+
+def test_decode_baseline_without_identity_gates_rejected():
+    record = valid_decode_record()
+    del record["identical_keys"]
+    with pytest.raises(ValueError, match="identical_keys"):
+        decode_harness.validate_bench_record(record)
+    record = valid_decode_record()
+    del record["identical_abstains"]
+    with pytest.raises(ValueError, match="identical_abstains"):
+        decode_harness.validate_bench_record(record)
+
+
+def test_decode_baseline_without_speedups_rejected():
+    record = valid_decode_record()
+    del record["speedup_vs_baseline"]
+    with pytest.raises(ValueError, match="speedup"):
+        decode_harness.validate_bench_record(record)
+
+
+def test_committed_decode_record_validates():
+    """The checked-in BENCH_decode.json must satisfy its own schema and
+    certify the decoded-stage acceptance bar: >= 5x over the frozen
+    dense reference at BER 0.040 with identical keys and abstains."""
+    path = Path(__file__).resolve().parent.parent / "BENCH_decode.json"
+    record = json.loads(path.read_text())
+    decode_harness.validate_bench_record(record)
+    assert record["config"]["bit_error_rate"] == pytest.approx(0.040)
+    assert record["identical_keys"] is True
+    assert record["identical_abstains"] is True
+    assert record["sharded_identical"] is True
+    assert record["speedup_vs_baseline"]["decode"] >= 5.0
