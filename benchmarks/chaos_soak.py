@@ -360,6 +360,9 @@ def chaos_soak(iterations: int = DEFAULT_ITERATIONS, seed: int = 5, on_progress=
         "seed": seed,
         "n_shards": N_SHARDS,
         "baseline_keys": len(baseline),
+        "repro_command": (
+            f"PYTHONPATH=src python -m benchmarks.chaos_soak "
+            f"--seed {seed} --iterations {iterations}"),
         "iterations": results,
         "acceptance": _acceptance(results),
     }
@@ -377,6 +380,8 @@ def validate_chaos_record(record: dict) -> list[str]:
     for field in ("seed", "n_shards", "baseline_keys"):
         if not isinstance(record.get(field), int):
             errors.append(f"{field} must be an int")
+    if not isinstance(record.get("repro_command"), str):
+        errors.append("repro_command must be a string")
     iterations = record.get("iterations")
     if not isinstance(iterations, list) or not iterations:
         return errors + ["iterations must be a non-empty list"]
@@ -431,6 +436,9 @@ def main(argv: list[str] | None = None) -> int:
     acceptance = record["acceptance"]
     print(f"wrote {args.output}: {acceptance}")
     ok = all(acceptance[field] for field in _ACCEPTANCE_BOOLS)
+    if not ok:
+        print(f"soak FAILED — reproduce with: {record['repro_command']}",
+              file=sys.stderr)
     return 0 if ok else 1
 
 

@@ -26,8 +26,11 @@ from repro.attack.pipeline import AttackReport
 #: ``resilience.executor`` (which worker pool ran the shards); v6 added
 #: ``robustness.decode`` (belief-propagation telemetry of the decoded
 #: escalation stage: tables tried, message-passing sweeps, converged
-#: and abstained counts, per-base abstain evidence, interrupt flag).
-REPORT_SCHEMA_VERSION = 6
+#: and abstained counts, per-base abstain evidence, interrupt flag);
+#: v7 added the ``service`` block (``None`` outside ``repro serve``:
+#: job id, attempts, admission latency, terminal state — how the job
+#: engine ran this report's scan).
+REPORT_SCHEMA_VERSION = 7
 
 
 def report_to_dict(report: AttackReport, include_keys: bool = True) -> dict:
@@ -79,6 +82,9 @@ def report_to_dict(report: AttackReport, include_keys: bool = True) -> dict:
             "min_confidence": report.min_confidence,
             "decode": (report.adaptive or {}).get("decode"),
         },
+        # Filled in by the job engine when the scan ran under
+        # ``repro serve`` (see repro.service.server.execute_attack_job).
+        "service": None,
         "recovered_keys": [
             {
                 "key_bits": recovered.key_bits,
@@ -168,8 +174,53 @@ def migrate_report_dict(data: dict) -> dict:
     if version < 6:
         robustness = migrated.setdefault("robustness", {})
         robustness.setdefault("decode", None)
+    if version < 7:
+        migrated.setdefault("service", None)
     migrated["schema_version"] = REPORT_SCHEMA_VERSION
     return migrated
+
+
+#: Fields excluded from :func:`canonical_report_bytes` — everything
+#: that legitimately differs between two runs of the *same* scan
+#: (wall-clock timing, executor/backend selection, resume accounting,
+#: and the service block's attempt/latency bookkeeping).  What remains
+#: is the attack's findings, which the crash-safety guarantees pin
+#: byte-for-byte across kill/resume.
+VOLATILE_REPORT_FIELDS = ("timings", "timing", "service")
+VOLATILE_RESILIENCE_FIELDS = (
+    "resumed_shards", "degraded_to_serial", "stall_kills",
+    "resource_backend", "executor", "checkpoint_path", "checkpoint_error",
+)
+
+
+def canonical_report_bytes(data: dict) -> bytes:
+    """A report dict's deterministic identity, as canonical JSON bytes.
+
+    Two runs of the same scan — one uninterrupted, one SIGKILL'd and
+    resumed from its journals — must produce the same *findings*:
+    recovered keys with all their evidence, candidate statistics,
+    quarantine decisions.  This strips the fields that are allowed to
+    differ (wall-clock timings, pool/backend selection, resume and
+    service bookkeeping — see :data:`VOLATILE_REPORT_FIELDS`) and
+    serialises the rest with sorted keys, so "byte-identical" is a
+    simple bytes comparison.  The input is not modified.
+    """
+    import copy
+
+    canonical = copy.deepcopy(data)
+    for field in VOLATILE_REPORT_FIELDS:
+        canonical.pop(field, None)
+    resilience = canonical.get("resilience")
+    if isinstance(resilience, dict):
+        for field in VOLATILE_RESILIENCE_FIELDS:
+            resilience.pop(field, None)
+    robustness = canonical.get("robustness")
+    if isinstance(robustness, dict):
+        adaptive = robustness.get("adaptive")
+        if isinstance(adaptive, dict):
+            adaptive.pop("stage_seconds", None)
+    return json.dumps(canonical, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
 
 
 def load_report_json(path: str | Path) -> dict:

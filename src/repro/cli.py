@@ -13,7 +13,13 @@ The tools an investigator (or a curious reader) actually wants:
   keystream dumps (§III-A/B);
 * ``retention`` — print the §III-D retention table;
 * ``sweep``     — run the decay/ablation sweeps (success vs BER);
-* ``engines``   — print Table II and the §IV latency/power analyses.
+* ``engines``   — print Table II and the §IV latency/power analyses;
+* ``serve``     — run the persistent crash-safe job engine over a
+  service directory (many dumps in flight, durable across SIGKILL);
+* ``submit``    — spool a dump into a service directory as a job;
+* ``status``    — job or whole-service status from a read-only replay;
+* ``cancel``    — request cancellation of a queued or running job;
+* ``watch``     — stream one job's progress from the heartbeat board.
 
 Dump files are raw binary images (any multiple of 64 bytes), e.g. the
 output of :meth:`repro.dram.MemoryImage.save`.
@@ -120,6 +126,14 @@ def _run_attack(args: argparse.Namespace) -> int:
     checkpoint = args.checkpoint
     if args.resume and checkpoint is None:
         checkpoint = f"{args.dump}.checkpoint.jsonl"
+    if args.resume and not args.adaptive:
+        # Preflight the journal before loading anything heavy: a missing
+        # or corrupt journal surfaces as one CheckpointCorruptError line
+        # (with the offending line number) instead of a traceback deep
+        # inside the scan.
+        from repro.resilience.checkpoint import verify_journal_file
+
+        verify_journal_file(checkpoint)
     # The decoded rung costs 4 work units; asking for it explicitly
     # raises the ladder budget so it actually fits.
     total_work = 10 if args.max_stage == "decoded" else 6
@@ -366,6 +380,132 @@ def _cmd_engines(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------------- service
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.resilience.retry import RetryPolicy
+    from repro.resilience.shutdown import GracefulShutdown
+    from repro.service import JobEngine
+
+    engine = JobEngine(
+        args.service_dir,
+        workers=args.workers,
+        max_queued=args.max_queued,
+        retry_policy=RetryPolicy(
+            max_attempts=args.max_attempts,
+            base_delay_s=args.retry_base_delay,
+            max_delay_s=args.retry_max_delay,
+        ),
+        poll_interval_s=args.poll_interval,
+        on_event=lambda message: print(f"[serve] {message}", file=sys.stderr),
+    )
+    # SIGINT/SIGTERM start the two-stage drain: admission closes,
+    # running jobs drain their in-flight shards to their journals and
+    # land RETRYING; a second signal abandons them (still resumable —
+    # the next serve folds RUNNING back through RETRYING).
+    with GracefulShutdown() as stop:
+        return engine.serve_forever(stop, idle_exit_s=args.idle_exit)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import JobSpec, new_job_id, submit_job, wait_for_admission
+
+    spec = JobSpec(
+        job_id=args.job_id or new_job_id(),
+        dump=str(Path(args.dump).resolve()),
+        key_bits=args.key_bits,
+        scan_workers=args.scan_workers,
+        n_shards=args.shards or None,
+        deadline_s=args.deadline,
+        priority=args.priority,
+        submitter=args.submitter,
+    )
+    submit_job(args.service_dir, spec)
+    print(f"submitted {spec.job_id}")
+    if args.no_wait:
+        return 0
+    try:
+        state = wait_for_admission(args.service_dir, spec.job_id,
+                                   timeout_s=args.timeout)
+    except TimeoutError as error:
+        print(f"warning: {error}", file=sys.stderr)
+        return 0  # the submission is durable; a later serve admits it
+    print(f"{spec.job_id}: {state}")
+    return 0
+
+
+def _service_exit_code(state: str) -> int:
+    from repro.resilience.shutdown import (
+        EXIT_DEADLINE_EXPIRED,
+        EXIT_INTERRUPTED,
+        EXIT_JOB_FAILED,
+    )
+
+    return {
+        "DONE": 0,
+        "CANCELLED": EXIT_INTERRUPTED,
+        "EXPIRED": EXIT_DEADLINE_EXPIRED,
+        "FAILED": EXIT_JOB_FAILED,
+    }.get(state, 0)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.service import job_status, service_status, wait_terminal
+
+    if args.job_id:
+        if args.wait:
+            status = wait_terminal(args.service_dir, args.job_id,
+                                   timeout_s=args.timeout)
+        else:
+            status = job_status(args.service_dir, args.job_id)
+        print(json_module.dumps(status, indent=2))
+        return _service_exit_code(status["state"]) if args.wait else 0
+    digest = service_status(args.service_dir)
+    print(json_module.dumps(digest, indent=2))
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service import job_status, request_cancel
+
+    # Surfaces UnknownJobError as one line via main()'s handler.
+    status = job_status(args.service_dir, args.job_id)
+    if status["state"] in ("DONE", "FAILED", "CANCELLED", "EXPIRED"):
+        print(f"{args.job_id} already terminal: {status['state']}")
+        return 0
+    request_cancel(args.service_dir, args.job_id)
+    print(f"cancel requested for {args.job_id}")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.service import watch_job
+
+    last = None
+    try:
+        for snapshot in watch_job(args.service_dir, args.job_id,
+                                  timeout_s=args.timeout):
+            line = (
+                f"{snapshot.get('state', '?'):9s} "
+                f"attempts={snapshot.get('attempts', 0)} "
+                f"beats={snapshot.get('beats', '-')} "
+                f"shards={(snapshot.get('progress') or {}).get('journaled_shards', '-')}"
+            )
+            if line != last:
+                print(f"[{args.job_id}] {line}")
+                last = line
+    except TimeoutError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    final = snapshot.get("state", "?")
+    if snapshot.get("error"):
+        print(f"[{args.job_id}] error: {snapshot['error']}", file=sys.stderr)
+    return _service_exit_code(final)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -474,6 +614,84 @@ def build_parser() -> argparse.ArgumentParser:
 
     engines = sub.add_parser("engines", help="print Table II / Figure 6-7 analyses")
     engines.set_defaults(func=_cmd_engines)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the crash-safe job engine over a service directory")
+    serve.add_argument("service_dir",
+                       help="service state root (WAL, spool, job dirs, board)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent jobs (each may shard further via "
+                            "its own scan_workers; default 2)")
+    serve.add_argument("--max-queued", type=int, default=16,
+                       help="admission bound: jobs waiting past this are "
+                            "rejected with a receipt (default 16)")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="attempts before a failing job is quarantined "
+                            "FAILED (default 3)")
+    serve.add_argument("--retry-base-delay", type=float, default=0.2,
+                       metavar="SECONDS", help="first retry backoff (default 0.2)")
+    serve.add_argument("--retry-max-delay", type=float, default=5.0,
+                       metavar="SECONDS", help="backoff ceiling (default 5)")
+    serve.add_argument("--poll-interval", type=float, default=0.2,
+                       metavar="SECONDS",
+                       help="spool pickup / board heartbeat period (default 0.2)")
+    serve.add_argument("--idle-exit", type=float, default=None,
+                       metavar="SECONDS",
+                       help="exit 0 after this long with nothing queued, "
+                            "running, or spooled (default: serve forever)")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser("submit", help="spool a dump for the job engine")
+    submit.add_argument("service_dir")
+    submit.add_argument("dump")
+    submit.add_argument("--job-id", default=None,
+                        help="explicit job id (default: generated; resubmitting "
+                             "an existing id is an idempotent no-op)")
+    submit.add_argument("--key-bits", type=int, default=256, choices=(128, 192, 256))
+    submit.add_argument("--scan-workers", type=int, default=1,
+                        help="shard workers inside the job's scan (default 1)")
+    submit.add_argument("--shards", type=int, default=0,
+                        help="shard count for the job's scan (default: auto)")
+    submit.add_argument("--deadline", type=float, metavar="SECONDS",
+                        help="per-job budget; expiry lands EXPIRED with a "
+                             "resumable partial report")
+    submit.add_argument("--priority", type=int, default=1,
+                        help="admission priority, lower runs first (default 1)")
+    submit.add_argument("--submitter", default="anonymous",
+                        help="fair-share identity (round-robins between "
+                             "submitters at equal priority)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="spool and exit without waiting for admission")
+    submit.add_argument("--timeout", type=float, default=10.0,
+                        help="seconds to wait for a server to admit (default 10)")
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="job or whole-service status (read-only WAL replay)")
+    status.add_argument("service_dir")
+    status.add_argument("job_id", nargs="?", default=None,
+                        help="one job's digest (default: whole service)")
+    status.add_argument("--wait", action="store_true",
+                        help="block until the job is terminal; exit code maps "
+                             "the verdict (0 done / 3 cancelled / 4 expired / "
+                             "5 failed)")
+    status.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait limit in seconds (default 300)")
+    status.set_defaults(func=_cmd_status)
+
+    cancel = sub.add_parser("cancel", help="request cancellation of a job")
+    cancel.add_argument("service_dir")
+    cancel.add_argument("job_id")
+    cancel.set_defaults(func=_cmd_cancel)
+
+    watch = sub.add_parser(
+        "watch", help="stream a job's progress from the heartbeat board")
+    watch.add_argument("service_dir")
+    watch.add_argument("job_id")
+    watch.add_argument("--timeout", type=float, default=None,
+                       help="give up after this many seconds (default: never)")
+    watch.set_defaults(func=_cmd_watch)
     return parser
 
 

@@ -22,17 +22,21 @@ from repro.resilience.checkpoint import (
     deserialize_recovered,
     dump_fingerprint,
     serialize_recovered,
+    verify_journal_file,
 )
 from repro.resilience.deadline import Deadline, clamp_sleep
 from repro.resilience.errors import (
+    AdmissionRejectedError,
     CheckpointCorruptError,
     CheckpointStorageError,
     DeadlineExceededError,
     DumpFormatError,
+    JobStoreCorruptError,
     ReproError,
     ShardLayoutError,
     ShardStallError,
     ShardTimeoutError,
+    UnknownJobError,
     WorkerCrashError,
 )
 from repro.resilience.executor import (
@@ -65,6 +69,7 @@ from repro.resilience.retry import RetryPolicy
 from repro.resilience.shutdown import (
     EXIT_DEADLINE_EXPIRED,
     EXIT_INTERRUPTED,
+    EXIT_JOB_FAILED,
     GracefulShutdown,
 )
 from repro.resilience.watchdog import (
@@ -79,6 +84,7 @@ __all__ = [
     "BACKEND_SHM",
     "EXIT_DEADLINE_EXPIRED",
     "EXIT_INTERRUPTED",
+    "EXIT_JOB_FAILED",
     "FAULT_KINDS",
     "JOURNAL_VERSION",
     "PERMANENT",
@@ -87,6 +93,7 @@ __all__ = [
     "STATUS_INTERRUPTED",
     "STATUS_OK",
     "STATUS_QUARANTINED",
+    "AdmissionRejectedError",
     "CheckpointCorruptError",
     "CheckpointJournal",
     "CheckpointStorageError",
@@ -99,6 +106,7 @@ __all__ = [
     "HeartbeatBoard",
     "HeartbeatMonitor",
     "InjectedFault",
+    "JobStoreCorruptError",
     "JournalHeader",
     "PublishedBuffer",
     "ReproError",
@@ -110,6 +118,7 @@ __all__ = [
     "ShardOutcome",
     "ShardStallError",
     "ShardTimeoutError",
+    "UnknownJobError",
     "WatchdogConfig",
     "WorkerCrashError",
     "clamp_sleep",
@@ -118,4 +127,5 @@ __all__ = [
     "publish_bytes",
     "resolve_ref",
     "serialize_recovered",
+    "verify_journal_file",
 ]

@@ -171,6 +171,55 @@ def _truncate_torn_tail(path: Path) -> None:
             handle.truncate(cut)
 
 
+def verify_journal_file(path: str | Path) -> int:
+    """Cheap read-only integrity pass over a checkpoint journal.
+
+    The CLI's ``--resume`` preflight: parse every record and check its
+    CRC *without* loading results, binding to a dump, or repairing the
+    file.  A torn trailing line — the expected signature of a crash
+    mid-write — is tolerated (the real loader truncates it on resume);
+    anything else raises :class:`CheckpointCorruptError` naming the
+    offending line so the operator sees one readable diagnostic instead
+    of a traceback or a silent full rescan.  Returns the number of
+    completed shard records the journal holds.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointCorruptError(
+            f"{path}: no such checkpoint journal — nothing to resume "
+            "(drop --resume to start a fresh scan, or point --checkpoint "
+            "at the journal the interrupted run wrote)"
+        )
+    raw = path.read_bytes()
+    if not raw:
+        raise CheckpointCorruptError(f"{path}: empty journal")
+    lines = raw.split(b"\n")
+    torn_tail = lines[-1] != b""
+    body = lines[:-1]
+    if not body:
+        raise CheckpointCorruptError(f"{path}: journal header is torn")
+    shards = 0
+    for index, line in enumerate(body, start=1):
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            if index == len(body) and not torn_tail:
+                break  # torn final line that happened to contain a newline
+            raise CheckpointCorruptError(
+                f"{path}: unreadable record on line {index}: {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise CheckpointCorruptError(
+                f"{path}: record on line {index} is not a JSON object"
+            )
+        _check_line_crc(record, path, index)
+        if index == 1:
+            JournalHeader.from_json(record)
+        elif record.get("type") == "shard":
+            shards += 1
+    return shards
+
+
 class CheckpointJournal:
     """Append-only JSONL journal of completed shards.
 

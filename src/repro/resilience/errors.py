@@ -116,6 +116,44 @@ class CheckpointStaleError(CheckpointCorruptError):
     checkpoint is never silently discarded."""
 
 
+class AdmissionRejectedError(ReproError, RuntimeError):
+    """The service's bounded admission queue refused a new job.
+
+    Backpressure, not a bug: a long-running ``repro serve`` must bound
+    the memory its queue can consume, so once ``max_queued`` jobs are
+    waiting, further submissions are rejected *synchronously* with this
+    typed error instead of being buffered without limit.  In-flight and
+    already-queued jobs are unaffected; the submitter retries later or
+    against another server."""
+
+    def __init__(self, job_id: str, pending: int, max_queued: int) -> None:
+        self.job_id = job_id
+        self.pending = pending
+        self.max_queued = max_queued
+        super().__init__(
+            f"job {job_id} rejected: admission queue is full "
+            f"({pending}/{max_queued} jobs pending) — retry later"
+        )
+
+
+class JobStoreCorruptError(CheckpointCorruptError):
+    """The service's write-ahead job log cannot be trusted: unreadable
+    interior records, a failed per-line CRC, or an impossible state
+    transition.  A torn *trailing* record is expected crash damage and
+    is repaired, not an error."""
+
+
+class UnknownJobError(ReproError, KeyError):
+    """A job id names no job in the service's write-ahead log."""
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        super().__init__(f"unknown job id {job_id!r}")
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep one line
+        return f"unknown job id {self.job_id!r}"
+
+
 class SharedSegmentCorruptError(ReproError, RuntimeError):
     """A worker's view of a published shared-memory segment failed its
     integrity check (the key matrix it attached is not the one the

@@ -24,6 +24,8 @@ import threading
 EXIT_INTERRUPTED = 3
 #: Exit status for a run that hit its deadline but is resumable.
 EXIT_DEADLINE_EXPIRED = 4
+#: Exit status for a service job that exhausted its retries (quarantined).
+EXIT_JOB_FAILED = 5
 
 
 class GracefulShutdown:

@@ -1,0 +1,91 @@
+"""Attack-as-a-service: a persistent, crash-safe job engine.
+
+ROADMAP item 1: turn "one CLI invocation" into a long-running service
+that keeps many users' dumps in flight.  The resilient core (checkpoint
+journals, deadlines, watchdogs, graceful drain) already supplies every
+primitive; this package is the orchestration layer on top:
+
+* :mod:`repro.service.jobstore` — the write-ahead job log (fsynced
+  CRC'd JSONL, atomic rotation) and the explicit job state machine;
+* :mod:`repro.service.scheduler` — bounded-queue admission control
+  with fair-share priority, a worker fleet, and a retry/quarantine
+  supervisor;
+* :mod:`repro.service.server` — the ``repro serve`` engine: spool
+  pickup, the heartbeat board, two-stage graceful drain;
+* :mod:`repro.service.client` — durable submission, read-only status,
+  cancel, and watch (everything a client does without a connection).
+"""
+
+from repro.service.jobstore import (
+    ADMITTED,
+    ALL_STATES,
+    CANCELLED,
+    DONE,
+    EXPIRED,
+    FAILED,
+    LIVE_STATES,
+    QUEUED,
+    RETRYING,
+    RUNNING,
+    TERMINAL_STATES,
+    VALID_TRANSITIONS,
+    Job,
+    JobSpec,
+    JobStore,
+    replay_jobs,
+)
+from repro.service.scheduler import (
+    JobOutcome,
+    Scheduler,
+    SchedulerConfig,
+)
+from repro.service.server import (
+    JobEngine,
+    ServiceDirs,
+    execute_attack_job,
+)
+from repro.service.client import (
+    job_status,
+    new_job_id,
+    read_board,
+    request_cancel,
+    service_status,
+    submit_job,
+    wait_for_admission,
+    wait_terminal,
+    watch_job,
+)
+
+__all__ = [
+    "ADMITTED",
+    "ALL_STATES",
+    "CANCELLED",
+    "DONE",
+    "EXPIRED",
+    "FAILED",
+    "LIVE_STATES",
+    "QUEUED",
+    "RETRYING",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "VALID_TRANSITIONS",
+    "Job",
+    "JobEngine",
+    "JobOutcome",
+    "JobSpec",
+    "JobStore",
+    "Scheduler",
+    "SchedulerConfig",
+    "ServiceDirs",
+    "execute_attack_job",
+    "job_status",
+    "new_job_id",
+    "read_board",
+    "replay_jobs",
+    "request_cancel",
+    "service_status",
+    "submit_job",
+    "wait_for_admission",
+    "wait_terminal",
+    "watch_job",
+]

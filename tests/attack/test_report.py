@@ -308,3 +308,111 @@ class TestV6DecodeMigration:
         text = report_to_markdown(report)
         assert "decoded stage: 2 converged / 7 abstained of 9 tables" in text
         assert "interrupted by deadline" in text
+
+
+class TestV7ServiceMigration:
+    def versioned_dict(self, version: int) -> dict:
+        base = {
+            "schema_version": version,
+            "dump_bytes": 512,
+            "timings": {"mine_seconds": 0.1, "search_seconds": 0.2,
+                        "scan_rate_mb_per_hour": 3.0},
+            "candidate_keys": {"count": 0, "top_frequencies": []},
+            "recovered_keys": [],
+        }
+        if version >= 2:
+            base["resilience"] = {
+                "n_shards": 4, "quarantined_shards": [], "resumed_shards": 1,
+                "degraded_to_serial": False, "complete_scan": True,
+            }
+        if version >= 3:
+            base["robustness"] = {
+                "adaptive": None, "quarantined_regions": [],
+                "min_confidence": 0.0,
+            }
+        return base
+
+    @pytest.mark.parametrize("version", [1, 2, 3, 4, 5, 6])
+    def test_every_prior_version_gains_a_null_service_block(self, version):
+        migrated = migrate_report_dict(self.versioned_dict(version))
+        assert migrated["schema_version"] == REPORT_SCHEMA_VERSION
+        assert migrated["service"] is None
+
+    @pytest.mark.parametrize("version", [1, 2, 3, 4, 5, 6])
+    def test_migration_round_trips_every_prior_version(self, version):
+        once = migrate_report_dict(self.versioned_dict(version))
+        assert migrate_report_dict(once) == once
+
+    def test_existing_service_block_survives_migration(self):
+        aged = self.versioned_dict(6)
+        aged["service"] = {"job_id": "job-x", "attempts": 2}
+        migrated = migrate_report_dict(aged)
+        assert migrated["service"] == {"job_id": "job-x", "attempts": 2}
+
+    def test_report_dicts_carry_null_service_by_default(self, successful_report):
+        report, _ = successful_report
+        assert report_to_dict(report)["service"] is None
+
+    def test_v6_report_resumed_under_v7_yields_identical_keys(self, tmp_path):
+        """A journal a v6 run left behind resumes byte-identically on v7.
+
+        Simulates the upgrade path: a v6 deployment ran a sharded scan
+        to completion and archived its report; the same journal resumed
+        by v7 tooling must recover the same keys, and migrating the
+        archived v6 report must agree with the fresh v7 one on every
+        canonical (non-volatile) byte.
+        """
+        from repro.attack.report import canonical_report_bytes
+
+        dump, master, _ = synthetic_dump(
+            bit_error_rate=0.0, n_blocks=3 * 4096, seed=43)
+        journal = tmp_path / "v6-run.checkpoint.jsonl"
+        v6_report = Ddr4ColdBootAttack().run_sharded(
+            dump, workers=2, n_shards=4, checkpoint=journal)
+        aged = report_to_dict(v6_report)
+        aged["schema_version"] = 6
+        del aged["service"]  # a v6 writer never emitted the block
+
+        resumed = Ddr4ColdBootAttack().run_sharded(
+            dump, workers=2, n_shards=4, checkpoint=journal, resume=True)
+        assert resumed.resumed_shards == 4  # nothing re-scanned
+        assert [r.master_key for r in resumed.recovered_keys] == \
+            [r.master_key for r in v6_report.recovered_keys]
+        assert master[:32].hex() in {r.master_key.hex()
+                                     for r in resumed.recovered_keys}
+        assert canonical_report_bytes(migrate_report_dict(aged)) == \
+            canonical_report_bytes(report_to_dict(resumed))
+
+
+class TestCanonicalReportBytes:
+    def test_volatile_fields_do_not_change_identity(self, successful_report):
+        from repro.attack.report import canonical_report_bytes
+
+        report, _ = successful_report
+        one = report_to_dict(report)
+        two = report_to_dict(report)
+        two["timings"]["mine_seconds"] = 999.0
+        two["timing"]["stages"]["search_seconds"] = 999.0
+        two["service"] = {"job_id": "job-y", "attempts": 3}
+        two["resilience"]["resumed_shards"] = 7
+        two["resilience"]["executor"] = "process"
+        two["resilience"]["checkpoint_path"] = "/elsewhere.jsonl"
+        assert canonical_report_bytes(one) == canonical_report_bytes(two)
+
+    def test_finding_changes_do_change_identity(self, successful_report):
+        from repro.attack.report import canonical_report_bytes
+
+        report, _ = successful_report
+        one = report_to_dict(report)
+        two = report_to_dict(report)
+        two["recovered_keys"] = []
+        assert canonical_report_bytes(one) != canonical_report_bytes(two)
+
+    def test_input_is_not_modified(self, successful_report):
+        from repro.attack.report import canonical_report_bytes
+
+        report, _ = successful_report
+        data = report_to_dict(report)
+        before = json.dumps(data, sort_keys=True)
+        canonical_report_bytes(data)
+        assert json.dumps(data, sort_keys=True) == before

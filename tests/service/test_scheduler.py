@@ -1,0 +1,323 @@
+"""Tests for admission control, fair-share dispatch, and supervision.
+
+Stub executors let every scheduler behaviour run in milliseconds; the
+real attack pipeline rides the same seam in
+``tests/service/test_service_cli.py`` and ``benchmarks/service_soak.py``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.resilience.errors import AdmissionRejectedError
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.shutdown import GracefulShutdown
+from repro.service.jobstore import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JobSpec,
+    JobStore,
+    RETRYING,
+    RUNNING,
+    replay_jobs,
+)
+from repro.service.scheduler import (
+    VERDICT_CANCELLED,
+    VERDICT_DONE,
+    VERDICT_EXPIRED,
+    VERDICT_FAILED,
+    JobOutcome,
+    Scheduler,
+    SchedulerConfig,
+)
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.01, max_delay_s=0.05)
+
+
+def config(**overrides):
+    defaults = dict(workers=2, max_queued=8, retry_policy=FAST_RETRY)
+    defaults.update(overrides)
+    return SchedulerConfig(**defaults)
+
+
+def spec(job_id, **overrides):
+    return JobSpec(job_id=job_id, dump="dump.bin", **overrides)
+
+
+def done_executor(job, stop):
+    return JobOutcome(verdict=VERDICT_DONE, report_path=f"{job.job_id}.json")
+
+
+class TestHappyPath:
+    def test_submitted_jobs_run_to_done(self, tmp_path):
+        wal = tmp_path / "jobs.wal"
+        sched = Scheduler(JobStore.open(wal), done_executor, config())
+        sched.start()
+        for index in range(4):
+            sched.submit(spec(f"job-{index}"))
+        assert sched.wait_idle(timeout_s=10)
+        sched.drain(GracefulShutdown())
+        jobs = replay_jobs(wal)
+        assert all(jobs[f"job-{i}"].state == DONE for i in range(4))
+        assert all(jobs[f"job-{i}"].attempts == 1 for i in range(4))
+
+    def test_exactly_one_terminal_event_per_job(self, tmp_path):
+        wal = tmp_path / "jobs.wal"
+        sched = Scheduler(JobStore.open(wal), done_executor, config())
+        sched.start()
+        for index in range(6):
+            sched.submit(spec(f"job-{index}"))
+        assert sched.wait_idle(timeout_s=10)
+        sched.drain(GracefulShutdown())
+        for job in replay_jobs(wal).values():
+            assert job.terminal_events == 1
+
+
+class TestAdmissionControl:
+    def test_overload_rejects_with_typed_error(self, tmp_path):
+        release = threading.Event()
+
+        def blocked(job, stop):
+            release.wait(10)
+            return JobOutcome(verdict=VERDICT_DONE)
+
+        sched = Scheduler(JobStore.open(tmp_path / "jobs.wal"), blocked,
+                          config(workers=1, max_queued=2))
+        sched.start()
+        sched.submit(spec("running"))
+        deadline = time.monotonic() + 5
+        while "running" not in sched.running_ids():
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        sched.submit(spec("wait-1"))
+        sched.submit(spec("wait-2"))
+        with pytest.raises(AdmissionRejectedError) as excinfo:
+            sched.submit(spec("over"))
+        assert excinfo.value.pending == 2
+        assert excinfo.value.max_queued == 2
+        assert "over" in str(excinfo.value)
+        release.set()
+        assert sched.wait_idle(timeout_s=10)
+        sched.drain(GracefulShutdown())
+        assert "over" not in replay_jobs(tmp_path / "jobs.wal")
+
+    def test_rejected_submission_leaves_no_wal_record(self, tmp_path):
+        wal = tmp_path / "jobs.wal"
+        sched = Scheduler(JobStore.open(wal), done_executor,
+                          config(workers=1, max_queued=1))
+        # Workers never started: submissions pile up in the queue.
+        sched.submit(spec("one"))
+        with pytest.raises(AdmissionRejectedError):
+            sched.submit(spec("two"))
+        assert set(replay_jobs(wal)) == {"one"}
+
+
+class TestFairShareDispatch:
+    def test_lower_priority_number_runs_first(self, tmp_path):
+        order = []
+        gate = threading.Event()
+
+        def record(job, stop):
+            gate.wait(10)
+            order.append(job.job_id)
+            return JobOutcome(verdict=VERDICT_DONE)
+
+        sched = Scheduler(JobStore.open(tmp_path / "jobs.wal"), record,
+                          config(workers=1, max_queued=8))
+        sched.submit(spec("late", priority=5))
+        sched.submit(spec("urgent", priority=0))
+        sched.submit(spec("normal", priority=1))
+        gate.set()
+        sched.start()
+        assert sched.wait_idle(timeout_s=10)
+        sched.drain(GracefulShutdown())
+        assert order == ["urgent", "normal", "late"]
+
+    def test_equal_priority_round_robins_between_submitters(self, tmp_path):
+        order = []
+
+        def record(job, stop):
+            order.append(job.spec.submitter)
+            return JobOutcome(verdict=VERDICT_DONE)
+
+        sched = Scheduler(JobStore.open(tmp_path / "jobs.wal"), record,
+                          config(workers=1, max_queued=8))
+        # alice floods three jobs before bob's first lands.
+        for index in range(3):
+            sched.submit(spec(f"alice-{index}", submitter="alice"))
+        sched.submit(spec("bob-0", submitter="bob"))
+        sched.start()
+        assert sched.wait_idle(timeout_s=10)
+        sched.drain(GracefulShutdown())
+        # Fair share: bob's first job is not stuck behind alice's flood.
+        assert order.index("bob") == 1
+
+
+class TestSupervision:
+    def test_flaky_job_retries_then_succeeds(self, tmp_path):
+        calls = {"n": 0}
+
+        def flaky(job, stop):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError(f"transient {calls['n']}")
+            return JobOutcome(verdict=VERDICT_DONE)
+
+        wal = tmp_path / "jobs.wal"
+        sched = Scheduler(JobStore.open(wal), flaky, config(workers=1))
+        sched.start()
+        sched.submit(spec("flaky"))
+        assert sched.wait_idle(timeout_s=10)
+        sched.drain(GracefulShutdown())
+        job = replay_jobs(wal)["flaky"]
+        assert job.state == DONE
+        assert job.attempts == 3
+        assert job.failures == 2
+
+    def test_persistent_failure_quarantines_failed(self, tmp_path):
+        def broken(job, stop):
+            raise RuntimeError("permanent")
+
+        wal = tmp_path / "jobs.wal"
+        sched = Scheduler(JobStore.open(wal), broken, config(workers=1))
+        sched.start()
+        sched.submit(spec("doomed"))
+        assert sched.wait_idle(timeout_s=10)
+        sched.drain(GracefulShutdown())
+        job = replay_jobs(wal)["doomed"]
+        assert job.state == FAILED
+        assert job.attempts == FAST_RETRY.max_attempts
+        assert "permanent" in job.error
+
+    def test_executor_verdict_failed_also_retries(self, tmp_path):
+        calls = {"n": 0}
+
+        def failing(job, stop):
+            calls["n"] += 1
+            return JobOutcome(verdict=VERDICT_FAILED, error="scan blew up")
+
+        wal = tmp_path / "jobs.wal"
+        sched = Scheduler(JobStore.open(wal), failing, config(workers=1))
+        sched.start()
+        sched.submit(spec("verdict"))
+        assert sched.wait_idle(timeout_s=10)
+        sched.drain(GracefulShutdown())
+        assert calls["n"] == FAST_RETRY.max_attempts
+        assert replay_jobs(wal)["verdict"].state == FAILED
+
+    def test_expired_verdict_lands_expired_with_report(self, tmp_path):
+        def expiring(job, stop):
+            return JobOutcome(verdict=VERDICT_EXPIRED, report_path="partial.json",
+                              checkpoint_path="ck.jsonl", error="deadline")
+
+        wal = tmp_path / "jobs.wal"
+        sched = Scheduler(JobStore.open(wal), expiring, config(workers=1))
+        sched.start()
+        sched.submit(spec("timed", deadline_s=0.1))
+        assert sched.wait_idle(timeout_s=10)
+        sched.drain(GracefulShutdown())
+        job = replay_jobs(wal)["timed"]
+        assert job.state == "EXPIRED"
+        assert job.report_path == "partial.json"
+        assert job.checkpoint_path == "ck.jsonl"
+
+
+class TestCancel:
+    def test_cancel_waiting_job_never_runs(self, tmp_path):
+        ran = []
+        gate = threading.Event()
+
+        def record(job, stop):
+            gate.wait(10)
+            ran.append(job.job_id)
+            return JobOutcome(verdict=VERDICT_DONE)
+
+        wal = tmp_path / "jobs.wal"
+        sched = Scheduler(JobStore.open(wal), record, config(workers=1))
+        sched.submit(spec("victim"))
+        assert sched.cancel("victim") == CANCELLED
+        gate.set()
+        sched.start()
+        assert sched.wait_idle(timeout_s=10)
+        sched.drain(GracefulShutdown())
+        assert ran == []
+        assert replay_jobs(wal)["victim"].state == CANCELLED
+
+    def test_cancel_running_job_trips_its_stop_flag(self, tmp_path):
+        started = threading.Event()
+
+        def cancellable(job, stop):
+            started.set()
+            stop.stop_requested.wait(10)
+            return JobOutcome(verdict=VERDICT_CANCELLED, error="cancelled")
+
+        wal = tmp_path / "jobs.wal"
+        sched = Scheduler(JobStore.open(wal), cancellable, config(workers=1))
+        sched.start()
+        sched.submit(spec("live"))
+        assert started.wait(5)
+        assert sched.cancel("live") == RUNNING  # flag tripped, still draining
+        assert sched.wait_idle(timeout_s=10)
+        sched.drain(GracefulShutdown())
+        assert replay_jobs(wal)["live"].state == CANCELLED
+
+    def test_cancel_terminal_job_is_a_no_op(self, tmp_path):
+        wal = tmp_path / "jobs.wal"
+        sched = Scheduler(JobStore.open(wal), done_executor, config(workers=1))
+        sched.start()
+        sched.submit(spec("finished"))
+        assert sched.wait_idle(timeout_s=10)
+        assert sched.cancel("finished") == DONE
+        sched.drain(GracefulShutdown())
+        assert replay_jobs(wal)["finished"].terminal_events == 1
+
+
+class TestDrainAndRecovery:
+    def test_drain_interrupts_running_jobs_resumably(self, tmp_path):
+        started = threading.Event()
+
+        def long_job(job, stop):
+            started.set()
+            stop.stop_requested.wait(10)
+            from repro.service.scheduler import VERDICT_INTERRUPTED
+            return JobOutcome(verdict=VERDICT_INTERRUPTED,
+                              checkpoint_path="ck.jsonl")
+
+        wal = tmp_path / "jobs.wal"
+        sched = Scheduler(JobStore.open(wal), long_job, config(workers=1))
+        sched.start()
+        sched.submit(spec("drained"))
+        assert started.wait(5)
+        stop = GracefulShutdown()
+        stop.request("SIGTERM")
+        assert sched.drain(stop, timeout_s=10)
+        job = replay_jobs(wal)["drained"]
+        assert job.state == RETRYING
+        assert job.checkpoint_path == "ck.jsonl"
+
+    def test_drain_closes_admission(self, tmp_path):
+        sched = Scheduler(JobStore.open(tmp_path / "jobs.wal"), done_executor,
+                          config(workers=1))
+        sched.start()
+        sched.drain(GracefulShutdown())
+        with pytest.raises(AdmissionRejectedError):
+            sched.submit(spec("late"))
+
+    def test_crash_recovery_requeues_running_jobs(self, tmp_path):
+        wal = tmp_path / "jobs.wal"
+        crashed = JobStore.open(wal)
+        crashed.append_event("mid", "QUEUED", spec=spec("mid"))
+        crashed.append_event("mid", "ADMITTED")
+        crashed.append_event("mid", "RUNNING")
+        # New server over the same WAL: the stranded RUNNING job reruns.
+        sched = Scheduler(JobStore.open(wal), done_executor, config(workers=1))
+        sched.start()
+        assert sched.wait_idle(timeout_s=10)
+        sched.drain(GracefulShutdown())
+        job = replay_jobs(wal)["mid"]
+        assert job.state == DONE
+        assert job.attempts == 2  # the stranded attempt plus the rerun
+        assert job.retry_cause == "server restart"
+        assert job.failures == 0  # a crash is not the job's fault

@@ -257,6 +257,9 @@ def valid_chaos_record():
         "seed": 5,
         "n_shards": 4,
         "baseline_keys": 2,
+        "repro_command": (
+            "PYTHONPATH=src python -m benchmarks.chaos_soak "
+            "--seed 5 --iterations 56"),
         "iterations": [
             chaos_iteration(i, scenario) for i, scenario in enumerate(SCENARIOS)
         ],
@@ -344,6 +347,152 @@ def test_committed_chaos_record_validates():
     assert acceptance["deadline_exercised"] is True
     assert acceptance["degradation_exercised"] is True
     assert acceptance["all_byte_identical"] is True
+
+
+def test_committed_chaos_record_names_its_repro_command():
+    """A failing nightly rotation must be reproducible with one pasted
+    command — the artifact carries it alongside the seed."""
+    path = Path(__file__).resolve().parent.parent / "ROBUST_chaos.json"
+    record = json.loads(path.read_text())
+    assert f"--seed {record['seed']}" in record["repro_command"]
+    assert "benchmarks.chaos_soak" in record["repro_command"]
+
+
+# ------------------------------------------------- robust-service/v1 schema
+
+
+from benchmarks.service_soak import (  # noqa: E402
+    SCENARIOS as SERVICE_SCENARIOS,
+    SERVICE_SCHEMA,
+    validate_service_record,
+)
+
+
+def service_iteration(iteration=0, scenario="kill-mid-job", violations=()):
+    return {
+        "iteration": iteration,
+        "scenario": scenario,
+        "jobs_submitted": 1,
+        "jobs_rejected": 0,
+        "server_starts": 2,
+        "kills": 1,
+        "terminal_states": {"DONE": 1},
+        "identity_checks": 1,
+        "byte_identical": True,
+        "duplicate_side_effects": 0,
+        "lost_jobs": [],
+        "seconds": 4.2,
+        "violations": list(violations),
+    }
+
+
+def valid_service_record():
+    return {
+        "schema": SERVICE_SCHEMA,
+        "seed": 5,
+        "n_shards": 8,
+        "scan_workers": 2,
+        "rotations": 3,
+        "repro_command": (
+            "PYTHONPATH=src python -m benchmarks.service_soak "
+            "--seed 5 --rotations 3"),
+        "iterations": [
+            service_iteration(i, scenario)
+            for i, scenario in enumerate(SERVICE_SCENARIOS)
+        ],
+        "acceptance": {
+            "iterations_run": len(SERVICE_SCENARIOS),
+            "zero_violations": True,
+            "zero_lost_jobs": True,
+            "zero_duplicate_side_effects": True,
+            "all_resumed_byte_identical": True,
+            "kill_exercised": True,
+            "drain_exercised": True,
+            "deadline_exercised": True,
+            "rejection_exercised": True,
+            "quarantine_exercised": True,
+            "cancel_exercised": True,
+        },
+    }
+
+
+def test_valid_service_record_passes():
+    assert validate_service_record(valid_service_record()) == []
+
+
+def test_service_wrong_schema_tag_rejected():
+    record = valid_service_record()
+    record["schema"] = "robust-service/v0"
+    assert any("schema" in e for e in validate_service_record(record))
+
+
+def test_service_empty_iterations_rejected():
+    record = valid_service_record()
+    record["iterations"] = []
+    assert any("iterations" in e for e in validate_service_record(record))
+
+
+@pytest.mark.parametrize("field", [
+    "scenario", "kills", "terminal_states", "byte_identical",
+    "duplicate_side_effects", "lost_jobs", "violations",
+])
+def test_service_missing_iteration_field_rejected(field):
+    record = valid_service_record()
+    del record["iterations"][0][field]
+    assert any(field in e for e in validate_service_record(record))
+
+
+def test_service_unknown_scenario_rejected():
+    record = valid_service_record()
+    record["iterations"][0]["scenario"] = "meteor-strike"
+    assert any("scenario" in e for e in validate_service_record(record))
+
+
+def test_service_bool_masquerading_as_count_rejected():
+    record = valid_service_record()
+    record["iterations"][0]["kills"] = True
+    assert any("kills" in e for e in validate_service_record(record))
+
+
+def test_service_missing_repro_command_rejected():
+    record = valid_service_record()
+    del record["repro_command"]
+    assert any("repro_command" in e for e in validate_service_record(record))
+
+
+@pytest.mark.parametrize("field", [
+    "zero_violations", "zero_lost_jobs", "zero_duplicate_side_effects",
+    "all_resumed_byte_identical", "kill_exercised", "drain_exercised",
+    "deadline_exercised", "rejection_exercised", "quarantine_exercised",
+    "cancel_exercised",
+])
+def test_service_missing_acceptance_bool_rejected(field):
+    record = valid_service_record()
+    del record["acceptance"][field]
+    assert any(field in e for e in validate_service_record(record))
+
+
+def test_committed_service_record_validates():
+    """The checked-in ROBUST_service.json must satisfy its own schema
+    and certify the job engine's headline claims: zero lost jobs, zero
+    duplicated side effects, byte-identical resumed reports, and every
+    failure mode actually exercised."""
+    path = Path(__file__).resolve().parent.parent / "ROBUST_service.json"
+    record = json.loads(path.read_text())
+    assert validate_service_record(record) == []
+    acceptance = record["acceptance"]
+    assert acceptance["iterations_run"] >= 16
+    assert acceptance["zero_violations"] is True
+    assert acceptance["zero_lost_jobs"] is True
+    assert acceptance["zero_duplicate_side_effects"] is True
+    assert acceptance["all_resumed_byte_identical"] is True
+    assert acceptance["kill_exercised"] is True
+    assert acceptance["drain_exercised"] is True
+    assert acceptance["deadline_exercised"] is True
+    assert acceptance["rejection_exercised"] is True
+    assert acceptance["quarantine_exercised"] is True
+    assert acceptance["cancel_exercised"] is True
+    assert f"--seed {record['seed']}" in record["repro_command"]
 
 
 # --------------------------------------------------- robust-decay/v2 schema

@@ -182,3 +182,125 @@ class TestDecodedStageCli:
         assert main(["attack", dump_path, "--adaptive",
                      "--checkpoint", journal]) == 0
         assert master.hex() in capsys.readouterr().out
+
+
+class TestResumePreflight:
+    """--resume against a bad journal is one readable line, not a trace."""
+
+    def test_missing_journal_is_one_line_error(self, tmp_path, capsys):
+        dump = tmp_path / "dump.bin"
+        dump.write_bytes(bytes(4 * 64))
+        missing = str(tmp_path / "nowhere.jsonl")
+        assert main(["attack", str(dump), "--resume",
+                     "--checkpoint", missing]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no such checkpoint journal" in err
+        assert "drop --resume" in err
+
+    def test_missing_default_journal_is_one_line_error(self, tmp_path, capsys):
+        dump = tmp_path / "dump.bin"
+        dump.write_bytes(bytes(4 * 64))
+        assert main(["attack", str(dump), "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "no such checkpoint journal" in err
+        assert f"{dump}.checkpoint.jsonl" in err
+
+    def test_corrupt_journal_names_the_offending_line(
+            self, scrambled_dump_file, capsys, tmp_path):
+        dump_path, _ = scrambled_dump_file
+        journal = str(tmp_path / "scan.jsonl")
+        assert main(["attack", dump_path, "--workers", "2", "--shards", "4",
+                     "--checkpoint", journal]) == 0
+        capsys.readouterr()
+        lines = open(journal, encoding="utf-8").readlines()
+        lines[1] = lines[1].rstrip()[:-12] + "<<CORRUPT>>\n"
+        open(journal, "w", encoding="utf-8").writelines(lines)
+        assert main(["attack", dump_path, "--resume",
+                     "--checkpoint", journal]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "line 2" in err
+
+    def test_torn_tail_still_resumes(self, scrambled_dump_file, capsys, tmp_path):
+        """Truncating the final record (a crash mid-append) is repairable,
+        so preflight lets the resume proceed."""
+        dump_path, master = scrambled_dump_file
+        journal = str(tmp_path / "scan.jsonl")
+        assert main(["attack", dump_path, "--workers", "2", "--shards", "4",
+                     "--checkpoint", journal]) == 0
+        capsys.readouterr()
+        raw = open(journal, "rb").read()
+        open(journal, "wb").write(raw[:-7])  # tear the last record
+        assert main(["attack", dump_path, "--resume",
+                     "--checkpoint", journal]) == 0
+        assert master.hex() in capsys.readouterr().out
+
+
+class TestServiceCommandsParser:
+    def test_service_commands_registered(self):
+        parser = build_parser()
+        for argv in (["serve", "svc"],
+                     ["submit", "svc", "dump.bin"],
+                     ["status", "svc"],
+                     ["status", "svc", "job-1", "--wait"],
+                     ["cancel", "svc", "job-1"],
+                     ["watch", "svc", "job-1"]):
+            assert parser.parse_args(argv).command == argv[0]
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "svc", "--workers", "4", "--max-queued", "8",
+             "--max-attempts", "2", "--idle-exit", "5"])
+        assert args.workers == 4
+        assert args.max_queued == 8
+        assert args.max_attempts == 2
+        assert args.idle_exit == 5.0
+
+    def test_submit_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "svc", "dump.bin", "--scan-workers", "2",
+             "--shards", "4", "--deadline", "30", "--priority", "0",
+             "--submitter", "alice", "--no-wait"])
+        assert args.scan_workers == 2
+        assert args.shards == 4
+        assert args.deadline == 30.0
+        assert args.priority == 0
+        assert args.submitter == "alice"
+        assert args.no_wait
+
+
+class TestServiceCommandsOffline:
+    """Client commands against a directory with no server running."""
+
+    def test_submit_no_wait_spools_durably(self, tmp_path, capsys):
+        dump = tmp_path / "dump.bin"
+        dump.write_bytes(bytes(4 * 64))
+        svc = tmp_path / "svc"
+        assert main(["submit", str(svc), str(dump), "--job-id", "job-s",
+                     "--no-wait"]) == 0
+        assert "submitted job-s" in capsys.readouterr().out
+        assert (svc / "spool" / "job-s.submit.json").exists()
+
+    def test_status_reports_spooled_submission(self, tmp_path, capsys):
+        dump = tmp_path / "dump.bin"
+        dump.write_bytes(bytes(4 * 64))
+        svc = tmp_path / "svc"
+        main(["submit", str(svc), str(dump), "--job-id", "job-s", "--no-wait"])
+        capsys.readouterr()
+        assert main(["status", str(svc), "job-s"]) == 0
+        assert '"SPOOLED"' in capsys.readouterr().out
+
+    def test_unknown_job_is_one_line_error(self, tmp_path, capsys):
+        svc = tmp_path / "svc"
+        svc.mkdir()
+        assert main(["status", str(svc), "job-nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "job-nope" in err
+
+    def test_cancel_unknown_job_is_one_line_error(self, tmp_path, capsys):
+        svc = tmp_path / "svc"
+        svc.mkdir()
+        assert main(["cancel", str(svc), "job-nope"]) == 2
+        assert "job-nope" in capsys.readouterr().err
